@@ -1,0 +1,245 @@
+package decepticon
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one Benchmark per experiment id, over a shared reduced zoo) and
+// measures the substrate hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The first experiment benchmark pays the one-time zoo + classifier
+// construction; subsequent ones reuse the cached environment, so each
+// benchmark time is the experiment's own cost.
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+
+	"decepticon/internal/adversarial"
+	"decepticon/internal/experiments"
+	"decepticon/internal/extract"
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/gpusim"
+	"decepticon/internal/ieee754"
+	"decepticon/internal/rng"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/tensor"
+	"decepticon/internal/traceimg"
+	"decepticon/internal/transformer"
+	"decepticon/internal/zoo"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchZoo  *zoo.Zoo
+)
+
+func getBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.ScaleSmall)
+		cfg := benchEnv.ZooConfig()
+		cfg.NumPretrained = 8
+		cfg.NumFineTuned = 12
+		benchZoo = zoo.Build(cfg)
+		benchEnv.UseZoo(benchZoo)
+	})
+	return benchEnv
+}
+
+func benchExperiment(b *testing.B, id string) {
+	env := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.Run(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- one benchmark per paper table/figure ----
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkAlg1(b *testing.B)   { benchExperiment(b, "alg1") }
+
+// §8 "Discussions" extensions.
+func BenchmarkPruningRecovery(b *testing.B) { benchExperiment(b, "pruning") }
+func BenchmarkQuantFormats(b *testing.B)    { benchExperiment(b, "quant") }
+func BenchmarkOracleNoise(b *testing.B)     { benchExperiment(b, "noise") }
+func BenchmarkDefense(b *testing.B)         { benchExperiment(b, "defense") }
+
+// ---- ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationBitBudget sweeps the per-weight bit budget and reports
+// the clone agreement per setting as metrics.
+func BenchmarkAblationBitBudget(b *testing.B) {
+	getBenchEnv(b)
+	victim := benchZoo.FineTuned[0]
+	for i := 0; i < b.N; i++ {
+		for _, bits := range []int{1, 2, 4} {
+			cfg := extract.DefaultConfig()
+			cfg.MaxBitsPerWeight = bits
+			ex := &extract.Extractor{
+				Pre:    victim.Pretrained.Model,
+				Oracle: newOracle(victim),
+				Cfg:    cfg,
+			}
+			clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+			match := matchRate(victim, clone)
+			b.ReportMetric(match, "match@"+strconv.Itoa(bits)+"bit")
+			b.ReportMetric(float64(st.BitsChecked), "bits@"+strconv.Itoa(bits)+"bit")
+		}
+	}
+}
+
+// BenchmarkAblationSkipThreshold sweeps Algorithm 1's step-1 threshold.
+func BenchmarkAblationSkipThreshold(b *testing.B) {
+	getBenchEnv(b)
+	victim := benchZoo.FineTuned[0]
+	for i := 0; i < b.N; i++ {
+		for _, thr := range []float64{0.0001, 0.001, 0.01} {
+			cfg := extract.DefaultConfig()
+			cfg.SkipThreshold = thr
+			ex := &extract.Extractor{
+				Pre:    victim.Pretrained.Model,
+				Oracle: newOracle(victim),
+				Cfg:    cfg,
+			}
+			clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+			tag := strconv.FormatFloat(thr, 'g', -1, 64)
+			b.ReportMetric(matchRate(victim, clone), "match@"+tag)
+			b.ReportMetric(st.SkipRate(), "skip@"+tag)
+		}
+	}
+}
+
+// BenchmarkAblationImageSize compares fingerprint accuracy at 32 vs 64 px.
+func BenchmarkAblationImageSize(b *testing.B) {
+	getBenchEnv(b)
+	d := fingerprint.BuildDataset(benchZoo, 4, 77)
+	train, test := d.Split(0.8, 78)
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{32, 64} {
+			clf := fingerprint.NewClassifier(size, d.Classes, 79)
+			clf.Train(train, fingerprint.TrainConfig{Epochs: 60, LR: 0.002, Seed: 80})
+			b.ReportMetric(clf.Accuracy(test), "acc@"+strconv.Itoa(size)+"px")
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkGEMM(b *testing.B) {
+	r := rng.New(1)
+	x := tensor.Randn(16, 64, 1, r)
+	w := tensor.Randn(64, 64, 1, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}
+
+func BenchmarkTransformerForward(b *testing.B) {
+	m := transformer.New(transformer.Family()["base"], 1)
+	tokens := []int{0, 5, 9, 13, 2, 7, 11, 3, 8, 1, 6, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Logits(tokens)
+	}
+}
+
+func BenchmarkTransformerTrainStep(b *testing.B) {
+	m := transformer.New(transformer.Family()["base"], 1)
+	tokens := []int{0, 5, 9, 13, 2, 7, 11, 3, 8, 1, 6, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LossAndBackward(tokens, i%2)
+		m.ZeroGrads()
+	}
+}
+
+func BenchmarkTraceSimulation(b *testing.B) {
+	cfg := transformer.Family()["large"]
+	prof := gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpusim.SimulateTransformer(cfg, nil, prof, gpusim.Options{})
+	}
+}
+
+func BenchmarkTraceRender(b *testing.B) {
+	cfg := transformer.Family()["large"]
+	prof := gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 3}
+	t := gpusim.SimulateTransformer(cfg, nil, prof, gpusim.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceimg.Render(t, 64)
+	}
+}
+
+func BenchmarkLayerCountDetection(b *testing.B) {
+	cfg := transformer.Family()["large"]
+	prof := gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 3}
+	t := gpusim.SimulateTransformer(cfg, nil, prof, gpusim.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traceimg.DetectLayerCount(t, 32)
+	}
+}
+
+func BenchmarkExtractWeight(b *testing.B) {
+	cfg := extract.DefaultConfig()
+	victim := float32(0.01908)
+	read := func(bit int) int { return ieee754.Bit(victim, bit) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.ExtractWeight(0.018, read)
+	}
+}
+
+func BenchmarkAdversarialPerturb(b *testing.B) {
+	getBenchEnv(b)
+	victim := benchZoo.FineTuned[0]
+	ex := victim.Dev[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adversarial.Perturb(victim.Model, ex.Tokens, ex.Label, 2)
+	}
+}
+
+// ---- helpers ----
+
+func newOracle(victim *zoo.FineTuned) *sidechannel.Oracle {
+	return sidechannel.NewOracle(victim.Model)
+}
+
+func matchRate(victim *zoo.FineTuned, clone *transformer.Model) float64 {
+	vp := victim.Model.Predictions(victim.Dev)
+	cp := clone.Predictions(victim.Dev)
+	n := 0
+	for i := range vp {
+		if vp[i] == cp[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vp))
+}

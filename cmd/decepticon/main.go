@@ -1,0 +1,103 @@
+// Command decepticon runs the end-to-end two-level model extraction
+// attack against a randomly chosen black-box victim from the model zoo
+// and prints the attack report.
+//
+// Usage:
+//
+//	decepticon                 # small zoo, first victim
+//	decepticon -victim 7 -adv  # attack victim #7 and run the adversarial stage
+//	decepticon -scale full     # paper-sized population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"decepticon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("decepticon: ")
+	var (
+		scale  = flag.String("scale", "small", "zoo scale: small | full")
+		victim = flag.Int("victim", 0, "index of the fine-tuned victim model")
+		adv    = flag.Bool("adv", false, "run the adversarial stage (slower)")
+		subs   = flag.Int("substitutes", 4, "number of distillation substitutes for -adv")
+		cache  = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
+		all    = flag.Bool("all", false, "attack every victim and print campaign statistics")
+	)
+	flag.Parse()
+
+	cfg := decepticon.SmallZooConfig()
+	if *scale == "full" {
+		cfg = decepticon.DefaultZooConfig()
+	}
+	log.Printf("building model zoo (%d pre-trained, %d fine-tuned)...",
+		cfg.NumPretrained, cfg.NumFineTuned)
+	z, err := decepticon.BuildOrLoadZoo(cfg, *cache)
+	if err != nil {
+		log.Printf("zoo cache: %v", err)
+	}
+
+	log.Printf("training the pre-trained model extractor...")
+	atk := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+
+	if *all {
+		log.Printf("attacking all %d victims...", len(z.FineTuned))
+		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{MeasureSeed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("──────────────────────── campaign report ───────────────────────")
+		fmt.Printf("victims attacked:        %d\n", c.Victims)
+		fmt.Printf("identified correctly:    %d (%.1f%%)\n", c.Identified, 100*c.IdentificationRate())
+		fmt.Printf("resolved via probes:     %d\n", c.ProbeResolved)
+		fmt.Printf("bus-probe arch checks:   %d passed\n", c.ArchConfirmed)
+		fmt.Printf("mean clone match rate:   %.1f%%\n", 100*c.MeanMatchRate)
+		fmt.Printf("mean bit-read reduction: %.1fx\n", c.MeanReduction)
+		fmt.Printf("total bits read:         %d\n", c.TotalBitsRead)
+		return
+	}
+
+	if *victim < 0 || *victim >= len(z.FineTuned) {
+		log.Fatalf("victim index %d out of range [0, %d)", *victim, len(z.FineTuned))
+	}
+	target := z.FineTuned[*victim]
+	log.Printf("attacking black-box victim %q...", target.Name)
+
+	rep, err := atk.Run(target, decepticon.RunOptions{
+		MeasureSeed:    uint64(*victim) + 1,
+		Adversarial:    *adv,
+		NumSubstitutes: *subs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("──────────────────────── attack report ────────────────────────")
+	fmt.Printf("victim:                 %s\n", rep.Victim)
+	fmt.Printf("true pre-trained model: %s\n", rep.TruePretrained)
+	fmt.Printf("identified:             %s (correct: %v)\n", rep.Identified, rep.CorrectIdentity)
+	if rep.UsedQueryProbes {
+		fmt.Printf("query probes:           %d black-box queries\n", rep.ProbeQueries)
+	}
+	if rep.Extract == nil {
+		fmt.Println("extraction skipped (architecture mismatch)")
+		return
+	}
+	st := rep.Extract
+	fmt.Printf("weights handled:        %d (+%d head), %.1f%% correctly pruned\n",
+		st.WeightsTotal, st.HeadWeights, 100*st.WeightsCorrectlyPruned())
+	fmt.Printf("bits read:              %d of %d (%.1fx reduction)\n",
+		st.BitsChecked+st.HeadBitsRead, st.BitsTotal+32*st.HeadWeights, st.ReductionFactor())
+	fmt.Printf("victim acc / clone acc: %.3f / %.3f\n", rep.VictimAcc, rep.CloneAcc)
+	fmt.Printf("matched predictions:    %.1f%%\n", 100*rep.MatchRate)
+	if *adv {
+		fmt.Printf("adversarial (clone):    %.1f%% success\n", 100*rep.AdvClone)
+		for i, s := range rep.AdvSubstitutes {
+			fmt.Printf("adversarial (sub %d):    %.1f%% success\n", i+1, 100*s)
+		}
+	}
+}

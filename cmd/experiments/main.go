@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig14
+//	experiments -run fig3,fig4,fig16 -scale full
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"decepticon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.String("scale", "small", "zoo scale: small | full")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quiet = flag.Bool("q", false, "suppress progress output")
+		cache = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, t := range decepticon.ExperimentTitles() {
+			fmt.Println(t)
+		}
+		return
+	}
+
+	var sc decepticon.Scale
+	switch *scale {
+	case "small":
+		sc = decepticon.ScaleSmall
+	case "full":
+		sc = decepticon.ScaleFull
+	default:
+		log.Fatalf("unknown scale %q (small | full)", *scale)
+	}
+
+	env := decepticon.NewExperiments(sc)
+	env.CachePath = *cache
+	if !*quiet {
+		env.Progress = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	if *run == "all" {
+		env.RunAll(os.Stdout)
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if err := env.Run(id, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command tracegen simulates and inspects GPU kernel execution traces —
+// the raw material of Decepticon's level-1 fingerprinting. It prints a
+// trace as CSV, renders the fingerprint image as terminal art, and runs
+// the trace analyses (layer detection, XLA-region detection).
+//
+// Usage:
+//
+//	tracegen -arch large -source huggingface                 # CSV to stdout
+//	tracegen -arch base -source google -framework tensorflow -ascii
+//	tracegen -arch large -source nvidia-tf -framework tensorflow -xla -analyze
+//	tracegen -arch base -source meta -short -randomize -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/traceimg"
+	"decepticon/internal/transformer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		arch      = flag.String("arch", "base", "architecture: tiny|mini|small|medium|base|large")
+		source    = flag.String("source", "huggingface", "release source name (seeds the fingerprint)")
+		framework = flag.String("framework", "pytorch", "framework: pytorch|tensorflow|mxnet")
+		tensor    = flag.Bool("tensorcores", false, "NVIDIA-style half-precision gemms")
+		short     = flag.Bool("short", false, "Meta-style short reduction kernels")
+		xla       = flag.Bool("xla", false, "XLA-style fused irregular execution")
+		randomize = flag.Bool("randomize", false, "enable the kernel-randomization countermeasure")
+		seed      = flag.Uint64("seed", 1, "measurement seed")
+		jitter    = flag.Float64("jitter", 0, "measurement noise in µs")
+		ascii     = flag.Bool("ascii", false, "print the fingerprint image as terminal art")
+		pngPath   = flag.String("png", "", "write the fingerprint image as a grayscale PNG to this path")
+		size      = flag.Int("size", 48, "fingerprint image size for -ascii")
+		analyze   = flag.Bool("analyze", false, "run layer/XLA detection instead of dumping the trace")
+	)
+	flag.Parse()
+
+	cfg, ok := transformer.Family()[*arch]
+	if !ok {
+		log.Fatalf("unknown architecture %q", *arch)
+	}
+	var fw gpusim.Framework
+	switch *framework {
+	case "pytorch":
+		fw = gpusim.PyTorch
+	case "tensorflow":
+		fw = gpusim.TensorFlow
+	case "mxnet":
+		fw = gpusim.MXNet
+	default:
+		log.Fatalf("unknown framework %q", *framework)
+	}
+	prof := gpusim.Profile{
+		Source:           *source,
+		Framework:        fw,
+		TensorCores:      *tensor,
+		ShortKernels:     *short,
+		XLA:              *xla,
+		RandomizeKernels: *randomize,
+		Seed:             uint64(len(*source))*1337 + 7, // release identity from the source name
+	}
+	trace := gpusim.SimulateTransformer(cfg, nil, prof, gpusim.Options{
+		MeasureSeed: *seed, JitterMagnitude: *jitter,
+	})
+
+	if *pngPath != "" {
+		im := traceimg.Render(traceimg.StripXLA(traceimg.StripMemcpy(trace)), *size)
+		f, err := os.Create(*pngPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := im.WritePNG(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *pngPath)
+		return
+	}
+
+	switch {
+	case *analyze:
+		execs, unique := trace.KernelCensus()
+		fmt.Printf("model:          %s/%s on %s\n", *source, *arch, fw)
+		fmt.Printf("kernels:        %d executions of %d unique kernels\n", execs, unique)
+		fmt.Printf("duration:       %.1f µs (peak kernel %.2f µs)\n", trace.Duration(), trace.PeakDuration())
+		fmt.Printf("layers detected: %d (true: %d)\n", traceimg.DetectLayerCount(trace, 32), cfg.Layers)
+		if start, end, found := traceimg.XLARegion(trace); found {
+			fmt.Printf("XLA region:     execs [%d, %d)\n", start, end)
+			stripped := traceimg.StripXLA(trace)
+			fmt.Printf("after stripping: %d layers detected\n", traceimg.DetectLayerCount(stripped, 32))
+		}
+	case *ascii:
+		im := traceimg.Render(traceimg.StripXLA(trace), *size)
+		fmt.Print(im.ASCII())
+	default:
+		if err := traceimg.WriteCSV(trace, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

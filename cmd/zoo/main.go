@@ -1,0 +1,49 @@
+// Command zoo builds the model population and prints its catalog: every
+// pre-trained release (source, framework, architecture, language, casing)
+// and every fine-tuned victim with its task and dev accuracy.
+//
+// Usage:
+//
+//	zoo                # reduced population
+//	zoo -scale full    # the paper's 70 + 170 models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"decepticon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zoo: ")
+	scale := flag.String("scale", "small", "zoo scale: small | full")
+	flag.Parse()
+
+	cfg := decepticon.SmallZooConfig()
+	if *scale == "full" {
+		cfg = decepticon.DefaultZooConfig()
+	}
+	cfg.OnProgress = func(stage string, done, total int) {
+		if done%20 == 0 || done == total {
+			log.Printf("%s %d/%d", stage, done, total)
+		}
+	}
+	z := decepticon.BuildZoo(cfg)
+
+	fmt.Printf("pre-trained releases (%d):\n", len(z.Pretrained))
+	fmt.Printf("%-45s %-12s %-12s %-7s %-5s %-6s\n",
+		"name", "source", "framework", "arch", "lang", "cased")
+	for _, p := range z.Pretrained {
+		fmt.Printf("%-45s %-12s %-12s %-7s %-5s %-6v\n",
+			p.Name, p.Source, p.Profile.Framework, p.ArchName, p.Language, p.Cased)
+	}
+
+	fmt.Printf("\nfine-tuned victims (%d):\n", len(z.FineTuned))
+	fmt.Printf("%-60s %-8s %-8s\n", "name", "task", "dev acc")
+	for _, f := range z.FineTuned {
+		fmt.Printf("%-60s %-8s %-8.3f\n", f.Name, f.Task.Name, f.Model.Evaluate(f.Dev))
+	}
+}

@@ -1,0 +1,122 @@
+// Package decepticon is a from-scratch Go reproduction of "Decepticon:
+// Attacking Secrets of Transformers" (IISWC 2023): a two-level model
+// extraction attack on transfer-learned transformer models.
+//
+// Level 1 identifies a black-box victim's pre-trained model from its GPU
+// kernel execution fingerprint (a CNN classifier over rendered
+// time-series traces, §5.4), disambiguating same-profile candidates with
+// query-output probes (§5.3). Level 2 clones the victim's weights from
+// the identified pre-trained baseline via a rowhammer-style bit-read side
+// channel, reading at most two fraction bits per weight (Algorithm 1).
+//
+// Everything the paper's evaluation depends on is built in-process and
+// from scratch: transformer training (internal/transformer), a model zoo
+// of 70 pre-trained + 170 fine-tuned releases (internal/zoo), a GPU
+// kernel execution simulator standing in for CUDA profiling
+// (internal/gpusim), the side channels (internal/sidechannel), and the
+// attack itself (internal/core). See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	z := decepticon.BuildZoo(decepticon.SmallZooConfig())
+//	atk := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+//	report, err := atk.Run(z.FineTuned[0], decepticon.RunOptions{})
+//
+// Every table and figure of the paper regenerates through the Experiments
+// environment (also exposed by cmd/experiments):
+//
+//	exp := decepticon.NewExperiments(decepticon.ScaleSmall)
+//	exp.Run("fig14", os.Stdout)
+package decepticon
+
+import (
+	"decepticon/internal/core"
+	"decepticon/internal/experiments"
+	"decepticon/internal/extract"
+	"decepticon/internal/zoo"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Zoo is the model population: pre-trained releases and their
+	// fine-tuned descendants (the victims).
+	Zoo = zoo.Zoo
+	// ZooConfig controls zoo construction.
+	ZooConfig = zoo.BuildConfig
+	// Pretrained is one pre-trained model release.
+	Pretrained = zoo.Pretrained
+	// FineTuned is a black-box victim model.
+	FineTuned = zoo.FineTuned
+	// Attack is a prepared Decepticon instance.
+	Attack = core.Attack
+	// PrepareConfig controls level-1 classifier training.
+	PrepareConfig = core.PrepareConfig
+	// RunOptions controls one attack run.
+	RunOptions = core.RunOptions
+	// Report is the outcome of one end-to-end attack.
+	Report = core.Report
+	// Campaign aggregates the outcome of attacking many victims
+	// (Attack.RunAll).
+	Campaign = core.Campaign
+	// ExtractionConfig tunes the selective weight extraction.
+	ExtractionConfig = extract.Config
+	// ExtractionStats is the extraction cost/correctness accounting.
+	ExtractionStats = extract.Stats
+	// Experiments regenerates the paper's tables and figures.
+	Experiments = experiments.Env
+	// Scale selects the experiment budget.
+	Scale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	// ScaleSmall runs on the reduced zoo (fast; tests and demos).
+	ScaleSmall = experiments.ScaleSmall
+	// ScaleFull runs on the paper-sized population (70 pre-trained, 170
+	// fine-tuned models; several minutes on one core).
+	ScaleFull = experiments.ScaleFull
+)
+
+// DefaultZooConfig returns the paper-sized population configuration.
+func DefaultZooConfig() ZooConfig { return zoo.DefaultBuildConfig() }
+
+// SmallZooConfig returns a reduced population for fast runs.
+func SmallZooConfig() ZooConfig { return zoo.SmallBuildConfig() }
+
+// TraceOnlyZooConfig returns a population with minimal training — enough
+// for fingerprint-only studies.
+func TraceOnlyZooConfig() ZooConfig { return zoo.TraceOnlyBuildConfig() }
+
+// BuildZoo trains the model population described by cfg.
+func BuildZoo(cfg ZooConfig) *Zoo { return zoo.Build(cfg) }
+
+// BuildOrLoadZoo loads the population from cachePath when present,
+// otherwise builds it and writes the cache. An empty cachePath always
+// builds. A non-nil error reports a cache problem; the returned zoo is
+// usable either way.
+func BuildOrLoadZoo(cfg ZooConfig, cachePath string) (*Zoo, error) {
+	return zoo.BuildOrLoad(cfg, cachePath)
+}
+
+// DefaultPrepareConfig returns the standard level-1 training setup.
+func DefaultPrepareConfig() PrepareConfig { return core.DefaultPrepareConfig() }
+
+// NewAttack prepares a Decepticon attack over the candidate pool z:
+// it collects trace measurements of every model and trains the
+// pre-trained model extractor.
+func NewAttack(z *Zoo, cfg PrepareConfig) *Attack { return core.Prepare(z, cfg) }
+
+// DefaultExtractionConfig returns the paper's selective-extraction
+// operating point (0.001 skip threshold, ≤2 bits per weight).
+func DefaultExtractionConfig() ExtractionConfig { return extract.DefaultConfig() }
+
+// NewExperiments returns an experiment environment at the given scale.
+func NewExperiments(scale Scale) *Experiments { return experiments.NewEnv(scale) }
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitles lists "id: title" for every experiment.
+func ExperimentTitles() []string { return experiments.Titles() }

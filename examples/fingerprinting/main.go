@@ -1,0 +1,65 @@
+// Fingerprinting: level 1 of Decepticon in isolation.
+//
+// Collects time-series kernel execution traces of every model in the zoo,
+// trains the CNN pre-trained-model extractor on 80% of them, and reports
+// identification accuracy on the held-out 20% — clean and under injected
+// measurement noise (the paper's Fig 14 setup). Finishes with the
+// query-output secondary fingerprint resolving a profile-ambiguity
+// cluster (cased/uncased/CamemBERT/RuBERT analogs).
+//
+// Run with: go run ./examples/fingerprinting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decepticon"
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/queryfp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Fingerprints depend only on each release's execution profile, so the
+	// trace-only zoo (minimal training) is enough here.
+	log.Println("building a trace-only zoo...")
+	z := decepticon.BuildZoo(decepticon.TraceOnlyZooConfig())
+
+	log.Println("collecting traces and training the CNN extractor...")
+	d := fingerprint.BuildDataset(z, 5, 1)
+	train, test := d.Split(0.8, 2)
+	clf := fingerprint.NewClassifier(64, d.Classes, 3)
+	clf.Train(train, fingerprint.TrainConfig{Epochs: 60, LR: 0.002, Seed: 4})
+
+	fmt.Printf("identification accuracy: train %.2f, test %.2f\n",
+		clf.Accuracy(train), clf.Accuracy(test))
+	fmt.Println("noise robustness (count of perturbed kernels at ±2µs):")
+	for _, n := range []int{1, 4, 16} {
+		fmt.Printf("  %2d kernels: %.2f\n", n, clf.NoiseAccuracy(test, n, 2, 9))
+	}
+
+	// Ambiguity resolution: the cluster members share one execution
+	// fingerprint; only query probes separate them.
+	anchor := z.PretrainedByName("huggingface_bert-small-uncased")
+	cluster := z.AmbiguousWith(anchor)
+	fmt.Printf("\nambiguity cluster (%d members share one trace fingerprint):\n", len(cluster))
+	cands := make([]*queryfp.Candidate, len(cluster))
+	for i, p := range cluster {
+		fmt.Printf("  %s (%s, cased=%v)\n", p.Name, p.Language, p.Cased)
+		cands[i] = &queryfp.Candidate{Name: p.Name, Vocab: p.Vocab}
+	}
+	for _, f := range z.FineTuned {
+		if f.Pretrained != cluster[len(cluster)-1] {
+			continue
+		}
+		res := queryfp.Detect(cands, func(text string) []float32 {
+			_, probs := f.ClassifyText(text)
+			return probs
+		}, 4)
+		fmt.Printf("victim %q resolved to %q with %d queries (true: %q)\n",
+			f.Name, res.Best, res.Queries, f.Pretrained.Name)
+		break
+	}
+}

@@ -1,0 +1,3 @@
+module decepticon
+
+go 1.22

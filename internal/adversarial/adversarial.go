@@ -1,0 +1,123 @@
+// Package adversarial implements the white-box attack the extracted clone
+// enables (paper §6.2, Fig 18): gradient-guided token substitution
+// (HotFlip-style) computed on a surrogate model and transferred to the
+// black-box victim. It also builds the paper's comparison baseline —
+// substitute models distilled from the victim's prediction records.
+package adversarial
+
+import (
+	"decepticon/internal/rng"
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/transformer"
+)
+
+// Perturb returns an adversarial variant of tokens: using the surrogate's
+// embedding gradient at the true label, it replaces up to flips tokens
+// with the first-order most loss-increasing vocabulary substitutions
+// (position 0, the CLS slot, is never touched). The input slice is not
+// modified.
+func Perturb(surrogate *transformer.Model, tokens []int, label, flips int) []int {
+	adv := append([]int(nil), tokens...)
+	for f := 0; f < flips; f++ {
+		surrogate.ZeroGrads()
+		_, dEmb := surrogate.LossAndBackward(adv, label)
+		bestScore := float32(0)
+		bestPos, bestTok := -1, -1
+		for pos := 1; pos < len(adv); pos++ {
+			g := dEmb.Row(pos)
+			cur := surrogate.TokEmb.V.Row(adv[pos])
+			// score(t) = (e_t - e_cur)·g — the first-order loss increase
+			// of swapping position pos to token t.
+			var curDot float32
+			for j := range g {
+				curDot += cur[j] * g[j]
+			}
+			for t := tokenizer.ReservedTokens; t < surrogate.Vocab; t++ {
+				if t == adv[pos] {
+					continue
+				}
+				et := surrogate.TokEmb.V.Row(t)
+				var d float32
+				for j := range g {
+					d += et[j] * g[j]
+				}
+				if score := d - curDot; score > bestScore {
+					bestScore, bestPos, bestTok = score, pos, t
+				}
+			}
+		}
+		if bestPos < 0 {
+			break
+		}
+		adv[bestPos] = bestTok
+	}
+	return adv
+}
+
+// Result summarizes one attack evaluation.
+type Result struct {
+	// Attempted counts inputs the victim originally classified correctly
+	// (the attackable population).
+	Attempted int
+	// Successes counts adversarial variants the victim misclassified.
+	Successes int
+}
+
+// SuccessRate returns Successes/Attempted (0 for an empty population).
+func (r Result) SuccessRate() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Attempted)
+}
+
+// Evaluate runs the transfer attack: for every example the victim gets
+// right, craft an adversarial variant with the surrogate and test whether
+// the victim now gets it wrong.
+func Evaluate(surrogate *transformer.Model, victim func([]int) int, examples []transformer.Example, flips int) Result {
+	var res Result
+	for _, ex := range examples {
+		if victim(ex.Tokens) != ex.Label {
+			continue // already wrong; nothing to attack
+		}
+		res.Attempted++
+		adv := Perturb(surrogate, ex.Tokens, ex.Label, flips)
+		if victim(adv) != ex.Label {
+			res.Successes++
+		}
+	}
+	return res
+}
+
+// BuildSubstitute reproduces the paper's baseline attacker: take a random
+// pre-trained model, query the victim for prediction records on the given
+// inputs, and fine-tune the substitute on those records (model extraction
+// via distillation, as in [27, 32, 50]).
+func BuildSubstitute(pre *transformer.Model, victim func([]int) int, inputs [][]int, numLabels int, seed uint64) *transformer.Model {
+	records := make([]transformer.Example, len(inputs))
+	for i, tokens := range inputs {
+		records[i] = transformer.Example{Tokens: tokens, Label: victim(tokens)}
+	}
+	return transformer.FineTuneFrom(pre, numLabels, records, transformer.TrainConfig{
+		Epochs: 6, BatchSize: 4,
+		LR: 5e-5, HeadLR: 3e-2, WeightDecay: 1.0,
+		Seed: seed,
+	}, seed)
+}
+
+// RecordInputs samples query inputs for distillation from the task's
+// input distribution (the paper collects 18K inference records; the count
+// scales with our reduced models).
+func RecordInputs(vocabSize, seqLen, n int, seed uint64) [][]int {
+	r := rng.New(seed)
+	out := make([][]int, n)
+	for i := range out {
+		tokens := make([]int, seqLen)
+		tokens[0] = tokenizer.CLS
+		for j := 1; j < seqLen; j++ {
+			tokens[j] = tokenizer.ReservedTokens + r.Intn(vocabSize-tokenizer.ReservedTokens)
+		}
+		out[i] = tokens
+	}
+	return out
+}

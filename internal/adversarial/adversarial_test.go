@@ -1,0 +1,183 @@
+package adversarial
+
+import (
+	"sync"
+	"testing"
+
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/zoo"
+)
+
+var (
+	zooOnce sync.Once
+	testZ   *zoo.Zoo
+)
+
+func getZoo(t *testing.T) *zoo.Zoo {
+	t.Helper()
+	zooOnce.Do(func() {
+		cfg := zoo.SmallBuildConfig()
+		cfg.NumPretrained = 3
+		cfg.NumFineTuned = 3
+		testZ = zoo.Build(cfg)
+	})
+	return testZ
+}
+
+func TestPerturbBasics(t *testing.T) {
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	ex := victim.Dev[0]
+	adv := Perturb(victim.Model, ex.Tokens, ex.Label, 2)
+	if len(adv) != len(ex.Tokens) {
+		t.Fatalf("length changed: %d -> %d", len(ex.Tokens), len(adv))
+	}
+	if adv[0] != ex.Tokens[0] {
+		t.Fatal("CLS position must not be perturbed")
+	}
+	diff := 0
+	for i := range adv {
+		if adv[i] != ex.Tokens[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 2 {
+		t.Fatalf("flipped %d tokens, want 1..2", diff)
+	}
+	// Input must not be mutated.
+	if &adv[0] == &ex.Tokens[0] {
+		t.Fatal("Perturb must copy its input")
+	}
+	for i, tok := range victim.Dev[0].Tokens {
+		if ex.Tokens[i] != tok {
+			t.Fatal("Perturb mutated the input")
+		}
+	}
+	// Flipped tokens are valid vocabulary ids.
+	for _, tok := range adv {
+		if tok < 0 || tok >= victim.Model.Vocab {
+			t.Fatalf("token %d out of vocabulary", tok)
+		}
+	}
+}
+
+func TestPerturbIncreasesSurrogateLoss(t *testing.T) {
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	m := victim.Model
+	raised := 0
+	total := 0
+	for _, ex := range victim.Dev {
+		m.ZeroGrads()
+		before, _ := m.LossAndBackward(ex.Tokens, ex.Label)
+		adv := Perturb(m, ex.Tokens, ex.Label, 2)
+		m.ZeroGrads()
+		after, _ := m.LossAndBackward(adv, ex.Label)
+		if after > before {
+			raised++
+		}
+		total++
+	}
+	m.ZeroGrads()
+	if float64(raised)/float64(total) < 0.75 {
+		t.Fatalf("loss increased on only %d/%d inputs", raised, total)
+	}
+}
+
+func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
+	// The Fig 18 mechanism: an exact-weight surrogate (here, the victim
+	// itself — the ideal clone) transfers far better than a substitute
+	// distilled from prediction records.
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	white := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 2)
+	if white.Attempted == 0 {
+		t.Skip("victim classifies nothing correctly at this scale")
+	}
+	if white.SuccessRate() < 0.6 {
+		t.Fatalf("white-box success %v, want >= 0.6 (paper: 0.906 for the clone)", white.SuccessRate())
+	}
+
+	pre := z.Pretrained[1]
+	if pre == victim.Pretrained {
+		pre = z.Pretrained[2]
+	}
+	inputs := RecordInputs(victim.Model.Vocab, victim.Task.SeqLen, 3*len(victim.Train), 9)
+	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 10)
+	grey := Evaluate(sub, victim.Model.Predict, victim.Dev, 2)
+	if grey.SuccessRate() >= white.SuccessRate() {
+		t.Fatalf("substitute success %v should be below white-box %v",
+			grey.SuccessRate(), white.SuccessRate())
+	}
+}
+
+func TestEvaluateCountsOnlyCorrectInputs(t *testing.T) {
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	res := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 1)
+	correct := 0
+	for _, ex := range victim.Dev {
+		if victim.Model.Predict(ex.Tokens) == ex.Label {
+			correct++
+		}
+	}
+	if res.Attempted != correct {
+		t.Fatalf("attempted %d, want %d", res.Attempted, correct)
+	}
+	if res.Successes > res.Attempted {
+		t.Fatal("successes exceed attempts")
+	}
+}
+
+func TestRecordInputs(t *testing.T) {
+	inputs := RecordInputs(96, 10, 25, 3)
+	if len(inputs) != 25 {
+		t.Fatalf("len %d", len(inputs))
+	}
+	for _, tokens := range inputs {
+		if len(tokens) != 10 || tokens[0] != tokenizer.CLS {
+			t.Fatalf("bad record input %v", tokens)
+		}
+		for _, tok := range tokens[1:] {
+			if tok < tokenizer.ReservedTokens || tok >= 96 {
+				t.Fatalf("token %d out of range", tok)
+			}
+		}
+	}
+	a := RecordInputs(96, 10, 5, 3)
+	b := RecordInputs(96, 10, 5, 3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("RecordInputs must be deterministic")
+			}
+		}
+	}
+}
+
+func TestSuccessRateZeroSafe(t *testing.T) {
+	var r Result
+	if r.SuccessRate() != 0 {
+		t.Fatal("empty result must be 0")
+	}
+}
+
+func TestBuildSubstituteAgreesWithVictim(t *testing.T) {
+	// Distillation should track the victim's *predictions* reasonably even
+	// though its weights are unrelated — agreement is not the bottleneck,
+	// transfer of adversarial inputs is (Fig 18).
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	pre := z.Pretrained[1]
+	inputs := RecordInputs(victim.Model.Vocab, victim.Task.SeqLen, 3*len(victim.Train), 11)
+	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 12)
+	agree := 0
+	for _, ex := range victim.Dev {
+		if sub.Predict(ex.Tokens) == victim.Model.Predict(ex.Tokens) {
+			agree++
+		}
+	}
+	if float64(agree)/float64(len(victim.Dev)) < 0.5 {
+		t.Fatalf("substitute agrees on %d/%d only", agree, len(victim.Dev))
+	}
+}

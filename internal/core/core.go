@@ -1,0 +1,266 @@
+// Package core wires the full Decepticon attack together (paper Fig 1):
+//
+//	victim inference ──side channel──▶ kernel trace ──▶ CNN extractor
+//	      │                                              │ top-k
+//	      │ query outputs ◀── variant detector ◀─────────┘ (ambiguity)
+//	      ▼                                              ▼
+//	rowhammer oracle ◀── selective weight extraction ◀── identified
+//	      │                                              pre-trained model
+//	      ▼
+//	   clone model ──▶ adversarial attack on the victim
+//
+// Level 1 identifies the victim's pre-trained model from its execution
+// fingerprint (plus query probes for profile-ambiguous candidates);
+// level 2 clones the victim's weights from the identified baseline with
+// minimal bit reads.
+package core
+
+import (
+	"fmt"
+
+	"decepticon/internal/adversarial"
+	"decepticon/internal/extract"
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/gpusim"
+	"decepticon/internal/queryfp"
+	"decepticon/internal/rng"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/stats"
+	"decepticon/internal/transformer"
+	"decepticon/internal/zoo"
+)
+
+// Attack is a prepared Decepticon instance: a candidate pool and a trained
+// pre-trained model extractor.
+type Attack struct {
+	Zoo        *zoo.Zoo
+	Classifier *fingerprint.Classifier
+	ExtractCfg extract.Config
+}
+
+// PrepareConfig controls attack preparation.
+type PrepareConfig struct {
+	// SamplesPerModel trace measurements feed the CNN's training set.
+	SamplesPerModel int
+	// ImgSize is the trace-image resolution (32 or 64).
+	ImgSize int
+	// Epochs / LR train the CNN (paper: 10 epochs at 0.001; our reduced
+	// image scale trains longer).
+	Epochs int
+	LR     float64
+	Seed   uint64
+}
+
+// DefaultPrepareConfig returns a preparation setup matched to the zoo
+// scale.
+func DefaultPrepareConfig() PrepareConfig {
+	return PrepareConfig{SamplesPerModel: 5, ImgSize: 64, Epochs: 60, LR: 0.002, Seed: 7}
+}
+
+// Prepare trains the level-1 extractor over the candidate pool. The
+// training set is augmented with noisy trace copies so the classifier
+// tolerates measurement noise (§7.2).
+func Prepare(z *zoo.Zoo, cfg PrepareConfig) *Attack {
+	if cfg.SamplesPerModel <= 0 {
+		cfg = DefaultPrepareConfig()
+	}
+	d := fingerprint.BuildDataset(z, cfg.SamplesPerModel, cfg.Seed)
+	d.AugmentNoise(1, 4, 2, cfg.Seed+9)
+	clf := fingerprint.NewClassifier(cfg.ImgSize, d.Classes, cfg.Seed+1)
+	clf.Train(d, fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 2})
+	return &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig()}
+}
+
+// Report is the outcome of one end-to-end attack.
+type Report struct {
+	Victim         string
+	TruePretrained string
+
+	// Level 1.
+	Identified      string
+	CorrectIdentity bool
+	UsedQueryProbes bool
+	ProbeQueries    int
+	// ArchConfirmed reports whether the bus-probe allocation map of the
+	// victim (§3's "memory addresses" hint) matches the identified
+	// candidate's architecture — a cheap cross-check before committing to
+	// the expensive rowhammer phase.
+	ArchConfirmed bool
+
+	// Level 2.
+	Extract   *extract.Stats
+	MatchRate float64 // clone vs victim predictions on held-out inputs
+	VictimAcc float64
+	CloneAcc  float64
+	VictimF1  float64
+	CloneF1   float64
+
+	// Optional adversarial stage.
+	AdvClone       float64   // clone-driven success rate
+	AdvSubstitutes []float64 // distillation substitutes' success rates
+	Clone          *transformer.Model
+}
+
+// Campaign aggregates the outcome of attacking many victims.
+type Campaign struct {
+	Victims       int
+	Identified    int     // correct pre-trained identification
+	ProbeResolved int     // identifications that needed query probes
+	ArchConfirmed int     // bus-probe architecture checks that passed
+	MeanMatchRate float64 // over runs where extraction happened
+	MeanReduction float64 // bit-read reduction factor
+	TotalBitsRead int
+	Reports       []*Report
+}
+
+// IdentificationRate returns the fraction of victims whose pre-trained
+// model was identified correctly.
+func (c *Campaign) IdentificationRate() float64 {
+	if c.Victims == 0 {
+		return 0
+	}
+	return float64(c.Identified) / float64(c.Victims)
+}
+
+// RunAll attacks every victim in the list and aggregates the outcomes.
+func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, error) {
+	c := &Campaign{}
+	var matchSum, reductionSum float64
+	extracted := 0
+	for i, v := range victims {
+		o := opt
+		o.MeasureSeed = opt.MeasureSeed + uint64(i)*7919
+		rep, err := a.Run(v, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: victim %s: %w", v.Name, err)
+		}
+		c.Reports = append(c.Reports, rep)
+		c.Victims++
+		if rep.CorrectIdentity {
+			c.Identified++
+		}
+		if rep.UsedQueryProbes && rep.CorrectIdentity {
+			c.ProbeResolved++
+		}
+		if rep.ArchConfirmed {
+			c.ArchConfirmed++
+		}
+		if rep.Extract != nil {
+			extracted++
+			matchSum += rep.MatchRate
+			reductionSum += rep.Extract.ReductionFactor()
+			c.TotalBitsRead += rep.Extract.BitsChecked + rep.Extract.HeadBitsRead
+		}
+	}
+	if extracted > 0 {
+		c.MeanMatchRate = matchSum / float64(extracted)
+		c.MeanReduction = reductionSum / float64(extracted)
+	}
+	return c, nil
+}
+
+// RunOptions controls one attack run.
+type RunOptions struct {
+	// MeasureSeed seeds the victim trace measurement.
+	MeasureSeed uint64
+	// Adversarial adds the §6.2 evaluation with NumSubstitutes baselines.
+	Adversarial    bool
+	NumSubstitutes int
+	// FlipsPerInput is the adversarial token-substitution budget.
+	FlipsPerInput int
+}
+
+// Run executes the two-level attack against a black-box victim.
+func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
+	rep := &Report{
+		Victim:         victim.Name,
+		TruePretrained: victim.Pretrained.Name,
+	}
+
+	// ---- Level 1: identify the pre-trained model. ----
+	trace := victim.Trace(gpusim.Options{MeasureSeed: opt.MeasureSeed, JitterMagnitude: 0.3})
+	top := a.Classifier.PredictTopK(trace, 3)
+	identified := top[0]
+	cand := a.Zoo.PretrainedByName(identified)
+	if cand == nil {
+		return nil, fmt.Errorf("core: classifier produced unknown candidate %q", identified)
+	}
+
+	// Profile-ambiguous candidates need the query-output fingerprint.
+	ambiguous := a.Zoo.AmbiguousWith(cand)
+	if len(ambiguous) > 1 {
+		rep.UsedQueryProbes = true
+		cands := make([]*queryfp.Candidate, len(ambiguous))
+		for i, p := range ambiguous {
+			cands[i] = &queryfp.Candidate{Name: p.Name, Vocab: p.Vocab}
+		}
+		res := queryfp.Detect(cands, func(text string) []float32 {
+			_, probs := victim.ClassifyText(text)
+			return probs
+		}, 4)
+		rep.ProbeQueries = res.Queries
+		if res.Best != "" {
+			identified = res.Best
+		}
+	}
+	rep.Identified = identified
+	rep.CorrectIdentity = identified == victim.Pretrained.Name
+
+	pre := a.Zoo.PretrainedByName(identified)
+
+	// Cross-check the identified architecture against the victim's
+	// bus-probe allocation map before paying for rowhammer.
+	am := sidechannel.MapModel(victim.Model)
+	if inferred, err := sidechannel.InferArchitecture(am.Sizes()); err == nil {
+		rep.ArchConfirmed = inferred.Layers == pre.Model.Layers &&
+			inferred.Hidden == pre.Model.Hidden &&
+			inferred.FFN == pre.Model.FFN
+	}
+
+	if pre.ArchName != victim.Pretrained.ArchName {
+		// Architecture mismatch: the weight extraction cannot even start.
+		return rep, nil
+	}
+
+	// ---- Level 2: selective weight extraction. ----
+	ex := &extract.Extractor{
+		Pre:    pre.Model,
+		Oracle: sidechannel.NewOracle(victim.Model),
+		Cfg:    a.ExtractCfg,
+		Victim: victim.Model.Predict,
+	}
+	clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+	rep.Extract = st
+	rep.Clone = clone
+
+	vp := victim.Model.Predictions(victim.Dev)
+	cp := clone.Predictions(victim.Dev)
+	rep.MatchRate = stats.MatchRate(vp, cp)
+	rep.VictimAcc = victim.Model.Evaluate(victim.Dev)
+	rep.CloneAcc = clone.Evaluate(victim.Dev)
+	rep.VictimF1 = victim.Model.EvaluateF1(victim.Dev)
+	rep.CloneF1 = clone.EvaluateF1(victim.Dev)
+
+	// ---- Optional: adversarial attack (Fig 18). ----
+	if opt.Adversarial {
+		flips := opt.FlipsPerInput
+		if flips <= 0 {
+			flips = 2
+		}
+		rep.AdvClone = adversarial.Evaluate(clone, victim.Model.Predict, victim.Dev, flips).SuccessRate()
+		inputs := adversarial.RecordInputs(victim.Model.Vocab, victim.Task.SeqLen,
+			4*len(victim.Train), rng.Seed("adv-records", victim.Name))
+		for s := 0; s < opt.NumSubstitutes; s++ {
+			// Random pre-trained model with a compatible vocabulary size.
+			pre := a.Zoo.Pretrained[(s+1)%len(a.Zoo.Pretrained)]
+			if pre.Name == victim.Pretrained.Name || pre.Model.Vocab != victim.Model.Vocab {
+				pre = a.Zoo.Pretrained[(s+2)%len(a.Zoo.Pretrained)]
+			}
+			sub := adversarial.BuildSubstitute(pre.Model, victim.Model.Predict, inputs,
+				victim.Task.Labels, rng.Seed("substitute", victim.Name, fmt.Sprint(s)))
+			rep.AdvSubstitutes = append(rep.AdvSubstitutes,
+				adversarial.Evaluate(sub, victim.Model.Predict, victim.Dev, flips).SuccessRate())
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"decepticon/internal/zoo"
+)
+
+var (
+	prepOnce sync.Once
+	testZ    *zoo.Zoo
+	testAtk  *Attack
+)
+
+// getAttack prepares one shared attack instance. The zoo uses the
+// small-architecture build with real training so extraction metrics are
+// meaningful, at reduced population.
+func getAttack(t *testing.T) (*Attack, *zoo.Zoo) {
+	t.Helper()
+	prepOnce.Do(func() {
+		cfg := zoo.SmallBuildConfig()
+		cfg.NumPretrained = 8
+		cfg.NumFineTuned = 12
+		testZ = zoo.Build(cfg)
+		testAtk = Prepare(testZ, DefaultPrepareConfig())
+	})
+	return testAtk, testZ
+}
+
+// victimWithUniqueProfile returns a fine-tuned victim whose pre-trained
+// model is not profile-ambiguous.
+func victimWithUniqueProfile(z *zoo.Zoo) *zoo.FineTuned {
+	for _, f := range z.FineTuned {
+		if len(z.AmbiguousWith(f.Pretrained)) == 1 {
+			return f
+		}
+	}
+	return nil
+}
+
+// victimWithAmbiguousProfile returns a victim from an ambiguity cluster.
+func victimWithAmbiguousProfile(z *zoo.Zoo) *zoo.FineTuned {
+	for _, f := range z.FineTuned {
+		if len(z.AmbiguousWith(f.Pretrained)) > 1 {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestEndToEndUniqueVictim(t *testing.T) {
+	atk, z := getAttack(t)
+	victim := victimWithUniqueProfile(z)
+	if victim == nil {
+		t.Skip("no unique-profile victim in reduced zoo")
+	}
+	rep, err := atk.Run(victim, RunOptions{MeasureSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CorrectIdentity {
+		t.Fatalf("identified %q, true %q", rep.Identified, rep.TruePretrained)
+	}
+	if rep.UsedQueryProbes {
+		t.Fatal("unique victim must not need query probes")
+	}
+	if rep.Extract == nil {
+		t.Fatal("extraction did not run")
+	}
+	if rep.MatchRate < 0.9 {
+		t.Fatalf("clone match rate %v < 0.9 (paper: 0.94)", rep.MatchRate)
+	}
+	if d := rep.VictimAcc - rep.CloneAcc; d > 0.1 || d < -0.1 {
+		t.Fatalf("clone accuracy %v far from victim %v", rep.CloneAcc, rep.VictimAcc)
+	}
+}
+
+func TestEndToEndAmbiguousVictimUsesProbes(t *testing.T) {
+	atk, z := getAttack(t)
+	victim := victimWithAmbiguousProfile(z)
+	if victim == nil {
+		t.Skip("no ambiguity cluster in reduced zoo")
+	}
+	rep, err := atk.Run(victim, RunOptions{MeasureSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CNN may or may not land on a cluster member as top-1; when it
+	// does, the probes must fire and resolve the identity.
+	if rep.UsedQueryProbes {
+		if rep.ProbeQueries == 0 {
+			t.Fatal("probe path used but no queries counted")
+		}
+		if !rep.CorrectIdentity {
+			t.Fatalf("probes resolved to %q, true %q", rep.Identified, rep.TruePretrained)
+		}
+	}
+	if rep.Identified == "" {
+		t.Fatal("no identification produced")
+	}
+}
+
+func TestAdversarialStage(t *testing.T) {
+	atk, z := getAttack(t)
+	victim := victimWithUniqueProfile(z)
+	if victim == nil {
+		t.Skip("no unique-profile victim in reduced zoo")
+	}
+	rep, err := atk.Run(victim, RunOptions{MeasureSeed: 3, Adversarial: true, NumSubstitutes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AdvSubstitutes) != 2 {
+		t.Fatalf("substitutes evaluated: %d", len(rep.AdvSubstitutes))
+	}
+	// The clone is near-exact, so its attack should beat every distilled
+	// substitute (Fig 18's shape).
+	for i, s := range rep.AdvSubstitutes {
+		if s > rep.AdvClone {
+			t.Fatalf("substitute %d success %v exceeds clone's %v", i, s, rep.AdvClone)
+		}
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	atk, z := getAttack(t)
+	rep, err := atk.Run(z.FineTuned[0], RunOptions{MeasureSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Victim == "" || rep.TruePretrained == "" || rep.Identified == "" {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+	if !strings.Contains(rep.Victim, "__ft-") {
+		t.Fatalf("victim name %q looks wrong", rep.Victim)
+	}
+	if rep.Extract != nil && rep.Clone == nil {
+		t.Fatal("extraction ran but clone missing")
+	}
+}
+
+func TestIdentificationAccuracyAcrossVictims(t *testing.T) {
+	atk, z := getAttack(t)
+	correct := 0
+	for i, f := range z.FineTuned {
+		rep, err := atk.Run(f, RunOptions{MeasureSeed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.CorrectIdentity {
+			correct++
+		}
+	}
+	frac := float64(correct) / float64(len(z.FineTuned))
+	if frac < 0.6 {
+		t.Fatalf("end-to-end identification rate %v too low", frac)
+	}
+}
+
+func TestArchConfirmedOnCorrectIdentification(t *testing.T) {
+	atk, z := getAttack(t)
+	victim := victimWithUniqueProfile(z)
+	if victim == nil {
+		t.Skip("no unique-profile victim in reduced zoo")
+	}
+	rep, err := atk.Run(victim, RunOptions{MeasureSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CorrectIdentity && !rep.ArchConfirmed {
+		t.Fatal("bus-probe architecture check must confirm a correct identification")
+	}
+}
+
+func TestCampaignAggregation(t *testing.T) {
+	atk, z := getAttack(t)
+	victims := z.FineTuned[:6]
+	c, err := atk.RunAll(victims, RunOptions{MeasureSeed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Victims != len(victims) || len(c.Reports) != len(victims) {
+		t.Fatalf("campaign covered %d victims", c.Victims)
+	}
+	if c.IdentificationRate() < 0.5 {
+		t.Fatalf("identification rate %v", c.IdentificationRate())
+	}
+	if c.MeanMatchRate < 0.9 {
+		t.Fatalf("mean match rate %v", c.MeanMatchRate)
+	}
+	if c.TotalBitsRead == 0 {
+		t.Fatal("no bits read across the campaign")
+	}
+	if c.MeanReduction < 5 {
+		t.Fatalf("mean reduction %v", c.MeanReduction)
+	}
+}

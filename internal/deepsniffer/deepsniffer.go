@@ -1,0 +1,160 @@
+// Package deepsniffer reimplements the prior-work baseline of the paper's
+// Table 2: DeepSniffer-style CNN architecture extraction from kernel
+// traces [23]. The extractor learns a mapping from per-kernel timing
+// features to layer kinds on traces of one model release, then predicts
+// the layer sequence of an unseen trace; quality is the layer error rate
+// (LER = edit distance / true sequence length).
+//
+// The paper's point — reproduced here — is that this extraction breaks
+// down across releases: the same ResNet architecture published by a
+// different developer or framework produces a trace whose kernel census
+// and timing distribution are so different that the LER exceeds 1,
+// i.e. the prediction is useless. Decepticon turns that obstacle into a
+// feature by using the fingerprint to identify the release instead.
+package deepsniffer
+
+import (
+	"fmt"
+	"math"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/stats"
+)
+
+// Extractor maps per-kernel features to layer kinds.
+type Extractor struct {
+	table    map[string]string // feature -> layer kind (majority vote)
+	fallback string            // most common layer kind overall
+}
+
+// feature quantizes a kernel execution into a timing-feature key. Only
+// side-channel-observable quantities are used (duration and the gap to
+// the previous kernel), never kernel names.
+func feature(e gpusim.Exec, prevEnd float64) string {
+	durBucket := int(math.Round(4 * math.Log2(e.Duration()+1)))
+	gap := e.Start - prevEnd
+	gapBucket := 0
+	if gap > 1 {
+		gapBucket = 1
+	}
+	return fmt.Sprintf("d%d_g%d", durBucket, gapBucket)
+}
+
+// Train fits the extractor on aligned (trace, per-kernel layer labels)
+// pairs, as produced by gpusim.SimulateCNN.
+func Train(traces []*gpusim.Trace, labels [][]string) *Extractor {
+	if len(traces) != len(labels) {
+		panic("deepsniffer: traces/labels length mismatch")
+	}
+	votes := map[string]map[string]int{}
+	overall := map[string]int{}
+	for ti, t := range traces {
+		if len(t.Execs) != len(labels[ti]) {
+			panic(fmt.Sprintf("deepsniffer: trace %d has %d execs but %d labels", ti, len(t.Execs), len(labels[ti])))
+		}
+		prevEnd := 0.0
+		for i, e := range t.Execs {
+			f := feature(e, prevEnd)
+			if votes[f] == nil {
+				votes[f] = map[string]int{}
+			}
+			votes[f][labels[ti][i]]++
+			overall[labels[ti][i]]++
+			prevEnd = e.End
+		}
+	}
+	ex := &Extractor{table: make(map[string]string, len(votes))}
+	for f, v := range votes {
+		best, bestN := "", -1
+		for kind, n := range v {
+			if n > bestN {
+				best, bestN = kind, n
+			}
+		}
+		ex.table[f] = best
+	}
+	bestN := -1
+	for kind, n := range overall {
+		if n > bestN {
+			ex.fallback, bestN = kind, n
+		}
+	}
+	return ex
+}
+
+// PredictSequence returns the predicted layer sequence of a trace: one
+// prediction per kernel, as DeepSniffer's per-timestep decoder emits. On
+// the training release this aligns with the layer sequence (PyTorch
+// launches ~one kernel per layer); on another framework's trace the
+// kernel count itself is wrong by several times, which is what blows the
+// LER past 1 in Table 2.
+func (ex *Extractor) PredictSequence(t *gpusim.Trace) []string {
+	out := make([]string, 0, len(t.Execs))
+	prevEnd := 0.0
+	for _, e := range t.Execs {
+		kind, ok := ex.table[feature(e, prevEnd)]
+		if !ok {
+			kind = ex.fallback
+		}
+		out = append(out, kind)
+		prevEnd = e.End
+	}
+	return out
+}
+
+// Collapse reduces per-kernel labels to the layer sequence (consecutive
+// duplicates merged) — the ground truth PredictSequence is scored against.
+func Collapse(labels []string) []string {
+	var out []string
+	for _, l := range labels {
+		if len(out) == 0 || out[len(out)-1] != l {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Evaluate returns the LER of the extractor on one (trace, labels) pair.
+func (ex *Extractor) Evaluate(t *gpusim.Trace, labels []string) float64 {
+	return stats.LER(ex.PredictSequence(t), Collapse(labels))
+}
+
+// Row is one Table 2 measurement.
+type Row struct {
+	Source       string
+	LER          float64
+	KernelSeqLen int
+	UniqueKerns  int
+}
+
+// Table2 trains the extractor on the first profile's traces and evaluates
+// it on a trace from every profile (the first row is the in-distribution
+// "original results" case). measurements per profile use the given
+// architecture.
+func Table2(arch gpusim.CNNArch, profiles []gpusim.Profile, trainSamples int) []Row {
+	var trTraces []*gpusim.Trace
+	var trLabels [][]string
+	for s := 0; s < trainSamples; s++ {
+		tr, lab := gpusim.SimulateCNN(arch, profiles[0], gpusim.Options{
+			MeasureSeed: uint64(1000 + s), JitterMagnitude: 0.2,
+		})
+		trTraces = append(trTraces, tr)
+		trLabels = append(trLabels, lab)
+	}
+	ex := Train(trTraces, trLabels)
+
+	rows := make([]Row, 0, len(profiles))
+	for i, p := range profiles {
+		tr, lab := gpusim.SimulateCNN(arch, p, gpusim.Options{
+			MeasureSeed: uint64(2000 + i), JitterMagnitude: 0.2,
+		})
+		execs, unique := tr.KernelCensus()
+		rows = append(rows, Row{
+			Source:       p.Source,
+			LER:          ex.Evaluate(tr, lab),
+			KernelSeqLen: execs,
+			UniqueKerns:  unique,
+		})
+	}
+	return rows
+}

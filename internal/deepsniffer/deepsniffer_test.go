@@ -1,0 +1,97 @@
+package deepsniffer
+
+import (
+	"testing"
+
+	"decepticon/internal/gpusim"
+)
+
+func profiles() []gpusim.Profile {
+	return []gpusim.Profile{
+		{Source: "deepsniffer-original", Framework: gpusim.PyTorch, Seed: 100},
+		{Source: "deepsniffer-pytorch", Framework: gpusim.PyTorch, Seed: 200},
+		{Source: "nvidia-pytorch", Framework: gpusim.PyTorch, Seed: 300, TensorCores: true},
+		{Source: "google-tensorflow", Framework: gpusim.TensorFlow, Seed: 400},
+		{Source: "amazon-mxnet", Framework: gpusim.MXNet, Seed: 500, ShortKernels: true},
+	}
+}
+
+func TestTrainPredictInDistribution(t *testing.T) {
+	arch := gpusim.ResNet18Arch()
+	p := profiles()[0]
+	tr, lab := gpusim.SimulateCNN(arch, p, gpusim.Options{MeasureSeed: 1, JitterMagnitude: 0.2})
+	ex := Train([]*gpusim.Trace{tr}, [][]string{lab})
+	tr2, lab2 := gpusim.SimulateCNN(arch, p, gpusim.Options{MeasureSeed: 2, JitterMagnitude: 0.2})
+	ler := ex.Evaluate(tr2, lab2)
+	if ler > 0.3 {
+		t.Fatalf("in-distribution LER %v, want <= 0.3 (paper: 0.091)", ler)
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	got := Collapse([]string{"conv", "conv", "bn", "relu", "relu", "conv"})
+	want := []string{"conv", "bn", "relu", "conv"}
+	if len(got) != len(want) {
+		t.Fatalf("collapse = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("collapse = %v", got)
+		}
+	}
+	if Collapse(nil) != nil {
+		t.Fatal("empty collapse must be nil")
+	}
+}
+
+// TestTable2Ordering is the paper's Table 2 shape: LER is small on the
+// training release and grows across releases, exceeding 1 (useless) for
+// other-framework releases.
+func TestTable2Ordering(t *testing.T) {
+	rows := Table2(gpusim.ResNet18Arch(), profiles(), 4)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].LER > 0.3 {
+		t.Fatalf("original-release LER %v, want small", rows[0].LER)
+	}
+	if rows[1].LER <= rows[0].LER {
+		t.Fatalf("different release of same framework should be worse: %v vs %v", rows[1].LER, rows[0].LER)
+	}
+	// Cross-framework rows are useless (LER > 1), as in the paper.
+	if rows[3].LER <= 1 {
+		t.Fatalf("TensorFlow LER %v, want > 1", rows[3].LER)
+	}
+	if rows[4].LER <= 1 {
+		t.Fatalf("MXNet LER %v, want > 1", rows[4].LER)
+	}
+	// TF kernel sequences are much longer (Table 2's length column).
+	if rows[3].KernelSeqLen < 2*rows[0].KernelSeqLen {
+		t.Fatalf("TF kernel seq len %d not much larger than %d", rows[3].KernelSeqLen, rows[0].KernelSeqLen)
+	}
+	if rows[3].UniqueKerns <= rows[0].UniqueKerns {
+		t.Fatal("TF unique kernels should exceed PyTorch's")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched training input must panic")
+		}
+	}()
+	Train([]*gpusim.Trace{{}}, nil)
+}
+
+func TestPredictSequenceUnknownFeatures(t *testing.T) {
+	// An extractor trained on nothing useful must still produce a
+	// sequence (fallback label), never panic.
+	arch := gpusim.ResNet18Arch()
+	p := profiles()[0]
+	tr, lab := gpusim.SimulateCNN(arch, p, gpusim.Options{})
+	ex := Train([]*gpusim.Trace{tr}, [][]string{lab})
+	other, _ := gpusim.SimulateCNN(arch, profiles()[3], gpusim.Options{})
+	if got := ex.PredictSequence(other); len(got) == 0 {
+		t.Fatal("empty prediction")
+	}
+}

@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4, §7, §8) on the simulated substrate. Each experiment is a
+// function on Env returning a structured result with a text rendering;
+// cmd/experiments, the examples, and the benchmark harness all share
+// these entry points. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"decepticon/internal/core"
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/zoo"
+)
+
+// Scale selects the experiment budget.
+type Scale int
+
+const (
+	// ScaleSmall uses the reduced zoo (small architectures, ~1 min total)
+	// — the default for tests and benchmarks.
+	ScaleSmall Scale = iota
+	// ScaleFull uses the paper-sized population: 70 pre-trained and 170
+	// fine-tuned models across all architecture sizes (several minutes).
+	ScaleFull
+)
+
+// Env lazily builds and caches the shared expensive state: the model zoo,
+// the trace dataset, and the trained level-1 classifier.
+type Env struct {
+	Scale Scale
+
+	zooOnce sync.Once
+	zoo     *zoo.Zoo
+
+	atkOnce sync.Once
+	attack  *core.Attack
+
+	dataOnce sync.Once
+	trainSet *fingerprint.Dataset
+	testSet  *fingerprint.Dataset
+
+	// Progress, if non-nil, receives coarse progress lines.
+	Progress func(format string, args ...any)
+
+	// CachePath, when non-empty, loads the zoo from this file if present
+	// and writes it there after building — zoo construction dominates the
+	// cost of a full-scale run.
+	CachePath string
+}
+
+// NewEnv returns an experiment environment at the given scale.
+func NewEnv(scale Scale) *Env { return &Env{Scale: scale} }
+
+func (e *Env) logf(format string, args ...any) {
+	if e.Progress != nil {
+		e.Progress(format, args...)
+	}
+}
+
+// ZooConfig returns the build configuration for the environment's scale.
+func (e *Env) ZooConfig() zoo.BuildConfig {
+	if e.Scale == ScaleFull {
+		return zoo.DefaultBuildConfig()
+	}
+	cfg := zoo.SmallBuildConfig()
+	return cfg
+}
+
+// UseZoo injects a pre-built population. It must be called before the
+// first Zoo() use and is a no-op afterwards.
+func (e *Env) UseZoo(z *zoo.Zoo) {
+	e.zooOnce.Do(func() { e.zoo = z })
+}
+
+// Zoo returns the (cached) model population.
+func (e *Env) Zoo() *zoo.Zoo {
+	e.zooOnce.Do(func() {
+		cfg := e.ZooConfig()
+		done := 0
+		cfg.OnProgress = func(stage string, d, total int) {
+			done++
+			if done%25 == 0 {
+				e.logf("zoo: %s %d/%d", stage, d, total)
+			}
+		}
+		e.logf("building model zoo (%d pre-trained, %d fine-tuned)...",
+			cfg.NumPretrained, cfg.NumFineTuned)
+		z, err := zoo.BuildOrLoad(cfg, e.CachePath)
+		if err != nil {
+			e.logf("zoo cache: %v", err)
+		}
+		e.zoo = z
+	})
+	return e.zoo
+}
+
+// Attack returns the (cached) prepared Decepticon attack, training the
+// level-1 classifier on first use.
+func (e *Env) Attack() *core.Attack {
+	e.atkOnce.Do(func() {
+		e.logf("training the pre-trained model extractor (CNN)...")
+		cfg := core.DefaultPrepareConfig()
+		if e.Scale == ScaleFull {
+			// 70 classes need a longer schedule than the reduced zoo.
+			cfg.Epochs = 90
+		}
+		e.attack = core.Prepare(e.Zoo(), cfg)
+	})
+	return e.attack
+}
+
+// Datasets returns a (cached) 80/20 split trace dataset, as §5.4.2 uses.
+func (e *Env) Datasets() (train, test *fingerprint.Dataset) {
+	e.dataOnce.Do(func() {
+		d := fingerprint.BuildDataset(e.Zoo(), 5, 1)
+		e.trainSet, e.testSet = d.Split(0.8, 2)
+	})
+	return e.trainSet, e.testSet
+}
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"decepticon/internal/zoo"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+func getEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		testEnv = NewEnv(ScaleSmall)
+		// Shrink the shared zoo further: experiment correctness, not
+		// population size, is under test here.
+		cfg := testEnv.ZooConfig()
+		cfg.NumPretrained = 8
+		cfg.NumFineTuned = 12
+		testEnv.UseZoo(zoo.Build(cfg))
+	})
+	return testEnv
+}
+
+func TestRegistryCoversPaper(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"table1", "table2",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig12",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+		"alg1",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if err := NewEnv(ScaleSmall).Run("nope", io.Discard); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+// Zoo-free experiments run standalone and cheaply.
+func TestZooFreeExperiments(t *testing.T) {
+	e := NewEnv(ScaleSmall)
+	for _, id := range []string{"fig9", "fig10", "fig12", "fig21", "table2"} {
+		var buf bytes.Buffer
+		if err := e.Run(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestFig10DetectsLayers(t *testing.T) {
+	e := NewEnv(ScaleSmall)
+	r := e.Fig10()
+	for _, row := range r.Rows {
+		if row.DetectedCount != row.TrueLayers {
+			t.Fatalf("%s: detected %d, true %d", row.Arch, row.DetectedCount, row.TrueLayers)
+		}
+	}
+	// Peak duration must grow with hidden size.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Hidden > r.Rows[i-1].Hidden && r.Rows[i].PeakDuration <= r.Rows[i-1].PeakDuration {
+			t.Fatal("peak duration must track hidden size")
+		}
+	}
+}
+
+func TestFig9Inflation(t *testing.T) {
+	e := NewEnv(ScaleSmall)
+	r := e.Fig9()
+	if r.TFExecInflation < 3 || r.TFUniqueInflation < 3 {
+		t.Fatalf("TF inflation too small: %.1fx / %.1fx", r.TFExecInflation, r.TFUniqueInflation)
+	}
+}
+
+func TestFig21Monotone(t *testing.T) {
+	e := NewEnv(ScaleSmall)
+	r := e.Fig21()
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Duration >= r.Rows[i-1].Duration {
+			t.Fatal("pruning more heads must shorten the trace")
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	e := NewEnv(ScaleSmall)
+	r := e.Table2()
+	if r.Rows[0].LER > 0.3 {
+		t.Fatalf("in-distribution LER %v", r.Rows[0].LER)
+	}
+	if r.Rows[3].LER <= 1 || r.Rows[4].LER <= 1 {
+		t.Fatalf("cross-framework LER must exceed 1: %v / %v", r.Rows[3].LER, r.Rows[4].LER)
+	}
+}
+
+// Zoo-backed experiments, sharing one reduced population.
+func TestFig3Shape(t *testing.T) {
+	r := getEnv(t).Fig3()
+	if r.GapRatio < 10 {
+		t.Fatalf("cross/own gap ratio %v, want >= 10 (paper: 20x)", r.GapRatio)
+	}
+	if r.OwnWithin002 < 0.4 {
+		t.Fatalf("own gaps within 0.002 = %v, want >= 0.4 (paper: ~0.5)", r.OwnWithin002)
+	}
+}
+
+func TestFig4UShape(t *testing.T) {
+	r := getEnv(t).Fig4()
+	if r.URatio < 2.5 {
+		t.Fatalf("U ratio %v, want >= 2.5 (paper: > 3)", r.URatio)
+	}
+	// Monotone growth from center to edge on each side.
+	n := len(r.Buckets)
+	if r.Buckets[0].MeanGap <= r.Buckets[n/2].MeanGap*1.2 {
+		t.Fatal("left edge not clearly above center")
+	}
+	if r.Buckets[n-1].MeanGap <= r.Buckets[n/2].MeanGap*1.2 {
+		t.Fatal("right edge not clearly above center")
+	}
+}
+
+func TestFig20Separation(t *testing.T) {
+	r := getEnv(t).Fig20()
+	for _, own := range r.OwnCorr {
+		if own < 0.8 {
+			t.Fatalf("own correlation %v, want high", own)
+		}
+	}
+	for _, cross := range r.CrossCorr {
+		if cross > 0.5 {
+			t.Fatalf("cross correlation %v, want low", cross)
+		}
+	}
+}
+
+func TestAlg1Census(t *testing.T) {
+	r := getEnv(t).Alg1()
+	if r.MeanBits > 2 {
+		t.Fatalf("mean bits %v exceeds the 2-bit budget", r.MeanBits)
+	}
+	if r.SignKeepRate < 0.95 {
+		t.Fatalf("sign keep rate %v", r.SignKeepRate)
+	}
+}
+
+func TestTable1DropGrowsEventually(t *testing.T) {
+	r := getEnv(t).Table1()
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.Drop != 0 {
+		t.Fatal("zero frozen layers must have zero drop")
+	}
+	if last.Drop < -0.05 {
+		t.Fatalf("freezing all measured layers should not help: drop %v", last.Drop)
+	}
+	// Freezing the first 2 layers stays cheap (paper: 1-3%).
+	if r.Rows[2].Drop > 0.1 {
+		t.Fatalf("freezing 2 layers cost %v, want <= 0.1", r.Rows[2].Drop)
+	}
+}
+
+func TestRenderersProduceText(t *testing.T) {
+	e := getEnv(t)
+	var buf bytes.Buffer
+	e.Fig3().Render(&buf)
+	e.Fig4().Render(&buf)
+	e.Alg1().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig 3", "Fig 4", "Alg 1", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q", want)
+		}
+	}
+}

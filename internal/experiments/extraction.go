@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"decepticon/internal/core"
+	"decepticon/internal/extract"
+	"decepticon/internal/ieee754"
+	"decepticon/internal/rng"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/task"
+	"decepticon/internal/transformer"
+	"decepticon/internal/zoo"
+)
+
+// ----------------------------------------------------------------- Fig 15
+
+// Fig15Result compares the victim with its extracted clone.
+type Fig15Result struct {
+	Report *core.Report
+}
+
+// Fig15 runs the full two-level pipeline against a victim and compares
+// accuracy, F1, and prediction agreement.
+func (e *Env) Fig15() *Fig15Result {
+	atk := e.Attack()
+	victim := pickVictim(e.Zoo(), "squad")
+	rep, err := atk.Run(victim, core.RunOptions{MeasureSeed: 15})
+	if err != nil {
+		panic(err)
+	}
+	return &Fig15Result{Report: rep}
+}
+
+// Render implements Renderer.
+func (r *Fig15Result) Render(w io.Writer) {
+	header(w, "Fig 15", "victim vs extracted clone (accuracy, F1, matched predictions)")
+	rep := r.Report
+	fmt.Fprintf(w, "victim: %s (pre-trained: %s)\n", rep.Victim, rep.TruePretrained)
+	fmt.Fprintf(w, "identified pre-trained: %s (correct: %v, query probes: %v)\n",
+		rep.Identified, rep.CorrectIdentity, rep.UsedQueryProbes)
+	if rep.Extract == nil {
+		fmt.Fprintln(w, "extraction did not run (identification failed)")
+		return
+	}
+	fmt.Fprintf(w, "%-10s %-10s %-10s\n", "", "victim", "clone")
+	fmt.Fprintf(w, "%-10s %-10.3f %-10.3f\n", "accuracy", rep.VictimAcc, rep.CloneAcc)
+	fmt.Fprintf(w, "%-10s %-10.3f %-10.3f\n", "F1", rep.VictimF1, rep.CloneF1)
+	fmt.Fprintf(w, "matched predictions: %.1f%% (paper: 94%%)\n", 100*rep.MatchRate)
+}
+
+// ----------------------------------------------------------------- Fig 16
+
+// Fig16Arch is one architecture's last-layer weight share.
+type Fig16Arch struct {
+	Arch         string
+	TotalWeights int
+	HeadWeights  int
+	HeadFraction float64
+}
+
+// Fig16Result is the selective-extraction efficiency breakdown.
+type Fig16Result struct {
+	Victim string
+	Stats  *extract.Stats
+	// HeadShare reproduces the right panel: the last layer's share of the
+	// total weight count per architecture size.
+	HeadShare []Fig16Arch
+}
+
+// Fig16 measures extraction efficiency on a (pre, fine) pair plus the
+// per-architecture head-share census.
+func (e *Env) Fig16() *Fig16Result {
+	z := e.Zoo()
+	victim := z.FineTuned[0]
+	ex := &extract.Extractor{
+		Pre:    victim.Pretrained.Model,
+		Oracle: sidechannel.NewOracle(victim.Model),
+		Cfg:    extract.DefaultConfig(),
+	}
+	_, st := ex.Run(victim.Task.Labels, victim.Dev)
+	res := &Fig16Result{Victim: victim.Name, Stats: st}
+	for _, name := range []string{"tiny", "mini", "small", "medium", "base", "large"} {
+		cfg := transformer.Family()[name]
+		m := transformer.New(cfg, 1)
+		res.HeadShare = append(res.HeadShare, Fig16Arch{
+			Arch:         name,
+			TotalWeights: m.ParamCount(),
+			HeadWeights:  m.HeadParamCount(),
+			HeadFraction: float64(m.HeadParamCount()) / float64(m.ParamCount()),
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig16Result) Render(w io.Writer) {
+	header(w, "Fig 16", "reduced weight/bit checking and last-layer share")
+	st := r.Stats
+	fmt.Fprintf(w, "victim: %s\n", r.Victim)
+	fmt.Fprintf(w, "weights correctly pruned:   %.1f%% (paper: ~90%%)\n", 100*st.WeightsCorrectlyPruned())
+	fmt.Fprintf(w, "bits correctly excluded:    %.1f%% (paper: ~85%%)\n", 100*st.BitsCorrectlyExcluded())
+	fmt.Fprintf(w, "bits read / total bits:     %.2f%%\n", 100*st.BitsReadFraction())
+	fmt.Fprintf(w, "reduction over full readout: %.1fx\n", st.ReductionFactor())
+	fmt.Fprintf(w, "rowhammer rounds (2048/bit): %d\n",
+		(st.BitsChecked+st.HeadBitsRead)*sidechannel.HammerRoundsPerBit)
+	fmt.Fprintln(w, "last-layer share of total weights per architecture:")
+	for _, a := range r.HeadShare {
+		fmt.Fprintf(w, "  %-8s %8d weights, head %5d (%.3f%%)\n",
+			a.Arch, a.TotalWeights, a.HeadWeights, 100*a.HeadFraction)
+	}
+}
+
+// ----------------------------------------------------------------- Fig 17
+
+// Fig17Point is one data-fraction measurement.
+type Fig17Point struct {
+	Fraction float64
+	Accuracy float64
+	Drop     float64
+}
+
+// Fig17Result answers "is weight extraction necessary?": cloning by
+// re-fine-tuning with partial data.
+type Fig17Result struct {
+	VictimAccuracy float64
+	Points         []Fig17Point
+	// NeededFraction is the smallest tested fraction with < 5% drop.
+	NeededFraction float64
+}
+
+// Fig17 fine-tunes the victim's pre-trained model with increasing shares
+// of the victim's training data.
+func (e *Env) Fig17() *Fig17Result {
+	z := e.Zoo()
+	victim := z.FineTuned[0]
+	cfg := e.ZooConfig()
+	// A larger held-out set than the victim's dev split stabilizes the
+	// curve at this scale.
+	eval := victim.Task.Generate(victim.Pretrained.Arch.Vocab, 120, rng.Seed("fig17-eval"))
+	res := &Fig17Result{VictimAccuracy: victim.Model.Evaluate(eval), NeededFraction: 1}
+	const seeds = 3
+	for _, frac := range []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0} {
+		subset := task.Subset(victim.Train, frac)
+		var acc float64
+		for s := 0; s < seeds; s++ {
+			m := transformer.FineTuneFrom(victim.Pretrained.Model, victim.Task.Labels, subset,
+				transformer.TrainConfig{
+					Epochs: cfg.FineTuneEpochs, BatchSize: 4,
+					LR: cfg.FineTuneLR, HeadLR: cfg.FineTuneHeadLR, WeightDecay: cfg.FineTuneDecay,
+					Seed: rng.Seed("fig17", fmt.Sprint(frac), fmt.Sprint(s)),
+				}, rng.Seed("fig17-head", fmt.Sprint(frac), fmt.Sprint(s)))
+			acc += m.Evaluate(eval)
+		}
+		acc /= seeds
+		drop := res.VictimAccuracy - acc
+		res.Points = append(res.Points, Fig17Point{Fraction: frac, Accuracy: acc, Drop: drop})
+		if drop <= 0.05 && frac < res.NeededFraction {
+			res.NeededFraction = frac
+		}
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig17Result) Render(w io.Writer) {
+	header(w, "Fig 17", "cloning by re-fine-tuning with partial data (extraction necessity)")
+	fmt.Fprintf(w, "victim accuracy: %.3f\n", r.VictimAccuracy)
+	fmt.Fprintf(w, "%-10s %-10s %-10s\n", "data", "accuracy", "drop")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-10.2f %-10.3f %-10.3f\n", p.Fraction, p.Accuracy, p.Drop)
+	}
+	fmt.Fprintf(w, "smallest fraction with <5%% drop: %.2f (paper: 0.40)\n", r.NeededFraction)
+}
+
+// ------------------------------------------------------------- Algorithm 1
+
+// Alg1Result is the bit-census view of the selective extraction.
+type Alg1Result struct {
+	Weights      int
+	Checked0     int // step-1 skips
+	Checked1     int
+	Checked2     int
+	SignKeepRate float64
+	MeanBits     float64
+}
+
+// Alg1 censuses Algorithm 1's per-weight bit budget on a (pre, fine) pair.
+func (e *Env) Alg1() *Alg1Result {
+	z := e.Zoo()
+	victim := z.FineTuned[0]
+	cfg := extract.DefaultConfig()
+	res := &Alg1Result{
+		SignKeepRate: transformer.SignKeepRate(victim.Pretrained.Model, victim.Model),
+	}
+	preParams := victim.Pretrained.Model.Params()
+	ftParams := victim.Model.Params()
+	totalBits := 0
+	for i := range preParams {
+		if preParams[i].IsHead || i >= len(ftParams) {
+			continue
+		}
+		pv, fv := preParams[i].Value.Data, ftParams[i].Value.Data
+		for j := range pv {
+			_, checked := cfg.ExtractWeight(pv[j], func(bit int) int {
+				return ieee754.Bit(fv[j], bit)
+			})
+			res.Weights++
+			totalBits += len(checked)
+			switch len(checked) {
+			case 0:
+				res.Checked0++
+			case 1:
+				res.Checked1++
+			default:
+				res.Checked2++
+			}
+		}
+	}
+	if res.Weights > 0 {
+		res.MeanBits = float64(totalBits) / float64(res.Weights)
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Alg1Result) Render(w io.Writer) {
+	header(w, "Alg 1", "selective weight extraction bit census")
+	fmt.Fprintf(w, "weights: %d; checked 0 bits: %d, 1 bit: %d, 2 bits: %d\n",
+		r.Weights, r.Checked0, r.Checked1, r.Checked2)
+	fmt.Fprintf(w, "mean bits checked per weight: %.3f (paper: up to 2 suffice)\n", r.MeanBits)
+	fmt.Fprintf(w, "sign keep rate: %.2f%% (paper: ~99%%)\n", 100*r.SignKeepRate)
+}
+
+// ----------------------------------------------------------------- Fig 18
+
+// Fig18Result is the adversarial-attack comparison.
+type Fig18Result struct {
+	Report *core.Report
+}
+
+// Fig18 runs the full pipeline with the adversarial stage and eight
+// distillation substitutes, as in §7.6.
+func (e *Env) Fig18() *Fig18Result {
+	atk := e.Attack()
+	victim := bestVictim(e.Zoo())
+	n := 8
+	if e.Scale == ScaleSmall {
+		n = 4
+	}
+	rep, err := atk.Run(victim, core.RunOptions{
+		MeasureSeed: 18, Adversarial: true, NumSubstitutes: n, FlipsPerInput: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &Fig18Result{Report: rep}
+}
+
+// bestVictim prefers a victim the attack can fully exercise: accurate
+// enough to attack and with an unambiguous profile.
+func bestVictim(z *zoo.Zoo) *zoo.FineTuned {
+	best := z.FineTuned[0]
+	bestAcc := -1.0
+	for _, f := range z.FineTuned {
+		if len(z.AmbiguousWith(f.Pretrained)) > 1 {
+			continue
+		}
+		if acc := f.Model.Evaluate(f.Dev); acc > bestAcc {
+			best, bestAcc = f, acc
+		}
+	}
+	return best
+}
+
+// Render implements Renderer.
+func (r *Fig18Result) Render(w io.Writer) {
+	header(w, "Fig 18", "adversarial attack: extracted clone vs distilled substitutes")
+	rep := r.Report
+	fmt.Fprintf(w, "victim: %s\n", rep.Victim)
+	fmt.Fprintf(w, "clone success rate: %.1f%% (paper: 90.6%%)\n", 100*rep.AdvClone)
+	for i, s := range rep.AdvSubstitutes {
+		fmt.Fprintf(w, "substitute %d:      %.1f%%\n", i+1, 100*s)
+	}
+	maxSub := 0.0
+	for _, s := range rep.AdvSubstitutes {
+		if s > maxSub {
+			maxSub = s
+		}
+	}
+	fmt.Fprintf(w, "best substitute: %.1f%% (paper: up to 38%%)\n", 100*maxSub)
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"decepticon/internal/deepsniffer"
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/gpusim"
+	"decepticon/internal/stats"
+	"decepticon/internal/traceimg"
+	"decepticon/internal/transformer"
+	"decepticon/internal/zoo"
+)
+
+// ------------------------------------------------------------- Fig 7 & 8
+
+// Fig7Model summarizes one model's trace statistics.
+type Fig7Model struct {
+	Name         string
+	Source       string
+	Execs        int
+	Unique       int
+	MeanDuration float64
+	PeakDuration float64
+}
+
+// Fig7Result contrasts same-architecture models from different sources
+// (Fig 7) and shows same-source consistency across tasks (Fig 8).
+type Fig7Result struct {
+	Arch   string
+	Models []Fig7Model
+	// SameSourceMaxDelta is the largest relative peak-duration difference
+	// between two fine-tuned models of the same release (Fig 8 expects
+	// near zero); CrossSourceMinDelta is the smallest across releases.
+	SameSourceMaxDelta  float64
+	CrossSourceMinDelta float64
+}
+
+// Fig7 measures trace statistics for every same-architecture release.
+func (e *Env) Fig7() *Fig7Result {
+	z := e.Zoo()
+	arch := mostCommonArch(z)
+	res := &Fig7Result{Arch: arch}
+	var entries []*zoo.Pretrained
+	for _, p := range z.Pretrained {
+		if p.ArchName == arch {
+			entries = append(entries, p)
+		}
+	}
+	for _, p := range entries {
+		t := p.Trace(gpusim.Options{})
+		execs, unique := t.KernelCensus()
+		res.Models = append(res.Models, Fig7Model{
+			Name: p.Name, Source: p.Source,
+			Execs: execs, Unique: unique,
+			MeanDuration: stats.Mean(t.Durations()),
+			PeakDuration: t.PeakDuration(),
+		})
+	}
+	// Fig 8: two fine-tuned models of the same release (different tasks).
+	byPre := map[*zoo.Pretrained][]*zoo.FineTuned{}
+	for _, f := range z.FineTuned {
+		byPre[f.Pretrained] = append(byPre[f.Pretrained], f)
+	}
+	for p, fs := range byPre {
+		if len(fs) < 2 {
+			continue
+		}
+		a := fs[0].Trace(gpusim.Options{}).PeakDuration()
+		b := fs[1].Trace(gpusim.Options{}).PeakDuration()
+		if d := relDelta(a, b); d > res.SameSourceMaxDelta {
+			res.SameSourceMaxDelta = d
+		}
+		_ = p
+	}
+	res.CrossSourceMinDelta = 1e18
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if entries[i].Profile.Seed == entries[j].Profile.Seed {
+				continue // ambiguity cluster: identical by design
+			}
+			a := entries[i].Trace(gpusim.Options{}).Duration()
+			b := entries[j].Trace(gpusim.Options{}).Duration()
+			if d := relDelta(a, b); d < res.CrossSourceMinDelta {
+				res.CrossSourceMinDelta = d
+			}
+		}
+	}
+	return res
+}
+
+func mostCommonArch(z *zoo.Zoo) string {
+	counts := map[string]int{}
+	for _, p := range z.Pretrained {
+		counts[p.ArchName]++
+	}
+	best, bestN := "", 0
+	for a, n := range counts {
+		if n > bestN {
+			best, bestN = a, n
+		}
+	}
+	return best
+}
+
+func relDelta(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if a == 0 {
+		return 0
+	}
+	return d / a
+}
+
+// Render implements Renderer.
+func (r *Fig7Result) Render(w io.Writer) {
+	header(w, "Fig 7/8", "time-series kernel diversity across releases of one architecture")
+	fmt.Fprintf(w, "architecture: %s\n", r.Arch)
+	fmt.Fprintf(w, "%-40s %-12s %-7s %-7s %-10s %-10s\n", "model", "source", "execs", "uniq", "mean µs", "peak µs")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, "%-40s %-12s %-7d %-7d %-10.2f %-10.2f\n",
+			m.Name, m.Source, m.Execs, m.Unique, m.MeanDuration, m.PeakDuration)
+	}
+	fmt.Fprintf(w, "same-release max fingerprint delta across tasks: %.4f (Fig 8: consistent)\n", r.SameSourceMaxDelta)
+	fmt.Fprintf(w, "cross-release min fingerprint delta:             %.4f (Fig 7: all differ)\n", r.CrossSourceMinDelta)
+}
+
+// ------------------------------------------------------------------ Fig 9
+
+// Fig9Profile is one release's kernel census.
+type Fig9Profile struct {
+	Name   string
+	Execs  int
+	Unique int
+	Sample []string // a few kernel names
+}
+
+// Fig9Result lists kernels executed by same-architecture models of
+// different releases.
+type Fig9Result struct {
+	Profiles          []Fig9Profile
+	TFExecInflation   float64 // TF execs / PyTorch execs
+	TFUniqueInflation float64
+}
+
+// Fig9 compares kernel censuses across framework/source profiles.
+func (e *Env) Fig9() *Fig9Result {
+	arch := transformer.Family()["large"]
+	res := &Fig9Result{}
+	var ptExecs, ptUnique, tfExecs, tfUnique int
+	for _, p := range []gpusim.Profile{
+		{Source: "huggingface-pytorch", Framework: gpusim.PyTorch, Seed: 91},
+		{Source: "meta-pytorch", Framework: gpusim.PyTorch, Seed: 92, ShortKernels: true},
+		{Source: "nvidia-pytorch", Framework: gpusim.PyTorch, Seed: 93, TensorCores: true},
+		{Source: "nvidia-tensorflow", Framework: gpusim.TensorFlow, Seed: 94, TensorCores: true},
+		{Source: "google-tensorflow", Framework: gpusim.TensorFlow, Seed: 95},
+	} {
+		t := gpusim.SimulateTransformer(arch, nil, p, gpusim.Options{})
+		execs, unique := t.KernelCensus()
+		names := t.UniqueKernelNames()
+		if len(names) > 8 {
+			names = names[:8]
+		}
+		res.Profiles = append(res.Profiles, Fig9Profile{
+			Name: p.Source, Execs: execs, Unique: unique, Sample: names,
+		})
+		switch p.Source {
+		case "huggingface-pytorch":
+			ptExecs, ptUnique = execs, unique
+		case "google-tensorflow":
+			tfExecs, tfUnique = execs, unique
+		}
+	}
+	if ptExecs > 0 {
+		res.TFExecInflation = float64(tfExecs) / float64(ptExecs)
+		res.TFUniqueInflation = float64(tfUnique) / float64(ptUnique)
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig9Result) Render(w io.Writer) {
+	header(w, "Fig 9", "kernels executed by BERT-large-analog models per release")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(w, "%s: %d executions of %d kernels\n", p.Name, p.Execs, p.Unique)
+		for _, n := range p.Sample {
+			fmt.Fprintf(w, "    %s\n", n)
+		}
+	}
+	fmt.Fprintf(w, "TF/PyTorch inflation: %.1fx executions, %.1fx unique kernels (paper: up to 8x / ~40x)\n",
+		r.TFExecInflation, r.TFUniqueInflation)
+}
+
+// ----------------------------------------------------------------- Fig 10
+
+// Fig10Row is one architecture's layer-boundary detection.
+type Fig10Row struct {
+	Arch          string
+	TrueLayers    int
+	DetectedCount int
+	PeakDuration  float64
+	Hidden        int
+}
+
+// Fig10Result reproduces the layer-boundary identification.
+type Fig10Result struct{ Rows []Fig10Row }
+
+// Fig10 detects layer counts and peak durations for the base and large
+// analogs (plus tiny for contrast).
+func (e *Env) Fig10() *Fig10Result {
+	res := &Fig10Result{}
+	prof := gpusim.Profile{Source: "huggingface", Framework: gpusim.PyTorch, Seed: 101}
+	for _, name := range []string{"tiny", "base", "large"} {
+		cfg := transformer.Family()[name]
+		t := gpusim.SimulateTransformer(cfg, nil, prof, gpusim.Options{})
+		res.Rows = append(res.Rows, Fig10Row{
+			Arch:          name,
+			TrueLayers:    cfg.Layers,
+			DetectedCount: traceimg.DetectLayerCount(t, 32),
+			PeakDuration:  t.PeakDuration(),
+			Hidden:        cfg.Hidden,
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig10Result) Render(w io.Writer) {
+	header(w, "Fig 10", "layer boundary identification from repeating kernel groups")
+	fmt.Fprintf(w, "%-8s %-8s %-10s %-8s %-10s\n", "arch", "layers", "detected", "hidden", "peak µs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %-8d %-10d %-8d %-10.2f\n",
+			row.Arch, row.TrueLayers, row.DetectedCount, row.Hidden, row.PeakDuration)
+	}
+	fmt.Fprintln(w, "(repetition count tracks layer count; peak kernel time tracks hidden size)")
+}
+
+// ----------------------------------------------------------------- Fig 12
+
+// Fig12Result reproduces the irregular-trace (XLA) handling.
+type Fig12Result struct {
+	Kernels                int
+	RegionStart, RegionEnd int
+	DetectedLayers         int // after stripping, on the XLA trace
+	TrueLayers             int
+}
+
+// Fig12 builds an XLA trace, locates its compilation region, strips it,
+// and re-runs layer detection on the remaining encoder regions.
+func (e *Env) Fig12() *Fig12Result {
+	cfg := transformer.Family()["large"]
+	prof := gpusim.Profile{Source: "nvidia-tf", Framework: gpusim.TensorFlow, Seed: 121, TensorCores: true, XLA: true}
+	t := gpusim.SimulateTransformer(cfg, nil, prof, gpusim.Options{})
+	start, end, _ := traceimg.XLARegion(t)
+	stripped := traceimg.StripXLA(t)
+	return &Fig12Result{
+		Kernels:     len(t.Execs),
+		RegionStart: start, RegionEnd: end,
+		DetectedLayers: traceimg.DetectLayerCount(stripped, 32),
+		TrueLayers:     cfg.Layers,
+	}
+}
+
+// Render implements Renderer.
+func (r *Fig12Result) Render(w io.Writer) {
+	header(w, "Fig 12", "irregular (XLA) execution pattern handling")
+	fmt.Fprintf(w, "trace kernels: %d; detected compilation region: execs [%d, %d)\n",
+		r.Kernels, r.RegionStart, r.RegionEnd)
+	fmt.Fprintf(w, "layers detected after stripping: %d (true: %d)\n", r.DetectedLayers, r.TrueLayers)
+}
+
+// ----------------------------------------------------------------- Fig 14
+
+// Fig14Point is one noise setting's accuracy.
+type Fig14Point struct {
+	Kernels   int
+	Magnitude float64
+	Accuracy  float64
+}
+
+// Fig14Result is the extraction-accuracy noise study.
+type Fig14Result struct {
+	CleanAccuracy float64
+	CountSweep    []Fig14Point // vary noisy-kernel count at fixed magnitude
+	MagSweep      []Fig14Point // vary magnitude at fixed count
+	// CentroidClean/CentroidNoisy ablate the CNN against a rigid
+	// nearest-centroid matcher (DESIGN.md §5).
+	CentroidClean float64
+	CentroidNoisy float64
+}
+
+// Fig14 trains the classifier on the 80% split and evaluates the noise
+// sweeps on the held-out 20%. Noise magnitudes are scaled to this
+// substrate's typical kernel duration (~2µs ≈ the paper's 20µs).
+func (e *Env) Fig14() *Fig14Result {
+	train, test := e.Datasets()
+	// Train-time noise augmentation (the attacker keeps noisy
+	// measurements) is what gives the CNN its tolerance.
+	augmented := &fingerprint.Dataset{
+		Classes: train.Classes,
+		Samples: append([]fingerprint.Sample(nil), train.Samples...),
+	}
+	augmented.AugmentNoise(2, 4, 2, 99)
+	epochs := 60
+	if e.Scale == ScaleFull {
+		epochs = 90
+	}
+	clf := fingerprint.NewClassifier(64, train.Classes, 3)
+	clf.Train(augmented, fingerprint.TrainConfig{Epochs: epochs, LR: 0.002, Seed: 4})
+	res := &Fig14Result{CleanAccuracy: clf.Accuracy(test)}
+	const typMag = 2.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		res.CountSweep = append(res.CountSweep, Fig14Point{
+			Kernels: n, Magnitude: typMag,
+			Accuracy: clf.NoiseAccuracy(test, n, typMag, 14),
+		})
+	}
+	for _, m := range []float64{0.5, 1, 2, 3, 4.5} {
+		res.MagSweep = append(res.MagSweep, Fig14Point{
+			Kernels: 4, Magnitude: m,
+			Accuracy: clf.NoiseAccuracy(test, 4, m, 15),
+		})
+	}
+	base := fingerprint.NewCentroidBaseline(train, 64)
+	res.CentroidClean = base.Accuracy(test)
+	noisy := &fingerprint.Dataset{Classes: test.Classes}
+	for i, s := range test.Samples {
+		tr := s.Trace.Clone()
+		tr.PerturbKernels(4, typMag, uint64(140+i))
+		noisy.Samples = append(noisy.Samples, fingerprint.Sample{
+			Trace: tr, Label: s.Label, FromModel: s.FromModel,
+		})
+	}
+	res.CentroidNoisy = base.Accuracy(noisy)
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig14Result) Render(w io.Writer) {
+	header(w, "Fig 14", "model extraction accuracy under measurement noise")
+	fmt.Fprintf(w, "clean accuracy: %.3f (paper: 0.9078)\n", r.CleanAccuracy)
+	fmt.Fprintln(w, "noisy-kernel-count sweep (magnitude = 1 typical kernel duration):")
+	for _, p := range r.CountSweep {
+		fmt.Fprintf(w, "  %2d kernels: %.3f\n", p.Kernels, p.Accuracy)
+	}
+	fmt.Fprintln(w, "noise-magnitude sweep (4 kernels):")
+	for _, p := range r.MagSweep {
+		fmt.Fprintf(w, "  ±%.1fµs: %.3f\n", p.Magnitude, p.Accuracy)
+	}
+	fmt.Fprintf(w, "nearest-centroid ablation: clean %.3f, noisy %.3f\n", r.CentroidClean, r.CentroidNoisy)
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Result wraps the DeepSniffer cross-release study.
+type Table2Result struct{ Rows []deepsniffer.Row }
+
+// Table2 runs the DeepSniffer baseline across five release profiles.
+func (e *Env) Table2() *Table2Result {
+	rows := deepsniffer.Table2(gpusim.ResNet18Arch(), []gpusim.Profile{
+		{Source: "deepsniffer-original", Framework: gpusim.PyTorch, Seed: 100},
+		{Source: "deepsniffer-pytorch", Framework: gpusim.PyTorch, Seed: 200},
+		{Source: "nvidia-pytorch", Framework: gpusim.PyTorch, Seed: 300, TensorCores: true},
+		{Source: "google-tensorflow", Framework: gpusim.TensorFlow, Seed: 400},
+		{Source: "amazon-mxnet", Framework: gpusim.MXNet, Seed: 500, ShortKernels: true},
+	}, 4)
+	return &Table2Result{Rows: rows}
+}
+
+// Render implements Renderer.
+func (r *Table2Result) Render(w io.Writer) {
+	header(w, "Table 2", "model fingerprint impact on DeepSniffer-style layer extraction")
+	fmt.Fprintf(w, "%-24s %-8s %-10s %-8s\n", "source", "LER", "seq len", "unique")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %-8.3f %-10d %-8d\n", row.Source, row.LER, row.KernelSeqLen, row.UniqueKerns)
+	}
+	fmt.Fprintln(w, "(paper: 0.091 on the original release, 0.57-6.8 across releases)")
+}
+
+// ----------------------------------------------------------------- Fig 21
+
+// Fig21Row is one pruning level's trace statistics.
+type Fig21Row struct {
+	PrunedHeads  int
+	Duration     float64
+	AttnKernelUS float64 // mean duration of the short attention kernels
+}
+
+// Fig21Result shows head pruning's effect on the trace.
+type Fig21Result struct{ Rows []Fig21Row }
+
+// Fig21 prunes increasing numbers of heads and re-measures the trace.
+func (e *Env) Fig21() *Fig21Result {
+	cfg := transformer.Family()["large"]
+	prof := gpusim.Profile{Source: "huggingface", Framework: gpusim.PyTorch, Seed: 211}
+	res := &Fig21Result{}
+	for _, pruned := range []int{0, 2, 4, 6} {
+		active := make([]int, cfg.Layers)
+		for l := range active {
+			active[l] = cfg.Heads - pruned
+		}
+		t := gpusim.SimulateTransformer(cfg, active, prof, gpusim.Options{})
+		// Short kernels = those below the trace median (the bottom band of
+		// the paper's plot).
+		durs := t.Durations()
+		med := stats.Quantile(durs, 0.5)
+		var shortSum float64
+		var shortN int
+		for _, d := range durs {
+			if d <= med {
+				shortSum += d
+				shortN++
+			}
+		}
+		res.Rows = append(res.Rows, Fig21Row{
+			PrunedHeads:  pruned,
+			Duration:     t.Duration(),
+			AttnKernelUS: shortSum / float64(shortN),
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *Fig21Result) Render(w io.Writer) {
+	header(w, "Fig 21", "impact of head pruning on execution time")
+	fmt.Fprintf(w, "%-13s %-14s %-20s\n", "pruned heads", "total µs", "short-kernel mean µs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-13d %-14.1f %-20.3f\n", row.PrunedHeads, row.Duration, row.AttnKernelUS)
+	}
+	fmt.Fprintln(w, "(more pruned heads => shorter attention kernels, as in the paper)")
+}

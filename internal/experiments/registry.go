@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// renderFunc runs one experiment and writes its rendering.
+type renderFunc func(e *Env, w io.Writer)
+
+type fig19Wrapper struct{ r *Fig19Result }
+
+func (f fig19Wrapper) Render(w io.Writer) { RenderFig19(f.r, w) }
+
+// registry maps experiment ids (table/figure numbers) to runners, in the
+// order the paper presents them.
+var registry = []struct {
+	ID    string
+	Title string
+	Run   renderFunc
+}{
+	{"fig3", "weight gap distributions", func(e *Env, w io.Writer) { e.Fig3().Render(w) }},
+	{"fig4", "U-shaped update profile", func(e *Env, w io.Writer) { e.Fig4().Render(w) }},
+	{"fig5", "nine-task per-layer diffs", func(e *Env, w io.Writer) { e.Fig5().Render(w) }},
+	{"fig6", "30-epoch fine-tune dynamics", func(e *Env, w io.Writer) { e.Fig6().Render(w) }},
+	{"table1", "layer freezing accuracy", func(e *Env, w io.Writer) { e.Table1().Render(w) }},
+	{"fig7", "cross-release fingerprints", func(e *Env, w io.Writer) { e.Fig7().Render(w) }},
+	{"fig9", "kernel censuses", func(e *Env, w io.Writer) { e.Fig9().Render(w) }},
+	{"fig10", "layer boundary detection", func(e *Env, w io.Writer) { e.Fig10().Render(w) }},
+	{"fig12", "XLA irregular traces", func(e *Env, w io.Writer) { e.Fig12().Render(w) }},
+	{"table2", "DeepSniffer cross-release LER", func(e *Env, w io.Writer) { e.Table2().Render(w) }},
+	{"fig14", "extraction accuracy vs noise", func(e *Env, w io.Writer) { e.Fig14().Render(w) }},
+	{"fig15", "clone vs victim", func(e *Env, w io.Writer) { e.Fig15().Render(w) }},
+	{"fig16", "extraction efficiency", func(e *Env, w io.Writer) { e.Fig16().Render(w) }},
+	{"alg1", "selective extraction bit census", func(e *Env, w io.Writer) { e.Alg1().Render(w) }},
+	{"fig17", "partial-data cloning", func(e *Env, w io.Writer) { e.Fig17().Render(w) }},
+	{"fig18", "adversarial attack comparison", func(e *Env, w io.Writer) { e.Fig18().Render(w) }},
+	{"fig19", "CNN generalization", func(e *Env, w io.Writer) { fig19Wrapper{e.Fig19()}.Render(w) }},
+	{"fig20", "head confidence correlation", func(e *Env, w io.Writer) { e.Fig20().Render(w) }},
+	{"fig21", "head pruning in traces", func(e *Env, w io.Writer) { e.Fig21().Render(w) }},
+	// §8 "Discussions" extensions.
+	{"pruning", "head-pruning recovery (§8)", func(e *Env, w io.Writer) { e.Pruning().Render(w) }},
+	{"quant", "quantized-format extraction (§8)", func(e *Env, w io.Writer) { e.Quant().Render(w) }},
+	{"noise", "bit-read error robustness", func(e *Env, w io.Writer) { e.Noise().Render(w) }},
+	{"defense", "kernel randomization countermeasure (§8)", func(e *Env, w io.Writer) { e.Defense().Render(w) }},
+}
+
+// IDs returns every experiment id in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Titles returns a sorted "id: title" listing.
+func Titles() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = fmt.Sprintf("%-8s %s", r.ID, r.Title)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id, writing its rendering.
+func (e *Env) Run(id string, w io.Writer) error {
+	for _, r := range registry {
+		if r.ID == id {
+			r.Run(e, w)
+			return nil
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// RunAll executes every experiment in paper order.
+func (e *Env) RunAll(w io.Writer) {
+	for _, r := range registry {
+		r.Run(e, w)
+	}
+}

@@ -1,0 +1,391 @@
+// Package extract implements Decepticon's selective weight extraction
+// (paper §6.1, Algorithm 1). Given the identified pre-trained model as a
+// baseline and a rowhammer bit-read oracle over the black-box victim, it
+// reconstructs the victim's weights while reading only the few fraction
+// bits that fine-tuning can plausibly have changed:
+//
+//  1. weights whose pre-trained magnitude is below a threshold are copied
+//     from the baseline unread ("discarding all weight values below 0.001
+//     changes F1 by less than 0.01");
+//  2. for the rest, only the fraction bits whose value covers the expected
+//     fine-tuning gap (estimated from the pre-trained weight value, U-shape
+//     aware) are read — at most two per weight;
+//  3. the task-specific last layer has no pre-trained baseline and is read
+//     in full;
+//  4. encoder layers are extracted from the last layer backward, stopping
+//     as soon as the clone's predictions match the victim (Table 1: early
+//     layers can keep pre-trained weights). The stop condition is checked
+//     before any backbone extraction too — when fine-tuning barely moved
+//     the backbone, the recovered head alone completes the clone.
+package extract
+
+import (
+	"math"
+
+	"decepticon/internal/ieee754"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/transformer"
+)
+
+// Config tunes the selective extraction.
+type Config struct {
+	// SkipThreshold is Algorithm 1's step-1 magnitude cutoff (paper: 0.001).
+	SkipThreshold float64
+	// MaxBitsPerWeight caps the fraction bits read per weight (paper: 2).
+	MaxBitsPerWeight int
+	// GapBase and GapSlope estimate the expected fine-tuning weight gap
+	// from the pre-trained magnitude: dist = GapBase + GapSlope·|w|.
+	// The slope encodes the U-shape of Fig 4 (larger weights move more).
+	GapBase  float64
+	GapSlope float64
+	// SubtleValue is §6.1.1's negligible-impact cutoff ("the remaining 18
+	// bits ... make very subtle differences (less than 0.001)"): an unread
+	// bit counts as correctly excluded when it matches the victim or its
+	// place value is below this.
+	SubtleValue float64
+	// StopMatchRate ends the layer-by-layer schedule once the clone agrees
+	// with the victim on at least this fraction of validation queries.
+	StopMatchRate float64
+	// ReadRepeats reads each bit this many times and majority-votes —
+	// the standard mitigation for an unreliable rowhammer channel. 0 or 1
+	// means single reads. Even values are rounded up to the next odd.
+	ReadRepeats int
+	// FirstLayersFirst reverses the extraction schedule (ablation only):
+	// the paper extracts later layers first because early layers can keep
+	// the pre-trained weights (Table 1), so the early-stop check fires
+	// sooner in last-first order.
+	FirstLayersFirst bool
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		SkipThreshold:    0.001,
+		MaxBitsPerWeight: 2,
+		GapBase:          0.003,
+		GapSlope:         0.05,
+		SubtleValue:      0.001,
+		StopMatchRate:    0.98,
+	}
+}
+
+// gap returns the expected fine-tuning weight-value gap for a pre-trained
+// weight.
+func (c Config) gap(base float32) float64 {
+	return c.GapBase + c.GapSlope*math.Abs(float64(base))
+}
+
+// voted wraps a raw bit reader with the majority-vote policy.
+func (c Config) voted(read func(bit int) int) func(bit int) int {
+	repeats := c.ReadRepeats
+	if repeats < 2 {
+		return read
+	}
+	if repeats%2 == 0 {
+		repeats++
+	}
+	return func(bit int) int {
+		ones := 0
+		for i := 0; i < repeats; i++ {
+			ones += read(bit)
+		}
+		if 2*ones > repeats {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ExtractWeight runs Algorithm 1 for a single weight: base is the
+// pre-trained value, read returns the victim's raw bit (0 = LSB). It
+// returns the clone value and which fraction bits (MSB-first indices) were
+// read.
+func (c Config) ExtractWeight(base float32, read func(bit int) int) (float32, []int) {
+	absBase := base
+	if absBase < 0 {
+		absBase = -absBase
+	}
+	// Step 1: near-zero pre-trained weights are copied unread.
+	if float64(absBase) < c.SkipThreshold {
+		return base, nil
+	}
+	dist := c.gap(base)
+
+	// Step 2: read the most significant fraction bits whose place value is
+	// within the estimated gap — exactly the bits of Fig 13's example
+	// (2^-10 and 2^-11 for a gap of ~0.002 at exponent -6). Bits coarser
+	// than the gap cannot have flipped during fine-tuning; bits finer than
+	// the checked pair "make very subtle differences (less than 0.001)".
+	// (Algorithm 1 as printed brackets the same bits via the
+	// int_base+fr_base ∈ [min,max] test, but that test only works for
+	// weights in the lower half of their binade; the place-value bracket
+	// is the example's intent and covers every weight.)
+	clone := base
+	var checked []int
+	read = c.voted(read)
+	for k := 1; k <= ieee754.FractionBits && len(checked) < c.MaxBitsPerWeight; k++ {
+		if ieee754.FractionBitValue(absBase, k) > dist {
+			continue
+		}
+		// Raw bit index of fraction bit k (MSB-first).
+		raw := ieee754.FractionBits - k
+		bit := read(raw)
+		clone = ieee754.SetFractionBit(clone, k, bit)
+		checked = append(checked, k)
+	}
+	return clone, checked
+}
+
+// Stats accumulates the efficiency and correctness accounting of Fig 16
+// and §7.4.
+type Stats struct {
+	// Population (selective layers only; the fully-read last layer is
+	// reported separately).
+	WeightsTotal int
+	BitsTotal    int // 32 × WeightsTotal
+
+	// Reduction.
+	WeightsSkipped int // step-1 copies, zero bits read
+	BitsChecked    int // fraction bits actually read
+
+	// Correctness ("correctly pruned/excluded" per DESIGN.md §4).
+	WeightsSkippedCorrect int // skipped and true gap below SkipThreshold
+	BitsExcludedCorrect   int // unread and identical in victim and baseline
+	WeightsExact          int // clone bit-identical to victim
+	WeightsWithinGap      int // |clone - victim| ≤ expected gap
+	SignFlips             int // victim changed sign vs baseline (missed by design)
+
+	// Last layer (full extraction).
+	HeadWeights  int
+	HeadBitsRead int
+
+	// Schedule.
+	LayersExtracted int // encoder layers actually processed
+	LayersTotal     int
+	QueriesUsed     int // victim queries spent on the stop condition
+
+	// ModelWeights is the victim's full scalar weight count (including the
+	// head and any layers the early stop skipped) — the denominator for
+	// whole-model cost comparisons.
+	ModelWeights int
+}
+
+// SkipRate returns the fraction of selective-layer weights copied unread.
+func (s *Stats) SkipRate() float64 {
+	if s.WeightsTotal == 0 {
+		return 0
+	}
+	return float64(s.WeightsSkipped) / float64(s.WeightsTotal)
+}
+
+// WeightsCorrectlyPruned is Fig 16's "Weights" bar: the fraction of
+// weights handled without reading all bits and without error (skipped
+// correctly, or within the expected gap after ≤MaxBits reads).
+func (s *Stats) WeightsCorrectlyPruned() float64 {
+	if s.WeightsTotal == 0 {
+		return 0
+	}
+	return float64(s.WeightsSkippedCorrect+s.WeightsWithinGap) / float64(s.WeightsTotal)
+}
+
+// BitsCorrectlyExcluded is Fig 16's "Bits" bar: the fraction of all bits
+// that were not read and match the victim anyway.
+func (s *Stats) BitsCorrectlyExcluded() float64 {
+	if s.BitsTotal == 0 {
+		return 0
+	}
+	return float64(s.BitsExcludedCorrect) / float64(s.BitsTotal)
+}
+
+// BitsReadFraction returns read bits / the victim's total bit count.
+func (s *Stats) BitsReadFraction() float64 {
+	if s.ModelWeights == 0 {
+		return 0
+	}
+	return float64(s.BitsChecked+s.HeadBitsRead) / float64(32*s.ModelWeights)
+}
+
+// ReductionFactor is how many times fewer bits the selective extraction
+// reads than DeepSteal-style full extraction of every bit of the model.
+func (s *Stats) ReductionFactor() float64 {
+	read := s.BitsChecked + s.HeadBitsRead
+	if read == 0 {
+		return 0
+	}
+	return float64(32*s.ModelWeights) / float64(read)
+}
+
+// Extractor drives the full model extraction.
+type Extractor struct {
+	Pre    *transformer.Model
+	Oracle *sidechannel.Oracle
+	Cfg    Config
+	// Victim is the query interface used only for the stop condition
+	// (predictions on validation inputs), never for weights.
+	Victim func(tokens []int) int
+}
+
+// Run clones the victim. numLabels is the victim's observed output width
+// (from querying); validation inputs drive the early-stop condition.
+// It returns the clone and the accounting.
+func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*transformer.Model, *Stats) {
+	cfg := e.Cfg
+	stats := &Stats{LayersTotal: e.Pre.Layers}
+
+	// The clone starts as the pre-trained backbone with a fresh head of
+	// the observed width.
+	clone := transformer.New(e.Pre.Config.WithLabels(numLabels), 0)
+	clone.CopyEmbeddingsFrom(e.Pre)
+	for l := range e.Pre.Blocks {
+		clone.CopyBlockFrom(e.Pre, l)
+	}
+	stats.ModelWeights = clone.ParamCount()
+
+	// Step A: the task-dependent last layer has no baseline — full read
+	// (with the same majority-vote policy as the selective reads, since a
+	// wrong sign or exponent bit here is catastrophic).
+	for _, p := range clone.Params() {
+		if !p.IsHead {
+			continue
+		}
+		for i := range p.Value.Data {
+			before := e.Oracle.BitReads
+			read := cfg.voted(func(bit int) int {
+				return e.Oracle.ReadBit(p.Name, i, bit)
+			})
+			var w float32
+			for bit := 0; bit < 32; bit++ {
+				w = ieee754.SetBit(w, bit, read(bit))
+			}
+			p.Value.Data[i] = w
+			stats.HeadWeights++
+			stats.HeadBitsRead += e.Oracle.BitReads - before
+		}
+	}
+
+	// Step B: selective extraction, later layers first, embeddings last,
+	// stopping when the clone matches the victim.
+	victimPreds := make([]int, len(validation))
+	if e.Victim != nil {
+		for i, ex := range validation {
+			victimPreds[i] = e.Victim(ex.Tokens)
+			stats.QueriesUsed++
+		}
+	}
+	matches := func() float64 {
+		if len(validation) == 0 {
+			return 0
+		}
+		n := 0
+		for i, ex := range validation {
+			if clone.Predict(ex.Tokens) == victimPreds[i] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(validation))
+	}
+
+	preParams := indexParams(e.Pre)
+	// With the head recovered, the pre-trained backbone alone may already
+	// reproduce the victim (fine-tuning barely moves it); checking the stop
+	// condition before any layer extraction costs only queries.
+	if e.Victim != nil && len(validation) > 0 && matches() >= cfg.StopMatchRate {
+		return clone, stats
+	}
+	// Schedule: last encoder layer down to the embeddings (-1); Table 1's
+	// observation makes this the order in which the early-stop condition
+	// fires soonest. FirstLayersFirst reverses it for the ablation.
+	order := make([]int, 0, e.Pre.Layers+1)
+	if cfg.FirstLayersFirst {
+		for layer := -1; layer <= e.Pre.Layers-1; layer++ {
+			order = append(order, layer)
+		}
+	} else {
+		for layer := e.Pre.Layers - 1; layer >= -1; layer-- {
+			order = append(order, layer)
+		}
+	}
+	for _, layer := range order {
+		for _, p := range clone.Params() {
+			if p.IsHead || p.Layer != layer {
+				continue
+			}
+			basis := preParams[p.Name]
+			e.extractTensor(p.Name, basis, p.Value.Data, stats)
+		}
+		if layer >= 0 {
+			stats.LayersExtracted++
+		}
+		if e.Victim != nil && len(validation) > 0 {
+			if m := matches(); m >= cfg.StopMatchRate {
+				break
+			}
+		}
+	}
+	return clone, stats
+}
+
+func indexParams(m *transformer.Model) map[string][]float32 {
+	out := make(map[string][]float32)
+	for _, p := range m.Params() {
+		out[p.Name] = p.Value.Data
+	}
+	return out
+}
+
+// extractTensor applies Algorithm 1 to every weight of one tensor,
+// writing clones into dst and accounting into stats.
+func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats) {
+	cfg := e.Cfg
+	for i := range base {
+		b := base[i]
+		before := e.Oracle.BitReads
+		clone, checked := cfg.ExtractWeight(b, func(bit int) int {
+			return e.Oracle.ReadBit(name, i, bit)
+		})
+		dst[i] = clone
+		stats.WeightsTotal++
+		stats.BitsTotal += 32
+		stats.BitsChecked += e.Oracle.BitReads - before
+
+		// Ground-truth accounting (the simulator can peek for metrics;
+		// the attacker cannot).
+		victim := e.Oracle.PeekWord(name, i)
+		gap := math.Abs(float64(victim - b))
+		if len(checked) == 0 {
+			stats.WeightsSkipped++
+			if gap < cfg.SkipThreshold {
+				stats.WeightsSkippedCorrect++
+			}
+		} else if math.Abs(float64(victim-clone)) <= cfg.gap(b) {
+			stats.WeightsWithinGap++
+		}
+		if clone == victim {
+			stats.WeightsExact++
+		}
+		if (victim >= 0) != (b >= 0) && victim != 0 {
+			stats.SignFlips++
+		}
+		// Bits excluded correctly: unread bits that either match the
+		// victim or sit below the negligible-impact place value (§6.1.1).
+		readSet := map[int]bool{}
+		for _, k := range checked {
+			readSet[ieee754.FractionBits-k] = true
+		}
+		for bit := 0; bit < 32; bit++ {
+			if readSet[bit] {
+				continue
+			}
+			if ieee754.Bit(victim, bit) == ieee754.Bit(b, bit) {
+				stats.BitsExcludedCorrect++
+				continue
+			}
+			if bit < ieee754.FractionBits {
+				k := ieee754.FractionBits - bit
+				if ieee754.FractionBitValue(b, k) < cfg.SubtleValue {
+					stats.BitsExcludedCorrect++
+				}
+			}
+		}
+	}
+}

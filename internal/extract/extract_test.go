@@ -1,0 +1,279 @@
+package extract
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"decepticon/internal/ieee754"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/stats"
+	"decepticon/internal/transformer"
+	"decepticon/internal/zoo"
+)
+
+// readerFor adapts a victim weight value to Algorithm 1's bit reader.
+func readerFor(victim float32) func(bit int) int {
+	return func(bit int) int { return ieee754.Bit(victim, bit) }
+}
+
+func TestExtractWeightSkipsTinyWeights(t *testing.T) {
+	cfg := DefaultConfig()
+	clone, checked := cfg.ExtractWeight(0.0004, readerFor(0.0009))
+	if len(checked) != 0 {
+		t.Fatalf("tiny weight must not be read, checked %v", checked)
+	}
+	if clone != 0.0004 {
+		t.Fatalf("tiny weight must copy the baseline, got %v", clone)
+	}
+}
+
+func TestExtractWeightPaperExample(t *testing.T) {
+	// Fig 13: pre-trained 0.018, fine-tuned 0.01908, expected gap ~0.002.
+	cfg := DefaultConfig()
+	base := float32(0.018)
+	victim := float32(0.01908)
+	clone, checked := cfg.ExtractWeight(base, readerFor(victim))
+	if len(checked) != 2 {
+		t.Fatalf("want 2 checked bits, got %v", checked)
+	}
+	// The two checked bits must be worth no more than the estimated gap
+	// and at least ~a quarter of it (they "together cover" it).
+	dist := cfg.gap(base)
+	for _, k := range checked {
+		v := ieee754.FractionBitValue(base, k)
+		if v > dist {
+			t.Fatalf("checked bit %d worth %v exceeds gap %v", k, v, dist)
+		}
+	}
+	// The clone must land much closer to the victim than the baseline was.
+	if math.Abs(float64(clone-victim)) >= math.Abs(float64(base-victim))/2 {
+		t.Fatalf("clone %v no closer to victim %v than base %v", clone, victim, base)
+	}
+}
+
+func TestExtractWeightTwoBitBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	reads := 0
+	cfg.ExtractWeight(0.25, func(bit int) int { reads++; return 0 })
+	if reads > cfg.MaxBitsPerWeight {
+		t.Fatalf("read %d bits, budget %d", reads, cfg.MaxBitsPerWeight)
+	}
+}
+
+func TestExtractWeightPreservesSignAndExponent(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(u uint32) bool {
+		base := math.Float32frombits(u)
+		if base != base || math.IsInf(float64(base), 0) { // NaN/Inf
+			return true
+		}
+		if math.Abs(float64(base)) > 100 {
+			return true
+		}
+		clone, _ := cfg.ExtractWeight(base, readerFor(base*1.001))
+		return ieee754.Sign(clone) == ieee754.Sign(base) &&
+			ieee754.Exponent(clone) == ieee754.Exponent(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractWeightIdenticalVictim(t *testing.T) {
+	// If fine-tuning did not change the weight, the clone is exact.
+	cfg := DefaultConfig()
+	f := func(u uint32) bool {
+		base := math.Float32frombits(u)
+		if base != base || math.IsInf(float64(base), 0) {
+			return true
+		}
+		clone, _ := cfg.ExtractWeight(base, readerFor(base))
+		return clone == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- end-to-end extraction over a real (pre, fine) pair ----
+
+var (
+	zooOnce sync.Once
+	testZ   *zoo.Zoo
+)
+
+func getZoo(t *testing.T) *zoo.Zoo {
+	t.Helper()
+	zooOnce.Do(func() {
+		cfg := zoo.SmallBuildConfig()
+		cfg.NumPretrained = 4
+		cfg.NumFineTuned = 4
+		testZ = zoo.Build(cfg)
+	})
+	return testZ
+}
+
+func runExtraction(t *testing.T, withStop bool) (*zoo.FineTuned, *transformer.Model, *Stats) {
+	t.Helper()
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	ex := &Extractor{
+		Pre:    victim.Pretrained.Model,
+		Oracle: sidechannel.NewOracle(victim.Model),
+		Cfg:    DefaultConfig(),
+	}
+	if withStop {
+		ex.Victim = victim.Model.Predict
+	}
+	clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+	return victim, clone, st
+}
+
+func TestEndToEndCloneMatchesVictim(t *testing.T) {
+	victim, clone, st := runExtraction(t, false)
+	vp := victim.Model.Predictions(victim.Dev)
+	cp := clone.Predictions(victim.Dev)
+	match := stats.MatchRate(vp, cp)
+	if match < 0.9 {
+		t.Fatalf("clone matches victim on %v of dev, want >= 0.9 (paper: 94%%)", match)
+	}
+	vAcc := victim.Model.Evaluate(victim.Dev)
+	cAcc := clone.Evaluate(victim.Dev)
+	if math.Abs(vAcc-cAcc) > 0.1 {
+		t.Fatalf("clone accuracy %v far from victim %v", cAcc, vAcc)
+	}
+	if st.SignFlips > st.WeightsTotal/50 {
+		t.Fatalf("too many sign flips: %d of %d", st.SignFlips, st.WeightsTotal)
+	}
+}
+
+func TestSelectiveExtractionEfficiency(t *testing.T) {
+	_, _, st := runExtraction(t, false)
+	if st.WeightsTotal == 0 || st.HeadWeights == 0 {
+		t.Fatal("empty accounting")
+	}
+	// Fig 16's headline shape: the overwhelming majority of weights and
+	// bits never need the rowhammer channel.
+	if got := st.WeightsCorrectlyPruned(); got < 0.8 {
+		t.Fatalf("weights correctly pruned %v, want >= 0.8 (paper: ~0.9)", got)
+	}
+	if got := st.BitsCorrectlyExcluded(); got < 0.8 {
+		t.Fatalf("bits correctly excluded %v, want >= 0.8 (paper: ~0.85)", got)
+	}
+	if got := st.ReductionFactor(); got < 5 {
+		t.Fatalf("reduction factor %v, want >= 5 over full extraction", got)
+	}
+	// At most MaxBits per weight were read.
+	if st.BitsChecked > st.WeightsTotal*DefaultConfig().MaxBitsPerWeight {
+		t.Fatalf("read %d bits for %d weights", st.BitsChecked, st.WeightsTotal)
+	}
+}
+
+func TestEarlyStopReducesWork(t *testing.T) {
+	_, _, full := runExtraction(t, false)
+	_, cloneStop, stopped := runExtraction(t, true)
+	if stopped.LayersExtracted > full.LayersExtracted {
+		t.Fatal("stop condition increased work")
+	}
+	if stopped.QueriesUsed == 0 {
+		t.Fatal("stop condition must query the victim")
+	}
+	// Even when stopping early the clone still matches well.
+	victim := getZoo(t).FineTuned[0]
+	match := stats.MatchRate(victim.Model.Predictions(victim.Dev), cloneStop.Predictions(victim.Dev))
+	if match < 0.9 {
+		t.Fatalf("early-stopped clone match %v < 0.9", match)
+	}
+}
+
+func TestHeadFractionTiny(t *testing.T) {
+	// Fig 16 right: the task head is a negligible fraction of the weights,
+	// so full-reading it is cheap.
+	victim, _, st := runExtraction(t, false)
+	frac := float64(st.HeadWeights) / float64(victim.Model.ParamCount())
+	if frac > 0.05 {
+		t.Fatalf("head fraction %v too large for the argument to hold", frac)
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var st Stats
+	if st.SkipRate() != 0 || st.WeightsCorrectlyPruned() != 0 ||
+		st.BitsCorrectlyExcluded() != 0 || st.BitsReadFraction() != 0 ||
+		st.ReductionFactor() != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+}
+
+func TestMajorityVoteDefeatsNoisyReads(t *testing.T) {
+	// A reader that lies deterministically every third call: single reads
+	// are corrupted, 3-way majority voting recovers the truth.
+	cfg := DefaultConfig()
+	victim := float32(0.01908)
+	calls := 0
+	noisy := func(bit int) int {
+		calls++
+		b := ieee754.Bit(victim, bit)
+		if calls%3 == 0 {
+			return b ^ 1
+		}
+		return b
+	}
+	cfg.ReadRepeats = 3
+	clone, checked := cfg.ExtractWeight(0.018, noisy)
+	if len(checked) == 0 {
+		t.Fatal("nothing checked")
+	}
+	// With voting, the clone must equal the noise-free extraction.
+	cleanCfg := DefaultConfig()
+	want, _ := cleanCfg.ExtractWeight(0.018, readerFor(victim))
+	if clone != want {
+		t.Fatalf("voted clone %v, want %v", clone, want)
+	}
+	if calls != 3*len(checked) {
+		t.Fatalf("voting made %d reads for %d bits", calls, len(checked))
+	}
+}
+
+func TestReadRepeatsEvenRoundsUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadRepeats = 2
+	reads := 0
+	cfg.ExtractWeight(0.018, func(bit int) int { reads++; return 0 })
+	if reads%3 != 0 {
+		t.Fatalf("even repeats should round up to 3, got %d reads", reads)
+	}
+}
+
+func TestLayerOrderAblation(t *testing.T) {
+	// Last-first (the paper's schedule) must stop at least as early as
+	// first-first, measured in bits read, because the head+late layers
+	// carry the task (Table 1).
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	run := func(firstFirst bool) *Stats {
+		cfg := DefaultConfig()
+		cfg.FirstLayersFirst = firstFirst
+		ex := &Extractor{
+			Pre:    victim.Pretrained.Model,
+			Oracle: sidechannel.NewOracle(victim.Model),
+			Cfg:    cfg,
+			Victim: victim.Model.Predict,
+		}
+		_, st := ex.Run(victim.Task.Labels, victim.Dev)
+		return st
+	}
+	lastFirst := run(false)
+	firstFirst := run(true)
+	if lastFirst.BitsChecked > firstFirst.BitsChecked {
+		t.Fatalf("last-first read %d bits, first-first %d — schedule advantage lost",
+			lastFirst.BitsChecked, firstFirst.BitsChecked)
+	}
+	// At this scale the head + pre-trained backbone already matches the
+	// victim, so the pre-loop stop check should spare every backbone bit.
+	if lastFirst.LayersExtracted != 0 || lastFirst.BitsChecked != 0 {
+		t.Logf("note: stop fired after %d layers (%d bits)", lastFirst.LayersExtracted, lastFirst.BitsChecked)
+	}
+}

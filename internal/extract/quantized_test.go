@@ -1,0 +1,90 @@
+package extract
+
+import (
+	"testing"
+
+	"decepticon/internal/ieee754"
+	"decepticon/internal/rng"
+)
+
+func TestQuantizedPaperExampleBFloat16(t *testing.T) {
+	// §8: for the Fig 13 example, bfloat16 checks the same fraction-bit
+	// indices as float32 because the exponent layout matches.
+	cfg := DefaultConfig()
+	base := float32(0.018)
+	victim := float32(0.01908)
+
+	_, checked32 := cfg.ExtractWeight(base, readerFor(victim))
+	vb := ieee754.BFloat16.Quantize(victim)
+	_, checkedBF := cfg.ExtractWeightFormat(base, ieee754.BFloat16, func(bit int) int {
+		return ieee754.BFloat16.Bit(vb, bit)
+	})
+	if len(checkedBF) == 0 {
+		t.Fatal("bfloat16 extraction checked nothing")
+	}
+	for i, k := range checkedBF {
+		if i >= len(checked32) || checked32[i] != k {
+			t.Fatalf("bfloat16 checked bits %v, float32 checked %v — paper says they match", checkedBF, checked32)
+		}
+	}
+}
+
+func TestQuantizedSkipsTinyWeights(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, fm := range []ieee754.Format{ieee754.Binary16, ieee754.BFloat16} {
+		clone, checked := cfg.ExtractWeightFormat(0.0004, fm, func(bit int) int { return 0 })
+		if len(checked) != 0 {
+			t.Fatalf("%s: tiny weight read %v", fm.Name, checked)
+		}
+		if diff := clone - 0.0004; diff > 0.0002 || diff < -0.0002 {
+			t.Fatalf("%s: skipped clone %v too far from base", fm.Name, clone)
+		}
+	}
+}
+
+func TestQuantizedTensorAllFormats(t *testing.T) {
+	// Synthetic (pre, fine) pair: fine = pre + small decay-flavored update.
+	r := rng.New(1)
+	n := 4000
+	base := make([]float32, n)
+	victim := make([]float32, n)
+	for i := range base {
+		if r.Float64() < 0.7 {
+			base[i] = r.Normal(0, 0.0004)
+		} else {
+			base[i] = r.Normal(0, 0.05)
+		}
+		victim[i] = base[i] + r.Normal(0, 0.0008) - 0.01*base[i]
+	}
+	cfg := DefaultConfig()
+	for _, fm := range []ieee754.Format{ieee754.Binary32, ieee754.Binary16, ieee754.BFloat16} {
+		st := cfg.ExtractQuantizedTensor(fm, base, victim)
+		if st.Weights != n {
+			t.Fatalf("%s: weights %d", fm.Name, st.Weights)
+		}
+		if st.BitsRead > n*cfg.MaxBitsPerWeight {
+			t.Fatalf("%s: read %d bits", fm.Name, st.BitsRead)
+		}
+		frac := float64(st.WithinGap) / float64(n)
+		if frac < 0.85 {
+			t.Fatalf("%s: only %.2f within gap", fm.Name, frac)
+		}
+		if reduction := float64(st.FullBitsTotal) / float64(st.BitsRead); reduction < 4 {
+			t.Fatalf("%s: reduction %.1fx too small", fm.Name, reduction)
+		}
+	}
+}
+
+func TestQuantizedCloneTracksVictim(t *testing.T) {
+	// When fine-tuning flipped exactly the checked bits, the quantized
+	// clone equals the quantized victim.
+	cfg := DefaultConfig()
+	fm := ieee754.BFloat16
+	base := float32(0.018)
+	vb := fm.Quantize(float32(0.0185))
+	clone, _ := cfg.ExtractWeightFormat(base, fm, func(bit int) int { return fm.Bit(vb, bit) })
+	victim := fm.Value(vb)
+	if d := clone - victim; d > 0.001 || d < -0.001 {
+		t.Fatalf("clone %v vs victim %v", clone, victim)
+	}
+}

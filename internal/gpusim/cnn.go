@@ -1,0 +1,136 @@
+package gpusim
+
+import (
+	"fmt"
+)
+
+// CNNLayer is one layer of a convolutional network, used to simulate the
+// traces DeepSniffer-style architecture extraction consumes (Table 2).
+type CNNLayer struct {
+	Kind string // "conv", "bn", "relu", "pool", "add", "fc"
+	// Work parameters; only the relevant ones are set per kind.
+	Cin, Cout, K, HW int
+}
+
+// CNNArch is a convolutional network architecture as a layer sequence.
+type CNNArch struct {
+	Name   string
+	Layers []CNNLayer
+}
+
+// ResNet18Arch returns a ResNet-18-shaped layer sequence (stem + 8 residual
+// blocks + classifier), the architecture DeepSniffer's evaluation uses.
+func ResNet18Arch() CNNArch {
+	a := CNNArch{Name: "resnet18"}
+	add := func(kind string, cin, cout, k, hw int) {
+		a.Layers = append(a.Layers, CNNLayer{Kind: kind, Cin: cin, Cout: cout, K: k, HW: hw})
+	}
+	add("conv", 3, 64, 7, 112)
+	add("bn", 64, 64, 0, 112)
+	add("relu", 64, 64, 0, 112)
+	add("pool", 64, 64, 3, 56)
+	stage := func(cin, cout, hw, blocks int) {
+		for b := 0; b < blocks; b++ {
+			in := cout
+			if b == 0 {
+				in = cin
+			}
+			add("conv", in, cout, 3, hw)
+			add("bn", cout, cout, 0, hw)
+			add("relu", cout, cout, 0, hw)
+			add("conv", cout, cout, 3, hw)
+			add("bn", cout, cout, 0, hw)
+			add("add", cout, cout, 0, hw)
+			add("relu", cout, cout, 0, hw)
+		}
+	}
+	stage(64, 64, 56, 2)
+	stage(64, 128, 28, 2)
+	stage(128, 256, 14, 2)
+	stage(256, 512, 7, 2)
+	add("pool", 512, 512, 7, 1)
+	add("fc", 512, 1000, 0, 1)
+	return a
+}
+
+// cnnOp converts a CNN layer to a logical op.
+func cnnOp(l CNNLayer) op {
+	area := float64(l.HW * l.HW)
+	switch l.Kind {
+	case "conv":
+		return op{kind: opGemm, flops: 2 * area * float64(l.Cin*l.Cout*l.K*l.K),
+			m: l.HW * l.HW, n: l.Cout, tag: "conv", half: true}
+	case "bn":
+		return op{kind: opLayerNorm, flops: area * float64(l.Cout), tag: "bn"}
+	case "relu":
+		return op{kind: opElementwise, flops: area * float64(l.Cout), tag: "relu"}
+	case "add":
+		return op{kind: opElementwise, flops: area * float64(l.Cout), tag: "add"}
+	case "pool":
+		return op{kind: opReduce, flops: area * float64(l.Cout), tag: "pool"}
+	case "fc":
+		return op{kind: opGemv, flops: 2 * float64(l.Cin*l.Cout), tag: "fc"}
+	default:
+		return op{kind: opElementwise, flops: area, tag: l.Kind}
+	}
+}
+
+// SimulateCNN produces the kernel trace of one CNN inference plus, aligned
+// with the trace's executions, the ground-truth layer kind that produced
+// each kernel. DeepSniffer-style extractors train on (trace, labels) pairs
+// from one release and are evaluated on traces of other releases of the
+// same architecture.
+func SimulateCNN(arch CNNArch, prof Profile, opt Options) (*Trace, []string) {
+	prof = prof.effective(opt)
+	t := &Trace{Model: arch.Name}
+	var labels []string
+	now := 0.0
+	emit := func(o op, label string) {
+		now = prof.emit(t, o, now)
+		labels = append(labels, label)
+	}
+	emitNamed := func(name string, dur float64, label string) {
+		now = prof.emitNamed(t, name, dur, now)
+		labels = append(labels, label)
+	}
+	fusionIdx := 0
+	for _, l := range arch.Layers {
+		o := cnnOp(l)
+		switch prof.Framework {
+		case TensorFlow:
+			if o.kind == opGemm {
+				emitNamed("convert_"+gemmTile(o), smallOverhead, l.Kind)
+			}
+			emit(o, l.Kind)
+			extra := 1 + prof.opRNG("tf-extra", o).Intn(3)
+			for i := 0; i < extra; i++ {
+				emit(op{kind: opElementwise, flops: o.flops / 8, tag: o.tag + "_micro"}, l.Kind)
+			}
+			if prof.opRNG("tf-fusion", o).Float64() < 0.3 {
+				emitNamed(fmtFusion(fusionIdx), smallOverhead+o.flops/(4*memThroughput), l.Kind)
+				fusionIdx++
+			}
+		default:
+			emit(o, l.Kind)
+			if prof.ShortKernels && o.kind == opGemm {
+				emit(op{kind: opReduce, flops: float64(o.n), tag: "reduce"}, l.Kind)
+			}
+			if prof.Framework == MXNet {
+				// Imperative-engine bookkeeping kernels, as in the
+				// transformer scheduler.
+				extra := 2 + prof.opRNG("mx-extra", o).Intn(2)
+				for i := 0; i < extra; i++ {
+					emit(op{kind: opElementwise, flops: o.flops / 16, tag: o.tag + "_mxaux"}, l.Kind)
+				}
+			}
+		}
+	}
+	if opt.JitterMagnitude > 0 {
+		t.Jitter(opt.JitterMagnitude, opt.MeasureSeed)
+	}
+	return t, labels
+}
+
+func fmtFusion(i int) string {
+	return fmt.Sprintf("fusion_%d", i)
+}

@@ -1,0 +1,332 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+
+	"decepticon/internal/transformer"
+)
+
+func bertBase() transformer.Config {
+	cfg := transformer.Family()["base"]
+	return cfg
+}
+
+func bertLarge() transformer.Config {
+	return transformer.Family()["large"]
+}
+
+func hfProfile() Profile {
+	return Profile{Source: "huggingface", Framework: PyTorch, Seed: 101}
+}
+
+func TestTraceDeterministicPerRelease(t *testing.T) {
+	p := hfProfile()
+	a := SimulateTransformer(bertBase(), nil, p, Options{})
+	b := SimulateTransformer(bertBase(), nil, p, Options{})
+	if len(a.Execs) != len(b.Execs) {
+		t.Fatal("same release must give same trace length")
+	}
+	for i := range a.Execs {
+		if a.Execs[i] != b.Execs[i] {
+			t.Fatalf("trace diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentReleasesDiffer(t *testing.T) {
+	a := SimulateTransformer(bertBase(), nil, Profile{Source: "a", Framework: PyTorch, Seed: 1}, Options{})
+	b := SimulateTransformer(bertBase(), nil, Profile{Source: "b", Framework: PyTorch, Seed: 2}, Options{})
+	same := len(a.Execs) == len(b.Execs)
+	if same {
+		for i := range a.Execs {
+			if a.Execs[i].Name != b.Execs[i].Name {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different release seeds should select different kernels")
+	}
+}
+
+func TestTensorFlowKernelInflation(t *testing.T) {
+	pt := SimulateTransformer(bertLarge(), nil, Profile{Source: "hf", Framework: PyTorch, Seed: 3}, Options{})
+	tf := SimulateTransformer(bertLarge(), nil, Profile{Source: "google", Framework: TensorFlow, Seed: 4}, Options{})
+	ptExecs, ptUnique := pt.KernelCensus()
+	tfExecs, tfUnique := tf.KernelCensus()
+	if ratio := float64(tfExecs) / float64(ptExecs); ratio < 3 {
+		t.Fatalf("TF execution inflation %.1fx, want >= 3x (paper: up to 8x)", ratio)
+	}
+	if ratio := float64(tfUnique) / float64(ptUnique); ratio < 3 {
+		t.Fatalf("TF unique-kernel inflation %.1fx (%d vs %d), want >= 3x", ratio, tfUnique, ptUnique)
+	}
+	// PyTorch BERT runs a small, stable kernel set (paper: 11 kernels).
+	if ptUnique > 25 {
+		t.Fatalf("PyTorch unique kernels = %d, want a small set", ptUnique)
+	}
+}
+
+func TestTensorCoresSpeedUpGemms(t *testing.T) {
+	slow := SimulateTransformer(bertLarge(), nil, Profile{Source: "hf", Framework: PyTorch, Seed: 5}, Options{})
+	fast := SimulateTransformer(bertLarge(), nil, Profile{Source: "nvidia", Framework: PyTorch, Seed: 5, TensorCores: true}, Options{})
+	if fast.Duration() >= slow.Duration() {
+		t.Fatalf("tensor cores must shorten inference: %v vs %v", fast.Duration(), slow.Duration())
+	}
+	found := false
+	for _, n := range fast.UniqueKernelNames() {
+		if strings.Contains(n, "fp16") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("NVIDIA profile must use half-precision kernels")
+	}
+}
+
+func TestShortKernelsProfile(t *testing.T) {
+	plain := SimulateTransformer(bertBase(), nil, Profile{Source: "hf", Framework: PyTorch, Seed: 6}, Options{})
+	meta := SimulateTransformer(bertBase(), nil, Profile{Source: "meta", Framework: PyTorch, Seed: 6, ShortKernels: true}, Options{})
+	pe, _ := plain.KernelCensus()
+	me, _ := meta.KernelCensus()
+	if me <= pe {
+		t.Fatal("short-kernel profile must launch more kernels")
+	}
+}
+
+func TestLayerCountVisibleInTrace(t *testing.T) {
+	// BERT-large analog has 2x the encoder sections of BERT-base analog;
+	// with the same per-layer structure the trace has ~2x the kernels.
+	base := SimulateTransformer(bertBase(), nil, hfProfile(), Options{})
+	large := SimulateTransformer(bertLarge(), nil, hfProfile(), Options{})
+	be, _ := base.KernelCensus()
+	le, _ := large.KernelCensus()
+	if le <= be {
+		t.Fatal("more layers must produce more kernel executions")
+	}
+	// Peak kernel duration tracks hidden size (Fig 10).
+	if large.PeakDuration() <= base.PeakDuration() {
+		t.Fatalf("peak duration: large %v <= base %v", large.PeakDuration(), base.PeakDuration())
+	}
+}
+
+func TestHeadPruningShortensAttention(t *testing.T) {
+	cfg := bertLarge()
+	full := SimulateTransformer(cfg, nil, hfProfile(), Options{})
+	pruned := make([]int, cfg.Layers)
+	for i := range pruned {
+		pruned[i] = cfg.Heads - 4
+	}
+	fast := SimulateTransformer(cfg, pruned, hfProfile(), Options{})
+	if fast.Duration() >= full.Duration() {
+		t.Fatalf("pruning heads must shorten the trace: %v vs %v", fast.Duration(), full.Duration())
+	}
+}
+
+func TestXLAIrregularTrace(t *testing.T) {
+	p := Profile{Source: "nvidia-tf", Framework: TensorFlow, Seed: 7, XLA: true}
+	tr := SimulateTransformer(bertLarge(), nil, p, Options{})
+	var hasAutotune bool
+	for _, e := range tr.Execs {
+		if strings.HasPrefix(e.Name, "xla_autotune") {
+			hasAutotune = true
+		}
+	}
+	if !hasAutotune {
+		t.Fatal("XLA trace must contain a compilation region")
+	}
+	// The compilation region sits in the middle of the timeline.
+	var first, last float64 = -1, -1
+	for _, e := range tr.Execs {
+		if strings.HasPrefix(e.Name, "xla_autotune") {
+			if first < 0 {
+				first = e.Start
+			}
+			last = e.End
+		}
+	}
+	total := tr.Duration()
+	if first < total*0.1 || last > total*0.98 {
+		t.Fatalf("XLA region not mid-trace: [%v, %v] of %v", first, last, total)
+	}
+}
+
+func TestMonotoneTimestamps(t *testing.T) {
+	for _, p := range []Profile{
+		hfProfile(),
+		{Source: "google", Framework: TensorFlow, Seed: 8},
+		{Source: "g", Framework: TensorFlow, Seed: 9, XLA: true},
+		{Source: "amazon", Framework: MXNet, Seed: 10},
+	} {
+		tr := SimulateTransformer(bertBase(), nil, p, Options{})
+		prev := 0.0
+		for i, e := range tr.Execs {
+			if e.Start < prev || e.End <= e.Start {
+				t.Fatalf("profile %s: bad timestamps at %d: %+v", p.Source, i, e)
+			}
+			prev = e.End
+		}
+	}
+}
+
+func TestJitterPreservesOrderAndChangesDurations(t *testing.T) {
+	clean := SimulateTransformer(bertBase(), nil, hfProfile(), Options{})
+	noisy := SimulateTransformer(bertBase(), nil, hfProfile(), Options{MeasureSeed: 42, JitterMagnitude: 2})
+	if len(clean.Execs) != len(noisy.Execs) {
+		t.Fatal("jitter must not change kernel count")
+	}
+	changed := false
+	prev := 0.0
+	for i := range noisy.Execs {
+		if noisy.Execs[i].Duration() != clean.Execs[i].Duration() {
+			changed = true
+		}
+		if noisy.Execs[i].Start < prev {
+			t.Fatal("jitter broke timeline ordering")
+		}
+		prev = noisy.Execs[i].End
+	}
+	if !changed {
+		t.Fatal("jitter changed nothing")
+	}
+}
+
+func TestPerturbKernels(t *testing.T) {
+	tr := SimulateTransformer(bertBase(), nil, hfProfile(), Options{})
+	orig := tr.Clone()
+	tr.PerturbKernels(16, 20, 1)
+	diff := 0
+	for i := range tr.Execs {
+		if tr.Execs[i].Duration() != orig.Execs[i].Duration() {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 16 {
+		t.Fatalf("perturbed %d kernels, want 1..16", diff)
+	}
+	for _, e := range tr.Execs {
+		if e.Duration() <= 0 {
+			t.Fatal("perturbation produced non-positive duration")
+		}
+	}
+}
+
+func TestSimulateCNNAlignment(t *testing.T) {
+	arch := ResNet18Arch()
+	for _, p := range []Profile{
+		{Source: "deepsniffer", Framework: PyTorch, Seed: 11},
+		{Source: "google", Framework: TensorFlow, Seed: 12},
+		{Source: "amazon", Framework: MXNet, Seed: 13, ShortKernels: true},
+	} {
+		tr, labels := SimulateCNN(arch, p, Options{})
+		if len(tr.Execs) != len(labels) {
+			t.Fatalf("%s: %d execs vs %d labels", p.Source, len(tr.Execs), len(labels))
+		}
+		if len(tr.Execs) < len(arch.Layers) {
+			t.Fatalf("%s: trace shorter than layer count", p.Source)
+		}
+	}
+	// TF trace much longer than PyTorch trace (Table 2 kernel seq length).
+	pt, _ := SimulateCNN(arch, Profile{Source: "ds", Framework: PyTorch, Seed: 14}, Options{})
+	tf, _ := SimulateCNN(arch, Profile{Source: "g", Framework: TensorFlow, Seed: 15}, Options{})
+	if len(tf.Execs) < 2*len(pt.Execs) {
+		t.Fatalf("TF CNN trace %d not much longer than PyTorch %d", len(tf.Execs), len(pt.Execs))
+	}
+}
+
+func TestFineTunedInheritsFingerprint(t *testing.T) {
+	// A fine-tuned model differs from its pre-trained model only in the
+	// task head; the release profile is identical, so the trace prefix
+	// (everything except the tiny head section) matches exactly.
+	pre := bertBase()
+	ft := pre.WithLabels(7)
+	p := hfProfile()
+	a := SimulateTransformer(pre, nil, p, Options{})
+	b := SimulateTransformer(ft, nil, p, Options{})
+	n := len(a.Execs) - 2 // head emits 2 kernels
+	if len(b.Execs) < n {
+		t.Fatal("fine-tuned trace too short")
+	}
+	for i := 0; i < n; i++ {
+		if a.Execs[i].Name != b.Execs[i].Name {
+			t.Fatalf("fingerprint not inherited at kernel %d", i)
+		}
+	}
+}
+
+func TestFrameworkString(t *testing.T) {
+	if PyTorch.String() != "pytorch" || TensorFlow.String() != "tensorflow" || MXNet.String() != "mxnet" {
+		t.Fatal("Framework.String broken")
+	}
+}
+
+func TestSectionSpansCoverTrace(t *testing.T) {
+	for _, p := range []Profile{
+		hfProfile(),
+		{Source: "google", Framework: TensorFlow, Seed: 31},
+		{Source: "amazon", Framework: MXNet, Seed: 32},
+	} {
+		tr := SimulateTransformer(bertBase(), nil, p, Options{})
+		if len(tr.Sections) != bertBase().Layers+2 {
+			t.Fatalf("%s: %d sections, want %d", p.Source, len(tr.Sections), bertBase().Layers+2)
+		}
+		// Contiguous, ordered, and covering everything except the two
+		// memcpy events that bracket the kernels.
+		prevEnd := 1 // exec 0 is memcpy_h2d
+		for i, s := range tr.Sections {
+			if s.Start != prevEnd {
+				t.Fatalf("%s: section %d starts at %d, want %d", p.Source, i, s.Start, prevEnd)
+			}
+			if s.End <= s.Start {
+				t.Fatalf("%s: empty section %d", p.Source, i)
+			}
+			prevEnd = s.End
+		}
+		if prevEnd != len(tr.Execs)-1 {
+			t.Fatalf("%s: sections end at %d, trace has %d execs", p.Source, prevEnd, len(tr.Execs))
+		}
+	}
+}
+
+func TestMemcpyEventsBracketTrace(t *testing.T) {
+	tr := SimulateTransformer(bertBase(), nil, hfProfile(), Options{})
+	first, last := tr.Execs[0].Name, tr.Execs[len(tr.Execs)-1].Name
+	if !strings.HasPrefix(first, "memcpy_h2d_") {
+		t.Fatalf("first event %q, want h2d memcpy", first)
+	}
+	if !strings.HasPrefix(last, "memcpy_d2h_") {
+		t.Fatalf("last event %q, want d2h memcpy", last)
+	}
+	// The d2h size leaks the label count: different label widths give
+	// different transfer sizes.
+	a := SimulateTransformer(bertBase(), nil, hfProfile(), Options{})
+	b := SimulateTransformer(bertBase().WithLabels(7), nil, hfProfile(), Options{})
+	if a.Execs[len(a.Execs)-1].Name == b.Execs[len(b.Execs)-1].Name {
+		t.Fatal("label count did not leak through the d2h transfer size")
+	}
+}
+
+func TestKernelRandomizationCountermeasure(t *testing.T) {
+	p := hfProfile()
+	p.RandomizeKernels = true
+	a := SimulateTransformer(bertBase(), nil, p, Options{MeasureSeed: 1})
+	b := SimulateTransformer(bertBase(), nil, p, Options{MeasureSeed: 2})
+	same := true
+	for i := range a.Execs {
+		if i < len(b.Execs) && a.Execs[i].Name != b.Execs[i].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("randomized runs chose identical kernel variants")
+	}
+	// The same measurement seed reproduces (determinism preserved).
+	c := SimulateTransformer(bertBase(), nil, p, Options{MeasureSeed: 1})
+	for i := range a.Execs {
+		if a.Execs[i] != c.Execs[i] {
+			t.Fatal("randomization must still be deterministic per seed")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"decepticon/internal/rng"
+)
+
+// Framework identifies the deep-learning framework a model release was
+// built with. The framework is one of the strongest fingerprint
+// contributors in the paper (§4.2): TensorFlow models run up to 8× more
+// kernel executions and use ~40× more unique kernels than PyTorch models.
+type Framework int
+
+// Supported frameworks.
+const (
+	PyTorch Framework = iota
+	TensorFlow
+	MXNet
+)
+
+// String implements fmt.Stringer.
+func (f Framework) String() string {
+	switch f {
+	case PyTorch:
+		return "pytorch"
+	case TensorFlow:
+		return "tensorflow"
+	case MXNet:
+		return "mxnet"
+	default:
+		return fmt.Sprintf("framework(%d)", int(f))
+	}
+}
+
+// Profile describes how a model release executes on the GPU. It is a
+// property of the *release* (source + framework + architecture + library
+// versions), which is exactly why a fine-tuned model inherits its
+// pre-trained model's fingerprint: fine-tuning does not change the
+// release's kernel selection.
+type Profile struct {
+	Source    string // "huggingface", "nvidia", "google", "meta", "amazon", ...
+	Framework Framework
+	// TensorCores enables half-precision tensor-core gemm kernels; the
+	// paper observed NVIDIA releases consistently using them.
+	TensorCores bool
+	// ShortKernels adds the many small reduction/copy kernels the paper
+	// observed in Meta releases ("crowded kernel executions on the bottom
+	// of the graph", Fig 7).
+	ShortKernels bool
+	// XLA enables fused, irregular execution with a mid-trace compilation
+	// region (Fig 12).
+	XLA bool
+	// Seed makes kernel-variant choices deterministic per release.
+	Seed uint64
+	// RandomizeKernels enables the paper's countermeasure (§8): the
+	// library/kernel combination is re-chosen at run time, so each
+	// measurement sees a different variant selection and the release
+	// fingerprint dissolves. Layer periodicity survives (variants stay
+	// consistent within one run), so the architecture still leaks — only
+	// the release identity is hidden.
+	RandomizeKernels bool
+}
+
+// opKind enumerates the logical operations a model executes; the profile
+// maps each to concrete kernel launches.
+type opKind int
+
+const (
+	opEmbed opKind = iota
+	opGemm
+	opSoftmax
+	opLayerNorm
+	opElementwise
+	opReduce
+	opGemv
+)
+
+// op is one logical operation with its work volume.
+type op struct {
+	kind  opKind
+	flops float64 // multiply-accumulate count ×2 for gemms, element count otherwise
+	m, n  int     // gemm output shape (used for tile-variant selection)
+	tag   string  // discriminator for naming (e.g. "qkv", "ffn1")
+	half  bool    // eligible for tensor-core half precision
+}
+
+// kernelName resolves an op to a kernel name for a profile. The variant
+// preference is a deterministic function of (release seed, op kind, op
+// tag, tile): a release links exactly one implementation per operation, so
+// every layer of every model of the release picks the same variant —
+// preserving the per-layer repetition — while different releases diverge.
+// This is the per-release fingerprint.
+func (p Profile) kernelName(o op) string {
+	r := rng.New(p.Seed ^ rng.Seed("variant", o.tag, fmt.Sprint(int(o.kind)), gemmTile(o)))
+	switch p.Framework {
+	case PyTorch:
+		return p.pytorchName(o, r)
+	case TensorFlow:
+		return p.tensorflowName(o, r)
+	default:
+		return p.mxnetName(o, r)
+	}
+}
+
+// opRNG returns a deterministic stream for per-op scheduling decisions
+// (micro-kernel counts, fusion placement) keyed by the op's tag, so the
+// decisions repeat identically across layers.
+func (p Profile) opRNG(label string, o op) *rng.RNG {
+	return rng.New(p.Seed ^ rng.Seed(label, o.tag))
+}
+
+func pick(r *rng.RNG, alternatives ...string) string {
+	return alternatives[r.Intn(len(alternatives))]
+}
+
+func (p Profile) pytorchName(o op, r *rng.RNG) string {
+	switch o.kind {
+	case opEmbed:
+		return "indexSelectLargeIndex"
+	case opGemm:
+		if o.half && p.TensorCores {
+			return fmt.Sprintf("volta_fp16_s884gemm_fp16_%s", gemmTile(o))
+		}
+		return fmt.Sprintf("volta_sgemm_%s_%s", gemmTile(o), pick(r, "tn", "nn", "nt"))
+	case opSoftmax:
+		return "softmax_warp_forward"
+	case opLayerNorm:
+		return pick(r, "LayerNormForwardCUDAKernel", "cuApplyLayerNorm", "vectorized_layer_norm_kernel")
+	case opElementwise:
+		return pick(r, "vectorized_elementwise_kernel", "unrolled_elementwise_kernel", "elementwise_kernel_with_index")
+	case opReduce:
+		return pick(r, "splitKreduce_kernel", "reduce_1Block_kernel", "dot_kernel", "DeviceScanKernel", "CatArrayBatchedCopy")
+	case opGemv:
+		return "gemv2T_kernel_val"
+	}
+	return "unknown_kernel"
+}
+
+func (p Profile) tensorflowName(o op, r *rng.RNG) string {
+	switch o.kind {
+	case opEmbed:
+		return "GatherV2_GPU"
+	case opGemm:
+		if o.half && p.TensorCores {
+			return fmt.Sprintf("ampere_tp16_s16816gemm_tp16_%s", gemmTile(o))
+		}
+		return fmt.Sprintf("ampere_sgemm_%s_nn", gemmTile(o))
+	case opSoftmax:
+		return "Softmax_GPU_DT_FLOAT"
+	case opLayerNorm:
+		return pick(r, "FusedBatchNormV3_GPU", "LayerNorm_GPU_DT_FLOAT")
+	case opElementwise:
+		return pick(r, "AddV2_GPU_DT_FLOAT_DT_FLOAT_k", "Mul_GPU_DT_FLOAT_DT_FLOAT_ker", "Sub_GPU_DT_FLOAT", "Rsqrt_GPU_DT_FLOAT")
+	case opReduce:
+		return pick(r, "splitKreduce_kernel", "Sum_GPU_DT_FLOAT")
+	case opGemv:
+		return "MatVec_GPU_DT_FLOAT"
+	}
+	return "unknown_kernel"
+}
+
+func (p Profile) mxnetName(o op, r *rng.RNG) string {
+	switch o.kind {
+	case opEmbed:
+		return "EmbeddingFindBounds"
+	case opGemm:
+		return fmt.Sprintf("mxnet_gemm_%s_kernel", gemmTile(o))
+	case opSoftmax:
+		return "mxnet_softmax_compute_kernel"
+	case opLayerNorm:
+		return "mxnet_layer_norm_fused"
+	case opElementwise:
+		return pick(r, "mxnet_generic_kernel", "mxnet_op_kernel_add", "mxnet_op_kernel_mul", "mxnet_broadcast_kernel")
+	case opReduce:
+		return pick(r, "mxnet_reduce_kernel", "mxnet_reduce_lines_kernel")
+	case opGemv:
+		return "mxnet_gemv_kernel"
+	}
+	return "unknown_kernel"
+}
+
+// gemmTile returns the tile-size suffix real BLAS libraries encode in
+// kernel names; it depends on the output shape, which is how the hidden
+// size leaks into kernel *names* as well as durations.
+func gemmTile(o op) string {
+	switch {
+	case o.n >= 256 && o.m >= 64:
+		return "256x128"
+	case o.n >= 128 && o.m >= 64:
+		return "128x128"
+	case o.n >= 128:
+		return "128x64"
+	case o.n >= 64:
+		return "64x64"
+	case o.n >= 32:
+		return "32x128"
+	default:
+		return "32x32"
+	}
+}
+
+// ---- timing model ----
+
+// Timing constants (µs-scale roofline): a kernel costs a launch overhead
+// plus its work divided by an effective throughput. Absolute values are
+// arbitrary; relative structure (gemms dominate, hidden size sets the peak,
+// tensor cores are ~4× faster) mirrors the measurements in the paper.
+const (
+	sgemmThroughput = 4000.0  // flops per µs
+	halfThroughput  = 16000.0 // tensor-core flops per µs
+	memThroughput   = 2500.0  // elements per µs for memory-bound ops
+	gemmOverhead    = 2.0     // µs
+	smallOverhead   = 0.8     // µs
+	launchGap       = 0.4     // µs between kernel launches
+)
+
+// duration returns the simulated runtime of an op in µs, before the
+// variant-specific performance factor is applied.
+func (p Profile) duration(o op) float64 {
+	switch o.kind {
+	case opGemm:
+		tput := sgemmThroughput
+		if o.half && p.TensorCores {
+			tput = halfThroughput
+		}
+		return gemmOverhead + o.flops/tput
+	case opGemv:
+		return smallOverhead + o.flops/sgemmThroughput
+	case opEmbed, opSoftmax, opLayerNorm, opElementwise:
+		return smallOverhead + o.flops/memThroughput
+	case opReduce:
+		return smallOverhead/2 + o.flops/(2*memThroughput)
+	}
+	return smallOverhead
+}
+
+// hash01 maps a string to a deterministic value in [0, 1).
+func hash01(s string) float64 {
+	return float64(rng.Seed("perf", s)>>11) / (1 << 53)
+}
+
+// variantFactor is the performance multiplier of a concrete kernel
+// implementation. Different library kernels implementing the same logical
+// op genuinely differ in speed (tiling, vectorization, fusion), which is
+// why a release's kernel *selection* shows up in the timing fingerprint,
+// not just in kernel names the side channel cannot see.
+func variantFactor(name string) float64 {
+	return 0.75 + 0.6*hash01(name)
+}
+
+// clockFactor is the release-wide speed multiplier (library versions,
+// allocator behavior, stream setup) derived from the release seed.
+func (p Profile) clockFactor() float64 {
+	return 0.9 + 0.25*float64(p.Seed%1024)/1024
+}

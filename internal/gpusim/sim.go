@@ -1,0 +1,284 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"decepticon/internal/rng"
+	"decepticon/internal/transformer"
+)
+
+// Options controls one simulated inference measurement.
+type Options struct {
+	// SeqLen is the input length; 0 means the model's MaxSeq.
+	SeqLen int
+	// MeasureSeed seeds run-to-run measurement jitter. Two measurements of
+	// the same model with different seeds differ slightly, as on real
+	// hardware.
+	MeasureSeed uint64
+	// JitterMagnitude is the per-kernel measurement noise in µs (0 = clean).
+	JitterMagnitude float64
+}
+
+// SimulateTransformer produces the kernel execution trace of one inference
+// of a transformer with the given architecture under the given release
+// profile. activeHeads gives the number of unpruned attention heads per
+// layer; nil means all heads active.
+func SimulateTransformer(cfg transformer.Config, activeHeads []int, prof Profile, opt Options) *Trace {
+	seq := opt.SeqLen
+	if seq <= 0 {
+		seq = cfg.MaxSeq
+	}
+	prof = prof.effective(opt)
+	plan := transformerPlan(cfg, seq, activeHeads)
+	t := prof.schedule(cfg.Name, plan)
+	if enableMemcpy {
+		addMemcpyEvents(t, cfg, seq)
+	}
+	if opt.JitterMagnitude > 0 {
+		t.Jitter(opt.JitterMagnitude, opt.MeasureSeed)
+	}
+	return t
+}
+
+var enableMemcpy = true
+
+// addMemcpyEvents brackets the trace with the host↔device transfers a
+// PCIe snooper sees (§3 mentions bus probing on the CPU-GPU interconnect):
+// the input-token upload before the first kernel and the logits download
+// after the last. Their *sizes* leak the sequence length and the output
+// width — the latter is how the attacker learns the victim's label count
+// before spending a single classification query.
+func addMemcpyEvents(t *Trace, cfg transformer.Config, seq int) {
+	if len(t.Execs) == 0 {
+		return
+	}
+	const pcieBytesPerUS = 12000.0 // ~12 GB/s effective
+	upBytes := float64(seq * 8)    // int64 token ids
+	downBytes := float64(cfg.Labels * 4)
+	up := Exec{
+		Name:  fmt.Sprintf("memcpy_h2d_%dB", int(upBytes)),
+		Start: 0,
+		End:   smallOverhead + upBytes/pcieBytesPerUS,
+	}
+	shift := up.End + launchGap - t.Execs[0].Start
+	if shift > 0 {
+		for i := range t.Execs {
+			t.Execs[i].Start += shift
+			t.Execs[i].End += shift
+		}
+	}
+	last := t.Execs[len(t.Execs)-1].End
+	down := Exec{
+		Name:  fmt.Sprintf("memcpy_d2h_%dB", int(downBytes)),
+		Start: last + launchGap,
+		End:   last + launchGap + smallOverhead + downBytes/pcieBytesPerUS,
+	}
+	t.Execs = append([]Exec{up}, t.Execs...)
+	t.Execs = append(t.Execs, down)
+	// Keep section spans aligned with the shifted indices.
+	for i := range t.Sections {
+		t.Sections[i].Start++
+		t.Sections[i].End++
+	}
+}
+
+// section groups the ops of one logical model stage; XLA scheduling fuses
+// within sections and the trace analyzer looks for section periodicity.
+type section struct {
+	name string // "embed", "encoder", "head"
+	ops  []op
+}
+
+// transformerPlan lists the logical ops of one inference in order.
+func transformerPlan(cfg transformer.Config, seq int, activeHeads []int) []section {
+	h := cfg.Hidden
+	var plan []section
+
+	plan = append(plan, section{name: "embed", ops: []op{
+		{kind: opEmbed, flops: float64(seq * h), tag: "tok_embed"},
+		{kind: opElementwise, flops: float64(seq * h), tag: "pos_add"},
+	}})
+
+	for l := 0; l < cfg.Layers; l++ {
+		active := cfg.Heads
+		if activeHeads != nil {
+			active = activeHeads[l]
+		}
+		attnDim := cfg.HeadDim() * active
+		secName := fmt.Sprintf("encoder%d", l)
+		attnTag := "attn"
+		if cfg.Causal {
+			// Decoder blocks run masked attention through dedicated
+			// kernels — a further fingerprint difference between GPT-style
+			// and BERT-style releases.
+			secName = fmt.Sprintf("decoder%d", l)
+			attnTag = "masked_attn"
+		}
+		enc := section{name: secName}
+		// Q, K, V projections.
+		for _, tag := range []string{"q_proj", "k_proj", "v_proj"} {
+			enc.ops = append(enc.ops, op{kind: opGemm, flops: 2 * float64(seq*h*h), m: seq, n: h, tag: tag, half: true})
+		}
+		// Attention scores + softmax + context: work scales with the number
+		// of *active* heads, which is how head pruning shows up in the
+		// trace (Fig 21).
+		enc.ops = append(enc.ops,
+			op{kind: opGemm, flops: 2 * float64(seq*seq*attnDim), m: seq, n: seq, tag: attnTag + "_scores", half: true},
+			op{kind: opSoftmax, flops: float64(active * seq * seq), tag: attnTag + "_softmax"},
+			op{kind: opGemm, flops: 2 * float64(seq*seq*attnDim), m: seq, n: attnDim, tag: attnTag + "_ctx", half: true},
+			op{kind: opGemm, flops: 2 * float64(seq*h*h), m: seq, n: h, tag: attnTag + "_out", half: true},
+			op{kind: opElementwise, flops: float64(seq * h), tag: "residual1"},
+			op{kind: opLayerNorm, flops: float64(seq * h), tag: "ln1"},
+			op{kind: opGemm, flops: 2 * float64(seq*h*cfg.FFN), m: seq, n: cfg.FFN, tag: "ffn1", half: true},
+			op{kind: opElementwise, flops: float64(seq * cfg.FFN), tag: "gelu"},
+			op{kind: opGemm, flops: 2 * float64(seq*h*cfg.FFN), m: seq, n: h, tag: "ffn2", half: true},
+			op{kind: opElementwise, flops: float64(seq * h), tag: "residual2"},
+			op{kind: opLayerNorm, flops: float64(seq * h), tag: "ln2"},
+		)
+		plan = append(plan, enc)
+	}
+
+	plan = append(plan, section{name: "head", ops: []op{
+		{kind: opGemv, flops: 2 * float64(h*cfg.Labels), tag: "classifier"},
+		{kind: opElementwise, flops: float64(cfg.Labels), tag: "head_softmax"},
+	}})
+	return plan
+}
+
+// schedule turns a logical plan into concrete kernel launches under the
+// profile's framework behavior.
+func (p Profile) schedule(model string, plan []section) *Trace {
+	switch {
+	case p.XLA:
+		return p.scheduleXLA(model, plan)
+	case p.Framework == TensorFlow:
+		return p.scheduleTF(model, plan)
+	default:
+		return p.scheduleDirect(model, plan)
+	}
+}
+
+// scheduleDirect is the PyTorch/MXNet path: one kernel per op, plus the
+// profile's extra short kernels.
+func (p Profile) scheduleDirect(model string, plan []section) *Trace {
+	t := &Trace{Model: model}
+	now := 0.0
+	for _, sec := range plan {
+		secStart := len(t.Execs)
+		for _, o := range sec.ops {
+			now = p.emit(t, o, now)
+			if p.ShortKernels && o.kind == opGemm {
+				// Meta-style short reduction kernels after every gemm.
+				for i := 0; i < 2; i++ {
+					now = p.emit(t, op{kind: opReduce, flops: float64(o.n), tag: o.tag + "_reduce"}, now)
+				}
+			}
+			if p.Framework == MXNet {
+				// MXNet's imperative engine issues per-op bookkeeping
+				// kernels (shape/copy/broadcast), inflating the launch
+				// count well beyond PyTorch's.
+				extra := 2 + p.opRNG("mx-extra", o).Intn(2)
+				for i := 0; i < extra; i++ {
+					now = p.emit(t, op{kind: opElementwise, flops: o.flops / 16, tag: o.tag + "_mxaux"}, now)
+				}
+			}
+		}
+		t.Sections = append(t.Sections, SectionSpan{Name: sec.name, Start: secStart, End: len(t.Execs)})
+	}
+	return t
+}
+
+// scheduleTF decomposes every logical op into several micro-kernels and
+// inserts convert/fusion kernels, reproducing TensorFlow's ~8× execution
+// count and much larger unique-kernel census.
+func (p Profile) scheduleTF(model string, plan []section) *Trace {
+	t := &Trace{Model: model}
+	now := 0.0
+	fusionIdx := 0
+	for _, sec := range plan {
+		secStart := len(t.Execs)
+		for _, o := range sec.ops {
+			// Data-layout conversion before heavy ops.
+			if o.kind == opGemm {
+				now = p.emitNamed(t, fmt.Sprintf("convert_%d", 400+fusionIdx%17), smallOverhead, now)
+			}
+			now = p.emit(t, o, now)
+			// Epilogue micro-kernels: bias add, activation pieces, etc.
+			// Their count is a per-op property of the release, so it
+			// repeats identically across layers.
+			extra := 2 + p.opRNG("tf-extra", o).Intn(3)
+			for i := 0; i < extra; i++ {
+				now = p.emit(t, op{kind: opElementwise, flops: o.flops / 8, tag: o.tag + "_micro"}, now)
+			}
+			// Occasional uniquely-named fusion kernels.
+			if p.opRNG("tf-fusion", o).Float64() < 0.35 {
+				now = p.emitNamed(t, fmt.Sprintf("fusion_%d", fusionIdx), smallOverhead+o.flops/(4*memThroughput), now)
+				fusionIdx++
+			}
+		}
+		t.Sections = append(t.Sections, SectionSpan{Name: sec.name, Start: secStart, End: len(t.Execs)})
+	}
+	return t
+}
+
+// scheduleXLA fuses each section into a few large kernels and inserts a
+// mid-trace compilation/autotuning region, reproducing the irregular
+// executions of Fig 12.
+func (p Profile) scheduleXLA(model string, plan []section) *Trace {
+	t := &Trace{Model: model}
+	r := rng.New(p.Seed)
+	now := 0.0
+	fusionIdx := 0
+	emitSection := func(sec section) {
+		secStart := len(t.Execs)
+		// Fuse the section's ops into 3 fusion kernels plus its gemms.
+		var fused float64
+		for _, o := range sec.ops {
+			if o.kind == opGemm {
+				now = p.emit(t, o, now)
+			} else {
+				fused += p.duration(o)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			now = p.emitNamed(t, fmt.Sprintf("fusion_%d", fusionIdx), smallOverhead+fused*0.25, now)
+			fusionIdx++
+		}
+		t.Sections = append(t.Sections, SectionSpan{Name: sec.name, Start: secStart, End: len(t.Execs)})
+	}
+	half := len(plan) / 2
+	for _, sec := range plan[:half] {
+		emitSection(sec)
+	}
+	// XLA compilation / autotuning region: long, irregular kernels.
+	for i := 0; i < 14; i++ {
+		d := 30 + 120*r.Float64()
+		now = p.emitNamed(t, fmt.Sprintf("xla_autotune_%d", i), d, now)
+	}
+	for _, sec := range plan[half:] {
+		emitSection(sec)
+	}
+	return t
+}
+
+// effective applies the run-time kernel-randomization countermeasure:
+// every measurement re-seeds the variant selection.
+func (p Profile) effective(opt Options) Profile {
+	if p.RandomizeKernels {
+		p.Seed ^= rng.Seed("kernel-randomization", fmt.Sprint(opt.MeasureSeed))
+	}
+	return p
+}
+
+// emit appends one kernel for op o at time now and returns the new clock.
+func (p Profile) emit(t *Trace, o op, now float64) float64 {
+	name := p.kernelName(o)
+	return p.emitNamed(t, name, p.duration(o)*variantFactor(name), now)
+}
+
+func (p Profile) emitNamed(t *Trace, name string, dur, now float64) float64 {
+	dur *= p.clockFactor()
+	start := now + launchGap
+	t.Execs = append(t.Execs, Exec{Name: name, Start: start, End: start + dur})
+	return start + dur
+}

@@ -1,0 +1,161 @@
+// Package gpusim simulates GPU kernel execution timelines for model
+// inference. It replaces the paper's physical side channel (Nsight-style
+// kernel traces on an RTX 3050) with a deterministic model of the same
+// degrees of freedom the attack exploits:
+//
+//   - kernel *selection* is a function of (framework, developer/source,
+//     architecture) — TensorFlow models launch ~8× more kernel executions
+//     and use far more unique kernels than PyTorch models, NVIDIA-optimized
+//     models hit half-precision tensor-core gemms, Meta models launch many
+//     short reduction kernels (paper Figs 7-9);
+//   - kernel *timing* follows a roofline model (launch overhead + work /
+//     throughput), so hidden size shows up in peak kernel duration and
+//     layer count shows up as trace periodicity (Fig 10);
+//   - per-model signatures are inherited from pre-trained to fine-tuned
+//     models because they derive from the release (source + framework +
+//     architecture + version), not from the fine-tuning task;
+//   - XLA-style fused execution produces the irregular traces of Fig 12;
+//   - head pruning shortens the attention kernels (Fig 21).
+//
+// Times are in microseconds throughout.
+package gpusim
+
+import (
+	"sort"
+
+	"decepticon/internal/rng"
+)
+
+// Exec is one kernel execution: the (T_invocation, T_termination) pair the
+// paper's attacker collects (§5.2).
+type Exec struct {
+	Name  string
+	Start float64 // µs since inference start
+	End   float64 // µs since inference start
+}
+
+// Duration returns the kernel's runtime in µs.
+func (e Exec) Duration() float64 { return e.End - e.Start }
+
+// SectionSpan maps a logical model stage ("embed", "encoder3", "head") to
+// its half-open range of exec indices. Spans are only meaningful to
+// someone who can label them — e.g. an attacker profiling her own copy of
+// the identified pre-trained model; a victim trace carries the same
+// positional structure because pruning and fine-tuning change durations,
+// not the launch schedule.
+type SectionSpan struct {
+	Name       string
+	Start, End int
+}
+
+// Trace is a full time-series kernel execution record of one inference.
+type Trace struct {
+	Model string // victim/zoo model name the trace was collected from
+	Execs []Exec
+	// Sections records the logical stage boundaries (see SectionSpan).
+	Sections []SectionSpan
+}
+
+// Duration returns the end-to-end inference time in µs.
+func (t *Trace) Duration() float64 {
+	if len(t.Execs) == 0 {
+		return 0
+	}
+	return t.Execs[len(t.Execs)-1].End
+}
+
+// KernelCensus returns the number of kernel executions and the number of
+// unique kernel names — the paper's Fig 9 statistics.
+func (t *Trace) KernelCensus() (execs, unique int) {
+	names := make(map[string]struct{})
+	for _, e := range t.Execs {
+		names[e.Name] = struct{}{}
+	}
+	return len(t.Execs), len(names)
+}
+
+// UniqueKernelNames returns the sorted set of kernel names in the trace.
+func (t *Trace) UniqueKernelNames() []string {
+	set := make(map[string]struct{})
+	for _, e := range t.Execs {
+		set[e.Name] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Durations returns every kernel duration in execution order.
+func (t *Trace) Durations() []float64 {
+	out := make([]float64, len(t.Execs))
+	for i, e := range t.Execs {
+		out[i] = e.Duration()
+	}
+	return out
+}
+
+// PeakDuration returns the longest kernel duration — the paper's proxy for
+// the hidden-state size (Fig 10).
+func (t *Trace) PeakDuration() float64 {
+	var best float64
+	for _, e := range t.Execs {
+		if d := e.Duration(); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Model: t.Model, Execs: make([]Exec, len(t.Execs))}
+	copy(c.Execs, t.Execs)
+	return c
+}
+
+// PerturbKernels models the Fig 14 noise injection: count randomly chosen
+// kernel executions have their duration changed by ±magnitude µs. The
+// trace is modified in place.
+func (t *Trace) PerturbKernels(count int, magnitude float64, seed uint64) {
+	if len(t.Execs) == 0 || count <= 0 {
+		return
+	}
+	r := rng.New(seed)
+	for i := 0; i < count; i++ {
+		j := r.Intn(len(t.Execs))
+		delta := magnitude
+		if r.Float64() < 0.5 {
+			delta = -magnitude
+		}
+		e := &t.Execs[j]
+		e.End += delta
+		if e.End < e.Start+0.1 {
+			e.End = e.Start + 0.1 // a kernel cannot run backwards
+		}
+	}
+}
+
+// Jitter applies small measurement noise (uniform ±magnitude µs) to every
+// kernel's duration, modeling run-to-run variation when the attacker
+// collects multiple traces of the same victim.
+func (t *Trace) Jitter(magnitude float64, seed uint64) {
+	r := rng.New(seed)
+	var shift float64
+	for i := range t.Execs {
+		e := &t.Execs[i]
+		delta := (2*r.Float64() - 1) * magnitude
+		// A kernel cannot shrink below a minimal runtime; clamp the delta
+		// so the applied change and the accumulated timeline shift agree.
+		if minDelta := 0.1 - e.Duration(); delta < minDelta {
+			delta = minDelta
+		}
+		e.Start += shift
+		e.End += shift + delta
+		// Subsequent kernels slide by the accumulated change so the
+		// timeline stays consistent.
+		shift += delta
+	}
+}

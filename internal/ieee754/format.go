@@ -1,0 +1,150 @@
+package ieee754
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes an IEEE-754-style binary floating-point layout. The
+// paper's selective extraction "is applicable for other data types" (§8):
+// float16 shortens both fields, bfloat16 keeps float32's 8-bit exponent
+// with a 7-bit fraction — so the very same bit positions qualify for
+// checking as in the float32 example of Fig 13.
+type Format struct {
+	Name     string
+	ExpBits  int
+	FracBits int
+	Bias     int
+}
+
+// The supported formats.
+var (
+	Binary32 = Format{Name: "float32", ExpBits: 8, FracBits: 23, Bias: 127}
+	Binary16 = Format{Name: "float16", ExpBits: 5, FracBits: 10, Bias: 15}
+	BFloat16 = Format{Name: "bfloat16", ExpBits: 8, FracBits: 7, Bias: 127}
+)
+
+// Bits returns the total storage width (1 sign + exponent + fraction).
+func (f Format) Bits() int { return 1 + f.ExpBits + f.FracBits }
+
+// maxExp returns the largest finite biased exponent.
+func (f Format) maxExp() int { return (1 << f.ExpBits) - 2 }
+
+// Quantize rounds x to the nearest representable value of the format and
+// returns its bit pattern. Subnormals flush to zero and overflow
+// saturates to the largest finite value, matching common ML quantizers.
+func (f Format) Quantize(x float32) uint64 {
+	var sign uint64
+	v := float64(x)
+	if math.Signbit(v) {
+		sign = 1
+		v = -v
+	}
+	if v == 0 || math.IsNaN(v) {
+		return sign << uint(f.ExpBits+f.FracBits)
+	}
+	exp := int(math.Floor(math.Log2(v)))
+	biased := exp + f.Bias
+	if biased < 1 {
+		// Subnormal range: flush to zero.
+		return sign << uint(f.ExpBits+f.FracBits)
+	}
+	if biased > f.maxExp() {
+		biased = f.maxExp()
+		exp = biased - f.Bias
+		frac := uint64(1<<uint(f.FracBits)) - 1
+		return sign<<uint(f.ExpBits+f.FracBits) | uint64(biased)<<uint(f.FracBits) | frac
+	}
+	mant := v/math.Pow(2, float64(exp)) - 1 // in [0, 1)
+	frac := uint64(math.Round(mant * float64(uint64(1)<<uint(f.FracBits))))
+	if frac >= 1<<uint(f.FracBits) {
+		// Mantissa rounded up to 2.0: bump the exponent.
+		frac = 0
+		biased++
+		if biased > f.maxExp() {
+			biased = f.maxExp()
+			frac = uint64(1<<uint(f.FracBits)) - 1
+		}
+	}
+	return sign<<uint(f.ExpBits+f.FracBits) | uint64(biased)<<uint(f.FracBits) | frac
+}
+
+// Value decodes a bit pattern of the format to float32.
+func (f Format) Value(bits uint64) float32 {
+	sign := bits >> uint(f.ExpBits+f.FracBits) & 1
+	biased := int(bits >> uint(f.FracBits) & ((1 << uint(f.ExpBits)) - 1))
+	frac := bits & ((1 << uint(f.FracBits)) - 1)
+	var v float64
+	if biased == 0 {
+		v = 0 // subnormals flushed
+	} else {
+		mant := 1 + float64(frac)/float64(uint64(1)<<uint(f.FracBits))
+		v = mant * math.Pow(2, float64(biased-f.Bias))
+	}
+	if sign == 1 {
+		v = -v
+	}
+	return float32(v)
+}
+
+// Sign returns the sign bit of a pattern.
+func (f Format) Sign(bits uint64) int { return int(bits >> uint(f.ExpBits+f.FracBits) & 1) }
+
+// Exponent returns the biased exponent field of a pattern.
+func (f Format) Exponent(bits uint64) int {
+	return int(bits >> uint(f.FracBits) & ((1 << uint(f.ExpBits)) - 1))
+}
+
+// UnbiasedExponent returns the effective exponent of a pattern.
+func (f Format) UnbiasedExponent(bits uint64) int {
+	e := f.Exponent(bits)
+	if e == 0 {
+		return 1 - f.Bias
+	}
+	return e - f.Bias
+}
+
+// FractionBitValue returns the place value of fraction bit k (MSB-first,
+// k in [1, FracBits]) for a pattern's exponent.
+func (f Format) FractionBitValue(bits uint64, k int) float64 {
+	f.checkK(k)
+	return math.Pow(2, float64(f.UnbiasedExponent(bits)-k))
+}
+
+// Bit returns raw bit i (0 = LSB) of a pattern.
+func (f Format) Bit(bits uint64, i int) int {
+	f.checkI(i)
+	return int(bits >> uint(i) & 1)
+}
+
+// SetBit returns the pattern with raw bit i set to bit.
+func (f Format) SetBit(bits uint64, i, bit int) uint64 {
+	f.checkI(i)
+	if bit != 0 && bit != 1 {
+		panic("ieee754: bit must be 0 or 1")
+	}
+	mask := uint64(1) << uint(i)
+	bits &^= mask
+	if bit == 1 {
+		bits |= mask
+	}
+	return bits
+}
+
+// SetFractionBit returns the pattern with fraction bit k (MSB-first) set.
+func (f Format) SetFractionBit(bits uint64, k, bit int) uint64 {
+	f.checkK(k)
+	return f.SetBit(bits, f.FracBits-k, bit)
+}
+
+func (f Format) checkK(k int) {
+	if k < 1 || k > f.FracBits {
+		panic(fmt.Sprintf("ieee754: %s fraction bit %d out of [1,%d]", f.Name, k, f.FracBits))
+	}
+}
+
+func (f Format) checkI(i int) {
+	if i < 0 || i >= f.Bits() {
+		panic(fmt.Sprintf("ieee754: %s raw bit %d out of [0,%d)", f.Name, i, f.Bits()))
+	}
+}

@@ -1,0 +1,133 @@
+package ieee754
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatWidths(t *testing.T) {
+	if Binary32.Bits() != 32 || Binary16.Bits() != 16 || BFloat16.Bits() != 16 {
+		t.Fatal("format widths wrong")
+	}
+	if BFloat16.ExpBits != Binary32.ExpBits {
+		t.Fatal("bfloat16 must share float32's exponent width (the §8 argument)")
+	}
+}
+
+func TestQuantizeValueRoundTripExact(t *testing.T) {
+	// Values exactly representable in every format round-trip exactly.
+	for _, f := range []Format{Binary32, Binary16, BFloat16} {
+		for _, v := range []float32{0, 1, -1, 0.5, 2, -0.25, 1.5} {
+			if got := f.Value(f.Quantize(v)); got != v {
+				t.Fatalf("%s: %v -> %v", f.Name, v, got)
+			}
+		}
+	}
+}
+
+func TestQuantizeError(t *testing.T) {
+	// Quantization error is bounded by half a ULP of the format.
+	f := func(u uint32) bool {
+		v := math.Float32frombits(u)
+		if v != v || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e4 || math.Abs(float64(v)) < 1e-3 {
+			return true
+		}
+		for _, fm := range []Format{Binary16, BFloat16} {
+			got := fm.Value(fm.Quantize(v))
+			ulp := math.Pow(2, float64(fm.UnbiasedExponent(fm.Quantize(v))-fm.FracBits))
+			if math.Abs(float64(got)-float64(v)) > ulp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	big := Binary16.Value(Binary16.Quantize(1e9))
+	if big < 60000 || big > 66000 {
+		t.Fatalf("float16 saturation gave %v", big)
+	}
+	tiny := Binary16.Value(Binary16.Quantize(1e-9))
+	if tiny != 0 {
+		t.Fatalf("float16 subnormal flush gave %v", tiny)
+	}
+}
+
+func TestFormatAgreesWithFloat32Helpers(t *testing.T) {
+	f := func(u uint32) bool {
+		v := math.Float32frombits(u)
+		if v != v || math.IsInf(float64(v), 0) || v == 0 {
+			return true
+		}
+		if math.Abs(float64(v)) < 1e-30 || math.Abs(float64(v)) > 1e30 {
+			return true
+		}
+		bits := Binary32.Quantize(v)
+		// Sign and exponent agree with the direct float32 helpers.
+		if Binary32.Sign(bits) != Sign(v) {
+			return false
+		}
+		if Binary32.UnbiasedExponent(bits) != UnbiasedExponent(v) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperBFloat16Claim(t *testing.T) {
+	// §8: "If bfloat16 is used in the example of Fig 13, the same bits can
+	// be checked as bfloat16 uses the same length exponent with float32."
+	w := float32(0.018)
+	b32 := Binary32.Quantize(w)
+	b16 := BFloat16.Quantize(w)
+	if Binary32.UnbiasedExponent(b32) != BFloat16.UnbiasedExponent(b16) {
+		t.Fatal("bfloat16 exponent must match float32's")
+	}
+	// Fraction bit k has the same place value in both formats (as far as
+	// bfloat16's 7 fraction bits reach).
+	for k := 1; k <= BFloat16.FracBits; k++ {
+		if Binary32.FractionBitValue(b32, k) != BFloat16.FractionBitValue(b16, k) {
+			t.Fatalf("place value of bit %d differs", k)
+		}
+	}
+}
+
+func TestFormatBitSurgery(t *testing.T) {
+	for _, fm := range []Format{Binary32, Binary16, BFloat16} {
+		bits := fm.Quantize(0.3)
+		for k := 1; k <= fm.FracBits; k++ {
+			for _, b := range []int{0, 1} {
+				got := fm.SetFractionBit(bits, k, b)
+				if fm.Bit(got, fm.FracBits-k) != b {
+					t.Fatalf("%s: SetFractionBit(%d,%d) failed", fm.Name, k, b)
+				}
+				if fm.Sign(got) != fm.Sign(bits) || fm.Exponent(got) != fm.Exponent(bits) {
+					t.Fatalf("%s: bit surgery touched sign/exponent", fm.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFormatPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("frac bit 0", func() { Binary16.FractionBitValue(0, 0) })
+	mustPanic("frac bit 11", func() { Binary16.FractionBitValue(0, 11) })
+	mustPanic("raw bit 16", func() { Binary16.Bit(0, 16) })
+	mustPanic("bad bit value", func() { Binary16.SetBit(0, 0, 7) })
+}

@@ -1,0 +1,161 @@
+package ieee754
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSign(t *testing.T) {
+	if Sign(1.5) != 0 || Sign(0) != 0 {
+		t.Fatal("non-negative sign must be 0")
+	}
+	if Sign(-1.5) != 1 || Sign(float32(math.Copysign(0, -1))) != 1 {
+		t.Fatal("negative sign must be 1")
+	}
+}
+
+func TestExponentFraction(t *testing.T) {
+	// 1.0 = sign 0, exponent 127, fraction 0.
+	if Exponent(1.0) != 127 || Fraction(1.0) != 0 {
+		t.Fatalf("1.0 decomposed to exp=%d frac=%d", Exponent(1.0), Fraction(1.0))
+	}
+	// 1.5 = 1.1b * 2^0 -> top fraction bit set.
+	if FractionBit(1.5, 1) != 1 {
+		t.Fatal("1.5 must have fraction bit 1 set")
+	}
+	if FractionBit(1.5, 2) != 0 {
+		t.Fatal("1.5 must have fraction bit 2 clear")
+	}
+	if UnbiasedExponent(0.018) != -6 {
+		// 0.018 in [2^-6, 2^-5) = [0.015625, 0.03125)
+		t.Fatalf("UnbiasedExponent(0.018) = %d, want -6", UnbiasedExponent(0.018))
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Paper Fig 13: weight 0.018; first fraction bit value is 2^(exp-127-1).
+	// For 0.018 the unbiased exponent is -6, so fraction bit 1 is worth 2^-7,
+	// and the bits worth 2^-10 (~0.00097) and 2^-11 (~0.00048) are fraction
+	// bits 4 and 5.
+	w := float32(0.018)
+	if got := FractionBitValue(w, 1); !close(got, math.Pow(2, -7)) {
+		t.Fatalf("bit 1 value = %v, want 2^-7", got)
+	}
+	if got := FractionBitValue(w, 4); !close(got, 0.0009765625) {
+		t.Fatalf("bit 4 value = %v, want 2^-10", got)
+	}
+	if got := FractionBitValue(w, 5); !close(got, 0.00048828125) {
+		t.Fatalf("bit 5 value = %v, want 2^-11", got)
+	}
+	if got := IntegerPartValue(w); !close(got, math.Pow(2, -6)) {
+		t.Fatalf("integer part = %v, want 2^-6", got)
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-15 }
+
+func TestSetFractionBitRoundTrip(t *testing.T) {
+	f := func(u uint32, kRaw uint8) bool {
+		v := math.Float32frombits(u)
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		k := 1 + int(kRaw)%FractionBits
+		for _, bit := range []int{0, 1} {
+			got := SetFractionBit(v, k, bit)
+			if FractionBit(got, k) != bit {
+				return false
+			}
+			if Sign(got) != Sign(v) || Exponent(got) != Exponent(v) {
+				return false
+			}
+			// All other fraction bits unchanged.
+			for j := 1; j <= FractionBits; j++ {
+				if j != k && FractionBit(got, j) != FractionBit(v, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawBitRoundTrip(t *testing.T) {
+	f := func(u uint32, iRaw uint8) bool {
+		v := math.Float32frombits(u)
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		i := int(iRaw) % 32
+		for _, bit := range []int{0, 1} {
+			got := SetBit(v, i, bit)
+			if Bit(got, i) != bit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructFromBits(t *testing.T) {
+	// Reading all 32 raw bits of a value and writing them into a zero
+	// float32 must reproduce the value exactly — this is what full
+	// last-layer rowhammer extraction does.
+	f := func(u uint32) bool {
+		v := math.Float32frombits(u)
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		var out float32
+		for i := 0; i < 32; i++ {
+			out = SetBit(out, i, Bit(v, i))
+		}
+		return math.Float32bits(out) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionBitValueHalvesPerBit(t *testing.T) {
+	w := float32(0.3)
+	for k := 1; k < FractionBits; k++ {
+		if !close(FractionBitValue(w, k), 2*FractionBitValue(w, k+1)) {
+			t.Fatalf("bit values must halve: k=%d", k)
+		}
+	}
+}
+
+func TestFlippingCheckedBitsCoversGap(t *testing.T) {
+	// Setting fraction bits 4 and 5 of 0.018 adds ~0.00146, moving the value
+	// toward the paper's fine-tuned 0.01908 example (gap ~0.00108).
+	base := float32(0.018)
+	withBits := SetFractionBit(SetFractionBit(base, 4, 1), 5, 1)
+	gain := float64(withBits - base)
+	if gain <= 0.00097 || gain >= 0.002 {
+		t.Fatalf("two-bit gain = %v, want within (0.00097, 0.002)", gain)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("FractionBit k=0", func() { FractionBit(1, 0) })
+	mustPanic("FractionBit k=24", func() { FractionBit(1, 24) })
+	mustPanic("SetFractionBit bit=2", func() { SetFractionBit(1, 1, 2) })
+	mustPanic("Bit i=32", func() { Bit(1, 32) })
+	mustPanic("SetBit i=-1", func() { SetBit(1, -1, 0) })
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"decepticon/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of a batch of C×H×W images over the
+// (batch, H, W) axes, as ResNet does between its convolutions. Training
+// uses batch statistics and maintains running estimates; inference uses
+// the running estimates.
+type BatchNorm2D struct {
+	C, H, W  int
+	Gamma    *tensor.Matrix // 1×C
+	Beta     *tensor.Matrix // 1×C
+	dGamma   *tensor.Matrix
+	dBeta    *tensor.Matrix
+	Momentum float64 // running-stat decay (default 0.9)
+
+	runMean []float32
+	runVar  []float32
+
+	// training-pass cache
+	xhat   *tensor.Matrix
+	invStd []float32
+	batch  int
+}
+
+const bnEps = 1e-5
+
+// NewBatchNorm2D returns a batch-norm layer for C×H×W inputs.
+func NewBatchNorm2D(c, h, w int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C: c, H: h, W: w,
+		Gamma:    tensor.New(1, c),
+		Beta:     tensor.New(1, c),
+		dGamma:   tensor.New(1, c),
+		dBeta:    tensor.New(1, c),
+		Momentum: 0.9,
+		runMean:  make([]float32, c),
+		runVar:   make([]float32, c),
+	}
+	for i := range bn.Gamma.Data {
+		bn.Gamma.Data[i] = 1
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return fmt.Sprintf("batchnorm_%dc", bn.C) }
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	plane := bn.H * bn.W
+	if x.Cols != bn.C*plane {
+		panic(fmt.Sprintf("nn: batchnorm input %d, want %d", x.Cols, bn.C*plane))
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	if !train {
+		for b := 0; b < x.Rows; b++ {
+			in, dst := x.Row(b), out.Row(b)
+			for c := 0; c < bn.C; c++ {
+				inv := 1 / float32(math.Sqrt(float64(bn.runVar[c])+bnEps))
+				g, be, mu := bn.Gamma.Data[c], bn.Beta.Data[c], bn.runMean[c]
+				for i := c * plane; i < (c+1)*plane; i++ {
+					dst[i] = (in[i]-mu)*inv*g + be
+				}
+			}
+		}
+		return out
+	}
+
+	bn.batch = x.Rows
+	bn.xhat = tensor.New(x.Rows, x.Cols)
+	bn.invStd = make([]float32, bn.C)
+	n := float32(x.Rows * plane)
+	for c := 0; c < bn.C; c++ {
+		var mean float32
+		for b := 0; b < x.Rows; b++ {
+			in := x.Row(b)
+			for i := c * plane; i < (c+1)*plane; i++ {
+				mean += in[i]
+			}
+		}
+		mean /= n
+		var variance float32
+		for b := 0; b < x.Rows; b++ {
+			in := x.Row(b)
+			for i := c * plane; i < (c+1)*plane; i++ {
+				d := in[i] - mean
+				variance += d * d
+			}
+		}
+		variance /= n
+		inv := 1 / float32(math.Sqrt(float64(variance)+bnEps))
+		bn.invStd[c] = inv
+		m := float32(bn.Momentum)
+		bn.runMean[c] = m*bn.runMean[c] + (1-m)*mean
+		bn.runVar[c] = m*bn.runVar[c] + (1-m)*variance
+		g, be := bn.Gamma.Data[c], bn.Beta.Data[c]
+		for b := 0; b < x.Rows; b++ {
+			in, xh, dst := x.Row(b), bn.xhat.Row(b), out.Row(b)
+			for i := c * plane; i < (c+1)*plane; i++ {
+				xh[i] = (in[i] - mean) * inv
+				dst[i] = xh[i]*g + be
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (bn *BatchNorm2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	plane := bn.H * bn.W
+	dx := tensor.New(bn.batch, bn.C*plane)
+	n := float32(bn.batch * plane)
+	for c := 0; c < bn.C; c++ {
+		g := bn.Gamma.Data[c]
+		inv := bn.invStd[c]
+		var sumDy, sumDyXhat float32
+		for b := 0; b < bn.batch; b++ {
+			dy, xh := grad.Row(b), bn.xhat.Row(b)
+			for i := c * plane; i < (c+1)*plane; i++ {
+				sumDy += dy[i]
+				sumDyXhat += dy[i] * xh[i]
+			}
+		}
+		bn.dBeta.Data[c] += sumDy
+		bn.dGamma.Data[c] += sumDyXhat
+		for b := 0; b < bn.batch; b++ {
+			dy, xh, dst := grad.Row(b), bn.xhat.Row(b), dx.Row(b)
+			for i := c * plane; i < (c+1)*plane; i++ {
+				dst[i] = g * inv * (dy[i] - sumDy/n - xh[i]*sumDyXhat/n)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*tensor.Matrix { return []*tensor.Matrix{bn.Gamma, bn.Beta} }
+
+// Grads implements Layer.
+func (bn *BatchNorm2D) Grads() []*tensor.Matrix { return []*tensor.Matrix{bn.dGamma, bn.dBeta} }

@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"decepticon/internal/rng"
+	"decepticon/internal/tensor"
+)
+
+// Conv2D is a stride-1 2-D convolution over channel-major flattened
+// images with optional zero padding. Inputs are batches of InC×H×W
+// images; outputs are OutC×(H+2P-K+1)×(W+2P-K+1).
+type Conv2D struct {
+	InC, OutC, K int
+	H, W         int            // input spatial dimensions
+	Pad          int            // zero padding on each side
+	Weight       *tensor.Matrix // OutC × (InC*K*K)
+	Bias         *tensor.Matrix // 1 × OutC
+	dWeight      *tensor.Matrix
+	dBias        *tensor.Matrix
+	x            *tensor.Matrix // cached (padded) input
+	batch        int
+}
+
+// NewConv2D returns an unpadded ("valid") convolution layer for InC×H×W
+// inputs with OutC filters of size K×K (Kaiming initialization).
+func NewConv2D(inC, outC, k, h, w int, r *rng.RNG) *Conv2D {
+	return NewConv2DPadded(inC, outC, k, h, w, 0, r)
+}
+
+// NewConv2DPadded returns a convolution layer with zero padding pad —
+// pad = (k-1)/2 preserves the spatial dimensions, as residual blocks need.
+func NewConv2DPadded(inC, outC, k, h, w, pad int, r *rng.RNG) *Conv2D {
+	if k > h+2*pad || k > w+2*pad {
+		panic(fmt.Sprintf("nn: conv kernel %d larger than padded input %dx%d", k, h+2*pad, w+2*pad))
+	}
+	if pad < 0 {
+		panic("nn: negative padding")
+	}
+	fan := inC * k * k
+	std := math.Sqrt(2.0 / float64(fan))
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, H: h, W: w, Pad: pad,
+		Weight:  tensor.Randn(outC, fan, std, r),
+		Bias:    tensor.New(1, outC),
+		dWeight: tensor.New(outC, fan),
+		dBias:   tensor.New(1, outC),
+	}
+}
+
+// padH returns the padded input height.
+func (c *Conv2D) padH() int { return c.H + 2*c.Pad }
+
+// padW returns the padded input width.
+func (c *Conv2D) padW() int { return c.W + 2*c.Pad }
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return c.padH() - c.K + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return c.padW() - c.K + 1 }
+
+// padInput copies a batch into its zero-padded layout.
+func (c *Conv2D) padInput(x *tensor.Matrix) *tensor.Matrix {
+	if c.Pad == 0 {
+		return x
+	}
+	ph, pw := c.padH(), c.padW()
+	out := tensor.New(x.Rows, c.InC*ph*pw)
+	for b := 0; b < x.Rows; b++ {
+		src := x.Row(b)
+		dst := out.Row(b)
+		for ic := 0; ic < c.InC; ic++ {
+			for y := 0; y < c.H; y++ {
+				srcOff := ic*c.H*c.W + y*c.W
+				dstOff := ic*ph*pw + (y+c.Pad)*pw + c.Pad
+				copy(dst[dstOff:dstOff+c.W], src[srcOff:srcOff+c.W])
+			}
+		}
+	}
+	return out
+}
+
+// cropGrad maps a padded-input gradient back to the original layout.
+func (c *Conv2D) cropGrad(dxp *tensor.Matrix) *tensor.Matrix {
+	if c.Pad == 0 {
+		return dxp
+	}
+	ph, pw := c.padH(), c.padW()
+	out := tensor.New(dxp.Rows, c.InC*c.H*c.W)
+	for b := 0; b < dxp.Rows; b++ {
+		src := dxp.Row(b)
+		dst := out.Row(b)
+		for ic := 0; ic < c.InC; ic++ {
+			for y := 0; y < c.H; y++ {
+				srcOff := ic*ph*pw + (y+c.Pad)*pw + c.Pad
+				dstOff := ic*c.H*c.W + y*c.W
+				copy(dst[dstOff:dstOff+c.W], src[srcOff:srcOff+c.W])
+			}
+		}
+	}
+	return out
+}
+
+// OutSize returns the flattened output width (OutC*OutH*OutW).
+func (c *Conv2D) OutSize() int { return c.OutC * c.OutH() * c.OutW() }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv_%dto%d_k%d", c.InC, c.OutC, c.K)
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != c.InC*c.H*c.W {
+		panic(fmt.Sprintf("nn: conv input %d, want %d", x.Cols, c.InC*c.H*c.W))
+	}
+	c.batch = x.Rows
+	xp := c.padInput(x)
+	c.x = xp
+	ph, pw := c.padH(), c.padW()
+	oh, ow := c.OutH(), c.OutW()
+	out := tensor.New(x.Rows, c.OutSize())
+	for b := 0; b < x.Rows; b++ {
+		in := xp.Row(b)
+		dst := out.Row(b)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.Weight.Row(oc)
+			bias := c.Bias.Data[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := bias
+					wi := 0
+					for ic := 0; ic < c.InC; ic++ {
+						plane := in[ic*ph*pw:]
+						for ky := 0; ky < c.K; ky++ {
+							rowOff := (oy+ky)*pw + ox
+							for kx := 0; kx < c.K; kx++ {
+								s += w[wi] * plane[rowOff+kx]
+								wi++
+							}
+						}
+					}
+					dst[(oc*oh+oy)*ow+ox] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	ph, pw := c.padH(), c.padW()
+	oh, ow := c.OutH(), c.OutW()
+	dxp := tensor.New(c.batch, c.InC*ph*pw)
+	for b := 0; b < c.batch; b++ {
+		in := c.x.Row(b)
+		din := dxp.Row(b)
+		g := grad.Row(b)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.Weight.Row(oc)
+			dw := c.dWeight.Row(oc)
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g[(oc*oh+oy)*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					c.dBias.Data[oc] += gv
+					wi := 0
+					for ic := 0; ic < c.InC; ic++ {
+						off := ic * ph * pw
+						for ky := 0; ky < c.K; ky++ {
+							rowOff := off + (oy+ky)*pw + ox
+							for kx := 0; kx < c.K; kx++ {
+								dw[wi] += gv * in[rowOff+kx]
+								din[rowOff+kx] += gv * w[wi]
+								wi++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.cropGrad(dxp)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Matrix { return []*tensor.Matrix{c.Weight, c.Bias} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Matrix { return []*tensor.Matrix{c.dWeight, c.dBias} }
+
+// MaxPool2D is a non-overlapping K×K max pooling layer over channel-major
+// flattened images. Input dimensions must be divisible by K.
+type MaxPool2D struct {
+	C, H, W, K int
+	argmax     []int // per batch element and output cell: input index of max
+	batch      int
+}
+
+// NewMaxPool2D returns a K×K stride-K max pooling layer for C×H×W inputs.
+func NewMaxPool2D(c, h, w, k int) *MaxPool2D {
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: pool input %dx%d not divisible by %d", h, w, k))
+	}
+	return &MaxPool2D{C: c, H: h, W: w, K: k}
+}
+
+// OutH returns the output height.
+func (p *MaxPool2D) OutH() int { return p.H / p.K }
+
+// OutW returns the output width.
+func (p *MaxPool2D) OutW() int { return p.W / p.K }
+
+// OutSize returns the flattened output width.
+func (p *MaxPool2D) OutSize() int { return p.C * p.OutH() * p.OutW() }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool_k%d", p.K) }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != p.C*p.H*p.W {
+		panic(fmt.Sprintf("nn: pool input %d, want %d", x.Cols, p.C*p.H*p.W))
+	}
+	oh, ow := p.OutH(), p.OutW()
+	out := tensor.New(x.Rows, p.OutSize())
+	p.batch = x.Rows
+	p.argmax = make([]int, x.Rows*p.OutSize())
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		dst := out.Row(b)
+		for c := 0; c < p.C; c++ {
+			plane := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := plane + oy*p.K*p.W + ox*p.K
+					best := in[bestIdx]
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := plane + (oy*p.K+ky)*p.W + ox*p.K + kx
+							if in[idx] > best {
+								best = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oidx := (c*oh+oy)*ow + ox
+					dst[oidx] = best
+					p.argmax[b*p.OutSize()+oidx] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(p.batch, p.C*p.H*p.W)
+	for b := 0; b < p.batch; b++ {
+		g := grad.Row(b)
+		din := dx.Row(b)
+		for i, gv := range g {
+			din[p.argmax[b*p.OutSize()+i]] += gv
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Matrix { return nil }

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"decepticon/internal/rng"
+	"decepticon/internal/tensor"
+)
+
+// Dropout is inverted dropout: during training each activation is zeroed
+// with probability P and the survivors are scaled by 1/(1-P); at inference
+// it is the identity. The fingerprint classifier uses it between its
+// fully-connected layers — with a handful of trace images per class,
+// regularization is what separates memorizing jitter from learning the
+// release fingerprint.
+type Dropout struct {
+	P    float64
+	r    *rng.RNG
+	mask *tensor.Matrix
+}
+
+// NewDropout returns a dropout layer with drop probability p in [0, 1).
+func NewDropout(p float64, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, r: rng.New(seed)}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	d.mask = tensor.New(x.Rows, x.Cols)
+	scale := float32(1 / (1 - d.P))
+	out := tensor.New(x.Rows, x.Cols)
+	for i := range x.Data {
+		if d.r.Float64() >= d.P {
+			d.mask.Data[i] = scale
+			out.Data[i] = x.Data[i] * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	return tensor.Hadamard(grad, d.mask)
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Matrix { return nil }

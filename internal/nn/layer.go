@@ -1,0 +1,137 @@
+// Package nn is a small, dependency-free neural-network framework with
+// hand-written backpropagation. It powers the three auxiliary models of the
+// reproduction: the fingerprint CNN classifier (paper §5.4.2), the
+// DeepSniffer layer-sequence baseline (Table 2), and the ResNet-18 analog
+// used for the generalization study (Fig 19).
+//
+// Data layout: a batch is a tensor.Matrix with one example per row. Image
+// inputs are flattened channel-major (C, then H, then W); convolutional
+// layers carry their spatial dimensions in their configuration.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"decepticon/internal/rng"
+	"decepticon/internal/tensor"
+)
+
+// Layer is a differentiable network stage. Forward must be called before
+// Backward; layers may cache activations between the two calls, so a Layer
+// instance is not safe for concurrent use.
+type Layer interface {
+	// Name identifies the layer type (used in traces and error messages).
+	Name() string
+	// Forward computes the layer output for a batch x.
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward consumes the gradient of the loss with respect to the
+	// layer's output and returns the gradient with respect to its input,
+	// accumulating parameter gradients internally.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's trainable tensors (possibly empty).
+	Params() []*tensor.Matrix
+	// Grads returns the gradient tensors aligned with Params.
+	Grads() []*tensor.Matrix
+}
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	In, Out int
+	W, B    *tensor.Matrix // W: In×Out, B: 1×Out
+	dW, dB  *tensor.Matrix
+	x       *tensor.Matrix // cached input
+}
+
+// NewDense returns a dense layer with Kaiming-style initialization.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	std := math.Sqrt(2.0 / float64(in))
+	return &Dense{
+		In: in, Out: out,
+		W:  tensor.Randn(in, out, std, r),
+		B:  tensor.New(1, out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(1, out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("fc_%dx%d", d.In, d.Out) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	d.x = x
+	out := tensor.MatMul(x, d.W)
+	out.AddRowVector(d.B.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	tensor.AddInPlace(d.dW, tensor.MatMulTN(d.x, grad))
+	bg := grad.SumRows()
+	for i := range bg {
+		d.dB.Data[i] += bg[i]
+	}
+	return tensor.MatMulNT(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Matrix { return []*tensor.Matrix{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Matrix { return []*tensor.Matrix{d.dW, d.dB} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask *tensor.Matrix
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	r.mask = tensor.ReLUGradMask(x)
+	return tensor.ReLU(x)
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	return tensor.Hadamard(grad, r.mask)
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Matrix { return nil }
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against integer labels and the gradient of the loss with respect to the
+// logits (already divided by the batch size).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic("nn: label count does not match batch size")
+	}
+	probs := tensor.SoftmaxRows(logits)
+	grad := probs.Clone()
+	var loss float64
+	n := float32(logits.Rows)
+	for i, y := range labels {
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, logits.Cols))
+		}
+		p := probs.At(i, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		grad.Set(i, y, grad.At(i, y)-1)
+	}
+	grad.Scale(1 / n)
+	return loss / float64(logits.Rows), grad
+}

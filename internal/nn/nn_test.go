@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"decepticon/internal/rng"
+	"decepticon/internal/tensor"
+)
+
+// gradCheck verifies every parameter gradient of net against a central
+// finite difference of the loss.
+func gradCheck(t *testing.T, net *Sequential, x *tensor.Matrix, labels []int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		logits := net.Forward(x, true)
+		l, _ := SoftmaxCrossEntropy(logits, labels)
+		return l
+	}
+	// Analytic gradients.
+	logits := net.Forward(x, true)
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(grad)
+	params, grads := net.Params(), net.Grads()
+
+	const h = 1e-2
+	checked := 0
+	for pi, p := range params {
+		stride := len(p.Data)/5 + 1 // sample a handful of coordinates per tensor
+		for j := 0; j < len(p.Data); j += stride {
+			orig := p.Data[j]
+			p.Data[j] = orig + h
+			up := loss()
+			p.Data[j] = orig - h
+			down := loss()
+			p.Data[j] = orig
+			numeric := (up - down) / (2 * h)
+			analytic := float64(grads[pi].Data[j])
+			if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d[%d]: analytic %v vs numeric %v", pi, j, analytic, numeric)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("gradCheck checked nothing")
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	r := rng.New(1)
+	net := NewSequential(NewDense(6, 5, r), NewReLU(), NewDense(5, 3, r))
+	x := tensor.Randn(4, 6, 1, r)
+	gradCheck(t, net, x, []int{0, 1, 2, 1}, 2e-2)
+}
+
+func TestConvPoolGradients(t *testing.T) {
+	r := rng.New(2)
+	conv := NewConv2D(1, 2, 3, 6, 6, r) // -> 2x4x4
+	pool := NewMaxPool2D(2, 4, 4, 2)    // -> 2x2x2
+	net := NewSequential(conv, NewReLU(), pool, NewDense(pool.OutSize(), 3, r))
+	x := tensor.Randn(3, 36, 1, r)
+	gradCheck(t, net, x, []int{0, 1, 2}, 5e-2)
+}
+
+func TestConvForwardHandChecked(t *testing.T) {
+	r := rng.New(3)
+	c := NewConv2D(1, 1, 2, 3, 3, r)
+	// Set identity-ish kernel: picks top-left of each window.
+	c.Weight.Data = []float32{1, 0, 0, 0}
+	c.Bias.Data[0] = 0.5
+	x := tensor.FromSlice(1, 9, []float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	out := c.Forward(x, false)
+	want := []float32{1.5, 2.5, 4.5, 5.5}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("conv out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolForwardAndRouting(t *testing.T) {
+	p := NewMaxPool2D(1, 4, 4, 2)
+	x := tensor.FromSlice(1, 16, []float32{
+		1, 2, 0, 0,
+		3, 4, 0, 9,
+		0, 0, 5, 6,
+		0, 8, 7, 0,
+	})
+	out := p.Forward(x, false)
+	want := []float32{4, 9, 8, 7}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("pool out = %v, want %v", out.Data, want)
+		}
+	}
+	grad := tensor.FromSlice(1, 4, []float32{1, 1, 1, 1})
+	dx := p.Backward(grad)
+	// Gradient must route only to the max positions.
+	var nonzero int
+	for _, v := range dx.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("pool grad routed to %d cells, want 4", nonzero)
+	}
+	if dx.Data[5] != 1 || dx.Data[7] != 1 || dx.Data[13] != 1 || dx.Data[14] != 1 {
+		t.Fatalf("pool grad misrouted: %v", dx.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnownValue(t *testing.T) {
+	logits := tensor.FromSlice(1, 2, []float32{0, 0})
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln 2", loss)
+	}
+	if math.Abs(float64(grad.At(0, 0)+0.5)) > 1e-6 || math.Abs(float64(grad.At(0, 1)-0.5)) > 1e-6 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestSGDMomentumReducesLoss(t *testing.T) {
+	r := rng.New(4)
+	net := NewSequential(NewDense(4, 8, r), NewReLU(), NewDense(8, 2, r))
+	x := tensor.Randn(32, 4, 1, r)
+	labels := make([]int, 32)
+	for i := range labels {
+		if x.At(i, 0) > 0 {
+			labels[i] = 1
+		}
+	}
+	first, last := -1.0, -1.0
+	net.Fit(x, labels, TrainConfig{
+		Epochs: 30, BatchSize: 8, Seed: 1,
+		Optimizer: &SGD{LR: 0.05, Momentum: 0.9},
+		OnEpoch: func(e int, l float64) {
+			if e == 0 {
+				first = l
+			}
+			last = l
+		},
+	})
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %v last %v", first, last)
+	}
+	if acc := net.Evaluate(x, labels); acc < 0.9 {
+		t.Fatalf("training accuracy %v < 0.9", acc)
+	}
+}
+
+func TestAdamWLearnsXOR(t *testing.T) {
+	r := rng.New(5)
+	net := NewSequential(NewDense(2, 16, r), NewReLU(), NewDense(16, 2, r))
+	x := tensor.FromSlice(4, 2, []float32{0, 0, 0, 1, 1, 0, 1, 1})
+	labels := []int{0, 1, 1, 0}
+	net.Fit(x, labels, TrainConfig{
+		Epochs: 400, BatchSize: 4, Seed: 2, Optimizer: NewAdamW(0.01, 0),
+	})
+	if acc := net.Evaluate(x, labels); acc != 1 {
+		t.Fatalf("XOR accuracy %v, want 1", acc)
+	}
+}
+
+func TestAdamWWeightDecayShrinksIdleWeights(t *testing.T) {
+	// With zero gradients, decoupled weight decay must shrink weights
+	// multiplicatively — the mechanism behind the paper's U-shaped
+	// update distribution (Fig 4).
+	p := tensor.FromSlice(1, 2, []float32{1.0, -2.0})
+	g := tensor.New(1, 2)
+	opt := NewAdamW(0.1, 0.5)
+	opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if math.Abs(float64(p.Data[0]-0.95)) > 1e-6 {
+		t.Fatalf("weight after decay = %v, want 0.95", p.Data[0])
+	}
+	if math.Abs(float64(p.Data[1]+1.9)) > 1e-6 {
+		t.Fatalf("weight after decay = %v, want -1.9", p.Data[1])
+	}
+}
+
+func TestAdamWWarmupRampsLR(t *testing.T) {
+	p1 := tensor.FromSlice(1, 1, []float32{0})
+	g1 := tensor.FromSlice(1, 1, []float32{1})
+	warm := NewAdamW(0.1, 0)
+	warm.WarmupSteps = 10
+	warm.Step([]*tensor.Matrix{p1}, []*tensor.Matrix{g1})
+	p2 := tensor.FromSlice(1, 1, []float32{0})
+	g2 := tensor.FromSlice(1, 1, []float32{1})
+	cold := NewAdamW(0.1, 0)
+	cold.Step([]*tensor.Matrix{p2}, []*tensor.Matrix{g2})
+	if math.Abs(float64(p1.Data[0])) >= math.Abs(float64(p2.Data[0])) {
+		t.Fatalf("warmup step %v should be smaller than full step %v", p1.Data[0], p2.Data[0])
+	}
+}
+
+func TestOptimizerZeroesGrads(t *testing.T) {
+	p := tensor.FromSlice(1, 1, []float32{1})
+	g := tensor.FromSlice(1, 1, []float32{1})
+	(&SGD{LR: 0.1}).Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if g.Data[0] != 0 {
+		t.Fatal("SGD must zero gradients after stepping")
+	}
+	g.Data[0] = 1
+	NewAdamW(0.1, 0).Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if g.Data[0] != 0 {
+		t.Fatal("AdamW must zero gradients after stepping")
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	build := func() float64 {
+		r := rng.New(7)
+		net := NewSequential(NewDense(3, 4, r), NewReLU(), NewDense(4, 2, r))
+		x := tensor.Randn(16, 3, 1, r)
+		labels := make([]int, 16)
+		for i := range labels {
+			labels[i] = i % 2
+		}
+		return net.Fit(x, labels, TrainConfig{Epochs: 3, BatchSize: 4, Seed: 9, Optimizer: &SGD{LR: 0.1}})
+	}
+	if build() != build() {
+		t.Fatal("Fit must be deterministic for equal seeds")
+	}
+}
+
+func TestLabelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label must panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(1, 2), []int{5})
+}

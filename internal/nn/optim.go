@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+
+	"decepticon/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients and zeroes the
+// gradients afterwards.
+type Optimizer interface {
+	// Step applies one update. params and grads must be aligned and must
+	// be the same slices on every call (optimizer state is positional).
+	Step(params, grads []*tensor.Matrix)
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    []*tensor.Matrix
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Matrix) {
+	if s.velocity == nil {
+		s.velocity = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	lr := float32(s.LR)
+	mu := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for i, p := range params {
+		g := grads[i]
+		v := s.velocity[i]
+		for j := range p.Data {
+			v.Data[j] = mu*v.Data[j] + g.Data[j]
+			p.Data[j] -= lr * (v.Data[j] + wd*p.Data[j])
+			g.Data[j] = 0
+		}
+	}
+}
+
+// AdamW is Adam with decoupled weight decay (Loshchilov & Hutter), the
+// de-facto fine-tuning optimizer for transformers. The decoupled decay
+// term is what produces the paper's U-shaped update-vs-weight-value curve
+// (Fig 4): the decay contribution to |Δw| grows linearly with |w|.
+type AdamW struct {
+	LR          float64
+	Beta1       float64 // default 0.9
+	Beta2       float64 // default 0.999
+	Eps         float64 // default 1e-8
+	WeightDecay float64
+	// WarmupSteps linearly ramps the learning rate over the first N steps,
+	// mirroring the standard transformer fine-tuning schedule (and giving
+	// Fig 6 its rise-then-decay per-epoch delta shape).
+	WarmupSteps int
+	// TotalSteps, when positive, linearly decays the learning rate to zero
+	// between WarmupSteps and TotalSteps — the standard warmup-then-linear
+	// BERT fine-tuning schedule.
+	TotalSteps int
+
+	t int
+	m []*tensor.Matrix
+	v []*tensor.Matrix
+}
+
+// NewAdamW returns an AdamW optimizer with standard betas and epsilon.
+func NewAdamW(lr, weightDecay float64) *AdamW {
+	return &AdamW{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay}
+}
+
+// Step implements Optimizer.
+func (a *AdamW) Step(params, grads []*tensor.Matrix) {
+	if a.m == nil {
+		a.m = make([]*tensor.Matrix, len(params))
+		a.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Rows, p.Cols)
+			a.v[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	a.t++
+	lr := a.LR
+	switch {
+	case a.WarmupSteps > 0 && a.t < a.WarmupSteps:
+		lr *= float64(a.t) / float64(a.WarmupSteps)
+	case a.TotalSteps > a.WarmupSteps && a.t < a.TotalSteps:
+		lr *= float64(a.TotalSteps-a.t) / float64(a.TotalSteps-a.WarmupSteps)
+	case a.TotalSteps > 0 && a.t >= a.TotalSteps:
+		lr = 0
+	}
+	b1, b2 := a.Beta1, a.Beta2
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := float64(g.Data[j])
+			mj := b1*float64(m.Data[j]) + (1-b1)*gj
+			vj := b2*float64(v.Data[j]) + (1-b2)*gj*gj
+			m.Data[j] = float32(mj)
+			v.Data[j] = float32(vj)
+			mhat := mj / c1
+			vhat := vj / c2
+			upd := lr * (mhat/(math.Sqrt(vhat)+a.Eps) + a.WeightDecay*float64(p.Data[j]))
+			p.Data[j] -= float32(upd)
+			g.Data[j] = 0
+		}
+	}
+}

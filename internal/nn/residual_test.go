@@ -1,0 +1,256 @@
+package nn
+
+import (
+	"testing"
+
+	"decepticon/internal/rng"
+	"decepticon/internal/tensor"
+)
+
+func TestPaddedConvPreservesShape(t *testing.T) {
+	r := rng.New(1)
+	c := NewConv2DPadded(2, 2, 3, 6, 6, 1, r)
+	if c.OutH() != 6 || c.OutW() != 6 {
+		t.Fatalf("padded conv output %dx%d, want 6x6", c.OutH(), c.OutW())
+	}
+	x := tensor.Randn(2, 2*6*6, 1, r)
+	out := c.Forward(x, false)
+	if out.Cols != 2*6*6 {
+		t.Fatalf("output cols %d", out.Cols)
+	}
+}
+
+func TestPaddedConvHandChecked(t *testing.T) {
+	r := rng.New(2)
+	c := NewConv2DPadded(1, 1, 3, 2, 2, 1, r)
+	// Identity-center kernel: output = input (padding contributes zeros).
+	c.Weight.Data = []float32{0, 0, 0, 0, 1, 0, 0, 0, 0}
+	c.Bias.Data[0] = 0
+	x := tensor.FromSlice(1, 4, []float32{1, 2, 3, 4})
+	out := c.Forward(x, false)
+	for i, v := range []float32{1, 2, 3, 4} {
+		if out.Data[i] != v {
+			t.Fatalf("identity conv output %v", out.Data)
+		}
+	}
+	// Corner sum kernel: top-left output sees only in-bounds values.
+	c.Weight.Data = []float32{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	out = c.Forward(x, false)
+	if out.Data[0] != 1+2+3+4-4 { // window around (0,0): 1,2,3,4 minus bottom-right... compute directly
+		// window at (0,0) covers padded coords (-1..1, -1..1):
+		// zeros except (0,0)=1,(0,1)=2,(1,0)=3,(1,1)=4 -> 10
+		if out.Data[0] != 10 {
+			t.Fatalf("corner sum = %v, want 10", out.Data[0])
+		}
+	}
+}
+
+func TestPaddedConvGradients(t *testing.T) {
+	r := rng.New(3)
+	conv := NewConv2DPadded(1, 2, 3, 4, 4, 1, r) // -> 2x4x4
+	net := NewSequential(conv, NewReLU(), NewDense(2*4*4, 3, r))
+	x := tensor.Randn(2, 16, 1, r)
+	gradCheck(t, net, x, []int{0, 2}, 5e-2)
+}
+
+func TestResidualForward(t *testing.T) {
+	r := rng.New(4)
+	inner := NewConv2DPadded(1, 1, 3, 4, 4, 1, r)
+	for i := range inner.Weight.Data {
+		inner.Weight.Data[i] = 0
+	}
+	res := NewResidual(inner)
+	x := tensor.Randn(1, 16, 1, r)
+	out := res.Forward(x, false)
+	// Zero path => identity.
+	if !tensor.ApproxEqual(out, x, 1e-6) {
+		t.Fatal("residual with zero path must be identity")
+	}
+}
+
+func TestResidualGradients(t *testing.T) {
+	r := rng.New(5)
+	block := NewResidual(
+		NewConv2DPadded(1, 1, 3, 4, 4, 1, r.Derive("a")),
+		NewReLU(),
+		NewConv2DPadded(1, 1, 3, 4, 4, 1, r.Derive("b")),
+	)
+	net := NewSequential(block, NewReLU(), NewDense(16, 2, r))
+	x := tensor.Randn(2, 16, 1, r)
+	gradCheck(t, net, x, []int{0, 1}, 5e-2)
+}
+
+func TestResidualParamCollection(t *testing.T) {
+	r := rng.New(6)
+	block := NewResidual(
+		NewConv2DPadded(1, 2, 3, 4, 4, 1, r),
+		NewReLU(),
+		NewConv2DPadded(2, 1, 3, 4, 4, 1, r),
+	)
+	if len(block.Params()) != 4 || len(block.Grads()) != 4 {
+		t.Fatalf("params %d grads %d, want 4 each", len(block.Params()), len(block.Grads()))
+	}
+}
+
+func TestNegativePaddingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative padding must panic")
+		}
+	}()
+	NewConv2DPadded(1, 1, 3, 4, 4, -1, rng.New(1))
+}
+
+func TestDropoutInferenceIdentity(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := tensor.FromSlice(1, 4, []float32{1, 2, 3, 4})
+	out := d.Forward(x, false)
+	if !tensor.ApproxEqual(out, x, 0) {
+		t.Fatal("inference dropout must be identity")
+	}
+	// Backward with no mask passes gradients through.
+	g := tensor.FromSlice(1, 4, []float32{1, 1, 1, 1})
+	if !tensor.ApproxEqual(d.Backward(g), g, 0) {
+		t.Fatal("inference dropout backward must be identity")
+	}
+}
+
+func TestDropoutTrainingMaskAndScale(t *testing.T) {
+	d := NewDropout(0.5, 2)
+	x := tensor.FromSlice(1, 1000, make([]float32, 1000))
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropped %d of 1000 at p=0.5", zeros)
+	}
+	if zeros+scaled != 1000 {
+		t.Fatal("dropout produced unexpected values")
+	}
+	// Expectation preserved: mean ~1.
+	var sum float32
+	for _, v := range out.Data {
+		sum += v
+	}
+	if mean := sum / 1000; mean < 0.85 || mean > 1.15 {
+		t.Fatalf("inverted dropout mean %v, want ~1", mean)
+	}
+	// Backward routes gradients exactly through the surviving units.
+	g := tensor.New(1, 1000)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	back := d.Backward(g)
+	for i := range back.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("gradient mask mismatch")
+		}
+	}
+}
+
+func TestDropoutGradients(t *testing.T) {
+	// Gradcheck with dropout requires a frozen mask: run one training
+	// forward to fix it, then check parameter gradients of the surrounding
+	// layers against numeric differences under the same mask. Since
+	// Forward(train=true) redraws the mask, we instead verify with p=0
+	// (deterministic) that the layer composes cleanly.
+	r := rng.New(3)
+	net := NewSequential(NewDense(4, 6, r), NewDropout(0, 4), NewReLU(), NewDense(6, 2, r))
+	x := tensor.Randn(3, 4, 1, r)
+	gradCheck(t, net, x, []int{0, 1, 0}, 2e-2)
+}
+
+func TestDropoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 must panic")
+		}
+	}()
+	NewDropout(1, 1)
+}
+
+func TestBatchNormTrainingNormalizes(t *testing.T) {
+	r := rng.New(7)
+	bn := NewBatchNorm2D(2, 3, 3)
+	x := tensor.Randn(4, 2*9, 5, r)
+	for i := range x.Data {
+		x.Data[i] += 10 // large offset that normalization must remove
+	}
+	out := bn.Forward(x, true)
+	// Per channel: mean ~0, variance ~1 across (batch, H, W).
+	for c := 0; c < 2; c++ {
+		var sum, sumSq float64
+		n := 0
+		for b := 0; b < 4; b++ {
+			row := out.Row(b)
+			for i := c * 9; i < (c+1)*9; i++ {
+				sum += float64(row[i])
+				sumSq += float64(row[i]) * float64(row[i])
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		if mean > 1e-4 || mean < -1e-4 {
+			t.Fatalf("channel %d mean %v", c, mean)
+		}
+		if variance < 0.9 || variance > 1.1 {
+			t.Fatalf("channel %d variance %v", c, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	r := rng.New(8)
+	bn := NewBatchNorm2D(1, 2, 2)
+	// Warm the running stats on shifted data.
+	for i := 0; i < 50; i++ {
+		x := tensor.Randn(8, 4, 1, r)
+		for j := range x.Data {
+			x.Data[j] += 5
+		}
+		bn.Forward(x, true)
+	}
+	// Inference on the same distribution should be roughly normalized.
+	x := tensor.Randn(8, 4, 1, r)
+	for j := range x.Data {
+		x.Data[j] += 5
+	}
+	out := bn.Forward(x, false)
+	var sum float64
+	for _, v := range out.Data {
+		sum += float64(v)
+	}
+	if mean := sum / float64(len(out.Data)); mean > 0.5 || mean < -0.5 {
+		t.Fatalf("inference mean %v, want ~0", mean)
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	r := rng.New(9)
+	bn := NewBatchNorm2D(2, 2, 2)
+	net := NewSequential(NewConv2DPadded(2, 2, 3, 2, 2, 1, r), bn, NewReLU(), NewDense(8, 2, r))
+	x := tensor.Randn(3, 8, 1, r)
+	gradCheck(t, net, x, []int{0, 1, 0}, 5e-2)
+}
+
+func TestBatchNormShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	NewBatchNorm2D(2, 2, 2).Forward(tensor.New(1, 5), true)
+}

@@ -1,0 +1,165 @@
+// Package pruning implements the paper's head-pruning attack extension
+// (§8, "Supporting Quantization and Pruning"): when a victim was optimized
+// with attention-head pruning, the attacker recovers
+//
+//  1. *how many* heads each layer kept, from the kernel trace — pruned
+//     heads shorten the attention kernels (Fig 21); and
+//  2. *which* heads were pruned, from the pre-trained model's per-head
+//     Confidence values — confidences correlate almost perfectly between a
+//     pre-trained model and its fine-tuned descendants (Fig 20), and head
+//     pruning removes the lowest-confidence heads.
+//
+// The attacker needs only her own copy of the identified pre-trained
+// model (to simulate reference traces and compute confidences) and the
+// victim's timing trace.
+package pruning
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/transformer"
+)
+
+// Detection is the recovered pruning configuration.
+type Detection struct {
+	// ActiveHeads[l] is the inferred number of unpruned heads in layer l.
+	ActiveHeads []int
+	// PrunedHeads[l] lists the inferred pruned head indices of layer l.
+	PrunedHeads [][]int
+}
+
+// TotalPruned returns the inferred total pruned-head count.
+func (d Detection) TotalPruned() int {
+	n := 0
+	for _, heads := range d.PrunedHeads {
+		n += len(heads)
+	}
+	return n
+}
+
+// DetectActiveHeads infers, per encoder layer, how many attention heads
+// the victim kept. The attacker simulates reference traces of the
+// identified architecture with every uniform head count (she controls her
+// own copy of the pre-trained model) and matches the victim's per-layer
+// attention-kernel durations against them. Kernel launch *schedules* are
+// unchanged by pruning, so traces align positionally.
+func DetectActiveHeads(victim *gpusim.Trace, arch transformer.Config, prof gpusim.Profile) ([]int, error) {
+	// Reference traces, one per uniform head count.
+	refs := make([]*gpusim.Trace, arch.Heads+1)
+	for c := 1; c <= arch.Heads; c++ {
+		counts := make([]int, arch.Layers)
+		for l := range counts {
+			counts[l] = c
+		}
+		refs[c] = gpusim.SimulateTransformer(arch, counts, prof, gpusim.Options{})
+	}
+	full := refs[arch.Heads]
+	if len(victim.Execs) != len(full.Execs) {
+		return nil, fmt.Errorf("pruning: victim trace has %d kernels, architecture predicts %d",
+			len(victim.Execs), len(full.Execs))
+	}
+
+	active := make([]int, arch.Layers)
+	layer := 0
+	for _, sec := range full.Sections {
+		if !strings.HasPrefix(sec.Name, "encoder") {
+			continue
+		}
+		best, bestErr := arch.Heads, -1.0
+		for c := 1; c <= arch.Heads; c++ {
+			var err float64
+			for i := sec.Start; i < sec.End; i++ {
+				d := victim.Execs[i].Duration() - refs[c].Execs[i].Duration()
+				err += d * d
+			}
+			if bestErr < 0 || err < bestErr {
+				best, bestErr = c, err
+			}
+		}
+		active[layer] = best
+		layer++
+	}
+	return active, nil
+}
+
+// LocatePrunedHeads picks, per layer, which heads were pruned: the
+// lowest-confidence heads of the attacker's pre-trained model copy, as
+// many as the trace says are missing. probes are the attacker's inputs
+// for the confidence computation.
+func LocatePrunedHeads(pre *transformer.Model, activeHeads []int, probes [][]int) [][]int {
+	conf := pre.HeadConfidence(probes)
+	out := make([][]int, len(activeHeads))
+	for l, active := range activeHeads {
+		pruneCount := pre.Heads - active
+		if pruneCount <= 0 || l >= len(conf) {
+			continue
+		}
+		idx := make([]int, pre.Heads)
+		for h := range idx {
+			idx[h] = h
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return conf[l][idx[a]] < conf[l][idx[b]] })
+		heads := append([]int(nil), idx[:pruneCount]...)
+		sort.Ints(heads)
+		out[l] = heads
+	}
+	return out
+}
+
+// Detect runs the full pruning recovery: head counts from the trace, head
+// locations from pre-trained confidences.
+func Detect(victim *gpusim.Trace, pre *transformer.Model, prof gpusim.Profile, probes [][]int) (Detection, error) {
+	active, err := DetectActiveHeads(victim, pre.Config, prof)
+	if err != nil {
+		return Detection{}, err
+	}
+	return Detection{
+		ActiveHeads: active,
+		PrunedHeads: LocatePrunedHeads(pre, active, probes),
+	}, nil
+}
+
+// Accuracy scores a detection against the victim's true pruning masks:
+// countAcc is the fraction of layers with the correct active-head count,
+// headAcc the fraction of truly pruned heads the detection identified.
+func Accuracy(d Detection, victim *transformer.Model) (countAcc, headAcc float64) {
+	layers := victim.Layers
+	correctCounts := 0
+	var truePruned, hit float64
+	for l := 0; l < layers; l++ {
+		trueActive := 0
+		pruned := map[int]bool{}
+		for h, p := range victim.Blocks[l].HeadPruned {
+			if p {
+				pruned[h] = true
+			} else {
+				trueActive++
+			}
+		}
+		if l < len(d.ActiveHeads) && d.ActiveHeads[l] == trueActive {
+			correctCounts++
+		}
+		detected := map[int]bool{}
+		if l < len(d.PrunedHeads) {
+			for _, h := range d.PrunedHeads[l] {
+				detected[h] = true
+			}
+		}
+		for h := range pruned {
+			truePruned++
+			if detected[h] {
+				hit++
+			}
+		}
+	}
+	countAcc = float64(correctCounts) / float64(layers)
+	if truePruned > 0 {
+		headAcc = hit / truePruned
+	} else {
+		headAcc = 1
+	}
+	return countAcc, headAcc
+}

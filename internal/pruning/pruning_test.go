@@ -1,0 +1,184 @@
+package pruning
+
+import (
+	"testing"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/rng"
+	"decepticon/internal/task"
+	"decepticon/internal/transformer"
+)
+
+func setup(t *testing.T) (pre, victim *transformer.Model, prof gpusim.Profile, probes [][]int) {
+	t.Helper()
+	cfg := transformer.Config{
+		Name: "small", Layers: 4, Hidden: 24, Heads: 4, FFN: 48,
+		Vocab: 96, MaxSeq: 16, Labels: 2,
+	}
+	pre = transformer.NewWithInit(cfg.WithLabels(cfg.Vocab), 1, transformer.TrainedInit)
+	// Light pre-training so head confidences have structure.
+	data := task.GenerateMLM(cfg.Vocab, 12, 120, 2)
+	pre.Train(data, transformer.TrainConfig{Epochs: 4, BatchSize: 8, LR: 3e-3, HeadLR: 6e-3, WeightDecay: 0.02, Seed: 3})
+
+	// The victim is fine-tuned from pre and then head-pruned: per layer,
+	// drop the lowest-confidence heads (as head-pruning optimizations do).
+	tk, _ := task.ByName("sst2")
+	ft := tk.Generate(cfg.Vocab, 60, 4)
+	victim = transformer.FineTuneFrom(pre, tk.Labels, ft, transformer.TrainConfig{
+		Epochs: 2, BatchSize: 4, LR: 3e-5, HeadLR: 2e-2, WeightDecay: 1, Seed: 5}, 6)
+
+	probes = probeInputs(cfg.Vocab, cfg.MaxSeq, 16, 7)
+	conf := victim.HeadConfidence(probes)
+	prunePerLayer := []int{0, 1, 2, 1}
+	for l, n := range prunePerLayer {
+		// Prune the n lowest-confidence heads of the victim.
+		for k := 0; k < n; k++ {
+			best, bestConf := -1, 2.0
+			for h := 0; h < victim.Heads; h++ {
+				if victim.Blocks[l].HeadPruned[h] {
+					continue
+				}
+				if conf[l][h] < bestConf {
+					best, bestConf = h, conf[l][h]
+				}
+			}
+			victim.PruneHeads(l, best)
+		}
+	}
+
+	prof = gpusim.Profile{Source: "huggingface", Framework: gpusim.PyTorch, Seed: 8}
+	return pre, victim, prof, probes
+}
+
+func victimTrace(victim *transformer.Model, prof gpusim.Profile, jitter float64) *gpusim.Trace {
+	active := make([]int, victim.Layers)
+	for l, b := range victim.Blocks {
+		n := 0
+		for _, p := range b.HeadPruned {
+			if !p {
+				n++
+			}
+		}
+		active[l] = n
+	}
+	return gpusim.SimulateTransformer(victim.Config, active, prof, gpusim.Options{
+		MeasureSeed: 9, JitterMagnitude: jitter,
+	})
+}
+
+func probeInputs(vocab, maxSeq, n int, seed uint64) [][]int {
+	r := rng.New(seed)
+	out := make([][]int, n)
+	for i := range out {
+		tokens := make([]int, maxSeq)
+		for j := 1; j < maxSeq; j++ {
+			tokens[j] = 2 + r.Intn(vocab-2)
+		}
+		out[i] = tokens
+	}
+	return out
+}
+
+func TestDetectActiveHeadsExact(t *testing.T) {
+	_, victim, prof, _ := setup(t)
+	tr := victimTrace(victim, prof, 0)
+	active, err := DetectActiveHeads(tr, victim.Config, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 3, 2, 3}
+	for l := range want {
+		if active[l] != want[l] {
+			t.Fatalf("layer %d: detected %d active heads, want %d (all: %v)", l, active[l], want[l], active)
+		}
+	}
+}
+
+func TestDetectActiveHeadsUnderJitter(t *testing.T) {
+	_, victim, prof, _ := setup(t)
+	tr := victimTrace(victim, prof, 0.2)
+	active, err := DetectActiveHeads(tr, victim.Config, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 3, 2, 3}
+	wrong := 0
+	for l := range want {
+		if active[l] != want[l] {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Fatalf("jittered detection wrong in %d/4 layers: %v", wrong, active)
+	}
+}
+
+func TestEndToEndDetection(t *testing.T) {
+	pre, victim, prof, probes := setup(t)
+	tr := victimTrace(victim, prof, 0)
+	det, err := Detect(tr, pre, prof, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.TotalPruned() != victim.PrunedHeadCount() {
+		t.Fatalf("detected %d pruned heads, victim has %d", det.TotalPruned(), victim.PrunedHeadCount())
+	}
+	countAcc, headAcc := Accuracy(det, victim)
+	if countAcc < 1 {
+		t.Fatalf("count accuracy %v, want 1 on clean trace", countAcc)
+	}
+	// Head localization relies on the Fig 20 confidence correlation; it
+	// should identify most pruned heads.
+	if headAcc < 0.75 {
+		t.Fatalf("head localization accuracy %v, want >= 0.75", headAcc)
+	}
+}
+
+func TestDetectRejectsWrongArchitecture(t *testing.T) {
+	_, victim, prof, _ := setup(t)
+	tr := victimTrace(victim, prof, 0)
+	other := victim.Config
+	other.Layers = 2
+	if _, err := DetectActiveHeads(tr, other, prof); err == nil {
+		t.Fatal("architecture mismatch must error")
+	}
+}
+
+func TestUnprunedVictimDetectsFull(t *testing.T) {
+	pre, _, prof, probes := setup(t)
+	tr := gpusim.SimulateTransformer(pre.Config, nil, prof, gpusim.Options{})
+	det, err := Detect(tr, pre, prof, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, a := range det.ActiveHeads {
+		if a != pre.Heads {
+			t.Fatalf("layer %d: detected %d active on unpruned victim", l, a)
+		}
+	}
+	if det.TotalPruned() != 0 {
+		t.Fatalf("detected %d pruned heads on unpruned victim", det.TotalPruned())
+	}
+}
+
+func TestAccuracyScoring(t *testing.T) {
+	_, victim, _, _ := setup(t)
+	// A perfect detection built from ground truth scores 1/1.
+	det := Detection{
+		ActiveHeads: make([]int, victim.Layers),
+		PrunedHeads: make([][]int, victim.Layers),
+	}
+	for l, b := range victim.Blocks {
+		for h, p := range b.HeadPruned {
+			if p {
+				det.PrunedHeads[l] = append(det.PrunedHeads[l], h)
+			} else {
+				det.ActiveHeads[l]++
+			}
+		}
+	}
+	c, h := Accuracy(det, victim)
+	if c != 1 || h != 1 {
+		t.Fatalf("ground-truth detection scored %v/%v", c, h)
+	}
+}

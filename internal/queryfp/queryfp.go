@@ -1,0 +1,129 @@
+// Package queryfp implements the paper's input-dependent model variant
+// detector (§5.3): when several candidate pre-trained models share an
+// execution fingerprint (same source, same architecture — e.g. cased vs.
+// uncased BERT, CamemBERT vs. RuBERT), query outputs become the secondary
+// fingerprint. The attacker compiles probe queries from words each
+// candidate's vocabulary is uniquely trained with; a victim that inherited
+// that vocabulary reacts to the probe, while for every other victim the
+// probe tokenizes to pure UNK and is indistinguishable from gibberish.
+package queryfp
+
+import (
+	"fmt"
+	"strings"
+
+	"decepticon/internal/tokenizer"
+)
+
+// Candidate is one pre-trained model the attacker holds in its pool.
+type Candidate struct {
+	Name  string
+	Vocab *tokenizer.Vocab
+}
+
+// Probe is one crafted query.
+type Probe struct {
+	Text string
+	// ForCandidate is the candidate whose vocabulary uniquely contains the
+	// probe's words.
+	ForCandidate string
+}
+
+// BlackBox is the only victim interface the detector uses: text in, class
+// probabilities out.
+type BlackBox func(text string) []float32
+
+// wordsPerProbe is how many unique words one probe packs.
+const wordsPerProbe = 3
+
+// CompileProbes builds perCandidate probes for every candidate from words
+// unique to that candidate's vocabulary (vocab.txt differences, language-
+// specific words, casing-specific forms — §5.3). Candidates whose
+// vocabulary has no unique words get no probes.
+func CompileProbes(candidates []*Candidate, perCandidate int) []Probe {
+	var out []Probe
+	vocabs := make([]*tokenizer.Vocab, len(candidates))
+	for i, c := range candidates {
+		vocabs[i] = c.Vocab
+	}
+	for _, c := range candidates {
+		unique := c.Vocab.UniqueWords(vocabs, perCandidate*wordsPerProbe)
+		for p := 0; p+wordsPerProbe <= len(unique) && p/wordsPerProbe < perCandidate; p += wordsPerProbe {
+			out = append(out, Probe{
+				Text:         strings.Join(unique[p:p+wordsPerProbe], " "),
+				ForCandidate: c.Name,
+			})
+		}
+	}
+	return out
+}
+
+// BaselineText returns a query that is out-of-vocabulary for every
+// candidate (the synthetic vocabularies contain no digits), so any victim
+// tokenizes it to pure UNK.
+func BaselineText() string {
+	words := make([]string, wordsPerProbe)
+	for i := range words {
+		words[i] = fmt.Sprintf("x%d%d", i, i+7)
+	}
+	return strings.Join(words, " ")
+}
+
+// outputsEqual reports whether two probability vectors are identical. A
+// victim's output on a probe equals its baseline output exactly when every
+// probe word tokenized to UNK (model inference is deterministic).
+func outputsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the detector's verdict.
+type Result struct {
+	Best string
+	// Recognized counts, per candidate name, how many of its probes the
+	// victim reacted to.
+	Recognized map[string]int
+	// Queries is the total number of black-box queries spent.
+	Queries int
+}
+
+// Detect identifies which candidate's vocabulary the victim inherited.
+// It sends each probe and the all-UNK baseline to the victim and scores a
+// candidate whenever the victim's output on its probe differs from the
+// baseline output. Ties and all-zero scores leave Best empty.
+func Detect(candidates []*Candidate, bb BlackBox, perCandidate int) Result {
+	if perCandidate <= 0 {
+		perCandidate = 4
+	}
+	res := Result{Recognized: make(map[string]int)}
+	baseline := bb(BaselineText())
+	res.Queries++
+	for _, p := range CompileProbes(candidates, perCandidate) {
+		out := bb(p.Text)
+		res.Queries++
+		if !outputsEqual(out, baseline) {
+			res.Recognized[p.ForCandidate]++
+		}
+	}
+	best, bestScore, tie := "", 0, false
+	for _, c := range candidates {
+		score := res.Recognized[c.Name]
+		switch {
+		case score > bestScore:
+			best, bestScore, tie = c.Name, score, false
+		case score == bestScore && score > 0:
+			tie = true
+		}
+	}
+	if !tie && bestScore > 0 {
+		res.Best = best
+	}
+	return res
+}

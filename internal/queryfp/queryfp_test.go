@@ -1,0 +1,154 @@
+package queryfp
+
+import (
+	"testing"
+
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/transformer"
+)
+
+// victim builds a black box backed by a real tiny transformer that
+// tokenizes with the given vocabulary — the same shape as a zoo victim.
+func victim(v *tokenizer.Vocab, seed uint64) BlackBox {
+	cfg := transformer.Config{
+		Name: "victim", Layers: 2, Hidden: 16, Heads: 2, FFN: 32,
+		Vocab: v.Size, MaxSeq: 16, Labels: 2,
+	}
+	m := transformer.New(cfg, seed)
+	return func(text string) []float32 {
+		return m.Probs(v.Tokenize(text, cfg.MaxSeq))
+	}
+}
+
+func candidates() []*Candidate {
+	mk := func(name, lang string, cased bool, seed uint64) *Candidate {
+		return &Candidate{Name: name, Vocab: tokenizer.NewVocab(name, lang, cased, 96, seed)}
+	}
+	return []*Candidate{
+		mk("bert-base-uncased", "en", false, 1),
+		mk("bert-base-cased", "en", true, 2),
+		mk("camembert-base", "fr", false, 3),
+		mk("rubert-base", "ru", false, 4),
+	}
+}
+
+func TestDetectEachCandidate(t *testing.T) {
+	cands := candidates()
+	for i, truth := range cands {
+		bb := victim(truth.Vocab, uint64(10+i))
+		res := Detect(cands, bb, 4)
+		if res.Best != truth.Name {
+			t.Fatalf("victim %s detected as %q (scores %v)", truth.Name, res.Best, res.Recognized)
+		}
+		if res.Queries == 0 {
+			t.Fatal("no queries counted")
+		}
+	}
+}
+
+func TestDetectRecognizesOnlyOwnProbes(t *testing.T) {
+	cands := candidates()
+	bb := victim(cands[2].Vocab, 7) // camembert victim
+	res := Detect(cands, bb, 4)
+	if res.Recognized["rubert-base"] != 0 {
+		t.Fatalf("russian probes recognized by french victim: %v", res.Recognized)
+	}
+	if res.Recognized["camembert-base"] == 0 {
+		t.Fatalf("french probes unrecognized by french victim: %v", res.Recognized)
+	}
+}
+
+func TestDetectUnknownVictim(t *testing.T) {
+	cands := candidates()
+	// A victim whose vocabulary is in none of the candidates.
+	stranger := tokenizer.NewVocab("stranger", "en", false, 96, 999)
+	bb := victim(stranger, 8)
+	res := Detect(cands, bb, 4)
+	// The stranger may coincidentally share a few English words with the
+	// candidates, but should not be confidently matched to the French or
+	// Russian models.
+	if res.Best == "camembert-base" || res.Best == "rubert-base" {
+		t.Fatalf("stranger matched to %s", res.Best)
+	}
+}
+
+func TestCompileProbes(t *testing.T) {
+	cands := candidates()
+	probes := CompileProbes(cands, 3)
+	perCand := map[string]int{}
+	for _, p := range probes {
+		perCand[p.ForCandidate]++
+		if p.Text == "" {
+			t.Fatal("empty probe text")
+		}
+	}
+	for _, c := range cands {
+		if perCand[c.Name] == 0 {
+			t.Fatalf("no probes for %s", c.Name)
+		}
+		if perCand[c.Name] > 3 {
+			t.Fatalf("too many probes for %s: %d", c.Name, perCand[c.Name])
+		}
+	}
+	// Probe words must be unique to their candidate.
+	for _, p := range probes {
+		var owner *Candidate
+		for _, c := range cands {
+			if c.Name == p.ForCandidate {
+				owner = c
+			}
+		}
+		for _, c := range cands {
+			if c == owner {
+				continue
+			}
+			for _, w := range splitWords(p.Text) {
+				if c.Vocab.Contains(w) {
+					t.Fatalf("probe word %q for %s also in %s", w, owner.Name, c.Name)
+				}
+			}
+		}
+	}
+}
+
+func splitWords(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if r == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestBaselineTextIsAlwaysUNK(t *testing.T) {
+	for _, c := range candidates() {
+		toks := c.Vocab.Tokenize(BaselineText(), 16)
+		for _, id := range toks[1:] {
+			if id != tokenizer.UNK {
+				t.Fatalf("baseline text tokenized to %v under %s", toks, c.Name)
+			}
+		}
+	}
+}
+
+func TestOutputsEqual(t *testing.T) {
+	if !outputsEqual([]float32{1, 2}, []float32{1, 2}) {
+		t.Fatal("equal vectors reported unequal")
+	}
+	if outputsEqual([]float32{1, 2}, []float32{1, 3}) {
+		t.Fatal("unequal vectors reported equal")
+	}
+	if outputsEqual([]float32{1}, []float32{1, 1}) {
+		t.Fatal("length mismatch reported equal")
+	}
+}

@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedLabelSensitivity(t *testing.T) {
+	if Seed("a", "b") == Seed("ab") {
+		t.Fatal("label boundaries must affect the seed")
+	}
+	if Seed("model-1") == Seed("model-2") {
+		t.Fatal("different labels must give different seeds")
+	}
+	if Seed("x") != Seed("x") {
+		t.Fatal("Seed must be deterministic")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	before := parent.state
+	child := parent.Derive("child")
+	if parent.state != before {
+		t.Fatal("Derive must not advance the parent stream")
+	}
+	c2 := New(7).Derive("child")
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != c2.Uint64() {
+			t.Fatal("Derive must be deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("value %d never produced", v)
+		}
+		if c < 500 || c > 1500 {
+			t.Fatalf("value %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance %v too far from 1", variance)
+	}
+}
+
+func TestNormalScaled(t *testing.T) {
+	r := New(5)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Normal(3, 0.5))
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.02 {
+		t.Fatalf("scaled mean %v too far from 3", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%64)
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(6)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Choice([]float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Fatalf("weighted choice ordering violated: %v", counts)
+	}
+	if counts[2] < 18000 {
+		t.Fatalf("heaviest weight picked too rarely: %v", counts)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Choice(%v) must panic", w)
+				}
+			}()
+			New(1).Choice(w)
+		}()
+	}
+}
+
+func TestShuffleMatchesPermDistribution(t *testing.T) {
+	r := New(9)
+	s := []int{0, 1, 2, 3, 4}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}

@@ -1,0 +1,92 @@
+package sidechannel
+
+import (
+	"fmt"
+	"math"
+
+	"decepticon/internal/transformer"
+)
+
+// InferArchitecture recovers a transformer's architecture from the
+// anonymous allocation sizes bus probing reveals (§3: the attacker can
+// collect "memory addresses" on the CPU-GPU interconnect). The attacker
+// sees tensor sizes and allocation order, never names:
+//
+//   - the embedding allocations come first (Vocab×H, MaxSeq×H);
+//   - encoder blocks repeat a fixed 16-allocation group whose largest
+//     square member is H×H and whose largest member is H×FFN;
+//   - the trailing pair is the task head (H×Labels, Labels).
+//
+// Head count is not memory-visible (all heads share the Q/K/V matrices),
+// so Heads is left at 0 for the caller to fill from other hints.
+func InferArchitecture(sizes []int) (transformer.Config, error) {
+	// Embeddings (2) + at least one block (16) + head (2).
+	const perBlock = 16
+	if len(sizes) < 2+perBlock+2 {
+		return transformer.Config{}, fmt.Errorf("sidechannel: %d allocations, too few for a transformer", len(sizes))
+	}
+	body := sizes[2 : len(sizes)-2]
+	if len(body)%perBlock != 0 {
+		return transformer.Config{}, fmt.Errorf("sidechannel: %d block allocations not divisible by %d", len(body), perBlock)
+	}
+	layers := len(body) / perBlock
+	// Verify the periodicity: every block's size pattern must repeat.
+	for l := 1; l < layers; l++ {
+		for j := 0; j < perBlock; j++ {
+			if body[l*perBlock+j] != body[j] {
+				return transformer.Config{}, fmt.Errorf("sidechannel: block %d allocation %d breaks the repetition", l, j)
+			}
+		}
+	}
+	// Hidden: the largest perfect square in a block (the H×H projections).
+	hidden := 0
+	for _, s := range body[:perBlock] {
+		r := int(math.Sqrt(float64(s)))
+		if r*r == s && r > hidden {
+			hidden = r
+		}
+	}
+	if hidden == 0 {
+		return transformer.Config{}, fmt.Errorf("sidechannel: no square projection allocation found")
+	}
+	// FFN: the largest block allocation divided by hidden.
+	largest := 0
+	for _, s := range body[:perBlock] {
+		if s > largest {
+			largest = s
+		}
+	}
+	ffn := largest / hidden
+	if ffn*hidden != largest {
+		return transformer.Config{}, fmt.Errorf("sidechannel: FFN allocation %d not a multiple of hidden %d", largest, hidden)
+	}
+	if ffn < hidden {
+		ffn = hidden // degenerate FFN smaller than hidden: square dominates
+	}
+	cfg := transformer.Config{
+		Name:   "inferred",
+		Layers: layers,
+		Hidden: hidden,
+		FFN:    ffn,
+		Vocab:  sizes[0] / hidden,
+		MaxSeq: sizes[1] / hidden,
+		Labels: sizes[len(sizes)-1],
+	}
+	if cfg.Vocab*hidden != sizes[0] || cfg.MaxSeq*hidden != sizes[1] {
+		return transformer.Config{}, fmt.Errorf("sidechannel: embedding allocations inconsistent with hidden %d", hidden)
+	}
+	if headW := sizes[len(sizes)-2]; headW != hidden*cfg.Labels {
+		return transformer.Config{}, fmt.Errorf("sidechannel: head allocation %d inconsistent with %d labels", headW, cfg.Labels)
+	}
+	return cfg, nil
+}
+
+// Sizes returns the allocation sizes of an address map in order — the
+// attacker-visible view used by InferArchitecture.
+func (am *AddressMap) Sizes() []int {
+	out := make([]int, len(am.Regions))
+	for i, r := range am.Regions {
+		out[i] = r.Count
+	}
+	return out
+}

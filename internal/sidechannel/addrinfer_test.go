@@ -1,0 +1,62 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"decepticon/internal/transformer"
+)
+
+func TestInferArchitectureAllFamilies(t *testing.T) {
+	for name, cfg := range transformer.Family() {
+		m := transformer.New(cfg.WithLabels(3), 1)
+		am := MapModel(m)
+		got, err := InferArchitecture(am.Sizes())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Layers != cfg.Layers || got.Hidden != cfg.Hidden || got.FFN != cfg.FFN {
+			t.Fatalf("%s: inferred L%d H%d F%d, want L%d H%d F%d",
+				name, got.Layers, got.Hidden, got.FFN, cfg.Layers, cfg.Hidden, cfg.FFN)
+		}
+		if got.Vocab != cfg.Vocab || got.MaxSeq != cfg.MaxSeq || got.Labels != 3 {
+			t.Fatalf("%s: inferred V%d S%d C%d, want V%d S%d C3",
+				name, got.Vocab, got.MaxSeq, got.Labels, cfg.Vocab, cfg.MaxSeq)
+		}
+	}
+}
+
+func TestInferArchitectureRejectsJunk(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{1, 2, 3},
+		// Non-repeating body.
+		append(append([]int{96 * 16, 16 * 16}, make([]int, 32)...), 16, 2),
+	}
+	for i, sizes := range cases {
+		if _, err := InferArchitecture(sizes); err == nil {
+			t.Fatalf("case %d: junk sizes accepted", i)
+		}
+	}
+}
+
+func TestInferArchitectureNoHeadsFromMemory(t *testing.T) {
+	// Head count is not memory-visible: two configs differing only in
+	// Heads produce identical allocation sequences.
+	a := transformer.Config{Name: "a", Layers: 2, Hidden: 16, Heads: 2, FFN: 32, Vocab: 48, MaxSeq: 8, Labels: 2}
+	b := a
+	b.Heads = 4
+	sa := MapModel(transformer.New(a, 1)).Sizes()
+	sb := MapModel(transformer.New(b, 2)).Sizes()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("head count leaked through allocation sizes")
+		}
+	}
+	got, err := InferArchitecture(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Heads != 0 {
+		t.Fatalf("inferred heads %d, want 0 (unknown)", got.Heads)
+	}
+}

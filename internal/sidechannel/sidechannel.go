@@ -1,0 +1,169 @@
+// Package sidechannel simulates the physical leakage channels Decepticon
+// composes (paper §3, §6.1):
+//
+//   - a bus-probe address map: PCIe/memory-bus snooping reveals where each
+//     weight tensor lives in device memory, so the attacker can address
+//     individual weights;
+//   - a rowhammer bit-read oracle in the style of DeepSteal [40]: reading
+//     one DRAM-resident bit costs thousands of hammering rounds, which is
+//     precisely why the paper's selective extraction — checking only the
+//     few bits fine-tuning can have changed — is the difference between an
+//     impractical and a practical attack on large models.
+//
+// The oracle returns ground-truth victim bits (the simulation is exact)
+// while metering the cost the attacker would pay.
+package sidechannel
+
+import (
+	"fmt"
+	"sort"
+
+	"decepticon/internal/ieee754"
+	"decepticon/internal/rng"
+	"decepticon/internal/transformer"
+)
+
+// HammerRoundsPerBit is the simulated cost of one bit read. DeepSteal
+// reports needing thousands of rowhammer rounds to recover part of a
+// weight; 2048 rounds per recovered bit is the cost model used for every
+// efficiency number in EXPERIMENTS.md.
+const HammerRoundsPerBit = 2048
+
+// Region is one weight tensor's placement in victim device memory.
+type Region struct {
+	Param string // tensor name (transformer.NamedParam.Name)
+	Layer int
+	Base  uintptr // simulated device address
+	Count int     // number of float32 weights
+}
+
+// AddressMap is what bus probing gives the attacker: tensor placements in
+// device memory, in allocation order.
+type AddressMap struct {
+	Regions []Region
+}
+
+// MapModel lays the victim's tensors out contiguously (16-byte aligned),
+// as a framework allocator would, and returns the observed address map.
+func MapModel(m *transformer.Model) *AddressMap {
+	const base = uintptr(0x7f0000000000)
+	addr := base
+	am := &AddressMap{}
+	for _, p := range m.Params() {
+		n := len(p.Value.Data)
+		am.Regions = append(am.Regions, Region{
+			Param: p.Name, Layer: p.Layer, Base: addr, Count: n,
+		})
+		addr += uintptr(n*4+15) &^ 15
+	}
+	return am
+}
+
+// RegionOf returns the region holding a parameter.
+func (am *AddressMap) RegionOf(param string) (Region, bool) {
+	for _, r := range am.Regions {
+		if r.Param == param {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Locate resolves a device address to (param, weight index).
+func (am *AddressMap) Locate(addr uintptr) (string, int, bool) {
+	i := sort.Search(len(am.Regions), func(i int) bool {
+		return am.Regions[i].Base > addr
+	})
+	if i == 0 {
+		return "", 0, false
+	}
+	r := am.Regions[i-1]
+	off := int(addr-r.Base) / 4
+	if off >= r.Count {
+		return "", 0, false
+	}
+	return r.Param, off, true
+}
+
+// Oracle is the rowhammer bit-read channel over one victim model.
+type Oracle struct {
+	weights map[string][]float32
+	// BitReads is the number of bit reads performed so far.
+	BitReads int
+	// BitErrorRate, when positive, makes each read return a flipped bit
+	// with this probability — rowhammer reads are not perfectly reliable,
+	// and a robust extraction must tolerate occasional wrong bits.
+	BitErrorRate float64
+
+	noise *rng.RNG
+}
+
+// NewOracle wraps a victim model. The oracle holds references to the
+// victim's live weights; the attacker never sees them except one metered
+// bit at a time.
+func NewOracle(victim *transformer.Model) *Oracle {
+	o := &Oracle{weights: make(map[string][]float32), noise: rng.New(0x5eed)}
+	for _, p := range victim.Params() {
+		o.weights[p.Name] = p.Value.Data
+	}
+	return o
+}
+
+// SetNoise configures an unreliable channel: reads flip with probability
+// rate, deterministically per seed.
+func (o *Oracle) SetNoise(rate float64, seed uint64) {
+	o.BitErrorRate = rate
+	o.noise = rng.New(seed)
+}
+
+// trueBit returns the ground-truth bit without cost or noise. It backs
+// both the metered reads and the simulation-side metrics.
+func (o *Oracle) trueBit(param string, idx, bit int) int {
+	w, ok := o.weights[param]
+	if !ok {
+		panic(fmt.Sprintf("sidechannel: unknown tensor %q", param))
+	}
+	if idx < 0 || idx >= len(w) {
+		panic(fmt.Sprintf("sidechannel: weight index %d out of range for %q", idx, param))
+	}
+	return ieee754.Bit(w[idx], bit)
+}
+
+// ReadBit reads raw bit `bit` (0 = LSB, 31 = sign) of weight idx in the
+// named tensor, incrementing the cost meter. With a configured
+// BitErrorRate the result is occasionally wrong.
+func (o *Oracle) ReadBit(param string, idx, bit int) int {
+	b := o.trueBit(param, idx, bit)
+	o.BitReads++
+	if o.BitErrorRate > 0 && o.noise.Float64() < o.BitErrorRate {
+		b ^= 1
+	}
+	return b
+}
+
+// PeekWord returns a weight's exact value without cost or noise. It is
+// simulation-side ground truth for metrics — never part of the attacker's
+// channel.
+func (o *Oracle) PeekWord(param string, idx int) float32 {
+	var out float32
+	for bit := 0; bit < 32; bit++ {
+		out = ieee754.SetBit(out, bit, o.trueBit(param, idx, bit))
+	}
+	return out
+}
+
+// ReadWord reads all 32 bits of one weight (the last-layer full
+// extraction), costing 32 bit reads.
+func (o *Oracle) ReadWord(param string, idx int) float32 {
+	var out float32
+	for bit := 0; bit < 32; bit++ {
+		out = ieee754.SetBit(out, bit, o.ReadBit(param, idx, bit))
+	}
+	return out
+}
+
+// HammerRounds returns the total simulated rowhammer rounds spent.
+func (o *Oracle) HammerRounds() int { return o.BitReads * HammerRoundsPerBit }
+
+// TensorSize returns the weight count of a tensor (0 if unknown).
+func (o *Oracle) TensorSize(param string) int { return len(o.weights[param]) }

@@ -1,0 +1,123 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"decepticon/internal/ieee754"
+	"decepticon/internal/transformer"
+)
+
+func model() *transformer.Model {
+	cfg := transformer.Config{
+		Name: "victim", Layers: 2, Hidden: 8, Heads: 2, FFN: 16,
+		Vocab: 12, MaxSeq: 6, Labels: 3,
+	}
+	return transformer.New(cfg, 42)
+}
+
+func TestAddressMapLayout(t *testing.T) {
+	m := model()
+	am := MapModel(m)
+	if len(am.Regions) != len(m.Params()) {
+		t.Fatalf("regions %d, params %d", len(am.Regions), len(m.Params()))
+	}
+	// Regions are ordered, non-overlapping, aligned.
+	for i := 1; i < len(am.Regions); i++ {
+		prev, cur := am.Regions[i-1], am.Regions[i]
+		if cur.Base < prev.Base+uintptr(prev.Count*4) {
+			t.Fatalf("regions overlap: %v then %v", prev, cur)
+		}
+		if cur.Base%16 != 0 {
+			t.Fatalf("region %q unaligned", cur.Param)
+		}
+	}
+}
+
+func TestRegionOfAndLocate(t *testing.T) {
+	m := model()
+	am := MapModel(m)
+	r, ok := am.RegionOf("block1.wq")
+	if !ok {
+		t.Fatal("block1.wq not mapped")
+	}
+	// Address of weight 5 resolves back.
+	param, idx, ok := am.Locate(r.Base + 5*4)
+	if !ok || param != "block1.wq" || idx != 5 {
+		t.Fatalf("Locate = %q %d %v", param, idx, ok)
+	}
+	if _, _, ok := am.Locate(0x10); ok {
+		t.Fatal("bogus address must not resolve")
+	}
+	if _, ok := am.RegionOf("nope"); ok {
+		t.Fatal("unknown tensor must not resolve")
+	}
+}
+
+func TestReadBitMatchesVictim(t *testing.T) {
+	m := model()
+	o := NewOracle(m)
+	w := m.Blocks[0].Wq.V.Data[3]
+	for bit := 0; bit < 32; bit++ {
+		if o.ReadBit("block0.wq", 3, bit) != ieee754.Bit(w, bit) {
+			t.Fatalf("bit %d mismatch", bit)
+		}
+	}
+	if o.BitReads != 32 {
+		t.Fatalf("bit reads = %d, want 32", o.BitReads)
+	}
+	if o.HammerRounds() != 32*HammerRoundsPerBit {
+		t.Fatalf("hammer rounds = %d", o.HammerRounds())
+	}
+}
+
+func TestReadWordRoundTrip(t *testing.T) {
+	m := model()
+	o := NewOracle(m)
+	want := m.HeadW.V.Data[7]
+	if got := o.ReadWord("head_w", 7); got != want {
+		t.Fatalf("ReadWord = %v, want %v", got, want)
+	}
+	if o.BitReads != 32 {
+		t.Fatalf("ReadWord must cost 32 bit reads, got %d", o.BitReads)
+	}
+}
+
+func TestOracleSeesLiveWeights(t *testing.T) {
+	// The oracle reads the victim's *current* memory: changing the victim
+	// changes what the channel observes.
+	m := model()
+	o := NewOracle(m)
+	m.HeadW.V.Data[0] = 1.5
+	if got := o.ReadWord("head_w", 0); got != 1.5 {
+		t.Fatalf("oracle read %v after in-place update", got)
+	}
+}
+
+func TestOraclePanics(t *testing.T) {
+	m := model()
+	o := NewOracle(m)
+	for name, fn := range map[string]func(){
+		"unknown tensor": func() { o.ReadBit("nope", 0, 0) },
+		"bad index":      func() { o.ReadBit("head_w", 1<<20, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTensorSize(t *testing.T) {
+	m := model()
+	o := NewOracle(m)
+	if got := o.TensorSize("head_w"); got != 8*3 {
+		t.Fatalf("TensorSize(head_w) = %d", got)
+	}
+	if o.TensorSize("nope") != 0 {
+		t.Fatal("unknown tensor size must be 0")
+	}
+}

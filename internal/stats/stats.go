@@ -1,0 +1,284 @@
+// Package stats provides the statistical primitives used across the
+// Decepticon reproduction: summary statistics, histograms, correlation,
+// sequence edit distance (for the DeepSniffer LER metric), and
+// classification metrics (accuracy, F1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It copies and sorts its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// FractionWithin returns the fraction of xs whose absolute value is at
+// most bound. It is the paper's "X% of weights within ±bound" metric.
+func FractionWithin(xs []float64, bound float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if math.Abs(x) <= bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It panics if the lengths differ and returns 0 when either side has zero
+// variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram is a fixed-width binning of samples over [Min, Max]. Samples
+// outside the range are clamped into the boundary bins so the total count
+// always equals the number of observations.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over
+// [min, max]. It panics on a degenerate range or non-positive bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		panic("stats: invalid histogram configuration")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Levenshtein returns the edit distance between two sequences of labels.
+// It is the core of the DeepSniffer LER metric (Table 2).
+func Levenshtein(a, b []string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LER returns the layer (label) error rate: edit distance between the
+// predicted and true sequences, normalized by the true sequence length.
+// Values over 1 mean the prediction is useless, as in the paper.
+func LER(pred, truth []string) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	return float64(Levenshtein(pred, truth)) / float64(len(truth))
+}
+
+// Accuracy returns the fraction of positions where pred equals truth. It
+// panics on length mismatch.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pred))
+}
+
+// MatchRate returns the fraction of positions where two prediction vectors
+// agree — the paper's "fraction of matched predictions" (Fig 15 right).
+func MatchRate(a, b []int) float64 {
+	return Accuracy(a, b)
+}
+
+// MacroF1 returns the macro-averaged F1 score over classes 0..numClasses-1.
+func MacroF1(pred, truth []int, numClasses int) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: MacroF1 length mismatch")
+	}
+	if numClasses <= 0 {
+		return 0
+	}
+	var sum float64
+	for c := 0; c < numClasses; c++ {
+		var tp, fp, fn float64
+		for i := range pred {
+			switch {
+			case pred[i] == c && truth[i] == c:
+				tp++
+			case pred[i] == c && truth[i] != c:
+				fp++
+			case pred[i] != c && truth[i] == c:
+				fn++
+			}
+		}
+		if tp == 0 {
+			continue // F1 for this class is 0
+		}
+		precision := tp / (tp + fp)
+		recall := tp / (tp + fn)
+		sum += 2 * precision * recall / (precision + recall)
+	}
+	return sum / float64(numClasses)
+}
+
+// ArgMax returns the index of the largest element of xs (first on ties).
+// It panics on an empty slice.
+func ArgMax(xs []float32) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements of xs in descending
+// order. k is clamped to len(xs).
+func TopK(xs []float32, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx[:k]
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if s := Std(xs); !approx(s, 2, 1e-12) {
+		t.Fatalf("std = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Must not mutate input order.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	xs := []float64{-0.001, 0.0005, 0.1, -0.2, 0}
+	if got := FractionWithin(xs, 0.001); !approx(got, 3.0/5, 1e-12) {
+		t.Fatalf("FractionWithin = %v, want 0.6", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !approx(got, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v", got)
+	}
+	zs := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, zs); !approx(got, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v", got)
+	}
+	flat := []float64{1, 1, 1, 1, 1}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Fatalf("zero-variance correlation = %v, want 0", got)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		xs := make([]float64, 16)
+		ys := make([]float64, 16)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		for i := range xs {
+			xs[i], ys[i] = next(), next()
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	h.AddAll([]float64{-0.9, -0.1, 0.1, 0.9, 5, -5})
+	if h.Total != 6 {
+		t.Fatalf("total = %d, want 6", h.Total)
+	}
+	// Out-of-range values are clamped into boundary bins.
+	if h.Counts[0] != 2 || h.Counts[3] != 2 {
+		t.Fatalf("boundary bins = %v", h.Counts)
+	}
+	if got := h.BinCenter(0); !approx(got, -0.75, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.Fraction(1); !approx(got, 1.0/6, 1e-12) {
+		t.Fatalf("Fraction(1) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate histogram must panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{nil, []string{"a", "b"}, 2},
+		{[]string{"conv", "relu", "pool"}, []string{"conv", "relu", "pool"}, 0},
+		{[]string{"conv", "relu"}, []string{"conv", "pool"}, 1},
+		{[]string{"a", "b", "c"}, []string{"b", "c", "d"}, 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Fatalf("Levenshtein(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetry(t *testing.T) {
+	f := func(a, b []string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c []string) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLER(t *testing.T) {
+	truth := []string{"conv", "relu", "pool", "fc"}
+	if got := LER(truth, truth); got != 0 {
+		t.Fatalf("identical LER = %v", got)
+	}
+	pred := []string{"x", "y", "z", "w", "v", "u", "t", "s"}
+	if got := LER(pred, truth); got <= 1 {
+		t.Fatalf("useless prediction should have LER > 1, got %v", got)
+	}
+}
+
+func TestAccuracyAndMatchRate(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); !approx(got, 2.0/3, 1e-12) {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := MatchRate([]int{0, 0}, []int{0, 1}); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("match rate = %v", got)
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	// Perfect prediction.
+	if got := MacroF1([]int{0, 1, 0, 1}, []int{0, 1, 0, 1}, 2); !approx(got, 1, 1e-12) {
+		t.Fatalf("perfect F1 = %v", got)
+	}
+	// All-wrong prediction.
+	if got := MacroF1([]int{1, 0}, []int{0, 1}, 2); got != 0 {
+		t.Fatalf("all-wrong F1 = %v", got)
+	}
+	// Hand-computed mixed case: pred favors class 0.
+	pred := []int{0, 0, 0, 1}
+	truth := []int{0, 1, 0, 1}
+	// class 0: tp=2 fp=1 fn=0 -> p=2/3 r=1 f1=0.8
+	// class 1: tp=1 fp=0 fn=1 -> p=1 r=0.5 f1=2/3
+	want := (0.8 + 2.0/3) / 2
+	if got := MacroF1(pred, truth, 2); !approx(got, want, 1e-12) {
+		t.Fatalf("mixed F1 = %v, want %v", got, want)
+	}
+}
+
+func TestArgMaxTopK(t *testing.T) {
+	xs := []float32{0.1, 0.9, 0.5, 0.9}
+	if got := ArgMax(xs); got != 1 {
+		t.Fatalf("ArgMax = %d, want first max index 1", got)
+	}
+	top := TopK(xs, 3)
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := TopK(xs, 99); len(got) != 4 {
+		t.Fatalf("TopK clamp failed: %v", got)
+	}
+}

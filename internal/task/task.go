@@ -1,0 +1,180 @@
+// Package task generates the synthetic downstream datasets the zoo's
+// models are fine-tuned on. It stands in for the paper's GLUE benchmark
+// and SQuAD (DESIGN.md §2): nine GLUE-analog classification tasks plus a
+// QA-analog, each a seeded token-pattern classification problem that the
+// scaled-down transformers genuinely learn with gradient descent.
+package task
+
+import (
+	"fmt"
+
+	"decepticon/internal/rng"
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/transformer"
+)
+
+// Task describes one downstream task.
+type Task struct {
+	Name   string
+	Labels int
+	SeqLen int
+	// PerLabel is the number of marker tokens per label (default 3). The
+	// zoo's generic pre-training objective uses many labels with many
+	// markers so that the backbone learns to encode most of the
+	// vocabulary into CLS — the analog of masked-language-model
+	// pre-training coverage, and the reason downstream heads can be
+	// fine-tuned cheaply.
+	PerLabel int
+}
+
+// GLUEAnalogs returns the nine GLUE-analog tasks (Fig 5 fine-tunes one
+// pre-trained model on each of them).
+func GLUEAnalogs() []Task {
+	names := []struct {
+		name   string
+		labels int
+	}{
+		{"cola", 2}, {"sst2", 2}, {"mrpc", 2}, {"stsb", 3}, {"qqp", 2},
+		{"mnli", 3}, {"qnli", 2}, {"rte", 2}, {"wnli", 2},
+	}
+	out := make([]Task, len(names))
+	for i, n := range names {
+		out[i] = Task{Name: n.name, Labels: n.labels, SeqLen: 12}
+	}
+	return out
+}
+
+// QAAnalog returns the SQuAD-analog task: the model must classify which of
+// four marker groups carries the "answer" for the query pattern.
+func QAAnalog() Task { return Task{Name: "squad", Labels: 4, SeqLen: 14} }
+
+// ByName returns the named task.
+func ByName(name string) (Task, error) {
+	if name == "squad" {
+		return QAAnalog(), nil
+	}
+	for _, t := range GLUEAnalogs() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("task: unknown task %q", name)
+}
+
+// markerSets derives, per label, a disjoint set of marker token ids from
+// the task name. The marker tokens are what the model learns to detect.
+func (t Task) markerSets(vocabSize int) [][]int {
+	r := rng.New(rng.Seed("task-markers", t.Name))
+	perm := r.Perm(vocabSize - tokenizer.ReservedTokens)
+	perLabel := t.PerLabel
+	if perLabel <= 0 {
+		perLabel = 3
+	}
+	sets := make([][]int, t.Labels)
+	idx := 0
+	for l := 0; l < t.Labels; l++ {
+		for k := 0; k < perLabel; k++ {
+			sets[l] = append(sets[l], perm[idx]+tokenizer.ReservedTokens)
+			idx++
+		}
+	}
+	return sets
+}
+
+// Generate produces n labeled examples over a vocabulary of vocabSize ids.
+// Every example starts with CLS, contains 1-2 marker tokens of its label
+// class, and is padded with non-marker filler tokens. The generator is
+// deterministic in (task, vocabSize, seed).
+func (t Task) Generate(vocabSize, n int, seed uint64) []transformer.Example {
+	perLabel := t.PerLabel
+	if perLabel <= 0 {
+		perLabel = 3
+	}
+	if vocabSize <= tokenizer.ReservedTokens+t.Labels*perLabel {
+		panic(fmt.Sprintf("task: vocab %d too small for %d labels", vocabSize, t.Labels))
+	}
+	r := rng.New(rng.Seed("task-data", t.Name) ^ seed)
+	sets := t.markerSets(vocabSize)
+	isMarker := make(map[int]bool)
+	for _, s := range sets {
+		for _, id := range s {
+			isMarker[id] = true
+		}
+	}
+	filler := func() int {
+		for {
+			id := tokenizer.ReservedTokens + r.Intn(vocabSize-tokenizer.ReservedTokens)
+			if !isMarker[id] {
+				return id
+			}
+		}
+	}
+	out := make([]transformer.Example, n)
+	for i := 0; i < n; i++ {
+		label := i % t.Labels
+		tokens := make([]int, t.SeqLen)
+		tokens[0] = tokenizer.CLS
+		for j := 1; j < t.SeqLen; j++ {
+			tokens[j] = filler()
+		}
+		markers := 2 + r.Intn(2)
+		for k := 0; k < markers; k++ {
+			pos := 1 + r.Intn(t.SeqLen-1)
+			set := sets[label]
+			tokens[pos] = set[r.Intn(len(set))]
+		}
+		out[i] = transformer.Example{Tokens: tokens, Label: label}
+	}
+	return out
+}
+
+// GenerateMLM produces the zoo's generic pre-training data: a scaled-down
+// analog of masked-language-model pre-training. Each example is a random
+// token sequence whose label is the id of one token present in it; to
+// minimize the loss the model must surface the identity of *every* token
+// in its CLS representation, which is exactly the transferable
+// "bag-of-tokens" encoding that makes cheap downstream head fine-tuning
+// possible. The label space is the whole vocabulary.
+func GenerateMLM(vocabSize, seqLen, n int, seed uint64) []transformer.Example {
+	if vocabSize <= tokenizer.ReservedTokens+1 {
+		panic("task: vocab too small for MLM-analog pre-training")
+	}
+	r := rng.New(rng.Seed("mlm-data") ^ seed)
+	out := make([]transformer.Example, n)
+	for i := 0; i < n; i++ {
+		tokens := make([]int, seqLen)
+		tokens[0] = tokenizer.CLS
+		for j := 1; j < seqLen; j++ {
+			tokens[j] = tokenizer.ReservedTokens + r.Intn(vocabSize-tokenizer.ReservedTokens)
+		}
+		label := tokens[1+r.Intn(seqLen-1)]
+		out[i] = transformer.Example{Tokens: tokens, Label: label}
+	}
+	return out
+}
+
+// Split divides examples into train and dev portions (trainFrac in (0,1)).
+func Split(examples []transformer.Example, trainFrac float64) (train, dev []transformer.Example) {
+	cut := int(float64(len(examples)) * trainFrac)
+	if cut <= 0 {
+		cut = 1
+	}
+	if cut >= len(examples) {
+		cut = len(examples) - 1
+	}
+	return examples[:cut], examples[cut:]
+}
+
+// Subset returns the first frac (0,1] of examples — the Fig 17 "attacker
+// has x% of the fine-tuning data" scenario. It always returns at least one
+// example per label where possible.
+func Subset(examples []transformer.Example, frac float64) []transformer.Example {
+	n := int(float64(len(examples)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(examples) {
+		n = len(examples)
+	}
+	return examples[:n]
+}

@@ -1,0 +1,157 @@
+package task
+
+import (
+	"testing"
+
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/transformer"
+)
+
+func TestGLUEAnalogs(t *testing.T) {
+	tasks := GLUEAnalogs()
+	if len(tasks) != 9 {
+		t.Fatalf("want 9 GLUE-analog tasks, got %d", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, tk := range tasks {
+		if seen[tk.Name] {
+			t.Fatalf("duplicate task %q", tk.Name)
+		}
+		seen[tk.Name] = true
+		if tk.Labels < 2 {
+			t.Fatalf("task %q has %d labels", tk.Name, tk.Labels)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("mnli"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("squad"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown task must error")
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	tk, _ := ByName("sst2")
+	a := tk.Generate(96, 50, 7)
+	b := tk.Generate(96, 50, 7)
+	if len(a) != 50 {
+		t.Fatalf("want 50 examples, got %d", len(a))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("generation must be deterministic")
+		}
+		for j := range a[i].Tokens {
+			if a[i].Tokens[j] != b[i].Tokens[j] {
+				t.Fatal("generation must be deterministic")
+			}
+		}
+		if a[i].Tokens[0] != tokenizer.CLS {
+			t.Fatal("examples must start with CLS")
+		}
+		if len(a[i].Tokens) != tk.SeqLen {
+			t.Fatalf("sequence length %d, want %d", len(a[i].Tokens), tk.SeqLen)
+		}
+		if a[i].Label < 0 || a[i].Label >= tk.Labels {
+			t.Fatalf("label %d out of range", a[i].Label)
+		}
+	}
+	c := tk.Generate(96, 50, 8)
+	diff := false
+	for i := range a {
+		for j := range a[i].Tokens {
+			if a[i].Tokens[j] != c[i].Tokens[j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must give different data")
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	tk, _ := ByName("mnli")
+	data := tk.Generate(96, 90, 1)
+	counts := make([]int, tk.Labels)
+	for _, ex := range data {
+		counts[ex.Label]++
+	}
+	for l, c := range counts {
+		if c != 30 {
+			t.Fatalf("label %d count %d, want 30", l, c)
+		}
+	}
+}
+
+func TestTasksAreLearnable(t *testing.T) {
+	// A small transformer must learn a task from its marker structure —
+	// the property the whole zoo construction relies on.
+	tk, _ := ByName("qnli")
+	cfg := transformer.Config{
+		Name: "probe", Layers: 2, Hidden: 16, Heads: 2, FFN: 32,
+		Vocab: 96, MaxSeq: 16, Labels: tk.Labels,
+	}
+	m := transformer.New(cfg, 1)
+	data := tk.Generate(96, 120, 2)
+	train, dev := Split(data, 0.8)
+	m.Train(train, transformer.TrainConfig{Epochs: 10, BatchSize: 8, LR: 3e-3, Seed: 3})
+	if acc := m.Evaluate(dev); acc < 0.75 {
+		t.Fatalf("dev accuracy %v < 0.75 — tasks not learnable", acc)
+	}
+}
+
+func TestDifferentTasksUseDifferentMarkers(t *testing.T) {
+	a, _ := ByName("cola")
+	b, _ := ByName("rte")
+	sa := a.markerSets(96)
+	sb := b.markerSets(96)
+	same := true
+	for i := range sa {
+		if i >= len(sb) {
+			break
+		}
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("tasks must have distinct marker sets")
+	}
+}
+
+func TestSplitAndSubset(t *testing.T) {
+	tk, _ := ByName("wnli")
+	data := tk.Generate(96, 40, 1)
+	train, dev := Split(data, 0.8)
+	if len(train) != 32 || len(dev) != 8 {
+		t.Fatalf("split %d/%d", len(train), len(dev))
+	}
+	if got := Subset(data, 0.25); len(got) != 10 {
+		t.Fatalf("Subset(0.25) len %d", len(got))
+	}
+	if got := Subset(data, 0.0001); len(got) != 1 {
+		t.Fatalf("tiny subset len %d", len(got))
+	}
+	if got := Subset(data, 2); len(got) != 40 {
+		t.Fatalf("over-subset len %d", len(got))
+	}
+}
+
+func TestGenerateVocabTooSmallPanics(t *testing.T) {
+	tk := QAAnalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny vocab must panic")
+		}
+	}()
+	tk.Generate(10, 5, 1)
+}

@@ -1,0 +1,407 @@
+// Package tensor implements the float32 matrix arithmetic that underlies
+// every model in the repository (the victim transformers, the fingerprint
+// CNN, the ResNet analog). float32 is used throughout because Decepticon's
+// selective weight extraction operates on IEEE 754 binary32 bit patterns.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"decepticon/internal/rng"
+)
+
+// Matrix is a dense, row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix. It panics if
+// the length does not match.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Randn returns a rows×cols matrix with i.i.d. Gaussian entries of the
+// given standard deviation.
+func Randn(rows, cols int, std float64, r *rng.RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, std)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice sharing m's storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies o's contents into m. Shapes must match.
+func (m *Matrix) CopyFrom(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("tensor: CopyFrom shape mismatch")
+	}
+	copy(m.Data, o.Data)
+}
+
+// shapeCheck panics unless a and b have identical shapes.
+func shapeCheck(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// axpy computes dst += s * src for equal-length slices. It is the shared
+// inner kernel of the gemm variants, written so the compiler can eliminate
+// bounds checks.
+func axpy(dst, src []float32, s float32) {
+	if s == 0 {
+		return
+	}
+	n := len(src)
+	dst = dst[:n]
+	for ; n >= 4; n -= 4 {
+		dst[n-1] += s * src[n-1]
+		dst[n-2] += s * src[n-2]
+		dst[n-3] += s * src[n-3]
+		dst[n-4] += s * src[n-4]
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += s * src[i]
+	}
+}
+
+// dot returns the inner product of two equal-length slices with four-way
+// unrolling.
+func dot(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MatMul returns a × b (a: m×k, b: k×n).
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			axpy(orow, b.Data[k*n:(k+1)*n], av)
+		}
+	}
+	return out
+}
+
+// MatMulNT returns a × bᵀ (a: m×k, b: n×k).
+func MatMulNT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulNT inner dim mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := range orow {
+			orow[j] = dot(arow, b.Data[j*k:(j+1)*k])
+		}
+	}
+	return out
+}
+
+// MatMulTN returns aᵀ × b (a: k×m, b: k×n).
+func MatMulTN(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTN inner dim mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			axpy(out.Data[i*n:(i+1)*n], brow, av)
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	shapeCheck("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	shapeCheck("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	shapeCheck("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b *Matrix) {
+	shapeCheck("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float32) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddRowVector adds the 1×Cols vector v to every row of m in place.
+func (m *Matrix) AddRowVector(v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// SumRows returns the column-wise sum of m as a length-Cols slice — the
+// bias gradient for a dense layer.
+func (m *Matrix) SumRows() []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			out[j] += row[j]
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of m,
+// returning a new matrix.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - maxv)))
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// GELU applies the tanh-approximation GELU activation element-wise,
+// returning a new matrix.
+func GELU(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = gelu(x)
+	}
+	return out
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func gelu(x float32) float32 {
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(geluC*(xf+0.044715*xf*xf*xf))))
+}
+
+// GELUGrad returns the element-wise derivative of GELU evaluated at m.
+func GELUGrad(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = geluGrad(x)
+	}
+	return out
+}
+
+func geluGrad(x float32) float32 {
+	xf := float64(x)
+	inner := geluC * (xf + 0.044715*xf*xf*xf)
+	t := math.Tanh(inner)
+	dInner := geluC * (1 + 3*0.044715*xf*xf)
+	return float32(0.5*(1+t) + 0.5*xf*(1-t*t)*dInner)
+}
+
+// ReLU applies max(0, x) element-wise, returning a new matrix.
+func ReLU(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		if x > 0 {
+			out.Data[i] = x
+		}
+	}
+	return out
+}
+
+// ReLUGradMask returns 1 where m > 0 and 0 elsewhere.
+func ReLUGradMask(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		if x > 0 {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh element-wise, returning a new matrix.
+func Tanh(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = float32(math.Tanh(float64(x)))
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute element value of m (0 for empty).
+func (m *Matrix) MaxAbs() float32 {
+	var best float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MeanAbsDiff returns mean |a - b| over all elements. It is the paper's
+// "average weight value gap" metric (Figs 3-6, 19).
+func MeanAbsDiff(a, b *Matrix) float64 {
+	shapeCheck("MeanAbsDiff", a, b)
+	if len(a.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(a.Data))
+}
+
+// ApproxEqual reports whether a and b agree element-wise within tol.
+func ApproxEqual(a, b *Matrix, tol float32) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

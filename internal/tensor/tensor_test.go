@@ -1,0 +1,266 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"decepticon/internal/rng"
+)
+
+func TestMatMulHandChecked(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float32{58, 64, 139, 154})
+	if !ApproxEqual(got, want, 0) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	r := rng.New(1)
+	a := Randn(5, 7, 1, r)
+	b := Randn(7, 4, 1, r)
+	base := MatMul(a, b)
+	// a×b == a×(bᵀ)ᵀ via MatMulNT.
+	nt := MatMulNT(a, b.Transpose())
+	if !ApproxEqual(base, nt, 1e-5) {
+		t.Fatal("MatMulNT disagrees with MatMul")
+	}
+	// a×b == (aᵀ)ᵀ×b via MatMulTN.
+	tn := MatMulTN(a.Transpose(), b)
+	if !ApproxEqual(base, tn, 1e-5) {
+		t.Fatal("MatMulTN disagrees with MatMul")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched MatMul must panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows, cols := 1+int(seed%6), 1+int((seed>>8)%6)
+		m := Randn(rows, cols, 1, r)
+		return ApproxEqual(m.Transpose().Transpose(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{5, 6, 7, 8})
+	if !ApproxEqual(Add(a, b), FromSlice(2, 2, []float32{6, 8, 10, 12}), 0) {
+		t.Fatal("Add wrong")
+	}
+	if !ApproxEqual(Sub(b, a), FromSlice(2, 2, []float32{4, 4, 4, 4}), 0) {
+		t.Fatal("Sub wrong")
+	}
+	if !ApproxEqual(Hadamard(a, b), FromSlice(2, 2, []float32{5, 12, 21, 32}), 0) {
+		t.Fatal("Hadamard wrong")
+	}
+	// a unchanged (non-destructive).
+	if a.Data[0] != 1 {
+		t.Fatal("Add must not mutate inputs")
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := Randn(3, 4, 2, r)
+		b := Randn(3, 4, 2, r)
+		return ApproxEqual(Sub(Add(a, b), b), a, 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 1000, 1000, 1000})
+	s := SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		var sum float32
+		for _, v := range s.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(float64(sum-1)) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Monotone: larger logits -> larger probabilities.
+	if !(s.At(0, 0) < s.At(0, 1) && s.At(0, 1) < s.At(0, 2)) {
+		t.Fatal("softmax not monotone")
+	}
+	// Numerically stable at 1000s: uniform row.
+	if math.Abs(float64(s.At(1, 0)-1.0/3)) > 1e-5 {
+		t.Fatal("softmax overflowed on large inputs")
+	}
+}
+
+// numericGrad computes (f(x+h) - f(x-h)) / 2h for a scalar activation.
+func numericGrad(f func(float32) float32, x float32) float64 {
+	const h = 1e-3
+	return (float64(f(x+h)) - float64(f(x-h))) / (2 * h)
+}
+
+func TestGELUGradientMatchesNumeric(t *testing.T) {
+	for _, x := range []float32{-3, -1, -0.1, 0, 0.1, 1, 3} {
+		m := FromSlice(1, 1, []float32{x})
+		analytic := float64(GELUGrad(m).Data[0])
+		numeric := numericGrad(func(v float32) float32 {
+			return GELU(FromSlice(1, 1, []float32{v})).Data[0]
+		}, x)
+		if math.Abs(analytic-numeric) > 1e-2 {
+			t.Fatalf("GELU'(%v): analytic %v vs numeric %v", x, analytic, numeric)
+		}
+	}
+}
+
+func TestGELULimits(t *testing.T) {
+	big := GELU(FromSlice(1, 1, []float32{10})).Data[0]
+	if math.Abs(float64(big-10)) > 1e-3 {
+		t.Fatalf("GELU(10) = %v, want ~10", big)
+	}
+	small := GELU(FromSlice(1, 1, []float32{-10})).Data[0]
+	if math.Abs(float64(small)) > 1e-3 {
+		t.Fatalf("GELU(-10) = %v, want ~0", small)
+	}
+}
+
+func TestReLUAndMask(t *testing.T) {
+	m := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	r := ReLU(m)
+	if r.Data[0] != 0 || r.Data[1] != 0 || r.Data[2] != 2 || r.Data[3] != 0 {
+		t.Fatalf("ReLU = %v", r.Data)
+	}
+	mask := ReLUGradMask(m)
+	if mask.Data[0] != 0 || mask.Data[2] != 1 {
+		t.Fatalf("ReLU mask = %v", mask.Data)
+	}
+}
+
+func TestRowVectorAndSumRows(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	m.AddRowVector([]float32{10, 20, 30})
+	if m.At(1, 2) != 36 {
+		t.Fatalf("AddRowVector: %v", m.Data)
+	}
+	s := m.SumRows()
+	if s[0] != 25 || s[1] != 47 || s[2] != 69 {
+		t.Fatalf("SumRows = %v", s)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := FromSlice(1, 4, []float32{1, 2, 3, 4})
+	b := FromSlice(1, 4, []float32{2, 2, 1, 4})
+	if got := MeanAbsDiff(a, b); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("MeanAbsDiff = %v, want 0.75", got)
+	}
+	if MeanAbsDiff(a, a) != 0 {
+		t.Fatal("self diff must be 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestRandnMoments(t *testing.T) {
+	r := rng.New(3)
+	m := Randn(100, 100, 0.02, r)
+	var sum, sumSq float64
+	for _, v := range m.Data {
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	n := float64(len(m.Data))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.001 {
+		t.Fatalf("Randn mean %v", mean)
+	}
+	if math.Abs(std-0.02) > 0.002 {
+		t.Fatalf("Randn std %v, want 0.02", std)
+	}
+}
+
+func TestMaxAbsFrobenius(t *testing.T) {
+	m := FromSlice(1, 3, []float32{3, -4, 0})
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	if math.Abs(m.Frobenius()-5) > 1e-9 {
+		t.Fatalf("Frobenius = %v", m.Frobenius())
+	}
+}
+
+func TestScaleAndZero(t *testing.T) {
+	m := FromSlice(1, 2, []float32{2, -4})
+	m.Scale(0.5)
+	if m.Data[0] != 1 || m.Data[1] != -2 {
+		t.Fatalf("Scale = %v", m.Data)
+	}
+	m.Zero()
+	if m.Data[0] != 0 || m.Data[1] != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1})
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := Randn(3, 4, 1, r)
+		b := Randn(4, 5, 1, r)
+		c := Randn(5, 2, 1, r)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return ApproxEqual(left, right, 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulDistributivity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := Randn(3, 4, 1, r)
+		b := Randn(4, 5, 1, r)
+		c := Randn(4, 5, 1, r)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return ApproxEqual(left, right, 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

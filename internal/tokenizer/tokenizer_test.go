@@ -1,0 +1,129 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVocabDeterminism(t *testing.T) {
+	a := NewVocab("bert-base", "en", false, 96, 1)
+	b := NewVocab("bert-base", "en", false, 96, 1)
+	wa, wb := a.SortedWords(), b.SortedWords()
+	if len(wa) != len(wb) || len(wa) != 94 {
+		t.Fatalf("vocab sizes %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed must give same vocabulary")
+		}
+	}
+	c := NewVocab("bert-base", "en", false, 96, 2)
+	if strings.Join(c.SortedWords(), " ") == strings.Join(wa, " ") {
+		t.Fatal("different seeds must give different vocabularies")
+	}
+}
+
+func TestLanguageFlavors(t *testing.T) {
+	en := NewVocab("bert", "en", false, 96, 1)
+	fr := NewVocab("camembert", "fr", false, 96, 1)
+	ru := NewVocab("rubert", "ru", false, 96, 1)
+	if en.Overlap(fr) > 0.2 || en.Overlap(ru) > 0.05 || fr.Overlap(ru) > 0.05 {
+		t.Fatalf("language vocabularies overlap too much: en/fr=%v en/ru=%v fr/ru=%v",
+			en.Overlap(fr), en.Overlap(ru), fr.Overlap(ru))
+	}
+	// Cyrillic words can never appear in the Latin inventories.
+	for _, w := range ru.Words() {
+		if en.Contains(w) {
+			t.Fatalf("russian word %q found in english vocab", w)
+		}
+	}
+}
+
+func TestCasedVsUncased(t *testing.T) {
+	cased := NewVocab("bert-cased", "en", true, 128, 1)
+	var capitalized string
+	for _, w := range cased.Words() {
+		if w != strings.ToLower(w) {
+			capitalized = w
+			break
+		}
+	}
+	if capitalized == "" {
+		t.Fatal("cased vocabulary must contain capitalized words")
+	}
+	// Cased vocab distinguishes forms but still resolves a lowercase
+	// lookup of a capitalized entry via fold-back.
+	if cased.Lookup(capitalized) == UNK {
+		t.Fatal("capitalized word must resolve in cased vocab")
+	}
+	uncased := NewVocab("bert-uncased", "en", false, 128, 1)
+	for _, w := range uncased.Words() {
+		if w != strings.ToLower(w) {
+			t.Fatalf("uncased vocab contains capitalized word %q", w)
+		}
+	}
+	// Uncased lookup folds case.
+	some := uncased.Words()[0]
+	if uncased.Lookup(strings.ToUpper(some)) != uncased.Lookup(some) {
+		t.Fatal("uncased lookup must fold case")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	v := NewVocab("m", "en", false, 64, 3)
+	w := v.Words()
+	text := w[0] + " " + w[1] + " zzzz-not-a-word " + w[2]
+	toks := v.Tokenize(text, 16)
+	if toks[0] != CLS {
+		t.Fatal("tokenization must start with CLS")
+	}
+	if toks[1] == UNK || toks[2] == UNK || toks[4] == UNK {
+		t.Fatalf("in-vocab words tokenized to UNK: %v", toks)
+	}
+	if toks[3] != UNK {
+		t.Fatalf("out-of-vocab word must be UNK: %v", toks)
+	}
+	// Truncation.
+	long := strings.Repeat(w[0]+" ", 50)
+	if got := v.Tokenize(long, 8); len(got) != 8 {
+		t.Fatalf("truncation failed: len %d", len(got))
+	}
+}
+
+func TestUniqueWords(t *testing.T) {
+	a := NewVocab("a", "en", false, 96, 1)
+	b := NewVocab("b", "en", false, 96, 2)
+	fr := NewVocab("c", "fr", false, 96, 3)
+	others := []*Vocab{a, b, fr}
+	uniq := fr.UniqueWords(others, 8)
+	if len(uniq) == 0 {
+		t.Fatal("french vocab must have unique words vs english vocabs")
+	}
+	for _, w := range uniq {
+		if a.Contains(w) || b.Contains(w) {
+			t.Fatalf("word %q is not unique", w)
+		}
+		if !fr.Contains(w) {
+			t.Fatalf("word %q not in its own vocab", w)
+		}
+	}
+}
+
+func TestIdsInRange(t *testing.T) {
+	v := NewVocab("m", "ru", true, 80, 9)
+	for _, w := range v.Words() {
+		id := v.Lookup(w)
+		if id < ReservedTokens || id >= 80 {
+			t.Fatalf("id %d out of range for %q", id, w)
+		}
+	}
+}
+
+func TestTooSmallVocabPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny vocab must panic")
+		}
+	}()
+	NewVocab("x", "en", false, 2, 1)
+}

@@ -1,0 +1,255 @@
+package traceimg
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/transformer"
+)
+
+func trace(name string, prof gpusim.Profile, opt gpusim.Options) *gpusim.Trace {
+	cfg := transformer.Family()[name]
+	return gpusim.SimulateTransformer(cfg, nil, prof, opt)
+}
+
+func TestRenderBasics(t *testing.T) {
+	tr := trace("base", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 1}, gpusim.Options{})
+	im := Render(tr, 64)
+	if im.Size != 64 || len(im.Pix) != 64*64 {
+		t.Fatalf("image shape wrong")
+	}
+	var max, sum float32
+	for _, v := range im.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if max != 1 {
+		t.Fatalf("image must be normalized to peak 1, got %v", max)
+	}
+	if sum == 0 {
+		t.Fatal("image is empty")
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	im := Render(&gpusim.Trace{}, 16)
+	for _, v := range im.Pix {
+		if v != 0 {
+			t.Fatal("empty trace must render black")
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	tr := trace("base", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 2}, gpusim.Options{})
+	a := Render(tr, 32)
+	b := Render(tr, 32)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("render must be deterministic")
+		}
+	}
+}
+
+func TestRenderDistinguishesReleases(t *testing.T) {
+	a := Render(trace("base", gpusim.Profile{Source: "a", Framework: gpusim.PyTorch, Seed: 3}, gpusim.Options{}), 32)
+	b := Render(trace("base", gpusim.Profile{Source: "b", Framework: gpusim.TensorFlow, Seed: 4}, gpusim.Options{}), 32)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different releases must render differently")
+	}
+}
+
+func TestDetectLayerCountBaseVsLarge(t *testing.T) {
+	for _, tc := range []struct {
+		arch string
+		want int
+	}{
+		{"base", transformer.Family()["base"].Layers},
+		{"large", transformer.Family()["large"].Layers},
+		{"tiny", transformer.Family()["tiny"].Layers},
+	} {
+		tr := trace(tc.arch, gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 5}, gpusim.Options{})
+		got := DetectLayerCount(tr, 32)
+		if got != tc.want {
+			t.Fatalf("%s: detected %d layers, want %d", tc.arch, got, tc.want)
+		}
+	}
+}
+
+func TestDetectLayerCountSurvivesJitter(t *testing.T) {
+	cfg := transformer.Family()["base"]
+	tr := gpusim.SimulateTransformer(cfg, nil,
+		gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 6},
+		gpusim.Options{MeasureSeed: 7, JitterMagnitude: 0.5})
+	if got := DetectLayerCount(tr, 32); got != cfg.Layers {
+		t.Fatalf("jittered trace: detected %d, want %d", got, cfg.Layers)
+	}
+}
+
+func TestDetectLayerCountMetaProfile(t *testing.T) {
+	// The Meta profile inserts extra short kernels per layer; the
+	// repetition count must still equal the layer count.
+	cfg := transformer.Family()["medium"]
+	tr := gpusim.SimulateTransformer(cfg, nil,
+		gpusim.Profile{Source: "meta", Framework: gpusim.PyTorch, Seed: 8, ShortKernels: true},
+		gpusim.Options{})
+	if got := DetectLayerCount(tr, 32); got != cfg.Layers {
+		t.Fatalf("meta profile: detected %d, want %d", got, cfg.Layers)
+	}
+}
+
+func TestXLARegionDetection(t *testing.T) {
+	xla := trace("large", gpusim.Profile{Source: "nvtf", Framework: gpusim.TensorFlow, Seed: 9, XLA: true}, gpusim.Options{})
+	start, end, found := XLARegion(xla)
+	if !found {
+		t.Fatal("XLA region not found in XLA trace")
+	}
+	if start <= 0 || end >= len(xla.Execs) {
+		t.Fatalf("XLA region [%d,%d) not interior to trace of %d", start, end, len(xla.Execs))
+	}
+	// Detected region must cover the actual autotune kernels.
+	for i := start; i < end; i++ {
+		name := xla.Execs[i].Name
+		if len(name) < 4 || name[:4] != "xla_" {
+			t.Fatalf("detected region includes non-XLA kernel %q at %d", name, i)
+		}
+	}
+
+	regular := trace("base", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 10}, gpusim.Options{})
+	if _, _, found := XLARegion(regular); found {
+		t.Fatal("regular trace must not report an XLA region")
+	}
+}
+
+func TestStripXLARestoresTimeline(t *testing.T) {
+	xla := trace("large", gpusim.Profile{Source: "nvtf", Framework: gpusim.TensorFlow, Seed: 11, XLA: true}, gpusim.Options{})
+	stripped := StripXLA(xla)
+	if len(stripped.Execs) >= len(xla.Execs) {
+		t.Fatal("strip must remove kernels")
+	}
+	prev := 0.0
+	for i, e := range stripped.Execs {
+		if e.Start < prev-1e-9 || e.End <= e.Start {
+			t.Fatalf("stitched timeline broken at %d", i)
+		}
+		prev = e.End
+	}
+	for _, e := range stripped.Execs {
+		if len(e.Name) >= 4 && e.Name[:4] == "xla_" {
+			t.Fatal("strip left XLA kernels behind")
+		}
+	}
+	// Stripping a regular trace is a no-op copy.
+	regular := trace("base", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 12}, gpusim.Options{})
+	if got := StripXLA(regular); len(got.Execs) != len(regular.Execs) {
+		t.Fatal("regular trace must strip to itself")
+	}
+}
+
+func TestResample(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	got := resample(xs, 7)
+	if len(got) != 7 {
+		t.Fatalf("resample length %d", len(got))
+	}
+	if got[0] != 0 || got[6] != 3 {
+		t.Fatalf("resample endpoints %v", got)
+	}
+	if got[3] != 1.5 {
+		t.Fatalf("resample midpoint %v", got[3])
+	}
+	one := resample([]float64{5}, 3)
+	if one[0] != 5 || one[1] != 5 || one[2] != 5 {
+		t.Fatalf("constant resample %v", one)
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	tr := trace("base", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 13}, gpusim.Options{})
+	art := Render(tr, 16).ASCII()
+	lines := 0
+	for _, c := range art {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 16 {
+		t.Fatalf("ASCII art has %d lines, want 16", lines)
+	}
+	// Must contain both background and lit glyphs.
+	hasSpace, hasInk := false, false
+	for _, c := range art {
+		if c == ' ' {
+			hasSpace = true
+		} else if c != '\n' {
+			hasInk = true
+		}
+	}
+	if !hasSpace || !hasInk {
+		t.Fatal("ASCII art lacks contrast")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := trace("tiny", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 14}, gpusim.Options{})
+	var buf strings.Builder
+	if err := WriteCSV(tr, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(tr.Execs)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(tr.Execs)+1)
+	}
+	if !strings.HasPrefix(lines[0], "index,name,start_us") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",") {
+		t.Fatalf("bad row %q", lines[1])
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	tr := trace("tiny", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 15}, gpusim.Options{})
+	im := Render(tr, 32)
+	var buf bytes.Buffer
+	if err := im.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := decoded.Bounds()
+	if b.Dx() != 32 || b.Dy() != 32 {
+		t.Fatalf("decoded PNG is %dx%d", b.Dx(), b.Dy())
+	}
+	// Peak pixel survives the 8-bit quantization.
+	found := false
+	for y := 0; y < 32 && !found; y++ {
+		for x := 0; x < 32; x++ {
+			r, _, _, _ := decoded.At(x, y).RGBA()
+			if r >= 0xfafa {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("PNG lost the normalized peak pixel")
+	}
+}

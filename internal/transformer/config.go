@@ -1,0 +1,91 @@
+// Package transformer implements a BERT-style encoder transformer with
+// full hand-written backpropagation. It is the victim-model substrate of
+// the Decepticon reproduction: the model zoo pre-trains and fine-tunes
+// instances of this model, the selective weight extraction clones their
+// float32 weights bit-by-bit, and the adversarial attack differentiates
+// through them.
+//
+// The architecture mirrors the paper's Fig 2: token+position embeddings,
+// a stack of identical encoder blocks (multi-head self-attention + GELU
+// feed-forward, post-layer-norm), and a task-specific classification head
+// attached to the first ([CLS]) token. Dimensions are scaled down from
+// BERT's (see DESIGN.md §2) but every structural knob the attack exploits
+// — layer count, hidden size, head count, the task-dependent last layer —
+// is faithful.
+package transformer
+
+import "fmt"
+
+// Config describes a transformer architecture.
+type Config struct {
+	Name   string // architecture name, e.g. "bert-base"
+	Layers int    // number of encoder blocks
+	Hidden int    // hidden (model) dimension; must be divisible by Heads
+	Heads  int    // attention heads per block
+	FFN    int    // feed-forward inner dimension
+	Vocab  int    // vocabulary size
+	MaxSeq int    // maximum sequence length
+	Labels int    // classification head width (task-dependent last layer)
+	// Causal selects decoder-style masked self-attention (GPT-2, BART
+	// decoder): position i attends only to positions ≤ i. "Decoders are
+	// similar to encoders, except the masked self-attention" (paper §2.2).
+	Causal bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0:
+		return fmt.Errorf("transformer: %s: Layers must be positive", c.Name)
+	case c.Hidden <= 0 || c.Heads <= 0 || c.Hidden%c.Heads != 0:
+		return fmt.Errorf("transformer: %s: Hidden (%d) must be a positive multiple of Heads (%d)", c.Name, c.Hidden, c.Heads)
+	case c.FFN <= 0:
+		return fmt.Errorf("transformer: %s: FFN must be positive", c.Name)
+	case c.Vocab <= 0:
+		return fmt.Errorf("transformer: %s: Vocab must be positive", c.Name)
+	case c.MaxSeq <= 0:
+		return fmt.Errorf("transformer: %s: MaxSeq must be positive", c.Name)
+	case c.Labels <= 0:
+		return fmt.Errorf("transformer: %s: Labels must be positive", c.Name)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (c Config) HeadDim() int { return c.Hidden / c.Heads }
+
+// WithLabels returns a copy of c with a different classification width —
+// used when a fine-tuning task replaces the pre-trained model's head.
+func (c Config) WithLabels(labels int) Config {
+	c.Labels = labels
+	return c
+}
+
+// Family enumerates the scaled-down analogs of the paper's architecture
+// sizes ("tiny, mini, distill, medium, base, large"). The relative ordering
+// of layer counts and hidden sizes matches the BERT family: e.g. the base
+// analog has 12 layers at hidden 768 in the paper and 6 layers at hidden 48
+// here; the large analog doubles the layer count and widens the hidden
+// dimension, exactly as BERT-large does.
+func Family() map[string]Config {
+	mk := func(name string, layers, hidden, heads int) Config {
+		return Config{
+			Name:   name,
+			Layers: layers,
+			Hidden: hidden,
+			Heads:  heads,
+			FFN:    hidden * 2,
+			Vocab:  96,
+			MaxSeq: 16,
+			Labels: 2,
+		}
+	}
+	return map[string]Config{
+		"tiny":   mk("tiny", 2, 16, 2),
+		"mini":   mk("mini", 4, 16, 2),
+		"small":  mk("small", 4, 24, 4),
+		"medium": mk("medium", 6, 24, 4),
+		"base":   mk("base", 6, 32, 4),
+		"large":  mk("large", 12, 40, 8),
+	}
+}

@@ -1,0 +1,69 @@
+package transformer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelExport is the gob wire format of a Model: the configuration, every
+// named tensor, and the head-pruning masks. Gradients are not serialized.
+type modelExport struct {
+	Config  Config
+	Tensors map[string][]float32
+	Pruned  [][]bool
+}
+
+// Save writes the model to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	exp := modelExport{
+		Config:  m.Config,
+		Tensors: make(map[string][]float32),
+		Pruned:  make([][]bool, len(m.Blocks)),
+	}
+	for _, p := range m.Params() {
+		exp.Tensors[p.Name] = p.Value.Data
+	}
+	for l, b := range m.Blocks {
+		exp.Pruned[l] = append([]bool(nil), b.HeadPruned...)
+	}
+	if err := gob.NewEncoder(w).Encode(exp); err != nil {
+		return fmt.Errorf("transformer: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var exp modelExport
+	if err := gob.NewDecoder(r).Decode(&exp); err != nil {
+		return nil, fmt.Errorf("transformer: load: %w", err)
+	}
+	if err := exp.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("transformer: load: %w", err)
+	}
+	m := New(exp.Config, 0)
+	for _, p := range m.Params() {
+		data, ok := exp.Tensors[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("transformer: load: missing tensor %q", p.Name)
+		}
+		if len(data) != len(p.Value.Data) {
+			return nil, fmt.Errorf("transformer: load: tensor %q has %d values, want %d",
+				p.Name, len(data), len(p.Value.Data))
+		}
+		copy(p.Value.Data, data)
+	}
+	if len(exp.Pruned) != len(m.Blocks) {
+		return nil, fmt.Errorf("transformer: load: pruning masks for %d blocks, want %d",
+			len(exp.Pruned), len(m.Blocks))
+	}
+	for l, mask := range exp.Pruned {
+		if len(mask) != m.Heads {
+			return nil, fmt.Errorf("transformer: load: block %d mask has %d heads, want %d",
+				l, len(mask), m.Heads)
+		}
+		copy(m.Blocks[l].HeadPruned, mask)
+	}
+	return m, nil
+}

@@ -1,0 +1,192 @@
+// Package zoo builds the model population the paper characterizes and
+// attacks: 70 pre-trained transformer releases from multiple sources and
+// frameworks, and 170 models fine-tuned from them on downstream tasks
+// (paper §7.1). Models are genuinely trained in-process (see
+// internal/transformer); execution fingerprints come from each release's
+// gpusim profile, which fine-tuned models inherit.
+package zoo
+
+import (
+	"fmt"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/transformer"
+)
+
+// sourceSpec describes a model publisher and its execution habits
+// (paper §4.2: framework and developer-specific kernel preferences).
+type sourceSpec struct {
+	name         string
+	framework    gpusim.Framework
+	tensorCores  bool
+	shortKernels bool
+	xla          bool
+}
+
+var sources = []sourceSpec{
+	{name: "huggingface", framework: gpusim.PyTorch},
+	{name: "google", framework: gpusim.TensorFlow},
+	{name: "nvidia", framework: gpusim.PyTorch, tensorCores: true},
+	{name: "nvidia-tf", framework: gpusim.TensorFlow, tensorCores: true, xla: true},
+	{name: "meta", framework: gpusim.PyTorch, shortKernels: true},
+	{name: "amazon", framework: gpusim.MXNet},
+}
+
+// entry is one pre-trained release in the catalog.
+type entry struct {
+	model    string // e.g. "bert-base-uncased"
+	source   string
+	arch     string // transformer.Family key
+	language string // "en", "fr", "ru"
+	cased    bool
+	// decoder marks GPT-style releases: causal masked self-attention.
+	decoder bool
+	// profileKey identifies the release binary; entries sharing a
+	// profileKey have *identical* execution fingerprints (e.g. the cased
+	// and uncased variants of one release), which is exactly the corner
+	// the query-output detector exists for (§4.2, §5.3).
+	profileKey string
+	// corpus distinguishes training corpora; it seeds the vocabulary.
+	corpus string
+}
+
+func (e entry) name() string { return e.source + "_" + e.model }
+
+// catalog returns the deterministic pre-trained release catalog, largest
+// first so truncation to small counts keeps variety. The default first 70
+// entries are the zoo's pre-trained population.
+func catalog() []entry {
+	var out []entry
+	add := func(e entry) {
+		if e.language == "" {
+			e.language = "en"
+		}
+		if e.profileKey == "" {
+			e.profileKey = e.source + "/" + e.arch + "/v1"
+		}
+		if e.corpus == "" {
+			e.corpus = e.model
+		}
+		out = append(out, e)
+	}
+
+	// Ambiguity cluster A: four HuggingFace releases of the base
+	// architecture that share one execution profile — distinguishable only
+	// through query outputs (BERT cased/uncased, CamemBERT, RuBERT).
+	clusterA := "huggingface/base/shared"
+	add(entry{model: "bert-base-uncased", source: "huggingface", arch: "base", profileKey: clusterA})
+	add(entry{model: "bert-base-cased", source: "huggingface", arch: "base", cased: true, profileKey: clusterA})
+	add(entry{model: "camembert-base", source: "huggingface", arch: "base", language: "fr", profileKey: clusterA})
+	add(entry{model: "rubert-base", source: "huggingface", arch: "base", language: "ru", profileKey: clusterA})
+
+	// Ambiguity cluster B: Google's cased/uncased pair.
+	clusterB := "google/base/shared"
+	add(entry{model: "bert-base-uncased", source: "google", arch: "base", profileKey: clusterB})
+	add(entry{model: "bert-base-cased", source: "google", arch: "base", cased: true, profileKey: clusterB})
+
+	// Ambiguity cluster C: a small-architecture quadruple (kept early in
+	// the catalog so reduced test zoos still contain an ambiguity cluster).
+	clusterC := "huggingface/small/shared"
+	add(entry{model: "bert-small-uncased", source: "huggingface", arch: "small", profileKey: clusterC})
+	add(entry{model: "bert-small-cased", source: "huggingface", arch: "small", cased: true, profileKey: clusterC})
+	add(entry{model: "camembert-small", source: "huggingface", arch: "small", language: "fr", profileKey: clusterC})
+	add(entry{model: "rubert-small", source: "huggingface", arch: "small", language: "ru", profileKey: clusterC})
+
+	// Every source releases the BERT family at every size.
+	for _, src := range sources {
+		for _, size := range []string{"tiny", "mini", "small", "medium", "base", "large"} {
+			if (src.name == "huggingface" || src.name == "google") && size == "base" {
+				continue // already present via the ambiguity clusters
+			}
+			add(entry{model: "bert-" + size, source: src.name, arch: size})
+		}
+	}
+
+	// RoBERTa releases (same architecture as BERT, different corpus).
+	for _, src := range []string{"huggingface", "meta", "nvidia"} {
+		for _, size := range []string{"small", "base", "large"} {
+			add(entry{
+				model: "roberta-" + size, source: src, arch: size,
+				profileKey: src + "/roberta-" + size + "/v1",
+				corpus:     "roberta",
+			})
+		}
+	}
+
+	// Assorted popular architectures (scaled-down analogs).
+	add(entry{model: "distilbert-base", source: "huggingface", arch: "mini", corpus: "bert"})
+	add(entry{model: "mobilebert-uncased", source: "google", arch: "tiny"})
+	add(entry{model: "albert-base", source: "huggingface", arch: "small", profileKey: "huggingface/albert/v1"})
+	add(entry{model: "albert-large", source: "huggingface", arch: "medium", profileKey: "huggingface/albert/v2"})
+	add(entry{model: "deberta-xsmall", source: "huggingface", arch: "mini", profileKey: "huggingface/deberta/v1"})
+	add(entry{model: "deberta-base", source: "huggingface", arch: "base", profileKey: "huggingface/deberta/v2"})
+	add(entry{model: "gpt2-small", source: "huggingface", arch: "small", profileKey: "huggingface/gpt2/v1", decoder: true})
+	add(entry{model: "gpt2-medium", source: "huggingface", arch: "medium", profileKey: "huggingface/gpt2/v2", decoder: true})
+	add(entry{model: "t5-small", source: "google", arch: "small", profileKey: "google/t5/v1"})
+	add(entry{model: "bart-base", source: "meta", arch: "base", profileKey: "meta/bart/v1", decoder: true})
+	add(entry{model: "xlnet-base", source: "huggingface", arch: "base", profileKey: "huggingface/xlnet/v1"})
+	add(entry{model: "spanbert-base", source: "huggingface", arch: "base", profileKey: "huggingface/spanbert/v1", corpus: "spanbert"})
+
+	// A few more assorted releases.
+	add(entry{model: "electra-small", source: "google", arch: "small", profileKey: "google/electra/v1"})
+	add(entry{model: "tinybert", source: "huggingface", arch: "tiny", profileKey: "huggingface/tinybert/v1"})
+	add(entry{model: "bart-large", source: "meta", arch: "large", profileKey: "meta/bart-large/v1", decoder: true})
+
+	// Version re-releases: same model name, updated release (new profile).
+	for i, e := range []entry{
+		{model: "bert-base-uncased-v2", source: "huggingface", arch: "base"},
+		{model: "bert-large-v2", source: "nvidia", arch: "large"},
+		{model: "roberta-base-v2", source: "meta", arch: "base", corpus: "roberta"},
+		{model: "bert-base-v2", source: "amazon", arch: "base"},
+		{model: "bert-medium-v2", source: "google", arch: "medium"},
+		{model: "gpt2-small-v2", source: "huggingface", arch: "small"},
+		{model: "bert-small-v2", source: "nvidia-tf", arch: "small"},
+		{model: "roberta-large-v2", source: "meta", arch: "large", corpus: "roberta"},
+		{model: "bert-tiny-v2", source: "amazon", arch: "tiny"},
+		{model: "bert-mini-v2", source: "google", arch: "mini"},
+	} {
+		e.profileKey = fmt.Sprintf("%s/%s/v2-%d", e.source, e.arch, i)
+		out = append(out, withDefaults(e))
+	}
+	return out
+}
+
+func withDefaults(e entry) entry {
+	if e.language == "" {
+		e.language = "en"
+	}
+	if e.corpus == "" {
+		e.corpus = e.model
+	}
+	return e
+}
+
+// profileFor builds the gpusim release profile of an entry.
+func profileFor(e entry) gpusim.Profile {
+	var spec sourceSpec
+	for _, s := range sources {
+		if s.name == e.source {
+			spec = s
+			break
+		}
+	}
+	return gpusim.Profile{
+		Source:       e.source,
+		Framework:    spec.framework,
+		TensorCores:  spec.tensorCores,
+		ShortKernels: spec.shortKernels,
+		XLA:          spec.xla,
+		Seed:         profileSeed(e.profileKey),
+	}
+}
+
+// archFor resolves an entry's architecture configuration.
+func archFor(e entry) transformer.Config {
+	cfg, ok := transformer.Family()[e.arch]
+	if !ok {
+		panic(fmt.Sprintf("zoo: unknown architecture %q", e.arch))
+	}
+	cfg.Name = e.arch
+	cfg.Causal = e.decoder
+	return cfg
+}

@@ -1,0 +1,171 @@
+package zoo
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/task"
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/transformer"
+)
+
+// The zoo's wire format. Model weights dominate the size, so the stream
+// is gzip-compressed.
+
+type pretrainedExport struct {
+	Name     string
+	ArchName string
+	Source   string
+	Language string
+	Cased    bool
+	Words    []string // vocabulary in id order
+	Profile  gpusim.Profile
+	Model    []byte // transformer gob
+}
+
+type fineTunedExport struct {
+	Name       string
+	Pretrained string // name reference
+	Task       task.Task
+	Model      []byte
+	Train, Dev []transformer.Example
+}
+
+type zooExport struct {
+	Version    int
+	Pretrained []pretrainedExport
+	FineTuned  []fineTunedExport
+}
+
+const wireVersion = 1
+
+func encodeModel(m *transformer.Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Save writes the zoo to w (gzip-compressed gob). A saved zoo restores
+// bit-identically: every weight, vocabulary word, dataset example, and
+// execution profile round-trips.
+func (z *Zoo) Save(w io.Writer) error {
+	exp := zooExport{Version: wireVersion}
+	for _, p := range z.Pretrained {
+		mb, err := encodeModel(p.Model)
+		if err != nil {
+			return fmt.Errorf("zoo: save %s: %w", p.Name, err)
+		}
+		exp.Pretrained = append(exp.Pretrained, pretrainedExport{
+			Name: p.Name, ArchName: p.ArchName, Source: p.Source,
+			Language: p.Language, Cased: p.Cased,
+			Words: p.Vocab.Words(), Profile: p.Profile, Model: mb,
+		})
+	}
+	for _, f := range z.FineTuned {
+		mb, err := encodeModel(f.Model)
+		if err != nil {
+			return fmt.Errorf("zoo: save %s: %w", f.Name, err)
+		}
+		exp.FineTuned = append(exp.FineTuned, fineTunedExport{
+			Name: f.Name, Pretrained: f.Pretrained.Name, Task: f.Task,
+			Model: mb, Train: f.Train, Dev: f.Dev,
+		})
+	}
+	gz := gzip.NewWriter(w)
+	if err := gob.NewEncoder(gz).Encode(exp); err != nil {
+		return fmt.Errorf("zoo: save: %w", err)
+	}
+	return gz.Close()
+}
+
+// Load reads a zoo previously written by Save.
+func Load(r io.Reader) (*Zoo, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("zoo: load: %w", err)
+	}
+	defer gz.Close()
+	var exp zooExport
+	if err := gob.NewDecoder(gz).Decode(&exp); err != nil {
+		return nil, fmt.Errorf("zoo: load: %w", err)
+	}
+	if exp.Version != wireVersion {
+		return nil, fmt.Errorf("zoo: load: wire version %d, want %d", exp.Version, wireVersion)
+	}
+	z := &Zoo{}
+	for _, pe := range exp.Pretrained {
+		m, err := transformer.Load(bytes.NewReader(pe.Model))
+		if err != nil {
+			return nil, fmt.Errorf("zoo: load %s: %w", pe.Name, err)
+		}
+		z.Pretrained = append(z.Pretrained, &Pretrained{
+			Name: pe.Name, Arch: m.Config, ArchName: pe.ArchName,
+			Source: pe.Source, Language: pe.Language, Cased: pe.Cased,
+			Vocab:   tokenizer.Restore(pe.Name, pe.Language, pe.Cased, pe.Words),
+			Model:   m,
+			Profile: pe.Profile,
+		})
+	}
+	for _, fe := range exp.FineTuned {
+		pre := z.PretrainedByName(fe.Pretrained)
+		if pre == nil {
+			return nil, fmt.Errorf("zoo: load %s: unknown pre-trained %q", fe.Name, fe.Pretrained)
+		}
+		m, err := transformer.Load(bytes.NewReader(fe.Model))
+		if err != nil {
+			return nil, fmt.Errorf("zoo: load %s: %w", fe.Name, err)
+		}
+		z.FineTuned = append(z.FineTuned, &FineTuned{
+			Name: fe.Name, Pretrained: pre, Task: fe.Task,
+			Model: m, Train: fe.Train, Dev: fe.Dev,
+		})
+	}
+	return z, nil
+}
+
+// SaveFile writes the zoo to path.
+func (z *Zoo) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := z.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a zoo from path.
+func LoadFile(path string) (*Zoo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// BuildOrLoad loads the zoo from cachePath when it exists, otherwise
+// builds it and writes the cache. An empty cachePath always builds.
+func BuildOrLoad(cfg BuildConfig, cachePath string) (*Zoo, error) {
+	if cachePath != "" {
+		if z, err := LoadFile(cachePath); err == nil {
+			return z, nil
+		}
+	}
+	z := Build(cfg)
+	if cachePath != "" {
+		if err := z.SaveFile(cachePath); err != nil {
+			return z, fmt.Errorf("zoo: cache write failed: %w", err)
+		}
+	}
+	return z, nil
+}

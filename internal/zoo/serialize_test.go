@@ -1,0 +1,105 @@
+package zoo
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"decepticon/internal/gpusim"
+)
+
+func TestZooRoundTrip(t *testing.T) {
+	z := getZoo(t)
+	var buf bytes.Buffer
+	if err := z.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pretrained) != len(z.Pretrained) || len(got.FineTuned) != len(z.FineTuned) {
+		t.Fatalf("population %d/%d, want %d/%d",
+			len(got.Pretrained), len(got.FineTuned), len(z.Pretrained), len(z.FineTuned))
+	}
+	// Weights round-trip bit-identically.
+	for i, p := range z.Pretrained {
+		q := got.Pretrained[i]
+		if q.Name != p.Name || q.Source != p.Source || q.Cased != p.Cased || q.Language != p.Language {
+			t.Fatalf("metadata mismatch for %s", p.Name)
+		}
+		a, b := p.Model.Params(), q.Model.Params()
+		for j := range a {
+			for k := range a[j].Value.Data {
+				if a[j].Value.Data[k] != b[j].Value.Data[k] {
+					t.Fatalf("%s tensor %s differs after round trip", p.Name, a[j].Name)
+				}
+			}
+		}
+		// Vocabulary round-trips.
+		wa, wb := p.Vocab.Words(), q.Vocab.Words()
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("%s vocab differs after round trip", p.Name)
+			}
+		}
+	}
+	// Fine-tuned victims behave identically: same predictions, same trace.
+	f, g := z.FineTuned[0], got.FineTuned[0]
+	for _, ex := range f.Dev {
+		if f.Model.Predict(ex.Tokens) != g.Model.Predict(ex.Tokens) {
+			t.Fatal("restored victim predicts differently")
+		}
+	}
+	ta := f.Trace(gpusim.Options{})
+	tb := g.Trace(gpusim.Options{})
+	if len(ta.Execs) != len(tb.Execs) {
+		t.Fatal("restored victim trace differs")
+	}
+	for i := range ta.Execs {
+		if ta.Execs[i] != tb.Execs[i] {
+			t.Fatal("restored victim trace differs")
+		}
+	}
+	// Pruning masks round-trip.
+	if g.Model.PrunedHeadCount() != f.Model.PrunedHeadCount() {
+		t.Fatal("pruning masks lost")
+	}
+}
+
+func TestBuildOrLoadCache(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zoo.gob.gz")
+	cfg := SmallBuildConfig()
+	cfg.NumPretrained = 2
+	cfg.NumFineTuned = 2
+	cfg.PretrainExamples = 20
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneExamples = 20
+	cfg.FineTuneEpochs = 1
+
+	a, err := BuildOrLoad(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildOrLoad(cfg, path) // second call must hit the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pretrained[0].Name != b.Pretrained[0].Name {
+		t.Fatal("cache returned a different population")
+	}
+	w := a.FineTuned[0].Model.HeadW.V.Data
+	v := b.FineTuned[0].Model.HeadW.V.Data
+	for i := range w {
+		if w[i] != v[i] {
+			t.Fatal("cached weights differ")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a zoo"))); err == nil {
+		t.Fatal("garbage must not load")
+	}
+}

@@ -1,0 +1,18 @@
+package zoo
+
+// TraceOnlyBuildConfig returns a build whose models receive minimal
+// training. Kernel-trace fingerprints depend only on each release's
+// architecture and execution profile — not on weight values — so tests
+// and examples that exercise the trace/fingerprint pipeline can skip the
+// expensive pre-training and fine-tuning.
+func TraceOnlyBuildConfig() BuildConfig {
+	cfg := DefaultBuildConfig()
+	cfg.NumPretrained = 12
+	cfg.NumFineTuned = 24
+	cfg.PretrainExamples = 8
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneExamples = 10
+	cfg.FineTuneEpochs = 1
+	cfg.ArchFilter = []string{"tiny", "mini", "small"}
+	return cfg
+}

@@ -1,0 +1,257 @@
+package zoo
+
+import (
+	"fmt"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/rng"
+	"decepticon/internal/task"
+	"decepticon/internal/tokenizer"
+	"decepticon/internal/transformer"
+)
+
+// Pretrained is one pre-trained model release.
+type Pretrained struct {
+	Name     string
+	Arch     transformer.Config
+	ArchName string
+	Source   string
+	Language string
+	Cased    bool
+	Vocab    *tokenizer.Vocab
+	Model    *transformer.Model
+	Profile  gpusim.Profile
+}
+
+// Trace simulates one kernel-trace measurement of the model.
+func (p *Pretrained) Trace(opt gpusim.Options) *gpusim.Trace {
+	t := gpusim.SimulateTransformer(p.Arch, nil, p.Profile, opt)
+	t.Model = p.Name
+	return t
+}
+
+// FineTuned is a model fine-tuned from a pre-trained release on a
+// downstream task. It is the black-box victim population.
+type FineTuned struct {
+	Name       string
+	Pretrained *Pretrained
+	Task       task.Task
+	Model      *transformer.Model
+	Train, Dev []transformer.Example
+}
+
+// Trace simulates one kernel-trace measurement of the fine-tuned model.
+// The fingerprint is inherited from the pre-trained release: only the
+// task-head kernels at the trace tail differ.
+func (f *FineTuned) Trace(opt gpusim.Options) *gpusim.Trace {
+	activeHeads := make([]int, f.Model.Layers)
+	for l, b := range f.Model.Blocks {
+		n := 0
+		for _, pruned := range b.HeadPruned {
+			if !pruned {
+				n++
+			}
+		}
+		activeHeads[l] = n
+	}
+	t := gpusim.SimulateTransformer(f.Model.Config, activeHeads, f.Pretrained.Profile, opt)
+	t.Model = f.Name
+	return t
+}
+
+// ClassifyText answers a black-box text query: the victim tokenizes the
+// text with its own (inherited) vocabulary and returns the predicted label
+// and class probabilities. This is the only interface the attacker's
+// query-output fingerprint uses.
+func (f *FineTuned) ClassifyText(text string) (label int, probs []float32) {
+	tokens := f.Pretrained.Vocab.Tokenize(text, f.Model.MaxSeq)
+	return f.Model.Predict(tokens), f.Model.Probs(tokens)
+}
+
+// Zoo is the model population.
+type Zoo struct {
+	Pretrained []*Pretrained
+	FineTuned  []*FineTuned
+}
+
+// BuildConfig controls zoo construction. The zero value is not valid; use
+// DefaultBuildConfig or SmallBuildConfig.
+type BuildConfig struct {
+	NumPretrained    int
+	NumFineTuned     int
+	PretrainExamples int
+	PretrainEpochs   int
+	FineTuneExamples int
+	FineTuneEpochs   int
+	// FineTuneLR / FineTuneHeadLR / FineTuneDecay mirror standard
+	// discriminative fine-tuning; the defaults reproduce the paper's
+	// weight-gap structure (small backbone deltas, U-shaped vs. weight
+	// value, large head deltas).
+	FineTuneLR     float64
+	FineTuneHeadLR float64
+	FineTuneDecay  float64
+	Seed           uint64
+	// ArchFilter, when non-empty, restricts the catalog to the named
+	// architectures (transformer.Family keys) — used by tests and quick
+	// examples to avoid training large models.
+	ArchFilter []string
+	OnProgress func(stage string, done, total int) // optional progress hook
+}
+
+// DefaultBuildConfig reproduces the paper's population: 70 pre-trained and
+// 170 fine-tuned models.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		NumPretrained:    70,
+		NumFineTuned:     170,
+		PretrainExamples: 300,
+		PretrainEpochs:   14,
+		FineTuneExamples: 150,
+		FineTuneEpochs:   8,
+		FineTuneLR:       3e-5,
+		FineTuneHeadLR:   3e-2,
+		FineTuneDecay:    2.0,
+		Seed:             1,
+	}
+}
+
+// SmallBuildConfig is a fast population for tests and examples: it keeps
+// the catalog's structure (an ambiguity cluster, several sources and
+// frameworks) while restricting to the small architectures and a reduced
+// training budget.
+func SmallBuildConfig() BuildConfig {
+	cfg := DefaultBuildConfig()
+	cfg.NumPretrained = 12
+	cfg.NumFineTuned = 20
+	cfg.PretrainExamples = 240
+	cfg.PretrainEpochs = 10
+	cfg.FineTuneExamples = 120
+	cfg.FineTuneEpochs = 6
+	cfg.ArchFilter = []string{"tiny", "mini", "small"}
+	return cfg
+}
+
+// profileSeed derives the release-profile seed from a profile key.
+func profileSeed(key string) uint64 { return rng.Seed("profile", key) }
+
+// Build constructs the zoo deterministically. Pre-trained models are
+// initialized with a trained-looking weight distribution and briefly
+// trained on a generic (non-downstream) objective; fine-tuned models copy
+// a pre-trained backbone, attach a fresh task head, and train on a
+// downstream task. No (pre-trained, fine-tuned) pair shares a task, as in
+// the paper's methodology (§7.1).
+func Build(cfg BuildConfig) *Zoo {
+	if cfg.NumPretrained <= 0 || cfg.NumFineTuned <= 0 {
+		panic("zoo: empty build configuration; use DefaultBuildConfig")
+	}
+	entries := catalog()
+	if len(cfg.ArchFilter) > 0 {
+		allowed := make(map[string]bool, len(cfg.ArchFilter))
+		for _, a := range cfg.ArchFilter {
+			allowed[a] = true
+		}
+		var kept []entry
+		for _, e := range entries {
+			if allowed[e.arch] {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	if cfg.NumPretrained > len(entries) {
+		panic(fmt.Sprintf("zoo: catalog has %d matching releases, %d requested", len(entries), cfg.NumPretrained))
+	}
+	z := &Zoo{}
+
+	for i, e := range entries[:cfg.NumPretrained] {
+		arch := archFor(e)
+		name := e.name()
+		vocabSeed := rng.Seed("corpus", e.corpus, e.language, fmt.Sprint(e.cased)) ^ cfg.Seed
+		vocab := tokenizer.NewVocab(name, e.language, e.cased, arch.Vocab, vocabSeed)
+
+		// Generic pre-training: the MLM-analog token-recall objective
+		// (task.GenerateMLM). The label space is the whole vocabulary, so
+		// the backbone learns a transferable bag-of-tokens encoding —
+		// data differs per release (corpus seed), so weights diverge
+		// across releases.
+		arch = arch.WithLabels(arch.Vocab)
+		model := transformer.NewWithInit(arch, rng.Seed("pretrain-init", name)^cfg.Seed, transformer.TrainedInit)
+		data := task.GenerateMLM(arch.Vocab, 12, cfg.PretrainExamples, rng.Seed("pretrain-data", name)^cfg.Seed)
+		lr, warmup := 3e-3, 0
+		if arch.Layers >= 10 {
+			// Deeper stacks need a gentler schedule to converge.
+			lr, warmup = 1.5e-3, 120
+		}
+		model.Train(data, transformer.TrainConfig{
+			Epochs: cfg.PretrainEpochs, BatchSize: 8,
+			LR: lr, HeadLR: 6e-3, WeightDecay: 0.02, WarmupSteps: warmup,
+			Seed: rng.Seed("pretrain-train", name) ^ cfg.Seed,
+		})
+
+		z.Pretrained = append(z.Pretrained, &Pretrained{
+			Name: name, Arch: arch, ArchName: e.arch,
+			Source: e.source, Language: e.language, Cased: e.cased,
+			Vocab: vocab, Model: model, Profile: profileFor(e),
+		})
+		if cfg.OnProgress != nil {
+			cfg.OnProgress("pretrain", i+1, cfg.NumPretrained)
+		}
+	}
+
+	tasks := task.GLUEAnalogs()
+	tasks = append(tasks, task.QAAnalog())
+	for i := 0; i < cfg.NumFineTuned; i++ {
+		pre := z.Pretrained[i%len(z.Pretrained)]
+		tk := tasks[(i/len(z.Pretrained))%len(tasks)]
+		name := fmt.Sprintf("%s__ft-%s-%d", pre.Name, tk.Name, i)
+		data := tk.Generate(pre.Arch.Vocab, cfg.FineTuneExamples, rng.Seed("ft-data", name)^cfg.Seed)
+		train, dev := task.Split(data, 0.8)
+		model := transformer.FineTuneFrom(pre.Model, tk.Labels, train, transformer.TrainConfig{
+			Epochs: cfg.FineTuneEpochs, BatchSize: 4,
+			LR: cfg.FineTuneLR, HeadLR: cfg.FineTuneHeadLR,
+			WeightDecay: cfg.FineTuneDecay,
+			Seed:        rng.Seed("ft-train", name) ^ cfg.Seed,
+		}, rng.Seed("ft-head", name)^cfg.Seed)
+		z.FineTuned = append(z.FineTuned, &FineTuned{
+			Name: name, Pretrained: pre, Task: tk, Model: model,
+			Train: train, Dev: dev,
+		})
+		if cfg.OnProgress != nil {
+			cfg.OnProgress("finetune", i+1, cfg.NumFineTuned)
+		}
+	}
+	return z
+}
+
+// PretrainedByName returns the named pre-trained model, or nil.
+func (z *Zoo) PretrainedByName(name string) *Pretrained {
+	for _, p := range z.Pretrained {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// FineTunedByName returns the named fine-tuned model, or nil.
+func (z *Zoo) FineTunedByName(name string) *FineTuned {
+	for _, f := range z.FineTuned {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AmbiguousWith returns the pre-trained models whose execution profile is
+// identical to p's (including p itself) — the candidate set the
+// query-output detector has to separate.
+func (z *Zoo) AmbiguousWith(p *Pretrained) []*Pretrained {
+	var out []*Pretrained
+	for _, q := range z.Pretrained {
+		if q.Profile.Seed == p.Profile.Seed && q.ArchName == p.ArchName {
+			out = append(out, q)
+		}
+	}
+	return out
+}

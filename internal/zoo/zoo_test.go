@@ -1,0 +1,266 @@
+package zoo
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"decepticon/internal/gpusim"
+	"decepticon/internal/stats"
+	"decepticon/internal/transformer"
+)
+
+// testZoo builds one small zoo per test binary run; zoo construction does
+// real training, so tests share it.
+var (
+	zooOnce sync.Once
+	testZ   *Zoo
+)
+
+func getZoo(t *testing.T) *Zoo {
+	t.Helper()
+	zooOnce.Do(func() { testZ = Build(SmallBuildConfig()) })
+	return testZ
+}
+
+func TestCatalogShape(t *testing.T) {
+	entries := catalog()
+	if len(entries) < 70 {
+		t.Fatalf("catalog has %d releases, need >= 70", len(entries))
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		if names[e.name()] {
+			t.Fatalf("duplicate release %q", e.name())
+		}
+		names[e.name()] = true
+		if _, ok := transformer.Family()[e.arch]; !ok {
+			t.Fatalf("release %q has unknown arch %q", e.name(), e.arch)
+		}
+	}
+	// The ambiguity cluster must share a profile but differ in vocabulary
+	// flavor.
+	a, b := entries[0], entries[1]
+	if a.profileKey != b.profileKey {
+		t.Fatal("cluster A entries must share a profile key")
+	}
+	if a.cased == b.cased {
+		t.Fatal("cluster A cased/uncased pair broken")
+	}
+}
+
+func TestBuildPopulation(t *testing.T) {
+	z := getZoo(t)
+	cfg := SmallBuildConfig()
+	if len(z.Pretrained) != cfg.NumPretrained {
+		t.Fatalf("pretrained %d, want %d", len(z.Pretrained), cfg.NumPretrained)
+	}
+	if len(z.FineTuned) != cfg.NumFineTuned {
+		t.Fatalf("finetuned %d, want %d", len(z.FineTuned), cfg.NumFineTuned)
+	}
+	for _, f := range z.FineTuned {
+		if f.Pretrained == nil || f.Model == nil {
+			t.Fatalf("%s incomplete", f.Name)
+		}
+		if f.Model.Labels != f.Task.Labels {
+			t.Fatalf("%s labels %d, task %d", f.Name, f.Model.Labels, f.Task.Labels)
+		}
+	}
+}
+
+func TestFineTunedModelsLearn(t *testing.T) {
+	z := getZoo(t)
+	var accs []float64
+	for _, f := range z.FineTuned {
+		accs = append(accs, f.Model.Evaluate(f.Dev))
+	}
+	mean := stats.Mean(accs)
+	if mean < 0.75 {
+		t.Fatalf("mean fine-tuned dev accuracy %v < 0.75", mean)
+	}
+}
+
+// TestWeightGapStructure verifies the paper's Observation 1 (§4.1): a
+// fine-tuned model is at least ~20x closer to its own pre-trained model
+// than to other pre-trained models of the same architecture.
+func TestWeightGapStructure(t *testing.T) {
+	z := getZoo(t)
+	var ownGaps, crossGaps []float64
+	for _, f := range z.FineTuned {
+		own := transformer.WeightGaps(f.Pretrained.Model, f.Model)
+		var sum float64
+		for _, g := range own {
+			sum += math.Abs(g)
+		}
+		ownGaps = append(ownGaps, sum/float64(len(own)))
+
+		for _, p := range z.Pretrained {
+			if p == f.Pretrained || p.ArchName != f.Pretrained.ArchName {
+				continue
+			}
+			cross := transformer.WeightGaps(p.Model, f.Model)
+			sum = 0
+			for _, g := range cross {
+				sum += math.Abs(g)
+			}
+			crossGaps = append(crossGaps, sum/float64(len(cross)))
+			break
+		}
+	}
+	own, cross := stats.Mean(ownGaps), stats.Mean(crossGaps)
+	if cross < 10*own {
+		t.Fatalf("cross-model gap %v not >> own gap %v (want >= 10x, paper: 20x)", cross, own)
+	}
+}
+
+// TestFractionWithinTinyGap verifies the paper's "almost 50% of weights
+// within ±0.002" observation for own (pre, fine) pairs.
+func TestFractionWithinTinyGap(t *testing.T) {
+	z := getZoo(t)
+	f := z.FineTuned[0]
+	gaps := transformer.WeightGaps(f.Pretrained.Model, f.Model)
+	if frac := stats.FractionWithin(gaps, 0.002); frac < 0.4 {
+		t.Fatalf("only %v of weights within ±0.002, want >= 0.4", frac)
+	}
+}
+
+// TestSignKeepRate verifies §6.1.1's "99% of weights keep their sign".
+func TestSignKeepRate(t *testing.T) {
+	z := getZoo(t)
+	f := z.FineTuned[1]
+	if rate := transformer.SignKeepRate(f.Pretrained.Model, f.Model); rate < 0.95 {
+		t.Fatalf("sign keep rate %v < 0.95", rate)
+	}
+}
+
+// TestLastLayerMovesMost verifies Fig 5/6: the task head moves much more
+// than any encoder layer during fine-tuning.
+func TestLastLayerMovesMost(t *testing.T) {
+	z := getZoo(t)
+	moved := 0
+	for _, f := range z.FineTuned[:5] {
+		diffs := transformer.LayerMeanAbsDiff(f.Pretrained.Model, f.Model)
+		// diffs has one entry per encoder layer; the head was replaced, so
+		// compare encoder movement against head weight scale directly.
+		var maxEnc float64
+		for _, d := range diffs[:f.Model.Layers] {
+			if d > maxEnc {
+				maxEnc = d
+			}
+		}
+		headScale := f.Model.HeadW.V.MaxAbs()
+		if float64(headScale) > 3*maxEnc {
+			moved++
+		}
+	}
+	if moved < 3 {
+		t.Fatalf("head did not dominate movement in %d/5 models", 5-moved)
+	}
+}
+
+func TestTraceInheritance(t *testing.T) {
+	z := getZoo(t)
+	f := z.FineTuned[0]
+	pre := f.Pretrained.Trace(gpusim.Options{})
+	ft := f.Trace(gpusim.Options{})
+	// Everything but the 2-kernel head section matches.
+	n := len(pre.Execs) - 2
+	for i := 0; i < n; i++ {
+		if pre.Execs[i].Name != ft.Execs[i].Name {
+			t.Fatalf("fingerprint not inherited at kernel %d", i)
+		}
+	}
+}
+
+func TestAmbiguityCluster(t *testing.T) {
+	z := getZoo(t)
+	p := z.PretrainedByName("huggingface_bert-small-uncased")
+	if p == nil {
+		t.Fatal("cluster model missing")
+	}
+	amb := z.AmbiguousWith(p)
+	if len(amb) < 2 {
+		t.Fatalf("ambiguity cluster size %d, want >= 2", len(amb))
+	}
+	// Members share the exact trace fingerprint.
+	a := amb[0].Trace(gpusim.Options{})
+	b := amb[1].Trace(gpusim.Options{})
+	if len(a.Execs) != len(b.Execs) {
+		t.Fatal("ambiguous releases must share trace length")
+	}
+	for i := range a.Execs {
+		if a.Execs[i].Name != b.Execs[i].Name {
+			t.Fatal("ambiguous releases must share kernel sequence")
+		}
+	}
+	// But their vocabularies differ.
+	if amb[0].Vocab.Overlap(amb[1].Vocab) > 0.9 {
+		t.Fatal("ambiguous releases should have distinguishable vocabularies")
+	}
+}
+
+func TestClassifyText(t *testing.T) {
+	z := getZoo(t)
+	f := z.FineTuned[0]
+	words := f.Pretrained.Vocab.Words()
+	label, probs := f.ClassifyText(words[0] + " " + words[1])
+	if label < 0 || label >= f.Task.Labels {
+		t.Fatalf("label %d out of range", label)
+	}
+	var sum float32
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(float64(sum-1)) > 1e-5 {
+		t.Fatalf("probs sum %v", sum)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	z := getZoo(t)
+	if z.PretrainedByName("no-such-model") != nil {
+		t.Fatal("missing model must return nil")
+	}
+	f := z.FineTuned[0]
+	if z.FineTunedByName(f.Name) != f {
+		t.Fatal("FineTunedByName broken")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	cfg := SmallBuildConfig()
+	cfg.NumPretrained = 3
+	cfg.NumFineTuned = 3
+	cfg.PretrainExamples = 30
+	cfg.FineTuneExamples = 30
+	a := Build(cfg)
+	b := Build(cfg)
+	for i := range a.FineTuned {
+		wa := a.FineTuned[i].Model.HeadW.V.Data
+		wb := b.FineTuned[i].Model.HeadW.V.Data
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatal("zoo build must be deterministic")
+			}
+		}
+	}
+}
+
+func TestDecoderReleasesAreCausal(t *testing.T) {
+	// The catalog marks GPT/BART releases as decoders; their models must
+	// run causal attention and their traces must use masked-attention
+	// kernels.
+	entries := catalog()
+	foundDecoder := false
+	for _, e := range entries {
+		if e.decoder {
+			foundDecoder = true
+			if archFor(e).Causal != true {
+				t.Fatalf("decoder release %s not causal", e.name())
+			}
+		}
+	}
+	if !foundDecoder {
+		t.Fatal("catalog has no decoder releases")
+	}
+}
