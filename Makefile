@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector tier: the packages that gained goroutines, filtered to
+# the concurrency-exercising tests so the 5-20x race overhead stays
+# affordable on small machines. GOMAXPROCS is raised explicitly so the
+# pool actually schedules in parallel even on a single-core host.
+race:
+	GOMAXPROCS=4 $(GO) test -race ./internal/parallel
+	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance|ProgressSerialized' ./internal/zoo
+	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance' ./internal/fingerprint
+	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial' ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The full pre-commit gate.
+verify: build vet test race

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"decepticon/internal/adversarial"
+	"decepticon/internal/core"
 	"decepticon/internal/experiments"
 	"decepticon/internal/extract"
 	"decepticon/internal/fingerprint"
@@ -135,7 +136,7 @@ func BenchmarkAblationSkipThreshold(b *testing.B) {
 // BenchmarkAblationImageSize compares fingerprint accuracy at 32 vs 64 px.
 func BenchmarkAblationImageSize(b *testing.B) {
 	getBenchEnv(b)
-	d := fingerprint.BuildDataset(benchZoo, 4, 77)
+	d := fingerprint.BuildDataset(benchZoo, 4, 77, 0)
 	train, test := d.Split(0.8, 78)
 	for i := 0; i < b.N; i++ {
 		for _, size := range []int{32, 64} {
@@ -145,6 +146,45 @@ func BenchmarkAblationImageSize(b *testing.B) {
 		}
 	}
 }
+
+// ---- parallel execution layer ----
+
+// benchZooBuildWorkers measures zoo construction at a fixed worker
+// count. Compare Workers1 vs Workers4 to see the pool's speedup; on a
+// multi-core machine the 4-worker build should be >= 1.5x faster (the
+// population itself is identical for any value — see
+// internal/zoo TestBuildWorkerCountInvariance).
+func benchZooBuildWorkers(b *testing.B, workers int) {
+	cfg := zoo.SmallBuildConfig()
+	cfg.NumPretrained = 4
+	cfg.NumFineTuned = 4
+	cfg.PretrainExamples = 60
+	cfg.FineTuneExamples = 60
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zoo.Build(cfg)
+	}
+}
+
+func BenchmarkZooBuildWorkers1(b *testing.B) { benchZooBuildWorkers(b, 1) }
+func BenchmarkZooBuildWorkers4(b *testing.B) { benchZooBuildWorkers(b, 4) }
+
+// BenchmarkCampaignWorkers measures a RunAll campaign over every bench
+// victim at 1 vs 4 workers.
+func benchCampaignWorkers(b *testing.B, workers int) {
+	env := getBenchEnv(b)
+	atk := env.Attack()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atk.RunAll(benchZoo.FineTuned, core.RunOptions{MeasureSeed: 5, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaignWorkers(b, 1) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaignWorkers(b, 4) }
 
 // ---- substrate micro-benchmarks ----
 

@@ -27,6 +27,7 @@ func main() {
 		subs   = flag.Int("substitutes", 4, "number of distillation substitutes for -adv")
 		cache  = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
 		all    = flag.Bool("all", false, "attack every victim and print campaign statistics")
+		work   = flag.Int("workers", 0, "worker goroutines for zoo build, trace measurement, and -all campaigns (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 	if *scale == "full" {
 		cfg = decepticon.DefaultZooConfig()
 	}
+	cfg.Workers = *work
 	log.Printf("building model zoo (%d pre-trained, %d fine-tuned)...",
 		cfg.NumPretrained, cfg.NumFineTuned)
 	z, err := decepticon.BuildOrLoadZoo(cfg, *cache)
@@ -42,11 +44,13 @@ func main() {
 	}
 
 	log.Printf("training the pre-trained model extractor...")
-	atk := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+	prepCfg := decepticon.DefaultPrepareConfig()
+	prepCfg.Workers = *work
+	atk := decepticon.NewAttack(z, prepCfg)
 
 	if *all {
 		log.Printf("attacking all %d victims...", len(z.FineTuned))
-		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{MeasureSeed: 1})
+		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{MeasureSeed: 1, Workers: *work})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,6 +27,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		quiet = flag.Bool("q", false, "suppress progress output")
 		cache = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
+		work  = flag.Int("workers", 0, "worker goroutines for zoo build and trace measurement (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 
 	env := decepticon.NewExperiments(sc)
 	env.CachePath = *cache
+	env.Workers = *work
 	if !*quiet {
 		env.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}

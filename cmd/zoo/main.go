@@ -20,12 +20,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoo: ")
 	scale := flag.String("scale", "small", "zoo scale: small | full")
+	work := flag.Int("workers", 0, "worker goroutines for model training (0 = all cores); the population is identical for any value")
 	flag.Parse()
 
 	cfg := decepticon.SmallZooConfig()
 	if *scale == "full" {
 		cfg = decepticon.DefaultZooConfig()
 	}
+	cfg.Workers = *work
 	cfg.OnProgress = func(stage string, done, total int) {
 		if done%20 == 0 || done == total {
 			log.Printf("%s %d/%d", stage, done, total)

@@ -28,6 +28,14 @@
 //
 //	exp := decepticon.NewExperiments(decepticon.ScaleSmall)
 //	exp.Run("fig14", os.Stdout)
+//
+// The heavy phases — zoo construction, trace measurement, and -all attack
+// campaigns — run on a bounded worker pool (internal/parallel). The
+// Workers fields on ZooConfig, PrepareConfig, RunOptions, and Experiments
+// bound the goroutine count (<= 0 means all cores); every stochastic item
+// derives its seed from its own name or index, so results are
+// byte-for-byte identical for any worker count. See the "Parallelism &
+// determinism" section of README.md.
 package decepticon
 
 import (

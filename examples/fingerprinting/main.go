@@ -28,7 +28,7 @@ func main() {
 	z := decepticon.BuildZoo(decepticon.TraceOnlyZooConfig())
 
 	log.Println("collecting traces and training the CNN extractor...")
-	d := fingerprint.BuildDataset(z, 5, 1)
+	d := fingerprint.BuildDataset(z, 5, 1, 0)
 	train, test := d.Split(0.8, 2)
 	clf := fingerprint.NewClassifier(64, d.Classes, 3)
 	clf.Train(train, fingerprint.TrainConfig{Epochs: 60, LR: 0.002, Seed: 4})

@@ -22,6 +22,7 @@ import (
 	"decepticon/internal/extract"
 	"decepticon/internal/fingerprint"
 	"decepticon/internal/gpusim"
+	"decepticon/internal/parallel"
 	"decepticon/internal/queryfp"
 	"decepticon/internal/rng"
 	"decepticon/internal/sidechannel"
@@ -49,6 +50,10 @@ type PrepareConfig struct {
 	Epochs int
 	LR     float64
 	Seed   uint64
+	// Workers bounds the goroutines used for trace measurement and image
+	// rendering; <= 0 selects GOMAXPROCS. Purely a throughput knob: the
+	// trained classifier is identical for any value.
+	Workers int
 }
 
 // DefaultPrepareConfig returns a preparation setup matched to the zoo
@@ -60,13 +65,36 @@ func DefaultPrepareConfig() PrepareConfig {
 // Prepare trains the level-1 extractor over the candidate pool. The
 // training set is augmented with noisy trace copies so the classifier
 // tolerates measurement noise (§7.2).
+//
+// Zero-valued fields of cfg are filled individually from
+// DefaultPrepareConfig — a caller setting only, say, Epochs keeps that
+// choice instead of having the whole config silently replaced. A
+// non-zero ImgSize other than 32 or 64 is rejected up front rather than
+// panicking deep inside the CNN constructor.
 func Prepare(z *zoo.Zoo, cfg PrepareConfig) *Attack {
+	def := DefaultPrepareConfig()
 	if cfg.SamplesPerModel <= 0 {
-		cfg = DefaultPrepareConfig()
+		cfg.SamplesPerModel = def.SamplesPerModel
 	}
-	d := fingerprint.BuildDataset(z, cfg.SamplesPerModel, cfg.Seed)
-	d.AugmentNoise(1, 4, 2, cfg.Seed+9)
+	if cfg.ImgSize == 0 {
+		cfg.ImgSize = def.ImgSize
+	}
+	if cfg.ImgSize != 32 && cfg.ImgSize != 64 {
+		panic(fmt.Sprintf("core: PrepareConfig.ImgSize %d unsupported (use 32 or 64, or 0 for the default)", cfg.ImgSize))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = def.Epochs
+	}
+	if cfg.LR == 0 {
+		cfg.LR = def.LR
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	d := fingerprint.BuildDataset(z, cfg.SamplesPerModel, cfg.Seed, cfg.Workers)
+	d.AugmentNoise(1, 4, 2, cfg.Seed+9, cfg.Workers)
 	clf := fingerprint.NewClassifier(cfg.ImgSize, d.Classes, cfg.Seed+1)
+	clf.Workers = cfg.Workers
 	clf.Train(d, fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 2})
 	return &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig()}
 }
@@ -98,7 +126,12 @@ type Report struct {
 	// Optional adversarial stage.
 	AdvClone       float64   // clone-driven success rate
 	AdvSubstitutes []float64 // distillation substitutes' success rates
-	Clone          *transformer.Model
+	// AdvSkipped records, per requested substitute that could not be
+	// built, why no valid distillation baseline existed (e.g. no
+	// pre-trained candidate with a compatible vocabulary besides the
+	// victim's own release).
+	AdvSkipped []string
+	Clone      *transformer.Model
 }
 
 // Campaign aggregates the outcome of attacking many victims.
@@ -123,18 +156,29 @@ func (c *Campaign) IdentificationRate() float64 {
 }
 
 // RunAll attacks every victim in the list and aggregates the outcomes.
+// Victims run on opt.Workers goroutines (<= 0 selects GOMAXPROCS): each
+// victim's measurement seed is a function of its list index, every model
+// shared across victims (the zoo's pre-trained pool, the classifier) is
+// only read, and reports land in input order with counters aggregated
+// after the join — so the campaign is identical for any worker count.
 func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, error) {
-	c := &Campaign{}
-	var matchSum, reductionSum float64
-	extracted := 0
-	for i, v := range victims {
+	reports, err := parallel.MapErr(len(victims), opt.Workers, func(i int) (*Report, error) {
 		o := opt
 		o.MeasureSeed = opt.MeasureSeed + uint64(i)*7919
-		rep, err := a.Run(v, o)
+		rep, err := a.Run(victims[i], o)
 		if err != nil {
-			return nil, fmt.Errorf("core: victim %s: %w", v.Name, err)
+			return nil, fmt.Errorf("core: victim %s: %w", victims[i].Name, err)
 		}
-		c.Reports = append(c.Reports, rep)
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Campaign{Reports: reports}
+	var matchSum, reductionSum float64
+	extracted := 0
+	for _, rep := range reports {
 		c.Victims++
 		if rep.CorrectIdentity {
 			c.Identified++
@@ -168,6 +212,29 @@ type RunOptions struct {
 	NumSubstitutes int
 	// FlipsPerInput is the adversarial token-substitution budget.
 	FlipsPerInput int
+	// Workers bounds the victims attacked concurrently by RunAll; <= 0
+	// selects GOMAXPROCS. The campaign outcome is identical for any
+	// value.
+	Workers int
+}
+
+// pickSubstitute returns the s-th distillation baseline for the victim: a
+// pre-trained model with a compatible vocabulary size that is not the
+// victim's own release, scanning the pool from a per-s offset so distinct
+// substitutes pick distinct baselines where possible. It returns nil when
+// no pool member qualifies — stepping blindly to the next index (the old
+// behavior) could land right back on the victim's own release or an
+// incompatible vocabulary.
+func pickSubstitute(z *zoo.Zoo, victim *zoo.FineTuned, s int) *zoo.Pretrained {
+	n := len(z.Pretrained)
+	for off := 0; off < n; off++ {
+		p := z.Pretrained[(s+1+off)%n]
+		if p.Name == victim.Pretrained.Name || p.Model.Vocab != victim.Model.Vocab {
+			continue
+		}
+		return p
+	}
+	return nil
 }
 
 // Run executes the two-level attack against a black-box victim.
@@ -251,10 +318,12 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 		inputs := adversarial.RecordInputs(victim.Model.Vocab, victim.Task.SeqLen,
 			4*len(victim.Train), rng.Seed("adv-records", victim.Name))
 		for s := 0; s < opt.NumSubstitutes; s++ {
-			// Random pre-trained model with a compatible vocabulary size.
-			pre := a.Zoo.Pretrained[(s+1)%len(a.Zoo.Pretrained)]
-			if pre.Name == victim.Pretrained.Name || pre.Model.Vocab != victim.Model.Vocab {
-				pre = a.Zoo.Pretrained[(s+2)%len(a.Zoo.Pretrained)]
+			pre := pickSubstitute(a.Zoo, victim, s)
+			if pre == nil {
+				rep.AdvSkipped = append(rep.AdvSkipped, fmt.Sprintf(
+					"substitute %d: no pre-trained candidate with vocab size %d other than the victim's own release %s",
+					s, victim.Model.Vocab, victim.Pretrained.Name))
+				continue
 			}
 			sub := adversarial.BuildSubstitute(pre.Model, victim.Model.Predict, inputs,
 				victim.Task.Labels, rng.Seed("substitute", victim.Name, fmt.Sprint(s)))

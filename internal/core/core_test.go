@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -171,6 +172,144 @@ func TestArchConfirmedOnCorrectIdentification(t *testing.T) {
 	}
 	if rep.CorrectIdentity && !rep.ArchConfirmed {
 		t.Fatal("bus-probe architecture check must confirm a correct identification")
+	}
+}
+
+// tinyZooCfg returns the smallest population worth attacking, for tests
+// that must build a zoo more than once.
+func tinyZooCfg() zoo.BuildConfig {
+	cfg := zoo.SmallBuildConfig()
+	cfg.NumPretrained = 3
+	cfg.NumFineTuned = 4
+	cfg.PretrainExamples = 40
+	cfg.FineTuneExamples = 40
+	return cfg
+}
+
+// TestParallelPipelineMatchesSerial is the acceptance check for the
+// parallel execution layer: Build + Prepare + RunAll at Workers=1 and
+// Workers=2 must produce byte-identical campaigns, down to the cloned
+// weights.
+func TestParallelPipelineMatchesSerial(t *testing.T) {
+	run := func(workers int) *Campaign {
+		cfg := tinyZooCfg()
+		cfg.Workers = workers
+		z := zoo.Build(cfg)
+		atk := Prepare(z, PrepareConfig{
+			SamplesPerModel: 2, ImgSize: 32, Epochs: 8, LR: 0.002, Seed: 7,
+			Workers: workers,
+		})
+		c, err := atk.RunAll(z.FineTuned, RunOptions{MeasureSeed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	par := run(2)
+
+	if serial.Victims != par.Victims ||
+		serial.Identified != par.Identified ||
+		serial.ProbeResolved != par.ProbeResolved ||
+		serial.ArchConfirmed != par.ArchConfirmed ||
+		serial.MeanMatchRate != par.MeanMatchRate ||
+		serial.MeanReduction != par.MeanReduction ||
+		serial.TotalBitsRead != par.TotalBitsRead {
+		t.Fatalf("campaign counters diverge:\nserial: %+v\npar:    %+v", serial, par)
+	}
+	for i := range serial.Reports {
+		a, b := *serial.Reports[i], *par.Reports[i]
+		ca, cb := a.Clone, b.Clone
+		a.Clone, b.Clone = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("report %d diverges:\nserial: %+v\npar:    %+v", i, a, b)
+		}
+		if (ca == nil) != (cb == nil) {
+			t.Fatalf("report %d: clone presence diverges", i)
+		}
+		if ca == nil {
+			continue
+		}
+		pa, pb := ca.Params(), cb.Params()
+		for j := range pa {
+			da, db := pa[j].Value.Data, pb[j].Value.Data
+			for k := range da {
+				if da[k] != db[k] {
+					t.Fatalf("report %d: clone tensor %s differs at %d", i, pa[j].Name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPrepareFillsZeroFieldsIndividually guards the config-defaulting
+// bugfix: setting some fields must not silently replace the others with
+// the full default config (the old behavior whenever SamplesPerModel
+// was zero).
+func TestPrepareFillsZeroFieldsIndividually(t *testing.T) {
+	_, z := getAttack(t)
+	// SamplesPerModel left zero: it must be defaulted while the explicit
+	// ImgSize choice survives.
+	atk := Prepare(z, PrepareConfig{ImgSize: 32, Epochs: 1})
+	if atk.Classifier.ImgSize != 32 {
+		t.Fatalf("explicit ImgSize overwritten: got %d, want 32", atk.Classifier.ImgSize)
+	}
+	// All-zero config still resolves to the documented defaults.
+	atk2 := Prepare(z, PrepareConfig{Epochs: 1})
+	if atk2.Classifier.ImgSize != DefaultPrepareConfig().ImgSize {
+		t.Fatalf("zero ImgSize not defaulted: got %d", atk2.Classifier.ImgSize)
+	}
+}
+
+func TestPrepareRejectsBadImgSize(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ImgSize 48 must panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "ImgSize") {
+			t.Fatalf("panic message %v does not explain the ImgSize constraint", r)
+		}
+	}()
+	Prepare(&zoo.Zoo{}, PrepareConfig{SamplesPerModel: 1, ImgSize: 48})
+}
+
+// TestPickSubstituteValidity guards the substitute-fallback bugfix: the
+// chosen distillation baseline is never the victim's own pre-trained
+// release and always vocabulary-compatible, for every victim and every
+// substitute index; nil only when no pool member qualifies.
+func TestPickSubstituteValidity(t *testing.T) {
+	_, z := getAttack(t)
+	for _, f := range z.FineTuned {
+		for s := 0; s < 2*len(z.Pretrained); s++ {
+			p := pickSubstitute(z, f, s)
+			if p == nil {
+				for _, q := range z.Pretrained {
+					if q.Name != f.Pretrained.Name && q.Model.Vocab == f.Model.Vocab {
+						t.Fatalf("victim %s s=%d: nil though %s qualifies", f.Name, s, q.Name)
+					}
+				}
+				continue
+			}
+			if p.Name == f.Pretrained.Name {
+				t.Fatalf("victim %s s=%d: substitute is the victim's own release", f.Name, s)
+			}
+			if p.Model.Vocab != f.Model.Vocab {
+				t.Fatalf("victim %s s=%d: substitute vocab %d != victim vocab %d",
+					f.Name, s, p.Model.Vocab, f.Model.Vocab)
+			}
+		}
+	}
+}
+
+func TestPickSubstituteNilWhenPoolExhausted(t *testing.T) {
+	_, z := getAttack(t)
+	victim := z.FineTuned[0]
+	// A pool holding only the victim's own release offers no valid
+	// baseline.
+	solo := &zoo.Zoo{Pretrained: []*zoo.Pretrained{victim.Pretrained}}
+	if p := pickSubstitute(solo, victim, 0); p != nil {
+		t.Fatalf("expected nil from exhausted pool, got %s", p.Name)
 	}
 }
 

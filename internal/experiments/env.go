@@ -49,6 +49,11 @@ type Env struct {
 	// and writes it there after building — zoo construction dominates the
 	// cost of a full-scale run.
 	CachePath string
+
+	// Workers bounds the goroutines used for zoo construction, trace
+	// measurement, and attack campaigns; <= 0 selects GOMAXPROCS. All
+	// results are identical for any value (see internal/parallel).
+	Workers int
 }
 
 // NewEnv returns an experiment environment at the given scale.
@@ -62,10 +67,11 @@ func (e *Env) logf(format string, args ...any) {
 
 // ZooConfig returns the build configuration for the environment's scale.
 func (e *Env) ZooConfig() zoo.BuildConfig {
-	if e.Scale == ScaleFull {
-		return zoo.DefaultBuildConfig()
-	}
 	cfg := zoo.SmallBuildConfig()
+	if e.Scale == ScaleFull {
+		cfg = zoo.DefaultBuildConfig()
+	}
+	cfg.Workers = e.Workers
 	return cfg
 }
 
@@ -107,6 +113,7 @@ func (e *Env) Attack() *core.Attack {
 			// 70 classes need a longer schedule than the reduced zoo.
 			cfg.Epochs = 90
 		}
+		cfg.Workers = e.Workers
 		e.attack = core.Prepare(e.Zoo(), cfg)
 	})
 	return e.attack
@@ -115,7 +122,7 @@ func (e *Env) Attack() *core.Attack {
 // Datasets returns a (cached) 80/20 split trace dataset, as §5.4.2 uses.
 func (e *Env) Datasets() (train, test *fingerprint.Dataset) {
 	e.dataOnce.Do(func() {
-		d := fingerprint.BuildDataset(e.Zoo(), 5, 1)
+		d := fingerprint.BuildDataset(e.Zoo(), 5, 1, e.Workers)
 		e.trainSet, e.testSet = d.Split(0.8, 2)
 	})
 	return e.trainSet, e.testSet

@@ -303,7 +303,7 @@ func (e *Env) Fig14() *Fig14Result {
 		Classes: train.Classes,
 		Samples: append([]fingerprint.Sample(nil), train.Samples...),
 	}
-	augmented.AugmentNoise(2, 4, 2, 99)
+	augmented.AugmentNoise(2, 4, 2, 99, e.Workers)
 	epochs := 60
 	if e.Scale == ScaleFull {
 		epochs = 90

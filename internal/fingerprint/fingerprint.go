@@ -15,6 +15,7 @@ import (
 
 	"decepticon/internal/gpusim"
 	"decepticon/internal/nn"
+	"decepticon/internal/parallel"
 	"decepticon/internal/rng"
 	"decepticon/internal/stats"
 	"decepticon/internal/tensor"
@@ -53,26 +54,40 @@ func classIndex(z *zoo.Zoo) ([]string, map[string]int) {
 // BuildDataset measures samplesPerModel jittered traces of every
 // pre-trained and fine-tuned model in the zoo, labeled with the
 // pre-trained model name (§5.4.2: "we labeled each graph image with each
-// model's pre-trained model name").
-func BuildDataset(z *zoo.Zoo, samplesPerModel int, seed uint64) *Dataset {
+// model's pre-trained model name"). Measurements run on workers
+// goroutines (<= 0 selects GOMAXPROCS); each sample derives its
+// measurement seed from the model name and sample index, so the dataset
+// is identical for any worker count.
+func BuildDataset(z *zoo.Zoo, samplesPerModel int, seed uint64, workers int) *Dataset {
 	classes, idx := classIndex(z)
 	d := &Dataset{Classes: classes}
-	addTraces := func(name, preName string, trace func(gpusim.Options) *gpusim.Trace) {
-		for s := 0; s < samplesPerModel; s++ {
-			opt := gpusim.Options{
-				MeasureSeed:     rng.Seed("measure", name, fmt.Sprint(s)) ^ seed,
-				JitterMagnitude: 0.3,
-			}
-			d.Samples = append(d.Samples, Sample{
-				Trace: trace(opt), Label: idx[preName], FromModel: name,
-			})
-		}
+
+	type unit struct {
+		name, preName string
+		trace         func(gpusim.Options) *gpusim.Trace
 	}
+	units := make([]unit, 0, len(z.Pretrained)+len(z.FineTuned))
 	for _, p := range z.Pretrained {
-		addTraces(p.Name, p.Name, p.Trace)
+		units = append(units, unit{p.Name, p.Name, p.Trace})
 	}
 	for _, f := range z.FineTuned {
-		addTraces(f.Name, f.Pretrained.Name, f.Trace)
+		units = append(units, unit{f.Name, f.Pretrained.Name, f.Trace})
+	}
+
+	perModel := parallel.Map(len(units), workers, func(i int) []Sample {
+		u := units[i]
+		out := make([]Sample, samplesPerModel)
+		for s := 0; s < samplesPerModel; s++ {
+			opt := gpusim.Options{
+				MeasureSeed:     rng.Seed("measure", u.name, fmt.Sprint(s)) ^ seed,
+				JitterMagnitude: 0.3,
+			}
+			out[s] = Sample{Trace: u.trace(opt), Label: idx[u.preName], FromModel: u.name}
+		}
+		return out
+	})
+	for _, samples := range perModel {
+		d.Samples = append(d.Samples, samples...)
 	}
 	return d
 }
@@ -81,17 +96,19 @@ func BuildDataset(z *zoo.Zoo, samplesPerModel int, seed uint64) *Dataset {
 // perturbed by ±magnitude µs each — train-time noise augmentation, which
 // an attacker gets for free by keeping noisy measurements instead of
 // discarding them. It is what makes the CNN noise-tolerant in practice.
-func (d *Dataset) AugmentNoise(copies, count int, magnitude float64, seed uint64) {
+// Perturbation runs on workers goroutines (<= 0 selects GOMAXPROCS); the
+// per-sample perturbation seed fixes the appended order and content
+// regardless of worker count.
+func (d *Dataset) AugmentNoise(copies, count int, magnitude float64, seed uint64, workers int) {
 	orig := d.Samples
-	for c := 0; c < copies; c++ {
-		for i, s := range orig {
-			t := s.Trace.Clone()
-			t.PerturbKernels(count, magnitude, seed^uint64(c*1000003+i))
-			d.Samples = append(d.Samples, Sample{
-				Trace: t, Label: s.Label, FromModel: s.FromModel,
-			})
-		}
-	}
+	noisy := parallel.Map(copies*len(orig), workers, func(j int) Sample {
+		c, i := j/len(orig), j%len(orig)
+		s := orig[i]
+		t := s.Trace.Clone()
+		t.PerturbKernels(count, magnitude, seed^uint64(c*1000003+i))
+		return Sample{Trace: t, Label: s.Label, FromModel: s.FromModel}
+	})
+	d.Samples = append(d.Samples, noisy...)
 }
 
 // Split partitions the dataset into train and test portions (the paper
@@ -118,6 +135,11 @@ func (d *Dataset) Split(trainFrac float64, seed uint64) (train, test *Dataset) {
 type Classifier struct {
 	ImgSize int
 	Classes []string
+	// Workers bounds the goroutines used for trace preprocessing and
+	// batch evaluation; <= 0 selects GOMAXPROCS. It is a runtime knob,
+	// not part of the model: Save/LoadClassifier do not persist it, and
+	// results are identical for any value.
+	Workers int
 	net     *nn.Sequential
 }
 
@@ -163,14 +185,17 @@ func (c *Classifier) preprocess(t *gpusim.Trace) []float32 {
 	return traceimg.Render(traceimg.StripXLA(traceimg.StripMemcpy(t)), c.ImgSize).Pix
 }
 
-// matrixOf renders a dataset into an input matrix plus labels.
+// matrixOf renders a dataset into an input matrix plus labels. Rendering
+// is pure per sample and each worker writes a disjoint row, so the
+// matrix is independent of the worker count.
 func (c *Classifier) matrixOf(d *Dataset) (*tensor.Matrix, []int) {
 	x := tensor.New(len(d.Samples), c.ImgSize*c.ImgSize)
 	labels := make([]int, len(d.Samples))
-	for i, s := range d.Samples {
+	parallel.ForEach(len(d.Samples), c.Workers, func(i int) {
+		s := d.Samples[i]
 		copy(x.Row(i), c.preprocess(s.Trace))
 		labels[i] = s.Label
-	}
+	})
 	return x, labels
 }
 
@@ -222,14 +247,19 @@ func (c *Classifier) PredictTopK(t *gpusim.Trace, k int) []string {
 	return out
 }
 
-// Accuracy returns classification accuracy over a dataset.
+// Accuracy returns classification accuracy over a dataset. Samples are
+// classified concurrently (eval-mode forwards do not touch the network's
+// training caches); the correct count aggregates after the join.
 func (c *Classifier) Accuracy(d *Dataset) float64 {
 	if len(d.Samples) == 0 {
 		return 0
 	}
+	hits := parallel.Map(len(d.Samples), c.Workers, func(i int) bool {
+		return c.predictIdx(d.Samples[i].Trace) == d.Samples[i].Label
+	})
 	correct := 0
-	for _, s := range d.Samples {
-		if c.predictIdx(s.Trace) == s.Label {
+	for _, h := range hits {
+		if h {
 			correct++
 		}
 	}
@@ -237,16 +267,22 @@ func (c *Classifier) Accuracy(d *Dataset) float64 {
 }
 
 // NoiseAccuracy evaluates the Fig 14 noise sweeps: every test trace gets
-// count kernels perturbed by ±magnitude µs before classification.
+// count kernels perturbed by ±magnitude µs before classification. The
+// perturbation seed is a function of the sample index, so the sweep is
+// identical for any worker count.
 func (c *Classifier) NoiseAccuracy(d *Dataset, count int, magnitude float64, seed uint64) float64 {
 	if len(d.Samples) == 0 {
 		return 0
 	}
-	correct := 0
-	for i, s := range d.Samples {
+	hits := parallel.Map(len(d.Samples), c.Workers, func(i int) bool {
+		s := d.Samples[i]
 		t := s.Trace.Clone()
 		t.PerturbKernels(count, magnitude, seed^uint64(i))
-		if c.predictIdx(t) == s.Label {
+		return c.predictIdx(t) == s.Label
+	})
+	correct := 0
+	for _, h := range hits {
+		if h {
 			correct++
 		}
 	}

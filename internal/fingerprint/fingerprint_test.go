@@ -2,6 +2,7 @@ package fingerprint
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -29,7 +30,7 @@ func getTrained(t *testing.T) (*Classifier, *Dataset, *Dataset) {
 	t.Helper()
 	z := getZoo(t)
 	clfOnce.Do(func() {
-		d := BuildDataset(z, 5, 1)
+		d := BuildDataset(z, 5, 1, 2)
 		trainD, testD = d.Split(0.8, 2)
 		testClf = NewClassifier(64, d.Classes, 3)
 		testClf.Train(trainD, TrainConfig{Epochs: 60, LR: 0.002, Seed: 4})
@@ -39,7 +40,7 @@ func getTrained(t *testing.T) (*Classifier, *Dataset, *Dataset) {
 
 func TestBuildDataset(t *testing.T) {
 	z := getZoo(t)
-	d := BuildDataset(z, 3, 1)
+	d := BuildDataset(z, 3, 1, 0)
 	wantSamples := 3 * (len(z.Pretrained) + len(z.FineTuned))
 	if len(d.Samples) != wantSamples {
 		t.Fatalf("dataset has %d samples, want %d", len(d.Samples), wantSamples)
@@ -65,13 +66,75 @@ func TestBuildDataset(t *testing.T) {
 
 func TestSplitDisjointAndComplete(t *testing.T) {
 	z := getZoo(t)
-	d := BuildDataset(z, 2, 1)
+	d := BuildDataset(z, 2, 1, 0)
 	train, test := d.Split(0.8, 7)
 	if len(train.Samples)+len(test.Samples) != len(d.Samples) {
 		t.Fatal("split lost samples")
 	}
 	if len(test.Samples) == 0 {
 		t.Fatal("empty test split")
+	}
+}
+
+func TestSplitTinyDatasetEdges(t *testing.T) {
+	z := getZoo(t)
+	d := BuildDataset(z, 1, 1, 0)
+	// trainFrac 1.0: everything trains, the test split is empty but
+	// well-formed (usable with Accuracy etc. without panicking).
+	train, test := d.Split(1.0, 3)
+	if len(train.Samples) != len(d.Samples) {
+		t.Fatalf("trainFrac=1.0 kept %d of %d samples", len(train.Samples), len(d.Samples))
+	}
+	if len(test.Samples) != 0 {
+		t.Fatalf("trainFrac=1.0 test split has %d samples, want 0", len(test.Samples))
+	}
+	if len(test.Classes) != len(d.Classes) {
+		t.Fatal("empty split must keep the class list")
+	}
+	// trainFrac 0: mirror image.
+	train0, test0 := d.Split(0, 3)
+	if len(train0.Samples) != 0 || len(test0.Samples) != len(d.Samples) {
+		t.Fatalf("trainFrac=0 split %d/%d, want 0/%d",
+			len(train0.Samples), len(test0.Samples), len(d.Samples))
+	}
+}
+
+// TestDatasetWorkerCountInvariance pins the parallel measurement and
+// augmentation paths to their serial results.
+func TestDatasetWorkerCountInvariance(t *testing.T) {
+	z := getZoo(t)
+	serial := BuildDataset(z, 2, 5, 1)
+	par := BuildDataset(z, 2, 5, 3)
+	if !reflect.DeepEqual(serial.Classes, par.Classes) {
+		t.Fatal("class lists diverge across worker counts")
+	}
+	if !reflect.DeepEqual(serial.Samples, par.Samples) {
+		t.Fatal("measured samples diverge across worker counts")
+	}
+	serial.AugmentNoise(2, 4, 2, 9, 1)
+	par.AugmentNoise(2, 4, 2, 9, 3)
+	if !reflect.DeepEqual(serial.Samples, par.Samples) {
+		t.Fatal("augmented samples diverge across worker counts")
+	}
+}
+
+// TestAccuracyWorkerCountInvariance pins the parallel evaluation paths
+// (Accuracy, NoiseAccuracy) to their serial results; Workers is a pure
+// throughput knob.
+func TestAccuracyWorkerCountInvariance(t *testing.T) {
+	clf, _, test := getTrained(t)
+	orig := clf.Workers
+	defer func() { clf.Workers = orig }()
+
+	clf.Workers = 1
+	acc1 := clf.Accuracy(test)
+	noise1 := clf.NoiseAccuracy(test, 4, 2, 1)
+	clf.Workers = 3
+	if acc3 := clf.Accuracy(test); acc3 != acc1 {
+		t.Fatalf("Accuracy %v at 3 workers vs %v serial", acc3, acc1)
+	}
+	if noise3 := clf.NoiseAccuracy(test, 4, 2, 1); noise3 != noise1 {
+		t.Fatalf("NoiseAccuracy %v at 3 workers vs %v serial", noise3, noise1)
 	}
 }
 
@@ -205,10 +268,16 @@ func TestClassifierSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Restored classifier predicts identically on every test trace.
+	// Restored classifier predicts identically on every test trace — not
+	// just the top-1 label but the whole ranked top-k.
 	for _, s := range test.Samples {
 		if got.Predict(s.Trace) != clf.Predict(s.Trace) {
 			t.Fatal("restored classifier predicts differently")
+		}
+		want := clf.PredictTopK(s.Trace, 3)
+		have := got.PredictTopK(s.Trace, 3)
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("restored top-k %v, want %v", have, want)
 		}
 	}
 	if _, err := LoadClassifier(bytes.NewReader([]byte("junk"))); err == nil {

@@ -116,9 +116,14 @@ func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != c.InC*c.H*c.W {
 		panic(fmt.Sprintf("nn: conv input %d, want %d", x.Cols, c.InC*c.H*c.W))
 	}
-	c.batch = x.Rows
 	xp := c.padInput(x)
-	c.x = xp
+	if train {
+		// Cache the padded input for Backward. Inference passes skip the
+		// cache so a trained network may serve concurrent eval-mode
+		// forwards.
+		c.batch = x.Rows
+		c.x = xp
+	}
 	ph, pw := c.padH(), c.padW()
 	oh, ow := c.OutH(), c.OutW()
 	out := tensor.New(x.Rows, c.OutSize())
@@ -229,8 +234,14 @@ func (p *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	oh, ow := p.OutH(), p.OutW()
 	out := tensor.New(x.Rows, p.OutSize())
-	p.batch = x.Rows
-	p.argmax = make([]int, x.Rows*p.OutSize())
+	var argmax []int
+	if train {
+		// Max routing is cached for Backward only during training; see
+		// Conv2D.Forward.
+		p.batch = x.Rows
+		argmax = make([]int, x.Rows*p.OutSize())
+		p.argmax = argmax
+	}
 	for b := 0; b < x.Rows; b++ {
 		in := x.Row(b)
 		dst := out.Row(b)
@@ -251,7 +262,9 @@ func (p *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 					}
 					oidx := (c*oh+oy)*ow + ox
 					dst[oidx] = best
-					p.argmax[b*p.OutSize()+oidx] = bestIdx
+					if argmax != nil {
+						argmax[b*p.OutSize()+oidx] = bestIdx
+					}
 				}
 			}
 		}

@@ -28,9 +28,13 @@ func NewDropout(p float64, seed uint64) *Dropout {
 // Name implements Layer.
 func (d *Dropout) Name() string { return "dropout" }
 
-// Forward implements Layer.
+// Forward implements Layer. Eval-mode passes write no layer state (see
+// Dense.Forward), so the mask is only touched during training.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	if !train || d.P == 0 {
+	if !train {
+		return x
+	}
+	if d.P == 0 {
 		d.mask = nil
 		return x
 	}

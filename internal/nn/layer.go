@@ -58,9 +58,13 @@ func NewDense(in, out int, r *rng.RNG) *Dense {
 // Name implements Layer.
 func (d *Dense) Name() string { return fmt.Sprintf("fc_%dx%d", d.In, d.Out) }
 
-// Forward implements Layer.
+// Forward implements Layer. The input is cached for Backward only when
+// train is set; inference passes leave the layer untouched, so a trained
+// network may serve concurrent eval-mode forwards.
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	d.x = x
+	if train {
+		d.x = x
+	}
 	out := tensor.MatMul(x, d.W)
 	out.AddRowVector(d.B.Data)
 	return out
@@ -93,9 +97,12 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }
 
-// Forward implements Layer.
+// Forward implements Layer. The gradient mask is cached only when train
+// is set (see Dense.Forward).
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	r.mask = tensor.ReLUGradMask(x)
+	if train {
+		r.mask = tensor.ReLUGradMask(x)
+	}
 	return tensor.ReLU(x)
 }
 

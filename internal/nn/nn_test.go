@@ -87,7 +87,9 @@ func TestMaxPoolForwardAndRouting(t *testing.T) {
 		0, 0, 5, 6,
 		0, 8, 7, 0,
 	})
-	out := p.Forward(x, false)
+	// Backward needs the routing cache, which only train-mode forwards
+	// record (eval-mode forwards are pure so they can run concurrently).
+	out := p.Forward(x, true)
 	want := []float32{4, 9, 8, 7}
 	for i, v := range want {
 		if out.Data[i] != v {

@@ -1,0 +1,120 @@
+// Package parallel provides the repository's bounded, deterministic
+// worker pool. Every heavy loop in the system (zoo construction, trace
+// dataset measurement, attack campaigns) iterates over items that derive
+// their randomness from an explicit per-item seed, so the items are
+// independent and can run on any number of workers without changing the
+// result. The helpers here preserve that invariant mechanically:
+//
+//   - results land at the index of their input item, never in completion
+//     order, so Map/MapErr output is byte-for-byte identical to a serial
+//     run;
+//   - MapErr reports the error of the lowest-indexed failing item — the
+//     same error a serial loop would have stopped at;
+//   - a panic inside a worker is re-raised on the calling goroutine
+//     instead of crashing the process from an anonymous goroutine.
+//
+// Worker counts are knobs, not semantics: workers <= 0 means
+// runtime.GOMAXPROCS(0), workers == 1 runs the loop inline with zero
+// goroutine overhead, and any larger count bounds concurrency at that
+// many goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0); anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS). fn must treat its items as
+// independent: no iteration may observe another's side effects. With one
+// worker the loop runs inline on the calling goroutine. A panic in any
+// fn is re-raised on the caller after the remaining workers drain.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					// Keep the first panic; later ones (if any) are dropped.
+					if panicked.CompareAndSwap(false, true) {
+						panicVal = p
+					}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in input order — out[i] is fn(i) regardless of
+// which worker computed it or when it finished.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr runs fn(i) for every i in [0, n) on at most workers goroutines.
+// On success it returns the results in input order. If any fn fails it
+// returns the error of the lowest-indexed failing item — exactly the
+// error a serial loop stopping at its first failure would have returned —
+// with a nil result slice. Unlike that serial loop, later items may
+// already have run when an earlier one fails; fns must therefore not
+// carry side effects that need rolling back.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -2,8 +2,10 @@ package zoo
 
 import (
 	"fmt"
+	"sync"
 
 	"decepticon/internal/gpusim"
+	"decepticon/internal/parallel"
 	"decepticon/internal/rng"
 	"decepticon/internal/task"
 	"decepticon/internal/tokenizer"
@@ -96,6 +98,11 @@ type BuildConfig struct {
 	// examples to avoid training large models.
 	ArchFilter []string
 	OnProgress func(stage string, done, total int) // optional progress hook
+	// Workers bounds the number of models trained concurrently; <= 0
+	// selects runtime.GOMAXPROCS(0). Every model derives its own seeds
+	// from its name (rng.Seed("pretrain-train", name), ...), so the built
+	// population is byte-for-byte identical for any worker count.
+	Workers int
 }
 
 // DefaultBuildConfig reproduces the paper's population: 70 pre-trained and
@@ -134,6 +141,26 @@ func SmallBuildConfig() BuildConfig {
 // profileSeed derives the release-profile seed from a profile key.
 func profileSeed(key string) uint64 { return rng.Seed("profile", key) }
 
+// progressCounter serializes BuildConfig.OnProgress callbacks behind a
+// mutex and reports its own monotonically increasing completion count, so
+// the hook sees done = 1, 2, ..., total in order no matter which worker
+// finishes which model first.
+type progressCounter struct {
+	mu   sync.Mutex
+	done int
+	fn   func(stage string, done, total int)
+}
+
+func (p *progressCounter) tick(stage string, total int) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(stage, p.done, total)
+	p.mu.Unlock()
+}
+
 // Build constructs the zoo deterministically. Pre-trained models are
 // initialized with a trained-looking weight distribution and briefly
 // trained on a generic (non-downstream) objective; fine-tuned models copy
@@ -163,7 +190,15 @@ func Build(cfg BuildConfig) *Zoo {
 	}
 	z := &Zoo{}
 
-	for i, e := range entries[:cfg.NumPretrained] {
+	// Each pre-trained release derives every seed from its own name, so
+	// releases are independent items: train them on the worker pool. The
+	// result slice is indexed by catalog position, which keeps the
+	// population order (and therefore every downstream classifier label
+	// index) identical to a serial build.
+	selected := entries[:cfg.NumPretrained]
+	preProg := &progressCounter{fn: cfg.OnProgress}
+	z.Pretrained = parallel.Map(len(selected), cfg.Workers, func(i int) *Pretrained {
+		e := selected[i]
 		arch := archFor(e)
 		name := e.name()
 		vocabSeed := rng.Seed("corpus", e.corpus, e.language, fmt.Sprint(e.cased)) ^ cfg.Seed
@@ -188,19 +223,22 @@ func Build(cfg BuildConfig) *Zoo {
 			Seed: rng.Seed("pretrain-train", name) ^ cfg.Seed,
 		})
 
-		z.Pretrained = append(z.Pretrained, &Pretrained{
+		p := &Pretrained{
 			Name: name, Arch: arch, ArchName: e.arch,
 			Source: e.source, Language: e.language, Cased: e.cased,
 			Vocab: vocab, Model: model, Profile: profileFor(e),
-		})
-		if cfg.OnProgress != nil {
-			cfg.OnProgress("pretrain", i+1, cfg.NumPretrained)
 		}
-	}
+		preProg.tick("pretrain", cfg.NumPretrained)
+		return p
+	})
 
+	// Fine-tuned victims only read their backbone's weights
+	// (transformer.FineTuneFrom copies them into a fresh model), so they
+	// too are independent once the pre-trained phase has joined.
 	tasks := task.GLUEAnalogs()
 	tasks = append(tasks, task.QAAnalog())
-	for i := 0; i < cfg.NumFineTuned; i++ {
+	ftProg := &progressCounter{fn: cfg.OnProgress}
+	z.FineTuned = parallel.Map(cfg.NumFineTuned, cfg.Workers, func(i int) *FineTuned {
 		pre := z.Pretrained[i%len(z.Pretrained)]
 		tk := tasks[(i/len(z.Pretrained))%len(tasks)]
 		name := fmt.Sprintf("%s__ft-%s-%d", pre.Name, tk.Name, i)
@@ -212,14 +250,13 @@ func Build(cfg BuildConfig) *Zoo {
 			WeightDecay: cfg.FineTuneDecay,
 			Seed:        rng.Seed("ft-train", name) ^ cfg.Seed,
 		}, rng.Seed("ft-head", name)^cfg.Seed)
-		z.FineTuned = append(z.FineTuned, &FineTuned{
+		f := &FineTuned{
 			Name: name, Pretrained: pre, Task: tk, Model: model,
 			Train: train, Dev: dev,
-		})
-		if cfg.OnProgress != nil {
-			cfg.OnProgress("finetune", i+1, cfg.NumFineTuned)
 		}
-	}
+		ftProg.tick("finetune", cfg.NumFineTuned)
+		return f
+	})
 	return z
 }
 

@@ -3,6 +3,7 @@ package zoo
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"decepticon/internal/gpusim"
@@ -243,6 +244,103 @@ func TestBuildDeterminism(t *testing.T) {
 				t.Fatal("zoo build must be deterministic")
 			}
 		}
+	}
+}
+
+// sameWeights fails the test unless the two models carry bit-identical
+// parameters.
+func sameWeights(t *testing.T, label string, a, b *transformer.Model) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: parameter count %d vs %d", label, len(pa), len(pb))
+	}
+	for j := range pa {
+		da, db := pa[j].Value.Data, pb[j].Value.Data
+		if len(da) != len(db) {
+			t.Fatalf("%s: tensor %s size %d vs %d", label, pa[j].Name, len(da), len(db))
+		}
+		for k := range da {
+			if da[k] != db[k] {
+				t.Fatalf("%s: tensor %s differs at %d: %v vs %v",
+					label, pa[j].Name, k, da[k], db[k])
+			}
+		}
+	}
+}
+
+// TestBuildWorkerCountInvariance is the tentpole determinism guarantee:
+// a parallel build produces the same population — every name and every
+// weight — as a serial one, because each model derives its seeds from
+// its own name rather than from loop order.
+func TestBuildWorkerCountInvariance(t *testing.T) {
+	cfg := SmallBuildConfig()
+	cfg.NumPretrained = 3
+	cfg.NumFineTuned = 4
+	cfg.PretrainExamples = 30
+	cfg.FineTuneExamples = 30
+
+	cfg.Workers = 1
+	serial := Build(cfg)
+	cfg.Workers = 4
+	par := Build(cfg)
+
+	if len(serial.Pretrained) != len(par.Pretrained) || len(serial.FineTuned) != len(par.FineTuned) {
+		t.Fatal("population sizes differ across worker counts")
+	}
+	for i := range serial.Pretrained {
+		a, b := serial.Pretrained[i], par.Pretrained[i]
+		if a.Name != b.Name {
+			t.Fatalf("pretrained %d: %q vs %q", i, a.Name, b.Name)
+		}
+		sameWeights(t, a.Name, a.Model, b.Model)
+	}
+	for i := range serial.FineTuned {
+		a, b := serial.FineTuned[i], par.FineTuned[i]
+		if a.Name != b.Name {
+			t.Fatalf("finetuned %d: %q vs %q", i, a.Name, b.Name)
+		}
+		if a.Pretrained.Name != b.Pretrained.Name {
+			t.Fatalf("%s: backbone %q vs %q", a.Name, a.Pretrained.Name, b.Pretrained.Name)
+		}
+		sameWeights(t, a.Name, a.Model, b.Model)
+	}
+}
+
+// TestProgressSerializedAndMonotonic verifies the OnProgress contract
+// under a parallel build: calls never overlap and each stage's done
+// count walks 1, 2, ..., total.
+func TestProgressSerializedAndMonotonic(t *testing.T) {
+	cfg := SmallBuildConfig()
+	cfg.NumPretrained = 3
+	cfg.NumFineTuned = 4
+	cfg.PretrainExamples = 8
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneExamples = 10
+	cfg.FineTuneEpochs = 1
+	cfg.Workers = 4
+
+	var inCall atomic.Int32
+	last := map[string]int{}
+	var events int
+	cfg.OnProgress = func(stage string, done, total int) {
+		if inCall.Add(1) != 1 {
+			t.Error("OnProgress entered concurrently")
+		}
+		defer inCall.Add(-1)
+		if done != last[stage]+1 {
+			t.Errorf("stage %s: done %d after %d, want monotonic +1", stage, done, last[stage])
+		}
+		last[stage] = done
+		events++
+	}
+	Build(cfg)
+	if last["pretrain"] != cfg.NumPretrained || last["finetune"] != cfg.NumFineTuned {
+		t.Fatalf("final progress pretrain=%d finetune=%d, want %d/%d",
+			last["pretrain"], last["finetune"], cfg.NumPretrained, cfg.NumFineTuned)
+	}
+	if events != cfg.NumPretrained+cfg.NumFineTuned {
+		t.Fatalf("%d progress events, want %d", events, cfg.NumPretrained+cfg.NumFineTuned)
 	}
 }
 
