@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify
+.PHONY: all build vet test race bench verify metrics-smoke
 
 all: verify
 
@@ -10,8 +10,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: metrics-smoke
 	$(GO) test ./...
+
+# End-to-end observability check: a tiny parallel campaign must leave
+# behind well-formed, non-empty JSON and Prometheus snapshots.
+metrics-smoke:
+	rm -rf .metrics-smoke && mkdir -p .metrics-smoke
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-metrics .metrics-smoke/run.json,.metrics-smoke/run.prom >/dev/null
+	$(GO) run ./cmd/metricscheck .metrics-smoke/run.json .metrics-smoke/run.prom
+	rm -rf .metrics-smoke
 
 # Race-detector tier: the packages that gained goroutines, filtered to
 # the concurrency-exercising tests so the 5-20x race overhead stays
@@ -21,7 +30,8 @@ race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/parallel
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance|ProgressSerialized' ./internal/zoo
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance' ./internal/fingerprint
-	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial' ./internal/core
+	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial|ObsReconcilesWithCampaign' ./internal/core
+	GOMAXPROCS=4 $(GO) test -race -run 'Snapshot|OrderedSink|Serve' ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem

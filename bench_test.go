@@ -44,7 +44,7 @@ func getBenchEnv(b *testing.B) *experiments.Env {
 		cfg := benchEnv.ZooConfig()
 		cfg.NumPretrained = 8
 		cfg.NumFineTuned = 12
-		benchZoo = zoo.Build(cfg)
+		benchZoo = zoo.MustBuild(cfg)
 		benchEnv.UseZoo(benchZoo)
 	})
 	return benchEnv
@@ -104,7 +104,10 @@ func BenchmarkAblationBitBudget(b *testing.B) {
 				Oracle: newOracle(victim),
 				Cfg:    cfg,
 			}
-			clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+			clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+			if err != nil {
+				b.Fatal(err)
+			}
 			match := matchRate(victim, clone)
 			b.ReportMetric(match, "match@"+strconv.Itoa(bits)+"bit")
 			b.ReportMetric(float64(st.BitsChecked), "bits@"+strconv.Itoa(bits)+"bit")
@@ -125,7 +128,10 @@ func BenchmarkAblationSkipThreshold(b *testing.B) {
 				Oracle: newOracle(victim),
 				Cfg:    cfg,
 			}
-			clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+			clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+			if err != nil {
+				b.Fatal(err)
+			}
 			tag := strconv.FormatFloat(thr, 'g', -1, 64)
 			b.ReportMetric(matchRate(victim, clone), "match@"+tag)
 			b.ReportMetric(st.SkipRate(), "skip@"+tag)

@@ -7,12 +7,15 @@
 //	decepticon                 # small zoo, first victim
 //	decepticon -victim 7 -adv  # attack victim #7 and run the adversarial stage
 //	decepticon -scale full     # paper-sized population
+//	decepticon -scale tiny -all -metrics run.json,run.prom
+//	decepticon -pprof localhost:6060   # live /metrics and /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"decepticon"
 )
@@ -21,21 +24,41 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("decepticon: ")
 	var (
-		scale  = flag.String("scale", "small", "zoo scale: small | full")
-		victim = flag.Int("victim", 0, "index of the fine-tuned victim model")
-		adv    = flag.Bool("adv", false, "run the adversarial stage (slower)")
-		subs   = flag.Int("substitutes", 4, "number of distillation substitutes for -adv")
-		cache  = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
-		all    = flag.Bool("all", false, "attack every victim and print campaign statistics")
-		work   = flag.Int("workers", 0, "worker goroutines for zoo build, trace measurement, and -all campaigns (0 = all cores); results are identical for any value")
+		scale   = flag.String("scale", "small", "zoo scale: tiny | small | full")
+		victim  = flag.Int("victim", 0, "index of the fine-tuned victim model")
+		adv     = flag.Bool("adv", false, "run the adversarial stage (slower)")
+		subs    = flag.Int("substitutes", 4, "number of distillation substitutes for -adv")
+		cache   = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
+		all     = flag.Bool("all", false, "attack every victim and print campaign statistics")
+		work    = flag.Int("workers", 0, "worker goroutines for zoo build, trace measurement, and -all campaigns (0 = all cores); results are identical for any value")
+		noise   = flag.Float64("noise", 0, "oracle bit-error rate (0 = clean channel)")
+		repeats = flag.Int("repeats", 0, "majority-vote reads per bit when -noise > 0 (odd; 0 = single read)")
+		metrics = flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
+		pprof   = flag.String("pprof", "", "serve /metrics, /metrics.json, and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	reg := decepticon.NewMetrics()
+	if *pprof != "" {
+		addr, err := decepticon.ServeMetrics(*pprof, reg)
+		if err != nil {
+			log.Fatalf("pprof server: %v", err)
+		}
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+
 	cfg := decepticon.SmallZooConfig()
-	if *scale == "full" {
+	switch *scale {
+	case "tiny":
+		cfg = decepticon.TinyZooConfig()
+	case "small":
+	case "full":
 		cfg = decepticon.DefaultZooConfig()
+	default:
+		log.Fatalf("unknown -scale %q (use tiny, small, or full)", *scale)
 	}
 	cfg.Workers = *work
+	cfg.Obs = reg
 	log.Printf("building model zoo (%d pre-trained, %d fine-tuned)...",
 		cfg.NumPretrained, cfg.NumFineTuned)
 	z, err := decepticon.BuildOrLoadZoo(cfg, *cache)
@@ -45,12 +68,29 @@ func main() {
 
 	log.Printf("training the pre-trained model extractor...")
 	prepCfg := decepticon.DefaultPrepareConfig()
+	if *scale == "tiny" {
+		prepCfg.SamplesPerModel = 2
+		prepCfg.ImgSize = 32
+		prepCfg.Epochs = 8
+	}
 	prepCfg.Workers = *work
-	atk := decepticon.NewAttack(z, prepCfg)
+	prepCfg.Obs = reg
+	atk, err := decepticon.NewAttack(z, prepCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *noise > 0 && *repeats > 0 {
+		ec := decepticon.DefaultExtractionConfig()
+		ec.ReadRepeats = *repeats
+		atk.ExtractCfg = ec
+	}
+	defer writeMetrics(reg, *metrics)
 
 	if *all {
 		log.Printf("attacking all %d victims...", len(z.FineTuned))
-		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{MeasureSeed: 1, Workers: *work})
+		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{
+			MeasureSeed: 1, Workers: *work, BitErrorRate: *noise,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,9 +99,14 @@ func main() {
 		fmt.Printf("identified correctly:    %d (%.1f%%)\n", c.Identified, 100*c.IdentificationRate())
 		fmt.Printf("resolved via probes:     %d\n", c.ProbeResolved)
 		fmt.Printf("bus-probe arch checks:   %d passed\n", c.ArchConfirmed)
+		if c.ExtractFailed > 0 {
+			fmt.Printf("extractions failed:      %d\n", c.ExtractFailed)
+		}
 		fmt.Printf("mean clone match rate:   %.1f%%\n", 100*c.MeanMatchRate)
 		fmt.Printf("mean bit-read reduction: %.1fx\n", c.MeanReduction)
-		fmt.Printf("total bits read:         %d\n", c.TotalBitsRead)
+		fmt.Printf("bits read (logical):     %d\n", c.TotalBitsRead)
+		fmt.Printf("oracle reads (physical): %d\n", c.TotalPhysicalReads)
+		fmt.Printf("rowhammer rounds:        %d\n", c.TotalHammerRounds())
 		return
 	}
 
@@ -75,6 +120,7 @@ func main() {
 		MeasureSeed:    uint64(*victim) + 1,
 		Adversarial:    *adv,
 		NumSubstitutes: *subs,
+		BitErrorRate:   *noise,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +133,10 @@ func main() {
 	if rep.UsedQueryProbes {
 		fmt.Printf("query probes:           %d black-box queries\n", rep.ProbeQueries)
 	}
+	if rep.ExtractError != "" {
+		fmt.Printf("extraction failed:      %s\n", rep.ExtractError)
+		return
+	}
 	if rep.Extract == nil {
 		fmt.Println("extraction skipped (architecture mismatch)")
 		return
@@ -94,14 +144,34 @@ func main() {
 	st := rep.Extract
 	fmt.Printf("weights handled:        %d (+%d head), %.1f%% correctly pruned\n",
 		st.WeightsTotal, st.HeadWeights, 100*st.WeightsCorrectlyPruned())
-	fmt.Printf("bits read:              %d of %d (%.1fx reduction)\n",
-		st.BitsChecked+st.HeadBitsRead, st.BitsTotal+32*st.HeadWeights, st.ReductionFactor())
+	fmt.Printf("bits read (logical):    %d of %d (%.1fx reduction)\n",
+		st.LogicalBitsRead(), st.BitsTotal+32*int64(st.HeadWeights), st.ReductionFactor())
+	if st.PhysicalBitReads != st.LogicalBitsRead() {
+		fmt.Printf("oracle reads (physical):%d (majority vote ×%d)\n",
+			st.PhysicalBitReads, atk.ExtractCfg.ReadRepeats)
+	}
 	fmt.Printf("victim acc / clone acc: %.3f / %.3f\n", rep.VictimAcc, rep.CloneAcc)
 	fmt.Printf("matched predictions:    %.1f%%\n", 100*rep.MatchRate)
 	if *adv {
 		fmt.Printf("adversarial (clone):    %.1f%% success\n", 100*rep.AdvClone)
 		for i, s := range rep.AdvSubstitutes {
 			fmt.Printf("adversarial (sub %d):    %.1f%% success\n", i+1, 100*s)
+		}
+	}
+}
+
+// writeMetrics dumps the registry to every path in the comma-separated
+// list; the extension picks the encoding.
+func writeMetrics(reg *decepticon.Metrics, paths string) {
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		if err := decepticon.WriteMetricsFile(reg, path); err != nil {
+			log.Printf("metrics: %v", err)
+		} else {
+			log.Printf("metrics written to %s", path)
 		}
 	}
 }

@@ -22,12 +22,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.String("scale", "small", "zoo scale: small | full")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quiet = flag.Bool("q", false, "suppress progress output")
-		cache = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
-		work  = flag.Int("workers", 0, "worker goroutines for zoo build and trace measurement (0 = all cores); results are identical for any value")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "small", "zoo scale: small | full")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		cache   = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
+		work    = flag.Int("workers", 0, "worker goroutines for zoo build and trace measurement (0 = all cores); results are identical for any value")
+		metrics = flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
+		pprof   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -37,6 +39,27 @@ func main() {
 		}
 		return
 	}
+
+	reg := decepticon.NewMetrics()
+	if *pprof != "" {
+		addr, err := decepticon.ServeMetrics(*pprof, reg)
+		if err != nil {
+			log.Fatalf("pprof server: %v", err)
+		}
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+	defer func() {
+		for _, path := range strings.Split(*metrics, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			if err := decepticon.WriteMetricsFile(reg, path); err != nil {
+				log.Printf("metrics: %v", err)
+			} else {
+				log.Printf("metrics written to %s", path)
+			}
+		}
+	}()
 
 	var sc decepticon.Scale
 	switch *scale {
@@ -51,6 +74,7 @@ func main() {
 	env := decepticon.NewExperiments(sc)
 	env.CachePath = *cache
 	env.Workers = *work
+	env.Obs = reg
 	if !*quiet {
 		env.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}

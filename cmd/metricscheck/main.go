@@ -1,0 +1,44 @@
+// Command metricscheck validates metrics snapshot files written by the
+// other commands' -metrics flag: each argument must parse (JSON for
+// .json files, Prometheus text exposition otherwise) and contain at
+// least one metric. It exits non-zero on the first failure — the
+// building block of `make metrics-smoke`.
+//
+// Usage:
+//
+//	metricscheck run.json run.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"decepticon/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metricscheck: ")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <snapshot-file>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		snap, err := obs.ReadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if snap.Empty() {
+			log.Fatalf("%s: snapshot holds no metrics", path)
+		}
+		log.Printf("%s: ok (%d counters, %d gauges, %d timers)",
+			path, len(snap.Counters), len(snap.Gauges), len(snap.Timers))
+	}
+}

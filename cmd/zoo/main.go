@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"decepticon"
 )
@@ -19,21 +20,54 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoo: ")
-	scale := flag.String("scale", "small", "zoo scale: small | full")
+	scale := flag.String("scale", "small", "zoo scale: tiny | small | full")
 	work := flag.Int("workers", 0, "worker goroutines for model training (0 = all cores); the population is identical for any value")
+	metrics := flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
+	pprof := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	reg := decepticon.NewMetrics()
+	if *pprof != "" {
+		addr, err := decepticon.ServeMetrics(*pprof, reg)
+		if err != nil {
+			log.Fatalf("pprof server: %v", err)
+		}
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+
 	cfg := decepticon.SmallZooConfig()
-	if *scale == "full" {
+	switch *scale {
+	case "tiny":
+		cfg = decepticon.TinyZooConfig()
+	case "small":
+	case "full":
 		cfg = decepticon.DefaultZooConfig()
+	default:
+		log.Fatalf("unknown -scale %q (use tiny, small, or full)", *scale)
 	}
 	cfg.Workers = *work
+	cfg.Obs = reg
 	cfg.OnProgress = func(stage string, done, total int) {
 		if done%20 == 0 || done == total {
 			log.Printf("%s %d/%d", stage, done, total)
 		}
 	}
-	z := decepticon.BuildZoo(cfg)
+	z, err := decepticon.BuildZoo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, path := range strings.Split(*metrics, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			if err := decepticon.WriteMetricsFile(reg, path); err != nil {
+				log.Printf("metrics: %v", err)
+			} else {
+				log.Printf("metrics written to %s", path)
+			}
+		}
+	}()
 
 	fmt.Printf("pre-trained releases (%d):\n", len(z.Pretrained))
 	fmt.Printf("%-45s %-12s %-12s %-7s %-5s %-6s\n",

@@ -19,8 +19,8 @@
 //
 // Quick start:
 //
-//	z := decepticon.BuildZoo(decepticon.SmallZooConfig())
-//	atk := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+//	z := decepticon.MustBuildZoo(decepticon.SmallZooConfig())
+//	atk, _ := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
 //	report, err := atk.Run(z.FineTuned[0], decepticon.RunOptions{})
 //
 // Every table and figure of the paper regenerates through the Experiments
@@ -42,6 +42,7 @@ import (
 	"decepticon/internal/core"
 	"decepticon/internal/experiments"
 	"decepticon/internal/extract"
+	"decepticon/internal/obs"
 	"decepticon/internal/zoo"
 )
 
@@ -76,6 +77,13 @@ type (
 	Experiments = experiments.Env
 	// Scale selects the experiment budget.
 	Scale = experiments.Scale
+	// Metrics is a registry of named counters, gauges, and timers. Attach
+	// one via ZooConfig.Obs, PrepareConfig.Obs (carried into Attack), or
+	// Experiments.Obs, then export with Snapshot.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry,
+	// serializable as JSON or Prometheus text.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Experiment scales.
@@ -97,8 +105,20 @@ func SmallZooConfig() ZooConfig { return zoo.SmallBuildConfig() }
 // for fingerprint-only studies.
 func TraceOnlyZooConfig() ZooConfig { return zoo.TraceOnlyBuildConfig() }
 
-// BuildZoo trains the model population described by cfg.
-func BuildZoo(cfg ZooConfig) *Zoo { return zoo.Build(cfg) }
+// TinyZooConfig returns the smallest useful population (a few tiny
+// architectures, seconds to build) — for smoke tests and metrics
+// plumbing checks, not for reproducing paper numbers.
+func TinyZooConfig() ZooConfig { return zoo.TinyBuildConfig() }
+
+// BuildZoo trains the model population described by cfg. It fails only
+// on a malformed configuration (no catalog entries selected, or more
+// models requested than the catalog holds).
+func BuildZoo(cfg ZooConfig) (*Zoo, error) { return zoo.Build(cfg) }
+
+// MustBuildZoo is BuildZoo for known-good configurations; it panics on
+// error. The package's own presets (DefaultZooConfig, SmallZooConfig,
+// TraceOnlyZooConfig) are always valid.
+func MustBuildZoo(cfg ZooConfig) *Zoo { return zoo.MustBuild(cfg) }
 
 // BuildOrLoadZoo loads the population from cachePath when present,
 // otherwise builds it and writes the cache. An empty cachePath always
@@ -113,8 +133,27 @@ func DefaultPrepareConfig() PrepareConfig { return core.DefaultPrepareConfig() }
 
 // NewAttack prepares a Decepticon attack over the candidate pool z:
 // it collects trace measurements of every model and trains the
-// pre-trained model extractor.
-func NewAttack(z *Zoo, cfg PrepareConfig) *Attack { return core.Prepare(z, cfg) }
+// pre-trained model extractor. It fails only on a malformed
+// configuration (e.g. a non-positive trace image size).
+func NewAttack(z *Zoo, cfg PrepareConfig) (*Attack, error) { return core.Prepare(z, cfg) }
+
+// NewMetrics returns an empty metrics registry. See internal/obs for
+// the instrument semantics; a nil *Metrics is a valid no-op everywhere
+// one is accepted.
+func NewMetrics() *Metrics { return obs.New() }
+
+// WriteMetricsFile snapshots m and writes it to path: ".json" files get
+// the JSON encoding, everything else Prometheus text exposition.
+func WriteMetricsFile(m *Metrics, path string) error {
+	return m.Snapshot().WriteFile(path)
+}
+
+// ServeMetrics starts a background HTTP server on addr exposing
+// /metrics (Prometheus), /metrics.json, /debug/vars, and
+// /debug/pprof/*. It returns the bound address (useful with ":0").
+func ServeMetrics(addr string, m *Metrics) (string, error) {
+	return obs.Serve(addr, m)
+}
 
 // DefaultExtractionConfig returns the paper's selective-extraction
 // operating point (0.001 skip threshold, ≤2 bits per weight).

@@ -25,8 +25,12 @@ func getAPI(t *testing.T) (*decepticon.Zoo, *decepticon.Attack) {
 		cfg := decepticon.TraceOnlyZooConfig()
 		cfg.NumPretrained = 6
 		cfg.NumFineTuned = 8
-		apiZoo = decepticon.BuildZoo(cfg)
-		apiAtk = decepticon.NewAttack(apiZoo, decepticon.DefaultPrepareConfig())
+		apiZoo = decepticon.MustBuildZoo(cfg)
+		atk, err := decepticon.NewAttack(apiZoo, decepticon.DefaultPrepareConfig())
+		if err != nil {
+			panic(err)
+		}
+		apiAtk = atk
 	})
 	return apiZoo, apiAtk
 }

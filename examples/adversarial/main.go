@@ -24,10 +24,13 @@ func main() {
 	cfg.NumPretrained = 8
 	cfg.NumFineTuned = 10
 	log.Println("building the model zoo...")
-	z := decepticon.BuildZoo(cfg)
+	z := decepticon.MustBuildZoo(cfg)
 
 	log.Println("preparing the attack...")
-	atk := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+	atk, err := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	victim := z.FineTuned[1]
 	log.Printf("attacking %q with the adversarial stage (this distills substitutes)...", victim.Name)

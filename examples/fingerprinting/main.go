@@ -25,7 +25,7 @@ func main() {
 	// Fingerprints depend only on each release's execution profile, so the
 	// trace-only zoo (minimal training) is enough here.
 	log.Println("building a trace-only zoo...")
-	z := decepticon.BuildZoo(decepticon.TraceOnlyZooConfig())
+	z := decepticon.MustBuildZoo(decepticon.TraceOnlyZooConfig())
 
 	log.Println("collecting traces and training the CNN extractor...")
 	d := fingerprint.BuildDataset(z, 5, 1, 0)

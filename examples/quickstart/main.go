@@ -24,10 +24,13 @@ func main() {
 	cfg.NumPretrained = 8
 	cfg.NumFineTuned = 10
 	log.Println("building the model zoo (this trains real models)...")
-	z := decepticon.BuildZoo(cfg)
+	z := decepticon.MustBuildZoo(cfg)
 
 	log.Println("preparing the attack (training the fingerprint CNN)...")
-	atk := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+	atk, err := decepticon.NewAttack(z, decepticon.DefaultPrepareConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	victim := z.FineTuned[3]
 	log.Printf("attacking black-box victim %q", victim.Name)
@@ -42,6 +45,6 @@ func main() {
 		fmt.Printf("clone agrees with victim on %.0f%% of held-out inputs\n", 100*rep.MatchRate)
 		fmt.Printf("victim accuracy %.3f, clone accuracy %.3f\n", rep.VictimAcc, rep.CloneAcc)
 		fmt.Printf("side-channel bits read: %d (a %.0fx reduction over full readout)\n",
-			rep.Extract.BitsChecked+rep.Extract.HeadBitsRead, rep.Extract.ReductionFactor())
+			rep.Extract.LogicalBitsRead(), rep.Extract.ReductionFactor())
 	}
 }

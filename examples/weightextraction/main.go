@@ -26,7 +26,7 @@ func main() {
 	cfg.NumPretrained = 4
 	cfg.NumFineTuned = 4
 	log.Println("building a small zoo...")
-	z := decepticon.BuildZoo(cfg)
+	z := decepticon.MustBuildZoo(cfg)
 
 	victim := z.FineTuned[0]
 	log.Printf("victim: %s (task %s)", victim.Name, victim.Task.Name)
@@ -40,7 +40,10 @@ func main() {
 		Oracle: oracle,
 		Cfg:    extract.DefaultConfig(),
 	}
-	clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("── selective extraction ──")
 	fmt.Printf("backbone weights:        %d\n", st.WeightsTotal)
@@ -68,7 +71,10 @@ func main() {
 		Cfg:    extract.DefaultConfig(),
 		Victim: victim.Model.Predict,
 	}
-	clone2, st2 := ex2.Run(victim.Task.Labels, victim.Dev)
+	clone2, st2, err := ex2.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		log.Fatal(err)
+	}
 	match2 := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone2.Predictions(victim.Dev))
 	fmt.Println("── with the early-stop rule ──")
 	fmt.Printf("layers extracted:        %d of %d, %d bits read, %d victim queries\n",

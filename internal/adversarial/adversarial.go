@@ -6,6 +6,7 @@
 package adversarial
 
 import (
+	"decepticon/internal/obs"
 	"decepticon/internal/rng"
 	"decepticon/internal/tokenizer"
 	"decepticon/internal/transformer"
@@ -73,8 +74,12 @@ func (r Result) SuccessRate() float64 {
 
 // Evaluate runs the transfer attack: for every example the victim gets
 // right, craft an adversarial variant with the surrogate and test whether
-// the victim now gets it wrong.
-func Evaluate(surrogate *transformer.Model, victim func([]int) int, examples []transformer.Example, flips int) Result {
+// the victim now gets it wrong. reg (nil for none) receives the stage's
+// accounting: adversarial.evaluate_seconds wall time plus
+// adversarial.inputs_attacked / adversarial.successes counters. Victim
+// queries are the caller's channel to meter — pass a counted closure.
+func Evaluate(surrogate *transformer.Model, victim func([]int) int, examples []transformer.Example, flips int, reg *obs.Registry) Result {
+	defer reg.StartSpan("adversarial.evaluate_seconds").End()
 	var res Result
 	for _, ex := range examples {
 		if victim(ex.Tokens) != ex.Label {
@@ -86,18 +91,23 @@ func Evaluate(surrogate *transformer.Model, victim func([]int) int, examples []t
 			res.Successes++
 		}
 	}
+	reg.Counter("adversarial.inputs_attacked").Add(int64(res.Attempted))
+	reg.Counter("adversarial.successes").Add(int64(res.Successes))
 	return res
 }
 
 // BuildSubstitute reproduces the paper's baseline attacker: take a random
 // pre-trained model, query the victim for prediction records on the given
 // inputs, and fine-tune the substitute on those records (model extraction
-// via distillation, as in [27, 32, 50]).
-func BuildSubstitute(pre *transformer.Model, victim func([]int) int, inputs [][]int, numLabels int, seed uint64) *transformer.Model {
+// via distillation, as in [27, 32, 50]). reg (nil for none) receives
+// adversarial.distill_seconds and adversarial.substitutes_built.
+func BuildSubstitute(pre *transformer.Model, victim func([]int) int, inputs [][]int, numLabels int, seed uint64, reg *obs.Registry) *transformer.Model {
+	defer reg.StartSpan("adversarial.distill_seconds").End()
 	records := make([]transformer.Example, len(inputs))
 	for i, tokens := range inputs {
 		records[i] = transformer.Example{Tokens: tokens, Label: victim(tokens)}
 	}
+	reg.Counter("adversarial.substitutes_built").Inc()
 	return transformer.FineTuneFrom(pre, numLabels, records, transformer.TrainConfig{
 		Epochs: 6, BatchSize: 4,
 		LR: 5e-5, HeadLR: 3e-2, WeightDecay: 1.0,

@@ -19,7 +19,7 @@ func getZoo(t *testing.T) *zoo.Zoo {
 		cfg := zoo.SmallBuildConfig()
 		cfg.NumPretrained = 3
 		cfg.NumFineTuned = 3
-		testZ = zoo.Build(cfg)
+		testZ = zoo.MustBuild(cfg)
 	})
 	return testZ
 }
@@ -90,7 +90,7 @@ func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
 	// distilled from prediction records.
 	z := getZoo(t)
 	victim := z.FineTuned[0]
-	white := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 2)
+	white := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 2, nil)
 	if white.Attempted == 0 {
 		t.Skip("victim classifies nothing correctly at this scale")
 	}
@@ -103,8 +103,8 @@ func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
 		pre = z.Pretrained[2]
 	}
 	inputs := RecordInputs(victim.Model.Vocab, victim.Task.SeqLen, 3*len(victim.Train), 9)
-	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 10)
-	grey := Evaluate(sub, victim.Model.Predict, victim.Dev, 2)
+	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 10, nil)
+	grey := Evaluate(sub, victim.Model.Predict, victim.Dev, 2, nil)
 	if grey.SuccessRate() >= white.SuccessRate() {
 		t.Fatalf("substitute success %v should be below white-box %v",
 			grey.SuccessRate(), white.SuccessRate())
@@ -114,7 +114,7 @@ func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
 func TestEvaluateCountsOnlyCorrectInputs(t *testing.T) {
 	z := getZoo(t)
 	victim := z.FineTuned[0]
-	res := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 1)
+	res := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 1, nil)
 	correct := 0
 	for _, ex := range victim.Dev {
 		if victim.Model.Predict(ex.Tokens) == ex.Label {
@@ -170,7 +170,7 @@ func TestBuildSubstituteAgreesWithVictim(t *testing.T) {
 	victim := z.FineTuned[0]
 	pre := z.Pretrained[1]
 	inputs := RecordInputs(victim.Model.Vocab, victim.Task.SeqLen, 3*len(victim.Train), 11)
-	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 12)
+	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 12, nil)
 	agree := 0
 	for _, ex := range victim.Dev {
 		if sub.Predict(ex.Tokens) == victim.Model.Predict(ex.Tokens) {

@@ -22,6 +22,7 @@ import (
 	"decepticon/internal/extract"
 	"decepticon/internal/fingerprint"
 	"decepticon/internal/gpusim"
+	"decepticon/internal/obs"
 	"decepticon/internal/parallel"
 	"decepticon/internal/queryfp"
 	"decepticon/internal/rng"
@@ -37,6 +38,10 @@ type Attack struct {
 	Zoo        *zoo.Zoo
 	Classifier *fingerprint.Classifier
 	ExtractCfg extract.Config
+	// Obs receives the attack's cost accounting (phase wall times, victim
+	// queries, and — through the oracle and extractor it is handed to —
+	// hammer rounds and bit reads). nil runs un-instrumented.
+	Obs *obs.Registry
 }
 
 // PrepareConfig controls attack preparation.
@@ -54,6 +59,9 @@ type PrepareConfig struct {
 	// rendering; <= 0 selects GOMAXPROCS. Purely a throughput knob: the
 	// trained classifier is identical for any value.
 	Workers int
+	// Obs instruments preparation and is carried into the prepared
+	// Attack (dataset/train wall time, then per-run attack accounting).
+	Obs *obs.Registry
 }
 
 // DefaultPrepareConfig returns a preparation setup matched to the zoo
@@ -69,9 +77,10 @@ func DefaultPrepareConfig() PrepareConfig {
 // Zero-valued fields of cfg are filled individually from
 // DefaultPrepareConfig — a caller setting only, say, Epochs keeps that
 // choice instead of having the whole config silently replaced. A
-// non-zero ImgSize other than 32 or 64 is rejected up front rather than
-// panicking deep inside the CNN constructor.
-func Prepare(z *zoo.Zoo, cfg PrepareConfig) *Attack {
+// non-zero ImgSize other than 32 or 64 is caller-facing input and is
+// rejected with an error up front rather than panicking deep inside the
+// CNN constructor.
+func Prepare(z *zoo.Zoo, cfg PrepareConfig) (*Attack, error) {
 	def := DefaultPrepareConfig()
 	if cfg.SamplesPerModel <= 0 {
 		cfg.SamplesPerModel = def.SamplesPerModel
@@ -80,7 +89,7 @@ func Prepare(z *zoo.Zoo, cfg PrepareConfig) *Attack {
 		cfg.ImgSize = def.ImgSize
 	}
 	if cfg.ImgSize != 32 && cfg.ImgSize != 64 {
-		panic(fmt.Sprintf("core: PrepareConfig.ImgSize %d unsupported (use 32 or 64, or 0 for the default)", cfg.ImgSize))
+		return nil, fmt.Errorf("core: PrepareConfig.ImgSize %d unsupported (use 32 or 64, or 0 for the default)", cfg.ImgSize)
 	}
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = def.Epochs
@@ -91,12 +100,15 @@ func Prepare(z *zoo.Zoo, cfg PrepareConfig) *Attack {
 	if cfg.Seed == 0 {
 		cfg.Seed = def.Seed
 	}
+	dataSpan := cfg.Obs.StartSpan("fingerprint.dataset_seconds")
 	d := fingerprint.BuildDataset(z, cfg.SamplesPerModel, cfg.Seed, cfg.Workers)
 	d.AugmentNoise(1, 4, 2, cfg.Seed+9, cfg.Workers)
+	dataSpan.End()
 	clf := fingerprint.NewClassifier(cfg.ImgSize, d.Classes, cfg.Seed+1)
 	clf.Workers = cfg.Workers
+	clf.Obs = cfg.Obs
 	clf.Train(d, fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 2})
-	return &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig()}
+	return &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig(), Obs: cfg.Obs}, nil
 }
 
 // Report is the outcome of one end-to-end attack.
@@ -116,12 +128,16 @@ type Report struct {
 	ArchConfirmed bool
 
 	// Level 2.
-	Extract   *extract.Stats
-	MatchRate float64 // clone vs victim predictions on held-out inputs
-	VictimAcc float64
-	CloneAcc  float64
-	VictimF1  float64
-	CloneF1   float64
+	Extract *extract.Stats
+	// ExtractError records why the weight extraction failed (e.g. a
+	// malformed address map), leaving the rest of the report valid — one
+	// bad victim degrades gracefully instead of killing a campaign.
+	ExtractError string
+	MatchRate    float64 // clone vs victim predictions on held-out inputs
+	VictimAcc    float64
+	CloneAcc     float64
+	VictimF1     float64
+	CloneF1      float64
 
 	// Optional adversarial stage.
 	AdvClone       float64   // clone-driven success rate
@@ -140,10 +156,22 @@ type Campaign struct {
 	Identified    int     // correct pre-trained identification
 	ProbeResolved int     // identifications that needed query probes
 	ArchConfirmed int     // bus-probe architecture checks that passed
+	ExtractFailed int     // victims whose extraction errored (see Report.ExtractError)
 	MeanMatchRate float64 // over runs where extraction happened
 	MeanReduction float64 // bit-read reduction factor
-	TotalBitsRead int
-	Reports       []*Report
+	// TotalBitsRead sums the *logical* bits recovered across victims;
+	// TotalPhysicalReads sums the metered oracle reads (×ReadRepeats
+	// under majority voting). int64: campaign-scale totals overflow
+	// 32-bit arithmetic once multiplied into hammer rounds.
+	TotalBitsRead      int64
+	TotalPhysicalReads int64
+	Reports            []*Report
+}
+
+// TotalHammerRounds returns the campaign's simulated rowhammer spend,
+// driven by physical reads.
+func (c *Campaign) TotalHammerRounds() int64 {
+	return c.TotalPhysicalReads * sidechannel.HammerRoundsPerBit
 }
 
 // IdentificationRate returns the fraction of victims whose pre-trained
@@ -162,13 +190,25 @@ func (c *Campaign) IdentificationRate() float64 {
 // only read, and reports land in input order with counters aggregated
 // after the join — so the campaign is identical for any worker count.
 func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, error) {
+	defer a.Obs.StartSpan("core.campaign_seconds").End()
+	// Per-victim completion events flow through an ordered sink, so
+	// OnReport observes victims in input order — the same sequence a
+	// serial campaign would deliver — regardless of worker count.
+	sink := obs.NewOrderedSink[*Report](len(victims), func(i int, reps []*Report) {
+		if opt.OnReport != nil && len(reps) == 1 {
+			opt.OnReport(i, reps[0])
+		}
+	})
 	reports, err := parallel.MapErr(len(victims), opt.Workers, func(i int) (*Report, error) {
 		o := opt
 		o.MeasureSeed = opt.MeasureSeed + uint64(i)*7919
 		rep, err := a.Run(victims[i], o)
 		if err != nil {
+			sink.Done(i)
 			return nil, fmt.Errorf("core: victim %s: %w", victims[i].Name, err)
 		}
+		sink.Emit(i, rep)
+		sink.Done(i)
 		return rep, nil
 	})
 	if err != nil {
@@ -189,11 +229,15 @@ func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, er
 		if rep.ArchConfirmed {
 			c.ArchConfirmed++
 		}
+		if rep.ExtractError != "" {
+			c.ExtractFailed++
+		}
 		if rep.Extract != nil {
 			extracted++
 			matchSum += rep.MatchRate
 			reductionSum += rep.Extract.ReductionFactor()
-			c.TotalBitsRead += rep.Extract.BitsChecked + rep.Extract.HeadBitsRead
+			c.TotalBitsRead += rep.Extract.LogicalBitsRead()
+			c.TotalPhysicalReads += rep.Extract.PhysicalBitReads
 		}
 	}
 	if extracted > 0 {
@@ -212,10 +256,19 @@ type RunOptions struct {
 	NumSubstitutes int
 	// FlipsPerInput is the adversarial token-substitution budget.
 	FlipsPerInput int
+	// BitErrorRate, when positive, degrades the rowhammer channel: each
+	// oracle read flips with this probability. The noise stream is seeded
+	// from the victim's name, so campaigns stay byte-identical for any
+	// worker count. Pair with ExtractCfg.ReadRepeats to vote it away.
+	BitErrorRate float64
 	// Workers bounds the victims attacked concurrently by RunAll; <= 0
 	// selects GOMAXPROCS. The campaign outcome is identical for any
 	// value.
 	Workers int
+	// OnReport, when set, is called by RunAll with each victim's report.
+	// Calls are serialized and arrive in victim input order (an ordered
+	// sink bridges the worker pool), so progress output is deterministic.
+	OnReport func(index int, rep *Report)
 }
 
 // pickSubstitute returns the s-th distillation baseline for the victim: a
@@ -243,13 +296,25 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 		Victim:         victim.Name,
 		TruePretrained: victim.Pretrained.Name,
 	}
+	a.Obs.Counter("core.victims_attacked").Inc()
+	// Every black-box interaction with the victim — query-output probes,
+	// the extraction stop condition, adversarial transfer tests and
+	// distillation records — goes through this counted path, so
+	// core.victim_queries is the attacker's total query budget.
+	vq := a.Obs.Counter("core.victim_queries")
+	countedPredict := func(tokens []int) int {
+		vq.Inc()
+		return victim.Model.Predict(tokens)
+	}
 
 	// ---- Level 1: identify the pre-trained model. ----
+	identifySpan := a.Obs.StartSpan("core.phase.identify_seconds")
 	trace := victim.Trace(gpusim.Options{MeasureSeed: opt.MeasureSeed, JitterMagnitude: 0.3})
 	top := a.Classifier.PredictTopK(trace, 3)
 	identified := top[0]
 	cand := a.Zoo.PretrainedByName(identified)
 	if cand == nil {
+		identifySpan.End()
 		return nil, fmt.Errorf("core: classifier produced unknown candidate %q", identified)
 	}
 
@@ -262,6 +327,7 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 			cands[i] = &queryfp.Candidate{Name: p.Name, Vocab: p.Vocab}
 		}
 		res := queryfp.Detect(cands, func(text string) []float32 {
+			vq.Inc()
 			_, probs := victim.ClassifyText(text)
 			return probs
 		}, 4)
@@ -283,6 +349,7 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 			inferred.Hidden == pre.Model.Hidden &&
 			inferred.FFN == pre.Model.FFN
 	}
+	identifySpan.End()
 
 	if pre.ArchName != victim.Pretrained.ArchName {
 		// Architecture mismatch: the weight extraction cannot even start.
@@ -290,16 +357,35 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	}
 
 	// ---- Level 2: selective weight extraction. ----
+	extractSpan := a.Obs.StartSpan("core.phase.extract_seconds")
+	oracle := sidechannel.NewOracle(victim.Model)
+	oracle.SetObs(a.Obs)
+	if opt.BitErrorRate > 0 {
+		// The noise stream derives from the victim's identity, keeping
+		// RunAll byte-identical across worker counts.
+		oracle.SetNoise(opt.BitErrorRate, rng.Seed("oracle-noise", victim.Name))
+	}
 	ex := &extract.Extractor{
 		Pre:    pre.Model,
-		Oracle: sidechannel.NewOracle(victim.Model),
+		Oracle: oracle,
 		Cfg:    a.ExtractCfg,
-		Victim: victim.Model.Predict,
+		Victim: countedPredict,
+		Obs:    a.Obs,
 	}
-	clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+	extractSpan.End()
+	if err != nil {
+		// A malformed address map (or channel fault) loses this victim's
+		// clone but not the campaign: record the failure and return the
+		// level-1 results.
+		rep.ExtractError = err.Error()
+		a.Obs.Counter("core.extract_failures").Inc()
+		return rep, nil
+	}
 	rep.Extract = st
 	rep.Clone = clone
 
+	evalSpan := a.Obs.StartSpan("core.phase.evaluate_seconds")
 	vp := victim.Model.Predictions(victim.Dev)
 	cp := clone.Predictions(victim.Dev)
 	rep.MatchRate = stats.MatchRate(vp, cp)
@@ -307,14 +393,16 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	rep.CloneAcc = clone.Evaluate(victim.Dev)
 	rep.VictimF1 = victim.Model.EvaluateF1(victim.Dev)
 	rep.CloneF1 = clone.EvaluateF1(victim.Dev)
+	evalSpan.End()
 
 	// ---- Optional: adversarial attack (Fig 18). ----
 	if opt.Adversarial {
+		advSpan := a.Obs.StartSpan("core.phase.adversarial_seconds")
 		flips := opt.FlipsPerInput
 		if flips <= 0 {
 			flips = 2
 		}
-		rep.AdvClone = adversarial.Evaluate(clone, victim.Model.Predict, victim.Dev, flips).SuccessRate()
+		rep.AdvClone = adversarial.Evaluate(clone, countedPredict, victim.Dev, flips, a.Obs).SuccessRate()
 		inputs := adversarial.RecordInputs(victim.Model.Vocab, victim.Task.SeqLen,
 			4*len(victim.Train), rng.Seed("adv-records", victim.Name))
 		for s := 0; s < opt.NumSubstitutes; s++ {
@@ -325,11 +413,12 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 					s, victim.Model.Vocab, victim.Pretrained.Name))
 				continue
 			}
-			sub := adversarial.BuildSubstitute(pre.Model, victim.Model.Predict, inputs,
-				victim.Task.Labels, rng.Seed("substitute", victim.Name, fmt.Sprint(s)))
+			sub := adversarial.BuildSubstitute(pre.Model, countedPredict, inputs,
+				victim.Task.Labels, rng.Seed("substitute", victim.Name, fmt.Sprint(s)), a.Obs)
 			rep.AdvSubstitutes = append(rep.AdvSubstitutes,
-				adversarial.Evaluate(sub, victim.Model.Predict, victim.Dev, flips).SuccessRate())
+				adversarial.Evaluate(sub, countedPredict, victim.Dev, flips, a.Obs).SuccessRate())
 		}
+		advSpan.End()
 	}
 	return rep, nil
 }

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"encoding/json"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"decepticon/internal/extract"
+	"decepticon/internal/obs"
 	"decepticon/internal/zoo"
 )
 
@@ -24,8 +27,12 @@ func getAttack(t *testing.T) (*Attack, *zoo.Zoo) {
 		cfg := zoo.SmallBuildConfig()
 		cfg.NumPretrained = 8
 		cfg.NumFineTuned = 12
-		testZ = zoo.Build(cfg)
-		testAtk = Prepare(testZ, DefaultPrepareConfig())
+		testZ = zoo.MustBuild(cfg)
+		atk, err := Prepare(testZ, DefaultPrepareConfig())
+		if err != nil {
+			panic(err)
+		}
+		testAtk = atk
 	})
 	return testAtk, testZ
 }
@@ -194,11 +201,14 @@ func TestParallelPipelineMatchesSerial(t *testing.T) {
 	run := func(workers int) *Campaign {
 		cfg := tinyZooCfg()
 		cfg.Workers = workers
-		z := zoo.Build(cfg)
-		atk := Prepare(z, PrepareConfig{
+		z := zoo.MustBuild(cfg)
+		atk, err := Prepare(z, PrepareConfig{
 			SamplesPerModel: 2, ImgSize: 32, Epochs: 8, LR: 0.002, Seed: 7,
 			Workers: workers,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		c, err := atk.RunAll(z.FineTuned, RunOptions{MeasureSeed: 11, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -250,28 +260,34 @@ func TestPrepareFillsZeroFieldsIndividually(t *testing.T) {
 	_, z := getAttack(t)
 	// SamplesPerModel left zero: it must be defaulted while the explicit
 	// ImgSize choice survives.
-	atk := Prepare(z, PrepareConfig{ImgSize: 32, Epochs: 1})
+	atk, err := Prepare(z, PrepareConfig{ImgSize: 32, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if atk.Classifier.ImgSize != 32 {
 		t.Fatalf("explicit ImgSize overwritten: got %d, want 32", atk.Classifier.ImgSize)
 	}
 	// All-zero config still resolves to the documented defaults.
-	atk2 := Prepare(z, PrepareConfig{Epochs: 1})
+	atk2, err := Prepare(z, PrepareConfig{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if atk2.Classifier.ImgSize != DefaultPrepareConfig().ImgSize {
 		t.Fatalf("zero ImgSize not defaulted: got %d", atk2.Classifier.ImgSize)
 	}
 }
 
 func TestPrepareRejectsBadImgSize(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("ImgSize 48 must panic")
-		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "ImgSize") {
-			t.Fatalf("panic message %v does not explain the ImgSize constraint", r)
-		}
-	}()
-	Prepare(&zoo.Zoo{}, PrepareConfig{SamplesPerModel: 1, ImgSize: 48})
+	atk, err := Prepare(&zoo.Zoo{}, PrepareConfig{SamplesPerModel: 1, ImgSize: 48})
+	if err == nil {
+		t.Fatal("ImgSize 48 must be rejected")
+	}
+	if atk != nil {
+		t.Fatal("rejected Prepare must not return an attack")
+	}
+	if !strings.Contains(err.Error(), "ImgSize") {
+		t.Fatalf("error %v does not explain the ImgSize constraint", err)
+	}
 }
 
 // TestPickSubstituteValidity guards the substitute-fallback bugfix: the
@@ -310,6 +326,98 @@ func TestPickSubstituteNilWhenPoolExhausted(t *testing.T) {
 	solo := &zoo.Zoo{Pretrained: []*zoo.Pretrained{victim.Pretrained}}
 	if p := pickSubstitute(solo, victim, 0); p != nil {
 		t.Fatalf("expected nil from exhausted pool, got %s", p.Name)
+	}
+}
+
+// TestObsReconcilesWithCampaign is the observability acceptance check:
+// one registry observing a full campaign — with majority-vote reads and
+// an unreliable oracle — must agree exactly with the per-report
+// extraction stats and the oracle meters, and its counters must be
+// byte-identical across worker counts.
+func TestObsReconcilesWithCampaign(t *testing.T) {
+	run := func(workers int) (*Campaign, obs.Snapshot) {
+		reg := obs.New()
+		cfg := tinyZooCfg()
+		cfg.Workers = workers
+		cfg.Obs = reg
+		z := zoo.MustBuild(cfg)
+		atk, err := Prepare(z, PrepareConfig{
+			SamplesPerModel: 2, ImgSize: 32, Epochs: 8, LR: 0.002, Seed: 7,
+			Workers: workers, Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec := extract.DefaultConfig()
+		ec.ReadRepeats = 3
+		atk.ExtractCfg = ec
+		c, err := atk.RunAll(z.FineTuned, RunOptions{
+			MeasureSeed: 11, Workers: workers, BitErrorRate: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, reg.Snapshot()
+	}
+	c, snap := run(1)
+
+	var logical, physical, hammer, queries int64
+	for _, rep := range c.Reports {
+		queries += int64(rep.ProbeQueries)
+		if rep.Extract == nil {
+			continue
+		}
+		logical += rep.Extract.LogicalBitsRead()
+		physical += rep.Extract.PhysicalBitReads
+		hammer += rep.Extract.HammerRounds()
+		queries += int64(rep.Extract.QueriesUsed)
+	}
+	if logical == 0 {
+		t.Fatal("campaign extracted nothing")
+	}
+	if physical != 3*logical {
+		t.Fatalf("ReadRepeats=3: physical reads %d, want 3×logical (%d)", physical, 3*logical)
+	}
+	checks := []struct {
+		counter string
+		want    int64
+	}{
+		{"sidechannel.bit_reads_physical", physical},
+		{"sidechannel.hammer_rounds", hammer},
+		{"extract.bits_logical", logical - snap.Counters["extract.head_bits_logical"]},
+		{"core.victim_queries", queries},
+		{"core.victims_attacked", int64(c.Victims)},
+		{"extract.runs", int64(c.Victims - c.ExtractFailed)},
+	}
+	for _, ck := range checks {
+		if got := snap.Counters[ck.counter]; got != ck.want {
+			t.Errorf("registry %s = %d, campaign says %d", ck.counter, got, ck.want)
+		}
+	}
+	if c.TotalBitsRead != logical || c.TotalPhysicalReads != physical || c.TotalHammerRounds() != hammer {
+		t.Fatalf("campaign totals (logical %d, physical %d, hammer %d) diverge from reports (%d, %d, %d)",
+			c.TotalBitsRead, c.TotalPhysicalReads, c.TotalHammerRounds(), logical, physical, hammer)
+	}
+	// The noisy channel must have flipped at least one read at this scale.
+	if snap.Counters["sidechannel.bit_flips_injected"] == 0 {
+		t.Fatal("BitErrorRate=0.01 injected no flips")
+	}
+
+	// Worker invariance: counters and gauges (order-independent sums) are
+	// byte-identical; wall-time timers legitimately differ.
+	_, snap2 := run(2)
+	marshal := func(s obs.Snapshot) string {
+		b, err := json.Marshal(struct {
+			C map[string]int64
+			G map[string]float64
+		}{s.Counters, s.Gauges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := marshal(snap), marshal(snap2); a != b {
+		t.Fatalf("counters diverge across worker counts:\n1 worker:  %s\n2 workers: %s", a, b)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"decepticon/internal/core"
 	"decepticon/internal/fingerprint"
+	"decepticon/internal/obs"
 	"decepticon/internal/zoo"
 )
 
@@ -54,6 +55,11 @@ type Env struct {
 	// measurement, and attack campaigns; <= 0 selects GOMAXPROCS. All
 	// results are identical for any value (see internal/parallel).
 	Workers int
+
+	// Obs, if non-nil, collects counters, gauges, and phase timings from
+	// every stage the environment drives (zoo build, classifier training,
+	// extraction, campaigns). See internal/obs.
+	Obs *obs.Registry
 }
 
 // NewEnv returns an experiment environment at the given scale.
@@ -85,6 +91,7 @@ func (e *Env) UseZoo(z *zoo.Zoo) {
 func (e *Env) Zoo() *zoo.Zoo {
 	e.zooOnce.Do(func() {
 		cfg := e.ZooConfig()
+		cfg.Obs = e.Obs
 		done := 0
 		cfg.OnProgress = func(stage string, d, total int) {
 			done++
@@ -114,7 +121,14 @@ func (e *Env) Attack() *core.Attack {
 			cfg.Epochs = 90
 		}
 		cfg.Workers = e.Workers
-		e.attack = core.Prepare(e.Zoo(), cfg)
+		cfg.Obs = e.Obs
+		atk, err := core.Prepare(e.Zoo(), cfg)
+		if err != nil {
+			// Env configs come from the package's own presets; a failure
+			// here is a programmer error, not bad user input.
+			panic(err)
+		}
+		e.attack = atk
 	})
 	return e.attack
 }

@@ -24,7 +24,7 @@ func getEnv(t *testing.T) *Env {
 		cfg := testEnv.ZooConfig()
 		cfg.NumPretrained = 8
 		cfg.NumFineTuned = 12
-		testEnv.UseZoo(zoo.Build(cfg))
+		testEnv.UseZoo(zoo.MustBuild(cfg))
 	})
 	return testEnv
 }

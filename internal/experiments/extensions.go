@@ -190,7 +190,10 @@ func (e *Env) Noise() *NoiseResult {
 			Oracle: oracle,
 			Cfg:    cfg,
 		}
-		clone, _ := ex.Run(victim.Task.Labels, victim.Dev)
+		clone, _, err := ex.Run(victim.Task.Labels, victim.Dev)
+		if err != nil {
+			panic(err) // zoo-built victim with its own oracle cannot mismatch
+		}
 		match := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev))
 		res.Points = append(res.Points, NoisePoint{ErrorRate: rate, Repeats: repeats, MatchRate: match})
 	}

@@ -20,9 +20,11 @@
 package extract
 
 import (
+	"fmt"
 	"math"
 
 	"decepticon/internal/ieee754"
+	"decepticon/internal/obs"
 	"decepticon/internal/sidechannel"
 	"decepticon/internal/transformer"
 )
@@ -138,26 +140,45 @@ func (c Config) ExtractWeight(base float32, read func(bit int) int) (float32, []
 
 // Stats accumulates the efficiency and correctness accounting of Fig 16
 // and §7.4.
+//
+// Bit accounting distinguishes two views that coincide only when
+// ReadRepeats ≤ 1:
+//
+//   - logical reads (BitsChecked, HeadBitsRead) count distinct (weight,
+//     bit) positions Algorithm 1 decided to recover — the algorithmic
+//     selectivity the paper's reduction factors describe;
+//   - physical reads (PhysicalBitReads) count every metered oracle
+//     access, including majority-vote repeats — the quantity rowhammer
+//     rounds are actually paid for.
+//
+// All bit counters are int64: at 2048 hammer rounds per bit, realistic
+// model sizes with ReadRepeats overflow 32-bit arithmetic.
 type Stats struct {
 	// Population (selective layers only; the fully-read last layer is
 	// reported separately).
 	WeightsTotal int
-	BitsTotal    int // 32 × WeightsTotal
+	BitsTotal    int64 // 32 × WeightsTotal
 
 	// Reduction.
-	WeightsSkipped int // step-1 copies, zero bits read
-	BitsChecked    int // fraction bits actually read
+	WeightsSkipped int   // step-1 copies, zero bits read
+	BitsChecked    int64 // logical: distinct fraction-bit positions read
 
 	// Correctness ("correctly pruned/excluded" per DESIGN.md §4).
-	WeightsSkippedCorrect int // skipped and true gap below SkipThreshold
-	BitsExcludedCorrect   int // unread and identical in victim and baseline
-	WeightsExact          int // clone bit-identical to victim
-	WeightsWithinGap      int // |clone - victim| ≤ expected gap
-	SignFlips             int // victim changed sign vs baseline (missed by design)
+	WeightsSkippedCorrect int   // skipped and true gap below SkipThreshold
+	BitsExcludedCorrect   int64 // unread and identical in victim and baseline
+	WeightsExact          int   // clone bit-identical to victim
+	WeightsWithinGap      int   // |clone - victim| ≤ expected gap
+	SignFlips             int   // victim changed sign vs baseline (missed by design)
 
 	// Last layer (full extraction).
 	HeadWeights  int
-	HeadBitsRead int
+	HeadBitsRead int64 // logical: 32 distinct bit positions per head weight
+
+	// PhysicalBitReads is the oracle's meter delta over this run: every
+	// bit access the channel charged for, selective and head, including
+	// ReadRepeats majority-vote repeats. This — never the logical counts —
+	// is what rowhammer cost scales with.
+	PhysicalBitReads int64
 
 	// Schedule.
 	LayersExtracted int // encoder layers actually processed
@@ -197,18 +218,47 @@ func (s *Stats) BitsCorrectlyExcluded() float64 {
 	return float64(s.BitsExcludedCorrect) / float64(s.BitsTotal)
 }
 
-// BitsReadFraction returns read bits / the victim's total bit count.
+// LogicalBitsRead returns the distinct bit positions recovered
+// (selective + head), independent of ReadRepeats.
+func (s *Stats) LogicalBitsRead() int64 { return s.BitsChecked + s.HeadBitsRead }
+
+// HammerRounds returns the simulated rowhammer rounds this extraction
+// paid for. It is driven by *physical* reads — with ReadRepeats = r the
+// cost is r× the logical bit count — and reconciles exactly with the
+// oracle's own Oracle.HammerRounds() meter over the same run.
+func (s *Stats) HammerRounds() int64 {
+	return s.PhysicalBitReads * sidechannel.HammerRoundsPerBit
+}
+
+// BitsReadFraction returns *logical* read bits / the victim's total bit
+// count: the algorithmic selectivity of Algorithm 1, unaffected by
+// majority-vote repeats.
 func (s *Stats) BitsReadFraction() float64 {
 	if s.ModelWeights == 0 {
 		return 0
 	}
-	return float64(s.BitsChecked+s.HeadBitsRead) / float64(32*s.ModelWeights)
+	return float64(s.LogicalBitsRead()) / float64(32*s.ModelWeights)
+}
+
+// PhysicalReadFraction returns *physical* oracle reads / the victim's
+// total bit count — ×ReadRepeats larger than BitsReadFraction under
+// majority voting. Full-readout baselines pay the same repeat factor, so
+// the paper-facing reduction ratios use the logical view; this is the
+// number to quote when the question is absolute rowhammer cost.
+func (s *Stats) PhysicalReadFraction() float64 {
+	if s.ModelWeights == 0 {
+		return 0
+	}
+	return float64(s.PhysicalBitReads) / float64(32*s.ModelWeights)
 }
 
 // ReductionFactor is how many times fewer bits the selective extraction
 // reads than DeepSteal-style full extraction of every bit of the model.
+// Logical/logical: both sides of the ratio count distinct bit positions,
+// so the factor is invariant under ReadRepeats (a full readout would
+// repeat its reads too).
 func (s *Stats) ReductionFactor() float64 {
-	read := s.BitsChecked + s.HeadBitsRead
+	read := s.LogicalBitsRead()
 	if read == 0 {
 		return 0
 	}
@@ -223,12 +273,35 @@ type Extractor struct {
 	// Victim is the query interface used only for the stop condition
 	// (predictions on validation inputs), never for weights.
 	Victim func(tokens []int) int
+	// Obs, when set, receives the extraction's cost accounting: logical
+	// bit counters, clone forward passes, per-layer and whole-run wall
+	// time. The oracle's physical meters are mirrored separately via
+	// Oracle.SetObs.
+	Obs *obs.Registry
+}
+
+// readThrough adapts a metered oracle read to Algorithm 1's infallible
+// bit-reader shape, parking the first failure in *firstErr. After the
+// up-front address-map validation in Run these reads cannot fail, but a
+// channel fault should still surface as an error, not as silently-zero
+// bits extending the campaign.
+func readThrough(firstErr *error, read func(bit int) (int, error)) func(bit int) int {
+	return func(bit int) int {
+		b, err := read(bit)
+		if err != nil && *firstErr == nil {
+			*firstErr = err
+		}
+		return b
+	}
 }
 
 // Run clones the victim. numLabels is the victim's observed output width
 // (from querying); validation inputs drive the early-stop condition.
-// It returns the clone and the accounting.
-func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*transformer.Model, *Stats) {
+// It returns the clone and the accounting. A malformed address map (a
+// tensor the oracle doesn't know, or a size mismatch) is attacker-facing
+// input and returns an error before any rowhammer cost is paid.
+func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*transformer.Model, *Stats, error) {
+	defer e.Obs.StartSpan("extract.run_seconds").End()
 	cfg := e.Cfg
 	stats := &Stats{LayersTotal: e.Pre.Layers}
 
@@ -241,6 +314,19 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 	}
 	stats.ModelWeights = clone.ParamCount()
 
+	// Validate the address map against the oracle before any metered
+	// read: every tensor the schedule will touch must exist on the victim
+	// with the size the clone expects. Catching a mismatch here turns a
+	// would-be mid-extraction fault into a clean refusal.
+	for _, p := range clone.Params() {
+		if sz := e.Oracle.TensorSize(p.Name); sz != len(p.Value.Data) {
+			return nil, nil, fmt.Errorf(
+				"extract: address map mismatch for tensor %q: victim has %d weights, clone expects %d",
+				p.Name, sz, len(p.Value.Data))
+		}
+	}
+	var readErr error
+
 	// Step A: the task-dependent last layer has no baseline — full read
 	// (with the same majority-vote policy as the selective reads, since a
 	// wrong sign or exponent bit here is catastrophic).
@@ -250,21 +336,26 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		}
 		for i := range p.Value.Data {
 			before := e.Oracle.BitReads
-			read := cfg.voted(func(bit int) int {
+			read := cfg.voted(readThrough(&readErr, func(bit int) (int, error) {
 				return e.Oracle.ReadBit(p.Name, i, bit)
-			})
+			}))
 			var w float32
 			for bit := 0; bit < 32; bit++ {
 				w = ieee754.SetBit(w, bit, read(bit))
 			}
 			p.Value.Data[i] = w
 			stats.HeadWeights++
-			stats.HeadBitsRead += e.Oracle.BitReads - before
+			stats.HeadBitsRead += 32 // logical: 32 distinct positions
+			stats.PhysicalBitReads += e.Oracle.BitReads - before
 		}
+	}
+	if readErr != nil {
+		return nil, nil, fmt.Errorf("extract: head readout: %w", readErr)
 	}
 
 	// Step B: selective extraction, later layers first, embeddings last,
 	// stopping when the clone matches the victim.
+	cForwards := e.Obs.Counter("extract.clone_forwards")
 	victimPreds := make([]int, len(validation))
 	if e.Victim != nil {
 		for i, ex := range validation {
@@ -276,6 +367,7 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		if len(validation) == 0 {
 			return 0
 		}
+		cForwards.Add(int64(len(validation)))
 		n := 0
 		for i, ex := range validation {
 			if clone.Predict(ex.Tokens) == victimPreds[i] {
@@ -284,13 +376,23 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		}
 		return float64(n) / float64(len(validation))
 	}
+	// publish mirrors the run's logical accounting into the registry once
+	// the outcome is known; the oracle mirrors the physical side itself.
+	publish := func() {
+		e.Obs.Counter("extract.weights_selective").Add(int64(stats.WeightsTotal))
+		e.Obs.Counter("extract.bits_logical").Add(stats.BitsChecked)
+		e.Obs.Counter("extract.head_bits_logical").Add(stats.HeadBitsRead)
+		e.Obs.Counter("extract.layers_extracted").Add(int64(stats.LayersExtracted))
+		e.Obs.Counter("extract.runs").Inc()
+	}
 
 	preParams := indexParams(e.Pre)
 	// With the head recovered, the pre-trained backbone alone may already
 	// reproduce the victim (fine-tuning barely moves it); checking the stop
 	// condition before any layer extraction costs only queries.
 	if e.Victim != nil && len(validation) > 0 && matches() >= cfg.StopMatchRate {
-		return clone, stats
+		publish()
+		return clone, stats, nil
 	}
 	// Schedule: last encoder layer down to the embeddings (-1); Table 1's
 	// observation makes this the order in which the early-stop condition
@@ -306,23 +408,29 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		}
 	}
 	for _, layer := range order {
+		layerSpan := e.Obs.StartSpan("extract.layer_seconds")
 		for _, p := range clone.Params() {
 			if p.IsHead || p.Layer != layer {
 				continue
 			}
 			basis := preParams[p.Name]
-			e.extractTensor(p.Name, basis, p.Value.Data, stats)
+			if err := e.extractTensor(p.Name, basis, p.Value.Data, stats); err != nil {
+				layerSpan.End()
+				return nil, nil, err
+			}
 		}
 		if layer >= 0 {
 			stats.LayersExtracted++
 		}
+		layerSpan.End()
 		if e.Victim != nil && len(validation) > 0 {
 			if m := matches(); m >= cfg.StopMatchRate {
 				break
 			}
 		}
 	}
-	return clone, stats
+	publish()
+	return clone, stats, nil
 }
 
 func indexParams(m *transformer.Model) map[string][]float32 {
@@ -335,22 +443,33 @@ func indexParams(m *transformer.Model) map[string][]float32 {
 
 // extractTensor applies Algorithm 1 to every weight of one tensor,
 // writing clones into dst and accounting into stats.
-func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats) {
+func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats) error {
 	cfg := e.Cfg
+	var readErr error
 	for i := range base {
 		b := base[i]
 		before := e.Oracle.BitReads
-		clone, checked := cfg.ExtractWeight(b, func(bit int) int {
+		clone, checked := cfg.ExtractWeight(b, readThrough(&readErr, func(bit int) (int, error) {
 			return e.Oracle.ReadBit(name, i, bit)
-		})
+		}))
+		if readErr != nil {
+			return fmt.Errorf("extract: tensor %q: %w", name, readErr)
+		}
 		dst[i] = clone
 		stats.WeightsTotal++
 		stats.BitsTotal += 32
-		stats.BitsChecked += e.Oracle.BitReads - before
+		// Logical reads: distinct bit positions Algorithm 1 selected.
+		// Physical reads: the oracle meter's delta (×ReadRepeats under
+		// majority voting).
+		stats.BitsChecked += int64(len(checked))
+		stats.PhysicalBitReads += e.Oracle.BitReads - before
 
 		// Ground-truth accounting (the simulator can peek for metrics;
 		// the attacker cannot).
-		victim := e.Oracle.PeekWord(name, i)
+		victim, err := e.Oracle.PeekWord(name, i)
+		if err != nil {
+			return fmt.Errorf("extract: tensor %q: %w", name, err)
+		}
 		gap := math.Abs(float64(victim - b))
 		if len(checked) == 0 {
 			stats.WeightsSkipped++
@@ -388,4 +507,5 @@ func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats
 			}
 		}
 	}
+	return nil
 }

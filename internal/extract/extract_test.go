@@ -110,7 +110,7 @@ func getZoo(t *testing.T) *zoo.Zoo {
 		cfg := zoo.SmallBuildConfig()
 		cfg.NumPretrained = 4
 		cfg.NumFineTuned = 4
-		testZ = zoo.Build(cfg)
+		testZ = zoo.MustBuild(cfg)
 	})
 	return testZ
 }
@@ -127,7 +127,10 @@ func runExtraction(t *testing.T, withStop bool) (*zoo.FineTuned, *transformer.Mo
 	if withStop {
 		ex.Victim = victim.Model.Predict
 	}
-	clone, st := ex.Run(victim.Task.Labels, victim.Dev)
+	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return victim, clone, st
 }
 
@@ -166,8 +169,12 @@ func TestSelectiveExtractionEfficiency(t *testing.T) {
 		t.Fatalf("reduction factor %v, want >= 5 over full extraction", got)
 	}
 	// At most MaxBits per weight were read.
-	if st.BitsChecked > st.WeightsTotal*DefaultConfig().MaxBitsPerWeight {
+	if st.BitsChecked > int64(st.WeightsTotal*DefaultConfig().MaxBitsPerWeight) {
 		t.Fatalf("read %d bits for %d weights", st.BitsChecked, st.WeightsTotal)
+	}
+	// Without majority voting the logical and physical views coincide.
+	if st.PhysicalBitReads != st.LogicalBitsRead() {
+		t.Fatalf("single reads: physical %d != logical %d", st.PhysicalBitReads, st.LogicalBitsRead())
 	}
 }
 
@@ -262,7 +269,10 @@ func TestLayerOrderAblation(t *testing.T) {
 			Cfg:    cfg,
 			Victim: victim.Model.Predict,
 		}
-		_, st := ex.Run(victim.Task.Labels, victim.Dev)
+		_, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return st
 	}
 	lastFirst := run(false)
@@ -275,5 +285,91 @@ func TestLayerOrderAblation(t *testing.T) {
 	// victim, so the pre-loop stop check should spare every backbone bit.
 	if lastFirst.LayersExtracted != 0 || lastFirst.BitsChecked != 0 {
 		t.Logf("note: stop fired after %d layers (%d bits)", lastFirst.LayersExtracted, lastFirst.BitsChecked)
+	}
+}
+
+// TestMajorityVoteMetering pins the logical/physical split end to end:
+// with ReadRepeats = r the physical (metered) reads grow exactly ×r while
+// the logical counts — and the clone itself on a clean channel — stay
+// byte-identical, so every ReductionFactor/BitsReadFraction number is
+// invariant under the repeat policy while HammerRounds scales with it.
+func TestMajorityVoteMetering(t *testing.T) {
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	run := func(repeats int, noise float64) (*transformer.Model, *Stats, *sidechannel.Oracle) {
+		cfg := DefaultConfig()
+		cfg.ReadRepeats = repeats
+		oracle := sidechannel.NewOracle(victim.Model)
+		if noise > 0 {
+			oracle.SetNoise(noise, 0xfeed)
+		}
+		ex := &Extractor{Pre: victim.Pretrained.Model, Oracle: oracle, Cfg: cfg}
+		clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clone, st, oracle
+	}
+
+	cleanSingle, base, _ := run(0, 0)
+	cloneVoted, voted, oracle := run(3, 0)
+
+	if voted.BitsChecked != base.BitsChecked || voted.HeadBitsRead != base.HeadBitsRead {
+		t.Fatalf("logical counts changed under voting: %d/%d vs %d/%d",
+			voted.BitsChecked, voted.HeadBitsRead, base.BitsChecked, base.HeadBitsRead)
+	}
+	if voted.PhysicalBitReads != 3*voted.LogicalBitsRead() {
+		t.Fatalf("physical reads %d, want 3× logical %d", voted.PhysicalBitReads, voted.LogicalBitsRead())
+	}
+	if voted.HammerRounds() != oracle.HammerRounds() {
+		t.Fatalf("stats hammer rounds %d != oracle meter %d", voted.HammerRounds(), oracle.HammerRounds())
+	}
+	if voted.ReductionFactor() != base.ReductionFactor() {
+		t.Fatalf("reduction factor moved under voting: %v vs %v", voted.ReductionFactor(), base.ReductionFactor())
+	}
+	// On a clean channel voting must not change a single clone bit.
+	wantP, gotP := cleanSingle.Params(), cloneVoted.Params()
+	for i := range wantP {
+		for j := range wantP[i].Value.Data {
+			if wantP[i].Value.Data[j] != gotP[i].Value.Data[j] {
+				t.Fatalf("clone weight %s[%d] changed under voting", wantP[i].Name, j)
+			}
+		}
+	}
+
+	// With a noisy channel the cost relation is unchanged: repeats are
+	// metered whether or not a given read happened to flip.
+	_, noisy, noisyOracle := run(3, 0.05)
+	if noisy.PhysicalBitReads != 3*noisy.LogicalBitsRead() {
+		t.Fatalf("noisy physical reads %d, want 3× logical %d", noisy.PhysicalBitReads, noisy.LogicalBitsRead())
+	}
+	if noisy.HammerRounds() != noisyOracle.HammerRounds() {
+		t.Fatalf("noisy stats hammer rounds %d != oracle meter %d", noisy.HammerRounds(), noisyOracle.HammerRounds())
+	}
+}
+
+// TestRunRejectsMismatchedAddressMap: an oracle over a different
+// architecture is a malformed address map — Run must return an error
+// before paying any rowhammer cost, not panic mid-campaign.
+func TestRunRejectsMismatchedAddressMap(t *testing.T) {
+	pre := transformer.New(transformer.Config{
+		Name: "pre", Layers: 2, Hidden: 8, Heads: 2, FFN: 16,
+		Vocab: 12, MaxSeq: 6, Labels: 3,
+	}, 1)
+	other := transformer.New(transformer.Config{
+		Name: "other", Layers: 2, Hidden: 12, Heads: 2, FFN: 24,
+		Vocab: 12, MaxSeq: 6, Labels: 3,
+	}, 2)
+	oracle := sidechannel.NewOracle(other)
+	ex := &Extractor{Pre: pre, Oracle: oracle, Cfg: DefaultConfig()}
+	clone, st, err := ex.Run(3, nil)
+	if err == nil {
+		t.Fatal("mismatched address map must be rejected")
+	}
+	if clone != nil || st != nil {
+		t.Fatal("failed run must not hand back partial results")
+	}
+	if oracle.BitReads != 0 {
+		t.Fatalf("rejection must precede metered reads, but %d were charged", oracle.BitReads)
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"decepticon/internal/gpusim"
 	"decepticon/internal/nn"
+	"decepticon/internal/obs"
 	"decepticon/internal/parallel"
 	"decepticon/internal/rng"
 	"decepticon/internal/stats"
@@ -140,7 +141,12 @@ type Classifier struct {
 	// not part of the model: Save/LoadClassifier do not persist it, and
 	// results are identical for any value.
 	Workers int
-	net     *nn.Sequential
+	// Obs, when set, receives the level-1 accounting: train/eval wall
+	// time (fingerprint.train_seconds, fingerprint.eval_seconds) and CNN
+	// forward counts (fingerprint.forwards). Like Workers it is a runtime
+	// knob and is not persisted.
+	Obs *obs.Registry
+	net *nn.Sequential
 }
 
 // NewClassifier builds an untrained classifier for imgSize×imgSize
@@ -209,6 +215,8 @@ type TrainConfig struct {
 
 // Train fits the classifier on the dataset and returns the final mean loss.
 func (c *Classifier) Train(d *Dataset, cfg TrainConfig) float64 {
+	defer c.Obs.StartSpan("fingerprint.train_seconds").End()
+	c.Obs.Counter("fingerprint.train_samples").Add(int64(len(d.Samples)))
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 10
 	}
@@ -230,6 +238,7 @@ func (c *Classifier) Predict(t *gpusim.Trace) string {
 }
 
 func (c *Classifier) predictIdx(t *gpusim.Trace) int {
+	c.Obs.Counter("fingerprint.forwards").Inc()
 	x := tensor.FromSlice(1, c.ImgSize*c.ImgSize, c.preprocess(t))
 	return c.net.Predict(x)[0]
 }
@@ -251,6 +260,7 @@ func (c *Classifier) PredictTopK(t *gpusim.Trace, k int) []string {
 // classified concurrently (eval-mode forwards do not touch the network's
 // training caches); the correct count aggregates after the join.
 func (c *Classifier) Accuracy(d *Dataset) float64 {
+	defer c.Obs.StartSpan("fingerprint.eval_seconds").End()
 	if len(d.Samples) == 0 {
 		return 0
 	}
@@ -271,6 +281,7 @@ func (c *Classifier) Accuracy(d *Dataset) float64 {
 // perturbation seed is a function of the sample index, so the sweep is
 // identical for any worker count.
 func (c *Classifier) NoiseAccuracy(d *Dataset, count int, magnitude float64, seed uint64) float64 {
+	defer c.Obs.StartSpan("fingerprint.eval_seconds").End()
 	if len(d.Samples) == 0 {
 		return 0
 	}

@@ -22,7 +22,7 @@ var (
 
 func getZoo(t *testing.T) *zoo.Zoo {
 	t.Helper()
-	zooOnce.Do(func() { testZ = zoo.Build(zoo.TraceOnlyBuildConfig()) })
+	zooOnce.Do(func() { testZ = zoo.MustBuild(zoo.TraceOnlyBuildConfig()) })
 	return testZ
 }
 

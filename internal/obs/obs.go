@@ -1,0 +1,214 @@
+// Package obs is the repo's observability layer: one registry of named
+// counters, gauges and timers that every attack stage reports into, so
+// the cost accounting the paper's efficiency claims hang on (hammer
+// rounds, victim queries, forward passes, per-phase wall time) flows
+// through a single audited path instead of ad-hoc fields scattered
+// across packages.
+//
+// Design constraints, in order:
+//
+//  1. Dependency-free: standard library only, like the rest of the repo.
+//  2. Nil-safe: a nil *Registry (and the nil *Counter/*Gauge/*Timer
+//     handles it hands out) is a valid no-op instrument, so callers
+//     thread observability with zero branches — `o.c.Inc()` costs one
+//     nil check when metrics are off.
+//  3. Deterministic where the pipeline is: counters are pure sums of
+//     per-item contributions, so under internal/parallel's invariant
+//     (every item derives its randomness from its own identity) counter
+//     values are byte-identical for any worker count. Timers measure
+//     wall time and are explicitly excluded from that guarantee.
+//  4. Cheap enough for hot paths: instruments are lock-free atomics;
+//     the registry mutex is only taken when resolving a name to a
+//     handle, so hot loops resolve once and hammer the atomic.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (by convention) int64 metric.
+// All methods are safe for concurrent use and safe on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates wall-clock durations (a span histogram reduced to
+// sum + count — enough for the per-phase accounting the experiments
+// report). Timer values are real elapsed time and therefore NOT part of
+// the worker-count determinism guarantee; Snapshot keeps them in a
+// separate section so determinism tests can compare counters alone.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe adds one duration. No-op on a nil receiver.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.ns.Add(int64(d))
+		t.count.Add(1)
+	}
+}
+
+// Total returns the accumulated duration (0 on a nil receiver).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns how many spans were observed (0 on a nil receiver).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Span is one in-flight timed phase. End records the elapsed time into
+// the timer that started it; End is idempotent and nil-safe, so
+// `defer r.StartSpan("phase").End()` works unconditionally.
+type Span struct {
+	t     *Timer
+	start time.Time
+	done  bool
+}
+
+// End stops the span and records its duration. Safe to call more than
+// once (only the first call records) and on a nil receiver.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.t.Observe(time.Since(s.start))
+}
+
+// Registry holds the named instruments. The zero value is NOT ready to
+// use — call New. A nil *Registry is a valid no-op sink: every method
+// works and hands out nil instruments whose methods no-op, which is how
+// the pipeline runs un-instrumented by default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+// Returns nil (a valid no-op counter) on a nil registry. Hot paths
+// should resolve once and keep the handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use. Returns nil
+// (a valid no-op timer) on a nil registry.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// StartSpan opens a timed span recording into the named timer on End.
+// On a nil registry the returned span is a no-op (never nil, so the
+// defer idiom needs no branch).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return &Span{done: true}
+	}
+	return &Span{t: r.Timer(name), start: time.Now()}
+}
+
+// names returns the sorted keys of a map — snapshot and export order is
+// always lexicographic so output is reproducible.
+func names[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

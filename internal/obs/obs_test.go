@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"decepticon/internal/parallel"
+)
+
+// workerCounts are the 1-vs-N points the determinism tests compare.
+var workerCounts = []int{1, 4}
+
+// runCounted simulates an instrumented parallel stage: every item
+// contributes amounts derived from its own index, mirroring the repo's
+// seeding discipline.
+func runCounted(workers int) Snapshot {
+	r := New()
+	parallel.ForEach(100, workers, func(i int) {
+		r.Counter("stage.bit_reads").Add(int64(i%7) * 2048)
+		r.Counter("stage.queries").Inc()
+		if i%3 == 0 {
+			r.Counter("stage.flips").Add(int64(i))
+		}
+		r.Gauge("stage.last_fraction").Set(0.25) // same value from every item
+	})
+	return r.Snapshot()
+}
+
+func TestSnapshotCountersDeterministicAcrossWorkers(t *testing.T) {
+	base := runCounted(workerCounts[0])
+	for _, w := range workerCounts[1:] {
+		got := runCounted(w)
+		// Byte-identical counters (and gauges): marshal the deterministic
+		// sections and diff the bytes.
+		for _, sec := range []any{
+			[]any{base.Counters, got.Counters},
+			[]any{base.Gauges, got.Gauges},
+		} {
+			pair := sec.([]any)
+			a, _ := json.Marshal(pair[0])
+			b, _ := json.Marshal(pair[1])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("workers=%d snapshot diverged:\n  1 worker:  %s\n  %d workers: %s", w, a, w, b)
+			}
+		}
+	}
+}
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter did not return the same handle for one name")
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	tm := r.Timer("t")
+	tm.Observe(2 * time.Second)
+	tm.Observe(time.Second)
+	if got := tm.Total(); got != 3*time.Second {
+		t.Fatalf("timer total = %v, want 3s", got)
+	}
+	if got := tm.Count(); got != 2 {
+		t.Fatalf("timer count = %d, want 2", got)
+	}
+}
+
+func TestSpanRecordsOnceIntoTimer(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("phase")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // idempotent
+	tm := r.Timer("phase")
+	if tm.Count() != 1 {
+		t.Fatalf("span recorded %d observations, want 1", tm.Count())
+	}
+	if tm.Total() <= 0 {
+		t.Fatalf("span recorded non-positive duration %v", tm.Total())
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Timer("z").Observe(time.Second)
+	r.StartSpan("p").End()
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	if !s.Empty() {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var sink *OrderedSink[int]
+	sink.Emit(0, 1)
+	sink.Done(0)
+	if sink.Delivered() != 0 {
+		t.Fatal("nil sink delivered something")
+	}
+}
+
+func sampleSnapshot() Snapshot {
+	r := New()
+	r.Counter("sidechannel.bit_reads_physical").Add(123456789012)
+	r.Counter("core.victim_queries").Add(37)
+	r.Gauge("extract.match_rate").Set(0.984375)
+	r.Timer("zoo.build_seconds").Observe(1537 * time.Millisecond)
+	r.Timer("zoo.build_seconds").Observe(463 * time.Millisecond)
+	return r.Snapshot()
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("json round trip mismatch:\n  wrote %+v\n  read  %+v", s, got)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	var first bytes.Buffer
+	if err := s.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values survive (names come back in sanitized form).
+	if got := parsed.Counters["sidechannel_bit_reads_physical"]; got != 123456789012 {
+		t.Fatalf("parsed counter = %d, want 123456789012 (int64 must not truncate)", got)
+	}
+	if got := parsed.Timers["zoo_build_seconds"]; got.Count != 2 || got.Seconds != 2.0 {
+		t.Fatalf("parsed timer = %+v, want {2s 2}", got)
+	}
+	// Text-level round trip: sanitization is idempotent, so re-exporting
+	// the parsed snapshot reproduces the bytes.
+	var second bytes.Buffer
+	if err := parsed.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("prometheus round trip not byte-identical:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"decepticon_x 1\n", // no TYPE declaration
+		"# TYPE decepticon_x counter\ndecepticon_x\n", // missing value
+		"# TYPE decepticon_x counter\ndecepticon_x notanumber\n",
+	} {
+		if _, err := ParsePrometheus(bytes.NewReader([]byte(text))); err == nil {
+			t.Fatalf("ParsePrometheus accepted malformed input %q", text)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	dir := t.TempDir()
+	for _, name := range []string{"m.json", "m.prom"} {
+		path := dir + "/" + name
+		if err := s.WriteFile(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Empty() {
+			t.Fatalf("%s: snapshot read back empty", name)
+		}
+	}
+}
+
+func TestServeExposesMetricsAndPprof(t *testing.T) {
+	r := New()
+	r.Counter("serve.test_counter").Add(7)
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+	prom, err := ParsePrometheus(bytes.NewReader(get("/metrics")))
+	if err != nil {
+		t.Fatalf("/metrics did not parse: %v", err)
+	}
+	if prom.Counters["serve_test_counter"] != 7 {
+		t.Fatalf("/metrics counters = %v, want serve_test_counter 7", prom.Counters)
+	}
+	js, err := ParseJSON(bytes.NewReader(get("/metrics.json")))
+	if err != nil {
+		t.Fatalf("/metrics.json did not parse: %v", err)
+	}
+	if js.Counters["serve.test_counter"] != 7 {
+		t.Fatalf("/metrics.json counters = %v", js.Counters)
+	}
+	if !bytes.Contains(get("/debug/pprof/"), []byte("goroutine")) {
+		t.Fatal("/debug/pprof/ index missing goroutine profile")
+	}
+	if !bytes.Contains(get("/debug/vars"), []byte("decepticon")) {
+		t.Fatal("/debug/vars missing published registry")
+	}
+}
+
+func TestPromNameIdempotent(t *testing.T) {
+	for _, name := range []string{"extract.layer_seconds", "a.b-c/d", "already_clean", "9lead"} {
+		once := promName(name)
+		if twice := promName(once); twice != once {
+			t.Fatalf("promName not idempotent: %q -> %q -> %q", name, once, twice)
+		}
+	}
+}
+
+func TestOrderedSinkFlushesInIndexOrder(t *testing.T) {
+	var got []string
+	s := NewOrderedSink[string](4, func(i int, evs []string) {
+		for _, e := range evs {
+			got = append(got, fmt.Sprintf("%d:%s", i, e))
+		}
+	})
+	// Complete items in scrambled order; nothing may flush early.
+	s.Emit(2, "c")
+	s.Done(2)
+	s.Emit(1, "b1")
+	s.Emit(1, "b2")
+	s.Done(1)
+	if len(got) != 0 {
+		t.Fatalf("sink flushed %v before item 0 completed", got)
+	}
+	s.Done(3)
+	s.Emit(0, "a")
+	s.Done(0)
+	want := []string{"0:a", "1:b1", "1:b2", "2:c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivery order = %v, want %v", got, want)
+	}
+	if s.Delivered() != 4 {
+		t.Fatalf("Delivered = %d, want 4", s.Delivered())
+	}
+}
+
+func TestOrderedSinkUnderParallelForEach(t *testing.T) {
+	const n = 64
+	serial := func(workers int) []int {
+		var seq []int
+		s := NewOrderedSink[int](n, func(i int, evs []int) { seq = append(seq, evs...) })
+		parallel.ForEach(n, workers, func(i int) {
+			s.Emit(i, i*2)
+			s.Emit(i, i*2+1)
+			s.Done(i)
+		})
+		return seq
+	}
+	base := serial(1)
+	if len(base) != 2*n {
+		t.Fatalf("serial sink delivered %d events, want %d", len(base), 2*n)
+	}
+	for _, w := range workerCounts[1:] {
+		if got := serial(w); !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d event order diverged from serial", w)
+		}
+	}
+}

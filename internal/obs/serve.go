@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and a CLI may reasonably call Serve after a
+// failed first attempt.
+var expvarOnce sync.Once
+
+// Serve exposes a registry plus the standard Go diagnostics over HTTP
+// on addr (e.g. "localhost:6060"):
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot
+//	/debug/vars    expvar (includes the registry under "decepticon")
+//	/debug/pprof/  net/http/pprof profiles
+//
+// It returns once the listener is bound (so the port is usable when it
+// returns) and serves in a background goroutine for the life of the
+// process — CLI lifetime, not library lifetime, which is why there is
+// deliberately no Shutdown plumbing. The returned address is the bound
+// listen address (useful with ":0").
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("decepticon", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,80 @@
+package obs
+
+import "sync"
+
+// OrderedSink delivers per-item events from N concurrent workers to a
+// single handler in input-index order, composing with the
+// internal/parallel pool's determinism contract: workers processing
+// items out of order still produce the exact event sequence a serial
+// run would. Item i's events are flushed (in the order they were
+// emitted) only after every item j < i has called Done, and the handler
+// is never invoked concurrently with itself.
+//
+// Protocol per item: any number of Emit(i, ev) calls, then exactly one
+// Done(i). The sink is passive — delivery happens on whichever worker
+// goroutine completes the gap, so no background goroutine or channel
+// drain is needed and an abandoned sink (e.g. after an error aborts the
+// pool) simply stops delivering.
+type OrderedSink[T any] struct {
+	mu      sync.Mutex
+	next    int
+	pending []itemBuf[T]
+	handle  func(index int, events []T)
+}
+
+type itemBuf[T any] struct {
+	events []T
+	done   bool
+}
+
+// NewOrderedSink creates a sink for n items delivering to handle.
+// handle receives each item's index and its events; it runs serially
+// and in index order. A nil handle makes the sink a no-op.
+func NewOrderedSink[T any](n int, handle func(index int, events []T)) *OrderedSink[T] {
+	return &OrderedSink[T]{pending: make([]itemBuf[T], n), handle: handle}
+}
+
+// Emit records one event for item i. Safe for concurrent use across
+// distinct items; events for one item keep their emission order.
+func (s *OrderedSink[T]) Emit(i int, ev T) {
+	if s == nil || s.handle == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < s.next {
+		panic("obs: OrderedSink.Emit after Done flushed the item")
+	}
+	s.pending[i].events = append(s.pending[i].events, ev)
+}
+
+// Done marks item i complete and flushes every consecutive completed
+// item starting at the delivery frontier. The flush runs on the calling
+// goroutine while holding the sink's lock, so handlers observe a fully
+// serialized, index-ordered stream.
+func (s *OrderedSink[T]) Done(i int) {
+	if s == nil || s.handle == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending[i].done {
+		panic("obs: OrderedSink.Done called twice for one item")
+	}
+	s.pending[i].done = true
+	for s.next < len(s.pending) && s.pending[s.next].done {
+		s.handle(s.next, s.pending[s.next].events)
+		s.pending[s.next] = itemBuf[T]{} // release event memory
+		s.next++
+	}
+}
+
+// Delivered returns how many items have been flushed to the handler.
+func (s *OrderedSink[T]) Delivered() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// TimerValue is a timer's exported state: accumulated wall time and the
+// number of spans that contributed to it.
+type TimerValue struct {
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry. Counters and gauges
+// are deterministic under internal/parallel's seeding discipline
+// (byte-identical for any worker count); timers measure wall time and
+// are kept in their own section precisely so determinism checks can
+// compare the deterministic sections alone.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters"`
+	Gauges   map[string]float64    `json:"gauges"`
+	Timers   map[string]TimerValue `json:"timers"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty (but fully allocated) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Timers:   map[string]TimerValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = TimerValue{Seconds: t.Total().Seconds(), Count: t.Count()}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (maps marshal with
+// sorted keys, so output is reproducible).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseJSON reads a snapshot written by WriteJSON.
+func ParseJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parse json snapshot: %w", err)
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Timers == nil {
+		s.Timers = map[string]TimerValue{}
+	}
+	return s, nil
+}
+
+// promPrefix namespaces every exposed series, Prometheus-style.
+const promPrefix = "decepticon_"
+
+// promName maps a registry name to a legal Prometheus metric name:
+// dots (the registry's namespace separator) and any other illegal rune
+// become underscores. The mapping is idempotent, which is what makes
+// the text format round-trip (parse keeps the sanitized name).
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (sorted, so output is reproducible). Counters and gauges map
+// directly; timers become a summary pair <name>_sum (seconds) and
+// <name>_count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range names(s.Counters) {
+		pn := promPrefix + promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range names(s.Gauges) {
+		pn := promPrefix + promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range names(s.Timers) {
+		t := s.Timers[name]
+		pn := promPrefix + promName(name)
+		fmt.Fprintf(bw, "# TYPE %s summary\n%s_sum %s\n%s_count %d\n",
+			pn, pn, promFloat(t.Seconds), pn, t.Count)
+	}
+	return bw.Flush()
+}
+
+// ParsePrometheus reads a snapshot written by WritePrometheus. Metric
+// names come back in their sanitized (underscore) form — promName is
+// idempotent, so re-exporting a parsed snapshot reproduces the text
+// byte for byte, which is the round-trip property the tests and the
+// metrics-smoke checker rely on.
+func ParsePrometheus(r io.Reader) (Snapshot, error) {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Timers:   map[string]TimerValue{},
+	}
+	types := map[string]string{}
+	timers := map[string]*TimerValue{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return Snapshot{}, fmt.Errorf("obs: prometheus line %d: want 'name value', got %q", lineNo, line)
+		}
+		pn, val := f[0], f[1]
+		base := pn
+		series := ""
+		if types[base] == "" {
+			// Summary component: strip the _sum/_count suffix to find the
+			// declared base series.
+			if strings.HasSuffix(pn, "_sum") {
+				base, series = strings.TrimSuffix(pn, "_sum"), "sum"
+			} else if strings.HasSuffix(pn, "_count") {
+				base, series = strings.TrimSuffix(pn, "_count"), "count"
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			return Snapshot{}, fmt.Errorf("obs: prometheus line %d: series %q has no # TYPE declaration", lineNo, pn)
+		}
+		name := strings.TrimPrefix(base, promPrefix)
+		switch typ {
+		case "counter":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("obs: prometheus line %d: counter %q: %w", lineNo, pn, err)
+			}
+			s.Counters[name] = n
+		case "gauge":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("obs: prometheus line %d: gauge %q: %w", lineNo, pn, err)
+			}
+			s.Gauges[name] = v
+		case "summary":
+			t := timers[name]
+			if t == nil {
+				t = &TimerValue{}
+				timers[name] = t
+			}
+			switch series {
+			case "sum":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("obs: prometheus line %d: summary %q: %w", lineNo, pn, err)
+				}
+				t.Seconds = v
+			case "count":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("obs: prometheus line %d: summary %q: %w", lineNo, pn, err)
+				}
+				t.Count = n
+			default:
+				return Snapshot{}, fmt.Errorf("obs: prometheus line %d: unexpected summary series %q", lineNo, pn)
+			}
+		default:
+			return Snapshot{}, fmt.Errorf("obs: prometheus line %d: unsupported type %q", lineNo, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parse prometheus snapshot: %w", err)
+	}
+	for name, t := range timers {
+		s.Timers[name] = *t
+	}
+	return s, nil
+}
+
+// Empty reports whether the snapshot carries no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Timers) == 0
+}
+
+// WriteFile writes the snapshot to path, choosing the format from the
+// extension: .json gets JSON, anything else (.prom, .txt, ...) gets the
+// Prometheus text format.
+func (s Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: write snapshot: %w", err)
+	}
+	if filepath.Ext(path) == ".json" {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadFile parses a snapshot file written by WriteFile, choosing the
+// parser from the extension like WriteFile does.
+func ReadFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("obs: read snapshot: %w", err)
+	}
+	defer f.Close()
+	if filepath.Ext(path) == ".json" {
+		return ParseJSON(f)
+	}
+	return ParsePrometheus(f)
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"decepticon/internal/ieee754"
+	"decepticon/internal/obs"
 	"decepticon/internal/rng"
 	"decepticon/internal/transformer"
 )
@@ -88,14 +89,25 @@ func (am *AddressMap) Locate(addr uintptr) (string, int, bool) {
 // Oracle is the rowhammer bit-read channel over one victim model.
 type Oracle struct {
 	weights map[string][]float32
-	// BitReads is the number of bit reads performed so far.
-	BitReads int
+	// BitReads is the number of physical bit reads performed so far —
+	// every oracle access counts, including majority-vote repeats, which
+	// is what distinguishes it from the extraction's logical counters.
+	// int64: at 2048 hammer rounds per bit, a realistic model size with
+	// ReadRepeats overflows 32-bit int arithmetic.
+	BitReads int64
 	// BitErrorRate, when positive, makes each read return a flipped bit
 	// with this probability — rowhammer reads are not perfectly reliable,
 	// and a robust extraction must tolerate occasional wrong bits.
 	BitErrorRate float64
 
 	noise *rng.RNG
+
+	// Pre-resolved obs handles (nil-safe no-ops until SetObs): ReadBit is
+	// the hottest metered path in the repo, so the name→counter lookup
+	// happens once, not per read.
+	cBitReads *obs.Counter
+	cHammer   *obs.Counter
+	cFlips    *obs.Counter
 }
 
 // NewOracle wraps a victim model. The oracle holds references to the
@@ -116,54 +128,86 @@ func (o *Oracle) SetNoise(rate float64, seed uint64) {
 	o.noise = rng.New(seed)
 }
 
+// SetObs mirrors the oracle's meters into a registry:
+//
+//	sidechannel.bit_reads_physical  every metered bit read (incl. repeats)
+//	sidechannel.hammer_rounds       bit reads × HammerRoundsPerBit
+//	sidechannel.bit_flips_injected  noisy reads that returned a wrong bit
+//
+// A nil registry detaches the oracle again. Counter handles are resolved
+// here once so per-read cost stays a couple of atomic adds.
+func (o *Oracle) SetObs(r *obs.Registry) {
+	o.cBitReads = r.Counter("sidechannel.bit_reads_physical")
+	o.cHammer = r.Counter("sidechannel.hammer_rounds")
+	o.cFlips = r.Counter("sidechannel.bit_flips_injected")
+}
+
 // trueBit returns the ground-truth bit without cost or noise. It backs
-// both the metered reads and the simulation-side metrics.
-func (o *Oracle) trueBit(param string, idx, bit int) int {
+// both the metered reads and the simulation-side metrics. An unknown
+// tensor or out-of-range index is attacker-facing input (a corrupt or
+// adversarial address map), so it surfaces as an error, not a panic.
+func (o *Oracle) trueBit(param string, idx, bit int) (int, error) {
 	w, ok := o.weights[param]
 	if !ok {
-		panic(fmt.Sprintf("sidechannel: unknown tensor %q", param))
+		return 0, fmt.Errorf("sidechannel: unknown tensor %q", param)
 	}
 	if idx < 0 || idx >= len(w) {
-		panic(fmt.Sprintf("sidechannel: weight index %d out of range for %q", idx, param))
+		return 0, fmt.Errorf("sidechannel: weight index %d out of range for %q (size %d)", idx, param, len(w))
 	}
-	return ieee754.Bit(w[idx], bit)
+	return ieee754.Bit(w[idx], bit), nil
 }
 
 // ReadBit reads raw bit `bit` (0 = LSB, 31 = sign) of weight idx in the
 // named tensor, incrementing the cost meter. With a configured
-// BitErrorRate the result is occasionally wrong.
-func (o *Oracle) ReadBit(param string, idx, bit int) int {
-	b := o.trueBit(param, idx, bit)
+// BitErrorRate the result is occasionally wrong. A read through a bad
+// address map returns an error without charging the meter.
+func (o *Oracle) ReadBit(param string, idx, bit int) (int, error) {
+	b, err := o.trueBit(param, idx, bit)
+	if err != nil {
+		return 0, err
+	}
 	o.BitReads++
+	o.cBitReads.Inc()
+	o.cHammer.Add(HammerRoundsPerBit)
 	if o.BitErrorRate > 0 && o.noise.Float64() < o.BitErrorRate {
 		b ^= 1
+		o.cFlips.Inc()
 	}
-	return b
+	return b, nil
 }
 
 // PeekWord returns a weight's exact value without cost or noise. It is
 // simulation-side ground truth for metrics — never part of the attacker's
 // channel.
-func (o *Oracle) PeekWord(param string, idx int) float32 {
+func (o *Oracle) PeekWord(param string, idx int) (float32, error) {
 	var out float32
 	for bit := 0; bit < 32; bit++ {
-		out = ieee754.SetBit(out, bit, o.trueBit(param, idx, bit))
+		b, err := o.trueBit(param, idx, bit)
+		if err != nil {
+			return 0, err
+		}
+		out = ieee754.SetBit(out, bit, b)
 	}
-	return out
+	return out, nil
 }
 
 // ReadWord reads all 32 bits of one weight (the last-layer full
 // extraction), costing 32 bit reads.
-func (o *Oracle) ReadWord(param string, idx int) float32 {
+func (o *Oracle) ReadWord(param string, idx int) (float32, error) {
 	var out float32
 	for bit := 0; bit < 32; bit++ {
-		out = ieee754.SetBit(out, bit, o.ReadBit(param, idx, bit))
+		b, err := o.ReadBit(param, idx, bit)
+		if err != nil {
+			return 0, err
+		}
+		out = ieee754.SetBit(out, bit, b)
 	}
-	return out
+	return out, nil
 }
 
 // HammerRounds returns the total simulated rowhammer rounds spent.
-func (o *Oracle) HammerRounds() int { return o.BitReads * HammerRoundsPerBit }
+// int64: realistic models with ReadRepeats push this past 2^31.
+func (o *Oracle) HammerRounds() int64 { return o.BitReads * HammerRoundsPerBit }
 
 // TensorSize returns the weight count of a tensor (0 if unknown).
 func (o *Oracle) TensorSize(param string) int { return len(o.weights[param]) }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"decepticon/internal/ieee754"
+	"decepticon/internal/obs"
 	"decepticon/internal/transformer"
 )
 
@@ -58,7 +59,11 @@ func TestReadBitMatchesVictim(t *testing.T) {
 	o := NewOracle(m)
 	w := m.Blocks[0].Wq.V.Data[3]
 	for bit := 0; bit < 32; bit++ {
-		if o.ReadBit("block0.wq", 3, bit) != ieee754.Bit(w, bit) {
+		got, err := o.ReadBit("block0.wq", 3, bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ieee754.Bit(w, bit) {
 			t.Fatalf("bit %d mismatch", bit)
 		}
 	}
@@ -74,7 +79,11 @@ func TestReadWordRoundTrip(t *testing.T) {
 	m := model()
 	o := NewOracle(m)
 	want := m.HeadW.V.Data[7]
-	if got := o.ReadWord("head_w", 7); got != want {
+	got, err := o.ReadWord("head_w", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
 		t.Fatalf("ReadWord = %v, want %v", got, want)
 	}
 	if o.BitReads != 32 {
@@ -88,26 +97,48 @@ func TestOracleSeesLiveWeights(t *testing.T) {
 	m := model()
 	o := NewOracle(m)
 	m.HeadW.V.Data[0] = 1.5
-	if got := o.ReadWord("head_w", 0); got != 1.5 {
-		t.Fatalf("oracle read %v after in-place update", got)
+	if got, err := o.ReadWord("head_w", 0); err != nil || got != 1.5 {
+		t.Fatalf("oracle read %v (err %v) after in-place update", got, err)
 	}
 }
 
-func TestOraclePanics(t *testing.T) {
+func TestOracleBadAddressReturnsError(t *testing.T) {
+	// Malformed address maps are attacker-facing input: reads through them
+	// must fail gracefully — an error, no cost charged, no panic.
 	m := model()
 	o := NewOracle(m)
-	for name, fn := range map[string]func(){
-		"unknown tensor": func() { o.ReadBit("nope", 0, 0) },
-		"bad index":      func() { o.ReadBit("head_w", 1<<20, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s must panic", name)
-				}
-			}()
-			fn()
-		}()
+	cases := map[string]func() error{
+		"read unknown tensor": func() error { _, err := o.ReadBit("nope", 0, 0); return err },
+		"read bad index":      func() error { _, err := o.ReadBit("head_w", 1<<20, 0); return err },
+		"read negative index": func() error { _, err := o.ReadBit("head_w", -1, 0); return err },
+		"word unknown tensor": func() error { _, err := o.ReadWord("nope", 0); return err },
+		"peek bad index":      func() error { _, err := o.PeekWord("head_w", 1<<20); return err },
+	}
+	for name, fn := range cases {
+		if err := fn(); err == nil {
+			t.Fatalf("%s must return an error", name)
+		}
+	}
+	if o.BitReads != 0 {
+		t.Fatalf("failed reads must not charge the meter, got %d", o.BitReads)
+	}
+}
+
+func TestOracleMirrorsIntoObs(t *testing.T) {
+	m := model()
+	o := NewOracle(m)
+	r := obs.New()
+	o.SetObs(r)
+	if _, err := o.ReadWord("head_w", 0); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()
+	if s.Counters["sidechannel.bit_reads_physical"] != 32 {
+		t.Fatalf("obs bit reads = %d, want 32", s.Counters["sidechannel.bit_reads_physical"])
+	}
+	if s.Counters["sidechannel.hammer_rounds"] != o.HammerRounds() {
+		t.Fatalf("obs hammer rounds %d != oracle meter %d",
+			s.Counters["sidechannel.hammer_rounds"], o.HammerRounds())
 	}
 }
 

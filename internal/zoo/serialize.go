@@ -161,7 +161,10 @@ func BuildOrLoad(cfg BuildConfig, cachePath string) (*Zoo, error) {
 			return z, nil
 		}
 	}
-	z := Build(cfg)
+	z, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if cachePath != "" {
 		if err := z.SaveFile(cachePath); err != nil {
 			return z, fmt.Errorf("zoo: cache write failed: %w", err)

@@ -16,3 +16,20 @@ func TraceOnlyBuildConfig() BuildConfig {
 	cfg.ArchFilter = []string{"tiny", "mini", "small"}
 	return cfg
 }
+
+// TinyBuildConfig is the smallest end-to-end population that still
+// exercises every attack stage: a handful of tiny-architecture releases
+// with a real (if brief) pre-train/fine-tune budget, so extraction and
+// its cost accounting remain meaningful. It backs `make metrics-smoke`
+// and the `-scale tiny` CLI option.
+func TinyBuildConfig() BuildConfig {
+	cfg := DefaultBuildConfig()
+	cfg.NumPretrained = 3
+	cfg.NumFineTuned = 4
+	cfg.PretrainExamples = 60
+	cfg.PretrainEpochs = 4
+	cfg.FineTuneExamples = 40
+	cfg.FineTuneEpochs = 3
+	cfg.ArchFilter = []string{"tiny"}
+	return cfg
+}

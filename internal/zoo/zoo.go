@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"decepticon/internal/gpusim"
+	"decepticon/internal/obs"
 	"decepticon/internal/parallel"
 	"decepticon/internal/rng"
 	"decepticon/internal/task"
@@ -103,6 +104,9 @@ type BuildConfig struct {
 	// from its name (rng.Seed("pretrain-train", name), ...), so the built
 	// population is byte-for-byte identical for any worker count.
 	Workers int
+	// Obs, when set, receives the build's accounting: zoo.build_seconds
+	// wall time and zoo.models_pretrained / zoo.models_finetuned counters.
+	Obs *obs.Registry
 }
 
 // DefaultBuildConfig reproduces the paper's population: 70 pre-trained and
@@ -167,9 +171,14 @@ func (p *progressCounter) tick(stage string, total int) {
 // a pre-trained backbone, attach a fresh task head, and train on a
 // downstream task. No (pre-trained, fine-tuned) pair shares a task, as in
 // the paper's methodology (§7.1).
-func Build(cfg BuildConfig) *Zoo {
+//
+// A config the catalog cannot satisfy is caller-facing input, so it is
+// reported as an error instead of panicking out of a campaign.
+func Build(cfg BuildConfig) (*Zoo, error) {
+	defer cfg.Obs.StartSpan("zoo.build_seconds").End()
 	if cfg.NumPretrained <= 0 || cfg.NumFineTuned <= 0 {
-		panic("zoo: empty build configuration; use DefaultBuildConfig")
+		return nil, fmt.Errorf("zoo: empty build configuration (%d pretrained, %d fine-tuned); use DefaultBuildConfig",
+			cfg.NumPretrained, cfg.NumFineTuned)
 	}
 	entries := catalog()
 	if len(cfg.ArchFilter) > 0 {
@@ -186,7 +195,7 @@ func Build(cfg BuildConfig) *Zoo {
 		entries = kept
 	}
 	if cfg.NumPretrained > len(entries) {
-		panic(fmt.Sprintf("zoo: catalog has %d matching releases, %d requested", len(entries), cfg.NumPretrained))
+		return nil, fmt.Errorf("zoo: catalog has %d matching releases, %d requested", len(entries), cfg.NumPretrained)
 	}
 	z := &Zoo{}
 
@@ -257,6 +266,19 @@ func Build(cfg BuildConfig) *Zoo {
 		ftProg.tick("finetune", cfg.NumFineTuned)
 		return f
 	})
+	cfg.Obs.Counter("zoo.models_pretrained").Add(int64(len(z.Pretrained)))
+	cfg.Obs.Counter("zoo.models_finetuned").Add(int64(len(z.FineTuned)))
+	return z, nil
+}
+
+// MustBuild is Build for contexts where a bad config is a programmer
+// error (tests, examples, benchmarks): it panics instead of returning
+// the error.
+func MustBuild(cfg BuildConfig) *Zoo {
+	z, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return z
 }
 

@@ -20,7 +20,7 @@ var (
 
 func getZoo(t *testing.T) *Zoo {
 	t.Helper()
-	zooOnce.Do(func() { testZ = Build(SmallBuildConfig()) })
+	zooOnce.Do(func() { testZ = MustBuild(SmallBuildConfig()) })
 	return testZ
 }
 
@@ -228,14 +228,27 @@ func TestLookupHelpers(t *testing.T) {
 	}
 }
 
+func TestBuildRejectsBadConfig(t *testing.T) {
+	// Malformed configs are caller-facing input: they must come back as
+	// errors, not kill the process.
+	if _, err := Build(BuildConfig{}); err == nil {
+		t.Fatal("empty config must be rejected")
+	}
+	cfg := SmallBuildConfig()
+	cfg.NumPretrained = 10_000
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("catalog overflow must be rejected")
+	}
+}
+
 func TestBuildDeterminism(t *testing.T) {
 	cfg := SmallBuildConfig()
 	cfg.NumPretrained = 3
 	cfg.NumFineTuned = 3
 	cfg.PretrainExamples = 30
 	cfg.FineTuneExamples = 30
-	a := Build(cfg)
-	b := Build(cfg)
+	a := MustBuild(cfg)
+	b := MustBuild(cfg)
 	for i := range a.FineTuned {
 		wa := a.FineTuned[i].Model.HeadW.V.Data
 		wb := b.FineTuned[i].Model.HeadW.V.Data
@@ -281,9 +294,9 @@ func TestBuildWorkerCountInvariance(t *testing.T) {
 	cfg.FineTuneExamples = 30
 
 	cfg.Workers = 1
-	serial := Build(cfg)
+	serial := MustBuild(cfg)
 	cfg.Workers = 4
-	par := Build(cfg)
+	par := MustBuild(cfg)
 
 	if len(serial.Pretrained) != len(par.Pretrained) || len(serial.FineTuned) != len(par.FineTuned) {
 		t.Fatal("population sizes differ across worker counts")
@@ -334,7 +347,7 @@ func TestProgressSerializedAndMonotonic(t *testing.T) {
 		last[stage] = done
 		events++
 	}
-	Build(cfg)
+	MustBuild(cfg)
 	if last["pretrain"] != cfg.NumPretrained || last["finetune"] != cfg.NumFineTuned {
 		t.Fatalf("final progress pretrain=%d finetune=%d, want %d/%d",
 			last["pretrain"], last["finetune"], cfg.NumPretrained, cfg.NumFineTuned)
