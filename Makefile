@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify metrics-smoke
+.PHONY: all build vet test race bench verify metrics-smoke faults-smoke
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: metrics-smoke
+test: metrics-smoke faults-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -21,6 +21,31 @@ metrics-smoke:
 		-metrics .metrics-smoke/run.json,.metrics-smoke/run.prom >/dev/null
 	$(GO) run ./cmd/metricscheck .metrics-smoke/run.json .metrics-smoke/run.prom
 	rm -rf .metrics-smoke
+
+# End-to-end fault-tolerance check: a tiny campaign under an aggressive
+# seeded fault plan is killed mid-run by a small read budget (leaving
+# per-victim checkpoints), resumed to completion, and compared against
+# the same campaign run uninterrupted. The resumed run's counters must
+# match the uninterrupted run's exactly — zero re-paid hammer rounds and
+# reconciling accounting (timers are wall-clock and excluded).
+FAULTS_SPEC = seed=11,transient=0.02,recovery=3,stuck=0.0005,outage=0.001,period=1500
+faults-smoke:
+	rm -rf .faults-smoke && mkdir -p .faults-smoke
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-cache .faults-smoke/zoo -faults '$(FAULTS_SPEC)' \
+		-checkpoint .faults-smoke/ckpt -read-budget 4000 \
+		-metrics .faults-smoke/interrupted.json >/dev/null
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-cache .faults-smoke/zoo -faults '$(FAULTS_SPEC)' \
+		-checkpoint .faults-smoke/ckpt -resume \
+		-metrics .faults-smoke/resumed.json >/dev/null
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-cache .faults-smoke/zoo -faults '$(FAULTS_SPEC)' \
+		-metrics .faults-smoke/uninterrupted.json >/dev/null
+	$(GO) run ./cmd/metricscheck .faults-smoke/interrupted.json
+	$(GO) run ./cmd/metricscheck -equal-counters \
+		.faults-smoke/resumed.json .faults-smoke/uninterrupted.json
+	rm -rf .faults-smoke
 
 # Race-detector tier: the packages that gained goroutines, filtered to
 # the concurrency-exercising tests so the 5-20x race overhead stays

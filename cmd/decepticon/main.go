@@ -35,8 +35,20 @@ func main() {
 		repeats = flag.Int("repeats", 0, "majority-vote reads per bit when -noise > 0 (odd; 0 = single read)")
 		metrics = flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
 		pprof   = flag.String("pprof", "", "serve /metrics, /metrics.json, and /debug/pprof on this address (e.g. localhost:6060)")
+		faults  = flag.String("faults", "", "fault-plan spec: key=value[,key=value...] with keys seed, transient, recovery, stuck, outage, period (empty = fault-free channel)")
+		ckpt    = flag.String("checkpoint", "", "directory for per-victim extraction checkpoints (created if missing)")
+		resume  = flag.Bool("resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
+		budget  = flag.Int64("read-budget", 0, "per-victim oracle read-attempt budget; an extraction exceeding it checkpoints and reports interrupted (0 = unlimited)")
 	)
 	flag.Parse()
+
+	plan, err := decepticon.ParseFaultPlan(*faults)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	if *resume && *ckpt == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	reg := decepticon.NewMetrics()
 	if *pprof != "" {
@@ -90,6 +102,7 @@ func main() {
 		log.Printf("attacking all %d victims...", len(z.FineTuned))
 		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{
 			MeasureSeed: 1, Workers: *work, BitErrorRate: *noise,
+			FaultPlan: plan, CheckpointDir: *ckpt, Resume: *resume, ReadBudget: *budget,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -101,6 +114,16 @@ func main() {
 		fmt.Printf("bus-probe arch checks:   %d passed\n", c.ArchConfirmed)
 		if c.ExtractFailed > 0 {
 			fmt.Printf("extractions failed:      %d\n", c.ExtractFailed)
+		}
+		if c.ExtractSkipped > 0 {
+			fmt.Printf("extractions skipped:     %d (architecture mismatch)\n", c.ExtractSkipped)
+		}
+		if c.ExtractInterrupted > 0 {
+			fmt.Printf("extractions interrupted: %d (checkpointed; rerun with -resume)\n", c.ExtractInterrupted)
+		}
+		if c.TensorsDegraded > 0 || plan != nil {
+			fmt.Printf("tensors degraded:        %d (mean coverage %.1f%%)\n",
+				c.TensorsDegraded, 100*c.MeanCoverage)
 		}
 		fmt.Printf("mean clone match rate:   %.1f%%\n", 100*c.MeanMatchRate)
 		fmt.Printf("mean bit-read reduction: %.1fx\n", c.MeanReduction)
@@ -121,6 +144,10 @@ func main() {
 		Adversarial:    *adv,
 		NumSubstitutes: *subs,
 		BitErrorRate:   *noise,
+		FaultPlan:      plan,
+		CheckpointDir:  *ckpt,
+		Resume:         *resume,
+		ReadBudget:     *budget,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -137,8 +164,16 @@ func main() {
 		fmt.Printf("extraction failed:      %s\n", rep.ExtractError)
 		return
 	}
+	if rep.ExtractSkipped != "" {
+		fmt.Printf("extraction skipped:     %s\n", rep.ExtractSkipped)
+		return
+	}
+	if rep.ExtractInterrupted {
+		fmt.Println("extraction interrupted: read budget exhausted (checkpointed; rerun with -resume)")
+		return
+	}
 	if rep.Extract == nil {
-		fmt.Println("extraction skipped (architecture mismatch)")
+		fmt.Println("extraction skipped")
 		return
 	}
 	st := rep.Extract
@@ -148,7 +183,15 @@ func main() {
 		st.LogicalBitsRead(), st.BitsTotal+32*int64(st.HeadWeights), st.ReductionFactor())
 	if st.PhysicalBitReads != st.LogicalBitsRead() {
 		fmt.Printf("oracle reads (physical):%d (majority vote ×%d)\n",
-			st.PhysicalBitReads, atk.ExtractCfg.ReadRepeats)
+			st.PhysicalBitReads, st.EffectiveReadRepeats)
+	}
+	if st.ReadFaults > 0 || st.Retries > 0 {
+		fmt.Printf("channel faults:         %d faulted reads, %d retries, %d backoff rounds, %d escalations\n",
+			st.ReadFaults, st.Retries, st.BackoffRounds, st.Escalations)
+	}
+	if st.WeightsDegraded > 0 {
+		fmt.Printf("degraded:               %d weights (%d tensors) fell back to baseline; coverage %.1f%%\n",
+			st.WeightsDegraded, st.TensorsDegraded, 100*st.Coverage())
 	}
 	fmt.Printf("victim acc / clone acc: %.3f / %.3f\n", rep.VictimAcc, rep.CloneAcc)
 	fmt.Printf("matched predictions:    %.1f%%\n", 100*rep.MatchRate)

@@ -30,6 +30,9 @@ func main() {
 		work    = flag.Int("workers", 0, "worker goroutines for zoo build and trace measurement (0 = all cores); results are identical for any value")
 		metrics = flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
 		pprof   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		faults  = flag.String("faults", "", "fault-plan spec for attack-driving experiments: key=value[,...] with keys seed, transient, recovery, stuck, outage, period")
+		ckpt    = flag.String("checkpoint", "", "directory for extraction checkpoints in attack-driving experiments")
+		resume  = flag.Bool("resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -71,10 +74,21 @@ func main() {
 		log.Fatalf("unknown scale %q (small | full)", *scale)
 	}
 
+	plan, err := decepticon.ParseFaultPlan(*faults)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	if *resume && *ckpt == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+
 	env := decepticon.NewExperiments(sc)
 	env.CachePath = *cache
 	env.Workers = *work
 	env.Obs = reg
+	env.FaultPlan = plan
+	env.CheckpointDir = *ckpt
+	env.Resume = *resume
 	if !*quiet {
 		env.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}

@@ -4,9 +4,16 @@
 // least one metric. It exits non-zero on the first failure — the
 // building block of `make metrics-smoke`.
 //
+// With -equal-counters, every file's counter section must additionally be
+// identical to the first file's — the determinism check behind
+// `make faults-smoke`, where a checkpoint-resumed campaign must reconcile
+// byte-for-byte with an uninterrupted one. (Timers are wall-clock and
+// excluded by design.)
+//
 // Usage:
 //
 //	metricscheck run.json run.prom
+//	metricscheck -equal-counters resumed.json uninterrupted.json
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"decepticon/internal/obs"
 )
@@ -21,8 +29,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("metricscheck: ")
+	equal := flag.Bool("equal-counters", false, "require every file's counters to match the first file's exactly")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck <snapshot-file>...")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] <snapshot-file>...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,7 +39,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	for _, path := range flag.Args() {
+	var ref obs.Snapshot
+	var refPath string
+	for i, path := range flag.Args() {
 		snap, err := obs.ReadFile(path)
 		if err != nil {
 			log.Fatalf("%s: %v", path, err)
@@ -40,5 +51,50 @@ func main() {
 		}
 		log.Printf("%s: ok (%d counters, %d gauges, %d timers)",
 			path, len(snap.Counters), len(snap.Gauges), len(snap.Timers))
+		if !*equal {
+			continue
+		}
+		if i == 0 {
+			ref, refPath = snap, path
+			continue
+		}
+		if diffs := counterDiffs(ref, snap); len(diffs) > 0 {
+			for _, d := range diffs {
+				log.Print(d)
+			}
+			log.Fatalf("%s: counters differ from %s (%d mismatches)", path, refPath, len(diffs))
+		}
+		log.Printf("%s: counters identical to %s", path, refPath)
 	}
+}
+
+// counterDiffs lists the counters present or valued differently between
+// two snapshots, sorted by name so the report is reproducible.
+func counterDiffs(a, b obs.Snapshot) []string {
+	names := map[string]bool{}
+	for name := range a.Counters {
+		names[name] = true
+	}
+	for name := range b.Counters {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	var diffs []string
+	for _, name := range sorted {
+		av, aok := a.Counters[name]
+		bv, bok := b.Counters[name]
+		switch {
+		case !aok:
+			diffs = append(diffs, fmt.Sprintf("  %s: missing in first file, %d in second", name, bv))
+		case !bok:
+			diffs = append(diffs, fmt.Sprintf("  %s: %d in first file, missing in second", name, av))
+		case av != bv:
+			diffs = append(diffs, fmt.Sprintf("  %s: %d != %d", name, av, bv))
+		}
+	}
+	return diffs
 }

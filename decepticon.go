@@ -43,6 +43,7 @@ import (
 	"decepticon/internal/experiments"
 	"decepticon/internal/extract"
 	"decepticon/internal/obs"
+	"decepticon/internal/sidechannel"
 	"decepticon/internal/zoo"
 )
 
@@ -73,6 +74,20 @@ type (
 	ExtractionConfig = extract.Config
 	// ExtractionStats is the extraction cost/correctness accounting.
 	ExtractionStats = extract.Stats
+	// RetryPolicy controls how the extraction reacts to channel faults
+	// (bounded exponential backoff, per-tensor retry budgets, read-repeat
+	// escalation on suspected stuck bits). Set via ExtractionConfig.Retry.
+	RetryPolicy = extract.RetryPolicy
+	// FaultPlan injects deterministic, seeded channel faults (transient
+	// read errors, stuck-at bits, region outages) into the rowhammer
+	// oracle. Pass via RunOptions.FaultPlan.
+	FaultPlan = sidechannel.FaultPlan
+	// StuckRange pins a weight-index range of a tensor to stuck-at-zero
+	// bits (FaultPlan.StuckRanges).
+	StuckRange = sidechannel.StuckRange
+	// Outage marks a simulated-clock window in which a tensor's region is
+	// unreadable (FaultPlan.Outages).
+	Outage = sidechannel.Outage
 	// Experiments regenerates the paper's tables and figures.
 	Experiments = experiments.Env
 	// Scale selects the experiment budget.
@@ -158,6 +173,23 @@ func ServeMetrics(addr string, m *Metrics) (string, error) {
 // DefaultExtractionConfig returns the paper's selective-extraction
 // operating point (0.001 skip threshold, ≤2 bits per weight).
 func DefaultExtractionConfig() ExtractionConfig { return extract.DefaultConfig() }
+
+// DefaultRetryPolicy returns the standard fault reaction (8 attempts,
+// exponential backoff from 32 to 4096 simulated rounds, 4096 retries per
+// tensor, 5-vote escalation).
+func DefaultRetryPolicy() RetryPolicy { return extract.DefaultRetryPolicy() }
+
+// ParseFaultPlan parses a "key=value,key=value" fault-plan spec (the
+// cmd/decepticon -faults syntax): seed, transient, recovery, stuck,
+// outage, period. An empty spec returns a nil plan (fault-free channel).
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	return sidechannel.ParseFaultPlan(spec)
+}
+
+// ErrExtractionInterrupted is returned (wrapped) by an extraction that
+// hit its read budget after checkpointing; match with errors.Is. Campaign
+// runs surface it as Report.ExtractInterrupted instead of an error.
+var ErrExtractionInterrupted = extract.ErrInterrupted
 
 // NewExperiments returns an experiment environment at the given scale.
 func NewExperiments(scale Scale) *Experiments { return experiments.NewEnv(scale) }

@@ -10,8 +10,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"decepticon"
 	"decepticon/internal/extract"
@@ -81,4 +84,55 @@ func main() {
 		st2.LayersExtracted, st2.LayersTotal, st2.BitsChecked+st2.HeadBitsRead, st2.QueriesUsed)
 	fmt.Printf("reduction vs full model: %.1fx at %.1f%% agreement\n",
 		st2.ReductionFactor(), 100*match2)
+
+	// A real rowhammer channel is not clean: reads fail transiently,
+	// cells stick, regions drop out. The extractor retries with backoff,
+	// degrades what stays unreadable to the pre-trained baseline, and —
+	// with a checkpoint path — survives being killed mid-run.
+	plan := &sidechannel.FaultPlan{
+		Seed: 7, TransientRate: 0.05, TransientRecovery: 3, StuckRate: 0.0005,
+	}
+	ckptDir, err := os.MkdirTemp("", "decepticon-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
+	ckpt := filepath.Join(ckptDir, victim.Name+".ckpt")
+
+	faulty := func(budget int64, resume bool) (*extract.Stats, *sidechannel.Oracle, error) {
+		o := sidechannel.NewOracle(victim.Model)
+		o.SetFaultPlan(plan)
+		ex := &extract.Extractor{
+			Pre:            victim.Pretrained.Model,
+			Oracle:         o,
+			Cfg:            extract.DefaultConfig(),
+			CheckpointPath: ckpt,
+			Resume:         resume,
+			ReadBudget:     budget,
+		}
+		_, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+		return st, o, err
+	}
+
+	fmt.Println("── faulty channel, interrupted and resumed ──")
+	// Kill the extraction partway through via a read budget...
+	_, o3, err := faulty(int64(st.PhysicalBitReads)/2, false)
+	if !errors.Is(err, decepticon.ErrExtractionInterrupted) {
+		log.Fatalf("expected an interrupted extraction, got %v", err)
+	}
+	paid := o3.BitReads + o3.FaultedReads
+	fmt.Printf("interrupted after:       %d channel attempts (%d faulted)\n",
+		paid, o3.FaultedReads)
+	// ...and resume from the checkpoint: the remaining tensors are read,
+	// nothing already extracted is re-paid.
+	st4, o4, err := faulty(0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed run paid:        %d fresh attempts (total meter %d, coverage %.1f%%)\n",
+		o4.BitReads+o4.FaultedReads-paid, o4.BitReads+o4.FaultedReads, 100*st4.Coverage())
+	if st4.TensorsDegraded > 0 || st4.WeightsDegraded > 0 {
+		fmt.Printf("degraded to baseline:    %d tensors, %d weights (graceful degradation)\n",
+			st4.TensorsDegraded, st4.WeightsDegraded)
+	}
 }

@@ -16,7 +16,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"decepticon/internal/adversarial"
 	"decepticon/internal/extract"
@@ -133,7 +137,16 @@ type Report struct {
 	// malformed address map), leaving the rest of the report valid — one
 	// bad victim degrades gracefully instead of killing a campaign.
 	ExtractError string
-	MatchRate    float64 // clone vs victim predictions on held-out inputs
+	// ExtractSkipped records why extraction was never attempted (the
+	// identified architecture does not match the victim's bus-probe
+	// layout) — distinct from ExtractError, which means extraction ran
+	// and failed.
+	ExtractSkipped string
+	// ExtractInterrupted reports that the extraction hit
+	// RunOptions.ReadBudget and checkpointed instead of completing; rerun
+	// with Resume to continue from the checkpoint.
+	ExtractInterrupted bool
+	MatchRate          float64 // clone vs victim predictions on held-out inputs
 	VictimAcc    float64
 	CloneAcc     float64
 	VictimF1     float64
@@ -157,8 +170,18 @@ type Campaign struct {
 	ProbeResolved int     // identifications that needed query probes
 	ArchConfirmed int     // bus-probe architecture checks that passed
 	ExtractFailed int     // victims whose extraction errored (see Report.ExtractError)
-	MeanMatchRate float64 // over runs where extraction happened
-	MeanReduction float64 // bit-read reduction factor
+	// ExtractSkipped counts victims whose extraction was never attempted
+	// (architecture mismatch); ExtractInterrupted counts victims that hit
+	// the read budget and checkpointed — both distinct from failures.
+	ExtractSkipped     int
+	ExtractInterrupted int
+	// TensorsDegraded sums the tensors that fell back to the pre-trained
+	// baseline under channel faults; MeanCoverage averages the extracted
+	// fraction over runs where extraction happened.
+	TensorsDegraded int
+	MeanCoverage    float64
+	MeanMatchRate   float64 // over runs where extraction happened
+	MeanReduction   float64 // bit-read reduction factor
 	// TotalBitsRead sums the *logical* bits recovered across victims;
 	// TotalPhysicalReads sums the metered oracle reads (×ReadRepeats
 	// under majority voting). int64: campaign-scale totals overflow
@@ -216,7 +239,7 @@ func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, er
 	}
 
 	c := &Campaign{Reports: reports}
-	var matchSum, reductionSum float64
+	var matchSum, reductionSum, coverageSum float64
 	extracted := 0
 	for _, rep := range reports {
 		c.Victims++
@@ -232,10 +255,18 @@ func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, er
 		if rep.ExtractError != "" {
 			c.ExtractFailed++
 		}
+		if rep.ExtractSkipped != "" {
+			c.ExtractSkipped++
+		}
+		if rep.ExtractInterrupted {
+			c.ExtractInterrupted++
+		}
 		if rep.Extract != nil {
 			extracted++
 			matchSum += rep.MatchRate
 			reductionSum += rep.Extract.ReductionFactor()
+			coverageSum += rep.Extract.Coverage()
+			c.TensorsDegraded += rep.Extract.TensorsDegraded
 			c.TotalBitsRead += rep.Extract.LogicalBitsRead()
 			c.TotalPhysicalReads += rep.Extract.PhysicalBitReads
 		}
@@ -243,6 +274,7 @@ func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, er
 	if extracted > 0 {
 		c.MeanMatchRate = matchSum / float64(extracted)
 		c.MeanReduction = reductionSum / float64(extracted)
+		c.MeanCoverage = coverageSum / float64(extracted)
 	}
 	return c, nil
 }
@@ -261,6 +293,27 @@ type RunOptions struct {
 	// from the victim's name, so campaigns stay byte-identical for any
 	// worker count. Pair with ExtractCfg.ReadRepeats to vote it away.
 	BitErrorRate float64
+	// FaultPlan, when non-nil, injects structured channel faults
+	// (transient errors, stuck-at bits, region outages — see
+	// sidechannel.FaultPlan). Each victim's faults derive from its name
+	// via FaultPlan.ForVictim, so campaigns stay byte-identical for any
+	// worker count. Pair with ExtractCfg.Retry to tune the reaction.
+	FaultPlan *sidechannel.FaultPlan
+	// CheckpointDir, when set, makes every victim's extraction persist a
+	// resumable per-victim checkpoint (CheckpointDir/<victim>.ckpt). The
+	// directory is created if missing.
+	CheckpointDir string
+	// Resume, when set with CheckpointDir, restores existing checkpoints
+	// instead of starting fresh: completed victims return their stored
+	// result, interrupted ones continue with zero re-paid hammer rounds.
+	// The campaign must be re-run with the same zoo, config, FaultPlan,
+	// and noise settings as the interrupted run.
+	Resume bool
+	// ReadBudget, when > 0, bounds each victim's metered oracle attempts
+	// (successful + faulted). A victim that exceeds it checkpoints (when
+	// CheckpointDir is set) and reports ExtractInterrupted instead of an
+	// error.
+	ReadBudget int64
 	// Workers bounds the victims attacked concurrently by RunAll; <= 0
 	// selects GOMAXPROCS. The campaign outcome is identical for any
 	// value.
@@ -288,6 +341,22 @@ func pickSubstitute(z *zoo.Zoo, victim *zoo.FineTuned, s int) *zoo.Pretrained {
 		return p
 	}
 	return nil
+}
+
+// checkpointName maps a victim name to a filesystem-safe checkpoint file
+// name. Victim names come from zoo configuration and may hold separators
+// or other characters that are unsafe in a single path element.
+func checkpointName(victim string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, victim)
+	return safe + ".ckpt"
 }
 
 // Run executes the two-level attack against a black-box victim.
@@ -353,6 +422,12 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 
 	if pre.ArchName != victim.Pretrained.ArchName {
 		// Architecture mismatch: the weight extraction cannot even start.
+		// Record the reason explicitly — a campaign summary must be able
+		// to tell "never attempted" apart from "attempted and failed".
+		rep.ExtractSkipped = fmt.Sprintf(
+			"identified release %s has architecture %s, victim's bus-probe layout says %s: extraction never attempted",
+			identified, pre.ArchName, victim.Pretrained.ArchName)
+		a.Obs.Counter("core.extract_skipped").Inc()
 		return rep, nil
 	}
 
@@ -365,15 +440,34 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 		// RunAll byte-identical across worker counts.
 		oracle.SetNoise(opt.BitErrorRate, rng.Seed("oracle-noise", victim.Name))
 	}
+	// The fault plan likewise derives from the victim's identity.
+	oracle.SetFaultPlan(opt.FaultPlan.ForVictim(victim.Name))
 	ex := &extract.Extractor{
-		Pre:    pre.Model,
-		Oracle: oracle,
-		Cfg:    a.ExtractCfg,
-		Victim: countedPredict,
-		Obs:    a.Obs,
+		Pre:        pre.Model,
+		Oracle:     oracle,
+		Cfg:        a.ExtractCfg,
+		Victim:     countedPredict,
+		Obs:        a.Obs,
+		Resume:     opt.Resume,
+		ReadBudget: opt.ReadBudget,
+	}
+	if opt.CheckpointDir != "" {
+		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
+			extractSpan.End()
+			return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+		}
+		ex.CheckpointPath = filepath.Join(opt.CheckpointDir, checkpointName(victim.Name))
 	}
 	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 	extractSpan.End()
+	if errors.Is(err, extract.ErrInterrupted) {
+		// The read budget ran out: the work done so far is checkpointed
+		// (when CheckpointDir is set) and a Resume run will finish it.
+		// Not a failure — the campaign continues with the other victims.
+		rep.ExtractInterrupted = true
+		a.Obs.Counter("core.extract_interrupted").Inc()
+		return rep, nil
+	}
 	if err != nil {
 		// A malformed address map (or channel fault) loses this victim's
 		// clone but not the campaign: record the failure and return the

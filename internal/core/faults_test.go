@@ -1,0 +1,168 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/zoo"
+)
+
+// mismatchedVictim clones a victim but claims a different pre-trained
+// architecture name, so the bus-probe cross-check in Run must refuse to
+// start the extraction.
+func mismatchedVictim(f *zoo.FineTuned) *zoo.FineTuned {
+	fakePre := *f.Pretrained
+	fakePre.ArchName = f.Pretrained.ArchName + "-other"
+	fake := *f
+	fake.Pretrained = &fakePre
+	return &fake
+}
+
+// TestExtractSkippedOnArchMismatch: an architecture mismatch is recorded
+// as an explicit skip — never as a failure, never silently.
+func TestExtractSkippedOnArchMismatch(t *testing.T) {
+	atk, z := getAttack(t)
+	fake := mismatchedVictim(z.FineTuned[0])
+	rep, err := atk.Run(fake, RunOptions{MeasureSeed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExtractSkipped == "" {
+		t.Fatal("architecture mismatch must be recorded in ExtractSkipped")
+	}
+	if !strings.Contains(rep.ExtractSkipped, "never attempted") {
+		t.Fatalf("skip reason %q does not explain itself", rep.ExtractSkipped)
+	}
+	if rep.ExtractError != "" {
+		t.Fatalf("a skip is not a failure, but ExtractError = %q", rep.ExtractError)
+	}
+	if rep.Extract != nil || rep.Clone != nil {
+		t.Fatal("skipped extraction must not produce results")
+	}
+
+	c, err := atk.RunAll([]*zoo.FineTuned{fake}, RunOptions{MeasureSeed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExtractSkipped != 1 || c.ExtractFailed != 0 {
+		t.Fatalf("campaign skips %d / failures %d, want 1 / 0", c.ExtractSkipped, c.ExtractFailed)
+	}
+}
+
+// compareReports asserts two report slices are byte-identical, clone
+// weights included.
+func compareReports(t *testing.T, label string, as, bs []*Report) {
+	t.Helper()
+	if len(as) != len(bs) {
+		t.Fatalf("%s: report counts %d vs %d", label, len(as), len(bs))
+	}
+	for i := range as {
+		a, b := *as[i], *bs[i]
+		ca, cb := a.Clone, b.Clone
+		a.Clone, b.Clone = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: report %d diverges:\nA: %+v\nB: %+v", label, i, a, b)
+		}
+		if (ca == nil) != (cb == nil) {
+			t.Fatalf("%s: report %d clone presence diverges", label, i)
+		}
+		if ca == nil {
+			continue
+		}
+		pa, pb := ca.Params(), cb.Params()
+		for j := range pa {
+			for k := range pa[j].Value.Data {
+				if pa[j].Value.Data[k] != pb[j].Value.Data[k] {
+					t.Fatalf("%s: report %d clone tensor %s differs at %d", label, i, pa[j].Name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultCampaignWorkerInvariance: a campaign under a seeded fault plan
+// is byte-identical for any worker count — each victim's faults derive
+// from its name, never from scheduling order.
+func TestFaultCampaignWorkerInvariance(t *testing.T) {
+	atk, z := getAttack(t)
+	victims := z.FineTuned[:4]
+	plan := &sidechannel.FaultPlan{Seed: 21, TransientRate: 0.02, StuckRate: 0.0005}
+	run := func(workers int) *Campaign {
+		c, err := atk.RunAll(victims, RunOptions{MeasureSeed: 70, Workers: workers, FaultPlan: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	par := run(2)
+	var faults int64
+	for _, rep := range serial.Reports {
+		if rep.Extract != nil {
+			faults += rep.Extract.ReadFaults
+		}
+	}
+	if faults == 0 {
+		t.Fatal("fault plan injected nothing — the invariance check is vacuous")
+	}
+	if serial.TensorsDegraded != par.TensorsDegraded || serial.MeanCoverage != par.MeanCoverage {
+		t.Fatalf("degradation aggregates diverge: %d/%v vs %d/%v",
+			serial.TensorsDegraded, serial.MeanCoverage, par.TensorsDegraded, par.MeanCoverage)
+	}
+	compareReports(t, "workers 1 vs 2", serial.Reports, par.Reports)
+}
+
+// TestCampaignCheckpointResume: a campaign interrupted per-victim by a
+// read budget, then resumed from its checkpoint directory, must land on
+// reports byte-identical to an uninterrupted campaign's.
+func TestCampaignCheckpointResume(t *testing.T) {
+	atk, z := getAttack(t)
+	victims := z.FineTuned[:3]
+	plan := &sidechannel.FaultPlan{Seed: 33, TransientRate: 0.01}
+	base := RunOptions{MeasureSeed: 80, FaultPlan: plan}
+
+	full, err := atk.RunAll(victims, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minAttempts int64 = 1 << 62
+	for _, rep := range full.Reports {
+		if rep.Extract == nil {
+			t.Fatalf("victim %s did not extract in the reference run", rep.Victim)
+		}
+		if a := rep.Extract.PhysicalBitReads + rep.Extract.ReadFaults; a < minAttempts {
+			minAttempts = a
+		}
+	}
+
+	dir := t.TempDir()
+	interrupted := base
+	interrupted.CheckpointDir = dir
+	interrupted.ReadBudget = minAttempts / 2
+	ci, err := atk.RunAll(victims, interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.ExtractInterrupted == 0 {
+		t.Fatalf("budget %d interrupted nothing", interrupted.ReadBudget)
+	}
+	for _, rep := range ci.Reports {
+		if rep.ExtractInterrupted && rep.ExtractError != "" {
+			t.Fatalf("victim %s: interrupt recorded as failure %q", rep.Victim, rep.ExtractError)
+		}
+	}
+
+	resumed := base
+	resumed.CheckpointDir = dir
+	resumed.Resume = true
+	cr, err := atk.RunAll(victims, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.ExtractInterrupted != 0 {
+		t.Fatal("resumed campaign still interrupted")
+	}
+	compareReports(t, "resumed vs uninterrupted", cr.Reports, full.Reports)
+}

@@ -13,6 +13,7 @@ import (
 	"decepticon/internal/core"
 	"decepticon/internal/fingerprint"
 	"decepticon/internal/obs"
+	"decepticon/internal/sidechannel"
 	"decepticon/internal/zoo"
 )
 
@@ -60,6 +61,17 @@ type Env struct {
 	// every stage the environment drives (zoo build, classifier training,
 	// extraction, campaigns). See internal/obs.
 	Obs *obs.Registry
+
+	// FaultPlan, when non-nil, degrades the rowhammer channel of every
+	// attack-driving experiment with seeded structured faults (see
+	// sidechannel.FaultPlan). The reliability experiment additionally
+	// reports it as a custom sweep point.
+	FaultPlan *sidechannel.FaultPlan
+
+	// CheckpointDir / Resume thread extraction checkpointing into the
+	// attack-driving experiments (see core.RunOptions).
+	CheckpointDir string
+	Resume        bool
 }
 
 // NewEnv returns an experiment environment at the given scale.

@@ -26,7 +26,10 @@ type Fig15Result struct {
 func (e *Env) Fig15() *Fig15Result {
 	atk := e.Attack()
 	victim := pickVictim(e.Zoo(), "squad")
-	rep, err := atk.Run(victim, core.RunOptions{MeasureSeed: 15})
+	rep, err := atk.Run(victim, core.RunOptions{
+		MeasureSeed: 15,
+		FaultPlan:   e.FaultPlan, CheckpointDir: e.CheckpointDir, Resume: e.Resume,
+	})
 	if err != nil {
 		panic(err)
 	}

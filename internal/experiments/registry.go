@@ -43,6 +43,7 @@ var registry = []struct {
 	{"pruning", "head-pruning recovery (§8)", func(e *Env, w io.Writer) { e.Pruning().Render(w) }},
 	{"quant", "quantized-format extraction (§8)", func(e *Env, w io.Writer) { e.Quant().Render(w) }},
 	{"noise", "bit-read error robustness", func(e *Env, w io.Writer) { e.Noise().Render(w) }},
+	{"reliability", "channel reliability sweep (§9)", func(e *Env, w io.Writer) { e.Reliability().Render(w) }},
 	{"defense", "kernel randomization countermeasure (§8)", func(e *Env, w io.Writer) { e.Defense().Render(w) }},
 }
 

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"decepticon/internal/extract"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/stats"
+)
+
+// ----------------------------------------------------- channel reliability
+
+// ReliabilityPoint is one (fault profile, retry budget) measurement.
+type ReliabilityPoint struct {
+	Label         string  // fault profile description
+	TransientRate float64 // per-read transient probability
+	MaxAttempts   int     // retry budget per bit read
+	Coverage      float64 // fraction of checked sites actually read
+	MatchRate     float64 // clone vs victim predictions
+	HammerRounds  int64   // total simulated rowhammer spend
+	FaultedReads  int64   // metered failed channel attempts
+	Retries       int64   // re-issued reads that eventually landed
+	Degraded      int     // tensors abandoned to the baseline
+}
+
+// ReliabilityResult is the §9 channel-reliability sweep: how clone
+// fidelity, hammer spend, and graceful degradation trade off as the
+// channel gets harsher and the retry budget changes.
+type ReliabilityResult struct {
+	Victim string
+	Points []ReliabilityPoint
+}
+
+// Reliability sweeps transient fault rates against retry budgets on one
+// victim, with small stuck-at and outage rates held fixed so every run
+// also exercises the permanent-fault degradation path. When the
+// environment carries a -faults plan, it is appended as a final custom
+// point so operators can place their own channel on the same table.
+func (e *Env) Reliability() *ReliabilityResult {
+	z := e.Zoo()
+	victim := z.FineTuned[0]
+	res := &ReliabilityResult{Victim: victim.Name}
+	run := func(label string, plan *sidechannel.FaultPlan, attempts int) {
+		oracle := sidechannel.NewOracle(victim.Model)
+		oracle.SetFaultPlan(plan)
+		cfg := extract.DefaultConfig()
+		cfg.Retry.MaxAttempts = attempts
+		ex := &extract.Extractor{
+			Pre:    victim.Pretrained.Model,
+			Oracle: oracle,
+			Cfg:    cfg,
+		}
+		clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+		if err != nil {
+			panic(err) // zoo-built victim with its own oracle cannot mismatch
+		}
+		match := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev))
+		rate := 0.0
+		if plan != nil {
+			rate = plan.TransientRate
+		}
+		res.Points = append(res.Points, ReliabilityPoint{
+			Label:         label,
+			TransientRate: rate,
+			MaxAttempts:   attempts,
+			Coverage:      st.Coverage(),
+			MatchRate:     match,
+			HammerRounds:  st.HammerRounds(),
+			FaultedReads:  st.ReadFaults,
+			Retries:       st.Retries,
+			Degraded:      st.TensorsDegraded,
+		})
+	}
+	// Stuck-at and outage rates stay fixed and small: they model
+	// permanent damage no retry budget can buy back, so each row's
+	// degradation floor is the same and the retry column isolates the
+	// transient trade-off.
+	profile := func(transient float64) *sidechannel.FaultPlan {
+		return &sidechannel.FaultPlan{
+			Seed:              9,
+			TransientRate:     transient,
+			TransientRecovery: 3,
+			StuckRate:         0.0002,
+			OutageRate:        0.0005,
+			OutagePeriod:      2000,
+		}
+	}
+	run("clean channel", nil, 0)
+	for _, rate := range []float64{0.01, 0.05, 0.15} {
+		for _, attempts := range []int{2, 8} {
+			run(fmt.Sprintf("transient %.0f%%", 100*rate), profile(rate), attempts)
+		}
+	}
+	if e.FaultPlan != nil {
+		run("custom (-faults)", e.FaultPlan.ForVictim(victim.Name), 0)
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *ReliabilityResult) Render(w io.Writer) {
+	header(w, "Reliability", "channel reliability sweep: faults vs retry budget (§9)")
+	fmt.Fprintf(w, "victim: %s\n", r.Victim)
+	fmt.Fprintf(w, "%-18s %-9s %-10s %-12s %-13s %-9s %-9s\n",
+		"channel", "attempts", "coverage", "clone match", "hammer", "faults", "retries")
+	for _, p := range r.Points {
+		attempts := p.MaxAttempts
+		if attempts <= 0 {
+			attempts = extract.DefaultRetryPolicy().MaxAttempts
+		}
+		degraded := ""
+		if p.Degraded > 0 {
+			degraded = fmt.Sprintf("  (%d tensors degraded)", p.Degraded)
+		}
+		fmt.Fprintf(w, "%-18s %-9d %-10.3f %-12.3f %-13d %-9d %-9d%s\n",
+			p.Label, attempts, p.Coverage, p.MatchRate, p.HammerRounds,
+			p.FaultedReads, p.Retries, degraded)
+	}
+	fmt.Fprintln(w, "(retries buy coverage on a flaky channel at hammer-round cost;")
+	fmt.Fprintln(w, " stuck cells and dead regions degrade to the pre-trained baseline instead)")
+}

@@ -1,0 +1,126 @@
+// Extraction checkpoints. A multi-hour rowhammer campaign that dies at
+// 90% must not restart from zero: the checkpoint captures everything a
+// resumed run needs to continue as if never interrupted — the tensors
+// already extracted, the Stats accounting, and the channel position
+// (meters, simulated clock, noise-stream state). Granularity is one
+// tensor: Run saves after every completed tensor, so at most one
+// tensor's reads are in flight and none are ever re-paid.
+//
+// The format is gob (the same stdlib-only serialization the zoo cache
+// uses), written atomically: encode to a temp file in the target
+// directory, then rename over the destination, so a kill mid-write
+// leaves the previous checkpoint intact.
+package extract
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"decepticon/internal/sidechannel"
+)
+
+// checkpointVersion guards the on-disk layout.
+const checkpointVersion = 1
+
+// checkpointTensor is one completed tensor's extracted data.
+type checkpointTensor struct {
+	Name string
+	Data []float32
+}
+
+// Checkpoint is the serializable state of a partially-run extraction.
+type Checkpoint struct {
+	Version int
+	// Complete marks a finished extraction: resuming one returns the
+	// stored result without touching the channel.
+	Complete bool
+	// PreloopDone records that the pre-loop stop check already ran (and
+	// did not stop), so a resumed run neither repeats nor skips it.
+	PreloopDone bool
+	// LayersDone counts fully processed entries of the layer schedule;
+	// Tensors may additionally hold completed tensors of the next,
+	// partially-done layer.
+	LayersDone int
+	Tensors    []checkpointTensor
+	Stats      Stats
+	Channel    sidechannel.ChannelState
+	// Compatibility guards: a resume against a different victim shape or
+	// configuration is attacker/operator error and must fail loudly.
+	NumLabels   int
+	LayersTotal int
+}
+
+// writeCheckpoint atomically persists ck at path.
+func writeCheckpoint(path string, ck *Checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("extract: checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(ck); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extract: checkpoint encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extract: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("extract: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads a checkpoint from path.
+func readCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck := &Checkpoint{}
+	if err := gob.NewDecoder(f).Decode(ck); err != nil {
+		return nil, fmt.Errorf("extract: checkpoint decode %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// loadCheckpoint restores the extractor's checkpoint when Resume is set:
+// nil (no error) when resuming is off or no file exists yet, an error
+// when the file is unreadable or was written for a different extraction
+// shape. cloneParams maps tensor names to the clone's buffers, used to
+// validate every stored tensor before any of them is applied.
+func (e *Extractor) loadCheckpoint(cloneParams map[string][]float32, numLabels int) (*Checkpoint, error) {
+	if e.CheckpointPath == "" || !e.Resume {
+		return nil, nil
+	}
+	ck, err := readCheckpoint(e.CheckpointPath)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("extract: checkpoint %s: version %d, want %d", e.CheckpointPath, ck.Version, checkpointVersion)
+	}
+	if ck.NumLabels != numLabels || ck.LayersTotal != e.Pre.Layers {
+		return nil, fmt.Errorf(
+			"extract: checkpoint %s was written for a different victim shape (%d labels / %d layers, want %d / %d)",
+			e.CheckpointPath, ck.NumLabels, ck.LayersTotal, numLabels, e.Pre.Layers)
+	}
+	for _, t := range ck.Tensors {
+		dst, ok := cloneParams[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("extract: checkpoint %s holds unknown tensor %q", e.CheckpointPath, t.Name)
+		}
+		if len(dst) != len(t.Data) {
+			return nil, fmt.Errorf("extract: checkpoint %s tensor %q has %d weights, clone expects %d",
+				e.CheckpointPath, t.Name, len(t.Data), len(dst))
+		}
+	}
+	return ck, nil
+}

@@ -20,6 +20,7 @@
 package extract
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -57,6 +58,72 @@ type Config struct {
 	// the pre-trained weights (Table 1), so the early-stop check fires
 	// sooner in last-first order.
 	FirstLayersFirst bool
+	// Retry governs how reads behave on a faulted channel (see
+	// RetryPolicy). Zero-valued fields take DefaultRetryPolicy values, so
+	// a zero Retry is the sensible default, not "never retry".
+	Retry RetryPolicy
+}
+
+// RetryPolicy is the deterministic reaction to channel faults
+// (sidechannel.ReadFault). All time is simulated: backoff advances the
+// channel's round clock instead of sleeping, so retries are reproducible
+// and worker-count invariant.
+type RetryPolicy struct {
+	// MaxAttempts bounds the attempts per bit read (first try included).
+	// A bit still faulting after MaxAttempts is treated as a suspected
+	// stuck cell and escalated.
+	MaxAttempts int
+	// BackoffBase is the simulated rounds waited after the first failed
+	// attempt; each further failure doubles it up to BackoffMax
+	// (bounded exponential backoff). Waiting advances the channel clock,
+	// which is what ends an outage epoch.
+	BackoffBase int64
+	BackoffMax  int64
+	// TensorRetryBudget caps the total retries spent inside one tensor.
+	// When the budget runs out the remainder of the tensor degrades to
+	// the pre-trained baseline (graceful degradation) instead of
+	// grinding a dead region forever.
+	TensorRetryBudget int
+	// EscalateRepeats is the vote width of the last-ditch read burst on
+	// a suspected stuck bit: up to 2×EscalateRepeats raw attempts
+	// collecting EscalateRepeats successful reads. If none succeed, the
+	// bit is degraded to the baseline bit.
+	EscalateRepeats int
+}
+
+// DefaultRetryPolicy returns the operating point used by every
+// experiment: generous enough to ride out transient runs and bounded
+// outages, bounded enough that a dead region degrades quickly.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       8,
+		BackoffBase:       32,
+		BackoffMax:        4096,
+		TensorRetryBudget: 4096,
+		EscalateRepeats:   5,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy, field by
+// field, so callers can override just one knob.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = def.BackoffBase
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = def.BackoffMax
+	}
+	if p.TensorRetryBudget <= 0 {
+		p.TensorRetryBudget = def.TensorRetryBudget
+	}
+	if p.EscalateRepeats <= 0 {
+		p.EscalateRepeats = def.EscalateRepeats
+	}
+	return p
 }
 
 // DefaultConfig returns the paper's operating point.
@@ -77,14 +144,26 @@ func (c Config) gap(base float32) float64 {
 	return c.GapBase + c.GapSlope*math.Abs(float64(base))
 }
 
+// EffectiveReadRepeats returns the majority-vote width actually used per
+// bit: 1 for ReadRepeats < 2, otherwise ReadRepeats rounded up to the
+// next odd value (a tie-free vote needs an odd width). Cost reporting
+// must use this, not the configured value — an even config silently pays
+// one extra read per bit.
+func (c Config) EffectiveReadRepeats() int {
+	if c.ReadRepeats < 2 {
+		return 1
+	}
+	if c.ReadRepeats%2 == 0 {
+		return c.ReadRepeats + 1
+	}
+	return c.ReadRepeats
+}
+
 // voted wraps a raw bit reader with the majority-vote policy.
 func (c Config) voted(read func(bit int) int) func(bit int) int {
-	repeats := c.ReadRepeats
+	repeats := c.EffectiveReadRepeats()
 	if repeats < 2 {
 		return read
-	}
-	if repeats%2 == 0 {
-		repeats++
 	}
 	return func(bit int) int {
 		ones := 0
@@ -98,18 +177,86 @@ func (c Config) voted(read func(bit int) int) func(bit int) int {
 	}
 }
 
+// BitReader reads one raw bit (0 = LSB) of the weight under extraction.
+// Unlike the infallible func(bit int) int shape, it can represent
+// channel failure: implementations return sidechannel faults (or the
+// sentinel errors of the retry stack) so Algorithm 1 can degrade
+// gracefully instead of cloning garbage.
+type BitReader func(bit int) (int, error)
+
+// Sentinel errors of the fault-tolerant read stack.
+var (
+	// ErrInterrupted is returned by Run when the ReadBudget is exhausted.
+	// The extraction state at that point is saved to CheckpointPath (when
+	// set); a later Run with Resume continues without re-paying any
+	// hammer rounds.
+	ErrInterrupted = errors.New("extract: read budget exhausted, extraction interrupted")
+	// errBitUnreadable marks a bit whose retries and escalation are spent:
+	// the caller degrades the bit to the pre-trained baseline.
+	errBitUnreadable = errors.New("extract: bit unreadable (suspected stuck cell)")
+	// errTensorBudget marks a tensor whose retry budget is spent: the
+	// caller degrades the rest of the tensor to the baseline.
+	errTensorBudget = errors.New("extract: tensor retry budget exhausted")
+)
+
+// isBitDegrade reports whether err dooms only the current bit (stuck
+// cell, or retries + escalation exhausted): the bit falls back to the
+// baseline and extraction of the weight continues.
+func isBitDegrade(err error) bool {
+	if errors.Is(err, errBitUnreadable) {
+		return true
+	}
+	var f *sidechannel.ReadFault
+	return errors.As(err, &f) && !f.Retryable && f.Kind == sidechannel.FaultStuck
+}
+
+// isTensorDegrade reports whether err dooms the rest of the tensor: a
+// spent retry budget, or a permanent region outage. The remainder of the
+// tensor degrades to the baseline.
+func isTensorDegrade(err error) bool {
+	if errors.Is(err, errTensorBudget) {
+		return true
+	}
+	var f *sidechannel.ReadFault
+	return errors.As(err, &f) && !f.Retryable && f.Kind == sidechannel.FaultOutage
+}
+
 // ExtractWeight runs Algorithm 1 for a single weight: base is the
 // pre-trained value, read returns the victim's raw bit (0 = LSB). It
 // returns the clone value and which fraction bits (MSB-first indices) were
-// read.
+// read. Majority voting (ReadRepeats) is applied here; the error-aware
+// path is ExtractWeightErr.
 func (c Config) ExtractWeight(base float32, read func(bit int) int) (float32, []int) {
+	v := c.voted(read)
+	clone, checked, _, _ := c.ExtractWeightErr(base, func(bit int) (int, error) {
+		return v(bit), nil
+	})
+	return clone, checked
+}
+
+// ExtractWeightErr is the error-aware Algorithm 1 for a single weight.
+// read must already implement the caller's vote/retry policy (Run wires
+// the full retry → escalate → vote stack). Besides the clone value and
+// the checked bits it returns the fraction-bit indices that degraded to
+// the baseline because their cell was unreadable. A non-nil error means
+// the weight could not be handled at all (tensor-level failure or a
+// non-fault error); bit-level failures never surface as errors.
+//
+// Non-finite baselines (NaN/±Inf corruption in the identified model) are
+// copied and reported unread: gap() on a non-finite value defeats every
+// place-value comparison, and reading bits against it would burn hammer
+// rounds cloning garbage.
+func (c Config) ExtractWeightErr(base float32, read BitReader) (clone float32, checked, degraded []int, err error) {
+	if math.IsNaN(float64(base)) || math.IsInf(float64(base), 0) {
+		return base, nil, nil, nil
+	}
 	absBase := base
 	if absBase < 0 {
 		absBase = -absBase
 	}
 	// Step 1: near-zero pre-trained weights are copied unread.
 	if float64(absBase) < c.SkipThreshold {
-		return base, nil
+		return base, nil, nil, nil
 	}
 	dist := c.gap(base)
 
@@ -122,20 +269,26 @@ func (c Config) ExtractWeight(base float32, read func(bit int) int) (float32, []
 	// int_base+fr_base ∈ [min,max] test, but that test only works for
 	// weights in the lower half of their binade; the place-value bracket
 	// is the example's intent and covers every weight.)
-	clone := base
-	var checked []int
-	read = c.voted(read)
-	for k := 1; k <= ieee754.FractionBits && len(checked) < c.MaxBitsPerWeight; k++ {
+	clone = base
+	for k := 1; k <= ieee754.FractionBits && len(checked)+len(degraded) < c.MaxBitsPerWeight; k++ {
 		if ieee754.FractionBitValue(absBase, k) > dist {
 			continue
 		}
 		// Raw bit index of fraction bit k (MSB-first).
 		raw := ieee754.FractionBits - k
-		bit := read(raw)
+		bit, rerr := read(raw)
+		if rerr != nil {
+			if isBitDegrade(rerr) {
+				// The cell is gone; keep the baseline bit and move on.
+				degraded = append(degraded, k)
+				continue
+			}
+			return base, nil, nil, rerr
+		}
 		clone = ieee754.SetFractionBit(clone, k, bit)
 		checked = append(checked, k)
 	}
-	return clone, checked
+	return clone, checked, degraded, nil
 }
 
 // Stats accumulates the efficiency and correctness accounting of Fig 16
@@ -185,10 +338,47 @@ type Stats struct {
 	LayersTotal     int
 	QueriesUsed     int // victim queries spent on the stop condition
 
+	// CloneForwards counts clone forward passes spent on the stop
+	// condition (mirrored into extract.clone_forwards at publish time, so
+	// a resumed run restores rather than re-pays them).
+	CloneForwards int64
+
+	// EffectiveReadRepeats is the majority-vote width actually used per
+	// bit (Config.EffectiveReadRepeats): even configured values round up
+	// to the next odd, and every physical-cost reconciliation must use
+	// this, not Config.ReadRepeats.
+	EffectiveReadRepeats int
+
+	// Channel-reliability accounting — all zero on a fault-free channel.
+	ReadFaults    int64 // oracle attempts that failed with a ReadFault
+	Retries       int64 // re-attempts after retryable faults
+	BackoffRounds int64 // simulated rounds spent waiting between retries
+	Escalations   int64 // last-ditch read bursts on suspected stuck bits
+
+	// Graceful degradation: positions that fell back to the pre-trained
+	// baseline because their cells were unreadable.
+	BitsDegraded     int64    // bit positions degraded inside extracted weights
+	WeightsDegraded  int      // weights with ≥1 degraded bit, or inside a degraded tensor tail
+	WeightsNonFinite int      // non-finite baselines copied-and-flagged, never read
+	TensorsDegraded  int      // tensors whose tail fell back to the baseline
+	DegradedTensors  []string // their names, in extraction order
+
 	// ModelWeights is the victim's full scalar weight count (including the
 	// head and any layers the early stop skipped) — the denominator for
 	// whole-model cost comparisons.
 	ModelWeights int
+}
+
+// Coverage returns the fraction of handled weights that were actually
+// extracted through the channel rather than degraded to the baseline —
+// 1.0 on a healthy channel. Denominator: every weight the schedule
+// handled (selective + head).
+func (s *Stats) Coverage() float64 {
+	total := s.WeightsTotal + s.HeadWeights
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.WeightsDegraded)/float64(total)
 }
 
 // SkipRate returns the fraction of selective-layer weights copied unread.
@@ -278,21 +468,133 @@ type Extractor struct {
 	// time. The oracle's physical meters are mirrored separately via
 	// Oracle.SetObs.
 	Obs *obs.Registry
+	// CheckpointPath, when set, persists a resumable snapshot (completed
+	// tensors, accounting, channel position) after every extracted
+	// tensor, atomically via temp-file + rename.
+	CheckpointPath string
+	// Resume, when set together with CheckpointPath, restores an
+	// existing snapshot before extracting: completed tensors are not
+	// re-read, no hammer rounds are re-paid, and the restored meters
+	// make the registry reconcile byte-for-byte with an uninterrupted
+	// run. The caller must supply the same Pre, Cfg, FaultPlan, and
+	// noise seed as the interrupted run; a missing snapshot file simply
+	// starts fresh.
+	Resume bool
+	// ReadBudget, when > 0, bounds the metered oracle attempts
+	// (successful + faulted physical reads, restored ones included).
+	// Once exceeded — checked at tensor boundaries, so a tensor is never
+	// split — Run saves a last checkpoint and returns ErrInterrupted.
+	ReadBudget int64
 }
 
-// readThrough adapts a metered oracle read to Algorithm 1's infallible
-// bit-reader shape, parking the first failure in *firstErr. After the
-// up-front address-map validation in Run these reads cannot fail, but a
-// channel fault should still surface as an error, not as silently-zero
-// bits extending the campaign.
-func readThrough(firstErr *error, read func(bit int) (int, error)) func(bit int) int {
-	return func(bit int) int {
-		b, err := read(bit)
-		if err != nil && *firstErr == nil {
-			*firstErr = err
+// tensorRetry carries the per-tensor retry budget through one tensor's
+// read stack.
+type tensorRetry struct{ budget int }
+
+// retryingRead builds the fault-tolerant raw reader for one weight:
+// retryable faults are retried up to rp.MaxAttempts with bounded
+// exponential backoff in simulated rounds (advancing the channel clock,
+// which is what ends an outage epoch), metered against the tensor's
+// retry budget. Exhausted retries surface as errBitUnreadable — the
+// escalation trigger — and permanent faults pass through untouched.
+func (e *Extractor) retryingRead(name string, idx int, rp RetryPolicy, st *Stats, tr *tensorRetry) BitReader {
+	return func(bit int) (int, error) {
+		backoff := rp.BackoffBase
+		var lastErr error
+		for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
+			b, err := e.Oracle.ReadBit(name, idx, bit)
+			if err == nil {
+				return b, nil
+			}
+			var f *sidechannel.ReadFault
+			if !errors.As(err, &f) {
+				return 0, err // not a channel fault (bad address map): abort
+			}
+			if !f.Retryable {
+				return 0, err // stuck cell or dead region: degrade, don't wait
+			}
+			if tr.budget <= 0 {
+				return 0, fmt.Errorf("tensor %q: %w", name, errTensorBudget)
+			}
+			tr.budget--
+			st.Retries++
+			st.BackoffRounds += backoff
+			e.Oracle.AdvanceClock(backoff)
+			if backoff < rp.BackoffMax {
+				backoff *= 2
+				if backoff > rp.BackoffMax {
+					backoff = rp.BackoffMax
+				}
+			}
+			lastErr = err
 		}
-		return b
+		return 0, fmt.Errorf("%w after %d attempts: %v", errBitUnreadable, rp.MaxAttempts, lastErr)
 	}
+}
+
+// reader stacks the full fault-tolerant policy for one weight: retrying
+// raw reads, an EffectiveReadRepeats majority vote, and the escalated
+// burst on suspected stuck bits.
+func (e *Extractor) reader(name string, idx int, rp RetryPolicy, st *Stats, tr *tensorRetry) BitReader {
+	read := e.retryingRead(name, idx, rp, st, tr)
+	repeats := e.Cfg.EffectiveReadRepeats()
+	return func(bit int) (int, error) {
+		ones, votes := 0, 0
+		for i := 0; i < repeats; i++ {
+			b, err := read(bit)
+			if err != nil {
+				if errors.Is(err, errBitUnreadable) {
+					// Suspected stuck cell: discard the partial vote and
+					// take one escalated, wider vote instead.
+					return e.escalate(name, idx, bit, rp, st)
+				}
+				return 0, err
+			}
+			ones += b
+			votes++
+		}
+		if 2*ones > votes {
+			return 1, nil
+		}
+		return 0, nil
+	}
+}
+
+// escalate is the higher-effective-ReadRepeats burst on a suspected
+// stuck bit: up to 2×EscalateRepeats raw attempts (no backoff — the
+// retry stage already waited out anything transient) collecting at most
+// EscalateRepeats successful reads, majority-voted. No successful read
+// at all confirms the stuck suspicion and degrades the bit.
+func (e *Extractor) escalate(name string, idx, bit int, rp RetryPolicy, st *Stats) (int, error) {
+	st.Escalations++
+	ones, votes := 0, 0
+	for a := 0; a < 2*rp.EscalateRepeats && votes < rp.EscalateRepeats; a++ {
+		b, err := e.Oracle.ReadBit(name, idx, bit)
+		if err != nil {
+			var f *sidechannel.ReadFault
+			if !errors.As(err, &f) {
+				return 0, err
+			}
+			if !f.Retryable {
+				if votes == 0 {
+					// A permanent fault surfacing mid-escalation decides
+					// the bit (stuck) or the tensor (dead region).
+					return 0, err
+				}
+				break
+			}
+			continue
+		}
+		ones += b
+		votes++
+	}
+	if votes == 0 {
+		return 0, errBitUnreadable
+	}
+	if 2*ones > votes {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // Run clones the victim. numLabels is the victim's observed output width
@@ -300,6 +602,12 @@ func readThrough(firstErr *error, read func(bit int) (int, error)) func(bit int)
 // It returns the clone and the accounting. A malformed address map (a
 // tensor the oracle doesn't know, or a size mismatch) is attacker-facing
 // input and returns an error before any rowhammer cost is paid.
+//
+// With CheckpointPath set the run is resumable: a snapshot is saved
+// after every tensor, and a later Run with Resume restores it —
+// completed tensors are never re-read, so an interrupted-then-resumed
+// extraction is byte-identical to an uninterrupted one (clone weights,
+// Stats, and obs counters) while paying each hammer round exactly once.
 func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*transformer.Model, *Stats, error) {
 	defer e.Obs.StartSpan("extract.run_seconds").End()
 	cfg := e.Cfg
@@ -318,56 +626,78 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 	// read: every tensor the schedule will touch must exist on the victim
 	// with the size the clone expects. Catching a mismatch here turns a
 	// would-be mid-extraction fault into a clean refusal.
+	cloneParams := make(map[string][]float32)
 	for _, p := range clone.Params() {
 		if sz := e.Oracle.TensorSize(p.Name); sz != len(p.Value.Data) {
 			return nil, nil, fmt.Errorf(
 				"extract: address map mismatch for tensor %q: victim has %d weights, clone expects %d",
 				p.Name, sz, len(p.Value.Data))
 		}
-	}
-	var readErr error
-
-	// Step A: the task-dependent last layer has no baseline — full read
-	// (with the same majority-vote policy as the selective reads, since a
-	// wrong sign or exponent bit here is catastrophic).
-	for _, p := range clone.Params() {
-		if !p.IsHead {
-			continue
-		}
-		for i := range p.Value.Data {
-			before := e.Oracle.BitReads
-			read := cfg.voted(readThrough(&readErr, func(bit int) (int, error) {
-				return e.Oracle.ReadBit(p.Name, i, bit)
-			}))
-			var w float32
-			for bit := 0; bit < 32; bit++ {
-				w = ieee754.SetBit(w, bit, read(bit))
-			}
-			p.Value.Data[i] = w
-			stats.HeadWeights++
-			stats.HeadBitsRead += 32 // logical: 32 distinct positions
-			stats.PhysicalBitReads += e.Oracle.BitReads - before
-		}
-	}
-	if readErr != nil {
-		return nil, nil, fmt.Errorf("extract: head readout: %w", readErr)
+		cloneParams[p.Name] = p.Value.Data
 	}
 
-	// Step B: selective extraction, later layers first, embeddings last,
-	// stopping when the clone matches the victim.
-	cForwards := e.Obs.Counter("extract.clone_forwards")
+	// Checkpoint restore: completed tensors land in the clone, the
+	// accounting in stats, and the channel (meters, clock, noise stream)
+	// rewinds to exactly where the interrupted run stood.
+	ck, err := e.loadCheckpoint(cloneParams, numLabels)
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(map[string]bool)
+	var doneOrder []string
+	layersDone := 0
+	preloopDone := false
+	if ck != nil {
+		*stats = ck.Stats
+		for _, t := range ck.Tensors {
+			copy(cloneParams[t.Name], t.Data)
+			done[t.Name] = true
+			doneOrder = append(doneOrder, t.Name)
+		}
+		layersDone = ck.LayersDone
+		preloopDone = ck.PreloopDone
+		e.Oracle.RestoreState(ck.Channel)
+	}
+	stats.EffectiveReadRepeats = cfg.EffectiveReadRepeats()
+
+	saveCk := func(complete bool) error {
+		if e.CheckpointPath == "" {
+			return nil
+		}
+		c := &Checkpoint{
+			Version:     checkpointVersion,
+			Complete:    complete,
+			PreloopDone: preloopDone,
+			LayersDone:  layersDone,
+			Stats:       *stats,
+			Channel:     e.Oracle.State(),
+			NumLabels:   numLabels,
+			LayersTotal: e.Pre.Layers,
+		}
+		for _, name := range doneOrder {
+			c.Tensors = append(c.Tensors, checkpointTensor{Name: name, Data: cloneParams[name]})
+		}
+		return writeCheckpoint(e.CheckpointPath, c)
+	}
+	// The budget counts every physical attempt the channel metered —
+	// successful and faulted, restored rounds included — and is checked
+	// at tensor boundaries so a tensor is never split across runs.
+	overBudget := func() error {
+		if e.ReadBudget <= 0 {
+			return nil
+		}
+		if paid := e.Oracle.BitReads + e.Oracle.FaultedReads; paid >= e.ReadBudget {
+			return fmt.Errorf("%w: %d oracle attempts paid of a %d budget", ErrInterrupted, paid, e.ReadBudget)
+		}
+		return nil
+	}
+
 	victimPreds := make([]int, len(validation))
-	if e.Victim != nil {
-		for i, ex := range validation {
-			victimPreds[i] = e.Victim(ex.Tokens)
-			stats.QueriesUsed++
-		}
-	}
 	matches := func() float64 {
 		if len(validation) == 0 {
 			return 0
 		}
-		cForwards.Add(int64(len(validation)))
+		stats.CloneForwards += int64(len(validation))
 		n := 0
 		for i, ex := range validation {
 			if clone.Predict(ex.Tokens) == victimPreds[i] {
@@ -377,22 +707,82 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		return float64(n) / float64(len(validation))
 	}
 	// publish mirrors the run's logical accounting into the registry once
-	// the outcome is known; the oracle mirrors the physical side itself.
+	// the outcome is known. Everything flows from Stats — never from live
+	// increments — so a resumed run publishes restored work exactly once
+	// and the registry matches an uninterrupted run byte-for-byte. The
+	// oracle mirrors the physical side itself (restored via RestoreState).
 	publish := func() {
 		e.Obs.Counter("extract.weights_selective").Add(int64(stats.WeightsTotal))
 		e.Obs.Counter("extract.bits_logical").Add(stats.BitsChecked)
 		e.Obs.Counter("extract.head_bits_logical").Add(stats.HeadBitsRead)
 		e.Obs.Counter("extract.layers_extracted").Add(int64(stats.LayersExtracted))
+		e.Obs.Counter("extract.clone_forwards").Add(stats.CloneForwards)
+		e.Obs.Counter("extract.retries").Add(stats.Retries)
+		e.Obs.Counter("extract.backoff_rounds").Add(stats.BackoffRounds)
+		e.Obs.Counter("extract.escalations").Add(stats.Escalations)
+		e.Obs.Counter("extract.bits_degraded").Add(stats.BitsDegraded)
+		e.Obs.Counter("extract.tensors_degraded").Add(int64(stats.TensorsDegraded))
+		e.Obs.Counter("extract.weights_nonfinite").Add(int64(stats.WeightsNonFinite))
 		e.Obs.Counter("extract.runs").Inc()
+	}
+
+	// Victim predictions are queries, not reads: a resumed run re-issues
+	// them (its registry must account for them like any run's), but only
+	// charges Stats once — QueriesUsed survives the checkpoint.
+	if e.Victim != nil {
+		for i, ex := range validation {
+			victimPreds[i] = e.Victim(ex.Tokens)
+		}
+		if stats.QueriesUsed == 0 {
+			stats.QueriesUsed = len(validation)
+		}
+	}
+
+	// A completed checkpoint short-circuits everything: the clone and the
+	// accounting are already final; no hammer round is re-paid.
+	if ck != nil && ck.Complete {
+		publish()
+		return clone, stats, nil
+	}
+
+	// Step A: the task-dependent last layer has no baseline — full read
+	// (with the same majority-vote and retry policy as the selective
+	// reads, since a wrong sign or exponent bit here is catastrophic).
+	for _, p := range clone.Params() {
+		if !p.IsHead || done[p.Name] {
+			continue
+		}
+		if err := e.extractHeadTensor(p.Name, p.Value.Data, stats); err != nil {
+			return nil, nil, err
+		}
+		done[p.Name] = true
+		doneOrder = append(doneOrder, p.Name)
+		if err := saveCk(false); err != nil {
+			return nil, nil, err
+		}
+		if err := overBudget(); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	preParams := indexParams(e.Pre)
 	// With the head recovered, the pre-trained backbone alone may already
 	// reproduce the victim (fine-tuning barely moves it); checking the stop
-	// condition before any layer extraction costs only queries.
-	if e.Victim != nil && len(validation) > 0 && matches() >= cfg.StopMatchRate {
-		publish()
-		return clone, stats, nil
+	// condition before any layer extraction costs only queries. A resumed
+	// run that already passed this gate must not re-check it — the extra
+	// forwards would break accounting parity with the uninterrupted run.
+	if !preloopDone && e.Victim != nil && len(validation) > 0 {
+		if matches() >= cfg.StopMatchRate {
+			if err := saveCk(true); err != nil {
+				return nil, nil, err
+			}
+			publish()
+			return clone, stats, nil
+		}
+		preloopDone = true
+		if err := saveCk(false); err != nil {
+			return nil, nil, err
+		}
 	}
 	// Schedule: last encoder layer down to the embeddings (-1); Table 1's
 	// observation makes this the order in which the early-stop condition
@@ -407,14 +797,25 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 			order = append(order, layer)
 		}
 	}
-	for _, layer := range order {
+	for li := layersDone; li < len(order); li++ {
+		layer := order[li]
 		layerSpan := e.Obs.StartSpan("extract.layer_seconds")
 		for _, p := range clone.Params() {
-			if p.IsHead || p.Layer != layer {
+			if p.IsHead || p.Layer != layer || done[p.Name] {
 				continue
 			}
 			basis := preParams[p.Name]
 			if err := e.extractTensor(p.Name, basis, p.Value.Data, stats); err != nil {
+				layerSpan.End()
+				return nil, nil, err
+			}
+			done[p.Name] = true
+			doneOrder = append(doneOrder, p.Name)
+			if err := saveCk(false); err != nil {
+				layerSpan.End()
+				return nil, nil, err
+			}
+			if err := overBudget(); err != nil {
 				layerSpan.End()
 				return nil, nil, err
 			}
@@ -423,11 +824,18 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 			stats.LayersExtracted++
 		}
 		layerSpan.End()
+		layersDone = li + 1
 		if e.Victim != nil && len(validation) > 0 {
 			if m := matches(); m >= cfg.StopMatchRate {
 				break
 			}
 		}
+		if err := saveCk(false); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := saveCk(true); err != nil {
+		return nil, nil, err
 	}
 	publish()
 	return clone, stats, nil
@@ -441,28 +849,112 @@ func indexParams(m *transformer.Model) map[string][]float32 {
 	return out
 }
 
+// isFinite reports whether v is an ordinary number (not NaN or ±Inf).
+func isFinite(v float32) bool {
+	f := float64(v)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// extractHeadTensor fully reads one last-layer tensor (no baseline
+// exists) through the fault-tolerant stack. Unreadable bits stay zero;
+// if the tensor's retry budget dies (or its region is gone for good) the
+// remaining weights are zeroed and recorded as degraded — with no
+// baseline to fall back on, zero is the only honest value.
+func (e *Extractor) extractHeadTensor(name string, dst []float32, stats *Stats) error {
+	rp := e.Cfg.Retry.withDefaults()
+	tr := &tensorRetry{budget: rp.TensorRetryBudget}
+	faultsBefore := e.Oracle.FaultedReads
+	defer func() { stats.ReadFaults += e.Oracle.FaultedReads - faultsBefore }()
+	degradeFrom := -1
+	for i := range dst {
+		before := e.Oracle.BitReads
+		read := e.reader(name, i, rp, stats, tr)
+		var w float32
+		logical := 0
+		var werr error
+		for bit := 0; bit < 32; bit++ {
+			b, err := read(bit)
+			if err != nil {
+				if isBitDegrade(err) {
+					stats.BitsDegraded++
+					continue // the bit stays 0
+				}
+				werr = err
+				break
+			}
+			w = ieee754.SetBit(w, bit, b)
+			logical++
+		}
+		stats.PhysicalBitReads += e.Oracle.BitReads - before
+		if werr != nil {
+			if isTensorDegrade(werr) {
+				degradeFrom = i
+				break
+			}
+			return fmt.Errorf("extract: head readout: %w", werr)
+		}
+		dst[i] = w
+		stats.HeadWeights++
+		stats.HeadBitsRead += int64(logical)
+		if logical < 32 {
+			stats.WeightsDegraded++
+		}
+	}
+	if degradeFrom >= 0 {
+		for i := degradeFrom; i < len(dst); i++ {
+			dst[i] = 0
+			stats.HeadWeights++
+			stats.WeightsDegraded++
+		}
+		stats.TensorsDegraded++
+		stats.DegradedTensors = append(stats.DegradedTensors, name)
+	}
+	return nil
+}
+
 // extractTensor applies Algorithm 1 to every weight of one tensor,
-// writing clones into dst and accounting into stats.
+// writing clones into dst and accounting into stats. Channel faults
+// degrade gracefully: unreadable bits keep the baseline bit, and a spent
+// retry budget (or a permanently dead region) makes the rest of the
+// tensor fall back to the pre-trained baseline wholesale.
 func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats) error {
 	cfg := e.Cfg
-	var readErr error
+	rp := cfg.Retry.withDefaults()
+	tr := &tensorRetry{budget: rp.TensorRetryBudget}
+	faultsBefore := e.Oracle.FaultedReads
+	defer func() { stats.ReadFaults += e.Oracle.FaultedReads - faultsBefore }()
+	degradeFrom := -1
 	for i := range base {
 		b := base[i]
 		before := e.Oracle.BitReads
-		clone, checked := cfg.ExtractWeight(b, readThrough(&readErr, func(bit int) (int, error) {
-			return e.Oracle.ReadBit(name, i, bit)
-		}))
-		if readErr != nil {
-			return fmt.Errorf("extract: tensor %q: %w", name, readErr)
+		clone, checked, degraded, err := cfg.ExtractWeightErr(b, e.reader(name, i, rp, stats, tr))
+		// Logical reads: distinct bit positions Algorithm 1 selected.
+		// Physical reads: the oracle meter's delta (×ReadRepeats under
+		// majority voting) — captured even when the weight aborts, since
+		// the channel already charged for the partial attempts.
+		stats.PhysicalBitReads += e.Oracle.BitReads - before
+		if err != nil {
+			if isTensorDegrade(err) {
+				degradeFrom = i
+				break
+			}
+			return fmt.Errorf("extract: tensor %q: %w", name, err)
 		}
 		dst[i] = clone
 		stats.WeightsTotal++
 		stats.BitsTotal += 32
-		// Logical reads: distinct bit positions Algorithm 1 selected.
-		// Physical reads: the oracle meter's delta (×ReadRepeats under
-		// majority voting).
 		stats.BitsChecked += int64(len(checked))
-		stats.PhysicalBitReads += e.Oracle.BitReads - before
+		if len(degraded) > 0 {
+			stats.BitsDegraded += int64(len(degraded))
+			stats.WeightsDegraded++
+		}
+		if !isFinite(b) {
+			// Corrupt baseline, copied and flagged unread (see
+			// ExtractWeightErr); gap-based ground-truth accounting is
+			// meaningless against garbage.
+			stats.WeightsNonFinite++
+			continue
+		}
 
 		// Ground-truth accounting (the simulator can peek for metrics;
 		// the attacker cannot).
@@ -506,6 +998,16 @@ func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats
 				}
 			}
 		}
+	}
+	if degradeFrom >= 0 {
+		for i := degradeFrom; i < len(base); i++ {
+			dst[i] = base[i]
+			stats.WeightsTotal++
+			stats.BitsTotal += 32
+			stats.WeightsDegraded++
+		}
+		stats.TensorsDegraded++
+		stats.DegradedTensors = append(stats.DegradedTensors, name)
 	}
 	return nil
 }

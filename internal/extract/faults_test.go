@@ -1,0 +1,433 @@
+package extract
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"decepticon/internal/ieee754"
+	"decepticon/internal/obs"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/transformer"
+)
+
+// TestNonFiniteBaselineNeverRead is the regression test for the
+// non-finite guard: a NaN/±Inf baseline weight (a corrupted identified
+// model) must be copied unread — gap() against it defeats every
+// place-value comparison, and the old code burned hammer rounds reading
+// bits into garbage.
+func TestNonFiniteBaselineNeverRead(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, base := range []float32{
+		float32(math.NaN()),
+		float32(math.Inf(1)),
+		float32(math.Inf(-1)),
+	} {
+		reads := 0
+		clone, checked, degraded, err := cfg.ExtractWeightErr(base, func(bit int) (int, error) {
+			reads++
+			return 1, nil
+		})
+		if err != nil {
+			t.Fatalf("base %v: %v", base, err)
+		}
+		if reads != 0 || len(checked) != 0 || len(degraded) != 0 {
+			t.Fatalf("base %v: %d reads, checked %v — non-finite baselines must stay unread",
+				base, reads, checked)
+		}
+		if math.Float32bits(clone) != math.Float32bits(base) {
+			t.Fatalf("base %v: clone %v not a bit-identical copy", base, clone)
+		}
+		// The quantized path shares the guard.
+		qReads := 0
+		_, qChecked := cfg.ExtractWeightFormat(base, ieee754.BFloat16, func(bit int) int {
+			qReads++
+			return 1
+		})
+		if qReads != 0 || len(qChecked) != 0 {
+			t.Fatalf("base %v: quantized path read %d bits", base, qReads)
+		}
+	}
+}
+
+// TestEffectiveReadRepeatsSurfaced pins the even-ReadRepeats rounding
+// into the public accounting: a configured even vote width silently pays
+// one extra read per bit, and Stats must say so.
+func TestEffectiveReadRepeatsSurfaced(t *testing.T) {
+	cases := []struct{ configured, effective int }{
+		{0, 1}, {1, 1}, {2, 3}, {3, 3}, {4, 5}, {5, 5},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		cfg.ReadRepeats = c.configured
+		if got := cfg.EffectiveReadRepeats(); got != c.effective {
+			t.Fatalf("ReadRepeats=%d: effective %d, want %d", c.configured, got, c.effective)
+		}
+	}
+
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	cfg := DefaultConfig()
+	cfg.ReadRepeats = 2
+	ex := &Extractor{
+		Pre:    victim.Pretrained.Model,
+		Oracle: sidechannel.NewOracle(victim.Model),
+		Cfg:    cfg,
+	}
+	_, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EffectiveReadRepeats != 3 {
+		t.Fatalf("stats effective repeats %d, want 3 for configured 2", st.EffectiveReadRepeats)
+	}
+	// The reconciliation the report printer relies on: physical cost is
+	// exactly effective-repeats × logical, never configured × logical.
+	if st.PhysicalBitReads != int64(st.EffectiveReadRepeats)*st.LogicalBitsRead() {
+		t.Fatalf("physical %d != effective %d × logical %d",
+			st.PhysicalBitReads, st.EffectiveReadRepeats, st.LogicalBitsRead())
+	}
+}
+
+// smallPair builds a deterministic (pre, victim) pair sharing one
+// architecture, for fault tests that need full control over tensor names
+// without the zoo's training cost.
+func smallPair() (*transformer.Model, *transformer.Model) {
+	cfg := transformer.Config{
+		Name: "pair", Layers: 2, Hidden: 8, Heads: 2, FFN: 16,
+		Vocab: 12, MaxSeq: 6, Labels: 3,
+	}
+	return transformer.New(cfg, 1), transformer.New(cfg, 2)
+}
+
+// TestStuckBitsDegradeToBaseline: a tensor whose cells are stuck keeps
+// its pre-trained baseline bits, bit by bit, while the run completes and
+// accounts for every degraded position.
+func TestStuckBitsDegradeToBaseline(t *testing.T) {
+	pre, victim := smallPair()
+	oracle := sidechannel.NewOracle(victim)
+	const target = "block1.wq"
+	oracle.SetFaultPlan(&sidechannel.FaultPlan{
+		StuckRanges: []sidechannel.StuckRange{{Param: target, Bit: -1}},
+	})
+	ex := &Extractor{Pre: pre, Oracle: oracle, Cfg: DefaultConfig()}
+	clone, st, err := ex.Run(victim.Config.Labels, nil)
+	if err != nil {
+		t.Fatalf("stuck cells must degrade, not fail the run: %v", err)
+	}
+	if st.BitsDegraded == 0 || st.WeightsDegraded == 0 {
+		t.Fatalf("no degradation recorded: %+v", st)
+	}
+	if st.TensorsDegraded != 0 {
+		t.Fatal("bit-level stuck cells must not degrade whole tensors")
+	}
+	if st.Coverage() >= 1 {
+		t.Fatalf("coverage %v must drop below 1 under degradation", st.Coverage())
+	}
+	// Every weight of the stuck tensor equals the baseline: no bit of it
+	// was readable, so Algorithm 1 must have kept every baseline bit.
+	var got, want []float32
+	for _, p := range clone.Params() {
+		if p.Name == target {
+			got = p.Value.Data
+		}
+	}
+	for _, p := range pre.Params() {
+		if p.Name == target {
+			want = p.Value.Data
+		}
+	}
+	if got == nil || want == nil {
+		t.Fatalf("tensor %q missing from clone or baseline", target)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %v != baseline %v despite stuck cells", target, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPermanentOutageDegradesTensor: a permanently dead region makes the
+// rest of that tensor fall back to the baseline wholesale — graceful
+// degradation at tensor granularity, recorded by name.
+func TestPermanentOutageDegradesTensor(t *testing.T) {
+	pre, victim := smallPair()
+	oracle := sidechannel.NewOracle(victim)
+	const target = "block0.w1"
+	oracle.SetFaultPlan(&sidechannel.FaultPlan{
+		Outages: []sidechannel.Outage{{Param: target}}, // To == 0: permanent
+	})
+	ex := &Extractor{Pre: pre, Oracle: oracle, Cfg: DefaultConfig()}
+	clone, st, err := ex.Run(victim.Config.Labels, nil)
+	if err != nil {
+		t.Fatalf("a dead region must degrade, not fail the run: %v", err)
+	}
+	if st.TensorsDegraded != 1 || len(st.DegradedTensors) != 1 || st.DegradedTensors[0] != target {
+		t.Fatalf("degraded tensors %v (count %d), want exactly %q",
+			st.DegradedTensors, st.TensorsDegraded, target)
+	}
+	for _, p := range clone.Params() {
+		if p.Name != target {
+			continue
+		}
+		for _, q := range pre.Params() {
+			if q.Name != target {
+				continue
+			}
+			for i := range p.Value.Data {
+				if p.Value.Data[i] != q.Value.Data[i] {
+					t.Fatalf("%s[%d] not degraded to baseline", target, i)
+				}
+			}
+		}
+	}
+	if st.ReadFaults == 0 {
+		t.Fatal("outage attempts must be accounted as read faults")
+	}
+	if st.ReadFaults != oracle.FaultedReads {
+		t.Fatalf("stats read faults %d != oracle meter %d", st.ReadFaults, oracle.FaultedReads)
+	}
+}
+
+// TestRetriesRideOutTransients: under a purely transient fault plan the
+// retry/backoff stack recovers every bit — the clone is byte-identical to
+// a fault-free extraction, at the price of retries and backoff rounds.
+func TestRetriesRideOutTransients(t *testing.T) {
+	pre, victim := smallPair()
+	run := func(plan *sidechannel.FaultPlan) (*transformer.Model, *Stats, *sidechannel.Oracle) {
+		oracle := sidechannel.NewOracle(victim)
+		oracle.SetFaultPlan(plan)
+		ex := &Extractor{Pre: pre, Oracle: oracle, Cfg: DefaultConfig()}
+		clone, st, err := ex.Run(victim.Config.Labels, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clone, st, oracle
+	}
+	clean, _, _ := run(nil)
+	faulted, st, oracle := run(&sidechannel.FaultPlan{Seed: 5, TransientRate: 0.1, TransientRecovery: 2})
+
+	if st.Retries == 0 || st.ReadFaults == 0 || st.BackoffRounds == 0 {
+		t.Fatalf("transient plan exercised no retries: %+v", st)
+	}
+	// Backoff waits in simulated time: the clock outruns the attempt count.
+	if oracle.Clock() <= oracle.BitReads+oracle.FaultedReads {
+		t.Fatalf("clock %d did not advance past the %d attempts", oracle.Clock(), oracle.BitReads+oracle.FaultedReads)
+	}
+	if st.BitsDegraded != 0 || st.TensorsDegraded != 0 {
+		// With recovery=2 < MaxAttempts=8 a transient run always ends
+		// within one bit's retry budget unless re-triggered repeatedly.
+		t.Logf("note: %d bits / %d tensors degraded under transients", st.BitsDegraded, st.TensorsDegraded)
+	}
+	cp, fp := clean.Params(), faulted.Params()
+	for i := range cp {
+		for j := range cp[i].Value.Data {
+			if st.BitsDegraded == 0 && cp[i].Value.Data[j] != fp[i].Value.Data[j] {
+				t.Fatalf("transient faults corrupted %s[%d]", cp[i].Name, j)
+			}
+		}
+	}
+}
+
+// TestDeadChannelDegradesGracefully: a channel where every attempt faults
+// (TransientRate=1 never yields a successful read) must still complete —
+// everything degrades, nothing is extracted, nothing is charged as a
+// successful bit read.
+func TestDeadChannelDegradesGracefully(t *testing.T) {
+	pre, victim := smallPair()
+	oracle := sidechannel.NewOracle(victim)
+	oracle.SetFaultPlan(&sidechannel.FaultPlan{Seed: 1, TransientRate: 1})
+	ex := &Extractor{Pre: pre, Oracle: oracle, Cfg: DefaultConfig()}
+	_, st, err := ex.Run(victim.Config.Labels, nil)
+	if err != nil {
+		t.Fatalf("dead channel must degrade, not fail: %v", err)
+	}
+	if oracle.BitReads != 0 {
+		t.Fatalf("no read can succeed, yet %d were metered", oracle.BitReads)
+	}
+	if st.LogicalBitsRead() != 0 {
+		t.Fatalf("logical reads %d on a dead channel", st.LogicalBitsRead())
+	}
+	if st.Escalations == 0 {
+		t.Fatal("exhausted retries must escalate before degrading")
+	}
+	if st.Coverage() >= 1 {
+		t.Fatalf("coverage %v on a dead channel", st.Coverage())
+	}
+	if st.ReadFaults != oracle.FaultedReads || st.ReadFaults == 0 {
+		t.Fatalf("fault accounting: stats %d, oracle %d", st.ReadFaults, oracle.FaultedReads)
+	}
+}
+
+// TestCheckpointResumeGolden is the tentpole acceptance test: an
+// extraction interrupted by its read budget and resumed from the
+// checkpoint must be byte-identical to an uninterrupted run — clone
+// weights, the full Stats accounting, the oracle meters, and the obs
+// counter registry — while re-paying zero hammer rounds.
+func TestCheckpointResumeGolden(t *testing.T) {
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	plan := &sidechannel.FaultPlan{Seed: 9, TransientRate: 0.02, StuckRate: 0.0003}
+	cfg := DefaultConfig()
+	cfg.ReadRepeats = 3
+
+	newEx := func(reg *obs.Registry, path string, resume bool, budget int64) (*Extractor, *sidechannel.Oracle) {
+		oracle := sidechannel.NewOracle(victim.Model)
+		oracle.SetObs(reg)
+		oracle.SetNoise(0.01, 0xfeed)
+		oracle.SetFaultPlan(plan)
+		return &Extractor{
+			Pre:            victim.Pretrained.Model,
+			Oracle:         oracle,
+			Cfg:            cfg,
+			Victim:         victim.Model.Predict,
+			Obs:            reg,
+			CheckpointPath: path,
+			Resume:         resume,
+			ReadBudget:     budget,
+		}, oracle
+	}
+
+	// Reference: one uninterrupted run.
+	regA := obs.New()
+	exA, oraA := newEx(regA, "", false, 0)
+	cloneA, stA, err := exA.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalAttempts := oraA.BitReads + oraA.FaultedReads
+	if totalAttempts < 4 {
+		t.Fatalf("reference run too small to interrupt (%d attempts)", totalAttempts)
+	}
+
+	// Interrupted run: the budget kills it partway through.
+	path := filepath.Join(t.TempDir(), "victim.ckpt")
+	regB := obs.New()
+	exB, oraB := newEx(regB, path, false, totalAttempts/2)
+	_, _, err = exB.Run(victim.Task.Labels, victim.Dev)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("budget %d of %d attempts: want ErrInterrupted, got %v", totalAttempts/2, totalAttempts, err)
+	}
+	if oraB.BitReads == 0 {
+		t.Fatal("interrupted run made no progress before the budget")
+	}
+	paidBefore := oraB.BitReads
+
+	// Resumed run: same victim, plan, noise seed — fresh process state.
+	regC := obs.New()
+	exC, oraC := newEx(regC, path, true, 0)
+	cloneC, stC, err := exC.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero re-paid hammer rounds: interrupted + fresh resumed reads add up
+	// to exactly the uninterrupted total.
+	if oraC.BitReads != oraA.BitReads || oraC.FaultedReads != oraA.FaultedReads {
+		t.Fatalf("resumed meters (reads %d, faults %d) != uninterrupted (%d, %d)",
+			oraC.BitReads, oraC.FaultedReads, oraA.BitReads, oraA.FaultedReads)
+	}
+	if fresh := oraC.BitReads - paidBefore; fresh <= 0 || fresh >= oraA.BitReads {
+		t.Fatalf("resumed run paid %d fresh reads of %d total — resume did not actually split the work",
+			fresh, oraA.BitReads)
+	}
+
+	// The full Stats accounting is byte-identical.
+	if !reflect.DeepEqual(stA, stC) {
+		t.Fatalf("stats diverge:\nuninterrupted: %+v\nresumed:       %+v", stA, stC)
+	}
+
+	// Clone weights are byte-identical.
+	pa, pc := cloneA.Params(), cloneC.Params()
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pc[i].Value.Data[j] {
+				t.Fatalf("clone tensor %s differs at %d", pa[i].Name, j)
+			}
+		}
+	}
+
+	// The obs registries reconcile byte-for-byte (counters and gauges;
+	// timers are wall-clock by definition).
+	snapA, snapC := regA.Snapshot(), regC.Snapshot()
+	if !reflect.DeepEqual(snapA.Counters, snapC.Counters) {
+		t.Fatalf("counters diverge:\nuninterrupted: %v\nresumed:       %v", snapA.Counters, snapC.Counters)
+	}
+	if !reflect.DeepEqual(snapA.Gauges, snapC.Gauges) {
+		t.Fatalf("gauges diverge:\nuninterrupted: %v\nresumed:       %v", snapA.Gauges, snapC.Gauges)
+	}
+
+	// Resuming a *completed* checkpoint short-circuits: stored result,
+	// zero new channel traffic, same registry.
+	regD := obs.New()
+	exD, oraD := newEx(regD, path, true, 0)
+	cloneD, stD, err := exD.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oraD.BitReads != oraA.BitReads || oraD.FaultedReads != oraA.FaultedReads {
+		t.Fatal("re-resuming a complete checkpoint touched the channel")
+	}
+	if !reflect.DeepEqual(stA, stD) {
+		t.Fatal("re-resumed stats diverge from the uninterrupted run")
+	}
+	pd := cloneD.Params()
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pd[i].Value.Data[j] {
+				t.Fatalf("re-resumed clone tensor %s differs at %d", pa[i].Name, j)
+			}
+		}
+	}
+	if snapD := regD.Snapshot(); !reflect.DeepEqual(snapA.Counters, snapD.Counters) {
+		t.Fatalf("re-resumed counters diverge: %v vs %v", snapA.Counters, snapD.Counters)
+	}
+}
+
+// TestCheckpointShapeGuard: a checkpoint written for one extraction shape
+// must be refused by a resume against another — silently mixing shapes
+// would corrupt the clone.
+func TestCheckpointShapeGuard(t *testing.T) {
+	pre, victim := smallPair()
+	path := filepath.Join(t.TempDir(), "shape.ckpt")
+	ex := &Extractor{
+		Pre:            pre,
+		Oracle:         sidechannel.NewOracle(victim),
+		Cfg:            DefaultConfig(),
+		CheckpointPath: path,
+	}
+	if _, _, err := ex.Run(victim.Config.Labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	ex2 := &Extractor{
+		Pre:            pre,
+		Oracle:         sidechannel.NewOracle(victim),
+		Cfg:            DefaultConfig(),
+		CheckpointPath: path,
+		Resume:         true,
+	}
+	good, err := readCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint recorded for a different victim shape is refused.
+	bad := *good
+	bad.NumLabels = good.NumLabels + 1
+	if err := writeCheckpoint(path, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex2.Run(victim.Config.Labels, nil); err == nil {
+		t.Fatal("resume against a different victim shape must be refused")
+	}
+	// Version skew is refused too.
+	bad = *good
+	bad.Version = checkpointVersion + 1
+	if err := writeCheckpoint(path, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex2.Run(victim.Config.Labels, nil); err == nil {
+		t.Fatal("resume across checkpoint versions must be refused")
+	}
+}

@@ -57,6 +57,17 @@ func (r *RNG) Derive(labels ...string) *RNG {
 	return New(r.state ^ Seed(labels...))
 }
 
+// State exposes the generator's internal state for checkpointing. A
+// stream restored with FromState(State()) continues exactly where this
+// one stands. The cached Box-Muller spare is deliberately not part of
+// the state: streams that need to survive a checkpoint boundary must
+// draw uniforms only (every channel-noise stream in this repo does).
+func (r *RNG) State() uint64 { return r.state }
+
+// FromState reconstructs a generator from a State() value. Unlike New it
+// applies no warmup steps — the state is resumed verbatim.
+func FromState(state uint64) *RNG { return &RNG{state: state} }
+
 // Uint64 returns the next 64 pseudo-random bits (splitmix64 step).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

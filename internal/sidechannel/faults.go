@@ -1,0 +1,323 @@
+// Structured channel faults. The i.i.d. bit flips of SetNoise model an
+// unreliable read that still *returns*; real DRAM read channels also fail
+// in ways the caller can observe and must react to (DeepSteal §V, and the
+// budget discussion of "Beyond Slow Signs"):
+//
+//   - transient errors: a read attempt fails outright, and the cell
+//     recovers after a few further attempts (charge pumping, scheduler
+//     interference);
+//   - stuck-at bits: some cells never flip under hammering, so their bit
+//     simply cannot be recovered through this channel;
+//   - region outages: a whole row/tensor becomes unreadable for a window
+//     of hammering rounds (refresh storms, co-located activity) — or, in
+//     the worst case, permanently.
+//
+// A FaultPlan injects all three deterministically from a seed: every
+// decision is a pure hash of (seed, site, attempt) or (seed, region,
+// clock epoch), never a shared mutable stream, so campaigns remain
+// byte-identical for any worker count and can resume mid-run.
+package sidechannel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"decepticon/internal/rng"
+)
+
+// FaultKind classifies a channel fault.
+type FaultKind int
+
+const (
+	// FaultTransient is a failed read attempt that recovers after a few
+	// more attempts at the same site. Retryable.
+	FaultTransient FaultKind = iota
+	// FaultStuck marks a cell that never responds to hammering: the bit
+	// is permanently unreadable through this channel. Not retryable.
+	FaultStuck
+	// FaultOutage is a region-wide failure. Retryable when the outage is
+	// a bounded window (waiting it out works), permanent when the region
+	// is gone for good.
+	FaultOutage
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultStuck:
+		return "stuck"
+	case FaultOutage:
+		return "outage"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// ReadFault is the typed error a faulted oracle read returns. Callers
+// branch on Retryable: retryable faults are worth backing off and
+// retrying, permanent ones are not — the bit (or region) must be
+// degraded instead.
+type ReadFault struct {
+	Param string
+	Index int
+	Bit   int
+	Kind  FaultKind
+	// Retryable reports whether retrying the same read can ever succeed.
+	Retryable bool
+	// Clock is the channel's simulated round counter when the fault
+	// fired (diagnostics; outages are windows over this clock).
+	Clock int64
+}
+
+// Error implements error.
+func (f *ReadFault) Error() string {
+	mode := "permanent"
+	if f.Retryable {
+		mode = "retryable"
+	}
+	return fmt.Sprintf("sidechannel: %s fault (%s) reading %s[%d] bit %d at round %d",
+		f.Kind, mode, f.Param, f.Index, f.Bit, f.Clock)
+}
+
+// IsRetryable reports whether err is a channel fault worth retrying.
+// Non-fault errors (bad address map) are never retryable.
+func IsRetryable(err error) bool {
+	f, ok := err.(*ReadFault)
+	return ok && f.Retryable
+}
+
+// StuckRange pins an explicit address range as stuck-at: every read of
+// the covered (weight, bit) sites fails permanently. Bit == -1 covers
+// all 32 bits; To == 0 extends to the end of the tensor.
+type StuckRange struct {
+	Param    string
+	From, To int // weight index window [From, To); To == 0 means len
+	Bit      int // raw bit index, or -1 for every bit
+}
+
+// Outage declares an explicit region outage over the channel's simulated
+// clock: reads of Param fail during [From, To). To == 0 makes the outage
+// permanent — the region is gone and extraction must degrade it.
+type Outage struct {
+	Param    string
+	From, To int64
+}
+
+// FaultPlan describes a deterministic fault injection campaign. The zero
+// value is a fault-free channel. All stochastic faults derive from Seed
+// by pure hashing, so a plan is reproducible and worker-count invariant.
+type FaultPlan struct {
+	// Seed drives every hashed fault decision.
+	Seed uint64
+
+	// TransientRate is the per-attempt probability that a read at a
+	// healthy site begins a transient failure run.
+	TransientRate float64
+	// TransientRecovery is how many consecutive attempts at the site
+	// fail before it recovers (default 2).
+	TransientRecovery int
+
+	// StuckRate is the per-site probability that a (weight, bit) cell is
+	// stuck-at: permanently unreadable. StuckRanges adds explicit ranges
+	// on top.
+	StuckRate   float64
+	StuckRanges []StuckRange
+
+	// OutageRate is the per-epoch probability that a tensor's region is
+	// unreadable for one clock epoch of OutagePeriod rounds (default
+	// 2048). Outages adds explicit clock windows on top.
+	OutageRate   float64
+	OutagePeriod int64
+	Outages      []Outage
+}
+
+// ForVictim derives a victim-specific plan: same fault profile, but the
+// hashed decisions are re-seeded from the victim's name. Campaigns that
+// attack many victims in parallel use this so each victim's faults are a
+// function of its identity, not of scheduling order.
+func (p *FaultPlan) ForVictim(name string) *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	d := *p
+	d.Seed ^= rng.Seed("faultplan", name)
+	return &d
+}
+
+// ParseFaultPlan builds a plan from a CLI spec: comma-separated
+// key=value pairs, e.g.
+//
+//	transient=0.05,recovery=3,stuck=0.001,outage=0.02,period=1024,seed=7
+//
+// Unknown keys are an error; an empty spec returns nil (no faults).
+// Explicit StuckRanges/Outages are API-only.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &FaultPlan{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("sidechannel: fault spec %q: want key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "transient":
+			p.TransientRate, err = strconv.ParseFloat(val, 64)
+		case "recovery":
+			p.TransientRecovery, err = strconv.Atoi(val)
+		case "stuck":
+			p.StuckRate, err = strconv.ParseFloat(val, 64)
+		case "outage":
+			p.OutageRate, err = strconv.ParseFloat(val, 64)
+		case "period":
+			p.OutagePeriod, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return nil, fmt.Errorf("sidechannel: fault spec: unknown key %q (seed, transient, recovery, stuck, outage, period)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sidechannel: fault spec %q: %v", kv, err)
+		}
+	}
+	return p, nil
+}
+
+// transientRecovery returns the configured recovery length with its
+// default applied.
+func (p *FaultPlan) transientRecovery() int {
+	if p.TransientRecovery <= 0 {
+		return 2
+	}
+	return p.TransientRecovery
+}
+
+// outagePeriod returns the configured epoch length with its default.
+func (p *FaultPlan) outagePeriod() int64 {
+	if p.OutagePeriod <= 0 {
+		return HammerRoundsPerBit
+	}
+	return p.OutagePeriod
+}
+
+// site identifies one (tensor, weight, bit) cell.
+type site struct {
+	param string
+	idx   int
+	bit   int
+}
+
+// faultState is the oracle-side fault machinery: the immutable plan plus
+// the per-site transient bookkeeping. The clock advances by one per read
+// attempt (faulted or not) and by explicit backoff; it lives on the
+// Oracle so ChannelState can checkpoint it.
+//
+// The transient maps are intentionally NOT checkpointed: extraction
+// interrupts only at tensor boundaries, and a site is never read again
+// once its tensor completes, so in-flight recovery runs cannot span a
+// checkpoint.
+type faultState struct {
+	plan      FaultPlan
+	attempts  map[site]int // attempts made at the site so far
+	recoverAt map[site]int // attempt number at which a transient run ends
+}
+
+func newFaultState(p FaultPlan) *faultState {
+	return &faultState{
+		plan:      p,
+		attempts:  make(map[site]int),
+		recoverAt: make(map[site]int),
+	}
+}
+
+// hashU64 mixes words into a decision hash (splitmix64 finalizer per
+// word; stable across platforms).
+func hashU64(h uint64, words ...uint64) uint64 {
+	for _, w := range words {
+		h ^= w
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// hashFloat maps a decision hash to [0, 1).
+func hashFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// fault decision domains, kept distinct so the same site never shares a
+// hash across fault classes.
+const (
+	domTransient = 0x7472616e7369656e // "transien"
+	domStuck     = 0x737475636b       // "stuck"
+	domOutage    = 0x6f7574616765     // "outage"
+)
+
+// check decides whether this read attempt faults, advancing the per-site
+// attempt counter. clock is the attempt's round number (already
+// advanced by the caller). Returns nil on a clean read.
+func (s *faultState) check(param string, idx, bit int, clock int64) *ReadFault {
+	p := &s.plan
+	fault := func(kind FaultKind, retryable bool) *ReadFault {
+		return &ReadFault{Param: param, Index: idx, Bit: bit, Kind: kind, Retryable: retryable, Clock: clock}
+	}
+	pseed := hashU64(p.Seed, uint64(len(param)))
+	for i := 0; i < len(param); i++ {
+		pseed = hashU64(pseed, uint64(param[i]))
+	}
+
+	// Stuck-at cells: permanent, highest precedence — no amount of
+	// waiting changes them.
+	for _, r := range p.StuckRanges {
+		if r.Param != param || idx < r.From || (r.To > 0 && idx >= r.To) {
+			continue
+		}
+		if r.Bit == -1 || r.Bit == bit {
+			return fault(FaultStuck, false)
+		}
+	}
+	if p.StuckRate > 0 && hashFloat(hashU64(pseed, domStuck, uint64(idx), uint64(bit))) < p.StuckRate {
+		return fault(FaultStuck, false)
+	}
+
+	// Region outages: explicit windows first (To == 0 → permanent),
+	// then hashed per-epoch outages (always bounded, hence retryable).
+	for _, o := range p.Outages {
+		if o.Param != param || clock < o.From || (o.To > 0 && clock >= o.To) {
+			continue
+		}
+		return fault(FaultOutage, o.To > 0)
+	}
+	if p.OutageRate > 0 {
+		epoch := clock / p.outagePeriod()
+		if hashFloat(hashU64(pseed, domOutage, uint64(epoch))) < p.OutageRate {
+			return fault(FaultOutage, true)
+		}
+	}
+
+	// Transient failure runs: a hashed per-attempt trigger starts a run
+	// of transientRecovery consecutive failures at the site.
+	if p.TransientRate > 0 {
+		k := site{param, idx, bit}
+		a := s.attempts[k]
+		s.attempts[k] = a + 1
+		if a < s.recoverAt[k] {
+			return fault(FaultTransient, true)
+		}
+		if hashFloat(hashU64(pseed, domTransient, uint64(idx), uint64(bit), uint64(a))) < p.TransientRate {
+			s.recoverAt[k] = a + p.transientRecovery()
+			return fault(FaultTransient, true)
+		}
+	}
+	return nil
+}

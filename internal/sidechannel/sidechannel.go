@@ -99,8 +99,19 @@ type Oracle struct {
 	// with this probability — rowhammer reads are not perfectly reliable,
 	// and a robust extraction must tolerate occasional wrong bits.
 	BitErrorRate float64
+	// FaultedReads counts read attempts that failed with a ReadFault.
+	// Faulted attempts are metered separately: they advance the channel
+	// clock but never BitReads — the attacker pays the attempt, not a
+	// recovered bit.
+	FaultedReads int64
+	// FlipsInjected counts noisy reads that returned a wrong bit (the
+	// field mirror of the sidechannel.bit_flips_injected counter, needed
+	// to restore the counter across a checkpoint).
+	FlipsInjected int64
 
-	noise *rng.RNG
+	noise  *rng.RNG
+	faults *faultState
+	clock  int64 // simulated rounds: one per read attempt, plus backoff
 
 	// Pre-resolved obs handles (nil-safe no-ops until SetObs): ReadBit is
 	// the hottest metered path in the repo, so the name→counter lookup
@@ -108,6 +119,7 @@ type Oracle struct {
 	cBitReads *obs.Counter
 	cHammer   *obs.Counter
 	cFlips    *obs.Counter
+	cFaults   *obs.Counter
 }
 
 // NewOracle wraps a victim model. The oracle holds references to the
@@ -128,11 +140,23 @@ func (o *Oracle) SetNoise(rate float64, seed uint64) {
 	o.noise = rng.New(seed)
 }
 
+// SetFaultPlan arms a structured-fault campaign (see FaultPlan). A nil
+// plan restores the fault-free channel. Arming a plan also starts the
+// channel's simulated clock, which outages are windows over.
+func (o *Oracle) SetFaultPlan(p *FaultPlan) {
+	if p == nil {
+		o.faults = nil
+		return
+	}
+	o.faults = newFaultState(*p)
+}
+
 // SetObs mirrors the oracle's meters into a registry:
 //
 //	sidechannel.bit_reads_physical  every metered bit read (incl. repeats)
 //	sidechannel.hammer_rounds       bit reads × HammerRoundsPerBit
 //	sidechannel.bit_flips_injected  noisy reads that returned a wrong bit
+//	sidechannel.read_faults         attempts that failed with a ReadFault
 //
 // A nil registry detaches the oracle again. Counter handles are resolved
 // here once so per-read cost stays a couple of atomic adds.
@@ -140,6 +164,62 @@ func (o *Oracle) SetObs(r *obs.Registry) {
 	o.cBitReads = r.Counter("sidechannel.bit_reads_physical")
 	o.cHammer = r.Counter("sidechannel.hammer_rounds")
 	o.cFlips = r.Counter("sidechannel.bit_flips_injected")
+	o.cFaults = r.Counter("sidechannel.read_faults")
+}
+
+// AdvanceClock moves the channel's simulated clock forward n rounds
+// without reading — how a caller spends backoff time waiting out an
+// outage or a transient run. A no-op on a fault-free channel (the clock
+// only gates fault windows).
+func (o *Oracle) AdvanceClock(n int64) {
+	if n > 0 {
+		o.clock += n
+	}
+}
+
+// Clock returns the channel's simulated round counter.
+func (o *Oracle) Clock() int64 { return o.clock }
+
+// ChannelState is the serializable position of the channel: the meters,
+// the clock, and the noise stream. Together with a FaultPlan (which is
+// pure configuration) it lets a checkpointed extraction resume with the
+// channel exactly where it stopped — same future noise, same future
+// fault windows, reconciling meters.
+type ChannelState struct {
+	BitReads      int64
+	FaultedReads  int64
+	FlipsInjected int64
+	Clock         int64
+	NoiseState    uint64
+}
+
+// State snapshots the channel position for a checkpoint.
+func (o *Oracle) State() ChannelState {
+	return ChannelState{
+		BitReads:      o.BitReads,
+		FaultedReads:  o.FaultedReads,
+		FlipsInjected: o.FlipsInjected,
+		Clock:         o.clock,
+		NoiseState:    o.noise.State(),
+	}
+}
+
+// RestoreState rewinds the channel to a checkpointed position. The
+// already-paid meters are re-applied to the attached obs counters (call
+// SetObs first), so a resumed run's registry reconciles byte-for-byte
+// with an uninterrupted one. The caller must re-arm the same FaultPlan
+// and noise seed it used originally; only their *position* is restored
+// here.
+func (o *Oracle) RestoreState(s ChannelState) {
+	o.BitReads = s.BitReads
+	o.FaultedReads = s.FaultedReads
+	o.FlipsInjected = s.FlipsInjected
+	o.clock = s.Clock
+	o.noise = rng.FromState(s.NoiseState)
+	o.cBitReads.Add(s.BitReads)
+	o.cHammer.Add(s.BitReads * HammerRoundsPerBit)
+	o.cFlips.Add(s.FlipsInjected)
+	o.cFaults.Add(s.FaultedReads)
 }
 
 // trueBit returns the ground-truth bit without cost or noise. It backs
@@ -159,18 +239,30 @@ func (o *Oracle) trueBit(param string, idx, bit int) (int, error) {
 
 // ReadBit reads raw bit `bit` (0 = LSB, 31 = sign) of weight idx in the
 // named tensor, incrementing the cost meter. With a configured
-// BitErrorRate the result is occasionally wrong. A read through a bad
-// address map returns an error without charging the meter.
+// BitErrorRate the result is occasionally wrong. Under a FaultPlan the
+// attempt may fail with a *ReadFault — metered as a faulted attempt, not
+// a bit read — whose Retryable field tells the caller whether backing
+// off and retrying can succeed. A read through a bad address map returns
+// an error without charging any meter.
 func (o *Oracle) ReadBit(param string, idx, bit int) (int, error) {
 	b, err := o.trueBit(param, idx, bit)
 	if err != nil {
 		return 0, err
+	}
+	if o.faults != nil {
+		o.clock++
+		if f := o.faults.check(param, idx, bit, o.clock); f != nil {
+			o.FaultedReads++
+			o.cFaults.Inc()
+			return 0, f
+		}
 	}
 	o.BitReads++
 	o.cBitReads.Inc()
 	o.cHammer.Add(HammerRoundsPerBit)
 	if o.BitErrorRate > 0 && o.noise.Float64() < o.BitErrorRate {
 		b ^= 1
+		o.FlipsInjected++
 		o.cFlips.Inc()
 	}
 	return b, nil
