@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify metrics-smoke faults-smoke
+.PHONY: all build vet test race bench verify metrics-smoke faults-smoke trace-smoke
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: metrics-smoke faults-smoke
+test: metrics-smoke faults-smoke trace-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -47,6 +47,32 @@ faults-smoke:
 		.faults-smoke/resumed.json .faults-smoke/uninterrupted.json
 	rm -rf .faults-smoke
 
+# End-to-end tracing check: the same tiny campaign at 1 and 4 workers
+# must emit byte-identical Chrome trace files (trace clocks are
+# simulated, never wall time), both validating under metricscheck, and
+# the exported snapshot must carry consistent latency histograms. A
+# second run under faults with a small read budget must leave a
+# validating flight-recorder dump next to its checkpoints. The two
+# trace runs deliberately do NOT share a zoo cache: a cache hit skips
+# the build spans and would break the byte-identity comparison.
+trace-smoke:
+	rm -rf .trace-smoke && mkdir -p .trace-smoke
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 1 \
+		-trace .trace-smoke/w1.json \
+		-metrics .trace-smoke/run.json,.trace-smoke/run.prom >/dev/null
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 4 \
+		-trace .trace-smoke/w4.json >/dev/null
+	cmp .trace-smoke/w1.json .trace-smoke/w4.json
+	$(GO) run ./cmd/metricscheck -trace .trace-smoke/w1.json \
+		.trace-smoke/run.json .trace-smoke/run.prom
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-faults '$(FAULTS_SPEC)' -checkpoint .trace-smoke/ckpt \
+		-read-budget 4000 -flight .trace-smoke/flight.json >/dev/null
+	$(GO) run ./cmd/metricscheck -flight .trace-smoke/flight.json
+	set -e; for f in .trace-smoke/ckpt/*.flight.json; do \
+		$(GO) run ./cmd/metricscheck -flight $$f; done
+	rm -rf .trace-smoke
+
 # Race-detector tier: the packages that gained goroutines, filtered to
 # the concurrency-exercising tests so the 5-20x race overhead stays
 # affordable on small machines. GOMAXPROCS is raised explicitly so the
@@ -56,7 +82,7 @@ race:
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance|ProgressSerialized' ./internal/zoo
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance' ./internal/fingerprint
 	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial|ObsReconcilesWithCampaign' ./internal/core
-	GOMAXPROCS=4 $(GO) test -race -run 'Snapshot|OrderedSink|Serve' ./internal/obs
+	GOMAXPROCS=4 $(GO) test -race -run 'Snapshot|OrderedSink|Serve|Histogram|Tracer|Flight' ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem

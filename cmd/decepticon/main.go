@@ -9,12 +9,15 @@
 //	decepticon -scale full     # paper-sized population
 //	decepticon -scale tiny -all -metrics run.json,run.prom
 //	decepticon -pprof localhost:6060   # live /metrics and /debug/pprof
+//	decepticon -scale tiny -all -trace trace.json -log-level info
+//	decepticon -faults seed=7,transient=0.2 -flight flight.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"decepticon"
@@ -39,6 +42,9 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "directory for per-victim extraction checkpoints (created if missing)")
 		resume  = flag.Bool("resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
 		budget  = flag.Int64("read-budget", 0, "per-victim oracle read-attempt budget; an extraction exceeding it checkpoints and reports interrupted (0 = unlimited)")
+		trace   = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
+		flight  = flag.String("flight", "", "write a flight-recorder dump to this file on exit; interrupted, failed, or degraded extractions also dump here automatically (next to the checkpoint when -checkpoint is set)")
+		logLvl  = flag.String("log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
 	)
 	flag.Parse()
 
@@ -51,8 +57,36 @@ func main() {
 	}
 
 	reg := decepticon.NewMetrics()
+	runID := decepticon.RunID(os.Args...)
+	rec := decepticon.NewFlightRecorder(0)
+	rec.RunID = runID
+	reg.SetFlight(rec)
+	if *flight != "" {
+		defer func() {
+			if err := rec.Dump(*flight, "run exit"); err != nil {
+				log.Printf("flight: %v", err)
+			} else {
+				log.Printf("flight recorder written to %s", *flight)
+			}
+		}()
+	}
+	var tracer *decepticon.Tracer
+	if *trace != "" {
+		tracer = decepticon.NewTracer()
+		reg.SetTracer(tracer)
+		defer func() {
+			if err := decepticon.WriteTraceFile(tracer, *trace); err != nil {
+				log.Printf("trace: %v", err)
+			} else {
+				log.Printf("trace written to %s", *trace)
+			}
+		}()
+	}
+	if err := decepticon.ConfigureLogging(reg, os.Stderr, *logLvl, runID); err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
 	if *pprof != "" {
-		addr, err := decepticon.ServeMetrics(*pprof, reg)
+		addr, _, err := decepticon.ServeMetrics(*pprof, reg)
 		if err != nil {
 			log.Fatalf("pprof server: %v", err)
 		}
@@ -103,6 +137,7 @@ func main() {
 		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{
 			MeasureSeed: 1, Workers: *work, BitErrorRate: *noise,
 			FaultPlan: plan, CheckpointDir: *ckpt, Resume: *resume, ReadBudget: *budget,
+			FlightPath: *flight,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -148,6 +183,7 @@ func main() {
 		CheckpointDir:  *ckpt,
 		Resume:         *resume,
 		ReadBudget:     *budget,
+		FlightPath:     *flight,
 	})
 	if err != nil {
 		log.Fatal(err)

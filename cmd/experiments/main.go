@@ -33,6 +33,9 @@ func main() {
 		faults  = flag.String("faults", "", "fault-plan spec for attack-driving experiments: key=value[,...] with keys seed, transient, recovery, stuck, outage, period")
 		ckpt    = flag.String("checkpoint", "", "directory for extraction checkpoints in attack-driving experiments")
 		resume  = flag.Bool("resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
+		trace   = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
+		flight  = flag.String("flight", "", "write a flight-recorder dump to this file on exit; interrupted, failed, or degraded extractions also dump here when -checkpoint is unset")
+		logLvl  = flag.String("log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
 	)
 	flag.Parse()
 
@@ -44,8 +47,35 @@ func main() {
 	}
 
 	reg := decepticon.NewMetrics()
+	runID := decepticon.RunID(os.Args...)
+	rec := decepticon.NewFlightRecorder(0)
+	rec.RunID = runID
+	reg.SetFlight(rec)
+	if *flight != "" {
+		defer func() {
+			if err := rec.Dump(*flight, "run exit"); err != nil {
+				log.Printf("flight: %v", err)
+			} else {
+				log.Printf("flight recorder written to %s", *flight)
+			}
+		}()
+	}
+	if *trace != "" {
+		tracer := decepticon.NewTracer()
+		reg.SetTracer(tracer)
+		defer func() {
+			if err := decepticon.WriteTraceFile(tracer, *trace); err != nil {
+				log.Printf("trace: %v", err)
+			} else {
+				log.Printf("trace written to %s", *trace)
+			}
+		}()
+	}
+	if err := decepticon.ConfigureLogging(reg, os.Stderr, *logLvl, runID); err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
 	if *pprof != "" {
-		addr, err := decepticon.ServeMetrics(*pprof, reg)
+		addr, _, err := decepticon.ServeMetrics(*pprof, reg)
 		if err != nil {
 			log.Fatalf("pprof server: %v", err)
 		}
@@ -89,6 +119,7 @@ func main() {
 	env.FaultPlan = plan
 	env.CheckpointDir = *ckpt
 	env.Resume = *resume
+	env.FlightPath = *flight
 	if !*quiet {
 		env.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}

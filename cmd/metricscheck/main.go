@@ -1,8 +1,11 @@
-// Command metricscheck validates metrics snapshot files written by the
-// other commands' -metrics flag: each argument must parse (JSON for
-// .json files, Prometheus text exposition otherwise) and contain at
-// least one metric. It exits non-zero on the first failure — the
-// building block of `make metrics-smoke`.
+// Command metricscheck validates observability artifacts written by the
+// other commands. Each positional argument is a metrics snapshot file
+// (-metrics flag output): it must parse (JSON for .json files,
+// Prometheus text exposition otherwise), contain at least one metric,
+// and every histogram must be internally consistent (bucket counts sum
+// to the histogram count, bucket bounds ascend, last bound "+Inf"). It
+// exits non-zero on the first failure — the building block of
+// `make metrics-smoke` and `make trace-smoke`.
 //
 // With -equal-counters, every file's counter section must additionally be
 // identical to the first file's — the determinism check behind
@@ -10,18 +13,29 @@
 // byte-for-byte with an uninterrupted one. (Timers are wall-clock and
 // excluded by design.)
 //
+// -trace validates a Chrome trace_event JSON file (-trace flag output):
+// span ids unique per track, parents present with intervals containing
+// their children, non-negative timestamps, positive durations.
+//
+// -flight validates a flight-recorder dump (-flight flag output or an
+// automatic crash dump): it must parse, hold at least one event, and
+// carry strictly increasing sequence numbers.
+//
 // Usage:
 //
 //	metricscheck run.json run.prom
 //	metricscheck -equal-counters resumed.json uninterrupted.json
+//	metricscheck -trace trace.json -flight flight.json run.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
+	"strconv"
 
 	"decepticon/internal/obs"
 )
@@ -30,14 +44,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("metricscheck: ")
 	equal := flag.Bool("equal-counters", false, "require every file's counters to match the first file's exactly")
+	tracePath := flag.String("trace", "", "validate this Chrome trace_event JSON file")
+	flightPath := flag.String("flight", "", "validate this flight-recorder dump file")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] <snapshot-file>...")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-trace file] [-flight file] [snapshot-file...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *tracePath == "" && *flightPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		checkTrace(*tracePath)
+	}
+	if *flightPath != "" {
+		checkFlight(*flightPath)
 	}
 	var ref obs.Snapshot
 	var refPath string
@@ -49,8 +71,9 @@ func main() {
 		if snap.Empty() {
 			log.Fatalf("%s: snapshot holds no metrics", path)
 		}
-		log.Printf("%s: ok (%d counters, %d gauges, %d timers)",
-			path, len(snap.Counters), len(snap.Gauges), len(snap.Timers))
+		checkHistograms(path, snap)
+		log.Printf("%s: ok (%d counters, %d gauges, %d histograms, %d timers)",
+			path, len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(snap.Timers))
 		if !*equal {
 			continue
 		}
@@ -66,6 +89,142 @@ func main() {
 		}
 		log.Printf("%s: counters identical to %s", path, refPath)
 	}
+}
+
+// checkHistograms verifies every histogram's internal invariants: the
+// bucket counts sum to Count, bucket bounds strictly ascend, and the
+// last bucket is the "+Inf" overflow.
+func checkHistograms(path string, snap obs.Snapshot) {
+	for name, h := range snap.Histograms {
+		if len(h.Buckets) == 0 {
+			log.Fatalf("%s: histogram %s has no buckets", path, name)
+		}
+		var sum int64
+		prev := math.Inf(-1)
+		for _, b := range h.Buckets {
+			sum += b.Count
+			le := math.Inf(1)
+			if b.Le != "+Inf" {
+				v, err := strconv.ParseFloat(b.Le, 64)
+				if err != nil {
+					log.Fatalf("%s: histogram %s: bad bucket bound %q: %v", path, name, b.Le, err)
+				}
+				le = v
+			}
+			if le <= prev {
+				log.Fatalf("%s: histogram %s: bucket bounds not ascending (%q after %g)", path, name, b.Le, prev)
+			}
+			prev = le
+		}
+		if last := h.Buckets[len(h.Buckets)-1].Le; last != "+Inf" {
+			log.Fatalf("%s: histogram %s: last bucket bound is %q, want +Inf", path, name, last)
+		}
+		if sum != h.Count {
+			log.Fatalf("%s: histogram %s: bucket counts sum to %d, histogram count is %d", path, name, sum, h.Count)
+		}
+	}
+}
+
+// checkTrace validates a trace_event JSON file: per-track span ids are
+// unique, every parent reference resolves to a span on the same track
+// whose interval contains the child, timestamps are non-negative, and
+// complete spans have positive duration.
+func checkTrace(path string) {
+	events, err := obs.ReadTraceFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(events) == 0 {
+		log.Fatalf("%s: trace holds no events", path)
+	}
+	type key struct{ pid, tid int64 }
+	type span struct{ ts, dur int64 }
+	spans := map[key]map[int64]span{} // track -> span id -> interval
+	nspans, ninstants := 0, 0
+	for _, ev := range events {
+		if ev.TS < 0 {
+			log.Fatalf("%s: event %q has negative timestamp %d", path, ev.Name, ev.TS)
+		}
+		switch ev.Ph {
+		case "M":
+		case "i":
+			ninstants++
+		case "X":
+			nspans++
+			if ev.Dur < 1 {
+				log.Fatalf("%s: span %q has duration %d, want >= 1", path, ev.Name, ev.Dur)
+			}
+			id, ok := argInt(ev.Args, "id")
+			if !ok {
+				log.Fatalf("%s: span %q carries no id", path, ev.Name)
+			}
+			k := key{ev.Pid, ev.Tid}
+			if spans[k] == nil {
+				spans[k] = map[int64]span{}
+			}
+			if _, dup := spans[k][id]; dup {
+				log.Fatalf("%s: span id %d duplicated on track %d/%d", path, id, ev.Pid, ev.Tid)
+			}
+			spans[k][id] = span{ev.TS, ev.Dur}
+		default:
+			log.Fatalf("%s: event %q has unknown phase %q", path, ev.Name, ev.Ph)
+		}
+	}
+	// Parent links check after the scan: spans record in completion
+	// order, so a parent's "X" event appears after its children's.
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		parent, ok := argInt(ev.Args, "parent")
+		if !ok {
+			continue
+		}
+		p, exists := spans[key{ev.Pid, ev.Tid}][parent]
+		if !exists {
+			log.Fatalf("%s: span %q references missing parent %d on track %d/%d",
+				path, ev.Name, parent, ev.Pid, ev.Tid)
+		}
+		if ev.TS < p.ts || ev.TS+ev.Dur > p.ts+p.dur {
+			log.Fatalf("%s: span %q [%d,%d] escapes parent interval [%d,%d]",
+				path, ev.Name, ev.TS, ev.TS+ev.Dur, p.ts, p.ts+p.dur)
+		}
+	}
+	log.Printf("%s: ok (%d tracks, %d spans, %d instants)", path, len(spans), nspans, ninstants)
+}
+
+// argInt extracts an integer span argument (JSON numbers decode as
+// float64).
+func argInt(args map[string]any, name string) (int64, bool) {
+	v, ok := args[name]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
+}
+
+// checkFlight validates a flight-recorder dump: it parses, holds at
+// least one event, and sequence numbers strictly increase.
+func checkFlight(path string) {
+	d, err := obs.ReadFlightFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(d.Events) == 0 {
+		log.Fatalf("%s: flight dump holds no events", path)
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Seq <= d.Events[i-1].Seq {
+			log.Fatalf("%s: flight sequence not increasing at index %d (%d after %d)",
+				path, i, d.Events[i].Seq, d.Events[i-1].Seq)
+		}
+	}
+	log.Printf("%s: ok (run %s, %d events, %d dropped, reason %q)",
+		path, d.RunID, len(d.Events), d.Dropped, d.Reason)
 }
 
 // counterDiffs lists the counters present or valued differently between

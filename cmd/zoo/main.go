@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"decepticon"
@@ -24,11 +25,27 @@ func main() {
 	work := flag.Int("workers", 0, "worker goroutines for model training (0 = all cores); the population is identical for any value")
 	metrics := flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
 	pprof := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	trace := flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
+	logLvl := flag.String("log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
 	flag.Parse()
 
 	reg := decepticon.NewMetrics()
+	if *trace != "" {
+		tracer := decepticon.NewTracer()
+		reg.SetTracer(tracer)
+		defer func() {
+			if err := decepticon.WriteTraceFile(tracer, *trace); err != nil {
+				log.Printf("trace: %v", err)
+			} else {
+				log.Printf("trace written to %s", *trace)
+			}
+		}()
+	}
+	if err := decepticon.ConfigureLogging(reg, os.Stderr, *logLvl, decepticon.RunID(os.Args...)); err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
 	if *pprof != "" {
-		addr, err := decepticon.ServeMetrics(*pprof, reg)
+		addr, _, err := decepticon.ServeMetrics(*pprof, reg)
 		if err != nil {
 			log.Fatalf("pprof server: %v", err)
 		}

@@ -39,6 +39,9 @@
 package decepticon
 
 import (
+	"context"
+	"io"
+
 	"decepticon/internal/core"
 	"decepticon/internal/experiments"
 	"decepticon/internal/extract"
@@ -99,6 +102,20 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a Metrics registry,
 	// serializable as JSON or Prometheus text.
 	MetricsSnapshot = obs.Snapshot
+	// Tracer records hierarchical spans on deterministic simulated
+	// clocks and exports Chrome/Perfetto trace_event JSON. Attach via
+	// Metrics.SetTracer; a nil Tracer is a valid no-op.
+	Tracer = obs.Tracer
+	// TraceEvent is one exported trace_event record.
+	TraceEvent = obs.TraceEvent
+	// FlightRecorder is a bounded ring of the most recent trace and
+	// fault events — the black-box record dumped when an extraction is
+	// interrupted or fails. Attach via Metrics.SetFlight.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one retained flight-recorder entry.
+	FlightEvent = obs.FlightEvent
+	// FlightDump is the serialized form of a flight-recorder dump.
+	FlightDump = obs.FlightDump
 )
 
 // Experiment scales.
@@ -165,10 +182,49 @@ func WriteMetricsFile(m *Metrics, path string) error {
 
 // ServeMetrics starts a background HTTP server on addr exposing
 // /metrics (Prometheus), /metrics.json, /debug/vars, and
-// /debug/pprof/*. It returns the bound address (useful with ":0").
-func ServeMetrics(addr string, m *Metrics) (string, error) {
+// /debug/pprof/*. It returns the bound address (useful with ":0") and a
+// shutdown function that drains in-flight requests and closes the
+// listener; callers that want process-lifetime serving never call it.
+func ServeMetrics(addr string, m *Metrics) (string, func(context.Context) error, error) {
 	return obs.Serve(addr, m)
 }
+
+// NewTracer returns an empty tracer. Attach it with
+// Metrics.SetTracer before running the pipeline, then export with
+// WriteTraceFile. Trace files contain only simulated clocks, so they
+// are byte-identical for any worker count.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewFlightRecorder returns a flight recorder retaining the last
+// `capacity` events (<= 0 selects the default of 512). Attach it with
+// Metrics.SetFlight; set its RunID field to tag dumps.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity)
+}
+
+// RunID derives a stable run identifier from the given labels
+// (typically os.Args) for tagging logs and flight dumps.
+func RunID(labels ...string) string { return obs.RunID(labels...) }
+
+// ConfigureLogging attaches a leveled structured text logger to the
+// registry, writing to w with the run id on every record. level is the
+// -log-level flag syntax: debug, info, warn, error, or "" / "off" for
+// disabled (a no-op). An unknown level is an error.
+func ConfigureLogging(m *Metrics, w io.Writer, level, runID string) error {
+	lvl, enabled, err := obs.ParseLogLevel(level)
+	if err != nil || !enabled {
+		return err
+	}
+	m.SetLogger(obs.NewLogger(w, lvl, runID))
+	return nil
+}
+
+// WriteTraceFile exports a tracer as a Chrome/Perfetto-loadable
+// trace_event JSON file.
+func WriteTraceFile(t *Tracer, path string) error { return t.WriteFile(path) }
+
+// ReadFlightFile parses a flight-recorder dump file.
+func ReadFlightFile(path string) (FlightDump, error) { return obs.ReadFlightFile(path) }
 
 // DefaultExtractionConfig returns the paper's selective-extraction
 // operating point (0.001 skip threshold, ≤2 bits per weight).

@@ -93,6 +93,9 @@ func Evaluate(surrogate *transformer.Model, victim func([]int) int, examples []t
 	}
 	reg.Counter("adversarial.inputs_attacked").Add(int64(res.Attempted))
 	reg.Counter("adversarial.successes").Add(int64(res.Successes))
+	reg.Log().Debug("adversarial transfer evaluated",
+		"attempted", res.Attempted, "successes", res.Successes,
+		"rate", res.SuccessRate())
 	return res
 }
 
@@ -108,6 +111,7 @@ func BuildSubstitute(pre *transformer.Model, victim func([]int) int, inputs [][]
 		records[i] = transformer.Example{Tokens: tokens, Label: victim(tokens)}
 	}
 	reg.Counter("adversarial.substitutes_built").Inc()
+	reg.Log().Debug("substitute distilled", "records", len(records))
 	return transformer.FineTuneFrom(pre, numLabels, records, transformer.TrainConfig{
 		Epochs: 6, BatchSize: 4,
 		LR: 5e-5, HeadLR: 3e-2, WeightDecay: 1.0,

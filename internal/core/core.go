@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"decepticon/internal/adversarial"
 	"decepticon/internal/extract"
@@ -147,10 +148,10 @@ type Report struct {
 	// with Resume to continue from the checkpoint.
 	ExtractInterrupted bool
 	MatchRate          float64 // clone vs victim predictions on held-out inputs
-	VictimAcc    float64
-	CloneAcc     float64
-	VictimF1     float64
-	CloneF1      float64
+	VictimAcc          float64
+	CloneAcc           float64
+	VictimF1           float64
+	CloneF1            float64
 
 	// Optional adversarial stage.
 	AdvClone       float64   // clone-driven success rate
@@ -166,10 +167,10 @@ type Report struct {
 // Campaign aggregates the outcome of attacking many victims.
 type Campaign struct {
 	Victims       int
-	Identified    int     // correct pre-trained identification
-	ProbeResolved int     // identifications that needed query probes
-	ArchConfirmed int     // bus-probe architecture checks that passed
-	ExtractFailed int     // victims whose extraction errored (see Report.ExtractError)
+	Identified    int // correct pre-trained identification
+	ProbeResolved int // identifications that needed query probes
+	ArchConfirmed int // bus-probe architecture checks that passed
+	ExtractFailed int // victims whose extraction errored (see Report.ExtractError)
 	// ExtractSkipped counts victims whose extraction was never attempted
 	// (architecture mismatch); ExtractInterrupted counts victims that hit
 	// the read budget and checkpointed — both distinct from failures.
@@ -214,6 +215,11 @@ func (c *Campaign) IdentificationRate() float64 {
 // after the join — so the campaign is identical for any worker count.
 func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, error) {
 	defer a.Obs.StartSpan("core.campaign_seconds").End()
+	pipe := a.Obs.Tracer().Track(obs.PidPipeline, 0, "pipeline")
+	campaignSpan := pipe.Begin("campaign", obs.A("victims", len(victims)))
+	defer campaignSpan.End()
+	defer pipe.Advance(int64(len(victims)))
+	a.Obs.Log().Info("campaign start", "victims", len(victims), "workers", opt.Workers)
 	// Per-victim completion events flow through an ordered sink, so
 	// OnReport observes victims in input order — the same sequence a
 	// serial campaign would deliver — regardless of worker count.
@@ -225,6 +231,9 @@ func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, er
 	reports, err := parallel.MapErr(len(victims), opt.Workers, func(i int) (*Report, error) {
 		o := opt
 		o.MeasureSeed = opt.MeasureSeed + uint64(i)*7919
+		// Stable campaign-lane assignment: trace lanes follow input
+		// order, not completion order.
+		o.traceTID = int64(i) + 1
 		rep, err := a.Run(victims[i], o)
 		if err != nil {
 			sink.Done(i)
@@ -322,6 +331,17 @@ type RunOptions struct {
 	// Calls are serialized and arrive in victim input order (an ordered
 	// sink bridges the worker pool), so progress output is deterministic.
 	OnReport func(index int, rep *Report)
+	// FlightPath, when set, is where the flight recorder attached to the
+	// registry is dumped if this victim's extraction is interrupted,
+	// fails, or degrades tensors under faults. With CheckpointDir set the
+	// dump instead lands next to the checkpoint as <victim>.flight.json,
+	// so each victim's post-mortem is its own file.
+	FlightPath string
+
+	// traceTID is the campaign-lane thread id this victim's trace track
+	// uses; RunAll assigns input-index+1 so lanes are stable across
+	// worker counts. Zero (a direct Run call) maps to lane 1.
+	traceTID int64
 }
 
 // pickSubstitute returns the s-th distillation baseline for the victim: a
@@ -359,6 +379,33 @@ func checkpointName(victim string) string {
 	return safe + ".ckpt"
 }
 
+// flightDumpPath returns where a victim's flight dump lands: next to its
+// checkpoint when CheckpointDir is set, else RunOptions.FlightPath
+// (empty = no dump).
+func flightDumpPath(opt RunOptions, victim string) string {
+	if opt.CheckpointDir != "" {
+		return filepath.Join(opt.CheckpointDir,
+			strings.TrimSuffix(checkpointName(victim), ".ckpt")+".flight.json")
+	}
+	return opt.FlightPath
+}
+
+// dumpFlight writes the attached flight recorder's post-mortem for a
+// victim whose extraction went wrong. Nil-safe on every axis: without a
+// recorder or a destination it is a no-op.
+func (a *Attack) dumpFlight(opt RunOptions, victim, reason string) {
+	f := a.Obs.Flight()
+	path := flightDumpPath(opt, victim)
+	if f == nil || path == "" {
+		return
+	}
+	if err := f.Dump(path, reason); err != nil {
+		a.Obs.Log().Error("flight dump failed", "victim", victim, "path", path, "err", err)
+		return
+	}
+	a.Obs.Log().Info("flight recorder dumped", "victim", victim, "path", path, "reason", reason)
+}
+
 // Run executes the two-level attack against a black-box victim.
 func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	rep := &Report{
@@ -366,6 +413,19 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 		TruePretrained: victim.Pretrained.Name,
 	}
 	a.Obs.Counter("core.victims_attacked").Inc()
+	log := a.Obs.Log().With("victim", victim.Name)
+	log.Info("attack start")
+	// The victim's trace lane: every phase span below lands here, with
+	// the lane clock advanced only by simulated quantities (kernel-trace
+	// microseconds, oracle rounds, validation forwards) so the exported
+	// trace is byte-identical for any worker count.
+	tid := opt.traceTID
+	if tid == 0 {
+		tid = 1
+	}
+	tk := a.Obs.Tracer().Track(obs.PidCampaign, tid, victim.Name)
+	attackSpan := tk.Begin("attack", obs.A("victim", victim.Name))
+	defer attackSpan.End()
 	// Every black-box interaction with the victim — query-output probes,
 	// the extraction stop condition, adversarial transfer tests and
 	// distillation records — goes through this counted path, so
@@ -378,11 +438,16 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 
 	// ---- Level 1: identify the pre-trained model. ----
 	identifySpan := a.Obs.StartSpan("core.phase.identify_seconds")
+	identifyStart := time.Now()
+	identifyTrace := tk.Begin("identify")
 	trace := victim.Trace(gpusim.Options{MeasureSeed: opt.MeasureSeed, JitterMagnitude: 0.3})
+	// The simulated kernel timeline is the natural clock for this phase.
+	tk.Advance(int64(trace.Duration()))
 	top := a.Classifier.PredictTopK(trace, 3)
 	identified := top[0]
 	cand := a.Zoo.PretrainedByName(identified)
 	if cand == nil {
+		identifyTrace.End()
 		identifySpan.End()
 		return nil, fmt.Errorf("core: classifier produced unknown candidate %q", identified)
 	}
@@ -418,7 +483,11 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 			inferred.Hidden == pre.Model.Hidden &&
 			inferred.FFN == pre.Model.FFN
 	}
+	identifyTrace.End()
 	identifySpan.End()
+	a.Obs.Histogram("core.victim_identify_seconds").Observe(time.Since(identifyStart).Seconds())
+	log.Info("identified", "as", identified, "correct", rep.CorrectIdentity,
+		"probes", rep.ProbeQueries, "arch_confirmed", rep.ArchConfirmed)
 
 	if pre.ArchName != victim.Pretrained.ArchName {
 		// Architecture mismatch: the weight extraction cannot even start.
@@ -428,11 +497,15 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 			"identified release %s has architecture %s, victim's bus-probe layout says %s: extraction never attempted",
 			identified, pre.ArchName, victim.Pretrained.ArchName)
 		a.Obs.Counter("core.extract_skipped").Inc()
+		tk.Instant("extract_skipped", obs.A("identified", identified))
+		log.Warn("extraction skipped", "reason", "architecture mismatch", "identified", identified)
 		return rep, nil
 	}
 
 	// ---- Level 2: selective weight extraction. ----
 	extractSpan := a.Obs.StartSpan("core.phase.extract_seconds")
+	extractStart := time.Now()
+	extractTrace := tk.Begin("extract")
 	oracle := sidechannel.NewOracle(victim.Model)
 	oracle.SetObs(a.Obs)
 	if opt.BitErrorRate > 0 {
@@ -450,22 +523,29 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 		Obs:        a.Obs,
 		Resume:     opt.Resume,
 		ReadBudget: opt.ReadBudget,
+		Trace:      tk,
 	}
 	if opt.CheckpointDir != "" {
 		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
+			extractTrace.End()
 			extractSpan.End()
 			return nil, fmt.Errorf("core: checkpoint dir: %w", err)
 		}
 		ex.CheckpointPath = filepath.Join(opt.CheckpointDir, checkpointName(victim.Name))
 	}
 	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
+	extractTrace.End()
 	extractSpan.End()
+	a.Obs.Histogram("core.victim_extract_seconds").Observe(time.Since(extractStart).Seconds())
 	if errors.Is(err, extract.ErrInterrupted) {
 		// The read budget ran out: the work done so far is checkpointed
 		// (when CheckpointDir is set) and a Resume run will finish it.
 		// Not a failure — the campaign continues with the other victims.
 		rep.ExtractInterrupted = true
 		a.Obs.Counter("core.extract_interrupted").Inc()
+		tk.Instant("extract_interrupted")
+		log.Warn("extraction interrupted", "err", err)
+		a.dumpFlight(opt, victim.Name, "extraction interrupted: "+err.Error())
 		return rep, nil
 	}
 	if err != nil {
@@ -474,12 +554,22 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 		// level-1 results.
 		rep.ExtractError = err.Error()
 		a.Obs.Counter("core.extract_failures").Inc()
+		tk.Instant("extract_failed")
+		log.Error("extraction failed", "err", err)
+		a.dumpFlight(opt, victim.Name, "extraction failed: "+err.Error())
 		return rep, nil
 	}
 	rep.Extract = st
 	rep.Clone = clone
+	if st.TensorsDegraded > 0 {
+		// Fault-budget exhaustion: the run completed, but some tensors
+		// fell back to the baseline — leave the black-box record of how.
+		a.dumpFlight(opt, victim.Name,
+			fmt.Sprintf("extraction degraded %d tensors", st.TensorsDegraded))
+	}
 
 	evalSpan := a.Obs.StartSpan("core.phase.evaluate_seconds")
+	evalTrace := tk.Begin("evaluate")
 	vp := victim.Model.Predictions(victim.Dev)
 	cp := clone.Predictions(victim.Dev)
 	rep.MatchRate = stats.MatchRate(vp, cp)
@@ -487,11 +577,17 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	rep.CloneAcc = clone.Evaluate(victim.Dev)
 	rep.VictimF1 = victim.Model.EvaluateF1(victim.Dev)
 	rep.CloneF1 = clone.EvaluateF1(victim.Dev)
+	// Six passes over the dev set (predictions, accuracy, F1 × victim
+	// and clone) — a deterministic work unit for the lane clock.
+	tk.Advance(int64(6 * len(victim.Dev)))
+	evalTrace.End()
 	evalSpan.End()
+	log.Info("evaluated", "match_rate", rep.MatchRate, "clone_acc", rep.CloneAcc)
 
 	// ---- Optional: adversarial attack (Fig 18). ----
 	if opt.Adversarial {
 		advSpan := a.Obs.StartSpan("core.phase.adversarial_seconds")
+		advTrace := tk.Begin("adversarial", obs.A("substitutes", opt.NumSubstitutes))
 		flips := opt.FlipsPerInput
 		if flips <= 0 {
 			flips = 2
@@ -512,6 +608,9 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 			rep.AdvSubstitutes = append(rep.AdvSubstitutes,
 				adversarial.Evaluate(sub, countedPredict, victim.Dev, flips, a.Obs).SuccessRate())
 		}
+		// One attack evaluation per substitute plus the clone itself.
+		tk.Advance(int64((1 + opt.NumSubstitutes) * len(victim.Dev)))
+		advTrace.End()
 		advSpan.End()
 	}
 	return rep, nil

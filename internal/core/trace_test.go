@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decepticon/internal/obs"
+	"decepticon/internal/sidechannel"
+)
+
+// traceOf runs a campaign against the shared attack with a fresh
+// registry and tracer, and returns the exported trace JSON.
+func traceOf(t *testing.T, atk *Attack, run func(*Attack)) []byte {
+	t.Helper()
+	reg := obs.New()
+	tr := obs.NewTracer()
+	reg.SetTracer(tr)
+	atk2 := *atk
+	atk2.Obs = reg
+	run(&atk2)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignTraceWorkerInvariance: the exported trace file of a
+// faulted campaign is byte-identical for any worker count — span
+// timestamps derive only from per-victim simulated clocks, never from
+// wall time or scheduling order.
+func TestCampaignTraceWorkerInvariance(t *testing.T) {
+	atk, z := getAttack(t)
+	victims := z.FineTuned[:4]
+	plan := &sidechannel.FaultPlan{Seed: 21, TransientRate: 0.02, StuckRate: 0.0005}
+	run := func(workers int) []byte {
+		return traceOf(t, atk, func(a *Attack) {
+			if _, err := a.RunAll(victims, RunOptions{
+				MeasureSeed: 70, Workers: workers, FaultPlan: plan,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	w1 := run(1)
+	w4 := run(4)
+	for _, name := range []string{`"campaign"`, `"attack"`, `"identify"`, `"extract"`, `"evaluate"`} {
+		if !bytes.Contains(w1, []byte(name)) {
+			t.Fatalf("trace is missing the %s span — the invariance check is vacuous", name)
+		}
+	}
+	if !bytes.Equal(w1, w4) {
+		i := 0
+		for i < len(w1) && i < len(w4) && w1[i] == w4[i] {
+			i++
+		}
+		lo := max(0, i-120)
+		t.Fatalf("trace diverges between workers 1 and 4 at byte %d:\nw1: ...%s\nw4: ...%s",
+			i, w1[lo:min(len(w1), i+120)], w4[lo:min(len(w4), i+120)])
+	}
+}
+
+// TestFlightDumpOnInterruptedExtraction: an extraction killed by its
+// read budget must leave a parseable, non-empty flight-recorder dump
+// next to its checkpoint, tagged with the recorder's run id and a
+// reason that names the interrupt.
+func TestFlightDumpOnInterruptedExtraction(t *testing.T) {
+	atk, z := getAttack(t)
+	victim := z.FineTuned[0]
+	reg := obs.New()
+	rec := obs.NewFlightRecorder(0)
+	rec.RunID = "flight-test"
+	reg.SetFlight(rec)
+	atk2 := *atk
+	atk2.Obs = reg
+	plan := &sidechannel.FaultPlan{Seed: 33, TransientRate: 0.02}
+	// Measure the victim's uninterrupted cost first; half of it is a
+	// budget guaranteed to interrupt.
+	ref, err := atk2.Run(victim, RunOptions{MeasureSeed: 80, FaultPlan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Extract == nil {
+		t.Fatalf("victim %s did not extract in the reference run", victim.Name)
+	}
+	opt := RunOptions{
+		MeasureSeed: 80,
+		FaultPlan:   plan,
+		ReadBudget:  (ref.Extract.PhysicalBitReads + ref.Extract.ReadFaults) / 2,
+	}
+	opt.CheckpointDir = t.TempDir()
+	rep, err := atk2.Run(victim, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ExtractInterrupted {
+		t.Fatalf("budget %d did not interrupt the extraction", opt.ReadBudget)
+	}
+	d, err := obs.ReadFlightFile(flightDumpPath(opt, victim.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("flight dump holds no events")
+	}
+	if d.RunID != "flight-test" {
+		t.Fatalf("dump run id %q, want %q", d.RunID, "flight-test")
+	}
+	if !strings.Contains(d.Reason, "interrupted") {
+		t.Fatalf("dump reason %q does not name the interrupt", d.Reason)
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Seq <= d.Events[i-1].Seq {
+			t.Fatalf("flight sequence not increasing at %d: %d after %d",
+				i, d.Events[i].Seq, d.Events[i-1].Seq)
+		}
+	}
+	// The record must include the interrupt decision itself, not just
+	// trace mirrors.
+	found := false
+	for _, ev := range d.Events {
+		if ev.Kind == "interrupt" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("flight dump does not record the interrupt decision")
+	}
+}

@@ -72,6 +72,11 @@ type Env struct {
 	// attack-driving experiments (see core.RunOptions).
 	CheckpointDir string
 	Resume        bool
+
+	// FlightPath, when non-empty, is where attack-driving experiments dump
+	// the flight recorder if an extraction is interrupted, fails, or
+	// degrades tensors and no CheckpointDir is set (see core.RunOptions).
+	FlightPath string
 }
 
 // NewEnv returns an experiment environment at the given scale.

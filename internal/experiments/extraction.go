@@ -29,6 +29,7 @@ func (e *Env) Fig15() *Fig15Result {
 	rep, err := atk.Run(victim, core.RunOptions{
 		MeasureSeed: 15,
 		FaultPlan:   e.FaultPlan, CheckpointDir: e.CheckpointDir, Resume: e.Resume,
+		FlightPath: e.FlightPath,
 	})
 	if err != nil {
 		panic(err)
@@ -259,6 +260,7 @@ func (e *Env) Fig18() *Fig18Result {
 	}
 	rep, err := atk.Run(victim, core.RunOptions{
 		MeasureSeed: 18, Adversarial: true, NumSubstitutes: n, FlipsPerInput: 2,
+		FlightPath: e.FlightPath,
 	})
 	if err != nil {
 		panic(err)

@@ -22,6 +22,7 @@ package extract
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"decepticon/internal/ieee754"
@@ -485,6 +486,22 @@ type Extractor struct {
 	// Once exceeded — checked at tensor boundaries, so a tensor is never
 	// split — Run saves a last checkpoint and returns ErrInterrupted.
 	ReadBudget int64
+	// Trace, when set, is this victim's trace track: Run opens one span
+	// per extracted tensor and advances the track's logical clock by the
+	// simulated rounds the channel spent, so a trace shows exactly where
+	// hammer time went. Deterministic for any worker count (the clock
+	// only moves by simulated units).
+	Trace *obs.Track
+
+	// Instrument handles resolved once per Run (nil-safe no-ops). The
+	// histograms are fed live reads, so unlike the counters published
+	// from Stats they cover only work performed in this run — a resumed
+	// run's histograms describe the resumed portion.
+	hBitRounds     *obs.Histogram
+	hTensorRounds  *obs.Histogram
+	hTensorRetries *obs.Histogram
+	flight         *obs.FlightRecorder
+	log            *slog.Logger
 }
 
 // tensorRetry carries the per-tensor retry budget through one tensor's
@@ -539,6 +556,11 @@ func (e *Extractor) reader(name string, idx int, rp RetryPolicy, st *Stats, tr *
 	read := e.retryingRead(name, idx, rp, st, tr)
 	repeats := e.Cfg.EffectiveReadRepeats()
 	return func(bit int) (int, error) {
+		// One observation per logical bit: the channel clock delta covers
+		// vote repeats, backoff waits, and escalation bursts — the true
+		// latency of recovering this bit, in simulated rounds.
+		start := e.Oracle.Clock()
+		defer func() { e.hBitRounds.Observe(float64(e.Oracle.Clock() - start)) }()
 		ones, votes := 0, 0
 		for i := 0; i < repeats; i++ {
 			b, err := read(bit)
@@ -567,6 +589,9 @@ func (e *Extractor) reader(name string, idx int, rp RetryPolicy, st *Stats, tr *
 // at all confirms the stuck suspicion and degrades the bit.
 func (e *Extractor) escalate(name string, idx, bit int, rp RetryPolicy, st *Stats) (int, error) {
 	st.Escalations++
+	e.flight.Note("escalate", name, map[string]string{
+		"index": fmt.Sprint(idx), "bit": fmt.Sprint(bit),
+	})
 	ones, votes := 0, 0
 	for a := 0; a < 2*rp.EscalateRepeats && votes < rp.EscalateRepeats; a++ {
 		b, err := e.Oracle.ReadBit(name, idx, bit)
@@ -610,6 +635,11 @@ func (e *Extractor) escalate(name string, idx, bit int, rp RetryPolicy, st *Stat
 // Stats, and obs counters) while paying each hammer round exactly once.
 func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*transformer.Model, *Stats, error) {
 	defer e.Obs.StartSpan("extract.run_seconds").End()
+	e.hBitRounds = e.Obs.Histogram("extract.bit_read_rounds")
+	e.hTensorRounds = e.Obs.Histogram("extract.tensor_rounds")
+	e.hTensorRetries = e.Obs.Histogram("extract.tensor_retries")
+	e.flight = e.Obs.Flight()
+	e.log = e.Obs.Log()
 	cfg := e.Cfg
 	stats := &Stats{LayersTotal: e.Pre.Layers}
 
@@ -687,6 +717,12 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 			return nil
 		}
 		if paid := e.Oracle.BitReads + e.Oracle.FaultedReads; paid >= e.ReadBudget {
+			e.flight.Note("interrupt", "read budget exhausted", map[string]string{
+				"paid":   fmt.Sprint(paid),
+				"budget": fmt.Sprint(e.ReadBudget),
+			})
+			e.log.Warn("extraction interrupted at read budget",
+				"paid", paid, "budget", e.ReadBudget, "tensors_done", len(doneOrder))
 			return fmt.Errorf("%w: %d oracle attempts paid of a %d budget", ErrInterrupted, paid, e.ReadBudget)
 		}
 		return nil
@@ -724,6 +760,12 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		e.Obs.Counter("extract.tensors_degraded").Add(int64(stats.TensorsDegraded))
 		e.Obs.Counter("extract.weights_nonfinite").Add(int64(stats.WeightsNonFinite))
 		e.Obs.Counter("extract.runs").Inc()
+		e.log.Info("extraction complete",
+			"layers", stats.LayersExtracted,
+			"bits_logical", stats.LogicalBitsRead(),
+			"physical_reads", stats.PhysicalBitReads,
+			"retries", stats.Retries,
+			"tensors_degraded", stats.TensorsDegraded)
 	}
 
 	// Victim predictions are queries, not reads: a resumed run re-issues
@@ -841,6 +883,25 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 	return clone, stats, nil
 }
 
+// tensorSpan instruments one tensor's extraction: a trace span (named
+// after the tensor) on the victim's track, advanced by the simulated
+// rounds the channel spent, plus the per-tensor latency/retry histograms
+// and a debug log line. Returns the closer for defer.
+func (e *Extractor) tensorSpan(name string, stats *Stats) func() {
+	sp := e.Trace.Begin(name)
+	clockStart := e.Oracle.Clock()
+	retriesStart := stats.Retries
+	return func() {
+		rounds := e.Oracle.Clock() - clockStart
+		e.Trace.Advance(rounds)
+		sp.End()
+		e.hTensorRounds.Observe(float64(rounds))
+		e.hTensorRetries.Observe(float64(stats.Retries - retriesStart))
+		e.log.Debug("tensor extracted", "tensor", name,
+			"rounds", rounds, "retries", stats.Retries-retriesStart)
+	}
+}
+
 func indexParams(m *transformer.Model) map[string][]float32 {
 	out := make(map[string][]float32)
 	for _, p := range m.Params() {
@@ -861,6 +922,7 @@ func isFinite(v float32) bool {
 // remaining weights are zeroed and recorded as degraded — with no
 // baseline to fall back on, zero is the only honest value.
 func (e *Extractor) extractHeadTensor(name string, dst []float32, stats *Stats) error {
+	defer e.tensorSpan(name, stats)()
 	rp := e.Cfg.Retry.withDefaults()
 	tr := &tensorRetry{budget: rp.TensorRetryBudget}
 	faultsBefore := e.Oracle.FaultedReads
@@ -908,8 +970,18 @@ func (e *Extractor) extractHeadTensor(name string, dst []float32, stats *Stats) 
 		}
 		stats.TensorsDegraded++
 		stats.DegradedTensors = append(stats.DegradedTensors, name)
+		e.noteDegrade(name, degradeFrom, len(dst))
 	}
 	return nil
+}
+
+// noteDegrade records a tensor falling back to its baseline (or zeros)
+// in the flight recorder and the log.
+func (e *Extractor) noteDegrade(name string, from, size int) {
+	e.flight.Note("degrade", name, map[string]string{
+		"from": fmt.Sprint(from), "weights": fmt.Sprint(size - from),
+	})
+	e.log.Warn("tensor degraded", "tensor", name, "from", from, "weights", size-from)
 }
 
 // extractTensor applies Algorithm 1 to every weight of one tensor,
@@ -918,6 +990,7 @@ func (e *Extractor) extractHeadTensor(name string, dst []float32, stats *Stats) 
 // retry budget (or a permanently dead region) makes the rest of the
 // tensor fall back to the pre-trained baseline wholesale.
 func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats) error {
+	defer e.tensorSpan(name, stats)()
 	cfg := e.Cfg
 	rp := cfg.Retry.withDefaults()
 	tr := &tensorRetry{budget: rp.TensorRetryBudget}
@@ -1008,6 +1081,7 @@ func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats
 		}
 		stats.TensorsDegraded++
 		stats.DegradedTensors = append(stats.DegradedTensors, name)
+		e.noteDegrade(name, degradeFrom, len(base))
 	}
 	return nil
 }

@@ -223,13 +223,23 @@ func (c *Classifier) Train(d *Dataset, cfg TrainConfig) float64 {
 	if cfg.LR == 0 {
 		cfg.LR = 0.001
 	}
+	// Pipeline-lane span: the clock advances by epochs × samples, the
+	// deterministic unit of level-1 training work.
+	pipe := c.Obs.Tracer().Track(obs.PidPipeline, 0, "pipeline")
+	sp := pipe.Begin("fingerprint.train",
+		obs.A("samples", len(d.Samples)), obs.A("epochs", cfg.Epochs))
+	defer sp.End()
+	defer pipe.Advance(int64(cfg.Epochs * len(d.Samples)))
 	x, labels := c.matrixOf(d)
-	return c.net.Fit(x, labels, nn.TrainConfig{
+	loss := c.net.Fit(x, labels, nn.TrainConfig{
 		Epochs:    cfg.Epochs,
 		BatchSize: 16,
 		Optimizer: nn.NewAdamW(cfg.LR, 0),
 		Seed:      cfg.Seed,
 	})
+	c.Obs.Log().Info("fingerprint classifier trained",
+		"samples", len(d.Samples), "epochs", cfg.Epochs, "loss", loss)
+	return loss
 }
 
 // Predict returns the pre-trained model name for a trace.
@@ -273,7 +283,10 @@ func (c *Classifier) Accuracy(d *Dataset) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(d.Samples))
+	acc := float64(correct) / float64(len(d.Samples))
+	c.Obs.Log().Debug("fingerprint accuracy evaluated",
+		"samples", len(d.Samples), "accuracy", acc)
+	return acc
 }
 
 // NoiseAccuracy evaluates the Fig 14 noise sweeps: every test trace gets
@@ -297,7 +310,11 @@ func (c *Classifier) NoiseAccuracy(d *Dataset, count int, magnitude float64, see
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(d.Samples))
+	acc := float64(correct) / float64(len(d.Samples))
+	c.Obs.Log().Debug("fingerprint noise accuracy evaluated",
+		"samples", len(d.Samples), "kernels", count, "magnitude", magnitude,
+		"accuracy", acc)
+	return acc
 }
 
 // CentroidBaseline is the ablation comparator for the CNN: a nearest-

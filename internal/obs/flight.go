@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultFlightCapacity is the ring size used by NewFlightRecorder when
+// the caller passes a non-positive capacity.
+const DefaultFlightCapacity = 512
+
+// FlightEvent is one entry in the flight recorder's ring: a completed
+// trace span or instant, or an explicit note (channel fault, retry
+// escalation, degradation, budget interrupt).
+type FlightEvent struct {
+	// Seq is the event's global arrival number, strictly increasing for
+	// the recorder's lifetime — the dump validator's monotonicity check.
+	Seq   int64             `json:"seq"`
+	Kind  string            `json:"kind"`
+	Name  string            `json:"name"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightDump is the serialized post-mortem record.
+type FlightDump struct {
+	RunID string `json:"run_id,omitempty"`
+	// Reason records why the dump was written ("read budget exhausted",
+	// "extraction failed: ...", "run exit", ...).
+	Reason string `json:"reason"`
+	// Dropped counts events that aged out of the ring before the dump.
+	Dropped int64         `json:"dropped"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// FlightRecorder is a bounded ring buffer of the last N trace events
+// and fault/retry/degradation decisions. It is the black box of a
+// campaign: cheap enough to leave always-on, dumped automatically next
+// to the checkpoint when an extraction is interrupted, fails, or
+// exhausts its fault budget.
+//
+// Events are recorded in arrival order, which under a parallel campaign
+// interleaves victims non-deterministically — a flight dump is a
+// post-mortem record, NOT part of the byte-identical-across-workers
+// guarantee the trace file carries. All methods are nil-safe.
+type FlightRecorder struct {
+	// RunID, when set, is stamped into every dump.
+	RunID string
+
+	mu      sync.Mutex
+	cap     int
+	seq     int64
+	dropped int64
+	buf     []FlightEvent // ring; buf[(seq-len)..seq) in arrival order
+	start   int
+}
+
+// NewFlightRecorder returns a recorder keeping the last capacity events
+// (DefaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{cap: capacity}
+}
+
+// Note records one event. No-op on a nil receiver.
+func (f *FlightRecorder) Note(kind, name string, attrs map[string]string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	ev := FlightEvent{Seq: f.seq, Kind: kind, Name: name, Attrs: attrs}
+	if len(f.buf) < f.cap {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.start] = ev
+		f.start = (f.start + 1) % f.cap
+		f.dropped++
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, len(f.buf))
+	for i := 0; i < len(f.buf); i++ {
+		out = append(out, f.buf[(f.start+i)%len(f.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// WriteJSON writes the dump. Nil-safe (writes an empty dump).
+func (f *FlightRecorder) WriteJSON(w io.Writer, reason string) error {
+	d := FlightDump{Reason: reason, Events: f.Events()}
+	if d.Events == nil {
+		d.Events = []FlightEvent{}
+	}
+	if f != nil {
+		d.RunID = f.RunID
+		f.mu.Lock()
+		d.Dropped = f.dropped
+		f.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// Dump writes the dump to path. No-op (returning nil) on a nil
+// receiver, so callers can dump unconditionally.
+func (f *FlightRecorder) Dump(path, reason string) error {
+	if f == nil {
+		return nil
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	err = f.WriteJSON(file, reason)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ParseFlightDump reads a dump written by WriteJSON/Dump.
+func ParseFlightDump(r io.Reader) (FlightDump, error) {
+	var d FlightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return FlightDump{}, fmt.Errorf("obs: parse flight dump: %w", err)
+	}
+	return d, nil
+}
+
+// ReadFlightFile parses a dump file.
+func ReadFlightFile(path string) (FlightDump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FlightDump{}, fmt.Errorf("obs: read flight dump: %w", err)
+	}
+	defer f.Close()
+	return ParseFlightDump(f)
+}

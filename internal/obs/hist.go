@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: power-of-two upper bounds 2^histMinExp ..
+// 2^histMaxExp plus an explicit +Inf overflow bucket. The range covers
+// everything the pipeline observes — sub-microsecond wall times at the
+// bottom, billions of simulated hammer rounds at the top — and the
+// log-2 spacing keeps the bucket count flat (52) while preserving
+// relative resolution, which is what quantile interpolation needs.
+const (
+	histMinExp  = -20 // smallest upper bound: 2^-20 ≈ 9.5e-7
+	histMaxExp  = 30  // largest finite upper bound: 2^30 ≈ 1.07e9
+	histBuckets = histMaxExp - histMinExp + 1
+)
+
+// Histogram is a lock-free log-bucketed distribution: each observation
+// lands in the smallest power-of-two bucket that covers it. Like every
+// obs instrument it is nil-safe (a nil *Histogram no-ops) and cheap
+// enough for hot paths — Observe is one Frexp, two atomic adds, and a
+// CAS loop for the float sum.
+//
+// Determinism follows the registry's contract: a histogram fed from
+// simulated units (hammer rounds, retry counts) is byte-identical for
+// any worker count; one fed wall time (by convention named *_seconds)
+// is not, exactly like timers.
+type Histogram struct {
+	buckets  [histBuckets]atomic.Int64
+	overflow atomic.Int64
+	sumBits  atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// bucketIndex returns the bucket covering v: the smallest i such that
+// v <= 2^(histMinExp+i), or histBuckets for the +Inf overflow bucket.
+// Non-positive values land in bucket 0.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets // Frexp(+Inf) reports exp 0, so catch it here
+	}
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	if frac == 0.5 {
+		exp-- // v is exactly a power of two: it fits its own bound
+	}
+	idx := exp - histMinExp
+	switch {
+	case idx < 0:
+		return 0
+	case idx >= histBuckets:
+		return histBuckets
+	}
+	return idx
+}
+
+// bucketBound returns the upper bound of bucket i (math.Inf for the
+// overflow bucket).
+func bucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if i := bucketIndex(v); i >= histBuckets {
+		h.overflow.Add(1)
+	} else {
+		h.buckets[i].Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver). It is
+// derived from the buckets, so "bucket counts sum to Count" holds by
+// construction — the invariant metricscheck enforces.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n + h.overflow.Load()
+}
+
+// Sum returns the accumulated total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation inside the covering bucket. 0 on a nil or empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Value().Quantile(q)
+}
+
+// Value exports the histogram's current state. Buckets run from the
+// first non-empty bound through the last, plus the explicit +Inf
+// bucket, with per-bucket (not cumulative) counts.
+func (h *Histogram) Value() HistogramValue {
+	hv := HistogramValue{}
+	if h == nil {
+		return hv
+	}
+	first, last := -1, -1
+	counts := make([]int64, histBuckets)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first >= 0 {
+		for i := first; i <= last; i++ {
+			hv.Buckets = append(hv.Buckets, HistogramBucket{
+				Le: promFloat(bucketBound(i)), Count: counts[i],
+			})
+			hv.Count += counts[i]
+		}
+	}
+	over := h.overflow.Load()
+	hv.Buckets = append(hv.Buckets, HistogramBucket{Le: "+Inf", Count: over})
+	hv.Count += over
+	hv.Sum = h.Sum()
+	hv.Quantiles = hv.quantiles()
+	return hv
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// discardHandler is a no-op slog.Handler. (go.mod targets go 1.22, so
+// the go 1.24 slog.DiscardHandler is off-limits.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// discardLogger backs Registry.Log when no logger is attached: Enabled
+// reports false before any attribute work, so un-configured logging
+// costs near nothing.
+var discardLogger = slog.New(discardHandler{})
+
+// NewLogger returns a leveled text logger writing to w, with the run id
+// attached to every record when non-empty. This is what the CLIs build
+// from -log-level; libraries receive it via Registry.SetLogger.
+func NewLogger(w io.Writer, level slog.Level, runID string) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	if runID != "" {
+		l = l.With("run", runID)
+	}
+	return l
+}
+
+// ParseLogLevel maps a -log-level flag value to a slog level. The empty
+// string and "off" disable logging (enabled = false).
+func ParseLogLevel(s string) (level slog.Level, enabled bool, err error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off":
+		return 0, false, nil
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info":
+		return slog.LevelInfo, true, nil
+	case "warn":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	}
+	return 0, false, fmt.Errorf("obs: unknown log level %q (use debug, info, warn, error, or off)", s)
+}
+
+// RunID derives a stable 16-hex-digit run identifier from the given
+// labels (typically the CLI's argument list). Deliberately content-
+// derived rather than random or time-based: the id lands in logs and
+// flight dumps, and those must not smuggle nondeterminism into
+// otherwise reproducible runs.
+func RunID(labels ...string) string {
+	h := fnv.New64a()
+	for _, l := range labels {
+		h.Write([]byte(l))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -23,6 +23,7 @@
 package obs
 
 import (
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -104,6 +105,16 @@ func (t *Timer) Count() int64 {
 	return t.count.Load()
 }
 
+// Mean returns the average observed duration (0 when nothing was
+// observed) — the per-call latency a Total alone cannot give.
+func (t *Timer) Mean() time.Duration {
+	n := t.Count()
+	if n == 0 {
+		return 0
+	}
+	return t.Total() / time.Duration(n)
+}
+
 // Span is one in-flight timed phase. End records the elapsed time into
 // the timer that started it; End is idempotent and nil-safe, so
 // `defer r.StartSpan("phase").End()` works unconditionally.
@@ -132,6 +143,14 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
+
+	// Optional attached subsystems (see trace.go, flight.go,
+	// logging.go). Atomic pointers so hot-path accessors never take the
+	// registry mutex.
+	tracer atomic.Pointer[Tracer]
+	flight atomic.Pointer[FlightRecorder]
+	logger atomic.Pointer[slog.Logger]
 }
 
 // New returns an empty registry.
@@ -140,6 +159,7 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -190,6 +210,84 @@ func (r *Registry) Timer(name string) *Timer {
 		r.timers[name] = t
 	}
 	return t
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a valid no-op histogram) on a nil registry. Hot paths
+// should resolve once and keep the handle.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetTracer attaches a tracer; instrumented code reaches it through
+// Tracer(). Nil detaches. No-op on a nil registry. When a flight
+// recorder is (or later gets) attached, the tracer mirrors completed
+// spans and instants into it — SetTracer/SetFlight wire the two in
+// either call order.
+func (r *Registry) SetTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer.Store(t)
+	t.SetFlight(r.flight.Load())
+}
+
+// Tracer returns the attached tracer, or nil (whose Track method hands
+// out no-op tracks) when tracing is off.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load()
+}
+
+// SetFlight attaches a flight recorder and points any attached tracer's
+// span mirror at it. Nil detaches both. No-op on a nil registry.
+func (r *Registry) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight.Store(f)
+	r.tracer.Load().SetFlight(f)
+}
+
+// Flight returns the attached flight recorder, or nil (a valid no-op).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
+}
+
+// SetLogger attaches a structured logger (see NewLogger). Nil detaches.
+// No-op on a nil registry.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	if r != nil {
+		r.logger.Store(l)
+	}
+}
+
+// Log returns the attached logger, never nil: without one (or on a nil
+// registry) it returns a discard logger whose Enabled check rejects
+// every record, so call sites log unconditionally.
+func (r *Registry) Log() *slog.Logger {
+	if r == nil {
+		return discardLogger
+	}
+	if l := r.logger.Load(); l != nil {
+		return l
+	}
+	return discardLogger
 }
 
 // StartSpan opens a timed span recording into the named timer on End.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -121,6 +122,10 @@ func sampleSnapshot() Snapshot {
 	r.Counter("sidechannel.bit_reads_physical").Add(123456789012)
 	r.Counter("core.victim_queries").Add(37)
 	r.Gauge("extract.match_rate").Set(0.984375)
+	h := r.Histogram("extract.bit_read_rounds")
+	for _, v := range []float64{2048, 4096, 4096, 10240, 3} {
+		h.Observe(v)
+	}
 	r.Timer("zoo.build_seconds").Observe(1537 * time.Millisecond)
 	r.Timer("zoo.build_seconds").Observe(463 * time.Millisecond)
 	return r.Snapshot()
@@ -157,6 +162,9 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	}
 	if got := parsed.Timers["zoo_build_seconds"]; got.Count != 2 || got.Seconds != 2.0 {
 		t.Fatalf("parsed timer = %+v, want {2s 2}", got)
+	}
+	if got := parsed.Histograms["extract_bit_read_rounds"]; got.Count != 5 || got.Sum != 20483 {
+		t.Fatalf("parsed histogram = %+v, want count 5 sum 20483", got)
 	}
 	// Text-level round trip: sanitization is idempotent, so re-exporting
 	// the parsed snapshot reproduces the bytes.
@@ -202,7 +210,7 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 func TestServeExposesMetricsAndPprof(t *testing.T) {
 	r := New()
 	r.Counter("serve.test_counter").Add(7)
-	addr, err := Serve("127.0.0.1:0", r)
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,6 +245,17 @@ func TestServeExposesMetricsAndPprof(t *testing.T) {
 	}
 	if !bytes.Contains(get("/debug/vars"), []byte("decepticon")) {
 		t.Fatal("/debug/vars missing published registry")
+	}
+	// Graceful shutdown: the listener closes, later requests fail, and a
+	// second call stays safe.
+	if err := shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("GET after shutdown unexpectedly succeeded")
+	}
+	if err := shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -23,14 +24,15 @@ var expvarOnce sync.Once
 //	/debug/pprof/  net/http/pprof profiles
 //
 // It returns once the listener is bound (so the port is usable when it
-// returns) and serves in a background goroutine for the life of the
-// process — CLI lifetime, not library lifetime, which is why there is
-// deliberately no Shutdown plumbing. The returned address is the bound
-// listen address (useful with ":0").
-func Serve(addr string, r *Registry) (string, error) {
+// returns) and serves in a background goroutine. The returned address is
+// the bound listen address (useful with ":0"); the returned shutdown
+// function drains in-flight requests and closes the listener —
+// http.Server.Shutdown semantics, safe to call more than once. Callers
+// that want CLI-lifetime serving simply never call it.
+func Serve(addr string, r *Registry) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: serve %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: serve %s: %w", addr, err)
 	}
 	expvarOnce.Do(func() {
 		expvar.Publish("decepticon", expvar.Func(func() any { return r.Snapshot() }))
@@ -50,6 +52,7 @@ func Serve(addr string, r *Registry) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux)
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Shutdown, nil
 }

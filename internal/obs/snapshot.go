@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -18,24 +19,118 @@ type TimerValue struct {
 	Count   int64   `json:"count"`
 }
 
+// Mean returns the average span duration in seconds (0 when no spans
+// were observed) — mean latency derivable from a snapshot alone.
+func (t TimerValue) Mean() float64 {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.Seconds / float64(t.Count)
+}
+
+// HistogramBucket is one exported histogram bucket: the upper bound in
+// Prometheus le syntax ("+Inf" for the overflow bucket; bounds are
+// power-of-two) and the count of observations in (previous bound, Le] —
+// per-bucket, NOT cumulative, so the bucket counts sum exactly to the
+// histogram count (the invariant metricscheck enforces). The Prometheus
+// text encoding converts to the cumulative form the exposition format
+// requires.
+type HistogramBucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramValue is a histogram's exported state.
+type HistogramValue struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Buckets runs from the first non-empty bound through the last,
+	// ending with the explicit "+Inf" overflow bucket.
+	Buckets []HistogramBucket `json:"buckets"`
+	// Quantiles holds interpolated p50/p90/p99 summaries, derived from
+	// the buckets at export time.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile by linear interpolation inside
+// the covering bucket (bounds are powers of two, so a bucket's lower
+// bound is Le/2). An observation landing in the +Inf overflow bucket
+// reports the largest finite bound — the honest answer a bounded
+// layout can give.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	lastFinite := 0.0
+	for _, b := range h.Buckets {
+		upper := math.Inf(1)
+		if b.Le != "+Inf" {
+			upper, _ = strconv.ParseFloat(b.Le, 64)
+		}
+		if seen+b.Count >= rank {
+			if math.IsInf(upper, 1) {
+				return lastFinite
+			}
+			lower := upper / 2
+			frac := float64(rank-seen) / float64(b.Count)
+			return lower + (upper-lower)*frac
+		}
+		seen += b.Count
+		if !math.IsInf(upper, 1) {
+			lastFinite = upper
+		}
+	}
+	return lastFinite
+}
+
+// quantiles materializes the exported summary map.
+func (h HistogramValue) quantiles() map[string]float64 {
+	if h.Count == 0 {
+		return nil
+	}
+	return map[string]float64{
+		"p50": h.Quantile(0.50),
+		"p90": h.Quantile(0.90),
+		"p99": h.Quantile(0.99),
+	}
+}
+
 // Snapshot is a point-in-time copy of a registry. Counters and gauges
 // are deterministic under internal/parallel's seeding discipline
 // (byte-identical for any worker count); timers measure wall time and
 // are kept in their own section precisely so determinism checks can
 // compare the deterministic sections alone.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters"`
-	Gauges   map[string]float64    `json:"gauges"`
-	Timers   map[string]TimerValue `json:"timers"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	// Histograms are deterministic when fed simulated units (hammer
+	// rounds, retry counts); by convention, wall-time distributions are
+	// named *_seconds and excluded from determinism checks like Timers.
+	Histograms map[string]HistogramValue `json:"histograms"`
+	Timers     map[string]TimerValue     `json:"timers"`
 }
 
 // Snapshot copies the registry's current values. A nil registry yields
 // an empty (but fully allocated) snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]float64{},
-		Timers:   map[string]TimerValue{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+		Timers:     map[string]TimerValue{},
 	}
 	if r == nil {
 		return s
@@ -47,6 +142,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Value()
 	}
 	for name, t := range r.timers {
 		s.Timers[name] = TimerValue{Seconds: t.Total().Seconds(), Count: t.Count()}
@@ -73,6 +171,9 @@ func ParseJSON(r io.Reader) (Snapshot, error) {
 	}
 	if s.Gauges == nil {
 		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramValue{}
 	}
 	if s.Timers == nil {
 		s.Timers = map[string]TimerValue{}
@@ -118,6 +219,19 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		pn := promPrefix + promName(name)
 		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
 	}
+	for _, name := range names(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promPrefix + promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		// The exposition format wants cumulative bucket counts; the
+		// snapshot stores per-bucket counts, so accumulate on the way out.
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, b.Le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count)
+	}
 	for _, name := range names(s.Timers) {
 		t := s.Timers[name]
 		pn := promPrefix + promName(name)
@@ -134,12 +248,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // metrics-smoke checker rely on.
 func ParsePrometheus(r io.Reader) (Snapshot, error) {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]float64{},
-		Timers:   map[string]TimerValue{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+		Timers:     map[string]TimerValue{},
 	}
 	types := map[string]string{}
 	timers := map[string]*TimerValue{}
+	hists := map[string]*HistogramValue{}
+	cums := map[string]int64{}
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -160,12 +277,18 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 			return Snapshot{}, fmt.Errorf("obs: prometheus line %d: want 'name value', got %q", lineNo, line)
 		}
 		pn, val := f[0], f[1]
+		labels := ""
+		if i := strings.IndexByte(pn, '{'); i >= 0 {
+			pn, labels = pn[:i], pn[i:]
+		}
 		base := pn
 		series := ""
 		if types[base] == "" {
-			// Summary component: strip the _sum/_count suffix to find the
-			// declared base series.
-			if strings.HasSuffix(pn, "_sum") {
+			// Summary/histogram component: strip the component suffix to
+			// find the declared base series.
+			if strings.HasSuffix(pn, "_bucket") {
+				base, series = strings.TrimSuffix(pn, "_bucket"), "bucket"
+			} else if strings.HasSuffix(pn, "_sum") {
 				base, series = strings.TrimSuffix(pn, "_sum"), "sum"
 			} else if strings.HasSuffix(pn, "_count") {
 				base, series = strings.TrimSuffix(pn, "_count"), "count"
@@ -176,6 +299,9 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 			return Snapshot{}, fmt.Errorf("obs: prometheus line %d: series %q has no # TYPE declaration", lineNo, pn)
 		}
 		name := strings.TrimPrefix(base, promPrefix)
+		if labels != "" && !(typ == "histogram" && series == "bucket") {
+			return Snapshot{}, fmt.Errorf("obs: prometheus line %d: unexpected labels on %q", lineNo, pn)
+		}
 		switch typ {
 		case "counter":
 			n, err := strconv.ParseInt(val, 10, 64)
@@ -189,6 +315,41 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 				return Snapshot{}, fmt.Errorf("obs: prometheus line %d: gauge %q: %w", lineNo, pn, err)
 			}
 			s.Gauges[name] = v
+		case "histogram":
+			h := hists[name]
+			if h == nil {
+				h = &HistogramValue{}
+				hists[name] = h
+			}
+			switch series {
+			case "bucket":
+				le := strings.TrimSuffix(strings.TrimPrefix(labels, `{le="`), `"}`)
+				if le == labels || !strings.HasPrefix(labels, `{le="`) || !strings.HasSuffix(labels, `"}`) {
+					return Snapshot{}, fmt.Errorf("obs: prometheus line %d: malformed bucket labels %q", lineNo, labels)
+				}
+				cum, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("obs: prometheus line %d: bucket %q: %w", lineNo, pn, err)
+				}
+				// Undo the cumulative encoding: buckets arrive in ascending
+				// le order, so each per-bucket count is the delta.
+				h.Buckets = append(h.Buckets, HistogramBucket{Le: le, Count: cum - cums[name]})
+				cums[name] = cum
+			case "sum":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("obs: prometheus line %d: histogram %q: %w", lineNo, pn, err)
+				}
+				h.Sum = v
+			case "count":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("obs: prometheus line %d: histogram %q: %w", lineNo, pn, err)
+				}
+				h.Count = n
+			default:
+				return Snapshot{}, fmt.Errorf("obs: prometheus line %d: unexpected histogram series %q", lineNo, pn)
+			}
 		case "summary":
 			t := timers[name]
 			if t == nil {
@@ -221,12 +382,19 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 	for name, t := range timers {
 		s.Timers[name] = *t
 	}
+	for name, h := range hists {
+		// Quantiles are a derived summary, never serialized in the text
+		// format — recompute them so a parsed snapshot matches Snapshot().
+		h.Quantiles = h.quantiles()
+		s.Histograms[name] = *h
+	}
 	return s, nil
 }
 
 // Empty reports whether the snapshot carries no metrics at all.
 func (s Snapshot) Empty() bool {
-	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Timers) == 0
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 &&
+		len(s.Histograms) == 0 && len(s.Timers) == 0
 }
 
 // WriteFile writes the snapshot to path, choosing the format from the

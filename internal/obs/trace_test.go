@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"decepticon/internal/parallel"
+)
+
+func TestHistogramObserveCountSumQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("Count = %d, want 1000", got)
+	}
+	if got := h.Sum(); got != 500500 {
+		t.Fatalf("Sum = %v, want 500500", got)
+	}
+	// Log buckets give coarse quantiles; the estimate must land within
+	// the covering power-of-two bucket of the true value.
+	for _, tc := range []struct{ q, lo, hi float64 }{
+		{0.50, 256, 512},
+		{0.90, 512, 1024},
+		{0.99, 512, 1024},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Fatalf("Quantile(%v) = %v, want within [%v, %v]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	hv := h.Value()
+	var sum int64
+	for _, b := range hv.Buckets {
+		sum += b.Count
+	}
+	if sum != hv.Count {
+		t.Fatalf("bucket counts sum to %d, histogram count %d", sum, hv.Count)
+	}
+	if last := hv.Buckets[len(hv.Buckets)-1]; last.Le != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", last.Le)
+	}
+	if got, want := hv.Mean(), 500.5; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)           // non-positive -> first bucket
+	h.Observe(-3)          // ditto
+	h.Observe(math.NaN())  // ditto (must not panic or vanish)
+	h.Observe(1e300)       // overflow bucket
+	h.Observe(math.Inf(1)) // overflow bucket
+	h.Observe(0.5)         // exact power of two fits its own bound
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	hv := h.Value()
+	if got := hv.Buckets[len(hv.Buckets)-1].Count; got != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", got)
+	}
+	// Exactly 0.5 must land in the le=0.5 bucket, not le=1.
+	if i := bucketIndex(0.5); bucketBound(i) != 0.5 {
+		t.Fatalf("bucketIndex(0.5) bound = %v, want 0.5", bucketBound(i))
+	}
+	// Quantile fully inside the overflow bucket reports the largest
+	// finite observed bound rather than inventing a value.
+	if q := hv.Quantile(1.0); math.IsInf(q, 1) {
+		t.Fatal("Quantile(1.0) returned +Inf")
+	}
+}
+
+func TestHistogramDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) HistogramValue {
+		r := New()
+		parallel.ForEach(500, workers, func(i int) {
+			r.Histogram("h.rounds").Observe(float64((i%13)*331 + 1))
+		})
+		return r.Snapshot().Histograms["h.rounds"]
+	}
+	base := run(workerCounts[0])
+	for _, w := range workerCounts[1:] {
+		got := run(w)
+		a, _ := base.marshalForTest()
+		b, _ := got.marshalForTest()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("workers=%d histogram diverged:\n  %s\n  %s", w, a, b)
+		}
+	}
+}
+
+func TestTimerMeanDerivable(t *testing.T) {
+	r := New()
+	tm := r.Timer("phase_seconds")
+	tm.Observe(2 * time.Second)
+	tm.Observe(4 * time.Second)
+	if got := tm.Mean(); got != 3*time.Second {
+		t.Fatalf("Timer.Mean = %v, want 3s", got)
+	}
+	// Mean latency must be derivable from every exported form.
+	s := r.Snapshot()
+	if got := s.Timers["phase_seconds"].Mean(); got != 3.0 {
+		t.Fatalf("snapshot TimerValue.Mean = %v, want 3", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	js, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := js.Timers["phase_seconds"].Mean(); got != 3.0 {
+		t.Fatalf("json TimerValue.Mean = %v, want 3", got)
+	}
+	buf.Reset()
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prom.Timers["phase_seconds"].Mean(); got != 3.0 {
+		t.Fatalf("prometheus TimerValue.Mean = %v, want 3", got)
+	}
+}
+
+// marshalForTest gives a canonical byte form for comparison.
+func (h HistogramValue) marshalForTest() ([]byte, error) {
+	var buf bytes.Buffer
+	err := Snapshot{Histograms: map[string]HistogramValue{"h": h}}.WriteJSON(&buf)
+	return buf.Bytes(), err
+}
+
+func TestTracerSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	tk := tr.Track(PidCampaign, 1, "victim-0")
+	outer := tk.Begin("attack", A("victim", "v0"))
+	tk.Advance(100)
+	inner := tk.Begin("extract")
+	tk.Advance(50)
+	tk.Instant("fault", A("kind", "transient"))
+	inner.End()
+	outer.End()
+
+	evs := tk.events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3 (instant + 2 spans)", len(evs))
+	}
+	// Spans emit at End, so completion order is inner first.
+	in, out := evs[1], evs[2]
+	if in.Name != "extract" || out.Name != "attack" {
+		t.Fatalf("span order = %s, %s; want extract, attack", in.Name, out.Name)
+	}
+	if in.Args["parent"] != out.Args["id"] {
+		t.Fatalf("inner parent = %v, outer id = %v; want equal", in.Args["parent"], out.Args["id"])
+	}
+	// Parent interval must contain the child's.
+	if in.TS < out.TS || in.TS+in.Dur > out.TS+out.Dur {
+		t.Fatalf("child [%d,%d] escapes parent [%d,%d]", in.TS, in.TS+in.Dur, out.TS, out.TS+out.Dur)
+	}
+	if in.Dur < 50 || out.Dur < 150 {
+		t.Fatalf("durations %d/%d did not absorb Advance units", in.Dur, out.Dur)
+	}
+	if out.Args["victim"] != "v0" {
+		t.Fatalf("span attrs lost: %v", out.Args)
+	}
+}
+
+func TestTracerEndForceClosesChildren(t *testing.T) {
+	tr := NewTracer()
+	tk := tr.Track(PidPipeline, 0, "pipeline")
+	outer := tk.Begin("outer")
+	child := tk.Begin("child") // never explicitly ended
+	outer.End()
+	child.End() // must be a no-op, not a double emit
+	evs := tk.events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+}
+
+func TestTracerWriteDeterministicAcrossCompletionOrder(t *testing.T) {
+	// Two tracers record the same per-track content; tracks are created
+	// and finished in scrambled order. Export must be byte-identical —
+	// the property that makes trace files worker-count invariant.
+	record := func(tk *Track, n int) {
+		sp := tk.Begin("work", A("n", n))
+		tk.Advance(int64(10 * (n + 1)))
+		tk.Instant("mark")
+		sp.End()
+	}
+	a := NewTracer()
+	for n := 0; n < 4; n++ {
+		record(a.Track(PidCampaign, int64(n+1), fmt.Sprintf("victim-%d", n)), n)
+	}
+	b := NewTracer()
+	for _, n := range []int{2, 0, 3, 1} {
+		record(b.Track(PidCampaign, int64(n+1), fmt.Sprintf("victim-%d", n)), n)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("trace export depends on completion order:\n--- a\n%s--- b\n%s", ba.String(), bb.String())
+	}
+	if !strings.Contains(ba.String(), `"displayTimeUnit"`) || !strings.Contains(ba.String(), `"traceEvents"`) {
+		t.Fatal("trace JSON missing Chrome trace_event object framing")
+	}
+}
+
+func TestFlightRecorderRingAndDump(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.RunID = "cafef00d"
+	for i := 0; i < 7; i++ {
+		f.Note("note", fmt.Sprintf("ev%d", i), map[string]string{"i": fmt.Sprint(i)})
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("ev%d", i+3); ev.Name != want {
+			t.Fatalf("event %d = %s, want %s (oldest-first)", i, ev.Name, want)
+		}
+		if i > 0 && ev.Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not strictly increasing: %d then %d", evs[i-1].Seq, ev.Seq)
+		}
+	}
+	path := t.TempDir() + "/dump.json"
+	if err := f.Dump(path, "test reason"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadFlightFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RunID != "cafef00d" || d.Reason != "test reason" || d.Dropped != 3 || len(d.Events) != 4 {
+		t.Fatalf("dump round trip = %+v", d)
+	}
+}
+
+func TestTracerMirrorsIntoFlight(t *testing.T) {
+	tr := NewTracer()
+	f := NewFlightRecorder(16)
+	tr.SetFlight(f)
+	tk := tr.Track(PidCampaign, 1, "victim-0")
+	sp := tk.Begin("extract")
+	tk.Advance(5)
+	tk.Instant("fault")
+	sp.End()
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("flight recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != "instant" || evs[1].Kind != "span" || evs[1].Name != "extract" {
+		t.Fatalf("flight events = %+v", evs)
+	}
+	// The span note carries the deterministic duration (begin tick + 5
+	// advance + instant tick).
+	if evs[1].Attrs["dur"] != "7" {
+		t.Fatalf("span dur attr = %q, want 7", evs[1].Attrs["dur"])
+	}
+}
+
+// TestRegistryWiresTracerIntoFlight: attaching a tracer and a flight
+// recorder to the same registry connects the span mirror, regardless of
+// which is attached first.
+func TestRegistryWiresTracerIntoFlight(t *testing.T) {
+	for _, flightFirst := range []bool{true, false} {
+		r := New()
+		tr := NewTracer()
+		f := NewFlightRecorder(8)
+		if flightFirst {
+			r.SetFlight(f)
+			r.SetTracer(tr)
+		} else {
+			r.SetTracer(tr)
+			r.SetFlight(f)
+		}
+		sp := r.Tracer().Track(PidPipeline, 0, "pipeline").Begin("work")
+		sp.End()
+		if f.Len() == 0 {
+			t.Fatalf("flightFirst=%v: span did not mirror into the flight recorder", flightFirst)
+		}
+	}
+}
+
+func TestNilTraceFlightLogNoOp(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track(PidPipeline, 0, "x")
+	sp := tk.Begin("a")
+	tk.Advance(3)
+	tk.Instant("b")
+	sp.End()
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer produced events: %v", evs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Fatalf("nil tracer JSON = %s", buf.String())
+	}
+	var f *FlightRecorder
+	f.Note("k", "n", nil)
+	if f.Len() != 0 || f.Events() != nil {
+		t.Fatal("nil flight recorder retained events")
+	}
+	if err := f.Dump(t.TempDir()+"/never.json", "r"); err != nil {
+		t.Fatal(err)
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not a no-op")
+	}
+	var r *Registry
+	if r.Histogram("x") != nil || r.Tracer() != nil || r.Flight() != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	if r.Log() == nil {
+		t.Fatal("nil registry Log() returned nil")
+	}
+	r.Log().Info("into the void") // must not panic
+	r.SetTracer(nil)
+	r.SetFlight(nil)
+	r.SetLogger(nil)
+}
+
+func TestRunIDStableAndLogLevels(t *testing.T) {
+	if RunID("a", "b") != RunID("a", "b") {
+		t.Fatal("RunID not stable")
+	}
+	if RunID("a", "b") == RunID("ab") {
+		t.Fatal("RunID ignores label boundaries")
+	}
+	if _, enabled, err := ParseLogLevel("off"); err != nil || enabled {
+		t.Fatalf("off: enabled=%v err=%v", enabled, err)
+	}
+	if lvl, enabled, err := ParseLogLevel("debug"); err != nil || !enabled || lvl >= 0 {
+		t.Fatalf("debug: lvl=%v enabled=%v err=%v", lvl, enabled, err)
+	}
+	if _, _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("ParseLogLevel accepted garbage")
+	}
+	var buf bytes.Buffer
+	l := NewLogger(&buf, 0, "deadbeef")
+	l.Info("hello", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "run=deadbeef") || !strings.Contains(out, "k=v") {
+		t.Fatalf("log line missing run id or attr: %q", out)
+	}
+}

@@ -120,6 +120,7 @@ type Oracle struct {
 	cHammer   *obs.Counter
 	cFlips    *obs.Counter
 	cFaults   *obs.Counter
+	flight    *obs.FlightRecorder
 }
 
 // NewOracle wraps a victim model. The oracle holds references to the
@@ -159,12 +160,16 @@ func (o *Oracle) SetFaultPlan(p *FaultPlan) {
 //	sidechannel.read_faults         attempts that failed with a ReadFault
 //
 // A nil registry detaches the oracle again. Counter handles are resolved
-// here once so per-read cost stays a couple of atomic adds.
+// here once so per-read cost stays a couple of atomic adds. When the
+// registry carries a flight recorder, every channel fault is also noted
+// there — the black-box record of what the channel did right before an
+// extraction died.
 func (o *Oracle) SetObs(r *obs.Registry) {
 	o.cBitReads = r.Counter("sidechannel.bit_reads_physical")
 	o.cHammer = r.Counter("sidechannel.hammer_rounds")
 	o.cFlips = r.Counter("sidechannel.bit_flips_injected")
 	o.cFaults = r.Counter("sidechannel.read_faults")
+	o.flight = r.Flight()
 }
 
 // AdvanceClock moves the channel's simulated clock forward n rounds
@@ -249,11 +254,22 @@ func (o *Oracle) ReadBit(param string, idx, bit int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Every attempt advances the simulated clock, fault plan or not —
+	// the clock is what bit-read latency histograms are measured against,
+	// so it must tick on clean channels too. (Fault windows see the same
+	// increment-then-check order as before.)
+	o.clock++
 	if o.faults != nil {
-		o.clock++
 		if f := o.faults.check(param, idx, bit, o.clock); f != nil {
 			o.FaultedReads++
 			o.cFaults.Inc()
+			o.flight.Note("fault", f.Kind.String(), map[string]string{
+				"param": param,
+				"index": fmt.Sprint(idx),
+				"bit":   fmt.Sprint(bit),
+				"clock": fmt.Sprint(o.clock),
+				"retry": fmt.Sprint(f.Retryable),
+			})
 			return 0, f
 		}
 	}

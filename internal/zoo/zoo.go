@@ -199,6 +199,22 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 	}
 	z := &Zoo{}
 
+	// Trace lane: the zoo build is one span on the pipeline track, plus
+	// one track per model (pid PidZoo) whose clock advances by training
+	// work units (epochs × examples) — all simulated time, so the trace
+	// file is identical for any worker count.
+	pipe := cfg.Obs.Tracer().Track(obs.PidPipeline, 0, "pipeline")
+	buildSpan := pipe.Begin("zoo.build",
+		obs.A("pretrained", cfg.NumPretrained),
+		obs.A("finetuned", cfg.NumFineTuned))
+	defer buildSpan.End()
+	defer pipe.Advance(int64(cfg.NumPretrained*cfg.PretrainEpochs*cfg.PretrainExamples +
+		cfg.NumFineTuned*cfg.FineTuneEpochs*cfg.FineTuneExamples))
+	log := cfg.Obs.Log()
+	log.Info("zoo build start",
+		"pretrained", cfg.NumPretrained, "finetuned", cfg.NumFineTuned,
+		"workers", cfg.Workers)
+
 	// Each pre-trained release derives every seed from its own name, so
 	// releases are independent items: train them on the worker pool. The
 	// result slice is indexed by catalog position, which keeps the
@@ -210,6 +226,12 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 		e := selected[i]
 		arch := archFor(e)
 		name := e.name()
+		mt := cfg.Obs.Tracer().Track(obs.PidZoo, int64(i), name)
+		sp := mt.Begin("pretrain", obs.A("arch", e.arch))
+		defer func() {
+			mt.Advance(int64(cfg.PretrainEpochs * cfg.PretrainExamples))
+			sp.End()
+		}()
 		vocabSeed := rng.Seed("corpus", e.corpus, e.language, fmt.Sprint(e.cased)) ^ cfg.Seed
 		vocab := tokenizer.NewVocab(name, e.language, e.cased, arch.Vocab, vocabSeed)
 
@@ -251,6 +273,12 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 		pre := z.Pretrained[i%len(z.Pretrained)]
 		tk := tasks[(i/len(z.Pretrained))%len(tasks)]
 		name := fmt.Sprintf("%s__ft-%s-%d", pre.Name, tk.Name, i)
+		mt := cfg.Obs.Tracer().Track(obs.PidZoo, int64(cfg.NumPretrained+i), name)
+		sp := mt.Begin("finetune", obs.A("task", tk.Name))
+		defer func() {
+			mt.Advance(int64(cfg.FineTuneEpochs * cfg.FineTuneExamples))
+			sp.End()
+		}()
 		data := tk.Generate(pre.Arch.Vocab, cfg.FineTuneExamples, rng.Seed("ft-data", name)^cfg.Seed)
 		train, dev := task.Split(data, 0.8)
 		model := transformer.FineTuneFrom(pre.Model, tk.Labels, train, transformer.TrainConfig{
@@ -268,6 +296,8 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 	})
 	cfg.Obs.Counter("zoo.models_pretrained").Add(int64(len(z.Pretrained)))
 	cfg.Obs.Counter("zoo.models_finetuned").Add(int64(len(z.FineTuned)))
+	log.Info("zoo build done",
+		"pretrained", len(z.Pretrained), "finetuned", len(z.FineTuned))
 	return z, nil
 }
 
