@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify metrics-smoke faults-smoke trace-smoke
+.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke
 
 all: verify
 
@@ -10,7 +10,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: metrics-smoke faults-smoke trace-smoke
+# Static analysis beyond vet. staticcheck is optional locally — the
+# target explains and succeeds when the binary is absent (CI installs
+# and runs it unconditionally).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
+test: metrics-smoke faults-smoke trace-smoke cancel-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -73,6 +83,40 @@ trace-smoke:
 		$(GO) run ./cmd/metricscheck -flight $$f; done
 	rm -rf .trace-smoke
 
+# End-to-end cancellation check: a tiny checkpointed campaign is hit
+# with SIGINT mid-run — the process must drain gracefully, still write
+# its -metrics and -flight artifacts, and leave resumable state. A
+# -resume run then finishes the remainder, and its counters must equal a
+# never-interrupted campaign's exactly (Ctrl-C behaves like a read
+# budget: checkpoint, report interrupted, resume byte-identically). The
+# zoo cache is pre-built so every campaign run starts from the same
+# counters and the signal lands in the attack phase, not the build.
+cancel-smoke:
+	rm -rf .cancel-smoke && mkdir -p .cancel-smoke
+	$(GO) build -o .cancel-smoke/decepticon ./cmd/decepticon
+	$(GO) run ./cmd/zoo -scale tiny -cache .cancel-smoke/zoo >/dev/null
+	.cancel-smoke/decepticon -scale tiny -all -workers 2 \
+		-cache .cancel-smoke/zoo \
+		-metrics .cancel-smoke/uninterrupted.json >/dev/null
+	( .cancel-smoke/decepticon -scale tiny -all -workers 2 \
+		-cache .cancel-smoke/zoo -checkpoint .cancel-smoke/ckpt \
+		-metrics .cancel-smoke/interrupted.json \
+		-flight .cancel-smoke/flight.json >/dev/null & \
+	  pid=$$!; \
+	  i=0; until ls .cancel-smoke/ckpt/*.ckpt >/dev/null 2>&1; do \
+	    i=$$((i+1)); test $$i -le 600 || break; sleep 0.1; done; \
+	  kill -INT $$pid 2>/dev/null; wait $$pid || true )
+	test -s .cancel-smoke/interrupted.json
+	test -s .cancel-smoke/flight.json
+	$(GO) run ./cmd/metricscheck .cancel-smoke/interrupted.json
+	$(GO) run ./cmd/metricscheck -flight .cancel-smoke/flight.json
+	.cancel-smoke/decepticon -scale tiny -all -workers 2 \
+		-cache .cancel-smoke/zoo -checkpoint .cancel-smoke/ckpt -resume \
+		-metrics .cancel-smoke/resumed.json >/dev/null
+	$(GO) run ./cmd/metricscheck -equal-counters \
+		.cancel-smoke/resumed.json .cancel-smoke/uninterrupted.json
+	rm -rf .cancel-smoke
+
 # Race-detector tier: the packages that gained goroutines, filtered to
 # the concurrency-exercising tests so the 5-20x race overhead stays
 # affordable on small machines. GOMAXPROCS is raised explicitly so the
@@ -81,11 +125,11 @@ race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/parallel
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance|ProgressSerialized' ./internal/zoo
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance' ./internal/fingerprint
-	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial|ObsReconcilesWithCampaign' ./internal/core
+	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial|ObsReconcilesWithCampaign|RunAllContextCancel' ./internal/core
 	GOMAXPROCS=4 $(GO) test -race -run 'Snapshot|OrderedSink|Serve|Histogram|Tracer|Flight' ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem
 
 # The full pre-commit gate.
-verify: build vet test race
+verify: build vet lint test race

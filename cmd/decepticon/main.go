@@ -11,182 +11,127 @@
 //	decepticon -pprof localhost:6060   # live /metrics and /debug/pprof
 //	decepticon -scale tiny -all -trace trace.json -log-level info
 //	decepticon -faults seed=7,transient=0.2 -flight flight.json
+//
+// Ctrl-C cancels the run gracefully: in-flight extractions checkpoint
+// (with -checkpoint), every requested artifact (-metrics, -trace,
+// -flight) is still written, and a rerun with -resume picks up exactly
+// where the interrupted campaign stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"strings"
 
 	"decepticon"
+	"decepticon/internal/cliconfig"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("decepticon: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var opts cliconfig.Options
+	opts.RegisterCommon(flag.CommandLine)
+	opts.RegisterCache(flag.CommandLine)
+	opts.RegisterFaults(flag.CommandLine)
+	opts.RegisterFlight(flag.CommandLine)
 	var (
-		scale   = flag.String("scale", "small", "zoo scale: tiny | small | full")
 		victim  = flag.Int("victim", 0, "index of the fine-tuned victim model")
 		adv     = flag.Bool("adv", false, "run the adversarial stage (slower)")
 		subs    = flag.Int("substitutes", 4, "number of distillation substitutes for -adv")
-		cache   = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
 		all     = flag.Bool("all", false, "attack every victim and print campaign statistics")
-		work    = flag.Int("workers", 0, "worker goroutines for zoo build, trace measurement, and -all campaigns (0 = all cores); results are identical for any value")
 		noise   = flag.Float64("noise", 0, "oracle bit-error rate (0 = clean channel)")
 		repeats = flag.Int("repeats", 0, "majority-vote reads per bit when -noise > 0 (odd; 0 = single read)")
-		metrics = flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
-		pprof   = flag.String("pprof", "", "serve /metrics, /metrics.json, and /debug/pprof on this address (e.g. localhost:6060)")
-		faults  = flag.String("faults", "", "fault-plan spec: key=value[,key=value...] with keys seed, transient, recovery, stuck, outage, period (empty = fault-free channel)")
-		ckpt    = flag.String("checkpoint", "", "directory for per-victim extraction checkpoints (created if missing)")
-		resume  = flag.Bool("resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
-		budget  = flag.Int64("read-budget", 0, "per-victim oracle read-attempt budget; an extraction exceeding it checkpoints and reports interrupted (0 = unlimited)")
-		trace   = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
-		flight  = flag.String("flight", "", "write a flight-recorder dump to this file on exit; interrupted, failed, or degraded extractions also dump here automatically (next to the checkpoint when -checkpoint is set)")
-		logLvl  = flag.String("log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
 	)
 	flag.Parse()
 
-	plan, err := decepticon.ParseFaultPlan(*faults)
+	cfg, err := opts.ZooConfig()
 	if err != nil {
-		log.Fatalf("-faults: %v", err)
+		return err
 	}
-	if *resume && *ckpt == "" {
-		log.Fatal("-resume requires -checkpoint")
+	rt, err := cliconfig.Setup(&opts)
+	if err != nil {
+		return err
 	}
+	defer rt.Close()
 
-	reg := decepticon.NewMetrics()
-	runID := decepticon.RunID(os.Args...)
-	rec := decepticon.NewFlightRecorder(0)
-	rec.RunID = runID
-	reg.SetFlight(rec)
-	if *flight != "" {
-		defer func() {
-			if err := rec.Dump(*flight, "run exit"); err != nil {
-				log.Printf("flight: %v", err)
-			} else {
-				log.Printf("flight recorder written to %s", *flight)
-			}
-		}()
-	}
-	var tracer *decepticon.Tracer
-	if *trace != "" {
-		tracer = decepticon.NewTracer()
-		reg.SetTracer(tracer)
-		defer func() {
-			if err := decepticon.WriteTraceFile(tracer, *trace); err != nil {
-				log.Printf("trace: %v", err)
-			} else {
-				log.Printf("trace written to %s", *trace)
-			}
-		}()
-	}
-	if err := decepticon.ConfigureLogging(reg, os.Stderr, *logLvl, runID); err != nil {
-		log.Fatalf("-log-level: %v", err)
-	}
-	if *pprof != "" {
-		addr, _, err := decepticon.ServeMetrics(*pprof, reg)
-		if err != nil {
-			log.Fatalf("pprof server: %v", err)
-		}
-		log.Printf("serving metrics and pprof on http://%s", addr)
-	}
-
-	cfg := decepticon.SmallZooConfig()
-	switch *scale {
-	case "tiny":
-		cfg = decepticon.TinyZooConfig()
-	case "small":
-	case "full":
-		cfg = decepticon.DefaultZooConfig()
-	default:
-		log.Fatalf("unknown -scale %q (use tiny, small, or full)", *scale)
-	}
-	cfg.Workers = *work
-	cfg.Obs = reg
+	cfg.Workers = opts.Workers
+	cfg.Obs = rt.Registry
 	log.Printf("building model zoo (%d pre-trained, %d fine-tuned)...",
 		cfg.NumPretrained, cfg.NumFineTuned)
-	z, err := decepticon.BuildOrLoadZoo(cfg, *cache)
+	z, err := decepticon.BuildOrLoadZooContext(rt.Ctx, cfg, opts.Cache)
 	if err != nil {
+		if z == nil {
+			return err
+		}
 		log.Printf("zoo cache: %v", err)
 	}
 
 	log.Printf("training the pre-trained model extractor...")
 	prepCfg := decepticon.DefaultPrepareConfig()
-	if *scale == "tiny" {
+	if opts.Scale == "tiny" {
 		prepCfg.SamplesPerModel = 2
 		prepCfg.ImgSize = 32
 		prepCfg.Epochs = 8
 	}
-	prepCfg.Workers = *work
-	prepCfg.Obs = reg
-	atk, err := decepticon.NewAttack(z, prepCfg)
+	prepCfg.Workers = opts.Workers
+	prepCfg.Obs = rt.Registry
+	atk, err := decepticon.NewAttackContext(rt.Ctx, z, prepCfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *noise > 0 && *repeats > 0 {
 		ec := decepticon.DefaultExtractionConfig()
 		ec.ReadRepeats = *repeats
 		atk.ExtractCfg = ec
 	}
-	defer writeMetrics(reg, *metrics)
 
 	if *all {
 		log.Printf("attacking all %d victims...", len(z.FineTuned))
-		c, err := atk.RunAll(z.FineTuned, decepticon.RunOptions{
-			MeasureSeed: 1, Workers: *work, BitErrorRate: *noise,
-			FaultPlan: plan, CheckpointDir: *ckpt, Resume: *resume, ReadBudget: *budget,
-			FlightPath: *flight,
+		c, err := atk.RunAllContext(rt.Ctx, z.FineTuned, decepticon.RunOptions{
+			MeasureSeed: 1, Workers: opts.Workers, BitErrorRate: *noise,
+			FaultPlan: rt.Plan, CheckpointDir: opts.Checkpoint, Resume: opts.Resume,
+			ReadBudget: opts.ReadBudget, FlightPath: opts.Flight,
 		})
 		if err != nil {
-			log.Fatal(err)
+			if c != nil && errors.Is(err, context.Canceled) {
+				log.Printf("interrupted after %d victims (rerun with -resume to continue)", c.Victims)
+				printCampaign(c, rt)
+				return nil
+			}
+			return err
 		}
-		fmt.Println("──────────────────────── campaign report ───────────────────────")
-		fmt.Printf("victims attacked:        %d\n", c.Victims)
-		fmt.Printf("identified correctly:    %d (%.1f%%)\n", c.Identified, 100*c.IdentificationRate())
-		fmt.Printf("resolved via probes:     %d\n", c.ProbeResolved)
-		fmt.Printf("bus-probe arch checks:   %d passed\n", c.ArchConfirmed)
-		if c.ExtractFailed > 0 {
-			fmt.Printf("extractions failed:      %d\n", c.ExtractFailed)
-		}
-		if c.ExtractSkipped > 0 {
-			fmt.Printf("extractions skipped:     %d (architecture mismatch)\n", c.ExtractSkipped)
-		}
-		if c.ExtractInterrupted > 0 {
-			fmt.Printf("extractions interrupted: %d (checkpointed; rerun with -resume)\n", c.ExtractInterrupted)
-		}
-		if c.TensorsDegraded > 0 || plan != nil {
-			fmt.Printf("tensors degraded:        %d (mean coverage %.1f%%)\n",
-				c.TensorsDegraded, 100*c.MeanCoverage)
-		}
-		fmt.Printf("mean clone match rate:   %.1f%%\n", 100*c.MeanMatchRate)
-		fmt.Printf("mean bit-read reduction: %.1fx\n", c.MeanReduction)
-		fmt.Printf("bits read (logical):     %d\n", c.TotalBitsRead)
-		fmt.Printf("oracle reads (physical): %d\n", c.TotalPhysicalReads)
-		fmt.Printf("rowhammer rounds:        %d\n", c.TotalHammerRounds())
-		return
+		printCampaign(c, rt)
+		return nil
 	}
 
 	if *victim < 0 || *victim >= len(z.FineTuned) {
-		log.Fatalf("victim index %d out of range [0, %d)", *victim, len(z.FineTuned))
+		return fmt.Errorf("victim index %d out of range [0, %d)", *victim, len(z.FineTuned))
 	}
 	target := z.FineTuned[*victim]
 	log.Printf("attacking black-box victim %q...", target.Name)
 
-	rep, err := atk.Run(target, decepticon.RunOptions{
+	rep, err := atk.RunContext(rt.Ctx, target, decepticon.RunOptions{
 		MeasureSeed:    uint64(*victim) + 1,
 		Adversarial:    *adv,
 		NumSubstitutes: *subs,
 		BitErrorRate:   *noise,
-		FaultPlan:      plan,
-		CheckpointDir:  *ckpt,
-		Resume:         *resume,
-		ReadBudget:     *budget,
-		FlightPath:     *flight,
+		FaultPlan:      rt.Plan,
+		CheckpointDir:  opts.Checkpoint,
+		Resume:         opts.Resume,
+		ReadBudget:     opts.ReadBudget,
+		FlightPath:     opts.Flight,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("──────────────────────── attack report ────────────────────────")
@@ -198,19 +143,23 @@ func main() {
 	}
 	if rep.ExtractError != "" {
 		fmt.Printf("extraction failed:      %s\n", rep.ExtractError)
-		return
+		return nil
 	}
 	if rep.ExtractSkipped != "" {
 		fmt.Printf("extraction skipped:     %s\n", rep.ExtractSkipped)
-		return
+		return nil
 	}
 	if rep.ExtractInterrupted {
-		fmt.Println("extraction interrupted: read budget exhausted (checkpointed; rerun with -resume)")
-		return
+		reason := "read budget exhausted"
+		if rt.Interrupted() {
+			reason = "cancelled"
+		}
+		fmt.Printf("extraction interrupted: %s (checkpointed; rerun with -resume)\n", reason)
+		return nil
 	}
 	if rep.Extract == nil {
 		fmt.Println("extraction skipped")
-		return
+		return nil
 	}
 	st := rep.Extract
 	fmt.Printf("weights handled:        %d (+%d head), %.1f%% correctly pruned\n",
@@ -237,20 +186,33 @@ func main() {
 			fmt.Printf("adversarial (sub %d):    %.1f%% success\n", i+1, 100*s)
 		}
 	}
+	return nil
 }
 
-// writeMetrics dumps the registry to every path in the comma-separated
-// list; the extension picks the encoding.
-func writeMetrics(reg *decepticon.Metrics, paths string) {
-	for _, path := range strings.Split(paths, ",") {
-		path = strings.TrimSpace(path)
-		if path == "" {
-			continue
-		}
-		if err := decepticon.WriteMetricsFile(reg, path); err != nil {
-			log.Printf("metrics: %v", err)
-		} else {
-			log.Printf("metrics written to %s", path)
-		}
+// printCampaign renders the campaign summary block, including a partial
+// one from an interrupted run.
+func printCampaign(c *decepticon.Campaign, rt *cliconfig.Runtime) {
+	fmt.Println("──────────────────────── campaign report ───────────────────────")
+	fmt.Printf("victims attacked:        %d\n", c.Victims)
+	fmt.Printf("identified correctly:    %d (%.1f%%)\n", c.Identified, 100*c.IdentificationRate())
+	fmt.Printf("resolved via probes:     %d\n", c.ProbeResolved)
+	fmt.Printf("bus-probe arch checks:   %d passed\n", c.ArchConfirmed)
+	if c.ExtractFailed > 0 {
+		fmt.Printf("extractions failed:      %d\n", c.ExtractFailed)
 	}
+	if c.ExtractSkipped > 0 {
+		fmt.Printf("extractions skipped:     %d (architecture mismatch)\n", c.ExtractSkipped)
+	}
+	if c.ExtractInterrupted > 0 {
+		fmt.Printf("extractions interrupted: %d (checkpointed; rerun with -resume)\n", c.ExtractInterrupted)
+	}
+	if c.TensorsDegraded > 0 || rt.Plan != nil {
+		fmt.Printf("tensors degraded:        %d (mean coverage %.1f%%)\n",
+			c.TensorsDegraded, 100*c.MeanCoverage)
+	}
+	fmt.Printf("mean clone match rate:   %.1f%%\n", 100*c.MeanMatchRate)
+	fmt.Printf("mean bit-read reduction: %.1fx\n", c.MeanReduction)
+	fmt.Printf("bits read (logical):     %d\n", c.TotalBitsRead)
+	fmt.Printf("oracle reads (physical): %d\n", c.TotalPhysicalReads)
+	fmt.Printf("rowhammer rounds:        %d\n", c.TotalHammerRounds())
 }

@@ -6,9 +6,15 @@
 //	experiments -run fig14
 //	experiments -run fig3,fig4,fig16 -scale full
 //	experiments -run all
+//
+// Ctrl-C cancels the run at the next phase boundary (zoo build,
+// classifier epoch, or extraction checkpoint); requested -metrics,
+// -trace, and -flight artifacts are still written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -16,26 +22,27 @@ import (
 	"strings"
 
 	"decepticon"
+	"decepticon/internal/cliconfig"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() (err error) {
+	var opts cliconfig.Options
+	opts.RegisterCommon(flag.CommandLine)
+	opts.RegisterCache(flag.CommandLine)
+	opts.RegisterFaults(flag.CommandLine)
+	opts.RegisterFlight(flag.CommandLine)
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale   = flag.String("scale", "small", "zoo scale: small | full")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		cache   = flag.String("cache", "", "zoo cache file (built once, reused afterwards)")
-		work    = flag.Int("workers", 0, "worker goroutines for zoo build and trace measurement (0 = all cores); results are identical for any value")
-		metrics = flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
-		pprof   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
-		faults  = flag.String("faults", "", "fault-plan spec for attack-driving experiments: key=value[,...] with keys seed, transient, recovery, stuck, outage, period")
-		ckpt    = flag.String("checkpoint", "", "directory for extraction checkpoints in attack-driving experiments")
-		resume  = flag.Bool("resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
-		trace   = flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
-		flight  = flag.String("flight", "", "write a flight-recorder dump to this file on exit; interrupted, failed, or degraded extractions also dump here when -checkpoint is unset")
-		logLvl  = flag.String("log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
+		runIDs = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		quiet  = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -43,98 +50,65 @@ func main() {
 		for _, t := range decepticon.ExperimentTitles() {
 			fmt.Println(t)
 		}
-		return
+		return nil
 	}
-
-	reg := decepticon.NewMetrics()
-	runID := decepticon.RunID(os.Args...)
-	rec := decepticon.NewFlightRecorder(0)
-	rec.RunID = runID
-	reg.SetFlight(rec)
-	if *flight != "" {
-		defer func() {
-			if err := rec.Dump(*flight, "run exit"); err != nil {
-				log.Printf("flight: %v", err)
-			} else {
-				log.Printf("flight recorder written to %s", *flight)
-			}
-		}()
-	}
-	if *trace != "" {
-		tracer := decepticon.NewTracer()
-		reg.SetTracer(tracer)
-		defer func() {
-			if err := decepticon.WriteTraceFile(tracer, *trace); err != nil {
-				log.Printf("trace: %v", err)
-			} else {
-				log.Printf("trace written to %s", *trace)
-			}
-		}()
-	}
-	if err := decepticon.ConfigureLogging(reg, os.Stderr, *logLvl, runID); err != nil {
-		log.Fatalf("-log-level: %v", err)
-	}
-	if *pprof != "" {
-		addr, _, err := decepticon.ServeMetrics(*pprof, reg)
-		if err != nil {
-			log.Fatalf("pprof server: %v", err)
-		}
-		log.Printf("serving metrics and pprof on http://%s", addr)
-	}
-	defer func() {
-		for _, path := range strings.Split(*metrics, ",") {
-			if path = strings.TrimSpace(path); path == "" {
-				continue
-			}
-			if err := decepticon.WriteMetricsFile(reg, path); err != nil {
-				log.Printf("metrics: %v", err)
-			} else {
-				log.Printf("metrics written to %s", path)
-			}
-		}
-	}()
 
 	var sc decepticon.Scale
-	switch *scale {
+	switch opts.Scale {
 	case "small":
 		sc = decepticon.ScaleSmall
 	case "full":
 		sc = decepticon.ScaleFull
 	default:
-		log.Fatalf("unknown scale %q (small | full)", *scale)
+		return fmt.Errorf("unknown scale %q (small | full)", opts.Scale)
 	}
 
-	plan, err := decepticon.ParseFaultPlan(*faults)
+	rt, err := cliconfig.Setup(&opts)
 	if err != nil {
-		log.Fatalf("-faults: %v", err)
+		return err
 	}
-	if *resume && *ckpt == "" {
-		log.Fatal("-resume requires -checkpoint")
-	}
+	defer rt.Close()
 
 	env := decepticon.NewExperiments(sc)
-	env.CachePath = *cache
-	env.Workers = *work
-	env.Obs = reg
-	env.FaultPlan = plan
-	env.CheckpointDir = *ckpt
-	env.Resume = *resume
-	env.FlightPath = *flight
+	env.Ctx = rt.Ctx
+	env.CachePath = opts.Cache
+	env.Workers = opts.Workers
+	env.Obs = rt.Registry
+	env.FaultPlan = rt.Plan
+	env.CheckpointDir = opts.Checkpoint
+	env.Resume = opts.Resume
+	env.FlightPath = opts.Flight
 	if !*quiet {
 		env.Progress = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 
-	if *run == "all" {
+	// The environment's lazy accessors (Zoo, Attack) treat failures of the
+	// package's own presets as programmer errors and panic — including the
+	// cancellation a Ctrl-C injects mid-build. Recover that one case into
+	// a clean exit; genuine programmer errors keep panicking.
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, context.Canceled) {
+				log.Printf("interrupted")
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	if *runIDs == "all" {
 		env.RunAll(os.Stdout)
-		return
+		return nil
 	}
-	for _, id := range strings.Split(*run, ",") {
+	for _, id := range strings.Split(*runIDs, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
 			continue
 		}
 		if err := env.Run(id, os.Stdout); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }

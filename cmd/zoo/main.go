@@ -6,85 +6,58 @@
 //
 //	zoo                # reduced population
 //	zoo -scale full    # the paper's 70 + 170 models
+//
+// Ctrl-C cancels the build at the next model boundary; requested
+// -metrics and -trace artifacts are still written.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"strings"
 
 	"decepticon"
+	"decepticon/internal/cliconfig"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("zoo: ")
-	scale := flag.String("scale", "small", "zoo scale: tiny | small | full")
-	work := flag.Int("workers", 0, "worker goroutines for model training (0 = all cores); the population is identical for any value")
-	metrics := flag.String("metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
-	pprof := flag.String("pprof", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
-	trace := flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
-	logLvl := flag.String("log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var opts cliconfig.Options
+	opts.RegisterCommon(flag.CommandLine)
+	opts.RegisterCache(flag.CommandLine)
 	flag.Parse()
 
-	reg := decepticon.NewMetrics()
-	if *trace != "" {
-		tracer := decepticon.NewTracer()
-		reg.SetTracer(tracer)
-		defer func() {
-			if err := decepticon.WriteTraceFile(tracer, *trace); err != nil {
-				log.Printf("trace: %v", err)
-			} else {
-				log.Printf("trace written to %s", *trace)
-			}
-		}()
+	cfg, err := opts.ZooConfig()
+	if err != nil {
+		return err
 	}
-	if err := decepticon.ConfigureLogging(reg, os.Stderr, *logLvl, decepticon.RunID(os.Args...)); err != nil {
-		log.Fatalf("-log-level: %v", err)
+	rt, err := cliconfig.Setup(&opts)
+	if err != nil {
+		return err
 	}
-	if *pprof != "" {
-		addr, _, err := decepticon.ServeMetrics(*pprof, reg)
-		if err != nil {
-			log.Fatalf("pprof server: %v", err)
-		}
-		log.Printf("serving metrics and pprof on http://%s", addr)
-	}
+	defer rt.Close()
 
-	cfg := decepticon.SmallZooConfig()
-	switch *scale {
-	case "tiny":
-		cfg = decepticon.TinyZooConfig()
-	case "small":
-	case "full":
-		cfg = decepticon.DefaultZooConfig()
-	default:
-		log.Fatalf("unknown -scale %q (use tiny, small, or full)", *scale)
-	}
-	cfg.Workers = *work
-	cfg.Obs = reg
+	cfg.Workers = opts.Workers
+	cfg.Obs = rt.Registry
 	cfg.OnProgress = func(stage string, done, total int) {
 		if done%20 == 0 || done == total {
 			log.Printf("%s %d/%d", stage, done, total)
 		}
 	}
-	z, err := decepticon.BuildZoo(cfg)
+	z, err := decepticon.BuildOrLoadZooContext(rt.Ctx, cfg, opts.Cache)
 	if err != nil {
-		log.Fatal(err)
-	}
-	defer func() {
-		for _, path := range strings.Split(*metrics, ",") {
-			if path = strings.TrimSpace(path); path == "" {
-				continue
-			}
-			if err := decepticon.WriteMetricsFile(reg, path); err != nil {
-				log.Printf("metrics: %v", err)
-			} else {
-				log.Printf("metrics written to %s", path)
-			}
+		if z == nil {
+			return err
 		}
-	}()
+		log.Printf("zoo cache: %v", err)
+	}
 
 	fmt.Printf("pre-trained releases (%d):\n", len(z.Pretrained))
 	fmt.Printf("%-45s %-12s %-12s %-7s %-5s %-6s\n",
@@ -99,4 +72,5 @@ func main() {
 	for _, f := range z.FineTuned {
 		fmt.Printf("%-60s %-8s %-8.3f\n", f.Name, f.Task.Name, f.Model.Evaluate(f.Dev))
 	}
+	return nil
 }

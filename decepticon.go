@@ -36,6 +36,16 @@
 // derives its seed from its own name or index, so results are
 // byte-for-byte identical for any worker count. See the "Parallelism &
 // determinism" section of README.md.
+//
+// Every heavy phase also has a context-aware variant (BuildZooContext,
+// NewAttackContext, Attack.RunContext, Attack.RunAllContext,
+// Attack.RunAllStream): cancelling the context interrupts the work at
+// the next stage boundary, and a cancelled extraction checkpoints and
+// reports Report.ExtractInterrupted exactly as a read-budget exhaustion
+// does, so a Ctrl-C'd campaign resumes byte-identically with
+// RunOptions.Resume. Campaigns can stream per-victim reports in
+// deterministic order with bounded memory via Attack.RunAllStream; see
+// DESIGN.md §11 for the pipeline and cancellation contracts.
 package decepticon
 
 import (
@@ -46,6 +56,7 @@ import (
 	"decepticon/internal/experiments"
 	"decepticon/internal/extract"
 	"decepticon/internal/obs"
+	"decepticon/internal/pipeline"
 	"decepticon/internal/sidechannel"
 	"decepticon/internal/zoo"
 )
@@ -73,6 +84,12 @@ type (
 	// Campaign aggregates the outcome of attacking many victims
 	// (Attack.RunAll).
 	Campaign = core.Campaign
+	// ReportStream yields one *Report per victim in deterministic input
+	// order with bounded buffering (Attack.RunAllStream).
+	ReportStream = core.ReportStream
+	// Clock is the pipeline's injectable time source (see
+	// RunOptions.Clock); the default is a deterministic simulated clock.
+	Clock = pipeline.Clock
 	// ExtractionConfig tunes the selective weight extraction.
 	ExtractionConfig = extract.Config
 	// ExtractionStats is the extraction cost/correctness accounting.
@@ -147,6 +164,13 @@ func TinyZooConfig() ZooConfig { return zoo.TinyBuildConfig() }
 // models requested than the catalog holds).
 func BuildZoo(cfg ZooConfig) (*Zoo, error) { return zoo.Build(cfg) }
 
+// BuildZooContext is BuildZoo with cooperative cancellation: a
+// cancelled ctx stops the build at the next model boundary and returns
+// the context's error (wrapped).
+func BuildZooContext(ctx context.Context, cfg ZooConfig) (*Zoo, error) {
+	return zoo.BuildContext(ctx, cfg)
+}
+
 // MustBuildZoo is BuildZoo for known-good configurations; it panics on
 // error. The package's own presets (DefaultZooConfig, SmallZooConfig,
 // TraceOnlyZooConfig) are always valid.
@@ -160,6 +184,13 @@ func BuildOrLoadZoo(cfg ZooConfig, cachePath string) (*Zoo, error) {
 	return zoo.BuildOrLoad(cfg, cachePath)
 }
 
+// BuildOrLoadZooContext is BuildOrLoadZoo with cooperative cancellation
+// of the build phase (loading an existing cache is quick and never
+// cancelled). On cancellation the returned zoo is nil.
+func BuildOrLoadZooContext(ctx context.Context, cfg ZooConfig, cachePath string) (*Zoo, error) {
+	return zoo.BuildOrLoadContext(ctx, cfg, cachePath)
+}
+
 // DefaultPrepareConfig returns the standard level-1 training setup.
 func DefaultPrepareConfig() PrepareConfig { return core.DefaultPrepareConfig() }
 
@@ -168,6 +199,13 @@ func DefaultPrepareConfig() PrepareConfig { return core.DefaultPrepareConfig() }
 // pre-trained model extractor. It fails only on a malformed
 // configuration (e.g. a non-positive trace image size).
 func NewAttack(z *Zoo, cfg PrepareConfig) (*Attack, error) { return core.Prepare(z, cfg) }
+
+// NewAttackContext is NewAttack with cooperative cancellation:
+// classifier training aborts at the next epoch boundary when ctx is
+// cancelled and the context's error is returned (wrapped).
+func NewAttackContext(ctx context.Context, z *Zoo, cfg PrepareConfig) (*Attack, error) {
+	return core.PrepareContext(ctx, z, cfg)
+}
 
 // NewMetrics returns an empty metrics registry. See internal/obs for
 // the instrument semantics; a nil *Metrics is a valid no-op everywhere
@@ -243,8 +281,9 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 }
 
 // ErrExtractionInterrupted is returned (wrapped) by an extraction that
-// hit its read budget after checkpointing; match with errors.Is. Campaign
-// runs surface it as Report.ExtractInterrupted instead of an error.
+// hit its read budget — or whose context was cancelled — after
+// checkpointing; match with errors.Is. Campaign runs surface it as
+// Report.ExtractInterrupted instead of an error.
 var ErrExtractionInterrupted = extract.ErrInterrupted
 
 // NewExperiments returns an experiment environment at the given scale.

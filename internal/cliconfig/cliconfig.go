@@ -1,0 +1,222 @@
+// Package cliconfig is the shared command-line plumbing of the
+// repository's CLIs (cmd/decepticon, cmd/zoo, cmd/experiments). The
+// three commands grew the same ~15 flags and the same setup/teardown
+// choreography independently — registry, run id, flight recorder,
+// tracer, logging, pprof server, and a tail of deferred artifact writes
+// that a log.Fatal could silently skip. This package owns that
+// choreography once:
+//
+//   - Options + Register* declare the shared flag groups on a FlagSet,
+//     with one canonical help text per flag;
+//   - Setup validates the options and assembles a Runtime: the metrics
+//     registry with flight recorder, optional tracer, leveled logging,
+//     the pprof server, the parsed fault plan, and a context that
+//     cancels on SIGINT;
+//   - Runtime.Close flushes every requested artifact — metrics, trace,
+//     flight dump — exactly once, whether the run finished, failed, or
+//     was interrupted.
+//
+// Commands are expected to be shaped as main() → run() error with
+// `defer rt.Close()` at the top of run, so Ctrl-C produces the same
+// complete set of artifacts as a clean exit.
+package cliconfig
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"decepticon/internal/obs"
+	"decepticon/internal/sidechannel"
+	"decepticon/internal/zoo"
+)
+
+// Options holds the flag values shared across the CLIs. Zero value plus
+// the Register* calls a command needs; fields of unregistered groups
+// stay empty and are ignored by Setup.
+type Options struct {
+	// Common group.
+	Scale    string
+	Workers  int
+	Metrics  string
+	Pprof    string
+	Trace    string
+	LogLevel string
+
+	// Cache group.
+	Cache string
+
+	// Faults group.
+	Faults     string
+	Checkpoint string
+	Resume     bool
+	ReadBudget int64
+
+	// Flight group.
+	Flight string
+}
+
+// RegisterCommon declares the flags every CLI shares: -scale, -workers,
+// -metrics, -pprof, -trace, -log-level.
+func (o *Options) RegisterCommon(fs *flag.FlagSet) {
+	fs.StringVar(&o.Scale, "scale", "small", "population scale: tiny | small | full")
+	fs.IntVar(&o.Workers, "workers", 0, "worker goroutines for model training, trace measurement, and campaigns (0 = all cores); results are identical for any value")
+	fs.StringVar(&o.Metrics, "metrics", "", "comma-separated snapshot files written on exit (.json = JSON, otherwise Prometheus text)")
+	fs.StringVar(&o.Pprof, "pprof", "", "serve /metrics, /metrics.json, and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.Trace, "trace", "", "write a Chrome/Perfetto trace_event JSON file on exit (simulated clocks; byte-identical for any -workers)")
+	fs.StringVar(&o.LogLevel, "log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
+}
+
+// RegisterCache declares -cache.
+func (o *Options) RegisterCache(fs *flag.FlagSet) {
+	fs.StringVar(&o.Cache, "cache", "", "zoo cache file (built once, reused afterwards)")
+}
+
+// RegisterFaults declares the fault/checkpoint group: -faults,
+// -checkpoint, -resume, -read-budget.
+func (o *Options) RegisterFaults(fs *flag.FlagSet) {
+	fs.StringVar(&o.Faults, "faults", "", "fault-plan spec: key=value[,key=value...] with keys seed, transient, recovery, stuck, outage, period (empty = fault-free channel)")
+	fs.StringVar(&o.Checkpoint, "checkpoint", "", "directory for per-victim extraction checkpoints (created if missing)")
+	fs.BoolVar(&o.Resume, "resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
+	fs.Int64Var(&o.ReadBudget, "read-budget", 0, "per-victim oracle read-attempt budget; an extraction exceeding it checkpoints and reports interrupted (0 = unlimited)")
+}
+
+// RegisterFlight declares -flight.
+func (o *Options) RegisterFlight(fs *flag.FlagSet) {
+	fs.StringVar(&o.Flight, "flight", "", "write a flight-recorder dump to this file on exit; interrupted, failed, or degraded extractions also dump here automatically (next to the checkpoint when -checkpoint is set)")
+}
+
+// ZooConfig maps the -scale flag to a zoo build configuration.
+func (o *Options) ZooConfig() (zoo.BuildConfig, error) {
+	switch o.Scale {
+	case "tiny":
+		return zoo.TinyBuildConfig(), nil
+	case "small":
+		return zoo.SmallBuildConfig(), nil
+	case "full":
+		return zoo.DefaultBuildConfig(), nil
+	}
+	return zoo.BuildConfig{}, fmt.Errorf("unknown -scale %q (use tiny, small, or full)", o.Scale)
+}
+
+// Runtime is the assembled run environment of one CLI invocation.
+type Runtime struct {
+	// Ctx cancels on the first SIGINT (Ctrl-C); a second SIGINT kills
+	// the process the normal way. Thread it into every long phase.
+	Ctx context.Context
+	// Registry is the metrics registry, with the flight recorder (and
+	// tracer, when -trace is set) already attached.
+	Registry *obs.Registry
+	// Flight is the attached flight recorder, tagged with RunID.
+	Flight *obs.FlightRecorder
+	// RunID is the stable identifier derived from the command line.
+	RunID string
+	// Plan is the parsed -faults plan (nil for a fault-free channel).
+	Plan *sidechannel.FaultPlan
+
+	opts          *Options
+	tracer        *obs.Tracer
+	stopSignals   context.CancelFunc
+	pprofShutdown func(context.Context) error
+	closed        bool
+}
+
+// Setup validates opts and assembles the Runtime. Call it once, right
+// after flag parsing; pair it with a deferred Close.
+func Setup(opts *Options) (*Runtime, error) {
+	plan, err := sidechannel.ParseFaultPlan(opts.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	if opts.Resume && opts.Checkpoint == "" {
+		return nil, fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	reg := obs.New()
+	runID := obs.RunID(os.Args...)
+	rec := obs.NewFlightRecorder(0)
+	rec.RunID = runID
+	reg.SetFlight(rec)
+
+	rt := &Runtime{
+		Registry: reg,
+		Flight:   rec,
+		RunID:    runID,
+		Plan:     plan,
+		opts:     opts,
+	}
+	if opts.Trace != "" {
+		rt.tracer = obs.NewTracer()
+		reg.SetTracer(rt.tracer)
+	}
+	if lvl, enabled, err := obs.ParseLogLevel(opts.LogLevel); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	} else if enabled {
+		reg.SetLogger(obs.NewLogger(os.Stderr, lvl, runID))
+	}
+	if opts.Pprof != "" {
+		addr, shutdown, err := obs.Serve(opts.Pprof, reg)
+		if err != nil {
+			return nil, fmt.Errorf("pprof server: %w", err)
+		}
+		rt.pprofShutdown = shutdown
+		log.Printf("serving metrics and pprof on http://%s", addr)
+	}
+	rt.Ctx, rt.stopSignals = signal.NotifyContext(context.Background(), os.Interrupt)
+	return rt, nil
+}
+
+// Interrupted reports whether the runtime's context has been cancelled
+// (the user hit Ctrl-C).
+func (rt *Runtime) Interrupted() bool { return rt.Ctx.Err() != nil }
+
+// Close flushes every requested artifact — flight dump, trace file,
+// metrics snapshots — restores default SIGINT behavior, and shuts the
+// pprof server down. Idempotent, so commands can both defer it and call
+// it early. It must run on every exit path (use main() → run() error
+// with a deferred Close rather than log.Fatal mid-run, which skips
+// defers): an interrupted run's artifacts are exactly the point of the
+// flight recorder.
+func (rt *Runtime) Close() {
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	rt.stopSignals()
+	if rt.opts.Flight != "" {
+		if err := rt.Flight.Dump(rt.opts.Flight, "run exit"); err != nil {
+			log.Printf("flight: %v", err)
+		} else {
+			log.Printf("flight recorder written to %s", rt.opts.Flight)
+		}
+	}
+	if rt.tracer != nil {
+		if err := rt.tracer.WriteFile(rt.opts.Trace); err != nil {
+			log.Printf("trace: %v", err)
+		} else {
+			log.Printf("trace written to %s", rt.opts.Trace)
+		}
+	}
+	for _, path := range strings.Split(rt.opts.Metrics, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		if err := rt.Registry.Snapshot().WriteFile(path); err != nil {
+			log.Printf("metrics: %v", err)
+		} else {
+			log.Printf("metrics written to %s", path)
+		}
+	}
+	if rt.pprofShutdown != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := rt.pprofShutdown(ctx); err != nil {
+			log.Printf("pprof shutdown: %v", err)
+		}
+	}
+}

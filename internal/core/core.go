@@ -16,23 +16,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
-	"decepticon/internal/adversarial"
 	"decepticon/internal/extract"
 	"decepticon/internal/fingerprint"
-	"decepticon/internal/gpusim"
 	"decepticon/internal/obs"
 	"decepticon/internal/parallel"
-	"decepticon/internal/queryfp"
-	"decepticon/internal/rng"
+	"decepticon/internal/pipeline"
 	"decepticon/internal/sidechannel"
-	"decepticon/internal/stats"
 	"decepticon/internal/transformer"
 	"decepticon/internal/zoo"
 )
@@ -86,6 +81,14 @@ func DefaultPrepareConfig() PrepareConfig {
 // rejected with an error up front rather than panicking deep inside the
 // CNN constructor.
 func Prepare(z *zoo.Zoo, cfg PrepareConfig) (*Attack, error) {
+	return PrepareContext(context.Background(), z, cfg)
+}
+
+// PrepareContext is Prepare with cooperative cancellation: the context
+// is checked between the dataset and training phases and polled at each
+// training epoch, so a cancelled preparation stops within one epoch and
+// returns ctx's error instead of a half-trained attack.
+func PrepareContext(ctx context.Context, z *zoo.Zoo, cfg PrepareConfig) (*Attack, error) {
 	def := DefaultPrepareConfig()
 	if cfg.SamplesPerModel <= 0 {
 		cfg.SamplesPerModel = def.SamplesPerModel
@@ -105,14 +108,23 @@ func Prepare(z *zoo.Zoo, cfg PrepareConfig) (*Attack, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = def.Seed
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare cancelled: %w", err)
+	}
 	dataSpan := cfg.Obs.StartSpan("fingerprint.dataset_seconds")
 	d := fingerprint.BuildDataset(z, cfg.SamplesPerModel, cfg.Seed, cfg.Workers)
 	d.AugmentNoise(1, 4, 2, cfg.Seed+9, cfg.Workers)
 	dataSpan.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare cancelled: %w", err)
+	}
 	clf := fingerprint.NewClassifier(cfg.ImgSize, d.Classes, cfg.Seed+1)
 	clf.Workers = cfg.Workers
 	clf.Obs = cfg.Obs
-	clf.Train(d, fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 2})
+	clf.TrainContext(ctx, d, fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 2})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare cancelled: %w", err)
+	}
 	return &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig(), Obs: cfg.Obs}, nil
 }
 
@@ -144,8 +156,9 @@ type Report struct {
 	// and failed.
 	ExtractSkipped string
 	// ExtractInterrupted reports that the extraction hit
-	// RunOptions.ReadBudget and checkpointed instead of completing; rerun
-	// with Resume to continue from the checkpoint.
+	// RunOptions.ReadBudget or was cancelled through the run's context
+	// and checkpointed instead of completing; rerun with Resume to
+	// continue from the checkpoint.
 	ExtractInterrupted bool
 	MatchRate          float64 // clone vs victim predictions on held-out inputs
 	VictimAcc          float64
@@ -207,85 +220,198 @@ func (c *Campaign) IdentificationRate() float64 {
 	return float64(c.Identified) / float64(c.Victims)
 }
 
+// campaignAgg accumulates a Campaign incrementally as reports are
+// delivered, so a streaming campaign never has to retain every report to
+// produce its summary. Reports are always added in victim input order
+// for any worker count, so the floating-point means are byte-identical
+// to the batch aggregation this replaces.
+type campaignAgg struct {
+	c                                   Campaign
+	matchSum, reductionSum, coverageSum float64
+	extracted                           int
+}
+
+func (g *campaignAgg) add(rep *Report) {
+	c := &g.c
+	c.Victims++
+	if rep.CorrectIdentity {
+		c.Identified++
+	}
+	if rep.UsedQueryProbes && rep.CorrectIdentity {
+		c.ProbeResolved++
+	}
+	if rep.ArchConfirmed {
+		c.ArchConfirmed++
+	}
+	if rep.ExtractError != "" {
+		c.ExtractFailed++
+	}
+	if rep.ExtractSkipped != "" {
+		c.ExtractSkipped++
+	}
+	if rep.ExtractInterrupted {
+		c.ExtractInterrupted++
+	}
+	if rep.Extract != nil {
+		g.extracted++
+		g.matchSum += rep.MatchRate
+		g.reductionSum += rep.Extract.ReductionFactor()
+		g.coverageSum += rep.Extract.Coverage()
+		c.TensorsDegraded += rep.Extract.TensorsDegraded
+		c.TotalBitsRead += rep.Extract.LogicalBitsRead()
+		c.TotalPhysicalReads += rep.Extract.PhysicalBitReads
+	}
+}
+
+// campaign finalizes the means over the reports added so far and returns
+// a copy of the summary (Reports unset — the aggregator never holds
+// them).
+func (g *campaignAgg) campaign() *Campaign {
+	c := g.c
+	if g.extracted > 0 {
+		c.MeanMatchRate = g.matchSum / float64(g.extracted)
+		c.MeanReduction = g.reductionSum / float64(g.extracted)
+		c.MeanCoverage = g.coverageSum / float64(g.extracted)
+	}
+	return &c
+}
+
+// ReportStream is a campaign in flight: victims are attacked on a
+// bounded worker pool behind it while Next delivers their reports one at
+// a time, strictly in victim input order — the same sequence a serial
+// campaign produces, for any worker count. At most a small window of
+// undelivered reports (2× the worker count) is buffered, so campaign
+// memory no longer grows with the victim list.
+//
+// Drain the stream to completion: the campaign's spans and trace lane
+// close when Next first reports exhaustion. After that, Err explains an
+// early stop (a victim's hard error, or the context's error after a
+// cancellation) and Campaign summarizes the reports that were delivered.
+type ReportStream struct {
+	s        *parallel.Stream[*Report]
+	agg      campaignAgg
+	idx      int
+	onReport func(index int, rep *Report)
+	finish   func()
+	done     bool
+}
+
+// Next blocks until the next victim's report is ready and returns it, in
+// victim input order. It returns ok=false once the stream is exhausted —
+// all victims delivered, or delivery stopped at the first failed victim
+// or at the cancellation frontier (Err tells which). OnReport, when set,
+// fires here, so its calls stay serialized and ordered exactly as the
+// batch campaign delivered them.
+func (rs *ReportStream) Next() (*Report, bool) {
+	rep, ok := rs.s.Next()
+	if !ok {
+		if !rs.done {
+			rs.done = true
+			rs.finish()
+		}
+		return nil, false
+	}
+	if rs.onReport != nil {
+		rs.onReport(rs.idx, rep)
+	}
+	rs.agg.add(rep)
+	rs.idx++
+	return rep, true
+}
+
+// Err reports why the stream stopped early: the first failed victim's
+// error, else the context's error, else nil. Call it after Next returns
+// false.
+func (rs *ReportStream) Err() error { return rs.s.Err() }
+
+// Campaign summarizes the reports delivered so far. After a full drain
+// it equals the batch RunAll campaign except that Reports is nil — the
+// stream exists so the caller controls report retention.
+func (rs *ReportStream) Campaign() *Campaign { return rs.agg.campaign() }
+
+// Buffered returns how many completed, undelivered reports the stream
+// currently holds — always bounded by the delivery window. Exposed for
+// the bounded-memory tests.
+func (rs *ReportStream) Buffered() int { return rs.s.Buffered() }
+
+// RunAllStream starts attacking every victim in the list on opt.Workers
+// goroutines (<= 0 selects GOMAXPROCS) and returns the stream of their
+// reports. Determinism matches RunAll: each victim's measurement seed is
+// a function of its list index, shared models are only read, and
+// delivery order is input order — the stream is identical for any worker
+// count. Cancelling ctx stops new victims; in-flight extractions observe
+// the same context and wind down through their checkpoint path.
+func (a *Attack) RunAllStream(ctx context.Context, victims []*zoo.FineTuned, opt RunOptions) *ReportStream {
+	span := a.Obs.StartSpan("core.campaign_seconds")
+	pipe := a.Obs.Tracer().Track(obs.PidPipeline, 0, "pipeline")
+	campaignSpan := pipe.Begin("campaign", obs.A("victims", len(victims)))
+	a.Obs.Log().Info("campaign start", "victims", len(victims), "workers", opt.Workers)
+	n := len(victims)
+	s := parallel.StreamErr(ctx, n, opt.Workers, 2*parallel.Workers(opt.Workers),
+		func(ctx context.Context, i int) (*Report, error) {
+			o := opt
+			o.MeasureSeed = opt.MeasureSeed + uint64(i)*7919
+			// Stable campaign-lane assignment: trace lanes follow input
+			// order, not completion order.
+			o.traceTID = int64(i) + 1
+			rep, err := a.RunContext(ctx, victims[i], o)
+			if err != nil {
+				return nil, fmt.Errorf("core: victim %s: %w", victims[i].Name, err)
+			}
+			return rep, nil
+		})
+	return &ReportStream{
+		s:        s,
+		onReport: opt.OnReport,
+		finish: func() {
+			// Mirrors the batch campaign's deferred bracketing, in the
+			// same LIFO order it ran there.
+			pipe.Advance(int64(n))
+			campaignSpan.End()
+			span.End()
+		},
+	}
+}
+
+// RunAllContext attacks every victim in the list and aggregates the
+// outcomes, honoring ctx end to end: between victims, between stages,
+// and down to individual oracle reads inside extractions. On a victim's
+// hard error it returns (nil, error) like RunAll. On cancellation it
+// returns the partial campaign over the victims that completed plus the
+// context's error — interrupted extractions have already checkpointed,
+// so a Resume run with the same options finishes the remainder without
+// re-paying hammer rounds.
+func (a *Attack) RunAllContext(ctx context.Context, victims []*zoo.FineTuned, opt RunOptions) (*Campaign, error) {
+	rs := a.RunAllStream(ctx, victims, opt)
+	reports := make([]*Report, 0, len(victims))
+	for {
+		rep, ok := rs.Next()
+		if !ok {
+			break
+		}
+		reports = append(reports, rep)
+	}
+	if err := rs.Err(); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			c := rs.Campaign()
+			c.Reports = reports
+			return c, err
+		}
+		return nil, err
+	}
+	c := rs.Campaign()
+	c.Reports = reports
+	return c, nil
+}
+
 // RunAll attacks every victim in the list and aggregates the outcomes.
 // Victims run on opt.Workers goroutines (<= 0 selects GOMAXPROCS): each
 // victim's measurement seed is a function of its list index, every model
 // shared across victims (the zoo's pre-trained pool, the classifier) is
 // only read, and reports land in input order with counters aggregated
-// after the join — so the campaign is identical for any worker count.
+// in delivery order — so the campaign is identical for any worker count.
 func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, error) {
-	defer a.Obs.StartSpan("core.campaign_seconds").End()
-	pipe := a.Obs.Tracer().Track(obs.PidPipeline, 0, "pipeline")
-	campaignSpan := pipe.Begin("campaign", obs.A("victims", len(victims)))
-	defer campaignSpan.End()
-	defer pipe.Advance(int64(len(victims)))
-	a.Obs.Log().Info("campaign start", "victims", len(victims), "workers", opt.Workers)
-	// Per-victim completion events flow through an ordered sink, so
-	// OnReport observes victims in input order — the same sequence a
-	// serial campaign would deliver — regardless of worker count.
-	sink := obs.NewOrderedSink[*Report](len(victims), func(i int, reps []*Report) {
-		if opt.OnReport != nil && len(reps) == 1 {
-			opt.OnReport(i, reps[0])
-		}
-	})
-	reports, err := parallel.MapErr(len(victims), opt.Workers, func(i int) (*Report, error) {
-		o := opt
-		o.MeasureSeed = opt.MeasureSeed + uint64(i)*7919
-		// Stable campaign-lane assignment: trace lanes follow input
-		// order, not completion order.
-		o.traceTID = int64(i) + 1
-		rep, err := a.Run(victims[i], o)
-		if err != nil {
-			sink.Done(i)
-			return nil, fmt.Errorf("core: victim %s: %w", victims[i].Name, err)
-		}
-		sink.Emit(i, rep)
-		sink.Done(i)
-		return rep, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	c := &Campaign{Reports: reports}
-	var matchSum, reductionSum, coverageSum float64
-	extracted := 0
-	for _, rep := range reports {
-		c.Victims++
-		if rep.CorrectIdentity {
-			c.Identified++
-		}
-		if rep.UsedQueryProbes && rep.CorrectIdentity {
-			c.ProbeResolved++
-		}
-		if rep.ArchConfirmed {
-			c.ArchConfirmed++
-		}
-		if rep.ExtractError != "" {
-			c.ExtractFailed++
-		}
-		if rep.ExtractSkipped != "" {
-			c.ExtractSkipped++
-		}
-		if rep.ExtractInterrupted {
-			c.ExtractInterrupted++
-		}
-		if rep.Extract != nil {
-			extracted++
-			matchSum += rep.MatchRate
-			reductionSum += rep.Extract.ReductionFactor()
-			coverageSum += rep.Extract.Coverage()
-			c.TensorsDegraded += rep.Extract.TensorsDegraded
-			c.TotalBitsRead += rep.Extract.LogicalBitsRead()
-			c.TotalPhysicalReads += rep.Extract.PhysicalBitReads
-		}
-	}
-	if extracted > 0 {
-		c.MeanMatchRate = matchSum / float64(extracted)
-		c.MeanReduction = reductionSum / float64(extracted)
-		c.MeanCoverage = coverageSum / float64(extracted)
-	}
-	return c, nil
+	return a.RunAllContext(context.Background(), victims, opt)
 }
 
 // RunOptions controls one attack run.
@@ -321,8 +447,19 @@ type RunOptions struct {
 	// ReadBudget, when > 0, bounds each victim's metered oracle attempts
 	// (successful + faulted). A victim that exceeds it checkpoints (when
 	// CheckpointDir is set) and reports ExtractInterrupted instead of an
-	// error.
+	// error. Cancelling the context passed to RunContext/RunAllContext/
+	// RunAllStream interrupts an extraction through the same door.
 	ReadBudget int64
+	// Clock, when set, supplies each victim's pipeline clock (the factory
+	// is called once per victim, so concurrent victims get independent
+	// clocks). The default is a deterministic simulated clock advanced
+	// only by simulated work — kernel-trace microseconds, oracle rounds,
+	// validation forwards — so the per-phase histograms fed from it
+	// (core.victim_identify_sim_us, core.victim_extract_rounds) are
+	// byte-identical across machines and worker counts. Inject
+	// pipeline.WallClock for operational wall-clock numbers at the cost
+	// of that guarantee.
+	Clock func() pipeline.Clock
 	// Workers bounds the victims attacked concurrently by RunAll; <= 0
 	// selects GOMAXPROCS. The campaign outcome is identical for any
 	// value.
@@ -408,6 +545,18 @@ func (a *Attack) dumpFlight(opt RunOptions, victim, reason string) {
 
 // Run executes the two-level attack against a black-box victim.
 func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
+	return a.RunContext(context.Background(), victim, opt)
+}
+
+// RunContext executes the two-level attack against a black-box victim as
+// a staged pipeline (trace → identify → disambiguate → gate → extract →
+// evaluate → adversarial), honoring ctx between stages and down to the
+// individual oracle reads inside the extraction. A cancellation during
+// extraction behaves exactly like read-budget exhaustion — checkpoint
+// written, ExtractInterrupted reported, flight recorder dumped, report
+// returned with a nil error; a cancellation between stages returns the
+// context's error instead.
+func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	rep := &Report{
 		Victim:         victim.Name,
 		TruePretrained: victim.Pretrained.Name,
@@ -415,8 +564,8 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	a.Obs.Counter("core.victims_attacked").Inc()
 	log := a.Obs.Log().With("victim", victim.Name)
 	log.Info("attack start")
-	// The victim's trace lane: every phase span below lands here, with
-	// the lane clock advanced only by simulated quantities (kernel-trace
+	// The victim's trace lane: every phase span lands here, with the
+	// lane clock advanced only by simulated quantities (kernel-trace
 	// microseconds, oracle rounds, validation forwards) so the exported
 	// trace is byte-identical for any worker count.
 	tid := opt.traceTID
@@ -426,192 +575,40 @@ func (a *Attack) Run(victim *zoo.FineTuned, opt RunOptions) (*Report, error) {
 	tk := a.Obs.Tracer().Track(obs.PidCampaign, tid, victim.Name)
 	attackSpan := tk.Begin("attack", obs.A("victim", victim.Name))
 	defer attackSpan.End()
+	vq := a.Obs.Counter("core.victim_queries")
+	r := &attackRun{
+		a:      a,
+		opt:    opt,
+		victim: victim,
+		rep:    rep,
+		log:    log,
+		tk:     tk,
+		vq:     vq,
+	}
 	// Every black-box interaction with the victim — query-output probes,
 	// the extraction stop condition, adversarial transfer tests and
 	// distillation records — goes through this counted path, so
 	// core.victim_queries is the attacker's total query budget.
-	vq := a.Obs.Counter("core.victim_queries")
-	countedPredict := func(tokens []int) int {
+	r.countedPredict = func(tokens []int) int {
 		vq.Inc()
 		return victim.Model.Predict(tokens)
 	}
-
-	// ---- Level 1: identify the pre-trained model. ----
-	identifySpan := a.Obs.StartSpan("core.phase.identify_seconds")
-	identifyStart := time.Now()
-	identifyTrace := tk.Begin("identify")
-	trace := victim.Trace(gpusim.Options{MeasureSeed: opt.MeasureSeed, JitterMagnitude: 0.3})
-	// The simulated kernel timeline is the natural clock for this phase.
-	tk.Advance(int64(trace.Duration()))
-	top := a.Classifier.PredictTopK(trace, 3)
-	identified := top[0]
-	cand := a.Zoo.PretrainedByName(identified)
-	if cand == nil {
-		identifyTrace.End()
-		identifySpan.End()
-		return nil, fmt.Errorf("core: classifier produced unknown candidate %q", identified)
+	eng := &pipeline.Engine{
+		Trace:        r,
+		Identify:     r,
+		Disambiguate: r,
+		Extract:      r, // attackRun is also Gated: the bus-probe arch check gates rowhammer
+		Evaluate:     r,
 	}
-
-	// Profile-ambiguous candidates need the query-output fingerprint.
-	ambiguous := a.Zoo.AmbiguousWith(cand)
-	if len(ambiguous) > 1 {
-		rep.UsedQueryProbes = true
-		cands := make([]*queryfp.Candidate, len(ambiguous))
-		for i, p := range ambiguous {
-			cands[i] = &queryfp.Candidate{Name: p.Name, Vocab: p.Vocab}
-		}
-		res := queryfp.Detect(cands, func(text string) []float32 {
-			vq.Inc()
-			_, probs := victim.ClassifyText(text)
-			return probs
-		}, 4)
-		rep.ProbeQueries = res.Queries
-		if res.Best != "" {
-			identified = res.Best
-		}
-	}
-	rep.Identified = identified
-	rep.CorrectIdentity = identified == victim.Pretrained.Name
-
-	pre := a.Zoo.PretrainedByName(identified)
-
-	// Cross-check the identified architecture against the victim's
-	// bus-probe allocation map before paying for rowhammer.
-	am := sidechannel.MapModel(victim.Model)
-	if inferred, err := sidechannel.InferArchitecture(am.Sizes()); err == nil {
-		rep.ArchConfirmed = inferred.Layers == pre.Model.Layers &&
-			inferred.Hidden == pre.Model.Hidden &&
-			inferred.FFN == pre.Model.FFN
-	}
-	identifyTrace.End()
-	identifySpan.End()
-	a.Obs.Histogram("core.victim_identify_seconds").Observe(time.Since(identifyStart).Seconds())
-	log.Info("identified", "as", identified, "correct", rep.CorrectIdentity,
-		"probes", rep.ProbeQueries, "arch_confirmed", rep.ArchConfirmed)
-
-	if pre.ArchName != victim.Pretrained.ArchName {
-		// Architecture mismatch: the weight extraction cannot even start.
-		// Record the reason explicitly — a campaign summary must be able
-		// to tell "never attempted" apart from "attempted and failed".
-		rep.ExtractSkipped = fmt.Sprintf(
-			"identified release %s has architecture %s, victim's bus-probe layout says %s: extraction never attempted",
-			identified, pre.ArchName, victim.Pretrained.ArchName)
-		a.Obs.Counter("core.extract_skipped").Inc()
-		tk.Instant("extract_skipped", obs.A("identified", identified))
-		log.Warn("extraction skipped", "reason", "architecture mismatch", "identified", identified)
-		return rep, nil
-	}
-
-	// ---- Level 2: selective weight extraction. ----
-	extractSpan := a.Obs.StartSpan("core.phase.extract_seconds")
-	extractStart := time.Now()
-	extractTrace := tk.Begin("extract")
-	oracle := sidechannel.NewOracle(victim.Model)
-	oracle.SetObs(a.Obs)
-	if opt.BitErrorRate > 0 {
-		// The noise stream derives from the victim's identity, keeping
-		// RunAll byte-identical across worker counts.
-		oracle.SetNoise(opt.BitErrorRate, rng.Seed("oracle-noise", victim.Name))
-	}
-	// The fault plan likewise derives from the victim's identity.
-	oracle.SetFaultPlan(opt.FaultPlan.ForVictim(victim.Name))
-	ex := &extract.Extractor{
-		Pre:        pre.Model,
-		Oracle:     oracle,
-		Cfg:        a.ExtractCfg,
-		Victim:     countedPredict,
-		Obs:        a.Obs,
-		Resume:     opt.Resume,
-		ReadBudget: opt.ReadBudget,
-		Trace:      tk,
-	}
-	if opt.CheckpointDir != "" {
-		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
-			extractTrace.End()
-			extractSpan.End()
-			return nil, fmt.Errorf("core: checkpoint dir: %w", err)
-		}
-		ex.CheckpointPath = filepath.Join(opt.CheckpointDir, checkpointName(victim.Name))
-	}
-	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
-	extractTrace.End()
-	extractSpan.End()
-	a.Obs.Histogram("core.victim_extract_seconds").Observe(time.Since(extractStart).Seconds())
-	if errors.Is(err, extract.ErrInterrupted) {
-		// The read budget ran out: the work done so far is checkpointed
-		// (when CheckpointDir is set) and a Resume run will finish it.
-		// Not a failure — the campaign continues with the other victims.
-		rep.ExtractInterrupted = true
-		a.Obs.Counter("core.extract_interrupted").Inc()
-		tk.Instant("extract_interrupted")
-		log.Warn("extraction interrupted", "err", err)
-		a.dumpFlight(opt, victim.Name, "extraction interrupted: "+err.Error())
-		return rep, nil
-	}
-	if err != nil {
-		// A malformed address map (or channel fault) loses this victim's
-		// clone but not the campaign: record the failure and return the
-		// level-1 results.
-		rep.ExtractError = err.Error()
-		a.Obs.Counter("core.extract_failures").Inc()
-		tk.Instant("extract_failed")
-		log.Error("extraction failed", "err", err)
-		a.dumpFlight(opt, victim.Name, "extraction failed: "+err.Error())
-		return rep, nil
-	}
-	rep.Extract = st
-	rep.Clone = clone
-	if st.TensorsDegraded > 0 {
-		// Fault-budget exhaustion: the run completed, but some tensors
-		// fell back to the baseline — leave the black-box record of how.
-		a.dumpFlight(opt, victim.Name,
-			fmt.Sprintf("extraction degraded %d tensors", st.TensorsDegraded))
-	}
-
-	evalSpan := a.Obs.StartSpan("core.phase.evaluate_seconds")
-	evalTrace := tk.Begin("evaluate")
-	vp := victim.Model.Predictions(victim.Dev)
-	cp := clone.Predictions(victim.Dev)
-	rep.MatchRate = stats.MatchRate(vp, cp)
-	rep.VictimAcc = victim.Model.Evaluate(victim.Dev)
-	rep.CloneAcc = clone.Evaluate(victim.Dev)
-	rep.VictimF1 = victim.Model.EvaluateF1(victim.Dev)
-	rep.CloneF1 = clone.EvaluateF1(victim.Dev)
-	// Six passes over the dev set (predictions, accuracy, F1 × victim
-	// and clone) — a deterministic work unit for the lane clock.
-	tk.Advance(int64(6 * len(victim.Dev)))
-	evalTrace.End()
-	evalSpan.End()
-	log.Info("evaluated", "match_rate", rep.MatchRate, "clone_acc", rep.CloneAcc)
-
-	// ---- Optional: adversarial attack (Fig 18). ----
 	if opt.Adversarial {
-		advSpan := a.Obs.StartSpan("core.phase.adversarial_seconds")
-		advTrace := tk.Begin("adversarial", obs.A("substitutes", opt.NumSubstitutes))
-		flips := opt.FlipsPerInput
-		if flips <= 0 {
-			flips = 2
-		}
-		rep.AdvClone = adversarial.Evaluate(clone, countedPredict, victim.Dev, flips, a.Obs).SuccessRate()
-		inputs := adversarial.RecordInputs(victim.Model.Vocab, victim.Task.SeqLen,
-			4*len(victim.Train), rng.Seed("adv-records", victim.Name))
-		for s := 0; s < opt.NumSubstitutes; s++ {
-			pre := pickSubstitute(a.Zoo, victim, s)
-			if pre == nil {
-				rep.AdvSkipped = append(rep.AdvSkipped, fmt.Sprintf(
-					"substitute %d: no pre-trained candidate with vocab size %d other than the victim's own release %s",
-					s, victim.Model.Vocab, victim.Pretrained.Name))
-				continue
-			}
-			sub := adversarial.BuildSubstitute(pre.Model, countedPredict, inputs,
-				victim.Task.Labels, rng.Seed("substitute", victim.Name, fmt.Sprint(s)), a.Obs)
-			rep.AdvSubstitutes = append(rep.AdvSubstitutes,
-				adversarial.Evaluate(sub, countedPredict, victim.Dev, flips, a.Obs).SuccessRate())
-		}
-		// One attack evaluation per substitute plus the clone itself.
-		tk.Advance(int64((1 + opt.NumSubstitutes) * len(victim.Dev)))
-		advTrace.End()
-		advSpan.End()
+		eng.Adversarial = r
+	}
+	var clock pipeline.Clock
+	if opt.Clock != nil {
+		clock = opt.Clock()
+	}
+	if err := eng.Run(&pipeline.State{Ctx: ctx, Obs: a.Obs, Track: tk, Clock: clock}); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"decepticon/internal/obs"
+	"decepticon/internal/parallel"
+	"decepticon/internal/zoo"
+)
+
+// sameReport compares two reports modulo the Clone pointer, then the
+// clone weights byte-for-byte.
+func sameReport(t *testing.T, label string, a, b *Report) {
+	t.Helper()
+	ra, rb := *a, *b
+	ca, cb := ra.Clone, rb.Clone
+	ra.Clone, rb.Clone = nil, nil
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("%s: reports diverge:\na: %+v\nb: %+v", label, ra, rb)
+	}
+	if (ca == nil) != (cb == nil) {
+		t.Fatalf("%s: clone presence diverges", label)
+	}
+	if ca == nil {
+		return
+	}
+	pa, pb := ca.Params(), cb.Params()
+	for j := range pa {
+		da, db := pa[j].Value.Data, pb[j].Value.Data
+		for k := range da {
+			if da[k] != db[k] {
+				t.Fatalf("%s: clone tensor %s differs at %d", label, pa[j].Name, k)
+			}
+		}
+	}
+}
+
+// TestRunAllStreamMatchesBatch: the streaming campaign delivers the
+// exact report sequence of the batch campaign, in victim input order,
+// for any worker count — and its summary equals the batch Campaign.
+func TestRunAllStreamMatchesBatch(t *testing.T) {
+	atk, z := getAttack(t)
+	opt := RunOptions{MeasureSeed: 11, Workers: 1}
+	batch, err := atk.RunAll(z.FineTuned, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		o := opt
+		o.Workers = workers
+		window := 2 * parallel.Workers(workers)
+		rs := atk.RunAllStream(context.Background(), z.FineTuned, o)
+		var got []*Report
+		high := 0
+		for {
+			if b := rs.Buffered(); b > high {
+				high = b
+			}
+			rep, ok := rs.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rep)
+		}
+		if err := rs.Err(); err != nil {
+			t.Fatalf("workers=%d: Err() = %v", workers, err)
+		}
+		if len(got) != len(batch.Reports) {
+			t.Fatalf("workers=%d: streamed %d reports, batch had %d", workers, len(got), len(batch.Reports))
+		}
+		for i := range got {
+			sameReport(t, "workers="+string(rune('0'+workers)), got[i], batch.Reports[i])
+		}
+		if high > window {
+			t.Fatalf("workers=%d: buffered high-water %d exceeds window %d", workers, high, window)
+		}
+		c := rs.Campaign()
+		want := *batch
+		want.Reports = nil
+		if !reflect.DeepEqual(*c, want) {
+			t.Fatalf("workers=%d: stream campaign diverges from batch:\nstream: %+v\nbatch:  %+v", workers, *c, want)
+		}
+	}
+}
+
+// TestRunAllContextCancelReturnsPartialCampaign: cancelling mid-campaign
+// yields the completed prefix as a partial campaign plus the context's
+// error, instead of throwing the finished work away. It builds its own
+// tiny fixture (not getAttack) so the race tier can afford it; the
+// victim count exceeds the cancel point plus the stream's claim window
+// (2 + 2×workers), so a full campaign can never slip through before the
+// cancellation lands.
+func TestRunAllContextCancelReturnsPartialCampaign(t *testing.T) {
+	cfg := tinyZooCfg()
+	cfg.NumFineTuned = 10
+	z := zoo.MustBuild(cfg)
+	atk, err := Prepare(z, PrepareConfig{
+		SamplesPerModel: 2, ImgSize: 32, Epochs: 8, LR: 0.002, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	c, err := atk.RunAllContext(ctx, z.FineTuned, RunOptions{
+		MeasureSeed: 11, Workers: 2,
+		OnReport: func(i int, rep *Report) {
+			delivered++
+			if delivered == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c == nil {
+		t.Fatal("cancellation must return the partial campaign, not nil")
+	}
+	if c.Victims < 2 || c.Victims >= len(z.FineTuned) {
+		t.Fatalf("partial campaign covers %d of %d victims — cancellation landed at the wrong frontier",
+			c.Victims, len(z.FineTuned))
+	}
+	if len(c.Reports) != c.Victims {
+		t.Fatalf("campaign holds %d reports for %d victims", len(c.Reports), c.Victims)
+	}
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls — a deterministic mid-run Ctrl-C. The
+// non-nil Done channel (never closed) makes RunContext bind the oracle's
+// per-read check.
+type countdownCtx struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int64
+	done      chan struct{}
+}
+
+func newCountdownCtx(remaining int64) *countdownCtx {
+	return &countdownCtx{
+		Context:   context.Background(),
+		remaining: remaining,
+		done:      make(chan struct{}),
+	}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestRunContextCancelCheckpointsAndResumes drives the full attack path:
+// a cancellation mid-extraction reports ExtractInterrupted (no error),
+// leaves a checkpoint and a flight dump next to it, and a Resume run
+// reproduces the uninterrupted report, clone, and obs counters
+// byte-identically.
+func TestRunContextCancelCheckpointsAndResumes(t *testing.T) {
+	atk, z := getAttack(t)
+
+	// Pick a victim whose extraction crosses tensor boundaries (head AND
+	// backbone layers): a cancellation landing mid-first-tensor would
+	// leave no boundary checkpoint to assert on. The reference run doubles
+	// as the golden uninterrupted result.
+	var (
+		victim *zoo.FineTuned
+		repA   *Report
+		regA   *obs.Registry
+	)
+	atkA := *atk
+	for _, f := range z.FineTuned {
+		if len(z.AmbiguousWith(f.Pretrained)) != 1 {
+			continue
+		}
+		regA = obs.New()
+		atkA.Obs = regA
+		rep, err := atkA.RunContext(context.Background(), f, RunOptions{MeasureSeed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Extract != nil && rep.Extract.LayersExtracted >= 1 {
+			victim, repA = f, rep
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no victim in the test zoo extracts past the head")
+	}
+	attempts := repA.Extract.PhysicalBitReads
+	if attempts < 8 {
+		t.Fatalf("reference run too small to cancel (%d reads)", attempts)
+	}
+
+	// Cancelled run: the countdown fires mid-extraction.
+	dir := t.TempDir()
+	atkB := *atk
+	regB := obs.New()
+	recB := obs.NewFlightRecorder(0)
+	regB.SetFlight(recB)
+	atkB.Obs = regB
+	repB, err := atkB.RunContext(newCountdownCtx(attempts/2), victim, RunOptions{
+		MeasureSeed: 21, CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("a cancelled extraction must report, not error: %v", err)
+	}
+	if !repB.ExtractInterrupted {
+		t.Fatalf("ExtractInterrupted not set: %+v", repB)
+	}
+	if repB.Extract != nil {
+		t.Fatal("an interrupted extraction must not publish stats")
+	}
+	ckpt := filepath.Join(dir, checkpointName(victim.Name))
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after cancellation: %v", err)
+	}
+	dump := filepath.Join(dir, checkpointName(victim.Name))
+	dump = dump[:len(dump)-len(".ckpt")] + ".flight.json"
+	fd, err := obs.ReadFlightFile(dump)
+	if err != nil {
+		t.Fatalf("no flight dump after cancellation: %v", err)
+	}
+	if fd.Reason == "" {
+		t.Fatal("flight dump has no reason")
+	}
+
+	// Resumed run: fresh registry, uncancelled context.
+	atkC := *atk
+	regC := obs.New()
+	atkC.Obs = regC
+	repC, err := atkC.RunContext(context.Background(), victim, RunOptions{
+		MeasureSeed: 21, CheckpointDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference ran without a checkpoint dir; the resumed run's report
+	// must match it in everything the attack computed.
+	sameReport(t, "resume", repA, repC)
+
+	// The obs registries reconcile: the resumed run's counters equal the
+	// uninterrupted run's (timers are wall-clock by definition).
+	snapA, snapC := regA.Snapshot(), regC.Snapshot()
+	if !reflect.DeepEqual(snapA.Counters, snapC.Counters) {
+		t.Fatalf("counters diverge:\nuninterrupted: %v\nresumed:       %v", snapA.Counters, snapC.Counters)
+	}
+	if !reflect.DeepEqual(snapA.Gauges, snapC.Gauges) {
+		t.Fatalf("gauges diverge:\nuninterrupted: %v\nresumed:       %v", snapA.Gauges, snapC.Gauges)
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -73,10 +74,30 @@ type Env struct {
 	CheckpointDir string
 	Resume        bool
 
+	// ReadBudget bounds the oracle read attempts of each attack-driving
+	// extraction; an extraction exceeding it checkpoints and reports
+	// interrupted (see core.RunOptions). 0 means unlimited.
+	ReadBudget int64
+
 	// FlightPath, when non-empty, is where attack-driving experiments dump
 	// the flight recorder if an extraction is interrupted, fails, or
 	// degrades tensors and no CheckpointDir is set (see core.RunOptions).
 	FlightPath string
+
+	// Ctx, when non-nil, threads cancellation into the environment's
+	// heavy phases: zoo construction, classifier training, and the
+	// attack-driving experiments' extractions (which checkpoint and
+	// report interrupted, exactly as under a read budget). nil runs
+	// uncancelled.
+	Ctx context.Context
+}
+
+// ctx returns the environment's context, never nil.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // NewEnv returns an experiment environment at the given scale.
@@ -118,8 +139,16 @@ func (e *Env) Zoo() *zoo.Zoo {
 		}
 		e.logf("building model zoo (%d pre-trained, %d fine-tuned)...",
 			cfg.NumPretrained, cfg.NumFineTuned)
-		z, err := zoo.BuildOrLoad(cfg, e.CachePath)
+		z, err := zoo.BuildOrLoadContext(e.ctx(), cfg, e.CachePath)
 		if err != nil {
+			if z == nil {
+				// The build itself failed or was cancelled — there is no
+				// population to continue with. Env configs come from the
+				// package's own presets, so like Attack() this is not a
+				// recoverable input error.
+				panic(err)
+			}
+			// A cache problem alone leaves the freshly built zoo usable.
 			e.logf("zoo cache: %v", err)
 		}
 		e.zoo = z
@@ -139,7 +168,7 @@ func (e *Env) Attack() *core.Attack {
 		}
 		cfg.Workers = e.Workers
 		cfg.Obs = e.Obs
-		atk, err := core.Prepare(e.Zoo(), cfg)
+		atk, err := core.PrepareContext(e.ctx(), e.Zoo(), cfg)
 		if err != nil {
 			// Env configs come from the package's own presets; a failure
 			// here is a programmer error, not bad user input.

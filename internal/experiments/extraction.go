@@ -26,10 +26,10 @@ type Fig15Result struct {
 func (e *Env) Fig15() *Fig15Result {
 	atk := e.Attack()
 	victim := pickVictim(e.Zoo(), "squad")
-	rep, err := atk.Run(victim, core.RunOptions{
+	rep, err := atk.RunContext(e.ctx(), victim, core.RunOptions{
 		MeasureSeed: 15,
 		FaultPlan:   e.FaultPlan, CheckpointDir: e.CheckpointDir, Resume: e.Resume,
-		FlightPath: e.FlightPath,
+		ReadBudget: e.ReadBudget, FlightPath: e.FlightPath,
 	})
 	if err != nil {
 		panic(err)
@@ -258,7 +258,7 @@ func (e *Env) Fig18() *Fig18Result {
 	if e.Scale == ScaleSmall {
 		n = 4
 	}
-	rep, err := atk.Run(victim, core.RunOptions{
+	rep, err := atk.RunContext(e.ctx(), victim, core.RunOptions{
 		MeasureSeed: 18, Adversarial: true, NumSubstitutes: n, FlipsPerInput: 2,
 		FlightPath: e.FlightPath,
 	})

@@ -20,6 +20,7 @@
 package extract
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -187,10 +188,11 @@ type BitReader func(bit int) (int, error)
 
 // Sentinel errors of the fault-tolerant read stack.
 var (
-	// ErrInterrupted is returned by Run when the ReadBudget is exhausted.
-	// The extraction state at that point is saved to CheckpointPath (when
-	// set); a later Run with Resume continues without re-paying any
-	// hammer rounds.
+	// ErrInterrupted is returned by Run when the ReadBudget is exhausted
+	// or the run's context is cancelled (RunContext) — the two interrupt
+	// doors behave identically. The extraction state at that point is
+	// saved to CheckpointPath (when set); a later Run with Resume
+	// continues without re-paying any hammer rounds.
 	ErrInterrupted = errors.New("extract: read budget exhausted, extraction interrupted")
 	// errBitUnreadable marks a bit whose retries and escalation are spent:
 	// the caller degrades the bit to the pre-trained baseline.
@@ -502,6 +504,11 @@ type Extractor struct {
 	hTensorRetries *obs.Histogram
 	flight         *obs.FlightRecorder
 	log            *slog.Logger
+
+	// ctx is the run's context (set by RunContext). Checked at tensor
+	// boundaries alongside the read budget, per weight inside tensor
+	// loops, and — through Oracle.Bind — before every metered read.
+	ctx context.Context
 }
 
 // tensorRetry carries the per-tensor retry budget through one tensor's
@@ -634,12 +641,33 @@ func (e *Extractor) escalate(name string, idx, bit int, rp RetryPolicy, st *Stat
 // extraction is byte-identical to an uninterrupted one (clone weights,
 // Stats, and obs counters) while paying each hammer round exactly once.
 func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*transformer.Model, *Stats, error) {
+	return e.RunContext(context.Background(), numLabels, validation)
+}
+
+// RunContext is Run under a context. Cancellation (or a deadline) is a
+// third interrupt door next to the read budget: it is checked at tensor
+// boundaries — right after the checkpoint write, so the interrupted
+// state is always resumable — per weight inside tensor loops, and before
+// every metered oracle read (Oracle.Bind). However it lands, the run
+// returns ErrInterrupted, the boundary checkpoint stands, and because an
+// aborted read charges no meter, a Resume run reproduces the clone,
+// Stats, and obs counters of an uninterrupted run byte-identically.
+func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []transformer.Example) (*transformer.Model, *Stats, error) {
 	defer e.Obs.StartSpan("extract.run_seconds").End()
 	e.hBitRounds = e.Obs.Histogram("extract.bit_read_rounds")
 	e.hTensorRounds = e.Obs.Histogram("extract.tensor_rounds")
 	e.hTensorRetries = e.Obs.Histogram("extract.tensor_retries")
 	e.flight = e.Obs.Flight()
 	e.log = e.Obs.Log()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	if ctx.Done() != nil {
+		// Only a cancellable context is worth a per-read check; plain
+		// Background keeps the metered path branch-free.
+		e.Oracle.Bind(ctx)
+	}
 	cfg := e.Cfg
 	stats := &Stats{LayersTotal: e.Pre.Layers}
 
@@ -727,6 +755,25 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 		}
 		return nil
 	}
+	// interrupted is the full tensor-boundary stop check: budget first
+	// (unchanged legacy behavior), then the context. Both doors sit right
+	// after the checkpoint write, so whichever fires leaves a resumable
+	// snapshot with the channel parked exactly at the boundary.
+	interrupted := func() error {
+		if err := overBudget(); err != nil {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			e.flight.Note("interrupt", "context cancelled", map[string]string{
+				"cause":        cerr.Error(),
+				"tensors_done": fmt.Sprint(len(doneOrder)),
+			})
+			e.log.Warn("extraction interrupted by context",
+				"err", cerr, "tensors_done", len(doneOrder))
+			return fmt.Errorf("%w: %v", ErrInterrupted, cerr)
+		}
+		return nil
+	}
 
 	victimPreds := make([]int, len(validation))
 	matches := func() float64 {
@@ -795,14 +842,14 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 			continue
 		}
 		if err := e.extractHeadTensor(p.Name, p.Value.Data, stats); err != nil {
-			return nil, nil, err
+			return nil, nil, e.wrapErr(err)
 		}
 		done[p.Name] = true
 		doneOrder = append(doneOrder, p.Name)
 		if err := saveCk(false); err != nil {
 			return nil, nil, err
 		}
-		if err := overBudget(); err != nil {
+		if err := interrupted(); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -849,7 +896,7 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 			basis := preParams[p.Name]
 			if err := e.extractTensor(p.Name, basis, p.Value.Data, stats); err != nil {
 				layerSpan.End()
-				return nil, nil, err
+				return nil, nil, e.wrapErr(err)
 			}
 			done[p.Name] = true
 			doneOrder = append(doneOrder, p.Name)
@@ -857,7 +904,7 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 				layerSpan.End()
 				return nil, nil, err
 			}
-			if err := overBudget(); err != nil {
+			if err := interrupted(); err != nil {
 				layerSpan.End()
 				return nil, nil, err
 			}
@@ -881,6 +928,31 @@ func (e *Extractor) Run(numLabels int, validation []transformer.Example) (*trans
 	}
 	publish()
 	return clone, stats, nil
+}
+
+// wrapErr maps a context error escaping a tensor loop to ErrInterrupted
+// so mid-tensor cancellation surfaces exactly like budget exhaustion.
+// The abandoned tensor is NOT checkpointed — the last boundary snapshot
+// stands, and since an aborted oracle read charges no meter, a Resume
+// run re-pays only this tensor's partial work and still reproduces the
+// uninterrupted clone, Stats, and counters byte-identically.
+func (e *Extractor) wrapErr(err error) error {
+	if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	e.flight.Note("interrupt", "context cancelled", map[string]string{"cause": err.Error()})
+	e.log.Warn("extraction interrupted by context", "err", err)
+	return fmt.Errorf("%w: %v", ErrInterrupted, err)
+}
+
+// ctxErr is the cheap per-weight cancellation probe used inside tensor
+// loops: skip-heavy stretches read nothing through the oracle, so
+// without it a cancellation could wait out an entire tensor of copies.
+func (e *Extractor) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // tensorSpan instruments one tensor's extraction: a trace span (named
@@ -929,6 +1001,9 @@ func (e *Extractor) extractHeadTensor(name string, dst []float32, stats *Stats) 
 	defer func() { stats.ReadFaults += e.Oracle.FaultedReads - faultsBefore }()
 	degradeFrom := -1
 	for i := range dst {
+		if cerr := e.ctxErr(); cerr != nil {
+			return fmt.Errorf("extract: head tensor %q: %w", name, cerr)
+		}
 		before := e.Oracle.BitReads
 		read := e.reader(name, i, rp, stats, tr)
 		var w float32
@@ -998,6 +1073,9 @@ func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats
 	defer func() { stats.ReadFaults += e.Oracle.FaultedReads - faultsBefore }()
 	degradeFrom := -1
 	for i := range base {
+		if cerr := e.ctxErr(); cerr != nil {
+			return fmt.Errorf("extract: tensor %q: %w", name, cerr)
+		}
 		b := base[i]
 		before := e.Oracle.BitReads
 		clone, checked, degraded, err := cfg.ExtractWeightErr(b, e.reader(name, i, rp, stats, tr))

@@ -1,10 +1,12 @@
 package extract
 
 import (
+	"context"
 	"errors"
 	"math"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"decepticon/internal/ieee754"
@@ -383,6 +385,147 @@ func TestCheckpointResumeGolden(t *testing.T) {
 	}
 	if snapD := regD.Snapshot(); !reflect.DeepEqual(snapA.Counters, snapD.Counters) {
 		t.Fatalf("re-resumed counters diverge: %v vs %v", snapA.Counters, snapD.Counters)
+	}
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls — a deterministic stand-in for a
+// mid-extraction Ctrl-C that always lands at the same probe. Done
+// returns a non-nil (never-closed) channel so RunContext takes the
+// cancellable path and binds the oracle's per-read check.
+type countdownCtx struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int64
+	done      chan struct{}
+}
+
+func newCountdownCtx(remaining int64) *countdownCtx {
+	return &countdownCtx{
+		Context:   context.Background(),
+		remaining: remaining,
+		done:      make(chan struct{}),
+	}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestCancelResumeGolden is TestCheckpointResumeGolden's twin for the
+// context door: an extraction cancelled mid-run must checkpoint and
+// surface ErrInterrupted exactly like a read-budget exhaustion, and the
+// resumed run must be byte-identical to an uninterrupted one — clone
+// weights, Stats, oracle meters, and obs counters. Unlike the budget
+// (checked only at tensor boundaries), cancellation can land mid-tensor;
+// the boundary snapshot stands and the resumed run re-pays only that
+// tensor's partial work, which must not perturb the final state.
+func TestCancelResumeGolden(t *testing.T) {
+	z := getZoo(t)
+	victim := z.FineTuned[0]
+	plan := &sidechannel.FaultPlan{Seed: 9, TransientRate: 0.02, StuckRate: 0.0003}
+	cfg := DefaultConfig()
+	cfg.ReadRepeats = 3
+
+	newEx := func(reg *obs.Registry, path string, resume bool) (*Extractor, *sidechannel.Oracle) {
+		oracle := sidechannel.NewOracle(victim.Model)
+		oracle.SetObs(reg)
+		oracle.SetNoise(0.01, 0xfeed)
+		oracle.SetFaultPlan(plan)
+		return &Extractor{
+			Pre:            victim.Pretrained.Model,
+			Oracle:         oracle,
+			Cfg:            cfg,
+			Victim:         victim.Model.Predict,
+			Obs:            reg,
+			CheckpointPath: path,
+			Resume:         resume,
+		}, oracle
+	}
+
+	// Reference: one uninterrupted run.
+	regA := obs.New()
+	exA, oraA := newEx(regA, "", false)
+	cloneA, stA, err := exA.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalAttempts := oraA.BitReads + oraA.FaultedReads
+	if totalAttempts < 4 {
+		t.Fatalf("reference run too small to cancel (%d attempts)", totalAttempts)
+	}
+
+	// Cancelled run: the countdown fires after roughly half the probes.
+	path := filepath.Join(t.TempDir(), "victim.ckpt")
+	regB := obs.New()
+	exB, oraB := newEx(regB, path, false)
+	_, _, err = exB.RunContext(newCountdownCtx(totalAttempts/2), victim.Task.Labels, victim.Dev)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancellation must surface as ErrInterrupted, got %v", err)
+	}
+	if oraB.BitReads == 0 {
+		t.Fatal("cancelled run made no progress before the countdown")
+	}
+	if oraB.BitReads+oraB.FaultedReads >= totalAttempts {
+		t.Fatalf("cancelled run paid all %d attempts — the countdown never fired mid-run", totalAttempts)
+	}
+
+	// Resumed run: fresh process state, uncancelled context.
+	regC := obs.New()
+	exC, oraC := newEx(regC, path, true)
+	cloneC, stC, err := exC.Run(victim.Task.Labels, victim.Dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed meters land exactly on the uninterrupted totals: the
+	// checkpoint restored the boundary state and the replayed segment is
+	// deterministic.
+	if oraC.BitReads != oraA.BitReads || oraC.FaultedReads != oraA.FaultedReads {
+		t.Fatalf("resumed meters (reads %d, faults %d) != uninterrupted (%d, %d)",
+			oraC.BitReads, oraC.FaultedReads, oraA.BitReads, oraA.FaultedReads)
+	}
+	if !reflect.DeepEqual(stA, stC) {
+		t.Fatalf("stats diverge:\nuninterrupted: %+v\nresumed:       %+v", stA, stC)
+	}
+	pa, pc := cloneA.Params(), cloneC.Params()
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pc[i].Value.Data[j] {
+				t.Fatalf("clone tensor %s differs at %d", pa[i].Name, j)
+			}
+		}
+	}
+	snapA, snapC := regA.Snapshot(), regC.Snapshot()
+	if !reflect.DeepEqual(snapA.Counters, snapC.Counters) {
+		t.Fatalf("counters diverge:\nuninterrupted: %v\nresumed:       %v", snapA.Counters, snapC.Counters)
+	}
+	if !reflect.DeepEqual(snapA.Gauges, snapC.Gauges) {
+		t.Fatalf("gauges diverge:\nuninterrupted: %v\nresumed:       %v", snapA.Gauges, snapC.Gauges)
+	}
+}
+
+// TestCancelledReadChargesNoMeter pins the property the resume identity
+// rests on: an oracle read aborted by cancellation meters nothing and
+// advances no clock, so replaying it is free.
+func TestCancelledReadChargesNoMeter(t *testing.T) {
+	_, victim := smallPair()
+	oracle := sidechannel.NewOracle(victim)
+	oracle.Bind(newCountdownCtx(0)) // already expired
+	if _, err := oracle.ReadBit("block0.wq", 0, 30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadBit = %v, want context.Canceled", err)
+	}
+	if oracle.BitReads != 0 || oracle.FaultedReads != 0 || oracle.Clock() != 0 {
+		t.Fatalf("aborted read metered: reads=%d faults=%d clock=%d",
+			oracle.BitReads, oracle.FaultedReads, oracle.Clock())
 	}
 }
 

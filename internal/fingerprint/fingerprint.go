@@ -8,6 +8,7 @@
 package fingerprint
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -215,6 +216,15 @@ type TrainConfig struct {
 
 // Train fits the classifier on the dataset and returns the final mean loss.
 func (c *Classifier) Train(d *Dataset, cfg TrainConfig) float64 {
+	return c.TrainContext(context.Background(), d, cfg)
+}
+
+// TrainContext is Train with cooperative cancellation: the context is
+// polled before each epoch, so a cancelled training stops at the next
+// epoch boundary and returns the loss of the last completed epoch.
+// Callers that need to distinguish a full training from an aborted one
+// check ctx.Err() afterwards.
+func (c *Classifier) TrainContext(ctx context.Context, d *Dataset, cfg TrainConfig) float64 {
 	defer c.Obs.StartSpan("fingerprint.train_seconds").End()
 	c.Obs.Counter("fingerprint.train_samples").Add(int64(len(d.Samples)))
 	if cfg.Epochs <= 0 {
@@ -236,6 +246,7 @@ func (c *Classifier) Train(d *Dataset, cfg TrainConfig) float64 {
 		BatchSize: 16,
 		Optimizer: nn.NewAdamW(cfg.LR, 0),
 		Seed:      cfg.Seed,
+		Stop:      func() bool { return ctx.Err() != nil },
 	})
 	c.Obs.Log().Info("fingerprint classifier trained",
 		"samples", len(d.Samples), "epochs", cfg.Epochs, "loss", loss)
@@ -270,13 +281,24 @@ func (c *Classifier) PredictTopK(t *gpusim.Trace, k int) []string {
 // classified concurrently (eval-mode forwards do not touch the network's
 // training caches); the correct count aggregates after the join.
 func (c *Classifier) Accuracy(d *Dataset) float64 {
+	acc, _ := c.AccuracyContext(context.Background(), d)
+	return acc
+}
+
+// AccuracyContext is Accuracy with cooperative cancellation: each sample
+// checks the context before classifying, and a cancelled evaluation
+// returns ctx's error instead of a partial accuracy.
+func (c *Classifier) AccuracyContext(ctx context.Context, d *Dataset) (float64, error) {
 	defer c.Obs.StartSpan("fingerprint.eval_seconds").End()
 	if len(d.Samples) == 0 {
-		return 0
+		return 0, nil
 	}
-	hits := parallel.Map(len(d.Samples), c.Workers, func(i int) bool {
-		return c.predictIdx(d.Samples[i].Trace) == d.Samples[i].Label
+	hits, err := parallel.MapErrCtx(ctx, len(d.Samples), c.Workers, func(ctx context.Context, i int) (bool, error) {
+		return c.predictIdx(d.Samples[i].Trace) == d.Samples[i].Label, nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	correct := 0
 	for _, h := range hits {
 		if h {
@@ -286,7 +308,7 @@ func (c *Classifier) Accuracy(d *Dataset) float64 {
 	acc := float64(correct) / float64(len(d.Samples))
 	c.Obs.Log().Debug("fingerprint accuracy evaluated",
 		"samples", len(d.Samples), "accuracy", acc)
-	return acc
+	return acc, nil
 }
 
 // NoiseAccuracy evaluates the Fig 14 noise sweeps: every test trace gets
@@ -294,16 +316,26 @@ func (c *Classifier) Accuracy(d *Dataset) float64 {
 // perturbation seed is a function of the sample index, so the sweep is
 // identical for any worker count.
 func (c *Classifier) NoiseAccuracy(d *Dataset, count int, magnitude float64, seed uint64) float64 {
+	acc, _ := c.NoiseAccuracyContext(context.Background(), d, count, magnitude, seed)
+	return acc
+}
+
+// NoiseAccuracyContext is NoiseAccuracy with cooperative cancellation,
+// under the same contract as AccuracyContext.
+func (c *Classifier) NoiseAccuracyContext(ctx context.Context, d *Dataset, count int, magnitude float64, seed uint64) (float64, error) {
 	defer c.Obs.StartSpan("fingerprint.eval_seconds").End()
 	if len(d.Samples) == 0 {
-		return 0
+		return 0, nil
 	}
-	hits := parallel.Map(len(d.Samples), c.Workers, func(i int) bool {
+	hits, err := parallel.MapErrCtx(ctx, len(d.Samples), c.Workers, func(ctx context.Context, i int) (bool, error) {
 		s := d.Samples[i]
 		t := s.Trace.Clone()
 		t.PerturbKernels(count, magnitude, seed^uint64(i))
-		return c.predictIdx(t) == s.Label
+		return c.predictIdx(t) == s.Label, nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	correct := 0
 	for _, h := range hits {
 		if h {
@@ -314,7 +346,7 @@ func (c *Classifier) NoiseAccuracy(d *Dataset, count int, magnitude float64, see
 	c.Obs.Log().Debug("fingerprint noise accuracy evaluated",
 		"samples", len(d.Samples), "kernels", count, "magnitude", magnitude,
 		"accuracy", acc)
-	return acc
+	return acc, nil
 }
 
 // CentroidBaseline is the ablation comparator for the CNN: a nearest-

@@ -68,6 +68,11 @@ type TrainConfig struct {
 	// OnEpoch, if non-nil, is called after each epoch with the epoch index
 	// and mean training loss.
 	OnEpoch func(epoch int, loss float64)
+	// Stop, if non-nil, is polled before each epoch; returning true ends
+	// training early with the loss of the last completed epoch. Epochs
+	// mutate the network in place, so the abort granularity is a whole
+	// epoch — callers wire a context's Done state in here.
+	Stop func() bool
 }
 
 // Fit trains the network on (x, labels) with shuffled mini-batches and
@@ -88,6 +93,9 @@ func (s *Sequential) Fit(x *tensor.Matrix, labels []int, cfg TrainConfig) float6
 	r := rng.New(cfg.Seed)
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		perm := r.Perm(x.Rows)
 		var epochLoss float64
 		batches := 0

@@ -20,6 +20,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -117,4 +118,23 @@ func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// MapErrCtx is MapErr with cooperative cancellation: each item checks
+// ctx before starting and reports ctx.Err() instead of running, so a
+// cancelled pool drains quickly (items already running complete — fn
+// receives ctx and may cut itself short). The error returned is still
+// the lowest-indexed one, which after a cancellation is the context's
+// error of the first item that never ran. A nil ctx runs uncancelled.
+func MapErrCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return MapErr(n, workers, func(i int) (T, error) {
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(ctx, i)
+	})
 }

@@ -1,0 +1,208 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// Stream runs fn(ctx, i) for i in [0, n) on a bounded worker pool and
+// delivers the results one at a time, strictly in input order, through
+// Next. Unlike Map it never materializes the whole result slice: at most
+// window results (plus in-flight work) are buffered at any moment, so a
+// million-item campaign consumes bounded memory while keeping every
+// worker busy.
+//
+// The ordering discipline mirrors the rest of the package: workers claim
+// indices sequentially, a claim is only handed out while it is less than
+// delivered+window, and Next hands out result i only after results
+// 0..i-1 — so the delivered sequence is byte-identical to a serial loop
+// for any worker count.
+//
+// Failure follows MapErr's serial-loop contract, adapted to streaming:
+// when fn(i) returns an error, no later index is claimed, results before
+// i are still delivered, Next then reports exhaustion, and Err returns
+// i's error — the first error a serial loop would have hit. (Indices
+// within the claim window may already have run; as with MapErr, fns must
+// not carry side effects that need rolling back.)
+//
+// Cancelling ctx stops new claims the same way: in-flight items finish
+// (fn observes the cancelled ctx itself and is expected to wind down),
+// their prefix is delivered, and Err reports the context's error.
+type Stream[T any] struct {
+	ctx    context.Context
+	fn     func(ctx context.Context, i int) (T, error)
+	n      int
+	window int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	claim     int // next index to hand to a worker; claims are a prefix
+	delivered int // next index Next will hand out
+	results   map[int]T
+	done      map[int]bool
+	stopped   bool // no further claims (error, cancellation, or exhaustion)
+	failIdx   int  // lowest failed index (n = none)
+	failErr   error
+	inflight  int
+	panicVal  any
+	panicked  bool
+}
+
+// StreamErr starts the workers and returns the stream. window <= 0
+// defaults to 2×workers — enough look-ahead to keep every worker busy
+// while the consumer drains in order.
+func StreamErr[T any](ctx context.Context, n, workers, window int, fn func(ctx context.Context, i int) (T, error)) *Stream[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window < workers {
+		window = workers
+	}
+	s := &Stream[T]{
+		ctx:     ctx,
+		fn:      fn,
+		n:       n,
+		window:  window,
+		results: make(map[int]T, window),
+		done:    make(map[int]bool, window),
+		failIdx: n,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if d := ctx.Done(); d != nil {
+		// Wake claim-waiting workers when the context dies; without this
+		// a cancellation arriving while every worker waits on the window
+		// condition would go unnoticed until the next delivery.
+		go func() {
+			<-d
+			s.mu.Lock()
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Stream[T]) worker() {
+	defer func() {
+		// A panic can only escape fn, i.e. between the inflight increment
+		// and its normal decrement — rebalance it here.
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			if !s.panicked {
+				s.panicked = true
+				s.panicVal = p
+			}
+			s.stopped = true
+			s.inflight--
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}()
+	for {
+		s.mu.Lock()
+		for !s.stopped && s.claim < s.n && s.claim >= s.delivered+s.window {
+			s.cond.Wait()
+		}
+		if s.stopped || s.claim >= s.n || s.ctx.Err() != nil {
+			s.mu.Unlock()
+			return
+		}
+		i := s.claim
+		s.claim++
+		s.inflight++
+		s.mu.Unlock()
+
+		v, err := s.fn(s.ctx, i)
+
+		s.mu.Lock()
+		s.inflight--
+		if err != nil {
+			if i < s.failIdx {
+				s.failIdx = i
+				s.failErr = err
+			}
+			s.stopped = true
+		} else {
+			s.results[i] = v
+			s.done[i] = true
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Next blocks until the next in-order result is available and returns
+// it. It returns ok=false once the stream is exhausted — every index
+// delivered, or delivery stopped at the first failed index / at the
+// cancellation frontier. After ok=false, Err reports why (nil for a
+// clean run). A panic inside fn is re-raised here, on the consumer.
+func (s *Stream[T]) Next() (v T, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.panicked {
+			// The deferred unlock releases the mutex during unwinding.
+			panic(s.panicVal)
+		}
+		limit := s.n
+		if s.failIdx < limit {
+			limit = s.failIdx
+		}
+		if s.delivered < limit && s.done[s.delivered] {
+			v = s.results[s.delivered]
+			delete(s.results, s.delivered)
+			delete(s.done, s.delivered)
+			s.delivered++
+			s.cond.Broadcast() // the window just slid forward
+			return v, true
+		}
+		if s.delivered >= limit {
+			return v, false
+		}
+		// The next index is neither done nor ever coming: claims stopped
+		// before reaching it and nothing is in flight.
+		if s.stopped && s.claim <= s.delivered {
+			return v, false
+		}
+		if s.stopped && s.inflight == 0 && !s.done[s.delivered] && s.claim > s.delivered {
+			// Claimed but never completed (its worker was the one that
+			// errored or the context died before fn stored a result).
+			return v, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// Err reports why the stream stopped early: the lowest-indexed fn error,
+// else the context's error, else nil. Call it after Next returns false.
+func (s *Stream[T]) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		return s.failErr
+	}
+	return s.ctx.Err()
+}
+
+// Buffered returns how many completed, undelivered results the stream
+// currently holds — always bounded by the window. Exposed for the memory
+// high-water tests.
+func (s *Stream[T]) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}

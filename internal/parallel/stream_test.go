@@ -1,0 +1,167 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// drain pulls every result out of the stream.
+func drain[T any](s *Stream[T]) []T {
+	var out []T
+	for {
+		v, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestStreamMatchesSerialForAnyWorkerCount(t *testing.T) {
+	n := 57
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		s := StreamErr(context.Background(), n, workers, 0, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		got := drain(s)
+		if len(got) != n {
+			t.Fatalf("workers=%d: delivered %d results, want %d", workers, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("workers=%d: Err() = %v", workers, err)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	s := StreamErr(context.Background(), 0, 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty stream")
+		return 0, nil
+	})
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next() = ok for empty stream")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestStreamDeliversPrefixBeforeLowestError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		s := StreamErr(context.Background(), 40, workers, 0, func(_ context.Context, i int) (int, error) {
+			if i >= 11 {
+				return 0, fmt.Errorf("item %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		got := drain(s)
+		if len(got) != 11 {
+			t.Fatalf("workers=%d: delivered %d results, want the 11 before the first error", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+		err := s.Err()
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Err() = %v, want wrapped boom", workers, err)
+		}
+		// The lowest failed index wins, exactly like MapErr.
+		if want := "item 11: boom"; err.Error() != want {
+			t.Fatalf("workers=%d: Err() = %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestStreamCancellationDeliversPrefix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var calls atomic.Int32
+	s := StreamErr(ctx, 100, 4, 0, func(ctx context.Context, i int) (int, error) {
+		calls.Add(1)
+		if i >= 4 {
+			// Park until cancelled so the cancellation frontier is exact.
+			<-release
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		return i, nil
+	})
+	// Drain the first four eagerly, then cancel and release the rest.
+	var got []int
+	for len(got) < 4 {
+		v, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended after %d results", len(got))
+		}
+		got = append(got, v)
+	}
+	cancel()
+	close(release)
+	got = append(got, drain(s)...)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+	if err := s.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+	if int(calls.Load()) == 100 {
+		t.Fatal("cancellation did not stop new claims")
+	}
+}
+
+func TestStreamBufferingIsBoundedByWindow(t *testing.T) {
+	n, workers, window := 500, 8, 16
+	s := StreamErr(context.Background(), n, workers, window, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	high := 0
+	for i := 0; i < n; i++ {
+		if b := s.Buffered(); b > high {
+			high = b
+		}
+		v, ok := s.Next()
+		if !ok || v != i {
+			t.Fatalf("Next() = %d,%v at %d", v, ok, i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream not exhausted after n deliveries")
+	}
+	if high > window {
+		t.Fatalf("buffered high-water %d exceeds window %d", high, window)
+	}
+}
+
+func TestStreamRepanicsInNext(t *testing.T) {
+	s := StreamErr(context.Background(), 8, 2, 0, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("stream worker boom")
+		}
+		return i, nil
+	})
+	defer func() {
+		if r := recover(); r != "stream worker boom" {
+			t.Fatalf("recovered %v, want the worker panic", r)
+		}
+	}()
+	drain(s)
+	t.Fatal("drain returned without panicking")
+}

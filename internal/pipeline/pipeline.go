@@ -1,0 +1,198 @@
+// Package pipeline is the staged skeleton of the Decepticon attack
+// (paper Fig 1): trace → identify → disambiguate → extract → evaluate →
+// adversarial. Each stage is a one-method interface, the Engine composes
+// whatever stages it is given per victim, and all domain knowledge stays
+// with the stage implementations — this package depends only on the
+// observability layer, so a future backend swap (a power-side-channel
+// TraceStage, a different level-2 ExtractStage) is a new implementation,
+// not a core rewrite.
+//
+// Determinism contract: the engine adds no randomness, no goroutines,
+// and no wall-clock reads of its own. Stages run strictly in Fig 1
+// order on the caller's goroutine; the State's Clock is simulated by
+// default and only moves when a stage advances it by a simulated
+// quantity. A deterministic set of stages therefore stays deterministic
+// under the engine.
+//
+// Cancellation contract: State.Ctx is checked between stages; stages
+// that do heavy work are expected to honor it internally (the extract
+// stage threads it down to every oracle read). A stage returning Stop
+// ends the run cleanly — the victim's report is complete as far as it
+// got, and the error result is nil. Any other error aborts the run and
+// surfaces to the caller.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"decepticon/internal/obs"
+)
+
+// Clock is the engine's notion of phase time. The default SimClock only
+// moves when a stage advances it with a simulated quantity (kernel-trace
+// microseconds, oracle rounds, forward passes), so per-phase durations —
+// and the histograms fed from them — are byte-identical across machines
+// and worker counts. WallClock is the opt-in real-time variant.
+type Clock interface {
+	// Now returns the clock's current reading. The unit is whatever the
+	// stages advance it by (simulated units for SimClock, nanoseconds
+	// for WallClock).
+	Now() int64
+	// Advance moves a simulated clock forward n units (n <= 0 is a
+	// no-op). Wall clocks ignore it — real time passes on its own.
+	Advance(n int64)
+}
+
+// SimClock is the default deterministic clock: a plain counter advanced
+// only by the stages' simulated quantities.
+type SimClock struct{ t int64 }
+
+// Now returns the accumulated simulated units.
+func (c *SimClock) Now() int64 { return c.t }
+
+// Advance adds n simulated units (n <= 0 is a no-op).
+func (c *SimClock) Advance(n int64) {
+	if n > 0 {
+		c.t += n
+	}
+}
+
+// WallClock reads real time in nanoseconds. Injecting it trades the
+// byte-identical-across-machines guarantee for operational latency
+// numbers; never use it in determinism-checked runs.
+type WallClock struct{}
+
+// Now returns the wall time in nanoseconds.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// Advance is a no-op: real time passes on its own.
+func (WallClock) Advance(int64) {}
+
+// State is the per-victim context threaded through every stage. Domain
+// data (the victim, the report under construction, the oracle) lives in
+// the stage implementations themselves; State carries only the
+// cross-cutting concerns every stage shares.
+type State struct {
+	// Ctx is the run's cancellation context, never nil once the engine
+	// starts. Heavy stages must thread it into their inner loops.
+	Ctx context.Context
+	// Obs is the metrics registry (nil-safe no-op when unset).
+	Obs *obs.Registry
+	// Track is this victim's trace lane (nil-safe no-op when unset).
+	Track *obs.Track
+	// Clock is the phase clock stages advance with simulated work;
+	// SimClock unless the caller injected another implementation.
+	Clock Clock
+}
+
+// Stop is the clean early-termination sentinel: a stage returns it
+// (possibly wrapped) when the run is over but not failed — an
+// architecture gate refusing extraction, an interrupted extraction that
+// checkpointed, a victim resolved without the optional stages. The
+// engine swallows it and reports success.
+var Stop = errors.New("pipeline: stop")
+
+// TraceStage measures the victim's kernel trace (or whatever physical
+// observable a backend substitutes for it).
+type TraceStage interface {
+	MeasureTrace(s *State) error
+}
+
+// IdentifyStage maps the measured trace to a pre-trained candidate.
+type IdentifyStage interface {
+	Identify(s *State) error
+}
+
+// DisambiguateStage separates profile-ambiguous candidates (query-output
+// probes in the paper) and finalizes the identification.
+type DisambiguateStage interface {
+	Disambiguate(s *State) error
+}
+
+// ExtractStage clones the victim's weights from the identified baseline.
+type ExtractStage interface {
+	Extract(s *State) error
+}
+
+// EvaluateStage scores the clone against the victim.
+type EvaluateStage interface {
+	Evaluate(s *State) error
+}
+
+// AdversarialStage runs the optional clone-driven adversarial attack.
+type AdversarialStage interface {
+	Adversarial(s *State) error
+}
+
+// Gated is an optional refinement of ExtractStage: when the extract
+// stage also implements Gated, the engine calls Gate between the
+// identification phases and Extract. A Gate returning Stop skips
+// extraction (and everything after it) cleanly — the paper's bus-probe
+// architecture cross-check lives here, refusing to pay for rowhammer
+// against a mis-identified release.
+type Gated interface {
+	Gate(s *State) error
+}
+
+// Engine composes stages into one per-victim attack. Nil stages are
+// skipped, so a caller assembles exactly the attack it wants (e.g. no
+// Adversarial stage unless requested); the order is fixed to Fig 1.
+type Engine struct {
+	Trace        TraceStage
+	Identify     IdentifyStage
+	Disambiguate DisambiguateStage
+	Extract      ExtractStage
+	Evaluate     EvaluateStage
+	Adversarial  AdversarialStage
+}
+
+// Run drives one victim through the staged attack. It returns nil on a
+// complete run and on a clean Stop; any other stage error aborts the
+// remaining stages and is returned as-is. The context is checked
+// between stages, so a cancellation arriving while a stage runs takes
+// effect no later than the next stage boundary (stages with inner loops
+// honor it sooner).
+func (e *Engine) Run(s *State) error {
+	if s.Ctx == nil {
+		s.Ctx = context.Background()
+	}
+	if s.Clock == nil {
+		s.Clock = &SimClock{}
+	}
+	steps := []func(*State) error{}
+	if e.Trace != nil {
+		steps = append(steps, e.Trace.MeasureTrace)
+	}
+	if e.Identify != nil {
+		steps = append(steps, e.Identify.Identify)
+	}
+	if e.Disambiguate != nil {
+		steps = append(steps, e.Disambiguate.Disambiguate)
+	}
+	if g, ok := e.Extract.(Gated); ok {
+		steps = append(steps, g.Gate)
+	}
+	if e.Extract != nil {
+		steps = append(steps, e.Extract.Extract)
+	}
+	if e.Evaluate != nil {
+		steps = append(steps, e.Evaluate.Evaluate)
+	}
+	if e.Adversarial != nil {
+		steps = append(steps, e.Adversarial.Adversarial)
+	}
+	for _, step := range steps {
+		if err := s.Ctx.Err(); err != nil {
+			return err
+		}
+		if err := step(s); err != nil {
+			if errors.Is(err, Stop) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

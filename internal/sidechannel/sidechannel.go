@@ -15,6 +15,7 @@
 package sidechannel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -112,6 +113,7 @@ type Oracle struct {
 	noise  *rng.RNG
 	faults *faultState
 	clock  int64 // simulated rounds: one per read attempt, plus backoff
+	ctx    context.Context
 
 	// Pre-resolved obs handles (nil-safe no-ops until SetObs): ReadBit is
 	// the hottest metered path in the repo, so the name→counter lookup
@@ -171,6 +173,14 @@ func (o *Oracle) SetObs(r *obs.Registry) {
 	o.cFaults = r.Counter("sidechannel.read_faults")
 	o.flight = r.Flight()
 }
+
+// Bind attaches a context to the channel: once ctx is cancelled (or its
+// deadline passes), every subsequent ReadBit fails with the context's
+// error *before* any meter is charged or the clock advanced — an aborted
+// read costs nothing, so the channel position stays exactly where the
+// last completed read left it and a checkpointed extraction resumes
+// byte-identically. A nil ctx unbinds.
+func (o *Oracle) Bind(ctx context.Context) { o.ctx = ctx }
 
 // AdvanceClock moves the channel's simulated clock forward n rounds
 // without reading — how a caller spends backoff time waiting out an
@@ -253,6 +263,13 @@ func (o *Oracle) ReadBit(param string, idx, bit int) (int, error) {
 	b, err := o.trueBit(param, idx, bit)
 	if err != nil {
 		return 0, err
+	}
+	// A bound, dead context aborts before the clock or any meter moves:
+	// the attempt never happened as far as the channel is concerned.
+	if o.ctx != nil {
+		if cerr := o.ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
 	}
 	// Every attempt advances the simulated clock, fault plan or not —
 	// the clock is what bit-read latency histograms are measured against,

@@ -3,6 +3,7 @@ package zoo
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -156,12 +157,18 @@ func LoadFile(path string) (*Zoo, error) {
 // BuildOrLoad loads the zoo from cachePath when it exists, otherwise
 // builds it and writes the cache. An empty cachePath always builds.
 func BuildOrLoad(cfg BuildConfig, cachePath string) (*Zoo, error) {
+	return BuildOrLoadContext(context.Background(), cfg, cachePath)
+}
+
+// BuildOrLoadContext is BuildOrLoad with cooperative cancellation of the
+// build phase (loading an existing cache is quick and never cancelled).
+func BuildOrLoadContext(ctx context.Context, cfg BuildConfig, cachePath string) (*Zoo, error) {
 	if cachePath != "" {
 		if z, err := LoadFile(cachePath); err == nil {
 			return z, nil
 		}
 	}
-	z, err := Build(cfg)
+	z, err := BuildContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

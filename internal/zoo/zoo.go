@@ -1,6 +1,7 @@
 package zoo
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -175,6 +176,15 @@ func (p *progressCounter) tick(stage string, total int) {
 // A config the catalog cannot satisfy is caller-facing input, so it is
 // reported as an error instead of panicking out of a campaign.
 func Build(cfg BuildConfig) (*Zoo, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build with cooperative cancellation: models are
+// independent work items, so a cancelled ctx stops new models from
+// starting (in-flight ones finish — one model's training is the
+// cancellation granularity) and the build returns ctx's error instead of
+// a partial population.
+func BuildContext(ctx context.Context, cfg BuildConfig) (*Zoo, error) {
 	defer cfg.Obs.StartSpan("zoo.build_seconds").End()
 	if cfg.NumPretrained <= 0 || cfg.NumFineTuned <= 0 {
 		return nil, fmt.Errorf("zoo: empty build configuration (%d pretrained, %d fine-tuned); use DefaultBuildConfig",
@@ -222,7 +232,7 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 	// index) identical to a serial build.
 	selected := entries[:cfg.NumPretrained]
 	preProg := &progressCounter{fn: cfg.OnProgress}
-	z.Pretrained = parallel.Map(len(selected), cfg.Workers, func(i int) *Pretrained {
+	pre, err := parallel.MapErrCtx(ctx, len(selected), cfg.Workers, func(ctx context.Context, i int) (*Pretrained, error) {
 		e := selected[i]
 		arch := archFor(e)
 		name := e.name()
@@ -260,8 +270,12 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 			Vocab: vocab, Model: model, Profile: profileFor(e),
 		}
 		preProg.tick("pretrain", cfg.NumPretrained)
-		return p
+		return p, nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("zoo: build cancelled: %w", err)
+	}
+	z.Pretrained = pre
 
 	// Fine-tuned victims only read their backbone's weights
 	// (transformer.FineTuneFrom copies them into a fresh model), so they
@@ -269,7 +283,7 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 	tasks := task.GLUEAnalogs()
 	tasks = append(tasks, task.QAAnalog())
 	ftProg := &progressCounter{fn: cfg.OnProgress}
-	z.FineTuned = parallel.Map(cfg.NumFineTuned, cfg.Workers, func(i int) *FineTuned {
+	ft, err := parallel.MapErrCtx(ctx, cfg.NumFineTuned, cfg.Workers, func(ctx context.Context, i int) (*FineTuned, error) {
 		pre := z.Pretrained[i%len(z.Pretrained)]
 		tk := tasks[(i/len(z.Pretrained))%len(tasks)]
 		name := fmt.Sprintf("%s__ft-%s-%d", pre.Name, tk.Name, i)
@@ -292,8 +306,12 @@ func Build(cfg BuildConfig) (*Zoo, error) {
 			Train: train, Dev: dev,
 		}
 		ftProg.tick("finetune", cfg.NumFineTuned)
-		return f
+		return f, nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("zoo: build cancelled: %w", err)
+	}
+	z.FineTuned = ft
 	cfg.Obs.Counter("zoo.models_pretrained").Add(int64(len(z.Pretrained)))
 	cfg.Obs.Counter("zoo.models_finetuned").Add(int64(len(z.FineTuned)))
 	log.Info("zoo build done",
