@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke
+.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke bench-snap bench-gate bench-smoke
 
 all: verify
 
@@ -20,7 +20,7 @@ lint:
 		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
 	fi
 
-test: metrics-smoke faults-smoke trace-smoke cancel-smoke
+test: metrics-smoke faults-smoke trace-smoke cancel-smoke bench-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -130,6 +130,27 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Benchmark trajectory gate (cmd/benchsnap). BENCH_extract.json holds
+# deterministic extraction economics — physical reads, hammer rounds,
+# clone match for the index-ordered baseline vs the information-ordered
+# scheduler — compared for EXACT equality: one regressed hammer round
+# fails the gate. BENCH_substrate.json holds hot-path timings normalized
+# by an in-process calibration loop, compared within BENCH_TOL relative
+# tolerance (default ±20%; CI relaxes it for noisy shared runners).
+# Regenerate the committed snapshots with `make bench-snap` whenever a
+# change intentionally moves them, and explain the delta in the PR.
+BENCH_TOL ?= 0.20
+bench-snap:
+	$(GO) run ./cmd/benchsnap -write
+
+bench-gate:
+	$(GO) run ./cmd/benchsnap -gate -tol $(BENCH_TOL)
+
+# The deterministic half of the gate only (no timing runs): fast enough
+# to ride inside `make test` as a smoke check.
+bench-smoke:
+	$(GO) run ./cmd/benchsnap -gate -quick
 
 # The full pre-commit gate.
 verify: build vet lint test race

@@ -98,7 +98,8 @@ func run() error {
 		log.Printf("attacking all %d victims...", len(z.FineTuned))
 		c, err := atk.RunAllContext(rt.Ctx, z.FineTuned, decepticon.RunOptions{
 			MeasureSeed: 1, Workers: opts.Workers, BitErrorRate: *noise,
-			FaultPlan: rt.Plan, CheckpointDir: opts.Checkpoint, Resume: opts.Resume,
+			FaultPlan: rt.Plan, ScheduledExtraction: opts.Scheduled,
+			CheckpointDir: opts.Checkpoint, Resume: opts.Resume,
 			ReadBudget: opts.ReadBudget, FlightPath: opts.Flight,
 		})
 		if err != nil {
@@ -120,15 +121,16 @@ func run() error {
 	log.Printf("attacking black-box victim %q...", target.Name)
 
 	rep, err := atk.RunContext(rt.Ctx, target, decepticon.RunOptions{
-		MeasureSeed:    uint64(*victim) + 1,
-		Adversarial:    *adv,
-		NumSubstitutes: *subs,
-		BitErrorRate:   *noise,
-		FaultPlan:      rt.Plan,
-		CheckpointDir:  opts.Checkpoint,
-		Resume:         opts.Resume,
-		ReadBudget:     opts.ReadBudget,
-		FlightPath:     opts.Flight,
+		MeasureSeed:         uint64(*victim) + 1,
+		Adversarial:         *adv,
+		NumSubstitutes:      *subs,
+		BitErrorRate:        *noise,
+		FaultPlan:           rt.Plan,
+		ScheduledExtraction: opts.Scheduled,
+		CheckpointDir:       opts.Checkpoint,
+		Resume:              opts.Resume,
+		ReadBudget:          opts.ReadBudget,
+		FlightPath:          opts.Flight,
 	})
 	if err != nil {
 		return err

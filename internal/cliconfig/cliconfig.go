@@ -56,6 +56,7 @@ type Options struct {
 	Checkpoint string
 	Resume     bool
 	ReadBudget int64
+	Scheduled  bool
 
 	// Flight group.
 	Flight string
@@ -84,6 +85,7 @@ func (o *Options) RegisterFaults(fs *flag.FlagSet) {
 	fs.StringVar(&o.Checkpoint, "checkpoint", "", "directory for per-victim extraction checkpoints (created if missing)")
 	fs.BoolVar(&o.Resume, "resume", false, "resume from checkpoints in -checkpoint instead of starting fresh")
 	fs.Int64Var(&o.ReadBudget, "read-budget", 0, "per-victim oracle read-attempt budget; an extraction exceeding it checkpoints and reports interrupted (0 = unlimited)")
+	fs.BoolVar(&o.Scheduled, "scheduled", false, "information-ordered extraction scheduler: high-value bits first, adaptive vote width, posterior early exit (deterministic; never reads more than the baseline)")
 }
 
 // RegisterFlight declares -flight.

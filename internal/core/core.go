@@ -434,6 +434,15 @@ type RunOptions struct {
 	// via FaultPlan.ForVictim, so campaigns stay byte-identical for any
 	// worker count. Pair with ExtractCfg.Retry to tune the reaction.
 	FaultPlan *sidechannel.FaultPlan
+	// ScheduledExtraction switches every victim's weight extraction to the
+	// information-ordered bit-read scheduler (extract.SchedulerConfig) at
+	// its default operating point: high-value fraction bits first, vote
+	// width adapted to the channel's observed silent-flip rate (clamped to
+	// ReadRepeats), and per-tensor posterior early exit. An explicit
+	// ExtractCfg.Schedule takes precedence. The schedule is a pure
+	// function of the pre-trained baseline, so campaigns stay
+	// byte-identical for any worker count.
+	ScheduledExtraction bool
 	// CheckpointDir, when set, makes every victim's extraction persist a
 	// resumable per-victim checkpoint (CheckpointDir/<victim>.ckpt). The
 	// directory is created if missing.

@@ -9,6 +9,7 @@ import (
 
 	"decepticon/internal/extract"
 	"decepticon/internal/obs"
+	"decepticon/internal/sidechannel"
 	"decepticon/internal/zoo"
 )
 
@@ -249,6 +250,65 @@ func TestParallelPipelineMatchesSerial(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestScheduledCampaignWorkerInvariant: a campaign run with the
+// information-ordered extraction scheduler must stay byte-identical for
+// any worker count — the schedule is a pure function of each victim's
+// pre-trained baseline and the estimator lives per victim, so no
+// cross-victim state can leak through the pool.
+func TestScheduledCampaignWorkerInvariant(t *testing.T) {
+	atk0, z := getAttack(t)
+	atk := *atk0
+	cfg := extract.DefaultConfig()
+	cfg.ReadRepeats = 3
+	// Disable the layer-wise early stop so every victim actually walks
+	// the scheduled path instead of finishing on the head alone.
+	cfg.StopMatchRate = 2
+	atk.ExtractCfg = cfg
+	victims := z.FineTuned[:4]
+	plan := &sidechannel.FaultPlan{Seed: 3, TransientRate: 0.01, StuckRate: 0.0001}
+	run := func(workers int) *Campaign {
+		c, err := atk.RunAll(victims, RunOptions{
+			MeasureSeed:         31,
+			Workers:             workers,
+			ScheduledExtraction: true,
+			FaultPlan:           plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	par := run(3)
+	scheduledRan := false
+	for i := range serial.Reports {
+		a, b := *serial.Reports[i], *par.Reports[i]
+		if a.Extract != nil && a.Extract.VoteWidthN > 0 {
+			scheduledRan = true
+		}
+		ca, cb := a.Clone, b.Clone
+		a.Clone, b.Clone = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("report %d diverges across worker counts:\nserial: %+v\npar:    %+v", i, a, b)
+		}
+		if ca == nil || cb == nil {
+			continue
+		}
+		pa, pb := ca.Params(), cb.Params()
+		for j := range pa {
+			da, db := pa[j].Value.Data, pb[j].Value.Data
+			for k := range da {
+				if da[k] != db[k] {
+					t.Fatalf("report %d: clone tensor %s differs at %d", i, pa[j].Name, k)
+				}
+			}
+		}
+	}
+	if !scheduledRan {
+		t.Fatal("no report shows scheduler activity — the scheduled path never ran")
 	}
 }
 

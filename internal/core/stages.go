@@ -164,10 +164,14 @@ func (r *attackRun) Extract(s *pipeline.State) error {
 	}
 	// The fault plan likewise derives from the victim's identity.
 	oracle.SetFaultPlan(r.opt.FaultPlan.ForVictim(r.victim.Name))
+	cfg := r.a.ExtractCfg
+	if r.opt.ScheduledExtraction && !cfg.Schedule.Enabled {
+		cfg.Schedule = extract.DefaultSchedulerConfig()
+	}
 	ex := &extract.Extractor{
 		Pre:        r.pre.Model,
 		Oracle:     oracle,
-		Cfg:        r.a.ExtractCfg,
+		Cfg:        cfg,
 		Victim:     r.countedPredict,
 		Obs:        r.a.Obs,
 		Resume:     r.opt.Resume,

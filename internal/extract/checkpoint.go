@@ -21,8 +21,11 @@ import (
 	"decepticon/internal/sidechannel"
 )
 
-// checkpointVersion guards the on-disk layout.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk layout. Version 2 added the
+// information-ordered scheduler's estimator state (Sched): a v1 snapshot
+// predates the scheduler and cannot guarantee a byte-identical resume
+// under it, so version skew fails loudly instead of degrading silently.
+const checkpointVersion = 2
 
 // checkpointTensor is one completed tensor's extracted data.
 type checkpointTensor struct {
@@ -46,6 +49,11 @@ type Checkpoint struct {
 	Tensors    []checkpointTensor
 	Stats      Stats
 	Channel    sidechannel.ChannelState
+	// Sched is the adaptive-vote estimator position (zero when the
+	// scheduler is off). The scheduler's read widths are a pure function
+	// of this state, so restoring it keeps a resumed run's oracle access
+	// sequence byte-identical to an uninterrupted one.
+	Sched SchedulerState
 	// Compatibility guards: a resume against a different victim shape or
 	// configuration is attacker/operator error and must fail loudly.
 	NumLabels   int

@@ -64,6 +64,12 @@ type Config struct {
 	// RetryPolicy). Zero-valued fields take DefaultRetryPolicy values, so
 	// a zero Retry is the sensible default, not "never retry".
 	Retry RetryPolicy
+	// Schedule enables the information-ordered bit-read scheduler
+	// (scheduler.go): per-tensor reads ordered by expected information,
+	// vote width adapted to the observed channel instead of the global
+	// ReadRepeats, and posterior early exit. The zero value keeps the
+	// index-ordered path byte-identical.
+	Schedule SchedulerConfig
 }
 
 // RetryPolicy is the deterministic reaction to channel faults
@@ -366,10 +372,27 @@ type Stats struct {
 	TensorsDegraded  int      // tensors whose tail fell back to the baseline
 	DegradedTensors  []string // their names, in extraction order
 
+	// Scheduler accounting — all zero unless Config.Schedule is enabled.
+	BitsElided       int64 // planned bits left unread by posterior early exit
+	TensorsConverged int   // tensors that early-exited on a converged posterior
+	ProbeReads       int64 // single-read bits widened to keep the flip estimate live
+	VoteWidthSum     int64 // sum of chosen vote widths over scheduled reads
+	VoteWidthN       int64 // scheduled reads the widths were chosen for
+
 	// ModelWeights is the victim's full scalar weight count (including the
 	// head and any layers the early stop skipped) — the denominator for
 	// whole-model cost comparisons.
 	ModelWeights int
+}
+
+// MeanVoteWidth returns the average majority-vote width the scheduler
+// actually used (0 when the scheduler was off). The gap between this and
+// EffectiveReadRepeats is where the adaptive voting saves hammer rounds.
+func (s *Stats) MeanVoteWidth() float64 {
+	if s.VoteWidthN == 0 {
+		return 0
+	}
+	return float64(s.VoteWidthSum) / float64(s.VoteWidthN)
 }
 
 // Coverage returns the fraction of handled weights that were actually
@@ -509,6 +532,10 @@ type Extractor struct {
 	// boundaries alongside the read budget, per weight inside tensor
 	// loops, and — through Oracle.Bind — before every metered read.
 	ctx context.Context
+
+	// sched is the information-ordered scheduler, created per run when
+	// Cfg.Schedule.Enabled; its estimator state rides in checkpoints.
+	sched *scheduler
 }
 
 // tensorRetry carries the per-tensor retry budget through one tensor's
@@ -560,33 +587,44 @@ func (e *Extractor) retryingRead(name string, idx int, rp RetryPolicy, st *Stats
 // raw reads, an EffectiveReadRepeats majority vote, and the escalated
 // burst on suspected stuck bits.
 func (e *Extractor) reader(name string, idx int, rp RetryPolicy, st *Stats, tr *tensorRetry) BitReader {
-	read := e.retryingRead(name, idx, rp, st, tr)
 	repeats := e.Cfg.EffectiveReadRepeats()
 	return func(bit int) (int, error) {
-		// One observation per logical bit: the channel clock delta covers
-		// vote repeats, backoff waits, and escalation bursts — the true
-		// latency of recovering this bit, in simulated rounds.
-		start := e.Oracle.Clock()
-		defer func() { e.hBitRounds.Observe(float64(e.Oracle.Clock() - start)) }()
-		ones, votes := 0, 0
-		for i := 0; i < repeats; i++ {
-			b, err := read(bit)
-			if err != nil {
-				if errors.Is(err, errBitUnreadable) {
-					// Suspected stuck cell: discard the partial vote and
-					// take one escalated, wider vote instead.
-					return e.escalate(name, idx, bit, rp, st)
-				}
-				return 0, err
-			}
-			ones += b
-			votes++
-		}
-		if 2*ones > votes {
-			return 1, nil
-		}
-		return 0, nil
+		b, _, _, err := e.votedRead(name, idx, bit, repeats, rp, st, tr)
+		return b, err
 	}
+}
+
+// votedRead performs one logical bit read at an explicit vote width
+// through the full retry → escalate stack; reader uses the configured
+// width, the scheduler passes its adaptive one. Besides the voted bit it
+// returns the vote tally — the scheduler's only evidence of silent flips.
+// votes == 0 marks a result decided by escalation (no tally to learn
+// from).
+func (e *Extractor) votedRead(name string, idx, bit, repeats int, rp RetryPolicy, st *Stats, tr *tensorRetry) (result, ones, votes int, err error) {
+	// One observation per logical bit: the channel clock delta covers
+	// vote repeats, backoff waits, and escalation bursts — the true
+	// latency of recovering this bit, in simulated rounds.
+	start := e.Oracle.Clock()
+	defer func() { e.hBitRounds.Observe(float64(e.Oracle.Clock() - start)) }()
+	read := e.retryingRead(name, idx, rp, st, tr)
+	for i := 0; i < repeats; i++ {
+		b, rerr := read(bit)
+		if rerr != nil {
+			if errors.Is(rerr, errBitUnreadable) {
+				// Suspected stuck cell: discard the partial vote and
+				// take one escalated, wider vote instead.
+				r, eerr := e.escalate(name, idx, bit, rp, st)
+				return r, 0, 0, eerr
+			}
+			return 0, 0, 0, rerr
+		}
+		ones += b
+		votes++
+	}
+	if 2*ones > votes {
+		return 1, ones, votes, nil
+	}
+	return 0, ones, votes, nil
 }
 
 // escalate is the higher-effective-ReadRepeats burst on a suspected
@@ -670,6 +708,10 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 	}
 	cfg := e.Cfg
 	stats := &Stats{LayersTotal: e.Pre.Layers}
+	e.sched = nil
+	if cfg.Schedule.Enabled {
+		e.sched = newScheduler(cfg.Schedule, cfg.EffectiveReadRepeats())
+	}
 
 	// The clone starts as the pre-trained backbone with a fresh head of
 	// the observed width.
@@ -715,6 +757,11 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 		layersDone = ck.LayersDone
 		preloopDone = ck.PreloopDone
 		e.Oracle.RestoreState(ck.Channel)
+		if e.sched != nil {
+			// The adaptive vote width is a pure function of this state;
+			// restoring it keeps the resumed read sequence byte-identical.
+			e.sched.state = ck.Sched
+		}
 	}
 	stats.EffectiveReadRepeats = cfg.EffectiveReadRepeats()
 
@@ -729,6 +776,7 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 			LayersDone:  layersDone,
 			Stats:       *stats,
 			Channel:     e.Oracle.State(),
+			Sched:       e.schedState(),
 			NumLabels:   numLabels,
 			LayersTotal: e.Pre.Layers,
 		}
@@ -744,7 +792,7 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 		if e.ReadBudget <= 0 {
 			return nil
 		}
-		if paid := e.Oracle.BitReads + e.Oracle.FaultedReads; paid >= e.ReadBudget {
+		if paid := e.Oracle.Attempts(); paid >= e.ReadBudget {
 			e.flight.Note("interrupt", "read budget exhausted", map[string]string{
 				"paid":   fmt.Sprint(paid),
 				"budget": fmt.Sprint(e.ReadBudget),
@@ -806,6 +854,9 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 		e.Obs.Counter("extract.bits_degraded").Add(stats.BitsDegraded)
 		e.Obs.Counter("extract.tensors_degraded").Add(int64(stats.TensorsDegraded))
 		e.Obs.Counter("extract.weights_nonfinite").Add(int64(stats.WeightsNonFinite))
+		e.Obs.Counter("extract.bits_elided").Add(stats.BitsElided)
+		e.Obs.Counter("extract.tensors_converged").Add(int64(stats.TensorsConverged))
+		e.Obs.Counter("extract.probe_reads").Add(stats.ProbeReads)
 		e.Obs.Counter("extract.runs").Inc()
 		e.log.Info("extraction complete",
 			"layers", stats.LayersExtracted,
@@ -894,9 +945,15 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 				continue
 			}
 			basis := preParams[p.Name]
-			if err := e.extractTensor(p.Name, basis, p.Value.Data, stats); err != nil {
+			var terr error
+			if e.sched != nil {
+				terr = e.extractTensorScheduled(p.Name, basis, p.Value.Data, stats)
+			} else {
+				terr = e.extractTensor(p.Name, basis, p.Value.Data, stats)
+			}
+			if terr != nil {
 				layerSpan.End()
-				return nil, nil, e.wrapErr(err)
+				return nil, nil, e.wrapErr(terr)
 			}
 			done[p.Name] = true
 			doneOrder = append(doneOrder, p.Name)
@@ -1160,6 +1217,163 @@ func (e *Extractor) extractTensor(name string, base, dst []float32, stats *Stats
 		stats.TensorsDegraded++
 		stats.DegradedTensors = append(stats.DegradedTensors, name)
 		e.noteDegrade(name, degradeFrom, len(base))
+	}
+	return nil
+}
+
+// schedState snapshots the scheduler's estimator for a checkpoint (zero
+// when the scheduler is off).
+func (e *Extractor) schedState() SchedulerState {
+	if e.sched == nil {
+		return SchedulerState{}
+	}
+	return e.sched.state
+}
+
+// extractTensorScheduled is the information-ordered counterpart of
+// extractTensor: identical bit selection, but reads follow planTensor's
+// descending-information order, each read's vote width comes from the
+// adaptive estimator (clamped to EffectiveReadRepeats), and a converged
+// bit posterior elides the remaining — strictly lower-value — planned
+// bits. Fault handling mirrors the index-ordered path: an unreadable bit
+// keeps the baseline bit, a spent tensor budget or dead region degrades
+// every weight that still had planned reads outstanding.
+func (e *Extractor) extractTensorScheduled(name string, base, dst []float32, stats *Stats) error {
+	defer e.tensorSpan(name, stats)()
+	cfg := e.Cfg
+	rp := cfg.Retry.withDefaults()
+	tr := &tensorRetry{budget: rp.TensorRetryBudget}
+	faultsBefore := e.Oracle.FaultedReads
+	defer func() { stats.ReadFaults += e.Oracle.FaultedReads - faultsBefore }()
+
+	// Every weight starts as its baseline copy; the population accounting
+	// matches the index-ordered path.
+	for i, b := range base {
+		dst[i] = b
+		stats.WeightsTotal++
+		stats.BitsTotal += 32
+		if !isFinite(b) {
+			stats.WeightsNonFinite++
+		}
+	}
+
+	plan := planTensor(cfg, base)
+	planned := make(map[int]int, len(plan)) // weight → planned bit count
+	for _, t := range plan {
+		planned[t.idx]++
+	}
+	checked := make(map[int][]int)     // weight → fraction bits recovered
+	degradedBits := make(map[int]bool) // weights with ≥1 unreadable bit
+	sc := e.sched
+
+	reads, changed := 0, 0 // early-exit evidence for this tensor
+	degradeFrom := -1
+	for ti, task := range plan {
+		if cerr := e.ctxErr(); cerr != nil {
+			return fmt.Errorf("extract: tensor %q: %w", name, cerr)
+		}
+		width := sc.chooseWidth(task.value, task.gap, stats)
+		raw := ieee754.FractionBits - task.k
+		before := e.Oracle.BitReads
+		bit, ones, votes, err := e.votedRead(name, task.idx, raw, width, rp, stats, tr)
+		stats.PhysicalBitReads += e.Oracle.BitReads - before
+		if err != nil {
+			if isBitDegrade(err) {
+				stats.BitsDegraded++
+				degradedBits[task.idx] = true
+				continue
+			}
+			if isTensorDegrade(err) {
+				degradeFrom = ti
+				break
+			}
+			return fmt.Errorf("extract: tensor %q: %w", name, err)
+		}
+		sc.update(ones, votes)
+		dst[task.idx] = ieee754.SetFractionBit(dst[task.idx], task.k, bit)
+		checked[task.idx] = append(checked[task.idx], task.k)
+		stats.BitsChecked++
+		reads++
+		if bit != ieee754.FractionBit(base[task.idx], task.k) {
+			changed++
+		}
+		if ti+1 < len(plan) && sc.converged(reads, changed) {
+			stats.BitsElided += int64(len(plan) - ti - 1)
+			stats.TensorsConverged++
+			e.flight.Note("converge", name, map[string]string{
+				"read":   fmt.Sprint(reads),
+				"elided": fmt.Sprint(len(plan) - ti - 1),
+			})
+			break
+		}
+	}
+
+	// A degraded tensor keeps every successfully read bit; weights whose
+	// plan was cut short fall back to the baseline for the unread bits
+	// and count as degraded, like the index-ordered tail fallback.
+	unread := make(map[int]bool)
+	if degradeFrom >= 0 {
+		for _, t := range plan[degradeFrom:] {
+			unread[t.idx] = true
+		}
+		stats.TensorsDegraded++
+		stats.DegradedTensors = append(stats.DegradedTensors, name)
+		e.noteDegrade(name, len(base)-len(unread), len(base))
+	}
+	for i := range base {
+		if degradedBits[i] || unread[i] {
+			stats.WeightsDegraded++
+		}
+	}
+
+	// Ground-truth accounting (simulation-side peek, as in extractTensor),
+	// decoupled from the read loop because the schedule visits weights in
+	// information order, not index order.
+	for i, b := range base {
+		if !isFinite(b) {
+			continue
+		}
+		victim, err := e.Oracle.PeekWord(name, i)
+		if err != nil {
+			return fmt.Errorf("extract: tensor %q: %w", name, err)
+		}
+		gap := math.Abs(float64(victim - b))
+		cs := checked[i]
+		if planned[i] == 0 {
+			// Algorithm 1 selected no bits for this weight (sub-threshold,
+			// or the gap sits below the finest candidate place value).
+			stats.WeightsSkipped++
+			if gap < cfg.SkipThreshold {
+				stats.WeightsSkippedCorrect++
+			}
+		} else if math.Abs(float64(victim-dst[i])) <= cfg.gap(b) {
+			stats.WeightsWithinGap++
+		}
+		if dst[i] == victim {
+			stats.WeightsExact++
+		}
+		if (victim >= 0) != (b >= 0) && victim != 0 {
+			stats.SignFlips++
+		}
+		readSet := map[int]bool{}
+		for _, k := range cs {
+			readSet[ieee754.FractionBits-k] = true
+		}
+		for bit := 0; bit < 32; bit++ {
+			if readSet[bit] {
+				continue
+			}
+			if ieee754.Bit(victim, bit) == ieee754.Bit(b, bit) {
+				stats.BitsExcludedCorrect++
+				continue
+			}
+			if bit < ieee754.FractionBits {
+				k := ieee754.FractionBits - bit
+				if ieee754.FractionBitValue(b, k) < cfg.SubtleValue {
+					stats.BitsExcludedCorrect++
+				}
+			}
+		}
 	}
 	return nil
 }

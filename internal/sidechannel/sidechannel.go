@@ -334,5 +334,10 @@ func (o *Oracle) ReadWord(param string, idx int) (float32, error) {
 // int64: realistic models with ReadRepeats push this past 2^31.
 func (o *Oracle) HammerRounds() int64 { return o.BitReads * HammerRoundsPerBit }
 
+// Attempts returns every metered oracle access so far — successful bit
+// reads plus faulted attempts. This is the quantity read budgets bound
+// and the denominator fault-rate estimators divide by.
+func (o *Oracle) Attempts() int64 { return o.BitReads + o.FaultedReads }
+
 // TensorSize returns the weight count of a tensor (0 if unknown).
 func (o *Oracle) TensorSize(param string) int { return len(o.weights[param]) }

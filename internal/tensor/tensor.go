@@ -102,6 +102,27 @@ func axpy(dst, src []float32, s float32) {
 	}
 }
 
+// axpy4 computes dst += s0*a0 + s1*a1 + s2*a2 + s3*a3 in one fused pass —
+// the k-blocked inner kernel of MatMul/MatMulTN. Go evaluates float
+// expressions left to right without reassociation, so the fused update is
+// bit-identical to four sequential axpy calls. A zero scalar falls back to
+// the per-lane path: axpy skips s == 0 entirely (no 0*Inf → NaN, no
+// -0 + +0 sign normalization), and the fused form must not differ.
+func axpy4(dst, a0, a1, a2, a3 []float32, s0, s1, s2, s3 float32) {
+	if s0 == 0 || s1 == 0 || s2 == 0 || s3 == 0 {
+		axpy(dst, a0, s0)
+		axpy(dst, a1, s1)
+		axpy(dst, a2, s2)
+		axpy(dst, a3, s3)
+		return
+	}
+	n := len(dst)
+	a0, a1, a2, a3 = a0[:n], a1[:n], a2[:n], a3[:n]
+	for j := 0; j < n; j++ {
+		dst[j] = dst[j] + s0*a0[j] + s1*a1[j] + s2*a2[j] + s3*a3[j]
+	}
+}
+
 // dot returns the inner product of two equal-length slices with four-way
 // unrolling.
 func dot(a, b []float32) float32 {
@@ -122,6 +143,51 @@ func dot(a, b []float32) float32 {
 	return s
 }
 
+// dot4 computes the inner products of a against four b rows in one pass,
+// reusing each load of a across the rows. Every output replicates dot's
+// exact four-accumulator pattern and tail, so dot4(a, b0..b3) is
+// bit-identical to four dot calls.
+func dot4(a, b0, b1, b2, b3 []float32) (r0, r1, r2, r3 float32) {
+	n := len(a)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	var s00, s01, s02, s03 float32
+	var s10, s11, s12, s13 float32
+	var s20, s21, s22, s23 float32
+	var s30, s31, s32, s33 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		av0, av1, av2, av3 := a[i], a[i+1], a[i+2], a[i+3]
+		s00 += av0 * b0[i]
+		s01 += av1 * b0[i+1]
+		s02 += av2 * b0[i+2]
+		s03 += av3 * b0[i+3]
+		s10 += av0 * b1[i]
+		s11 += av1 * b1[i+1]
+		s12 += av2 * b1[i+2]
+		s13 += av3 * b1[i+3]
+		s20 += av0 * b2[i]
+		s21 += av1 * b2[i+1]
+		s22 += av2 * b2[i+2]
+		s23 += av3 * b2[i+3]
+		s30 += av0 * b3[i]
+		s31 += av1 * b3[i+1]
+		s32 += av2 * b3[i+2]
+		s33 += av3 * b3[i+3]
+	}
+	r0 = s00 + s01 + s02 + s03
+	r1 = s10 + s11 + s12 + s13
+	r2 = s20 + s21 + s22 + s23
+	r3 = s30 + s31 + s32 + s33
+	for ; i < n; i++ {
+		av := a[i]
+		r0 += av * b0[i]
+		r1 += av * b1[i]
+		r2 += av * b2[i]
+		r3 += av * b3[i]
+	}
+	return r0, r1, r2, r3
+}
+
 // MatMul returns a × b (a: m×k, b: k×n).
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
@@ -132,8 +198,15 @@ func MatMul(a, b *Matrix) *Matrix {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*n : (i+1)*n]
-		for k, av := range arow {
-			axpy(orow, b.Data[k*n:(k+1)*n], av)
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			axpy4(orow,
+				b.Data[k*n:(k+1)*n], b.Data[(k+1)*n:(k+2)*n],
+				b.Data[(k+2)*n:(k+3)*n], b.Data[(k+3)*n:(k+4)*n],
+				arow[k], arow[k+1], arow[k+2], arow[k+3])
+		}
+		for ; k < len(arow); k++ {
+			axpy(orow, b.Data[k*n:(k+1)*n], arow[k])
 		}
 	}
 	return out
@@ -149,7 +222,13 @@ func MatMulNT(a, b *Matrix) *Matrix {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-		for j := range orow {
+		j := 0
+		for ; j+4 <= len(orow); j += 4 {
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = dot4(arow,
+				b.Data[j*k:(j+1)*k], b.Data[(j+1)*k:(j+2)*k],
+				b.Data[(j+2)*k:(j+3)*k], b.Data[(j+3)*k:(j+4)*k])
+		}
+		for ; j < len(orow); j++ {
 			orow[j] = dot(arow, b.Data[j*k:(j+1)*k])
 		}
 	}
@@ -163,8 +242,25 @@ func MatMulTN(a, b *Matrix) *Matrix {
 	}
 	out := New(a.Cols, b.Cols)
 	n := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+	m := a.Cols
+	k := 0
+	// k-blocked: each output row i accumulates its four k contributions in
+	// the original k order, so per-element rounding order is unchanged.
+	for ; k+4 <= a.Rows; k += 4 {
+		a0 := a.Data[k*m : (k+1)*m]
+		a1 := a.Data[(k+1)*m : (k+2)*m]
+		a2 := a.Data[(k+2)*m : (k+3)*m]
+		a3 := a.Data[(k+3)*m : (k+4)*m]
+		b0 := b.Data[k*n : (k+1)*n]
+		b1 := b.Data[(k+1)*n : (k+2)*n]
+		b2 := b.Data[(k+2)*n : (k+3)*n]
+		b3 := b.Data[(k+3)*n : (k+4)*n]
+		for i := 0; i < m; i++ {
+			axpy4(out.Data[i*n:(i+1)*n], b0, b1, b2, b3, a0[i], a1[i], a2[i], a3[i])
+		}
+	}
+	for ; k < a.Rows; k++ {
+		arow := a.Data[k*m : (k+1)*m]
 		brow := b.Data[k*n : (k+1)*n]
 		for i, av := range arow {
 			axpy(out.Data[i*n:(i+1)*n], brow, av)

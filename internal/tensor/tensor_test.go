@@ -264,3 +264,124 @@ func TestMatMulDistributivity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// naiveMatMul mirrors the pre-blocking scalar loop: one axpy per (row, k),
+// in the original k order. The blocked kernels must match it bit for bit.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			axpy(orow, b.Data[k*n:(k+1)*n], av)
+		}
+	}
+	return out
+}
+
+func naiveMatMulNT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := range orow {
+			orow[j] = dot(arow, b.Data[j*k:(j+1)*k])
+		}
+	}
+	return out
+}
+
+func naiveMatMulTN(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			axpy(out.Data[i*n:(i+1)*n], brow, av)
+		}
+	}
+	return out
+}
+
+// bitEqual reports exact bit-pattern equality (ApproxEqual with tol 0
+// would conflate -0 with +0 and fail on NaN).
+func bitEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockedGemmBitIdentical pins the blocking refactor to the original
+// scalar loops: the reordered loads must not change a single rounding.
+// Shapes cover block-multiple, remainder, and degenerate dims; the
+// sparsify pass exercises the zero-scalar fallback inside axpy4.
+func TestBlockedGemmBitIdentical(t *testing.T) {
+	r := rng.New(7)
+	shapes := [][2][2]int{
+		{{4, 8}, {8, 12}},
+		{{5, 7}, {7, 3}},
+		{{1, 1}, {1, 1}},
+		{{3, 4}, {4, 9}},
+		{{2, 13}, {13, 6}},
+		{{6, 16}, {16, 16}},
+	}
+	for _, sparse := range []bool{false, true} {
+		for _, sh := range shapes {
+			a := Randn(sh[0][0], sh[0][1], 1, r)
+			b := Randn(sh[1][0], sh[1][1], 1, r)
+			if sparse {
+				for i := range a.Data {
+					if i%3 == 0 {
+						a.Data[i] = 0
+					}
+				}
+				for i := range b.Data {
+					if i%4 == 1 {
+						b.Data[i] = 0
+					}
+				}
+			}
+			if got, want := MatMul(a, b), naiveMatMul(a, b); !bitEqual(got, want) {
+				t.Fatalf("MatMul %v sparse=%v not bit-identical to scalar loop", sh, sparse)
+			}
+			bt := b.Transpose()
+			if got, want := MatMulNT(a, bt), naiveMatMulNT(a, bt); !bitEqual(got, want) {
+				t.Fatalf("MatMulNT %v sparse=%v not bit-identical to scalar loop", sh, sparse)
+			}
+			at := a.Transpose()
+			if got, want := MatMulTN(at, b), naiveMatMulTN(at, b); !bitEqual(got, want) {
+				t.Fatalf("MatMulTN %v sparse=%v not bit-identical to scalar loop", sh, sparse)
+			}
+		}
+	}
+}
+
+// TestBlockedGemmZeroTimesInf checks the corner the zero-scalar fallback
+// exists for: a zero coefficient against a non-finite operand must skip
+// (never produce 0×Inf = NaN), exactly as the scalar axpy did.
+func TestBlockedGemmZeroTimesInf(t *testing.T) {
+	a := FromSlice(1, 4, []float32{0, 2, 0, 3})
+	b := New(4, 5)
+	inf := float32(math.Inf(1))
+	for j := 0; j < 5; j++ {
+		b.Data[0*5+j] = inf // multiplied by a zero coefficient
+		b.Data[2*5+j] = inf
+		b.Data[1*5+j] = 1
+		b.Data[3*5+j] = 2
+	}
+	got := MatMul(a, b)
+	for j := 0; j < 5; j++ {
+		if got.Data[j] != 8 {
+			t.Fatalf("MatMul with zero×Inf lanes: got %v, want 8", got.Data[j])
+		}
+	}
+}

@@ -55,8 +55,15 @@ func Render(t *gpusim.Trace, size int) *Image {
 	if xspan <= 0 {
 		return im
 	}
+	// Accumulate and track the running maximum in the same pass: counts
+	// only grow, so the max of post-increment values is the global max,
+	// and the O(size²) scan over mostly-empty pixels disappears.
+	pix := im.Pix
+	sizeF := float64(size)
+	yScale := float64(size - 1)
+	var max float32
 	for _, e := range t.Execs {
-		x := int(e.Start / xspan * float64(size))
+		x := int(e.Start / xspan * sizeF)
 		if x >= size {
 			x = size - 1
 		}
@@ -66,19 +73,19 @@ func Render(t *gpusim.Trace, size int) *Image {
 		if frac > 1 {
 			frac = 1
 		}
-		y := size - 1 - int(frac*float64(size-1))
-		im.Pix[y*size+x] += 1
-	}
-	var max float32
-	for _, v := range im.Pix {
+		y := size - 1 - int(frac*yScale)
+		p := y*size + x
+		v := pix[p] + 1
+		pix[p] = v
 		if v > max {
 			max = v
 		}
 	}
-	if max > 0 {
+	// max == 1 would scale by exactly 1; skip the pass entirely.
+	if max > 1 {
 		inv := 1 / max
-		for i := range im.Pix {
-			im.Pix[i] *= inv
+		for i := range pix {
+			pix[i] *= inv
 		}
 	}
 	return im

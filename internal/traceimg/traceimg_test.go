@@ -253,3 +253,71 @@ func TestWritePNG(t *testing.T) {
 		t.Fatal("PNG lost the normalized peak pixel")
 	}
 }
+
+// renderReference is the pre-optimization two-pass Render: accumulate,
+// then scan the whole image for the max, then normalize. The single-pass
+// version must match it bit for bit.
+func renderReference(t *gpusim.Trace, size int) *Image {
+	im := NewImage(size)
+	if len(t.Execs) == 0 {
+		return im
+	}
+	xspan := t.Duration()
+	if xspan <= 0 {
+		return im
+	}
+	for _, e := range t.Execs {
+		x := int(e.Start / xspan * float64(size))
+		if x >= size {
+			x = size - 1
+		}
+		frac := e.Duration() / YSpanUS
+		if frac > 1 {
+			frac = 1
+		}
+		y := size - 1 - int(frac*float64(size-1))
+		im.Pix[y*size+x] += 1
+	}
+	var max float32
+	for _, v := range im.Pix {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		inv := 1 / max
+		for i := range im.Pix {
+			im.Pix[i] *= inv
+		}
+	}
+	return im
+}
+
+func TestRenderMatchesTwoPassReference(t *testing.T) {
+	for _, name := range []string{"base", "large"} {
+		for _, size := range []int{16, 64, 333} {
+			tr := trace(name, gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 3}, gpusim.Options{})
+			got := Render(tr, size)
+			want := renderReference(tr, size)
+			for i := range want.Pix {
+				if got.Pix[i] != want.Pix[i] {
+					t.Fatalf("%s size %d: pixel %d = %v, reference %v", name, size, i, got.Pix[i], want.Pix[i])
+				}
+			}
+		}
+	}
+	// Sparse trace where every pixel count is 1: exercises the skipped
+	// normalization pass (scaling by 1/1 must be a no-op either way).
+	sparse := &gpusim.Trace{Execs: []gpusim.Exec{
+		{Name: "k0", Start: 0, End: 5},
+		{Name: "k1", Start: 100, End: 120},
+		{Name: "k2", Start: 300, End: 301},
+	}}
+	got := Render(sparse, 32)
+	want := renderReference(sparse, 32)
+	for i := range want.Pix {
+		if got.Pix[i] != want.Pix[i] {
+			t.Fatalf("sparse: pixel %d = %v, reference %v", i, got.Pix[i], want.Pix[i])
+		}
+	}
+}
