@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke bench-snap bench-gate bench-smoke
+.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke bench-snap bench-gate bench-smoke
 
 all: verify
 
@@ -20,7 +20,7 @@ lint:
 		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
 	fi
 
-test: metrics-smoke faults-smoke trace-smoke cancel-smoke bench-smoke
+test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke bench-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -116,6 +116,17 @@ cancel-smoke:
 	$(GO) run ./cmd/metricscheck -equal-counters \
 		.cancel-smoke/resumed.json .cancel-smoke/uninterrupted.json
 	rm -rf .cancel-smoke
+
+# End-to-end daemon check (scripts/service-smoke.sh): decepticond runs
+# two campaigns to completion (control), is killed with SIGTERM
+# mid-extraction and restarted on the same state dir — the resumed
+# campaigns' results, streams, and summaries must be byte-identical to
+# the control's (zero re-paid hammer rounds) — then campaignload drives
+# 100 concurrent campaigns through the bounded queue with a
+# finite-budget tenant, asserting queue depth, budget enforcement,
+# ordered streaming, and a bounded heap.
+service-smoke:
+	GO='$(GO)' sh scripts/service-smoke.sh
 
 # Race-detector tier: the packages that gained goroutines, filtered to
 # the concurrency-exercising tests so the 5-20x race overhead stays

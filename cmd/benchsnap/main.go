@@ -39,6 +39,7 @@ import (
 	"testing"
 
 	"decepticon/internal/extract"
+	"decepticon/internal/fsatomic"
 	"decepticon/internal/gpusim"
 	"decepticon/internal/ieee754"
 	"decepticon/internal/rng"
@@ -90,7 +91,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			// Atomic (temp + rename): a crash mid-write must never leave a
+			// truncated snapshot that would then be committed and gate
+			// every future run against garbage.
+			if err := fsatomic.WriteFile(path, append(data, '\n')); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", path)

@@ -1,0 +1,508 @@
+// Command campaignload is the decepticond client and load harness.
+//
+// Client modes (scripting building blocks — the service smoke test is
+// made of these):
+//
+//	campaignload -addr-file dir/decepticond.addr -submit -tenant alice -victims v1,v2
+//	campaignload ... -status c000001
+//	campaignload ... -wait c000001            # poll until done/failed (survives daemon restarts)
+//	campaignload ... -summary c000001         # deterministic one-line summary JSON
+//	campaignload ... -stream c000001          # NDJSON results to stdout, order-checked
+//
+// Load mode drives many concurrent campaigns through the admission
+// machinery and asserts the service-level invariants:
+//
+//	campaignload ... -load 100 -tenants alice,bob -queue-limit 8
+//
+// Every submission retries on 429 honoring Retry-After (that is the
+// backpressure contract, so the harness exercises it on purpose); result
+// streams are checked for strict victim-order delivery; a sampler polls
+// /healthz and /debug/vars proving the queue never exceeds -queue-limit
+// and the heap stays bounded while hundreds of campaigns flow through.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaignload: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// client is a thin decepticond API client that tolerates daemon
+// restarts: transport errors re-read the addr file (the restarted daemon
+// republishes its bound address there) and retry until the deadline.
+type client struct {
+	addr     string
+	addrFile string
+	hc       *http.Client
+	deadline time.Time
+}
+
+func (c *client) base() (string, error) {
+	if c.addrFile != "" {
+		data, err := os.ReadFile(c.addrFile)
+		if err != nil {
+			return "", err
+		}
+		c.addr = strings.TrimSpace(string(data))
+	}
+	if c.addr == "" {
+		return "", fmt.Errorf("no -addr or -addr-file")
+	}
+	return "http://" + c.addr, nil
+}
+
+// retry reports whether another attempt fits before the deadline, after
+// a short pause.
+func (c *client) retry() bool {
+	if time.Now().After(c.deadline) {
+		return false
+	}
+	time.Sleep(100 * time.Millisecond)
+	return true
+}
+
+// getJSON GETs path into v, retrying transport errors until deadline.
+func (c *client) getJSON(path string, v any) error {
+	for {
+		base, err := c.base()
+		if err == nil {
+			var resp *http.Response
+			resp, err = c.hc.Get(base + path)
+			if err == nil {
+				data, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == http.StatusOK {
+					return json.Unmarshal(data, v)
+				}
+				if resp.StatusCode == http.StatusNotFound {
+					return fmt.Errorf("GET %s: 404", path)
+				}
+				err = fmt.Errorf("GET %s: %s", path, resp.Status)
+			}
+		}
+		if !c.retry() {
+			return fmt.Errorf("GET %s: gave up: %w", path, err)
+		}
+	}
+}
+
+// status mirrors service.CampaignStatus (decoded loosely so the client
+// has no compile-time dependency on the server internals).
+type status struct {
+	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant"`
+	State     string          `json:"state"`
+	Reason    string          `json:"reason"`
+	Error     string          `json:"error"`
+	Victims   int             `json:"victims"`
+	Delivered int             `json:"delivered"`
+	Spent     int64           `json:"spent"`
+	Summary   json.RawMessage `json:"summary"`
+}
+
+type tenantStatus struct {
+	Name      string `json:"name"`
+	Budget    int64  `json:"budget"`
+	Spent     int64  `json:"spent"`
+	Campaigns int    `json:"campaigns"`
+}
+
+// errBudgetRejected marks a 429 caused by tenant-budget exhaustion:
+// unlike a full queue it does not clear on its own, so retrying it is
+// pointless — the load harness counts it as enforcement instead.
+var errBudgetRejected = fmt.Errorf("tenant budget exhausted")
+
+// submit POSTs a spec, retrying queue-full 429s (honoring Retry-After)
+// and transport errors until the deadline. It returns the accepted
+// status and how many 429s were absorbed on the way in; a budget 429
+// returns errBudgetRejected immediately.
+func (c *client) submit(spec map[string]any) (status, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return status{}, 0, err
+	}
+	rejected := 0
+	for {
+		base, berr := c.base()
+		if berr == nil {
+			resp, perr := c.hc.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+			if perr == nil {
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var st status
+					if err := json.Unmarshal(data, &st); err != nil {
+						return status{}, rejected, err
+					}
+					return st, rejected, nil
+				case http.StatusTooManyRequests:
+					if bytes.Contains(data, []byte("budget")) {
+						return status{}, rejected, errBudgetRejected
+					}
+					rejected++
+					if ra, err := time.ParseDuration(strings.TrimSpace(string(resp.Header.Get("Retry-After"))) + "s"); err == nil && ra > 0 {
+						if time.Now().Add(ra).After(c.deadline) {
+							return status{}, rejected, fmt.Errorf("submit: still rejected at deadline: %s", data)
+						}
+						time.Sleep(ra)
+						continue
+					}
+				case http.StatusServiceUnavailable:
+					// draining: wait for a restart via the retry loop
+				default:
+					return status{}, rejected, fmt.Errorf("submit: %s: %s", resp.Status, data)
+				}
+			}
+		}
+		if !c.retry() {
+			return status{}, rejected, fmt.Errorf("submit: gave up before deadline")
+		}
+	}
+}
+
+// wait polls a campaign until it reaches a terminal state ("done" mode)
+// or until it merely stops moving in this process ("stopped" mode, which
+// also accepts interrupted). It survives daemon restarts.
+func (c *client) wait(id, until string) (status, error) {
+	for {
+		var st status
+		if err := c.getJSON("/campaigns/"+id, &st); err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed":
+			return st, nil
+		case "interrupted":
+			if until == "stopped" {
+				return st, nil
+			}
+		}
+		if !c.retry() {
+			return st, fmt.Errorf("wait %s: still %s at deadline", id, st.State)
+		}
+	}
+}
+
+// stream copies a campaign's NDJSON results to w, verifying strict
+// index order, and returns the number of lines.
+func (c *client) stream(id string, w io.Writer) (int, error) {
+	base, err := c.base()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Get(base + "/campaigns/" + id + "/results")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("stream %s: %s", id, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		var line struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return n, fmt.Errorf("stream %s line %d: %w", id, n, err)
+		}
+		if line.Index != n {
+			return n, fmt.Errorf("stream %s: out-of-order delivery: got index %d at position %d", id, line.Index, n)
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%s\n", sc.Bytes())
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+func run() error {
+	addr := flag.String("addr", "", "decepticond address (host:port)")
+	addrFile := flag.String("addr-file", "", "file holding the daemon address (written by decepticond; re-read on retries, so it follows restarts)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline for the requested operation")
+	submit := flag.Bool("submit", false, "submit one campaign and print its accepted status")
+	tenant := flag.String("tenant", "smoke", "tenant for -submit")
+	victims := flag.String("victims", "", "comma-separated victim names for -submit (empty = all)")
+	workers := flag.Int("workers", 0, "victim workers for -submit (0 = server default)")
+	seed := flag.Uint64("seed", 0, "measurement seed for -submit (0 = server default)")
+	readBudget := flag.Int64("read-budget", 0, "per-victim oracle budget for -submit")
+	faults := flag.String("faults", "", "fault-plan spec for -submit")
+	scheduled := flag.Bool("scheduled", false, "information-ordered extraction for -submit")
+	statusID := flag.String("status", "", "print one campaign's status")
+	waitID := flag.String("wait", "", "poll a campaign until terminal and print its final status")
+	until := flag.String("until", "done", "what -wait waits for: done (terminal) | stopped (also accepts interrupted)")
+	summaryID := flag.String("summary", "", "print a finished campaign's summary as one deterministic JSON line")
+	streamID := flag.String("stream", "", "stream a campaign's NDJSON results to stdout (order-checked)")
+	load := flag.Int("load", 0, "drive this many concurrent campaigns through the service and assert the admission invariants")
+	concurrency := flag.Int("concurrency", 32, "concurrent client goroutines in -load")
+	loadTenants := flag.String("tenants", "load", "comma-separated tenants round-robined across -load campaigns")
+	victimsPer := flag.Int("victims-per", 1, "victims attacked by each -load campaign")
+	queueLimit := flag.Int("queue-limit", 0, "assert the daemon's queued depth never exceeds this during -load (0 = skip)")
+	maxHeapMB := flag.Int("max-heap-mb", 0, "assert the daemon's HeapAlloc stays under this during -load (0 = skip)")
+	flag.Parse()
+
+	c := &client{
+		addr:     *addr,
+		addrFile: *addrFile,
+		hc:       &http.Client{},
+		deadline: time.Now().Add(*timeout),
+	}
+	switch {
+	case *submit:
+		spec := map[string]any{"tenant": *tenant}
+		if *victims != "" {
+			spec["victims"] = strings.Split(*victims, ",")
+		}
+		if *workers > 0 {
+			spec["workers"] = *workers
+		}
+		if *seed != 0 {
+			spec["measure_seed"] = *seed
+		}
+		if *readBudget > 0 {
+			spec["read_budget"] = *readBudget
+		}
+		if *faults != "" {
+			spec["faults"] = *faults
+		}
+		if *scheduled {
+			spec["scheduled"] = true
+		}
+		st, _, err := c.submit(spec)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(os.Stdout).Encode(st)
+	case *statusID != "":
+		var st status
+		if err := c.getJSON("/campaigns/"+*statusID, &st); err != nil {
+			return err
+		}
+		return json.NewEncoder(os.Stdout).Encode(st)
+	case *waitID != "":
+		st, err := c.wait(*waitID, *until)
+		if err != nil {
+			return err
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(st); err != nil {
+			return err
+		}
+		if st.State == "failed" {
+			return fmt.Errorf("campaign %s failed: %s", st.ID, st.Error)
+		}
+		return nil
+	case *summaryID != "":
+		var st status
+		if err := c.getJSON("/campaigns/"+*summaryID, &st); err != nil {
+			return err
+		}
+		if len(st.Summary) == 0 {
+			return fmt.Errorf("campaign %s has no summary (state %s)", st.ID, st.State)
+		}
+		fmt.Printf("%s %s\n", st.ID, st.Summary)
+		return nil
+	case *streamID != "":
+		n, err := c.stream(*streamID, os.Stdout)
+		if err != nil {
+			return err
+		}
+		log.Printf("streamed %d results from %s", n, *streamID)
+		return nil
+	case *load > 0:
+		return runLoad(c, *load, *concurrency, strings.Split(*loadTenants, ","), *victimsPer, *queueLimit, *maxHeapMB)
+	}
+	return fmt.Errorf("pick a mode: -submit, -status, -wait, -summary, -stream, or -load (see -h)")
+}
+
+// runLoad floods the service with n campaigns and asserts: every stream
+// is delivered in order, the queue depth never exceeds the limit, the
+// heap stays bounded, and exhausted tenants are actually stopped
+// (budget enforcement), while everything admitted reaches a stopped
+// state.
+func runLoad(c *client, n, concurrency int, tenants []string, victimsPer, queueLimit, maxHeapMB int) error {
+	var victims []string
+	if err := c.getJSON("/victims", &victims); err != nil {
+		return err
+	}
+	if len(victims) == 0 {
+		return fmt.Errorf("daemon has no victims")
+	}
+	if victimsPer > len(victims) {
+		victimsPer = len(victims)
+	}
+
+	// Sampler: poll the ops surface while load flows.
+	var maxQueued, maxHeap int64
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			var hz struct {
+				Queued int64 `json:"queued"`
+			}
+			if base, err := c.base(); err == nil {
+				if resp, err := c.hc.Get(base + "/healthz"); err == nil {
+					json.NewDecoder(resp.Body).Decode(&hz)
+					resp.Body.Close()
+					if hz.Queued > atomic.LoadInt64(&maxQueued) {
+						atomic.StoreInt64(&maxQueued, hz.Queued)
+					}
+				}
+				var vars struct {
+					Memstats struct {
+						HeapAlloc int64 `json:"HeapAlloc"`
+					} `json:"memstats"`
+				}
+				if resp, err := c.hc.Get(base + "/debug/vars"); err == nil {
+					json.NewDecoder(resp.Body).Decode(&vars)
+					resp.Body.Close()
+					if vars.Memstats.HeapAlloc > atomic.LoadInt64(&maxHeap) {
+						atomic.StoreInt64(&maxHeap, vars.Memstats.HeapAlloc)
+					}
+				}
+			}
+		}
+	}()
+
+	var (
+		mu                        sync.Mutex
+		rejections, budgetRejects int
+		done, interrupted, failed int
+		streamed                  int
+		firstErr                  error
+		byTenantDone              = map[string]int{}
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := map[string]any{
+				"tenant":       tenants[i%len(tenants)],
+				"victims":      rotate(victims, i, victimsPer),
+				"measure_seed": uint64(i + 1),
+			}
+			st, rej, err := c.submit(spec)
+			mu.Lock()
+			rejections += rej
+			mu.Unlock()
+			if errors.Is(err, errBudgetRejected) {
+				mu.Lock()
+				budgetRejects++
+				mu.Unlock()
+				return
+			}
+			if err != nil {
+				fail(fmt.Errorf("campaign %d: %w", i, err))
+				return
+			}
+			lines, err := c.stream(st.ID, nil)
+			if err != nil {
+				fail(fmt.Errorf("campaign %s: %w", st.ID, err))
+				return
+			}
+			final, err := c.wait(st.ID, "stopped")
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			streamed += lines
+			switch final.State {
+			case "done":
+				done++
+				byTenantDone[final.Tenant]++
+			case "interrupted":
+				interrupted++
+			default:
+				failed++
+				fail(fmt.Errorf("campaign %s failed: %s", final.ID, final.Error))
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(stopSample)
+	sampleWG.Wait()
+
+	var tens []tenantStatus
+	if err := c.getJSON("/tenants", &tens); err != nil {
+		return err
+	}
+	fmt.Printf("load: campaigns=%d done=%d interrupted=%d failed=%d rejected_budget=%d results_streamed=%d rejected_429=%d max_queued=%d max_heap_mb=%d\n",
+		n, done, interrupted, failed, budgetRejects, streamed, rejections, maxQueued, maxHeap>>20)
+	for _, t := range tens {
+		fmt.Printf("load: tenant=%s budget=%d spent=%d campaigns=%d done=%d\n",
+			t.Name, t.Budget, t.Spent, t.Campaigns, byTenantDone[t.Name])
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if queueLimit > 0 && maxQueued > int64(queueLimit) {
+		return fmt.Errorf("queue depth %d exceeded limit %d", maxQueued, queueLimit)
+	}
+	if maxHeapMB > 0 && maxHeap > int64(maxHeapMB)<<20 {
+		return fmt.Errorf("heap %d MB exceeded limit %d MB", maxHeap>>20, maxHeapMB)
+	}
+	// Budget enforcement: a tenant with a finite budget either finished
+	// everything inside it, or was cut off — spent must not keep growing
+	// past the allowance by more than the final in-flight victims'
+	// deliveries, and none of its campaigns may still be moving (wait
+	// above guarantees that); an exhausted tenant must show interruptions
+	// or budget rejections.
+	for _, t := range tens {
+		if t.Budget > 0 && t.Spent >= t.Budget && interrupted == 0 && budgetRejects == 0 {
+			return fmt.Errorf("tenant %s exhausted (spent %d >= budget %d) but nothing was interrupted or rejected", t.Name, t.Spent, t.Budget)
+		}
+	}
+	return nil
+}
+
+// rotate picks k victims starting at offset i, wrapping.
+func rotate(victims []string, i, k int) []string {
+	out := make([]string, 0, k)
+	for j := 0; j < k; j++ {
+		out = append(out, victims[(i+j)%len(victims)])
+	}
+	return out
+}

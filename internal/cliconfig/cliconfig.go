@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"decepticon/internal/obs"
@@ -125,12 +126,16 @@ type Runtime struct {
 	tracer        *obs.Tracer
 	stopSignals   context.CancelFunc
 	pprofShutdown func(context.Context) error
-	closed        bool
+	closeOnce     sync.Once
 }
 
 // Setup validates opts and assembles the Runtime. Call it once, right
 // after flag parsing; pair it with a deferred Close.
-func Setup(opts *Options) (*Runtime, error) {
+//
+// The runtime's context always cancels on SIGINT; extraSignals adds
+// further triggers (a daemon passes syscall.SIGTERM so an orchestrator's
+// stop request drains it exactly like Ctrl-C does a CLI).
+func Setup(opts *Options, extraSignals ...os.Signal) (*Runtime, error) {
 	plan, err := sidechannel.ParseFaultPlan(opts.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("-faults: %w", err)
@@ -169,7 +174,8 @@ func Setup(opts *Options) (*Runtime, error) {
 		rt.pprofShutdown = shutdown
 		log.Printf("serving metrics and pprof on http://%s", addr)
 	}
-	rt.Ctx, rt.stopSignals = signal.NotifyContext(context.Background(), os.Interrupt)
+	rt.Ctx, rt.stopSignals = signal.NotifyContext(context.Background(),
+		append([]os.Signal{os.Interrupt}, extraSignals...)...)
 	return rt, nil
 }
 
@@ -179,16 +185,16 @@ func (rt *Runtime) Interrupted() bool { return rt.Ctx.Err() != nil }
 
 // Close flushes every requested artifact — flight dump, trace file,
 // metrics snapshots — restores default SIGINT behavior, and shuts the
-// pprof server down. Idempotent, so commands can both defer it and call
-// it early. It must run on every exit path (use main() → run() error
-// with a deferred Close rather than log.Fatal mid-run, which skips
-// defers): an interrupted run's artifacts are exactly the point of the
-// flight recorder.
-func (rt *Runtime) Close() {
-	if rt.closed {
-		return
-	}
-	rt.closed = true
+// pprof server down. Idempotent and safe to call concurrently (a daemon
+// reaches it from both the signal path and the serve loop; sync.Once
+// makes the second caller wait for the first flush to finish instead of
+// racing a half-written artifact). It must run on every exit path (use
+// main() → run() error with a deferred Close rather than log.Fatal
+// mid-run, which skips defers): an interrupted run's artifacts are
+// exactly the point of the flight recorder.
+func (rt *Runtime) Close() { rt.closeOnce.Do(rt.close) }
+
+func (rt *Runtime) close() {
 	rt.stopSignals()
 	if rt.opts.Flight != "" {
 		if err := rt.Flight.Dump(rt.opts.Flight, "run exit"); err != nil {

@@ -202,7 +202,11 @@ type Campaign struct {
 	// 32-bit arithmetic once multiplied into hammer rounds.
 	TotalBitsRead      int64
 	TotalPhysicalReads int64
-	Reports            []*Report
+	// TotalOracleAttempts additionally counts faulted reads — the full
+	// channel spend a budget (per-victim ReadBudget, or a service
+	// tenant's allowance) is charged against.
+	TotalOracleAttempts int64
+	Reports             []*Report
 }
 
 // TotalHammerRounds returns the campaign's simulated rowhammer spend,
@@ -260,6 +264,7 @@ func (g *campaignAgg) add(rep *Report) {
 		c.TensorsDegraded += rep.Extract.TensorsDegraded
 		c.TotalBitsRead += rep.Extract.LogicalBitsRead()
 		c.TotalPhysicalReads += rep.Extract.PhysicalBitReads
+		c.TotalOracleAttempts += rep.Extract.OracleAttempts()
 	}
 }
 

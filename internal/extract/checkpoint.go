@@ -15,9 +15,10 @@ package extract
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 
+	"decepticon/internal/fsatomic"
 	"decepticon/internal/sidechannel"
 )
 
@@ -60,23 +61,13 @@ type Checkpoint struct {
 	LayersTotal int
 }
 
-// writeCheckpoint atomically persists ck at path.
+// writeCheckpoint atomically persists ck at path (fsatomic temp-file +
+// rename, the same discipline as the zoo cache and the service store).
 func writeCheckpoint(path string, ck *Checkpoint) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	err := fsatomic.Write(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(ck)
+	})
 	if err != nil {
-		return fmt.Errorf("extract: checkpoint: %w", err)
-	}
-	if err := gob.NewEncoder(tmp).Encode(ck); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("extract: checkpoint encode: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("extract: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("extract: checkpoint: %w", err)
 	}
 	return nil

@@ -446,6 +446,14 @@ func (s *Stats) HammerRounds() int64 {
 	return s.PhysicalBitReads * sidechannel.HammerRoundsPerBit
 }
 
+// OracleAttempts returns every metered channel access this extraction
+// paid for — successful physical reads plus faulted attempts. This is
+// the quantity ReadBudget bounds and the unit the campaign service
+// charges against a tenant's budget.
+func (s *Stats) OracleAttempts() int64 {
+	return s.PhysicalBitReads + s.ReadFaults
+}
+
 // BitsReadFraction returns *logical* read bits / the victim's total bit
 // count: the algorithmic selectivity of Algorithm 1, unaffected by
 // majority-vote repeats.

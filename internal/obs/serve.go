@@ -15,25 +15,18 @@ import (
 // failed first attempt.
 var expvarOnce sync.Once
 
-// Serve exposes a registry plus the standard Go diagnostics over HTTP
-// on addr (e.g. "localhost:6060"):
+// Handler returns the ops surface of a registry as an http.Handler:
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot
-//	/debug/vars    expvar (includes the registry under "decepticon")
+//	/debug/vars    expvar (includes the registry under "decepticon";
+//	               the default memstats var makes live heap visible)
 //	/debug/pprof/  net/http/pprof profiles
 //
-// It returns once the listener is bound (so the port is usable when it
-// returns) and serves in a background goroutine. The returned address is
-// the bound listen address (useful with ":0"); the returned shutdown
-// function drains in-flight requests and closes the listener —
-// http.Server.Shutdown semantics, safe to call more than once. Callers
-// that want CLI-lifetime serving simply never call it.
-func Serve(addr string, r *Registry) (string, func(context.Context) error, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: serve %s: %w", addr, err)
-	}
+// Serve mounts it on its own listener; servers with an API of their own
+// (cmd/decepticond) mount the same routes into their mux, so every
+// process exposes one consistent diagnostics surface.
+func Handler(r *Registry) http.Handler {
 	expvarOnce.Do(func() {
 		expvar.Publish("decepticon", expvar.Func(func() any { return r.Snapshot() }))
 	})
@@ -52,7 +45,22 @@ func Serve(addr string, r *Registry) (string, func(context.Context) error, error
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// Serve exposes Handler's routes over HTTP on addr (e.g.
+// "localhost:6060"). It returns once the listener is bound (so the port
+// is usable when it returns) and serves in a background goroutine. The
+// returned address is the bound listen address (useful with ":0"); the
+// returned shutdown function drains in-flight requests and closes the
+// listener — http.Server.Shutdown semantics, safe to call more than
+// once. Callers that want CLI-lifetime serving simply never call it.
+func Serve(addr string, r *Registry) (string, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Shutdown, nil
 }

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"decepticon/internal/fsatomic"
+	"decepticon/internal/sidechannel"
+)
+
+// campaign is the in-memory handle of one durable campaign directory:
+//
+//	<dir>/spec.json       the submitted CampaignSpec, immutable
+//	<dir>/status.json     CampaignStatus, atomically rewritten on change
+//	<dir>/ckpt/           per-victim extraction checkpoints + flight dumps
+//	<dir>/results.ndjson  one VictimResult line per victim, input order
+//
+// results.ndjson is rewritten from line zero on every (re)start of the
+// campaign: redelivered reports reproduce the prefix bit-for-bit (the
+// pipeline is deterministic and resume restores exact Stats), so the
+// final file of an interrupted-then-resumed campaign is byte-identical
+// to an uninterrupted control run's.
+type campaign struct {
+	srv  *Server
+	dir  string
+	spec CampaignSpec
+
+	mu         sync.Mutex
+	st         CampaignStatus
+	resultsLen int64         // bytes of results.ndjson visible to readers
+	change     chan struct{} // closed and replaced on every mutation
+	enqueued   time.Time     // when it last joined the queue (for wait hist)
+}
+
+func newCampaign(s *Server, dir string, spec CampaignSpec, st CampaignStatus) *campaign {
+	return &campaign{
+		srv:      s,
+		dir:      dir,
+		spec:     spec,
+		st:       st,
+		change:   make(chan struct{}),
+		enqueued: time.Now(),
+	}
+}
+
+// loadCampaign restores a campaign handle from its directory.
+func loadCampaign(s *Server, dir string) (*campaign, error) {
+	var spec CampaignSpec
+	if err := readJSON(filepath.Join(dir, "spec.json"), &spec); err != nil {
+		return nil, err
+	}
+	var st CampaignStatus
+	if err := readJSON(filepath.Join(dir, "status.json"), &st); err != nil {
+		return nil, err
+	}
+	c := newCampaign(s, dir, spec, st)
+	if st.Terminal() {
+		// A finished campaign's results file is complete and immutable;
+		// expose it as-is. Non-terminal campaigns re-expose their results
+		// only as the resumed run redelivers them, so readers never see a
+		// file the next execute is about to truncate.
+		if fi, err := os.Stat(c.resultsPath()); err == nil {
+			c.resultsLen = fi.Size()
+		}
+	}
+	return c, nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func (c *campaign) resultsPath() string { return filepath.Join(c.dir, "results.ndjson") }
+
+// persistNew creates the campaign directory and writes spec + status.
+// Called once at submission, before the id is announced.
+func (c *campaign) persistNew() error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("service: create campaign dir: %w", err)
+	}
+	spec, err := json.Marshal(c.spec)
+	if err != nil {
+		return fmt.Errorf("service: marshal spec: %w", err)
+	}
+	if err := fsatomic.WriteFile(filepath.Join(c.dir, "spec.json"), append(spec, '\n')); err != nil {
+		return fmt.Errorf("service: persist spec: %w", err)
+	}
+	c.persistStatus()
+	return nil
+}
+
+// persistStatus atomically rewrites status.json from c.st. Callers hold
+// c.mu (or have exclusive access during construction/recovery). Errors
+// are logged, not fatal: the in-memory state stays authoritative for
+// this process and the next restart re-derives what it can.
+func (c *campaign) persistStatus() {
+	data, err := json.Marshal(&c.st)
+	if err == nil {
+		err = fsatomic.WriteFile(filepath.Join(c.dir, "status.json"), append(data, '\n'))
+	}
+	if err != nil {
+		c.srv.reg.Log().Error("service: persist status", "campaign", c.st.ID, "err", err)
+	}
+}
+
+// bump wakes every watcher. c.mu held.
+func (c *campaign) bump() {
+	close(c.change)
+	c.change = make(chan struct{})
+}
+
+// watch returns a channel closed at the campaign's next mutation.
+func (c *campaign) watch() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.change
+}
+
+// snapshot returns a copy of the status (Summary shared, but it is
+// written once and never mutated after).
+func (c *campaign) snapshot() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// progress returns what a results reader needs: bytes available, and
+// whether the campaign can still produce more in this process.
+func (c *campaign) progress() (avail int64, active bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resultsLen, c.st.State == StateQueued || c.st.State == StateRunning
+}
+
+// setRunning transitions queued → running and returns how long the
+// campaign waited in the queue.
+func (c *campaign) setRunning() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wait := time.Since(c.enqueued)
+	c.st.State = StateRunning
+	c.st.Reason = ""
+	c.st.Error = ""
+	// The run redelivers from victim zero (resume makes redelivery cheap
+	// and exact); expose results only as they rematerialize.
+	c.st.Delivered = 0
+	c.resultsLen = 0
+	c.persistStatus()
+	c.bump()
+	return wait
+}
+
+// park marks a queued campaign interrupted without running it (tenant
+// budget exhausted before it reached a runner).
+func (c *campaign) park(reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.State = StateInterrupted
+	c.st.Reason = reason
+	c.persistStatus()
+	c.bump()
+}
+
+// finish records a terminal or interrupted state.
+func (c *campaign) finish(state, reason, errMsg string, sum *Summary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.State = state
+	c.st.Reason = reason
+	c.st.Error = errMsg
+	if sum != nil {
+		c.st.Summary = sum
+	}
+	c.persistStatus()
+	c.bump()
+}
+
+// resultSink is the append path of results.ndjson for one execution.
+type resultSink struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// openResults truncates and reopens the results file for a fresh
+// delivery sequence.
+func (c *campaign) openResults() (*resultSink, error) {
+	f, err := os.Create(c.resultsPath())
+	if err != nil {
+		return nil, fmt.Errorf("open results: %w", err)
+	}
+	return &resultSink{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (k *resultSink) Close() error {
+	k.bw.Flush()
+	return k.f.Close()
+}
+
+// deliver appends one result line, publishes it to readers, ratchets the
+// campaign's metered spend to cum (monotonic: a resumed run's recount
+// climbs through the old value, never below it), and returns the spend
+// delta to charge against the tenant.
+func (c *campaign) deliver(sink *resultSink, line []byte, cum int64) (delta int64, err error) {
+	if _, err := sink.bw.Write(line); err != nil {
+		return 0, err
+	}
+	if err := sink.bw.WriteByte('\n'); err != nil {
+		return 0, err
+	}
+	// Flush before publishing: readers follow the file on disk, so the
+	// visible length must never run ahead of the written bytes.
+	if err := sink.bw.Flush(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resultsLen += int64(len(line)) + 1
+	c.st.Delivered++
+	if cum > c.st.Spent {
+		delta = cum - c.st.Spent
+		c.st.Spent = cum
+	}
+	c.persistStatus()
+	c.bump()
+	return delta, nil
+}
+
+// parseFaults wraps sidechannel.ParseFaultPlan ("" → nil plan).
+func parseFaults(spec string) (*sidechannel.FaultPlan, error) {
+	return sidechannel.ParseFaultPlan(spec)
+}

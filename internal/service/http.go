@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"decepticon/internal/obs"
+)
+
+// Handler returns the daemon's full HTTP surface:
+//
+//	POST /campaigns           submit a CampaignSpec → 202 + CampaignStatus
+//	                          (429 + Retry-After: queue full or tenant
+//	                          budget exhausted; 503: draining; 400: bad spec)
+//	GET  /campaigns           every campaign's status, admission order
+//	GET  /campaigns/{id}      one campaign's status
+//	GET  /campaigns/{id}/results
+//	                          the campaign's NDJSON result stream; follows
+//	                          live delivery until the campaign stops
+//	GET  /tenants             per-tenant budget positions
+//	GET  /victims             attackable victim names from the shared zoo
+//	GET  /healthz             {"status":"ok"|"draining", ...}
+//
+// plus the obs ops surface (/metrics, /metrics.json, /debug/vars,
+// /debug/pprof/) mounted from obs.Handler — one process, one port, one
+// diagnostics story.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleCampaign)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /tenants", s.handleTenants)
+	mux.HandleFunc("GET /victims", s.handleVictims)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	ops := obs.Handler(s.reg)
+	mux.Handle("/metrics", ops)
+	mux.Handle("/metrics.json", ops)
+	mux.Handle("/debug/", ops)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decode spec: %v", err)})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		var verr *ValidationError
+		switch {
+		case errors.As(err, &verr):
+			writeJSON(w, http.StatusBadRequest, apiError{Error: verr.Error()})
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrBudgetExhausted):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Campaigns())
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Campaign(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults streams a campaign's results.ndjson, following live
+// appends: bytes flow as victims complete (order preserved — the file is
+// written in victim input order) and the stream ends when the campaign
+// reaches a state that cannot produce more output in this process
+// (done, failed, or interrupted/parked).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	c := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var off int64
+	for {
+		// Snapshot the watch channel BEFORE reading progress: a mutation
+		// between the two is then guaranteed to have closed the channel we
+		// wait on, so no update can slip by unseen.
+		ch := c.watch()
+		avail, active := c.progress()
+		if off < avail {
+			if f == nil {
+				var err error
+				f, err = os.Open(c.resultsPath())
+				if err != nil {
+					// Published bytes with no file is an internal inconsistency.
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+			}
+			if _, err := f.Seek(off, io.SeekStart); err != nil {
+				return
+			}
+			n, err := io.CopyN(w, f, avail-off)
+			off += n
+			if err != nil {
+				return // client gone or short file; either way stop
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		if !active {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Tenants())
+}
+
+func (s *Server) handleVictims(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.cfg.Attack.Zoo.FineTuned))
+	for _, ft := range s.cfg.Attack.Zoo.FineTuned {
+		names = append(names, ft.Name)
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	queued, running := s.QueueDepth()
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"queued":  queued,
+		"running": running,
+	})
+}

@@ -1,0 +1,597 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"decepticon/internal/core"
+	"decepticon/internal/obs"
+	"decepticon/internal/zoo"
+)
+
+// Config configures a campaign server.
+type Config struct {
+	// Dir is the durable root: Dir/campaigns/<id>/{spec.json, status.json,
+	// ckpt/, results.ndjson}. A server restarted on the same Dir recovers
+	// every campaign: queued ones re-queue, interrupted ones resume from
+	// their extraction checkpoints byte-identically.
+	Dir string
+	// Attack is the prepared attack shared by every campaign (the zoo and
+	// classifier are read-only across concurrent campaigns).
+	Attack *core.Attack
+	// Obs receives the service metrics; nil runs un-instrumented.
+	Obs *obs.Registry
+	// QueueLimit bounds campaigns waiting for a runner (running campaigns
+	// excluded); submissions beyond it are rejected with ErrQueueFull.
+	// <= 0 selects 16.
+	QueueLimit int
+	// Runners is how many campaigns execute concurrently. <= 0 selects 1.
+	Runners int
+	// VictimWorkers is the per-campaign victim concurrency when the spec
+	// does not choose. <= 0 selects 1.
+	VictimWorkers int
+	// Tenants maps tenant names to their budgets and priorities; a tenant
+	// not listed gets DefaultTenant.
+	Tenants map[string]TenantConfig
+	// DefaultTenant is the allowance for tenants absent from Tenants
+	// (zero value: unlimited budget, priority 0).
+	DefaultTenant TenantConfig
+	// RetryAfter is the backoff hint attached to 429 responses. <= 0
+	// selects 1s.
+	RetryAfter time.Duration
+}
+
+// Admission errors. The HTTP layer maps them onto status codes; embedded
+// users can errors.Is against them.
+var (
+	// ErrQueueFull: the bounded campaign queue is at QueueLimit (429).
+	ErrQueueFull = errors.New("service: campaign queue full")
+	// ErrBudgetExhausted: the tenant has no oracle budget left (429) —
+	// raising the budget and resubmitting (or restarting the daemon with
+	// a bigger allowance) resumes parked campaigns.
+	ErrBudgetExhausted = errors.New("service: tenant read budget exhausted")
+	// ErrDraining: the server got its shutdown signal and admits nothing
+	// new (503).
+	ErrDraining = errors.New("service: draining")
+)
+
+// ValidationError marks a malformed spec (HTTP 400).
+type ValidationError struct{ msg string }
+
+func (e *ValidationError) Error() string { return e.msg }
+
+func validationErrf(format string, args ...any) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Server is a running campaign service: a durable queue of campaigns
+// executed by a fixed pool of runners over one shared Attack.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	sched     *sync.Cond           // wakes runners: queue grew or drain began
+	campaigns map[string]*campaign // by id
+	queue     []*campaign          // StateQueued, awaiting a runner
+	spent     map[string]int64     // tenant → oracle attempts charged
+	tenants   map[string]bool      // every tenant ever seen (for /tenants)
+	running   int
+	draining  bool
+	nextSeq   int64
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// New recovers the durable state under cfg.Dir and starts the runner
+// pool. Campaigns found queued are re-queued; campaigns found running or
+// interrupted-by-shutdown resume from their checkpoints; campaigns
+// interrupted by budget re-queue only if their tenant now has budget.
+// Call Drain to stop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Attack == nil {
+		return nil, errors.New("service: Config.Attack is required")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("service: Config.Dir is required")
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 16
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = 1
+	}
+	if cfg.VictimWorkers <= 0 {
+		cfg.VictimWorkers = 1
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "campaigns"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Obs,
+		campaigns: map[string]*campaign{},
+		spent:     map[string]int64{},
+		tenants:   map[string]bool{},
+		nextSeq:   1,
+	}
+	s.sched = sync.NewCond(&s.mu)
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	for name := range cfg.Tenants {
+		s.tenants[name] = true
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// tenant returns the allowance for a tenant name.
+func (s *Server) tenant(name string) TenantConfig {
+	if tc, ok := s.cfg.Tenants[name]; ok {
+		return tc
+	}
+	return s.cfg.DefaultTenant
+}
+
+// remainingLocked returns the tenant's unspent budget; s.mu held.
+// Unlimited tenants report a large positive number.
+func (s *Server) remainingLocked(name string) int64 {
+	tc := s.tenant(name)
+	if tc.ReadBudget <= 0 {
+		return 1 << 62
+	}
+	return tc.ReadBudget - s.spent[name]
+}
+
+// recover rebuilds in-memory state from Dir after a restart.
+func (s *Server) recover() error {
+	root := filepath.Join(s.cfg.Dir, "campaigns")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("service: recover: %w", err)
+	}
+	log := s.reg.Log()
+	var recovered []*campaign
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		c, err := loadCampaign(s, filepath.Join(root, e.Name()))
+		if err != nil {
+			log.Warn("service: skipping unreadable campaign dir", "dir", e.Name(), "err", err)
+			continue
+		}
+		s.campaigns[c.st.ID] = c
+		s.tenants[c.st.Tenant] = true
+		if c.st.Seq >= s.nextSeq {
+			s.nextSeq = c.st.Seq + 1
+		}
+		// Spend already paid is real regardless of state: the ledger must
+		// survive restarts or a crash would mint budget.
+		s.spent[c.st.Tenant] += c.st.Spent
+		recovered = append(recovered, c)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i].st.Seq < recovered[j].st.Seq })
+	for _, c := range recovered {
+		switch c.st.State {
+		case StateQueued:
+			s.queue = append(s.queue, c)
+		case StateRunning:
+			// The previous process died mid-run; the checkpoints on disk are
+			// the truth. Re-queue for resume.
+			c.st.State = StateQueued
+			c.st.Reason = ""
+			c.persistStatus()
+			s.queue = append(s.queue, c)
+			s.counter("service.campaigns_recovered").Inc()
+			log.Info("service: recovered in-flight campaign", "id", c.st.ID)
+		case StateInterrupted:
+			if c.st.Reason == ReasonBudget && s.remainingLocked(c.st.Tenant) <= 0 {
+				// Still parked: the tenant's allowance has not grown.
+				continue
+			}
+			c.st.State = StateQueued
+			c.st.Reason = ""
+			c.persistStatus()
+			s.queue = append(s.queue, c)
+			s.counter("service.campaigns_recovered").Inc()
+			log.Info("service: resuming interrupted campaign", "id", c.st.ID)
+		}
+	}
+	s.queueGaugeLocked()
+	return nil
+}
+
+// counter is the registry counter helper (nil-safe through obs).
+func (s *Server) counter(name string) *obs.Counter { return s.reg.Counter(name) }
+
+func (s *Server) queueGaugeLocked() {
+	s.reg.Gauge("service.queue_depth").Set(float64(len(s.queue)))
+	s.reg.Gauge("service.campaigns_running").Set(float64(s.running))
+}
+
+// resolveVictims maps a spec's victim names onto zoo models; empty
+// attacks the whole fine-tuned population.
+func (s *Server) resolveVictims(spec CampaignSpec) ([]*zoo.FineTuned, error) {
+	z := s.cfg.Attack.Zoo
+	if len(spec.Victims) == 0 {
+		return z.FineTuned, nil
+	}
+	out := make([]*zoo.FineTuned, 0, len(spec.Victims))
+	for _, name := range spec.Victims {
+		ft := z.FineTunedByName(name)
+		if ft == nil {
+			return nil, validationErrf("unknown victim %q", name)
+		}
+		out = append(out, ft)
+	}
+	return out, nil
+}
+
+// Submit validates a spec, admits it through the queue/budget gates, and
+// persists it durably before returning — the returned status's spec file
+// is on disk, so a crash immediately after Submit loses nothing.
+func (s *Server) Submit(spec CampaignSpec) (CampaignStatus, error) {
+	if spec.Tenant == "" {
+		return CampaignStatus{}, validationErrf("spec.tenant is required")
+	}
+	victims, err := s.resolveVictims(spec)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	if _, err := parseFaults(spec.Faults); err != nil {
+		return CampaignStatus{}, validationErrf("spec.faults: %v", err)
+	}
+	if spec.ReadBudget < 0 {
+		return CampaignStatus{}, validationErrf("spec.read_budget must be >= 0")
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.counter("service.rejected_draining").Inc()
+		return CampaignStatus{}, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueLimit {
+		s.mu.Unlock()
+		s.counter("service.rejected_queue_full").Inc()
+		return CampaignStatus{}, ErrQueueFull
+	}
+	if s.remainingLocked(spec.Tenant) <= 0 {
+		s.mu.Unlock()
+		s.counter("service.rejected_budget").Inc()
+		s.counter("service.tenant." + metricName(spec.Tenant) + ".rejected_budget").Inc()
+		return CampaignStatus{}, ErrBudgetExhausted
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	id := fmt.Sprintf("c%06d", seq)
+	c := newCampaign(s, filepath.Join(s.cfg.Dir, "campaigns", id), spec, CampaignStatus{
+		ID:      id,
+		Seq:     seq,
+		Tenant:  spec.Tenant,
+		State:   StateQueued,
+		Victims: len(victims),
+	})
+	// Depth observed by this admission, before it joins the queue.
+	s.reg.Histogram("service.admit_queue_depth").Observe(float64(len(s.queue)))
+	if err := c.persistNew(); err != nil {
+		s.mu.Unlock()
+		return CampaignStatus{}, err
+	}
+	s.campaigns[id] = c
+	s.tenants[spec.Tenant] = true
+	s.queue = append(s.queue, c)
+	s.queueGaugeLocked()
+	s.counter("service.campaigns_admitted").Inc()
+	s.counter("service.tenant." + metricName(spec.Tenant) + ".campaigns").Inc()
+	st := c.snapshot()
+	s.sched.Broadcast()
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Campaign returns a campaign's current status.
+func (s *Server) Campaign(id string) (CampaignStatus, bool) {
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return CampaignStatus{}, false
+	}
+	return c.snapshot(), true
+}
+
+// Campaigns lists every known campaign in admission order.
+func (s *Server) Campaigns() []CampaignStatus {
+	s.mu.Lock()
+	all := make([]*campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		all = append(all, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].st.Seq < all[j].st.Seq })
+	out := make([]CampaignStatus, len(all))
+	for i, c := range all {
+		out[i] = c.snapshot()
+	}
+	return out
+}
+
+// Tenants reports every tenant's budget position, sorted by name.
+func (s *Server) Tenants() []TenantStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TenantStatus, 0, len(names))
+	for _, name := range names {
+		tc := s.tenant(name)
+		n := 0
+		for _, c := range s.campaigns {
+			if c.st.Tenant == name {
+				n++
+			}
+		}
+		out = append(out, TenantStatus{
+			Name:      name,
+			Priority:  tc.Priority,
+			Budget:    tc.ReadBudget,
+			Spent:     s.spent[name],
+			Campaigns: n,
+		})
+	}
+	return out
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns (queued, running) — exposed for the load harness's
+// bounded-queue assertion.
+func (s *Server) QueueDepth() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// Drain gracefully stops the server: admission closes (ErrDraining),
+// every running campaign's context is cancelled so its in-flight
+// extractions checkpoint at the next tensor boundary, the interrupted
+// statuses persist, and Drain returns when the runner pool has wound
+// down (or ctx expires first, returning its error — the durable state is
+// still consistent: statuses persist as each runner exits).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.reg.Log().Info("service: draining", "queued", len(s.queue), "running", s.running)
+	}
+	s.sched.Broadcast()
+	s.mu.Unlock()
+	s.runCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// runner executes campaigns until drain.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		c := s.next()
+		if c == nil {
+			return
+		}
+		s.execute(c)
+	}
+}
+
+// next blocks until a campaign is runnable (or drain), picking the
+// highest-priority tenant's oldest campaign. Queued campaigns whose
+// tenant is already exhausted are parked as interrupted-by-budget
+// instead of occupying a runner.
+func (s *Server) next() *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.draining {
+			return nil
+		}
+		if c := s.pickLocked(); c != nil {
+			s.running++
+			s.queueGaugeLocked()
+			return c
+		}
+		s.sched.Wait()
+	}
+}
+
+// pickLocked removes and returns the best runnable queued campaign, or
+// nil. s.mu held.
+func (s *Server) pickLocked() *campaign {
+	for {
+		best := -1
+		for i, c := range s.queue {
+			if best < 0 {
+				best = i
+				continue
+			}
+			pi := s.tenant(s.queue[i].st.Tenant).Priority
+			pb := s.tenant(s.queue[best].st.Tenant).Priority
+			if pi > pb || (pi == pb && c.st.Seq < s.queue[best].st.Seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		c := s.queue[best]
+		s.queue = append(s.queue[:best], s.queue[best+1:]...)
+		if s.remainingLocked(c.st.Tenant) <= 0 {
+			// Exhausted before it ever ran: park it resumable.
+			c.park(ReasonBudget)
+			s.counter("service.campaigns_interrupted").Inc()
+			s.queueGaugeLocked()
+			continue
+		}
+		s.queueGaugeLocked()
+		return c
+	}
+}
+
+// chargeTenant books a campaign's freshly recounted spend and reports
+// whether the tenant is now exhausted.
+func (s *Server) chargeTenant(tenant string, delta int64) (exhausted bool) {
+	if delta > 0 {
+		s.counter("service.tenant." + metricName(tenant) + ".spent").Add(delta)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spent[tenant] += delta
+	return s.remainingLocked(tenant) <= 0
+}
+
+// execute runs one campaign to a terminal or interrupted state.
+func (s *Server) execute(c *campaign) {
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.queueGaugeLocked()
+		s.mu.Unlock()
+	}()
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	wait := c.setRunning()
+	s.reg.Histogram("service.queue_wait_ms").Observe(float64(wait.Milliseconds()))
+	log := s.reg.Log().With("campaign", c.st.ID, "tenant", c.st.Tenant)
+	log.Info("campaign start", "victims", c.st.Victims)
+
+	victims, err := s.resolveVictims(c.spec)
+	if err == nil && len(victims) == 0 {
+		err = errors.New("no victims in zoo")
+	}
+	plan, perr := parseFaults(c.spec.Faults)
+	if err == nil {
+		err = perr
+	}
+	var sink *resultSink
+	if err == nil {
+		sink, err = c.openResults()
+	}
+	if err != nil {
+		c.finish(StateFailed, "", err.Error(), nil)
+		s.counter("service.campaigns_failed").Inc()
+		log.Error("campaign failed before start", "err", err)
+		return
+	}
+	defer sink.Close()
+
+	seed := c.spec.MeasureSeed
+	if seed == 0 {
+		seed = 1
+	}
+	workers := c.spec.Workers
+	if workers <= 0 {
+		workers = s.cfg.VictimWorkers
+	}
+	opt := core.RunOptions{
+		MeasureSeed:         seed,
+		FaultPlan:           plan,
+		ScheduledExtraction: c.spec.Scheduled,
+		CheckpointDir:       filepath.Join(c.dir, "ckpt"),
+		Resume:              true,
+		ReadBudget:          c.spec.ReadBudget,
+		Workers:             workers,
+	}
+	rs := s.cfg.Attack.RunAllStream(ctx, victims, opt)
+	var cum int64 // this run's cumulative oracle attempts (restored included)
+	budgetStop := false
+	idx := 0
+	for {
+		rep, ok := rs.Next()
+		if !ok {
+			break
+		}
+		line, merr := json.Marshal(victimResult(idx, rep))
+		if merr != nil {
+			// A report that cannot serialize is a programming error; fail
+			// the campaign loudly rather than drop the line silently.
+			cancel()
+			c.finish(StateFailed, "", fmt.Sprintf("marshal report: %v", merr), nil)
+			s.counter("service.campaigns_failed").Inc()
+			return
+		}
+		if rep.Extract != nil {
+			cum += rep.Extract.OracleAttempts()
+		}
+		delta, werr := c.deliver(sink, line, cum)
+		if werr != nil {
+			cancel()
+			c.finish(StateFailed, "", fmt.Sprintf("write results: %v", werr), nil)
+			s.counter("service.campaigns_failed").Inc()
+			return
+		}
+		if s.chargeTenant(c.st.Tenant, delta) && !budgetStop {
+			// Tenant budget gone: stop the campaign through the checkpoint
+			// door. Reports already buffered in the stream's window still
+			// deliver; in-flight victims checkpoint.
+			budgetStop = true
+			log.Warn("tenant budget exhausted; interrupting campaign")
+			cancel()
+		}
+		idx++
+	}
+	runErr := rs.Err()
+	sum := summarize(rs.Campaign())
+	switch {
+	case runErr == nil:
+		c.finish(StateDone, "", "", sum)
+		s.counter("service.campaigns_done").Inc()
+		log.Info("campaign done", "identified", sum.Identified, "victims", sum.Victims)
+	case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+		reason := ReasonShutdown
+		if budgetStop {
+			reason = ReasonBudget
+		}
+		c.finish(StateInterrupted, reason, "", nil)
+		s.counter("service.campaigns_interrupted").Inc()
+		log.Warn("campaign interrupted", "reason", reason, "delivered", idx)
+	default:
+		c.finish(StateFailed, "", runErr.Error(), nil)
+		s.counter("service.campaigns_failed").Inc()
+		log.Error("campaign failed", "err", runErr)
+	}
+}

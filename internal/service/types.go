@@ -1,0 +1,255 @@
+// Package service runs the Decepticon attack as a long-running,
+// multi-tenant campaign server — the daemon behind cmd/decepticond.
+//
+// The paper's adversary is not a batch job: one attacker fingerprints
+// and extracts secrets from many victim deployments over a long window,
+// under a bounded hammer budget. The service models exactly that:
+//
+//   - campaigns are submitted over HTTP/JSON and queued durably (a spec
+//     file on disk before the submit call returns);
+//   - a bounded queue plus per-tenant read budgets and priorities form
+//     the admission control — a full queue answers 429 with Retry-After,
+//     an exhausted tenant's campaigns are interrupted, checkpointed, and
+//     parked until the budget is raised;
+//   - every campaign runs over core.Attack's streaming pipeline
+//     (RunAllStream) with per-victim extraction checkpoints rooted in
+//     the campaign's own directory, so a killed daemon resumes every
+//     in-flight extraction byte-identically on restart — same clones,
+//     same Stats, zero re-paid hammer rounds;
+//   - per-victim reports stream out as NDJSON, in victim order, with
+//     bounded buffering (readers follow the durable results file, the
+//     server never holds a campaign's reports in memory);
+//   - SIGTERM drains gracefully: admission stops, in-flight extractions
+//     checkpoint at the next tensor boundary, statuses persist, and the
+//     artifact flush rides the caller's cliconfig.Runtime teardown.
+//
+// The obs layer is the ops surface: the daemon's mux exposes /metrics,
+// /metrics.json, /debug/vars, and /debug/pprof alongside the campaign
+// API, with per-tenant counters and queue-depth/admission histograms.
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"decepticon/internal/core"
+)
+
+// CampaignSpec is the submitted description of one campaign: which
+// victims to attack and under what channel/budget regime. It is stored
+// verbatim (spec.json) and is the unit of resume — a restarted daemon
+// re-runs the spec with Resume semantics.
+type CampaignSpec struct {
+	// Tenant names the budget/priority bucket this campaign charges.
+	Tenant string `json:"tenant"`
+	// Victims lists fine-tuned model names from the shared zoo; empty
+	// attacks every victim.
+	Victims []string `json:"victims,omitempty"`
+	// Workers bounds the victims attacked concurrently (<= 0 selects the
+	// server default). Results are identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// MeasureSeed seeds the victim trace measurements (0 selects 1), so
+	// distinct campaigns can attack the same victims with independent
+	// measurement noise while staying reproducible.
+	MeasureSeed uint64 `json:"measure_seed,omitempty"`
+	// ReadBudget, when > 0, bounds each victim's oracle attempts; an
+	// exceeded victim checkpoints and reports interrupted (the tenant
+	// budget is enforced on top, at campaign granularity).
+	ReadBudget int64 `json:"read_budget,omitempty"`
+	// Faults is a sidechannel.ParseFaultPlan spec for the campaign's
+	// rowhammer channel ("" = fault-free).
+	Faults string `json:"faults,omitempty"`
+	// Scheduled switches extraction to the information-ordered scheduler.
+	Scheduled bool `json:"scheduled,omitempty"`
+}
+
+// Campaign states.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateInterrupted = "interrupted" // resumable: checkpoints on disk
+	StateFailed      = "failed"
+)
+
+// Interrupt reasons (CampaignStatus.Reason when State == interrupted).
+const (
+	ReasonShutdown = "shutdown" // daemon drained or died; resumed on restart
+	ReasonBudget   = "budget"   // tenant budget exhausted; parked until raised
+)
+
+// CampaignStatus is the durable, queryable state of one campaign
+// (status.json, rewritten atomically on every transition and delivery).
+type CampaignStatus struct {
+	ID     string `json:"id"`
+	Seq    int64  `json:"seq"` // admission order, FIFO key within a priority
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Victims is the resolved victim count; Delivered counts reports
+	// written to results.ndjson so far (== Victims when done).
+	Victims   int `json:"victims"`
+	Delivered int `json:"delivered"`
+	// Spent is the campaign's metered oracle attempts so far — the
+	// quantity charged against the tenant budget. Monotonic across
+	// restarts: a resumed run's recount (which includes restored work)
+	// only ever ratchets it up.
+	Spent int64 `json:"spent"`
+	// Summary is the deterministic campaign aggregate, set on completion.
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Terminal reports whether the campaign has stopped moving (done or
+// failed — an interrupted campaign is expected to resume).
+func (st *CampaignStatus) Terminal() bool {
+	return st.State == StateDone || st.State == StateFailed
+}
+
+// Summary is the deterministic projection of core.Campaign persisted in
+// a campaign's status: every field is a pure function of the per-victim
+// reports, so an interrupted-then-resumed campaign's summary is
+// byte-identical to an uninterrupted one's.
+type Summary struct {
+	Victims             int     `json:"victims"`
+	Identified          int     `json:"identified"`
+	ProbeResolved       int     `json:"probe_resolved"`
+	ArchConfirmed       int     `json:"arch_confirmed"`
+	ExtractFailed       int     `json:"extract_failed"`
+	ExtractSkipped      int     `json:"extract_skipped"`
+	ExtractInterrupted  int     `json:"extract_interrupted"`
+	TensorsDegraded     int     `json:"tensors_degraded"`
+	MeanCoverage        float64 `json:"mean_coverage"`
+	MeanMatchRate       float64 `json:"mean_match_rate"`
+	MeanReduction       float64 `json:"mean_reduction"`
+	TotalBitsRead       int64   `json:"total_bits_read"`
+	TotalPhysicalReads  int64   `json:"total_physical_reads"`
+	TotalOracleAttempts int64   `json:"total_oracle_attempts"`
+	TotalHammerRounds   int64   `json:"total_hammer_rounds"`
+}
+
+func summarize(c *core.Campaign) *Summary {
+	return &Summary{
+		Victims:             c.Victims,
+		Identified:          c.Identified,
+		ProbeResolved:       c.ProbeResolved,
+		ArchConfirmed:       c.ArchConfirmed,
+		ExtractFailed:       c.ExtractFailed,
+		ExtractSkipped:      c.ExtractSkipped,
+		ExtractInterrupted:  c.ExtractInterrupted,
+		TensorsDegraded:     c.TensorsDegraded,
+		MeanCoverage:        c.MeanCoverage,
+		MeanMatchRate:       c.MeanMatchRate,
+		MeanReduction:       c.MeanReduction,
+		TotalBitsRead:       c.TotalBitsRead,
+		TotalPhysicalReads:  c.TotalPhysicalReads,
+		TotalOracleAttempts: c.TotalOracleAttempts,
+		TotalHammerRounds:   c.TotalHammerRounds(),
+	}
+}
+
+// VictimResult is one NDJSON line of a campaign's result stream: the
+// deterministic projection of a core.Report (the clone model itself
+// stays out of band — CloneHash attests it). Lines are written in victim
+// input order for any worker count.
+type VictimResult struct {
+	Index          int    `json:"index"`
+	Victim         string `json:"victim"`
+	TruePretrained string `json:"true_pretrained"`
+	Identified     string `json:"identified"`
+	Correct        bool   `json:"correct"`
+	ProbeQueries   int    `json:"probe_queries,omitempty"`
+	ArchConfirmed  bool   `json:"arch_confirmed"`
+	ExtractError   string `json:"extract_error,omitempty"`
+	ExtractSkipped string `json:"extract_skipped,omitempty"`
+	Interrupted    bool   `json:"interrupted,omitempty"`
+	MatchRate      float64 `json:"match_rate"`
+	VictimAcc      float64 `json:"victim_acc"`
+	CloneAcc       float64 `json:"clone_acc"`
+	LogicalBits    int64   `json:"logical_bits"`
+	PhysicalReads  int64   `json:"physical_reads"`
+	OracleAttempts int64   `json:"oracle_attempts"`
+	HammerRounds   int64   `json:"hammer_rounds"`
+	Coverage       float64 `json:"coverage"`
+	// CloneHash is an FNV-64a digest over the clone's tensor names and
+	// weight bits: two campaigns produced the same clone iff the hashes
+	// match, which is how the smoke test pins "byte-identical resume"
+	// without shipping models over HTTP.
+	CloneHash string `json:"clone_hash,omitempty"`
+}
+
+// victimResult projects a report onto its wire form.
+func victimResult(index int, rep *core.Report) VictimResult {
+	vr := VictimResult{
+		Index:          index,
+		Victim:         rep.Victim,
+		TruePretrained: rep.TruePretrained,
+		Identified:     rep.Identified,
+		Correct:        rep.CorrectIdentity,
+		ProbeQueries:   rep.ProbeQueries,
+		ArchConfirmed:  rep.ArchConfirmed,
+		ExtractError:   rep.ExtractError,
+		ExtractSkipped: rep.ExtractSkipped,
+		Interrupted:    rep.ExtractInterrupted,
+		MatchRate:      rep.MatchRate,
+		VictimAcc:      rep.VictimAcc,
+		CloneAcc:       rep.CloneAcc,
+	}
+	if rep.Extract != nil {
+		vr.LogicalBits = rep.Extract.LogicalBitsRead()
+		vr.PhysicalReads = rep.Extract.PhysicalBitReads
+		vr.OracleAttempts = rep.Extract.OracleAttempts()
+		vr.HammerRounds = rep.Extract.HammerRounds()
+		vr.Coverage = rep.Extract.Coverage()
+	}
+	if rep.Clone != nil {
+		h := fnv.New64a()
+		var buf [4]byte
+		for _, p := range rep.Clone.Params() {
+			h.Write([]byte(p.Name))
+			for _, v := range p.Value.Data {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+				h.Write(buf[:])
+			}
+		}
+		vr.CloneHash = fmt.Sprintf("%016x", h.Sum64())
+	}
+	return vr
+}
+
+// TenantConfig is one tenant's standing allowance.
+type TenantConfig struct {
+	// ReadBudget bounds the tenant's total oracle attempts across all its
+	// campaigns; 0 is unlimited. Enforcement granularity: the budget is
+	// re-checked as every victim report is delivered, and an exhausted
+	// tenant's running campaigns are cancelled — in-flight extractions
+	// checkpoint, so nothing is lost when the budget is raised.
+	ReadBudget int64 `json:"read_budget"`
+	// Priority orders the queue: higher runs first, FIFO within a level.
+	Priority int `json:"priority"`
+}
+
+// TenantStatus is the queryable budget position of one tenant.
+type TenantStatus struct {
+	Name      string `json:"name"`
+	Priority  int    `json:"priority"`
+	Budget    int64  `json:"budget"` // 0 = unlimited
+	Spent     int64  `json:"spent"`
+	Campaigns int    `json:"campaigns"`
+}
+
+// metricName sanitizes a tenant name into a metric-name segment.
+func metricName(tenant string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		}
+		return '_'
+	}, tenant)
+}

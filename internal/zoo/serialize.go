@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 
+	"decepticon/internal/fsatomic"
 	"decepticon/internal/gpusim"
 	"decepticon/internal/task"
 	"decepticon/internal/tokenizer"
@@ -37,13 +39,90 @@ type fineTunedExport struct {
 	Train, Dev []transformer.Example
 }
 
+// cacheConfig is the population-determining subset of BuildConfig,
+// embedded in the wire format so a cache file knows what it holds.
+// Workers, Obs, and OnProgress are deliberately absent: they change
+// throughput and instrumentation, never the built population (the
+// worker-count invariance pinned by the zoo tests), so a cache built at
+// -workers 8 is byte-identical to one built serially.
+type cacheConfig struct {
+	NumPretrained    int
+	NumFineTuned     int
+	PretrainExamples int
+	PretrainEpochs   int
+	FineTuneExamples int
+	FineTuneEpochs   int
+	FineTuneLR       float64
+	FineTuneHeadLR   float64
+	FineTuneDecay    float64
+	Seed             uint64
+	ArchFilter       []string
+}
+
+// configKey projects a BuildConfig onto its population-determining
+// fields.
+func configKey(cfg BuildConfig) cacheConfig {
+	return cacheConfig{
+		NumPretrained:    cfg.NumPretrained,
+		NumFineTuned:     cfg.NumFineTuned,
+		PretrainExamples: cfg.PretrainExamples,
+		PretrainEpochs:   cfg.PretrainEpochs,
+		FineTuneExamples: cfg.FineTuneExamples,
+		FineTuneEpochs:   cfg.FineTuneEpochs,
+		FineTuneLR:       cfg.FineTuneLR,
+		FineTuneHeadLR:   cfg.FineTuneHeadLR,
+		FineTuneDecay:    cfg.FineTuneDecay,
+		Seed:             cfg.Seed,
+		ArchFilter:       cfg.ArchFilter,
+	}
+}
+
+func (c cacheConfig) equal(o cacheConfig) bool {
+	return c.NumPretrained == o.NumPretrained &&
+		c.NumFineTuned == o.NumFineTuned &&
+		c.PretrainExamples == o.PretrainExamples &&
+		c.PretrainEpochs == o.PretrainEpochs &&
+		c.FineTuneExamples == o.FineTuneExamples &&
+		c.FineTuneEpochs == o.FineTuneEpochs &&
+		c.FineTuneLR == o.FineTuneLR &&
+		c.FineTuneHeadLR == o.FineTuneHeadLR &&
+		c.FineTuneDecay == o.FineTuneDecay &&
+		c.Seed == o.Seed &&
+		slices.Equal(c.ArchFilter, o.ArchFilter)
+}
+
+// buildConfig reconstructs the BuildConfig a loaded cache was built
+// with (instrumentation fields zero).
+func (c cacheConfig) buildConfig() BuildConfig {
+	return BuildConfig{
+		NumPretrained:    c.NumPretrained,
+		NumFineTuned:     c.NumFineTuned,
+		PretrainExamples: c.PretrainExamples,
+		PretrainEpochs:   c.PretrainEpochs,
+		FineTuneExamples: c.FineTuneExamples,
+		FineTuneEpochs:   c.FineTuneEpochs,
+		FineTuneLR:       c.FineTuneLR,
+		FineTuneHeadLR:   c.FineTuneHeadLR,
+		FineTuneDecay:    c.FineTuneDecay,
+		Seed:             c.Seed,
+		ArchFilter:       c.ArchFilter,
+	}
+}
+
 type zooExport struct {
-	Version    int
+	Version int
+	// Config records what build produced this cache (version >= 2).
+	// BuildOrLoad validates it against the requested configuration, so a
+	// cache written at one -scale is never silently served to another.
+	Config     cacheConfig
 	Pretrained []pretrainedExport
 	FineTuned  []fineTunedExport
 }
 
-const wireVersion = 1
+// wireVersion 2 embedded the build configuration. Version 1 files (no
+// recorded config) still load, but BuildOrLoad treats them as
+// unvalidatable and rebuilds with a warning.
+const wireVersion = 2
 
 func encodeModel(m *transformer.Model) ([]byte, error) {
 	var buf bytes.Buffer
@@ -54,10 +133,10 @@ func encodeModel(m *transformer.Model) ([]byte, error) {
 }
 
 // Save writes the zoo to w (gzip-compressed gob). A saved zoo restores
-// bit-identically: every weight, vocabulary word, dataset example, and
-// execution profile round-trips.
+// bit-identically: every weight, vocabulary word, dataset example,
+// execution profile, and the build configuration (Zoo.Config) round-trip.
 func (z *Zoo) Save(w io.Writer) error {
-	exp := zooExport{Version: wireVersion}
+	exp := zooExport{Version: wireVersion, Config: configKey(z.Config)}
 	for _, p := range z.Pretrained {
 		mb, err := encodeModel(p.Model)
 		if err != nil {
@@ -86,25 +165,35 @@ func (z *Zoo) Save(w io.Writer) error {
 	return gz.Close()
 }
 
-// Load reads a zoo previously written by Save.
+// Load reads a zoo previously written by Save. Both wire versions load;
+// a version-1 zoo comes back with a zero Config (the format predates
+// recording it), which BuildOrLoad treats as unvalidatable.
 func Load(r io.Reader) (*Zoo, error) {
+	z, _, err := loadVersion(r)
+	return z, err
+}
+
+// loadVersion is Load, also reporting the file's wire version so
+// BuildOrLoad can tell "no recorded config" (v1) apart from a genuine
+// config mismatch.
+func loadVersion(r io.Reader) (*Zoo, int, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("zoo: load: %w", err)
+		return nil, 0, fmt.Errorf("zoo: load: %w", err)
 	}
 	defer gz.Close()
 	var exp zooExport
 	if err := gob.NewDecoder(gz).Decode(&exp); err != nil {
-		return nil, fmt.Errorf("zoo: load: %w", err)
+		return nil, 0, fmt.Errorf("zoo: load: %w", err)
 	}
-	if exp.Version != wireVersion {
-		return nil, fmt.Errorf("zoo: load: wire version %d, want %d", exp.Version, wireVersion)
+	if exp.Version < 1 || exp.Version > wireVersion {
+		return nil, 0, fmt.Errorf("zoo: load: wire version %d, want 1..%d", exp.Version, wireVersion)
 	}
-	z := &Zoo{}
+	z := &Zoo{Config: exp.Config.buildConfig()}
 	for _, pe := range exp.Pretrained {
 		m, err := transformer.Load(bytes.NewReader(pe.Model))
 		if err != nil {
-			return nil, fmt.Errorf("zoo: load %s: %w", pe.Name, err)
+			return nil, 0, fmt.Errorf("zoo: load %s: %w", pe.Name, err)
 		}
 		z.Pretrained = append(z.Pretrained, &Pretrained{
 			Name: pe.Name, Arch: m.Config, ArchName: pe.ArchName,
@@ -117,55 +206,87 @@ func Load(r io.Reader) (*Zoo, error) {
 	for _, fe := range exp.FineTuned {
 		pre := z.PretrainedByName(fe.Pretrained)
 		if pre == nil {
-			return nil, fmt.Errorf("zoo: load %s: unknown pre-trained %q", fe.Name, fe.Pretrained)
+			return nil, 0, fmt.Errorf("zoo: load %s: unknown pre-trained %q", fe.Name, fe.Pretrained)
 		}
 		m, err := transformer.Load(bytes.NewReader(fe.Model))
 		if err != nil {
-			return nil, fmt.Errorf("zoo: load %s: %w", fe.Name, err)
+			return nil, 0, fmt.Errorf("zoo: load %s: %w", fe.Name, err)
 		}
 		z.FineTuned = append(z.FineTuned, &FineTuned{
 			Name: fe.Name, Pretrained: pre, Task: fe.Task,
 			Model: m, Train: fe.Train, Dev: fe.Dev,
 		})
 	}
-	return z, nil
+	return z, exp.Version, nil
 }
 
-// SaveFile writes the zoo to path.
+// SaveFile writes the zoo to path atomically (fsatomic temp-file +
+// rename), so a crash mid-write leaves either the previous cache or
+// nothing — never a truncated file that a later run would fail (or
+// worse, half-succeed) to load.
 func (z *Zoo) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if err := fsatomic.Write(path, z.Save); err != nil {
+		return fmt.Errorf("zoo: save %s: %w", path, err)
 	}
-	if err := z.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadFile reads a zoo from path.
 func LoadFile(path string) (*Zoo, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Load(f)
+	z, _, err := loadFileVersion(path)
+	return z, err
 }
 
-// BuildOrLoad loads the zoo from cachePath when it exists, otherwise
-// builds it and writes the cache. An empty cachePath always builds.
+func loadFileVersion(path string) (*Zoo, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return loadVersion(f)
+}
+
+// BuildOrLoad loads the zoo from cachePath when it exists and matches
+// cfg, otherwise builds it and writes the cache. An empty cachePath
+// always builds.
 func BuildOrLoad(cfg BuildConfig, cachePath string) (*Zoo, error) {
 	return BuildOrLoadContext(context.Background(), cfg, cachePath)
 }
 
 // BuildOrLoadContext is BuildOrLoad with cooperative cancellation of the
 // build phase (loading an existing cache is quick and never cancelled).
+//
+// A cache is served only when it was verifiably built with the requested
+// configuration: the recorded BuildConfig must match cfg's
+// population-determining fields (Workers/Obs/OnProgress are throughput
+// and instrumentation knobs and do not participate). A missing file, an
+// unreadable or corrupt file, a version-1 file (which predates the
+// recorded config), or a config mismatch all fall back to a rebuild that
+// overwrites the cache — with the reason logged through cfg.Obs, never
+// silently: a cache written at -scale tiny must not masquerade as a
+// -scale full population.
 func BuildOrLoadContext(ctx context.Context, cfg BuildConfig, cachePath string) (*Zoo, error) {
+	log := cfg.Obs.Log()
 	if cachePath != "" {
-		if z, err := LoadFile(cachePath); err == nil {
+		z, ver, err := loadFileVersion(cachePath)
+		switch {
+		case err == nil && ver < 2:
+			log.Warn("zoo cache predates config validation; rebuilding",
+				"path", cachePath, "wire_version", ver)
+		case err == nil && !configKey(z.Config).equal(configKey(cfg)):
+			log.Warn("zoo cache was built with a different configuration; rebuilding",
+				"path", cachePath,
+				"cached_pretrained", z.Config.NumPretrained,
+				"cached_finetuned", z.Config.NumFineTuned,
+				"want_pretrained", cfg.NumPretrained,
+				"want_finetuned", cfg.NumFineTuned)
+		case err == nil:
 			return z, nil
+		case os.IsNotExist(err):
+			// First run with this cache path: build and write it, nothing
+			// to warn about.
+		default:
+			log.Warn("zoo cache unreadable; rebuilding", "path", cachePath, "err", err)
 		}
 	}
 	z, err := BuildContext(ctx, cfg)

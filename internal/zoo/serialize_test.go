@@ -2,6 +2,9 @@ package zoo
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -102,4 +105,193 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a zoo"))); err == nil {
 		t.Fatal("garbage must not load")
 	}
+}
+
+// tinyCacheConfig is a seconds-fast build for the cache-policy tests.
+func tinyCacheConfig() BuildConfig {
+	cfg := SmallBuildConfig()
+	cfg.NumPretrained = 2
+	cfg.NumFineTuned = 2
+	cfg.PretrainExamples = 20
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneExamples = 20
+	cfg.FineTuneEpochs = 1
+	return cfg
+}
+
+// A cache built at one scale must never be served to a request for a
+// different scale: the second BuildOrLoad must rebuild (and rewrite the
+// cache for its own config), not silently return the smaller population.
+func TestBuildOrLoadRejectsMismatchedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zoo.gob.gz")
+	small := tinyCacheConfig()
+	if _, err := BuildOrLoad(small, path); err != nil {
+		t.Fatal(err)
+	}
+
+	bigger := small
+	bigger.NumPretrained = 3
+	bigger.NumFineTuned = 4
+	z, err := BuildOrLoad(bigger, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Pretrained) != 3 || len(z.FineTuned) != 4 {
+		t.Fatalf("mismatched cache served stale population: %d/%d pretrained/finetuned, want 3/4",
+			len(z.Pretrained), len(z.FineTuned))
+	}
+	// The rebuild rewrote the cache for the new config: a third call with
+	// the same config must now hit it (same population back, no rebuild
+	// visible through a changed file).
+	z2, err := BuildOrLoad(bigger, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z2.Pretrained) != 3 || z2.Pretrained[0].Name != z.Pretrained[0].Name {
+		t.Fatal("rewritten cache does not round-trip the rebuilt population")
+	}
+	// Training-budget fields participate too, not just population counts.
+	differentSeed := bigger
+	differentSeed.Seed = bigger.Seed + 1
+	if z3, err := BuildOrLoad(differentSeed, path); err != nil {
+		t.Fatal(err)
+	} else if z3.Config.Seed != differentSeed.Seed {
+		t.Fatalf("cache with seed %d served to a request for seed %d",
+			z3.Config.Seed, differentSeed.Seed)
+	}
+}
+
+// A version-1 cache (no recorded config) cannot be validated: Load still
+// reads it, but BuildOrLoad must rebuild and upgrade the file to v2.
+func TestBuildOrLoadMigratesV1Cache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zoo.gob.gz")
+	cfg := tinyCacheConfig()
+	built, err := BuildOrLoad(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the cache as a v1 file: same population, Version forced to
+	// 1 and the config zeroed — exactly what a pre-upgrade binary wrote.
+	v1 := *built
+	v1.Config = BuildConfig{}
+	var buf bytes.Buffer
+	if err := v1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAsVersion(path, &v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	z, _, err := loadFileVersion(path)
+	if err != nil {
+		t.Fatalf("v1 cache must still load directly: %v", err)
+	}
+	if len(z.Pretrained) != len(built.Pretrained) {
+		t.Fatal("v1 load lost population")
+	}
+
+	// BuildOrLoad must not trust it: rebuild, then serve the upgraded v2
+	// file on the next call.
+	if _, err := BuildOrLoad(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	_, ver, err := loadFileVersion(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != wireVersion {
+		t.Fatalf("cache still at wire version %d after BuildOrLoad, want %d", ver, wireVersion)
+	}
+}
+
+// A corrupt cache file must not be silently masked: BuildOrLoad rebuilds
+// (logging the reason) and overwrites the file with a loadable one.
+func TestBuildOrLoadRebuildsCorruptCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zoo.gob.gz")
+	if err := os.WriteFile(path, []byte("truncated garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheConfig()
+	z, err := BuildOrLoad(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Pretrained) != cfg.NumPretrained {
+		t.Fatal("rebuild after corrupt cache produced wrong population")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("rebuilt cache is not loadable: %v", err)
+	}
+}
+
+// SaveFile goes through the atomic temp-file + rename path (the crash
+// simulation itself lives in internal/fsatomic): a successful save
+// leaves exactly the destination file behind, and overwriting an
+// existing cache never exposes a partial file under the final name —
+// a reader racing the save sees old bytes or new bytes, never a
+// truncation.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zoo.gob.gz")
+	cfg := tinyCacheConfig()
+	z, err := BuildOrLoad(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("re-saved cache is not loadable: %v", err)
+	}
+}
+
+// writeAsVersion re-encodes a zoo export stream with a forced wire
+// version — the test's stand-in for files written by older binaries.
+func writeAsVersion(path string, z *Zoo, version int) error {
+	exp := zooExport{Version: version, Config: configKey(z.Config)}
+	for _, p := range z.Pretrained {
+		mb, err := encodeModel(p.Model)
+		if err != nil {
+			return err
+		}
+		exp.Pretrained = append(exp.Pretrained, pretrainedExport{
+			Name: p.Name, ArchName: p.ArchName, Source: p.Source,
+			Language: p.Language, Cased: p.Cased,
+			Words: p.Vocab.Words(), Profile: p.Profile, Model: mb,
+		})
+	}
+	for _, f := range z.FineTuned {
+		mb, err := encodeModel(f.Model)
+		if err != nil {
+			return err
+		}
+		exp.FineTuned = append(exp.FineTuned, fineTunedExport{
+			Name: f.Name, Pretrained: f.Pretrained.Name, Task: f.Task,
+			Model: mb, Train: f.Train, Dev: f.Dev,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(f)
+	if err := gob.NewEncoder(gz).Encode(exp); err != nil {
+		f.Close()
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

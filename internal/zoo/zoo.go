@@ -76,6 +76,11 @@ func (f *FineTuned) ClassifyText(text string) (label int, probs []float32) {
 type Zoo struct {
 	Pretrained []*Pretrained
 	FineTuned  []*FineTuned
+	// Config is the build configuration that produced this population
+	// (instrumentation fields zeroed on a cache round-trip). Save embeds
+	// its population-determining fields in the cache file so BuildOrLoad
+	// can refuse to serve a cache built for a different configuration.
+	Config BuildConfig
 }
 
 // BuildConfig controls zoo construction. The zero value is not valid; use
@@ -207,7 +212,11 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Zoo, error) {
 	if cfg.NumPretrained > len(entries) {
 		return nil, fmt.Errorf("zoo: catalog has %d matching releases, %d requested", len(entries), cfg.NumPretrained)
 	}
-	z := &Zoo{}
+	z := &Zoo{Config: cfg}
+	// The recorded config describes the population, not this build's
+	// instrumentation: drop the hooks so a Zoo does not retain its
+	// builder's registry or progress callback.
+	z.Config.Obs, z.Config.OnProgress = nil, nil
 
 	// Trace lane: the zoo build is one span on the pipeline track, plus
 	// one track per model (pid PidZoo) whose clock advances by training
