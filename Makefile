@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke bench-snap bench-gate bench-smoke
+.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke bench-snap bench-gate bench-smoke
 
 all: verify
 
@@ -20,7 +20,7 @@ lint:
 		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
 	fi
 
-test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke bench-smoke
+test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke bench-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -116,6 +116,32 @@ cancel-smoke:
 	$(GO) run ./cmd/metricscheck -equal-counters \
 		.cancel-smoke/resumed.json .cancel-smoke/uninterrupted.json
 	rm -rf .cancel-smoke
+
+# End-to-end multi-modal check: a tiny campaign measured through all
+# three level-1 channels (trace, power, counters) must produce identical
+# counters at 1 and 4 workers (the zoo cache is pre-built so both runs
+# start from the same build counters), and a run with the power sensor
+# jammed must complete gracefully — reporting degraded identification on
+# the core.modality_jammed / core.identify_degraded counters rather than
+# failing.
+fusion-smoke:
+	rm -rf .fusion-smoke && mkdir -p .fusion-smoke
+	$(GO) run ./cmd/zoo -scale tiny -cache .fusion-smoke/zoo >/dev/null
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 1 \
+		-cache .fusion-smoke/zoo -modalities trace,power,counters \
+		-metrics .fusion-smoke/w1.json >/dev/null
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 4 \
+		-cache .fusion-smoke/zoo -modalities trace,power,counters \
+		-metrics .fusion-smoke/w4.json >/dev/null
+	$(GO) run ./cmd/metricscheck -equal-counters \
+		.fusion-smoke/w1.json .fusion-smoke/w4.json
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-cache .fusion-smoke/zoo -modalities trace,power,counters \
+		-jam power -metrics .fusion-smoke/jam.json >/dev/null
+	$(GO) run ./cmd/metricscheck \
+		-nonzero core.modality_jammed,core.identify_degraded \
+		.fusion-smoke/jam.json
+	rm -rf .fusion-smoke
 
 # End-to-end daemon check (scripts/service-smoke.sh): decepticond runs
 # two campaigns to completion (control), is killed with SIGTERM

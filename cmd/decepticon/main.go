@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"decepticon"
 	"decepticon/internal/cliconfig"
@@ -43,6 +44,7 @@ func run() error {
 	opts.RegisterCache(flag.CommandLine)
 	opts.RegisterFaults(flag.CommandLine)
 	opts.RegisterFlight(flag.CommandLine)
+	opts.RegisterModalities(flag.CommandLine)
 	var (
 		victim  = flag.Int("victim", 0, "index of the fine-tuned victim model")
 		adv     = flag.Bool("adv", false, "run the adversarial stage (slower)")
@@ -54,6 +56,10 @@ func run() error {
 	flag.Parse()
 
 	cfg, err := opts.ZooConfig()
+	if err != nil {
+		return err
+	}
+	modalities, jammed, err := opts.ModalitySets()
 	if err != nil {
 		return err
 	}
@@ -84,6 +90,7 @@ func run() error {
 	}
 	prepCfg.Workers = opts.Workers
 	prepCfg.Obs = rt.Registry
+	prepCfg.Modalities = modalities
 	atk, err := decepticon.NewAttackContext(rt.Ctx, z, prepCfg)
 	if err != nil {
 		return err
@@ -101,6 +108,7 @@ func run() error {
 			FaultPlan: rt.Plan, ScheduledExtraction: opts.Scheduled,
 			CheckpointDir: opts.Checkpoint, Resume: opts.Resume,
 			ReadBudget: opts.ReadBudget, FlightPath: opts.Flight,
+			Modalities: modalities, Jammed: jammed,
 		})
 		if err != nil {
 			if c != nil && errors.Is(err, context.Canceled) {
@@ -131,6 +139,8 @@ func run() error {
 		Resume:              opts.Resume,
 		ReadBudget:          opts.ReadBudget,
 		FlightPath:          opts.Flight,
+		Modalities:          modalities,
+		Jammed:              jammed,
 	})
 	if err != nil {
 		return err
@@ -140,6 +150,13 @@ func run() error {
 	fmt.Printf("victim:                 %s\n", rep.Victim)
 	fmt.Printf("true pre-trained model: %s\n", rep.TruePretrained)
 	fmt.Printf("identified:             %s (correct: %v)\n", rep.Identified, rep.CorrectIdentity)
+	if len(rep.Modalities) > 0 {
+		fmt.Printf("modalities:             %s\n", strings.Join(rep.Modalities, ", "))
+	}
+	if len(rep.JammedModalities) > 0 {
+		fmt.Printf("jammed sensors:         %s (identification degraded)\n",
+			strings.Join(rep.JammedModalities, ", "))
+	}
 	if rep.UsedQueryProbes {
 		fmt.Printf("query probes:           %d black-box queries\n", rep.ProbeQueries)
 	}
@@ -198,6 +215,9 @@ func printCampaign(c *decepticon.Campaign, rt *cliconfig.Runtime) {
 	fmt.Printf("victims attacked:        %d\n", c.Victims)
 	fmt.Printf("identified correctly:    %d (%.1f%%)\n", c.Identified, 100*c.IdentificationRate())
 	fmt.Printf("resolved via probes:     %d\n", c.ProbeResolved)
+	if c.IdentifyDegraded > 0 {
+		fmt.Printf("degraded identifications:%d (jammed or absent sensors)\n", c.IdentifyDegraded)
+	}
 	fmt.Printf("bus-probe arch checks:   %d passed\n", c.ArchConfirmed)
 	if c.ExtractFailed > 0 {
 		fmt.Printf("extractions failed:      %d\n", c.ExtractFailed)

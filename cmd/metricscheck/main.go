@@ -36,6 +36,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"decepticon/internal/obs"
 )
@@ -44,10 +45,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("metricscheck: ")
 	equal := flag.Bool("equal-counters", false, "require every file's counters to match the first file's exactly")
+	nonzero := flag.String("nonzero", "", "comma-separated counter names every snapshot must carry with a positive value")
 	tracePath := flag.String("trace", "", "validate this Chrome trace_event JSON file")
 	flightPath := flag.String("flight", "", "validate this flight-recorder dump file")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-trace file] [-flight file] [snapshot-file...]")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-nonzero counter,...] [-trace file] [-flight file] [snapshot-file...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,6 +74,7 @@ func main() {
 			log.Fatalf("%s: snapshot holds no metrics", path)
 		}
 		checkHistograms(path, snap)
+		checkNonzero(path, snap, *nonzero)
 		log.Printf("%s: ok (%d counters, %d gauges, %d histograms, %d timers)",
 			path, len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(snap.Timers))
 		if !*equal {
@@ -88,6 +91,25 @@ func main() {
 			log.Fatalf("%s: counters differ from %s (%d mismatches)", path, refPath, len(diffs))
 		}
 		log.Printf("%s: counters identical to %s", path, refPath)
+	}
+}
+
+// checkNonzero requires every named counter to be present with a
+// positive value — how the smoke targets assert that a degraded run
+// (e.g. a jammed sensor) was actually metered, not silently skipped.
+func checkNonzero(path string, snap obs.Snapshot, spec string) {
+	for _, name := range strings.Split(spec, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		v, ok := snap.Counters[name]
+		if !ok {
+			log.Fatalf("%s: counter %s missing (required nonzero)", path, name)
+		}
+		if v <= 0 {
+			log.Fatalf("%s: counter %s is %d, want > 0", path, name, v)
+		}
+		log.Printf("%s: counter %s = %d", path, name, v)
 	}
 }
 

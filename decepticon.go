@@ -55,6 +55,7 @@ import (
 	"decepticon/internal/core"
 	"decepticon/internal/experiments"
 	"decepticon/internal/extract"
+	"decepticon/internal/fingerprint"
 	"decepticon/internal/obs"
 	"decepticon/internal/pipeline"
 	"decepticon/internal/sidechannel"
@@ -84,6 +85,11 @@ type (
 	// Campaign aggregates the outcome of attacking many victims
 	// (Attack.RunAll).
 	Campaign = core.Campaign
+	// Modality names one level-1 measurement channel (kernel trace,
+	// power/thermal, aggregate counters). Select with
+	// PrepareConfig.Modalities and RunOptions.Modalities; jam sensors at
+	// attack time with RunOptions.Jammed.
+	Modality = fingerprint.Modality
 	// ReportStream yields one *Report per victim in deterministic input
 	// order with bounded buffering (Attack.RunAllStream).
 	ReportStream = core.ReportStream
@@ -134,6 +140,26 @@ type (
 	// FlightDump is the serialized form of a flight-recorder dump.
 	FlightDump = obs.FlightDump
 )
+
+// Measurement modalities (see DESIGN.md §14).
+const (
+	// ModalityTrace is the paper's kernel launch timeline channel,
+	// identified by the CNN fingerprint classifier. The default.
+	ModalityTrace = fingerprint.ModalityTrace
+	// ModalityPower is the simulated board power/thermal channel
+	// (Energon-style), identified by a dense classifier.
+	ModalityPower = fingerprint.ModalityPower
+	// ModalityCounters is the simulated aggregate profiler-counter
+	// channel (InferNet-style), identified by a dense classifier.
+	ModalityCounters = fingerprint.ModalityCounters
+)
+
+// ParseModalities parses a comma-separated modality list (the
+// cmd/decepticon -modalities syntax). An empty string returns nil (the
+// kernel-trace channel alone); unknown or duplicate names are errors.
+func ParseModalities(s string) ([]Modality, error) {
+	return fingerprint.ParseModalities(s)
+}
 
 // Experiment scales.
 const (

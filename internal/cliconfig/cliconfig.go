@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"decepticon/internal/fingerprint"
 	"decepticon/internal/obs"
 	"decepticon/internal/sidechannel"
 	"decepticon/internal/zoo"
@@ -61,6 +62,10 @@ type Options struct {
 
 	// Flight group.
 	Flight string
+
+	// Modalities group.
+	Modalities string
+	Jam        string
 }
 
 // RegisterCommon declares the flags every CLI shares: -scale, -workers,
@@ -92,6 +97,40 @@ func (o *Options) RegisterFaults(fs *flag.FlagSet) {
 // RegisterFlight declares -flight.
 func (o *Options) RegisterFlight(fs *flag.FlagSet) {
 	fs.StringVar(&o.Flight, "flight", "", "write a flight-recorder dump to this file on exit; interrupted, failed, or degraded extractions also dump here automatically (next to the checkpoint when -checkpoint is set)")
+}
+
+// RegisterModalities declares the measurement-backend group:
+// -modalities, -jam.
+func (o *Options) RegisterModalities(fs *flag.FlagSet) {
+	fs.StringVar(&o.Modalities, "modalities", "", "comma-separated level-1 measurement channels: trace, power, counters (empty = trace only); with several, per-modality posteriors fuse into one identification")
+	fs.StringVar(&o.Jam, "jam", "", "comma-separated modalities whose sensor is jammed this run; identification degrades to the surviving modalities")
+}
+
+// ModalitySets parses the -modalities and -jam flags. The jam list must
+// be a subset of the requested modalities (of trace alone when
+// -modalities is empty).
+func (o *Options) ModalitySets() (modalities, jammed []fingerprint.Modality, err error) {
+	modalities, err = fingerprint.ParseModalities(o.Modalities)
+	if err != nil {
+		return nil, nil, err
+	}
+	jammed, err = fingerprint.ParseModalities(o.Jam)
+	if err != nil {
+		return nil, nil, err
+	}
+	requested := map[fingerprint.Modality]bool{}
+	if len(modalities) == 0 {
+		requested[fingerprint.ModalityTrace] = true
+	}
+	for _, m := range modalities {
+		requested[m] = true
+	}
+	for _, j := range jammed {
+		if !requested[j] {
+			return nil, nil, fmt.Errorf("cliconfig: -jam %s is not among the requested modalities", j)
+		}
+	}
+	return modalities, jammed, nil
 }
 
 // ZooConfig maps the -scale flag to a zoo build configuration.

@@ -37,7 +37,18 @@ import (
 type Attack struct {
 	Zoo        *zoo.Zoo
 	Classifier *fingerprint.Classifier
-	ExtractCfg extract.Config
+	// PowerClf / CounterClf identify from the derived power/thermal and
+	// aggregate-counter channels (see gpusim/channels.go); nil means that
+	// modality is unavailable and any run requesting it degrades to the
+	// surviving sensors. Prepare trains them when PrepareConfig.Modalities
+	// asks for the extra channels.
+	PowerClf   *fingerprint.VectorClassifier
+	CounterClf *fingerprint.VectorClassifier
+	// FusionWeights are the per-modality log-pooling weights the fused
+	// identifier uses (nil = equal weights). Prepare fills them from each
+	// classifier's calibration accuracy on its training set.
+	FusionWeights map[fingerprint.Modality]float64
+	ExtractCfg    extract.Config
 	// Obs receives the attack's cost accounting (phase wall times, victim
 	// queries, and — through the oracle and extractor it is handed to —
 	// hammer rounds and bit reads). nil runs un-instrumented.
@@ -62,6 +73,11 @@ type PrepareConfig struct {
 	// Obs instruments preparation and is carried into the prepared
 	// Attack (dataset/train wall time, then per-run attack accounting).
 	Obs *obs.Registry
+	// Modalities lists the extra measurement channels to train
+	// identifiers for (power, counters; trace is always trained). The
+	// vector classifiers train on features derived from the same trace
+	// dataset, so no second measurement pass is paid.
+	Modalities []fingerprint.Modality
 }
 
 // DefaultPrepareConfig returns a preparation setup matched to the zoo
@@ -125,7 +141,64 @@ func PrepareContext(ctx context.Context, z *zoo.Zoo, cfg PrepareConfig) (*Attack
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: prepare cancelled: %w", err)
 	}
-	return &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig(), Obs: cfg.Obs}, nil
+	atk := &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig(), Obs: cfg.Obs}
+	if err := atk.prepareModalities(ctx, d, cfg); err != nil {
+		return nil, err
+	}
+	return atk, nil
+}
+
+// prepareModalities trains the extra per-modality identifiers requested
+// by cfg.Modalities on feature datasets derived from the same augmented
+// trace corpus, then calibrates the fusion weights from each
+// identifier's training-set accuracy.
+func (a *Attack) prepareModalities(ctx context.Context, d *fingerprint.Dataset, cfg PrepareConfig) error {
+	weights := map[fingerprint.Modality]float64{}
+	trained := false
+	for _, m := range cfg.Modalities {
+		if m == fingerprint.ModalityTrace {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: prepare cancelled: %w", err)
+		}
+		vd := fingerprint.VectorizeDataset(d, m, cfg.Seed+31, cfg.Workers)
+		vc := fingerprint.NewVectorClassifier(m, vd.Dim, vd.Classes, cfg.Seed+37)
+		vc.Workers = cfg.Workers
+		vc.Obs = cfg.Obs
+		vc.Train(vd, fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 41})
+		switch m {
+		case fingerprint.ModalityPower:
+			a.PowerClf = vc
+		case fingerprint.ModalityCounters:
+			a.CounterClf = vc
+		}
+		weights[m] = vc.Accuracy(vd)
+		trained = true
+	}
+	if !trained {
+		return nil
+	}
+	// The CNN's calibration accuracy anchors the trace weight; the
+	// sharpened normalization keeps the strongest sensor dominant.
+	weights[fingerprint.ModalityTrace] = a.Classifier.Accuracy(d)
+	mods := make([]fingerprint.Modality, 0, len(weights))
+	for _, m := range fingerprint.AllModalities() {
+		if _, ok := weights[m]; ok {
+			mods = append(mods, m)
+		}
+	}
+	accs := make([]float64, len(mods))
+	for i, m := range mods {
+		accs[i] = weights[m]
+	}
+	fused := fingerprint.FusionWeights(accs)
+	a.FusionWeights = map[fingerprint.Modality]float64{}
+	for i, m := range mods {
+		a.FusionWeights[m] = fused[i]
+	}
+	a.Obs.Log().Info("fusion weights calibrated", "weights", fmt.Sprint(a.FusionWeights))
+	return nil
 }
 
 // Report is the outcome of one end-to-end attack.
@@ -143,6 +216,14 @@ type Report struct {
 	// candidate's architecture — a cheap cross-check before committing to
 	// the expensive rowhammer phase.
 	ArchConfirmed bool
+	// Modalities lists the measurement channels that contributed to this
+	// identification (multi-modal runs only; empty means the legacy
+	// trace-only path). JammedModalities lists requested sensors that
+	// were jammed; IdentifyDegraded is set when any requested sensor was
+	// jammed or absent and the run fell back to the survivors.
+	Modalities       []string
+	JammedModalities []string
+	IdentifyDegraded bool
 
 	// Level 2.
 	Extract *extract.Stats
@@ -189,6 +270,9 @@ type Campaign struct {
 	// the read budget and checkpointed — both distinct from failures.
 	ExtractSkipped     int
 	ExtractInterrupted int
+	// IdentifyDegraded counts victims identified with at least one
+	// measurement modality jammed or absent (see Report.IdentifyDegraded).
+	IdentifyDegraded int
 	// TensorsDegraded sums the tensors that fell back to the pre-trained
 	// baseline under channel faults; MeanCoverage averages the extracted
 	// fraction over runs where extraction happened.
@@ -255,6 +339,9 @@ func (g *campaignAgg) add(rep *Report) {
 	}
 	if rep.ExtractInterrupted {
 		c.ExtractInterrupted++
+	}
+	if rep.IdentifyDegraded {
+		c.IdentifyDegraded++
 	}
 	if rep.Extract != nil {
 		g.extracted++
@@ -423,6 +510,21 @@ func (a *Attack) RunAll(victims []*zoo.FineTuned, opt RunOptions) (*Campaign, er
 type RunOptions struct {
 	// MeasureSeed seeds the victim trace measurement.
 	MeasureSeed uint64
+	// Modalities selects the level-1 measurement channels for
+	// identification (nil = the paper's kernel trace alone, which keeps
+	// the legacy stage path byte-for-byte). With more than one modality
+	// the victim still runs once — every sensor is passive — and the
+	// per-modality posteriors fuse into one identification. A requested
+	// modality whose classifier was never trained degrades the run to the
+	// surviving sensors (metered on core.modality_absent) instead of
+	// failing it.
+	Modalities []fingerprint.Modality
+	// Jammed lists sensors an active countermeasure blinds this run:
+	// their channels record nothing, the run degrades to the surviving
+	// modalities (metered on core.modality_jammed and
+	// core.identify_degraded), and only a run with every sensor jammed or
+	// absent errors.
+	Jammed []fingerprint.Modality
 	// Adversarial adds the §6.2 evaluation with NumSubstitutes baselines.
 	Adversarial    bool
 	NumSubstitutes int
@@ -613,6 +715,17 @@ func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunO
 		Disambiguate: r,
 		Extract:      r, // attackRun is also Gated: the bus-probe arch check gates rowhammer
 		Evaluate:     r,
+	}
+	if multiModal(opt) {
+		// Multi-modal runs swap in the composite sensor stages; the
+		// single-trace un-jammed default keeps the legacy implementations
+		// (and their byte-identical outputs) untouched.
+		sensors := make([]sensorStage, 0, len(opt.Modalities))
+		for _, m := range normalizeModalities(opt.Modalities) {
+			sensors = append(sensors, newSensor(m, r))
+		}
+		eng.Trace = &multiMeasure{r: r, sensors: sensors}
+		eng.Identify = &fusedIdentify{r: r}
 	}
 	if opt.Adversarial {
 		eng.Adversarial = r

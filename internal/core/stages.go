@@ -41,7 +41,14 @@ type attackRun struct {
 	countedPredict func(tokens []int) int
 
 	// Cross-stage state.
-	trace         *gpusim.Trace
+	trace *gpusim.Trace
+	// Multi-modal state: the victim's one simulated inference (every
+	// passive sensor taps it), the derived channels, and the sensors that
+	// survived jamming/absence and feed the fusion identifier.
+	schedule      *gpusim.Trace
+	power         *gpusim.PowerTrace
+	counters      *gpusim.CounterSet
+	live          []sensorStage
 	identified    string
 	pre           *zoo.Pretrained
 	identifySpan  *obs.Span

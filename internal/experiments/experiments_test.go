@@ -35,7 +35,7 @@ func TestRegistryCoversPaper(t *testing.T) {
 		"table1", "table2",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig12",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-		"alg1",
+		"alg1", "fusion",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
@@ -172,6 +172,41 @@ func TestTable1DropGrowsEventually(t *testing.T) {
 	// Freezing the first 2 layers stays cheap (paper: 1-3%).
 	if r.Rows[2].Drop > 0.1 {
 		t.Fatalf("freezing 2 layers cost %v, want <= 0.1", r.Rows[2].Drop)
+	}
+}
+
+// TestFusionDominates is the multi-modal acceptance gate: the fused
+// identifier must match or beat the best single modality at every noise
+// sweep point, and jamming any one sensor must still produce a usable
+// identification from the survivors.
+func TestFusionDominates(t *testing.T) {
+	r := getEnv(t).Fusion()
+	if len(r.Sweep) == 0 || len(r.JamRows) == 0 {
+		t.Fatal("fusion study produced no sweep or jam rows")
+	}
+	for _, p := range r.Sweep {
+		if p.FusedAcc < p.BestSingle() {
+			t.Errorf("±%.1fµs: fused %.3f below best single %.3f (trace %.3f power %.3f counters %.3f)",
+				p.Magnitude, p.FusedAcc, p.BestSingle(), p.TraceAcc, p.PowerAcc, p.CounterAcc)
+		}
+	}
+	// Clean fusion must actually identify: the tiny test zoo still gives
+	// every modality real signal.
+	if r.Sweep[0].FusedAcc < 0.5 {
+		t.Fatalf("clean fused accuracy %.3f too low", r.Sweep[0].FusedAcc)
+	}
+	for _, row := range r.JamRows {
+		if len(row.Survivors) != 2 {
+			t.Fatalf("jamming %s left %d survivors, want 2", row.Jammed, len(row.Survivors))
+		}
+		if row.FusedAcc <= 0 {
+			t.Errorf("jamming %s: surviving fusion accuracy is zero", row.Jammed)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "jammed") {
+		t.Fatal("fusion rendering missing jamming rows")
 	}
 }
 

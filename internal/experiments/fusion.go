@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/gpusim"
+	"decepticon/internal/parallel"
+	"decepticon/internal/rng"
+)
+
+// --------------------------------------------------------------- Fusion
+//
+// The multi-modal identification study (DESIGN.md §14): the same victim
+// inference observed through three level-1 channels — the paper's kernel
+// trace, an Energon-style power/thermal trace, and InferNet-style
+// aggregate counters — identified per modality and by weighted
+// log-linear posterior fusion, swept over measurement-noise magnitude,
+// plus jamming rows showing graceful degradation to the surviving
+// sensors.
+
+// FusionPoint is one noise magnitude's per-modality and fused accuracy.
+type FusionPoint struct {
+	Magnitude float64
+	// Per-modality held-out accuracy under this noise level.
+	TraceAcc, PowerAcc, CounterAcc float64
+	// FusedAcc pools the three posteriors with noise-matched calibration
+	// weights (fingerprint.FusionWeights over train-split accuracies at
+	// the same magnitude).
+	FusedAcc float64
+	// Weights are the pooling weights used at this point, in
+	// trace/power/counters order.
+	Weights [3]float64
+}
+
+// BestSingle returns the strongest individual modality at this point.
+func (p FusionPoint) BestSingle() float64 {
+	best := p.TraceAcc
+	if p.PowerAcc > best {
+		best = p.PowerAcc
+	}
+	if p.CounterAcc > best {
+		best = p.CounterAcc
+	}
+	return best
+}
+
+// FusionJamRow is one jamming scenario: the named sensor returns nothing
+// and fusion degrades to the survivors.
+type FusionJamRow struct {
+	Jammed    string
+	Survivors []string
+	FusedAcc  float64
+}
+
+// FusionResult is the multi-modal identification study.
+type FusionResult struct {
+	Sweep []FusionPoint
+	// JamMagnitude is the noise level of the jamming rows (the sweep's
+	// typical-magnitude point).
+	JamMagnitude float64
+	JamRows      []FusionJamRow
+}
+
+// fusionEval is one perturbation draw's per-modality posteriors.
+type fusionEval struct {
+	trace, power, counter []float64
+	label                 int
+}
+
+// fusionClassifiers holds the three trained identifiers of the study.
+type fusionClassifiers struct {
+	cnn      *fingerprint.Classifier
+	powerClf *fingerprint.VectorClassifier
+	countClf *fingerprint.VectorClassifier
+}
+
+// trainFusionClassifiers trains the CNN exactly like Fig14 (noise
+// augmentation included) and one dense classifier per derived channel on
+// the vectorized augmented split.
+func (e *Env) trainFusionClassifiers(train *fingerprint.Dataset) *fusionClassifiers {
+	augmented := &fingerprint.Dataset{
+		Classes: train.Classes,
+		Samples: append([]fingerprint.Sample(nil), train.Samples...),
+	}
+	augmented.AugmentNoise(2, 4, 2, 99, e.Workers)
+	epochs := 60
+	if e.Scale == ScaleFull {
+		epochs = 90
+	}
+	e.logf("fusion: training the trace CNN...")
+	cnn := fingerprint.NewClassifier(64, train.Classes, 3)
+	cnn.Train(augmented, fingerprint.TrainConfig{Epochs: epochs, LR: 0.002, Seed: 4})
+
+	fc := &fusionClassifiers{cnn: cnn}
+	for _, m := range []fingerprint.Modality{fingerprint.ModalityPower, fingerprint.ModalityCounters} {
+		e.logf("fusion: training the %s classifier...", m)
+		vd := fingerprint.VectorizeDataset(augmented, m, 31, e.Workers)
+		vc := fingerprint.NewVectorClassifier(m, vd.Dim, vd.Classes, 37)
+		vc.Workers = e.Workers
+		vc.Obs = e.Obs
+		vc.Train(vd, fingerprint.TrainConfig{Epochs: epochs, LR: 0.002, Seed: 41})
+		if m == fingerprint.ModalityPower {
+			fc.powerClf = vc
+		} else {
+			fc.countClf = vc
+		}
+	}
+	return fc
+}
+
+// fusionPosts measures every sample `draws` times at noise magnitude mag
+// and returns the per-draw posteriors of all three modalities. The
+// schedule perturbation feeds every channel (the sensors are passive taps
+// on one inference); each derived channel additionally carries
+// magnitude-scaled sensor noise. Seeds are pure functions of (tag, sample,
+// draw, magnitude), so the result is identical for any worker count.
+func (e *Env) fusionPosts(fc *fusionClassifiers, tag string, samples []fingerprint.Sample, mag float64, draws int) []fusionEval {
+	return parallel.Map(len(samples)*draws, e.Workers, func(k int) fusionEval {
+		i, d := k/draws, k%draws
+		s := samples[i]
+		tr := s.Trace.Clone()
+		if mag > 0 {
+			tr.PerturbKernels(4, mag,
+				rng.Seed("fusion", tag, "perturb", s.FromModel, fmt.Sprint(i), fmt.Sprint(d), fmt.Sprint(mag)))
+		}
+		pOpt := gpusim.ChannelOptions{
+			Seed:  rng.Seed("fusion", tag, "power", s.FromModel, fmt.Sprint(k), fmt.Sprint(mag)),
+			Noise: fingerprint.DefaultPowerNoiseW + 0.8*mag,
+		}
+		cOpt := gpusim.ChannelOptions{
+			Seed:  rng.Seed("fusion", tag, "counters", s.FromModel, fmt.Sprint(k), fmt.Sprint(mag)),
+			Noise: fingerprint.DefaultCounterNoise + 0.004*mag,
+		}
+		return fusionEval{
+			trace:   fc.cnn.Posterior(tr),
+			power:   fc.powerClf.Posterior(fingerprint.FeaturesOf(fingerprint.ModalityPower, tr, pOpt)),
+			counter: fc.countClf.Posterior(fingerprint.FeaturesOf(fingerprint.ModalityCounters, tr, cOpt)),
+			label:   s.Label,
+		}
+	})
+}
+
+// modalAcc scores one modality's posteriors.
+func modalAcc(evals []fusionEval, pick func(fusionEval) []float64) float64 {
+	if len(evals) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ev := range evals {
+		if fingerprint.ArgMax(pick(ev)) == ev.label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(evals))
+}
+
+// fusedAcc scores the pooled posterior; a true entry in jam drops that
+// modality from fusion (its posterior becomes nil, exactly the attack
+// path's degradation).
+func fusedAcc(evals []fusionEval, weights [3]float64, jam [3]bool) float64 {
+	if len(evals) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ev := range evals {
+		posts := [][]float64{ev.trace, ev.power, ev.counter}
+		for i, j := range jam {
+			if j {
+				posts[i] = nil
+			}
+		}
+		fused := fingerprint.FusePosteriors(posts, weights[:])
+		if fused != nil && fingerprint.ArgMax(fused) == ev.label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(evals))
+}
+
+// Fusion runs the multi-modal identification study: per-modality and
+// fused accuracy over a noise-magnitude sweep (weights calibrated on the
+// train split at the same magnitude — the attacker tunes fusion to the
+// noise level they estimate), plus jamming rows at the typical magnitude.
+func (e *Env) Fusion() *FusionResult {
+	train, test := e.Datasets()
+	fc := e.trainFusionClassifiers(train)
+
+	calib := train.Samples
+	if len(calib) > 48 {
+		calib = calib[:48]
+	}
+	const draws = 4
+	const typMag = 2.0
+	res := &FusionResult{JamMagnitude: typMag}
+	var typEvals []fusionEval
+	var typWeights [3]float64
+	for _, mag := range []float64{0, 1, typMag, 3, 4.5} {
+		cal := e.fusionPosts(fc, "cal", calib, mag, 1)
+		ws := fingerprint.FusionWeights([]float64{
+			modalAcc(cal, func(ev fusionEval) []float64 { return ev.trace }),
+			modalAcc(cal, func(ev fusionEval) []float64 { return ev.power }),
+			modalAcc(cal, func(ev fusionEval) []float64 { return ev.counter }),
+		})
+		weights := [3]float64{ws[0], ws[1], ws[2]}
+		evals := e.fusionPosts(fc, "test", test.Samples, mag, draws)
+		p := FusionPoint{
+			Magnitude:  mag,
+			TraceAcc:   modalAcc(evals, func(ev fusionEval) []float64 { return ev.trace }),
+			PowerAcc:   modalAcc(evals, func(ev fusionEval) []float64 { return ev.power }),
+			CounterAcc: modalAcc(evals, func(ev fusionEval) []float64 { return ev.counter }),
+			FusedAcc:   fusedAcc(evals, weights, [3]bool{}),
+			Weights:    weights,
+		}
+		res.Sweep = append(res.Sweep, p)
+		if mag == typMag {
+			typEvals, typWeights = evals, weights
+		}
+	}
+
+	mods := fingerprint.AllModalities()
+	for i, m := range mods {
+		var jam [3]bool
+		jam[i] = true
+		var survivors []string
+		for j, s := range mods {
+			if !jam[j] {
+				survivors = append(survivors, string(s))
+			}
+		}
+		res.JamRows = append(res.JamRows, FusionJamRow{
+			Jammed:    string(m),
+			Survivors: survivors,
+			FusedAcc:  fusedAcc(typEvals, typWeights, jam),
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r *FusionResult) Render(w io.Writer) {
+	header(w, "Fusion", "multi-modal identification: per-channel and fused accuracy vs noise")
+	fmt.Fprintf(w, "%-8s %-8s %-8s %-10s %-8s %-22s\n",
+		"±µs", "trace", "power", "counters", "fused", "weights (t/p/c)")
+	for _, p := range r.Sweep {
+		fmt.Fprintf(w, "%-8.1f %-8.3f %-8.3f %-10.3f %-8.3f %.2f/%.2f/%.2f\n",
+			p.Magnitude, p.TraceAcc, p.PowerAcc, p.CounterAcc, p.FusedAcc,
+			p.Weights[0], p.Weights[1], p.Weights[2])
+	}
+	fmt.Fprintf(w, "jamming at ±%.1fµs (fusion degrades to the survivors):\n", r.JamMagnitude)
+	for _, row := range r.JamRows {
+		fmt.Fprintf(w, "  %-10s jammed -> %-22s %.3f\n",
+			row.Jammed, strings.Join(row.Survivors, "+"), row.FusedAcc)
+	}
+	fmt.Fprintln(w, "(fused tracks or beats the best single channel; no sensor is a single point of failure)")
+}

@@ -45,6 +45,7 @@ var registry = []struct {
 	{"noise", "bit-read error robustness", func(e *Env, w io.Writer) { e.Noise().Render(w) }},
 	{"reliability", "channel reliability sweep (§9)", func(e *Env, w io.Writer) { e.Reliability().Render(w) }},
 	{"defense", "kernel randomization countermeasure (§8)", func(e *Env, w io.Writer) { e.Defense().Render(w) }},
+	{"fusion", "multi-modal fused identification vs noise", func(e *Env, w io.Writer) { e.Fusion().Render(w) }},
 }
 
 // IDs returns every experiment id in presentation order.

@@ -1,0 +1,271 @@
+package gpusim
+
+import (
+	"strings"
+
+	"decepticon/internal/rng"
+)
+
+// This file derives the two additional level-1 measurement channels from
+// the same kernel schedule the trace channel records:
+//
+//   - a simulated GPU power/thermal trace ("Energon", PAPERS.md): the
+//     roofline work of each kernel maps to board power draw, sampled at a
+//     fixed interval and low-pass filtered into a die temperature;
+//   - an aggregate profiler counter set (InferNet, PAPERS.md): the
+//     census/occupancy statistics a coarse profiler exposes without
+//     per-kernel timestamps.
+//
+// Both are pure functions of (Trace, ChannelOptions): all sensor noise
+// comes from an rng.New(Seed) stream consumed in a fixed serial order, so
+// a derivation is byte-identical for any worker count — the same
+// determinism contract the kernel-trace channel obeys.
+
+// ChannelOptions controls one derived-channel measurement.
+type ChannelOptions struct {
+	// Seed drives the sensor-noise stream; same seed, same measurement.
+	Seed uint64
+	// Noise is the sensor noise magnitude. Units are per channel: watts of
+	// per-sample power-meter noise for PowerTraceOf, relative fraction of
+	// per-counter jitter for CountersOf (0 = clean in both).
+	Noise float64
+}
+
+// Power/thermal model constants. Absolute values are arbitrary (an
+// RTX 3050-class board); the relative structure — gemms pull near TDP,
+// short memory-bound kernels idle the SMs, temperature is a low-pass
+// filter of power — is what the identification exploits.
+const (
+	// PowerSampleIntervalUS is the power meter's fixed sampling period.
+	PowerSampleIntervalUS = 5.0
+	// IdleWatts / TDPWatts bound the board power range.
+	IdleWatts = 18.0
+	TDPWatts  = 170.0
+	// AmbientC is the die temperature at idle.
+	AmbientC = 41.0
+	// thermalResistance converts steady-state watts to °C above ambient;
+	// thermalTauUS is the RC time constant of the die+heatsink.
+	thermalResistance = 0.3
+	thermalTauUS      = 900.0
+)
+
+// PowerSample is one power-meter reading.
+type PowerSample struct {
+	T     float64 // µs since inference start (sample midpoint)
+	Watts float64 // board power draw
+	TempC float64 // die temperature
+}
+
+// PowerTrace is the power/thermal side channel of one inference: the
+// board-power time series an external meter (or an on-board sensor an
+// unprivileged process can poll) records, with the die temperature as its
+// low-pass-filtered shadow.
+type PowerTrace struct {
+	Model    string
+	Interval float64 // µs between samples
+	Samples  []PowerSample
+}
+
+// Duration returns the sampled span in µs.
+func (p *PowerTrace) Duration() float64 {
+	return float64(len(p.Samples)) * p.Interval
+}
+
+// PeakWatts returns the highest sampled draw.
+func (p *PowerTrace) PeakWatts() float64 {
+	var best float64
+	for _, s := range p.Samples {
+		if s.Watts > best {
+			best = s.Watts
+		}
+	}
+	return best
+}
+
+// MeanWatts returns the average sampled draw.
+func (p *PowerTrace) MeanWatts() float64 {
+	if len(p.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range p.Samples {
+		sum += s.Watts
+	}
+	return sum / float64(len(p.Samples))
+}
+
+// kernelUtilization maps a kernel to the fraction of the board's dynamic
+// power range it draws while resident. Like variantFactor it is a
+// deterministic hash of the kernel *name*: different implementations of
+// the same logical op genuinely differ in SM occupancy and memory
+// pressure, which is why a release's kernel selection shows up in the
+// power trace too. Bus transfers barely exercise the SMs.
+func kernelUtilization(name string) float64 {
+	if strings.HasPrefix(name, "memcpy_") {
+		return 0.06
+	}
+	return 0.3 + 0.65*hash01("power-util:"+name)
+}
+
+// PowerTraceOf derives the power/thermal channel from a kernel schedule:
+// per-sample watts accumulate each kernel's utilization weighted by its
+// overlap with the sample window, the meter adds ±opt.Noise watts of
+// seeded noise per sample, and the die temperature follows an RC low-pass
+// filter of the (noisy) power. The derivation reads the schedule only —
+// the victim runs once, every passive sensor taps the same inference.
+func PowerTraceOf(t *Trace, opt ChannelOptions) *PowerTrace {
+	p := &PowerTrace{Model: t.Model, Interval: PowerSampleIntervalUS}
+	dur := t.Duration()
+	n := int(dur/PowerSampleIntervalUS) + 1
+	if n < 1 {
+		n = 1
+	}
+	watts := make([]float64, n)
+	for _, e := range t.Execs {
+		util := kernelUtilization(e.Name)
+		lo := int(e.Start / PowerSampleIntervalUS)
+		hi := int(e.End / PowerSampleIntervalUS)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for k := lo; k <= hi; k++ {
+			winStart := float64(k) * PowerSampleIntervalUS
+			winEnd := winStart + PowerSampleIntervalUS
+			overlap := min64(e.End, winEnd) - max64(e.Start, winStart)
+			if overlap <= 0 {
+				continue
+			}
+			watts[k] += util * (overlap / PowerSampleIntervalUS) * (TDPWatts - IdleWatts)
+		}
+	}
+	r := rng.New(opt.Seed)
+	temp := AmbientC
+	p.Samples = make([]PowerSample, n)
+	for k := range watts {
+		w := IdleWatts + watts[k]
+		if w > TDPWatts {
+			w = TDPWatts
+		}
+		if opt.Noise > 0 {
+			w += (2*r.Float64() - 1) * opt.Noise
+			if w < 0 {
+				w = 0
+			}
+		}
+		// RC thermal filter toward the steady state of the current draw.
+		target := AmbientC + thermalResistance*w
+		temp += (target - temp) * (PowerSampleIntervalUS / thermalTauUS)
+		p.Samples[k] = PowerSample{
+			T:     (float64(k) + 0.5) * PowerSampleIntervalUS,
+			Watts: w,
+			TempC: temp,
+		}
+	}
+	return p
+}
+
+// CounterSet is the aggregate-counter side channel of one inference: the
+// census/occupancy statistics a coarse profiler (InferNet-style) exposes
+// without per-kernel timestamps. All fields are float64 so sensor noise
+// applies uniformly.
+type CounterSet struct {
+	Model string
+
+	Execs         float64 // kernel launch count
+	UniqueKernels float64 // distinct kernel names
+	TotalTimeUS   float64 // summed kernel runtime
+	MeanKernelUS  float64
+	PeakKernelUS  float64
+	GemmTimeUS    float64 // runtime in matrix-multiply kernels
+	MemTimeUS     float64 // runtime in memory-bound kernels
+	MemcpyTimeUS  float64 // runtime in host↔device transfers
+	// ShortKernelFrac is the fraction of launches under 1.5µs (the Meta
+	// short-reduction signature, Fig 7); OccupancyProxy is the
+	// busy-weighted mean SM utilization over the inference.
+	ShortKernelFrac float64
+	OccupancyProxy  float64
+}
+
+// isGemmKernel classifies a kernel name as a matrix-multiply
+// implementation across the simulated frameworks' naming schemes.
+func isGemmKernel(name string) bool {
+	return strings.Contains(name, "gemm") || strings.Contains(name, "gemv") ||
+		strings.Contains(name, "MatVec")
+}
+
+// CountersOf derives the aggregate-counter channel from a kernel
+// schedule. With opt.Noise > 0 every counter is jittered by a seeded
+// relative factor in ±Noise (a profiler's sampling error); the noise
+// stream is consumed in fixed field order, so the derivation stays
+// byte-identical for any worker count.
+func CountersOf(t *Trace, opt ChannelOptions) *CounterSet {
+	c := &CounterSet{Model: t.Model}
+	names := make(map[string]struct{})
+	var utilWeighted float64
+	short := 0
+	for _, e := range t.Execs {
+		d := e.Duration()
+		names[e.Name] = struct{}{}
+		c.TotalTimeUS += d
+		if d > c.PeakKernelUS {
+			c.PeakKernelUS = d
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "memcpy_"):
+			c.MemcpyTimeUS += d
+		case isGemmKernel(e.Name):
+			c.GemmTimeUS += d
+		default:
+			c.MemTimeUS += d
+		}
+		if d < 1.5 {
+			short++
+		}
+		utilWeighted += kernelUtilization(e.Name) * d
+	}
+	c.Execs = float64(len(t.Execs))
+	c.UniqueKernels = float64(len(names))
+	if len(t.Execs) > 0 {
+		c.MeanKernelUS = c.TotalTimeUS / c.Execs
+		c.ShortKernelFrac = float64(short) / c.Execs
+	}
+	if wall := t.Duration(); wall > 0 {
+		c.OccupancyProxy = utilWeighted / wall
+	}
+	if opt.Noise > 0 {
+		r := rng.New(opt.Seed)
+		jitter := func(v *float64) {
+			*v *= 1 + (2*r.Float64()-1)*opt.Noise
+		}
+		// Fixed field order: the noise stream maps to counters
+		// deterministically.
+		jitter(&c.Execs)
+		jitter(&c.UniqueKernels)
+		jitter(&c.TotalTimeUS)
+		jitter(&c.MeanKernelUS)
+		jitter(&c.PeakKernelUS)
+		jitter(&c.GemmTimeUS)
+		jitter(&c.MemTimeUS)
+		jitter(&c.MemcpyTimeUS)
+		jitter(&c.ShortKernelFrac)
+		jitter(&c.OccupancyProxy)
+	}
+	return c
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

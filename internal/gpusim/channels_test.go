@@ -1,0 +1,123 @@
+package gpusim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func channelTrace() *Trace {
+	return SimulateTransformer(bertBase(), nil,
+		Profile{Source: "hf", Framework: PyTorch, Seed: 17}, Options{})
+}
+
+// The derived channels are pure functions of (Trace, ChannelOptions):
+// the same inputs must yield identical measurements, different seeds or
+// noise levels different ones.
+func TestChannelsDeterministic(t *testing.T) {
+	tr := channelTrace()
+	opt := ChannelOptions{Seed: 5, Noise: 2}
+	p1 := PowerTraceOf(tr, opt)
+	p2 := PowerTraceOf(tr, opt)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same options must derive identical power traces")
+	}
+	c1 := CountersOf(tr, opt)
+	c2 := CountersOf(tr, opt)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("same options must derive identical counter sets")
+	}
+	p3 := PowerTraceOf(tr, ChannelOptions{Seed: 6, Noise: 2})
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("a different seed must perturb the noisy power trace")
+	}
+	c3 := CountersOf(tr, ChannelOptions{Seed: 6, Noise: 2})
+	if reflect.DeepEqual(c1, c3) {
+		t.Fatal("a different seed must perturb the noisy counter set")
+	}
+}
+
+// Different releases of the same architecture must look different on the
+// derived channels too — that is what makes them identification channels.
+func TestChannelsSeparateReleases(t *testing.T) {
+	a := SimulateTransformer(bertBase(), nil, Profile{Source: "a", Framework: PyTorch, Seed: 1}, Options{})
+	b := SimulateTransformer(bertBase(), nil, Profile{Source: "b", Framework: PyTorch, Seed: 2}, Options{})
+	pa, pb := PowerTraceOf(a, ChannelOptions{}), PowerTraceOf(b, ChannelOptions{})
+	if pa.MeanWatts() == pb.MeanWatts() && pa.Duration() == pb.Duration() {
+		t.Fatal("two releases produced indistinguishable power traces")
+	}
+	ca, cb := CountersOf(a, ChannelOptions{}), CountersOf(b, ChannelOptions{})
+	if ca.TotalTimeUS == cb.TotalTimeUS && ca.Execs == cb.Execs {
+		t.Fatal("two releases produced indistinguishable counter sets")
+	}
+}
+
+// Physical sanity: clean power stays within [idle-ish, TDP], temperature
+// starts at ambient and rises while staying bounded by the steady state
+// of TDP, and counter aggregates reconcile with the schedule.
+func TestChannelsPhysicalBounds(t *testing.T) {
+	tr := channelTrace()
+	p := PowerTraceOf(tr, ChannelOptions{})
+	if len(p.Samples) == 0 {
+		t.Fatal("empty power trace")
+	}
+	maxTemp := AmbientC + thermalResistance*TDPWatts
+	for _, s := range p.Samples {
+		if s.Watts < 0 || s.Watts > TDPWatts {
+			t.Fatalf("sample watts %v outside [0, %v]", s.Watts, TDPWatts)
+		}
+		if s.TempC < AmbientC-1e-9 || s.TempC > maxTemp {
+			t.Fatalf("sample temp %v outside [%v, %v]", s.TempC, AmbientC, maxTemp)
+		}
+	}
+	if p.PeakWatts() <= IdleWatts {
+		t.Fatalf("peak watts %v never rose above idle %v", p.PeakWatts(), IdleWatts)
+	}
+	if p.Samples[len(p.Samples)-1].TempC <= AmbientC {
+		t.Fatal("die temperature never rose above ambient")
+	}
+
+	c := CountersOf(tr, ChannelOptions{})
+	if int(c.Execs) != len(tr.Execs) {
+		t.Fatalf("counter execs %v, schedule has %d", c.Execs, len(tr.Execs))
+	}
+	sum := c.GemmTimeUS + c.MemTimeUS + c.MemcpyTimeUS
+	if d := sum - c.TotalTimeUS; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("kernel-class times sum to %v, total is %v", sum, c.TotalTimeUS)
+	}
+	if c.OccupancyProxy <= 0 || c.OccupancyProxy > 1 {
+		t.Fatalf("occupancy proxy %v outside (0, 1]", c.OccupancyProxy)
+	}
+}
+
+// Noise perturbs but does not drown: the noisy derivation differs from
+// the clean one, yet the counters stay within the requested relative
+// band.
+func TestChannelNoiseBounded(t *testing.T) {
+	tr := channelTrace()
+	clean := CountersOf(tr, ChannelOptions{})
+	noisy := CountersOf(tr, ChannelOptions{Seed: 9, Noise: 0.05})
+	if reflect.DeepEqual(clean, noisy) {
+		t.Fatal("noise did not perturb the counter set")
+	}
+	rel := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		d := (b - a) / a
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	pairs := [][2]float64{
+		{clean.Execs, noisy.Execs},
+		{clean.TotalTimeUS, noisy.TotalTimeUS},
+		{clean.PeakKernelUS, noisy.PeakKernelUS},
+		{clean.OccupancyProxy, noisy.OccupancyProxy},
+	}
+	for _, p := range pairs {
+		if rel(p[0], p[1]) > 0.05+1e-9 {
+			t.Fatalf("counter moved %v relative, noise bound is 0.05", rel(p[0], p[1]))
+		}
+	}
+}

@@ -330,3 +330,28 @@ func TestKernelRandomizationCountermeasure(t *testing.T) {
 		}
 	}
 }
+
+func TestCloneRoundTrip(t *testing.T) {
+	orig := SimulateTransformer(bertBase(), nil, hfProfile(), Options{})
+	if len(orig.Sections) == 0 {
+		t.Fatal("simulated trace carries no sections; test needs them")
+	}
+	c := orig.Clone()
+	if c.Model != orig.Model || len(c.Execs) != len(orig.Execs) {
+		t.Fatal("clone lost model name or execs")
+	}
+	if len(c.Sections) != len(orig.Sections) {
+		t.Fatalf("clone has %d sections, original %d", len(c.Sections), len(orig.Sections))
+	}
+	for i := range orig.Sections {
+		if c.Sections[i] != orig.Sections[i] {
+			t.Fatalf("section %d diverged: %+v vs %+v", i, c.Sections[i], orig.Sections[i])
+		}
+	}
+	// Deep copy: mutating the clone must not write through to the original.
+	c.Execs[0].Name = "mutated"
+	c.Sections[0].Start = -99
+	if orig.Execs[0].Name == "mutated" || orig.Sections[0].Start == -99 {
+		t.Fatal("clone aliases the original's slices")
+	}
+}

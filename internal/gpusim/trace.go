@@ -109,10 +109,16 @@ func (t *Trace) PeakDuration() float64 {
 	return best
 }
 
-// Clone returns a deep copy of the trace.
+// Clone returns a deep copy of the trace, including the section spans:
+// consumers such as internal/pruning walk Sections of cloned reference
+// traces, so dropping them here would silently erase the stage structure.
 func (t *Trace) Clone() *Trace {
 	c := &Trace{Model: t.Model, Execs: make([]Exec, len(t.Execs))}
 	copy(c.Execs, t.Execs)
+	if t.Sections != nil {
+		c.Sections = make([]SectionSpan, len(t.Sections))
+		copy(c.Sections, t.Sections)
+	}
 	return c
 }
 

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -316,5 +318,32 @@ func TestOrderedSinkUnderParallelForEach(t *testing.T) {
 		if got := serial(w); !reflect.DeepEqual(base, got) {
 			t.Fatalf("workers=%d event order diverged from serial", w)
 		}
+	}
+}
+
+// /debug/vars must reflect the registry of the most recent Handler call:
+// the expvar func is published once per process, so it has to read
+// through the swappable current-registry pointer rather than capture the
+// first registry forever.
+func TestHandlerExpvarTracksLatestRegistry(t *testing.T) {
+	r1 := New()
+	r1.Counter("expvar.first").Add(1)
+	Handler(r1)
+	v := expvar.Get("decepticon")
+	if v == nil {
+		t.Fatal("expvar decepticon not published")
+	}
+	if s := v.String(); !strings.Contains(s, "expvar.first") {
+		t.Fatalf("expvar snapshot missing first registry's counter: %s", s)
+	}
+	r2 := New()
+	r2.Counter("expvar.second").Add(2)
+	Handler(r2)
+	s := v.String()
+	if !strings.Contains(s, "expvar.second") {
+		t.Fatalf("expvar snapshot still serving stale registry: %s", s)
+	}
+	if strings.Contains(s, "expvar.first") {
+		t.Fatalf("expvar snapshot mixes registries: %s", s)
 	}
 }

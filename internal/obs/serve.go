@@ -8,12 +8,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // expvarOnce guards the process-global expvar name: expvar.Publish
 // panics on duplicates, and a CLI may reasonably call Serve after a
-// failed first attempt.
-var expvarOnce sync.Once
+// failed first attempt. The published func reads through expvarReg so
+// /debug/vars always reflects the registry of the *latest* Handler call
+// — a Once closure capturing the first registry would pin it forever.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
 
 // Handler returns the ops surface of a registry as an http.Handler:
 //
@@ -27,8 +33,11 @@ var expvarOnce sync.Once
 // (cmd/decepticond) mount the same routes into their mux, so every
 // process exposes one consistent diagnostics surface.
 func Handler(r *Registry) http.Handler {
+	expvarReg.Store(r)
 	expvarOnce.Do(func() {
-		expvar.Publish("decepticon", expvar.Func(func() any { return r.Snapshot() }))
+		expvar.Publish("decepticon", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

@@ -145,12 +145,43 @@ func (im *Image) WritePNG(w io.Writer) error {
 // launches, and the paper's fingerprint (§5.2) is the kernel execution
 // timeline — bus transfers are a separate leakage channel (§3).
 func StripMemcpy(t *gpusim.Trace) *gpusim.Trace {
-	out := &gpusim.Trace{Model: t.Model, Sections: t.Sections}
-	for _, e := range t.Execs {
+	out := &gpusim.Trace{Model: t.Model}
+	// Section spans are exec-index ranges, so removing execs invalidates
+	// them: each boundary must slide left by the number of memcpys removed
+	// before it (the mirror of sim.go, which shifts spans right when a
+	// memcpy is inserted). removedBefore[i] counts removed execs in
+	// Execs[:i]; it has len+1 entries so End == len(Execs) stays mappable.
+	removedBefore := make([]int, len(t.Execs)+1)
+	for i, e := range t.Execs {
+		removedBefore[i+1] = removedBefore[i]
 		if strings.HasPrefix(e.Name, "memcpy_") {
+			removedBefore[i+1]++
 			continue
 		}
 		out.Execs = append(out.Execs, e)
+	}
+	if t.Sections != nil {
+		out.Sections = make([]gpusim.SectionSpan, len(t.Sections))
+		for i, s := range t.Sections {
+			start, end := s.Start, s.End
+			if start < 0 {
+				start = 0
+			}
+			if start > len(t.Execs) {
+				start = len(t.Execs)
+			}
+			if end < 0 {
+				end = 0
+			}
+			if end > len(t.Execs) {
+				end = len(t.Execs)
+			}
+			out.Sections[i] = gpusim.SectionSpan{
+				Name:  s.Name,
+				Start: start - removedBefore[start],
+				End:   end - removedBefore[end],
+			}
+		}
 	}
 	return out
 }

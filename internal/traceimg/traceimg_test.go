@@ -321,3 +321,44 @@ func TestRenderMatchesTwoPassReference(t *testing.T) {
 		}
 	}
 }
+
+// StripMemcpy must slide the exec-index section spans left by the number
+// of memcpys removed before each boundary, so that each span still names
+// the same kernels — and must not alias the input's Sections slice.
+func TestStripMemcpyReindexesSections(t *testing.T) {
+	tr := trace("base", gpusim.Profile{Source: "hf", Framework: gpusim.PyTorch, Seed: 1}, gpusim.Options{})
+	if len(tr.Sections) == 0 {
+		t.Fatal("simulated trace carries no sections")
+	}
+	// Record what each span actually covers before stripping.
+	want := make([][]gpusim.Exec, len(tr.Sections))
+	for i, s := range tr.Sections {
+		want[i] = append([]gpusim.Exec(nil), tr.Execs[s.Start:s.End]...)
+	}
+	out := StripMemcpy(tr)
+	if len(out.Execs) >= len(tr.Execs) {
+		t.Fatal("no memcpy events were stripped; test needs them")
+	}
+	if len(out.Sections) != len(tr.Sections) {
+		t.Fatalf("stripped trace has %d sections, want %d", len(out.Sections), len(tr.Sections))
+	}
+	for i, s := range out.Sections {
+		if s.Start < 0 || s.End > len(out.Execs) || s.Start > s.End {
+			t.Fatalf("section %d out of range after strip: %+v (execs %d)", i, s, len(out.Execs))
+		}
+		got := out.Execs[s.Start:s.End]
+		if len(got) != len(want[i]) {
+			t.Fatalf("section %d covers %d execs after strip, want %d", i, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j].Name != want[i][j].Name {
+				t.Fatalf("section %d exec %d is %q after strip, want %q", i, j, got[j].Name, want[i][j].Name)
+			}
+		}
+	}
+	// Fresh slice, not an aliased view of the input.
+	out.Sections[0].Start = -42
+	if tr.Sections[0].Start == -42 {
+		t.Fatal("StripMemcpy aliases the input's Sections slice")
+	}
+}
