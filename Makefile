@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke bench-snap bench-gate bench-smoke
+.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke progress-smoke bench-snap bench-gate bench-smoke
 
 all: verify
 
@@ -20,7 +20,7 @@ lint:
 		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
 	fi
 
-test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke bench-smoke
+test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke progress-smoke bench-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -154,6 +154,15 @@ fusion-smoke:
 service-smoke:
 	GO='$(GO)' sh scripts/service-smoke.sh
 
+# End-to-end telemetry check (scripts/progress-smoke.sh): one campaign's
+# event ledger validates under metricscheck -events (monotonic seq, legal
+# transitions, unique terminal) across a SIGTERM kill and resume, the
+# deterministic progress document is byte-identical for 1-worker,
+# kill/resume, and 4-worker runs, and decepticontop renders the live
+# state (campaign row at 100%, tenant budget table).
+progress-smoke:
+	GO='$(GO)' sh scripts/progress-smoke.sh
+
 # Race-detector tier: the packages that gained goroutines, filtered to
 # the concurrency-exercising tests so the 5-20x race overhead stays
 # affordable on small machines. GOMAXPROCS is raised explicitly so the
@@ -163,7 +172,7 @@ race:
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance|ProgressSerialized' ./internal/zoo
 	GOMAXPROCS=4 $(GO) test -race -run 'WorkerCountInvariance' ./internal/fingerprint
 	GOMAXPROCS=4 $(GO) test -race -run 'ParallelPipelineMatchesSerial|ObsReconcilesWithCampaign|RunAllContextCancel' ./internal/core
-	GOMAXPROCS=4 $(GO) test -race -run 'Snapshot|OrderedSink|Serve|Histogram|Tracer|Flight' ./internal/obs
+	GOMAXPROCS=4 $(GO) test -race -run 'Snapshot|OrderedSink|Serve|Histogram|Tracer|Flight|Progress' ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem

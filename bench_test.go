@@ -28,6 +28,7 @@ import (
 	"decepticon/internal/fingerprint"
 	"decepticon/internal/gpusim"
 	"decepticon/internal/ieee754"
+	"decepticon/internal/obs"
 	"decepticon/internal/rng"
 	"decepticon/internal/sidechannel"
 	"decepticon/internal/tensor"
@@ -329,6 +330,66 @@ func BenchmarkExtractWeight(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.ExtractWeight(0.018, read)
 	}
+}
+
+// ---- observability hot paths ----
+
+// The telemetry instruments sit on the attack's innermost loops (every
+// oracle read bumps counters, every tensor boundary credits progress),
+// so their per-call cost must stay in the tens of nanoseconds. benchsnap
+// folds these into BENCH_substrate.json so a locking or allocation
+// regression fails `make bench-gate`.
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	c := obs.New().Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.New().Histogram("bench.hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkObsProgressComplete(b *testing.B) {
+	tr := obs.NewProgress()
+	it := tr.Item("victim")
+	it.SetPlanned(int64(b.N) + 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Complete(int64(i)+1, "tensor")
+	}
+}
+
+func BenchmarkObsProgressSnapshot(b *testing.B) {
+	tr := tenVictimTracker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Snapshot()
+	}
+}
+
+// tenVictimTracker builds a tracker shaped like a mid-flight ten-victim
+// campaign — what the service snapshots on every progress event.
+func tenVictimTracker() *obs.ProgressTracker {
+	tr := obs.NewProgress()
+	tr.SetTotalItems(10)
+	for i := 0; i < 10; i++ {
+		it := tr.Item("victim-" + strconv.Itoa(i))
+		it.SetPlanned(50000)
+		it.Complete(int64(i)*5000, "tensor")
+		it.SetStage("extract")
+	}
+	return tr
 }
 
 func BenchmarkAdversarialPerturb(b *testing.B) {

@@ -42,6 +42,7 @@ import (
 	"decepticon/internal/fsatomic"
 	"decepticon/internal/gpusim"
 	"decepticon/internal/ieee754"
+	"decepticon/internal/obs"
 	"decepticon/internal/rng"
 	"decepticon/internal/sidechannel"
 	"decepticon/internal/stats"
@@ -319,6 +320,31 @@ func substrateSnapshot() *snapshot {
 	measure("extract_weight", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ecfg.ExtractWeight(0.018, read)
+		}
+	})
+
+	// Telemetry instruments ride the innermost attack loops (counters on
+	// every oracle read, progress credits on every tensor boundary), so
+	// their per-call cost is gated alongside the substrate math.
+	ctr := obs.New().Counter("bench.counter")
+	measure("obs_counter_add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr.Add(1)
+		}
+	})
+	hist := obs.New().Histogram("bench.hist")
+	measure("obs_histogram_observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Observe(float64(i % 1000))
+		}
+	})
+	tracker := obs.NewProgress()
+	item := tracker.Item("victim")
+	measure("obs_progress_complete", func(b *testing.B) {
+		item.SetPlanned(int64(b.N) + 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			item.Complete(int64(i)+1, "tensor")
 		}
 	})
 

@@ -8,6 +8,8 @@
 //	campaignload ... -wait c000001            # poll until done/failed (survives daemon restarts)
 //	campaignload ... -summary c000001         # deterministic one-line summary JSON
 //	campaignload ... -stream c000001          # NDJSON results to stdout, order-checked
+//	campaignload ... -progress c000001        # deterministic one-line progress JSON (ETA excluded)
+//	campaignload ... -events c000001          # NDJSON event ledger to stdout, follows live appends
 //
 // Load mode drives many concurrent campaigns through the admission
 // machinery and asserts the service-level invariants:
@@ -203,6 +205,67 @@ func (c *client) wait(id, until string) (status, error) {
 	}
 }
 
+// progressLine fetches /campaigns/{id}/progress and prints one
+// deterministic JSON line: id, state, and the progress document with the
+// wall-clock ETA field dropped — the byte-comparison unit of
+// `make progress-smoke` (identical for any worker count and across
+// kill/resume).
+func (c *client) progressLine(id string, w io.Writer) error {
+	var pr struct {
+		ID       string          `json:"id"`
+		State    string          `json:"state"`
+		Progress json.RawMessage `json:"progress"`
+	}
+	if err := c.getJSON("/campaigns/"+id+"/progress", &pr); err != nil {
+		return err
+	}
+	line, err := json.Marshal(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n", line)
+	return nil
+}
+
+// events copies a campaign's NDJSON event ledger to w, verifying
+// strictly increasing sequence numbers, and returns the number of
+// events. Like /results the stream follows live appends until the
+// campaign stops.
+func (c *client) events(id string, w io.Writer) (int, error) {
+	base, err := c.base()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Get(base + "/campaigns/" + id + "/events")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("events %s: %s", id, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n, lastSeq := 0, int64(0)
+	for sc.Scan() {
+		var line struct {
+			Seq int64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return n, fmt.Errorf("events %s line %d: %w", id, n, err)
+		}
+		if line.Seq <= lastSeq {
+			return n, fmt.Errorf("events %s: seq not increasing: got %d after %d", id, line.Seq, lastSeq)
+		}
+		lastSeq = line.Seq
+		if w != nil {
+			fmt.Fprintf(w, "%s\n", sc.Bytes())
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
 // stream copies a campaign's NDJSON results to w, verifying strict
 // index order, and returns the number of lines.
 func (c *client) stream(id string, w io.Writer) (int, error) {
@@ -256,6 +319,8 @@ func run() error {
 	until := flag.String("until", "done", "what -wait waits for: done (terminal) | stopped (also accepts interrupted)")
 	summaryID := flag.String("summary", "", "print a finished campaign's summary as one deterministic JSON line")
 	streamID := flag.String("stream", "", "stream a campaign's NDJSON results to stdout (order-checked)")
+	progressID := flag.String("progress", "", "print a campaign's progress as one deterministic JSON line (ETA excluded)")
+	eventsID := flag.String("events", "", "stream a campaign's NDJSON event ledger to stdout (seq-checked)")
 	load := flag.Int("load", 0, "drive this many concurrent campaigns through the service and assert the admission invariants")
 	concurrency := flag.Int("concurrency", 32, "concurrent client goroutines in -load")
 	loadTenants := flag.String("tenants", "load", "comma-separated tenants round-robined across -load campaigns")
@@ -331,10 +396,19 @@ func run() error {
 		}
 		log.Printf("streamed %d results from %s", n, *streamID)
 		return nil
+	case *progressID != "":
+		return c.progressLine(*progressID, os.Stdout)
+	case *eventsID != "":
+		n, err := c.events(*eventsID, os.Stdout)
+		if err != nil {
+			return err
+		}
+		log.Printf("streamed %d events from %s", n, *eventsID)
+		return nil
 	case *load > 0:
 		return runLoad(c, *load, *concurrency, strings.Split(*loadTenants, ","), *victimsPer, *queueLimit, *maxHeapMB)
 	}
-	return fmt.Errorf("pick a mode: -submit, -status, -wait, -summary, -stream, or -load (see -h)")
+	return fmt.Errorf("pick a mode: -submit, -status, -wait, -summary, -stream, -progress, -events, or -load (see -h)")
 }
 
 // runLoad floods the service with n campaigns and asserts: every stream

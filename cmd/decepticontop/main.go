@@ -1,0 +1,246 @@
+// Command decepticontop is a terminal ops dashboard for decepticond. It
+// polls the daemon's HTTP surface — /healthz for queue depth, /campaigns
+// for per-campaign progress, /tenants and /metrics.json for budget
+// positions and burn-rate gauges — and redraws a single screen each
+// interval:
+//
+//	decepticontop -addr-file state/decepticond.addr
+//	decepticontop -addr 127.0.0.1:8080 -interval 2s
+//	decepticontop -addr-file state/decepticond.addr -once   # one frame, no ANSI
+//
+// Each campaign row shows its state, a progress bar driven by the
+// deterministic simulated-unit fraction, completed/planned units, the
+// victim tally, and the wall-clock ETA from the service's EWMA rate
+// model. Each tenant row shows spend against budget plus the live
+// burn-rate and time-to-exhaustion gauges. -once prints one frame
+// without cursor control — scriptable, and what `make progress-smoke`
+// greps.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type campaign struct {
+	ID         string    `json:"id"`
+	Tenant     string    `json:"tenant"`
+	State      string    `json:"state"`
+	Victims    int       `json:"victims"`
+	Delivered  int       `json:"delivered"`
+	Spent      int64     `json:"spent"`
+	ETASeconds float64   `json:"eta_seconds"`
+	Progress   *progress `json:"progress"`
+}
+
+type progress struct {
+	Fraction       float64 `json:"fraction"`
+	PlannedUnits   int64   `json:"planned_units"`
+	CompletedUnits int64   `json:"completed_units"`
+	VictimsDone    int     `json:"victims_done"`
+}
+
+type tenant struct {
+	Name      string `json:"name"`
+	Budget    int64  `json:"budget"`
+	Spent     int64  `json:"spent"`
+	Campaigns int    `json:"campaigns"`
+}
+
+type health struct {
+	Status  string `json:"status"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}
+
+// frame is one complete poll of the daemon's surfaces.
+type frame struct {
+	health    health
+	campaigns []campaign
+	tenants   []tenant
+	gauges    map[string]float64
+}
+
+type poller struct {
+	addr     string
+	addrFile string
+	hc       *http.Client
+}
+
+func (p *poller) base() (string, error) {
+	if p.addrFile != "" {
+		data, err := os.ReadFile(p.addrFile)
+		if err != nil {
+			return "", err
+		}
+		p.addr = strings.TrimSpace(string(data))
+	}
+	if p.addr == "" {
+		return "", fmt.Errorf("no -addr or -addr-file")
+	}
+	return "http://" + p.addr, nil
+}
+
+func (p *poller) getJSON(path string, v any) error {
+	base, err := p.base()
+	if err != nil {
+		return err
+	}
+	resp, err := p.hc.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (p *poller) poll() (frame, error) {
+	var fr frame
+	if err := p.getJSON("/healthz", &fr.health); err != nil {
+		return fr, err
+	}
+	if err := p.getJSON("/campaigns", &fr.campaigns); err != nil {
+		return fr, err
+	}
+	if err := p.getJSON("/tenants", &fr.tenants); err != nil {
+		return fr, err
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := p.getJSON("/metrics.json", &snap); err != nil {
+		return fr, err
+	}
+	fr.gauges = snap.Gauges
+	return fr, nil
+}
+
+// bar renders a fixed-width progress bar for a fraction in [0,1].
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}
+
+// eta formats a wall-clock seconds estimate; "-" when unknown (campaign
+// not running, or no rate observed yet).
+func eta(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	d := time.Duration(s * float64(time.Second)).Round(time.Second)
+	return d.String()
+}
+
+// gaugeName mirrors the service's tenant metric-name sanitization so the
+// dashboard can look up burn gauges by tenant.
+func gaugeName(tenant, suffix string) string {
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		}
+		return '_'
+	}, tenant)
+	return "service.tenant." + name + "." + suffix
+}
+
+func render(w io.Writer, fr frame) {
+	fmt.Fprintf(w, "decepticond %s  queued=%d running=%d  %s\n\n",
+		fr.health.Status, fr.health.Queued, fr.health.Running,
+		time.Now().Format("15:04:05"))
+
+	fmt.Fprintf(w, "%-9s %-8s %-11s %-22s %7s %13s %9s %8s\n",
+		"CAMPAIGN", "TENANT", "STATE", "PROGRESS", "FRAC", "UNITS", "VICTIMS", "ETA")
+	for _, c := range fr.campaigns {
+		frac, units, victims := 0.0, "-", fmt.Sprintf("%d/%d", c.Delivered, c.Victims)
+		if c.Progress != nil {
+			frac = c.Progress.Fraction
+			units = fmt.Sprintf("%d/%d", c.Progress.CompletedUnits, c.Progress.PlannedUnits)
+			victims = fmt.Sprintf("%d/%d", c.Progress.VictimsDone, c.Victims)
+		}
+		etaStr := "-"
+		if c.State == "running" {
+			etaStr = eta(c.ETASeconds)
+		}
+		fmt.Fprintf(w, "%-9s %-8s %-11s %s %6.1f%% %13s %9s %8s\n",
+			c.ID, c.Tenant, c.State, bar(frac, 20), frac*100, units, victims, etaStr)
+	}
+	if len(fr.campaigns) == 0 {
+		fmt.Fprintln(w, "(no campaigns)")
+	}
+
+	fmt.Fprintf(w, "\n%-10s %12s %12s %10s %12s %14s\n",
+		"TENANT", "SPENT", "BUDGET", "CAMPAIGNS", "BURN/S", "TTL")
+	sort.Slice(fr.tenants, func(i, j int) bool { return fr.tenants[i].Name < fr.tenants[j].Name })
+	for _, t := range fr.tenants {
+		budget := "unlimited"
+		if t.Budget > 0 {
+			budget = fmt.Sprintf("%d", t.Budget)
+		}
+		burn := fr.gauges[gaugeName(t.Name, "burn_rate")]
+		ttl := "-"
+		if v, ok := fr.gauges[gaugeName(t.Name, "ttl_exhaustion_s")]; ok && v >= 0 {
+			ttl = eta(v)
+		}
+		fmt.Fprintf(w, "%-10s %12d %12s %10d %12.1f %14s\n",
+			t.Name, t.Spent, budget, t.Campaigns, burn, ttl)
+	}
+	if len(fr.tenants) == 0 {
+		fmt.Fprintln(w, "(no tenants)")
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("decepticontop: ")
+	addr := flag.String("addr", "", "decepticond address (host:port)")
+	addrFile := flag.String("addr-file", "", "file holding the daemon address (written by decepticond)")
+	interval := flag.Duration("interval", time.Second, "poll and redraw interval")
+	once := flag.Bool("once", false, "print a single frame without cursor control and exit")
+	flag.Parse()
+
+	p := &poller{addr: *addr, addrFile: *addrFile, hc: &http.Client{Timeout: 10 * time.Second}}
+	if *once {
+		fr, err := p.poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(os.Stdout, fr)
+		return
+	}
+	for {
+		fr, err := p.poll()
+		if err != nil {
+			// The daemon may be restarting; keep the last frame and retry.
+			fmt.Fprintf(os.Stdout, "\x1b[2J\x1b[H(daemon unreachable: %v)\n", err)
+		} else {
+			// Clear and home, then draw the frame in one write so the
+			// terminal never shows a half-painted screen.
+			var b strings.Builder
+			b.WriteString("\x1b[2J\x1b[H")
+			render(&b, fr)
+			io.WriteString(os.Stdout, b.String())
+		}
+		time.Sleep(*interval)
+	}
+}

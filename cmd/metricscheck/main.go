@@ -21,11 +21,17 @@
 // automatic crash dump): it must parse, hold at least one event, and
 // carry strictly increasing sequence numbers.
 //
+// -events validates a campaign event ledger (a campaign directory's
+// events.ndjson, or the /campaigns/{id}/events stream saved to a file):
+// strictly monotonic sequence numbers, legal lifecycle transitions only,
+// terminal events unique, per-victim unit counters never regressing.
+//
 // Usage:
 //
 //	metricscheck run.json run.prom
 //	metricscheck -equal-counters resumed.json uninterrupted.json
 //	metricscheck -trace trace.json -flight flight.json run.json
+//	metricscheck -events state/campaigns/c000001/events.ndjson
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"strings"
 
 	"decepticon/internal/obs"
+	"decepticon/internal/service"
 )
 
 func main() {
@@ -48,12 +55,13 @@ func main() {
 	nonzero := flag.String("nonzero", "", "comma-separated counter names every snapshot must carry with a positive value")
 	tracePath := flag.String("trace", "", "validate this Chrome trace_event JSON file")
 	flightPath := flag.String("flight", "", "validate this flight-recorder dump file")
+	eventsPath := flag.String("events", "", "validate this campaign event ledger (events.ndjson)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-nonzero counter,...] [-trace file] [-flight file] [snapshot-file...]")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-nonzero counter,...] [-trace file] [-flight file] [-events file] [snapshot-file...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 && *tracePath == "" && *flightPath == "" {
+	if flag.NArg() == 0 && *tracePath == "" && *flightPath == "" && *eventsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,6 +70,9 @@ func main() {
 	}
 	if *flightPath != "" {
 		checkFlight(*flightPath)
+	}
+	if *eventsPath != "" {
+		checkEvents(*eventsPath)
 	}
 	var ref obs.Snapshot
 	var refPath string
@@ -247,6 +258,30 @@ func checkFlight(path string) {
 	}
 	log.Printf("%s: ok (run %s, %d events, %d dropped, reason %q)",
 		path, d.RunID, len(d.Events), d.Dropped, d.Reason)
+}
+
+// checkEvents validates a campaign event ledger against the service's
+// lifecycle state machine (service.ValidateLedger): monotonic seq, legal
+// transitions, unique terminals, non-regressing unit counters.
+func checkEvents(path string) {
+	events, err := service.ReadLedgerFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := service.ValidateLedger(events); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	tensors, terminal := 0, ""
+	for _, ev := range events {
+		if ev.Event == service.EventTensorComplete {
+			tensors++
+		}
+		if ev.Event == service.EventDone || ev.Event == service.EventFailed {
+			terminal = ev.Event
+		}
+	}
+	log.Printf("%s: ok (%d events, %d tensor boundaries, terminal %q)",
+		path, len(events), tensors, terminal)
 }
 
 // counterDiffs lists the counters present or valued differently between

@@ -590,6 +590,15 @@ type RunOptions struct {
 	// dump instead lands next to the checkpoint as <victim>.flight.json,
 	// so each victim's post-mortem is its own file.
 	FlightPath string
+	// Progress, when set, receives live per-victim progress: each victim
+	// registers an item keyed by its name, the pipeline annotates the
+	// item's stage as it advances, and extraction credits completed
+	// simulated units at every tensor boundary. The sim-unit side is
+	// deterministic and worker-invariant (the planned total is a pure
+	// function of config and baseline, completions land at deterministic
+	// tensor boundaries); only the tracker's EWMA rate and ETA read wall
+	// time. nil runs un-tracked — every hook is nil-safe.
+	Progress *obs.ProgressTracker
 
 	// traceTID is the campaign-lane thread id this victim's trace track
 	// uses; RunAll assigns input-index+1 so lanes are stable across
@@ -692,6 +701,7 @@ func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunO
 	attackSpan := tk.Begin("attack", obs.A("victim", victim.Name))
 	defer attackSpan.End()
 	vq := a.Obs.Counter("core.victim_queries")
+	prog := opt.Progress.Item(victim.Name)
 	r := &attackRun{
 		a:      a,
 		opt:    opt,
@@ -700,6 +710,7 @@ func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunO
 		log:    log,
 		tk:     tk,
 		vq:     vq,
+		prog:   prog,
 	}
 	// Every black-box interaction with the victim — query-output probes,
 	// the extraction stop condition, adversarial transfer tests and
@@ -736,6 +747,25 @@ func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunO
 	}
 	if err := eng.Run(&pipeline.State{Ctx: ctx, Obs: a.Obs, Track: tk, Clock: clock}); err != nil {
 		return nil, err
+	}
+	// Terminal progress state. Every non-interrupted outcome is finished
+	// work for this victim — a skipped or failed extraction still ends the
+	// victim's share of the campaign, so the item latches done and the
+	// campaign fraction can reach exactly 1.0. An interrupted extraction
+	// stays open: its checkpoint holds the completed units and a Resume
+	// run ratchets onward from them.
+	switch {
+	case rep.ExtractInterrupted:
+		prog.SetStage("interrupted")
+	case rep.ExtractError != "":
+		prog.SetStage("failed")
+		prog.MarkDone()
+	case rep.ExtractSkipped != "":
+		prog.SetStage("skipped")
+		prog.MarkDone()
+	default:
+		prog.SetStage("done")
+		prog.MarkDone()
 	}
 	return rep, nil
 }

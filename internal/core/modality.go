@@ -146,6 +146,7 @@ type multiMeasure struct {
 
 func (m *multiMeasure) MeasureTrace(s *pipeline.State) error {
 	r := m.r
+	r.prog.SetStage("measure")
 	r.identifySpan = r.a.Obs.StartSpan("core.phase.identify_seconds")
 	r.identifyStart = s.Clock.Now()
 	r.identifyTrace = r.tk.Begin("identify")
@@ -204,6 +205,7 @@ type fusedIdentify struct {
 
 func (f *fusedIdentify) Identify(s *pipeline.State) error {
 	r := f.r
+	r.prog.SetStage("identify")
 	posts := make([][]float64, len(r.live))
 	weights := make([]float64, len(r.live))
 	for i, sensor := range r.live {

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"decepticon/internal/obs"
+	"decepticon/internal/zoo"
+)
+
+// campaignProgress runs a small campaign with a tracker attached and
+// returns the deterministic side of the final snapshot (rate/ETA are
+// wall-clock and zeroed out).
+func campaignProgress(t *testing.T, victims []*zoo.FineTuned, workers int) obs.ProgressValue {
+	t.Helper()
+	atk, _ := getAttack(t)
+	tr := obs.NewProgress()
+	tr.SetTotalItems(len(victims))
+	for _, v := range victims { // input order fixes the exported breakdown
+		tr.Item(v.Name)
+	}
+	if _, err := atk.RunAll(victims, RunOptions{MeasureSeed: 5, Workers: workers, Progress: tr}); err != nil {
+		t.Fatal(err)
+	}
+	pv := tr.Snapshot()
+	pv.RatePerSec, pv.ETASeconds = 0, 0
+	return pv
+}
+
+// TestCampaignProgressWorkerInvariant pins the tentpole contract at the
+// campaign layer: the sim-unit snapshot after a full campaign is
+// byte-identical for any worker count, every victim ends done, and the
+// overall fraction is exactly 1.0.
+func TestCampaignProgressWorkerInvariant(t *testing.T) {
+	_, z := getAttack(t)
+	victims := z.FineTuned[:3]
+	ref := campaignProgress(t, victims, 1)
+	if ref.Fraction != 1.0 {
+		t.Fatalf("final fraction = %g, want exactly 1.0", ref.Fraction)
+	}
+	if ref.ItemsDone != len(victims) || ref.ItemsTotal != len(victims) {
+		t.Fatalf("items done/total = %d/%d, want %d/%d",
+			ref.ItemsDone, ref.ItemsTotal, len(victims), len(victims))
+	}
+	if ref.PlannedUnits == 0 || ref.CompletedUnits != ref.PlannedUnits {
+		t.Fatalf("final units = %d/%d, want equal and nonzero",
+			ref.CompletedUnits, ref.PlannedUnits)
+	}
+	for i, it := range ref.Items {
+		if it.Name != victims[i].Name {
+			t.Fatalf("item %d = %q, want input order %q", i, it.Name, victims[i].Name)
+		}
+		if !it.Done || it.Fraction != 1.0 {
+			t.Fatalf("item %q = %+v, want done at fraction 1", it.Name, it)
+		}
+	}
+	refJSON, _ := json.Marshal(ref)
+	got := campaignProgress(t, victims, 4)
+	gotJSON, _ := json.Marshal(got)
+	if string(refJSON) != string(gotJSON) {
+		t.Fatalf("sim-unit snapshot differs across worker counts:\n1w: %s\n4w: %s", refJSON, gotJSON)
+	}
+}
+
+// TestRunProgressStageSequence checks the stage annotations a single run
+// walks through: the pipeline order of Fig 1, ending on the terminal
+// "done" latch.
+func TestRunProgressStageSequence(t *testing.T) {
+	atk, z := getAttack(t)
+	victim := victimWithUniqueProfile(z)
+	if victim == nil {
+		t.Skip("no unique-profile victim in reduced zoo")
+	}
+	tr := obs.NewProgress()
+	tr.SetTotalItems(1)
+	var stages []string
+	tr.OnEvent(func(ev obs.ProgressEvent) {
+		if ev.Kind == obs.ProgressStage {
+			stages = append(stages, ev.Stage)
+		}
+	})
+	if _, err := atk.Run(victim, RunOptions{MeasureSeed: 1, Progress: tr}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"measure", "identify", "disambiguate", "gate", "extract", "evaluate", "done"}
+	if len(stages) != len(want) {
+		t.Fatalf("stage sequence = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stage %d = %q, want %q (full: %v)", i, stages[i], want[i], stages)
+		}
+	}
+	if pv := tr.Snapshot(); pv.Fraction != 1.0 {
+		t.Fatalf("single-run final fraction = %g, want exactly 1.0", pv.Fraction)
+	}
+}

@@ -34,6 +34,10 @@ type attackRun struct {
 	log    *slog.Logger
 	tk     *obs.Track
 	vq     *obs.Counter
+	// prog is this victim's live-progress item (nil-safe no-op when the
+	// run is un-tracked): stages annotate it, extraction credits sim
+	// units into it, RunContext latches its terminal state.
+	prog *obs.ItemProgress
 
 	// countedPredict is the attacker's only black-box door to the victim:
 	// extraction stop-condition probes, adversarial transfer tests, and
@@ -63,6 +67,7 @@ type attackRun struct {
 // stages) and advances both the trace lane and the pipeline clock by the
 // simulated kernel timeline.
 func (r *attackRun) MeasureTrace(s *pipeline.State) error {
+	r.prog.SetStage("measure")
 	r.identifySpan = r.a.Obs.StartSpan("core.phase.identify_seconds")
 	r.identifyStart = s.Clock.Now()
 	r.identifyTrace = r.tk.Begin("identify")
@@ -78,6 +83,7 @@ func (r *attackRun) MeasureTrace(s *pipeline.State) error {
 // CNN. A candidate the zoo does not know is a real error (the classifier
 // and the candidate pool are out of sync), not a per-victim degradation.
 func (r *attackRun) Identify(s *pipeline.State) error {
+	r.prog.SetStage("identify")
 	top := r.a.Classifier.PredictTopK(r.trace, 3)
 	r.identified = top[0]
 	if r.a.Zoo.PretrainedByName(r.identified) == nil {
@@ -92,6 +98,7 @@ func (r *attackRun) Identify(s *pipeline.State) error {
 // probes, cross-checks the identified architecture against the victim's
 // bus-probe allocation map, and closes the identify phase.
 func (r *attackRun) Disambiguate(s *pipeline.State) error {
+	r.prog.SetStage("disambiguate")
 	cand := r.a.Zoo.PretrainedByName(r.identified)
 	ambiguous := r.a.Zoo.AmbiguousWith(cand)
 	if len(ambiguous) > 1 {
@@ -139,6 +146,7 @@ func (r *attackRun) Disambiguate(s *pipeline.State) error {
 // not even address the right tensors. A clean Stop: the campaign
 // continues, the report records why extraction was never attempted.
 func (r *attackRun) Gate(s *pipeline.State) error {
+	r.prog.SetStage("gate")
 	if r.pre.ArchName == r.victim.Pretrained.ArchName {
 		return nil
 	}
@@ -160,6 +168,7 @@ func (r *attackRun) Gate(s *pipeline.State) error {
 // both end the run cleanly with the cause on the report; only
 // infrastructure errors (an unwritable checkpoint directory) abort.
 func (r *attackRun) Extract(s *pipeline.State) error {
+	r.prog.SetStage("extract")
 	extractSpan := r.a.Obs.StartSpan("core.phase.extract_seconds")
 	extractTrace := r.tk.Begin("extract")
 	oracle := sidechannel.NewOracle(r.victim.Model)
@@ -184,6 +193,7 @@ func (r *attackRun) Extract(s *pipeline.State) error {
 		Resume:     r.opt.Resume,
 		ReadBudget: r.opt.ReadBudget,
 		Trace:      r.tk,
+		Progress:   r.prog,
 	}
 	if r.opt.CheckpointDir != "" {
 		if err := os.MkdirAll(r.opt.CheckpointDir, 0o755); err != nil {
@@ -240,6 +250,7 @@ func (r *attackRun) Extract(s *pipeline.State) error {
 
 // Evaluate scores the clone against the victim on the held-out dev set.
 func (r *attackRun) Evaluate(s *pipeline.State) error {
+	r.prog.SetStage("evaluate")
 	evalSpan := r.a.Obs.StartSpan("core.phase.evaluate_seconds")
 	evalTrace := r.tk.Begin("evaluate")
 	vp := r.victim.Model.Predictions(r.victim.Dev)
@@ -263,6 +274,7 @@ func (r *attackRun) Evaluate(s *pipeline.State) error {
 // Adversarial is the optional Fig 18 stage: attack the victim through
 // the clone and through distillation substitutes.
 func (r *attackRun) Adversarial(s *pipeline.State) error {
+	r.prog.SetStage("adversarial")
 	advSpan := r.a.Obs.StartSpan("core.phase.adversarial_seconds")
 	advTrace := r.tk.Begin("adversarial", obs.A("substitutes", r.opt.NumSubstitutes))
 	flips := r.opt.FlipsPerInput

@@ -525,6 +525,14 @@ type Extractor struct {
 	// hammer time went. Deterministic for any worker count (the clock
 	// only moves by simulated units).
 	Trace *obs.Track
+	// Progress, when set, is this victim's live-telemetry handle: Run
+	// declares the planned simulated units (the plan's logical bit set)
+	// up front, credits each tensor's units at its boundary, and marks
+	// the item done on every successful exit. All values derive from the
+	// deterministic plan and the checkpointed completion order, so a
+	// resumed run ratchets through exactly the values an uninterrupted
+	// run reports (nil-safe; see obs.ProgressTracker).
+	Progress *obs.ItemProgress
 
 	// Instrument handles resolved once per Run (nil-safe no-ops). The
 	// histograms are fed live reads, so unlike the counters published
@@ -744,6 +752,36 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 		cloneParams[p.Name] = p.Value.Data
 	}
 
+	// Planned simulated units: the logical bit set the schedule commits
+	// to — 32 bits per head weight, Algorithm 1's candidate set for the
+	// selective tensors (planTensorUnits; identical on the scheduled and
+	// index-ordered paths). A pure function of (Config, Pre, numLabels),
+	// declared before any metered work so fractions are monotone from
+	// the first tensor and recomputed identically on resume.
+	preParams := indexParams(e.Pre)
+	unitsOf := make(map[string]int64)
+	var plannedUnits int64
+	for _, p := range clone.Params() {
+		var u int64
+		if p.IsHead {
+			u = 32 * int64(len(p.Value.Data))
+		} else {
+			u = planTensorUnits(cfg, preParams[p.Name])
+		}
+		unitsOf[p.Name] = u
+		plannedUnits += u
+	}
+	e.Progress.SetPlanned(plannedUnits)
+	var unitsDone int64
+	// tensorDone credits a finished tensor's planned units. Cumulative
+	// absolute values (never deltas): a resumed run recomputes the same
+	// running sums from its restored doneOrder, so progress ratchets
+	// through an identical sequence instead of double counting.
+	tensorDone := func(name string) {
+		unitsDone += unitsOf[name]
+		e.Progress.Complete(unitsDone, name)
+	}
+
 	// Checkpoint restore: completed tensors land in the clone, the
 	// accounting in stats, and the channel (meters, clock, noise stream)
 	// rewinds to exactly where the interrupted run stood.
@@ -770,6 +808,10 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 			// restoring it keeps the resumed read sequence byte-identical.
 			e.sched.state = ck.Sched
 		}
+		for _, name := range doneOrder {
+			unitsDone += unitsOf[name]
+		}
+		e.Progress.Complete(unitsDone, "restored")
 	}
 	stats.EffectiveReadRepeats = cfg.EffectiveReadRepeats()
 
@@ -851,6 +893,10 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 	// and the registry matches an uninterrupted run byte-for-byte. The
 	// oracle mirrors the physical side itself (restored via RestoreState).
 	publish := func() {
+		// Every successful exit (completed checkpoint, pre-loop stop,
+		// schedule exhausted or early-stopped) latches progress at
+		// exactly 1.0 — elided and early-stopped work is finished work.
+		e.Progress.MarkDone()
 		e.Obs.Counter("extract.weights_selective").Add(int64(stats.WeightsTotal))
 		e.Obs.Counter("extract.bits_logical").Add(stats.BitsChecked)
 		e.Obs.Counter("extract.head_bits_logical").Add(stats.HeadBitsRead)
@@ -905,6 +951,7 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 		}
 		done[p.Name] = true
 		doneOrder = append(doneOrder, p.Name)
+		tensorDone(p.Name)
 		if err := saveCk(false); err != nil {
 			return nil, nil, err
 		}
@@ -913,7 +960,6 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 		}
 	}
 
-	preParams := indexParams(e.Pre)
 	// With the head recovered, the pre-trained backbone alone may already
 	// reproduce the victim (fine-tuning barely moves it); checking the stop
 	// condition before any layer extraction costs only queries. A resumed
@@ -965,6 +1011,7 @@ func (e *Extractor) RunContext(ctx context.Context, numLabels int, validation []
 			}
 			done[p.Name] = true
 			doneOrder = append(doneOrder, p.Name)
+			tensorDone(p.Name)
 			if err := saveCk(false); err != nil {
 				layerSpan.End()
 				return nil, nil, err

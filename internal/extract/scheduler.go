@@ -292,3 +292,36 @@ func planTensor(cfg Config, base []float32) []bitTask {
 	})
 	return tasks
 }
+
+// planTensorUnits counts the tensor's candidate bit set — exactly
+// len(planTensor(cfg, base)) — without building or sorting the plan.
+// The candidate selection is shared by the scheduled and index-ordered
+// paths (the scheduler only reorders Algorithm 1's bit set), so this is
+// the planned simulated-unit total a ProgressTracker commits to for a
+// selective tensor on either path: a pure function of (Config, base),
+// worker-invariant and stable across checkpoint/resume.
+func planTensorUnits(cfg Config, base []float32) int64 {
+	var units int64
+	for _, b := range base {
+		if !isFinite(b) {
+			continue
+		}
+		ab := b
+		if ab < 0 {
+			ab = -ab
+		}
+		if float64(ab) < cfg.SkipThreshold {
+			continue
+		}
+		dist := cfg.gap(b)
+		n := 0
+		for k := 1; k <= ieee754.FractionBits && n < cfg.MaxBitsPerWeight; k++ {
+			if ieee754.FractionBitValue(ab, k) > dist {
+				continue
+			}
+			n++
+		}
+		units += int64(n)
+	}
+	return units
+}

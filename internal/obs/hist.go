@@ -76,6 +76,11 @@ func (h *Histogram) Observe(v float64) {
 	} else {
 		h.buckets[i].Add(1)
 	}
+	if math.IsNaN(v) {
+		// Bucket 0 absorbed the count above; adding NaN into the sum
+		// would permanently poison Sum/Mean and the Prometheus _sum line.
+		return
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)

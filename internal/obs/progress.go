@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProgressTracker tracks planned vs. completed *simulated units* — the
+// bit reads and hammer rounds an extraction plan commits to before it
+// runs — across a set of named items (one per victim). The sim-unit
+// side follows the registry's counter contract: values derive only from
+// the deterministic plan and the deterministic completion order within
+// each item, so they are byte-identical for any worker count and across
+// checkpoint/resume. The wall-clock side (an EWMA completion rate and
+// the ETA derived from it) is explicitly excluded from that guarantee,
+// exactly like Timer.
+//
+// Like every obs instrument the tracker is nil-safe: a nil
+// *ProgressTracker hands out nil *ItemProgress handles, and every
+// method on both no-ops, so instrumented code never branches.
+//
+// All item updates are monotone ratchets. Completed never decreases
+// (a resumed run recomputes the same cumulative value from its
+// checkpoint and ratchets back up through it), planned only grows, and
+// Done latches — which is what makes the exported fraction monotone by
+// construction.
+type ProgressTracker struct {
+	mu    sync.Mutex
+	items map[string]*ItemProgress
+	order []string
+	total int // expected item count; len(items) may trail it
+
+	onEvent func(ProgressEvent)
+
+	// EWMA fraction-per-second rate, advanced at Snapshot time.
+	now      func() time.Time
+	rateSeen bool
+	lastAt   time.Time
+	lastFrac float64
+	rate     float64
+}
+
+// ewmaTau is the time constant of the completion-rate EWMA: a ~30s
+// horizon smooths per-tensor burstiness without going numb to real
+// slowdowns.
+const ewmaTau = 30 * time.Second
+
+// ProgressEvent describes one item update, delivered to the OnEvent
+// callback outside the tracker's lock (callbacks may call back into the
+// tracker or take their own locks freely).
+type ProgressEvent struct {
+	Item string
+	Kind string // "planned" | "units" | "stage" | "done"
+	// Detail carries the boundary that fired a "units" event — the
+	// tensor name, or "restored" when a resume re-credits checkpointed
+	// work in one jump.
+	Detail    string
+	Stage     string
+	Planned   int64
+	Completed int64
+	Done      bool
+}
+
+// Event kinds fired by ItemProgress updates.
+const (
+	ProgressPlanned = "planned"
+	ProgressUnits   = "units"
+	ProgressStage   = "stage"
+	ProgressDone    = "done"
+)
+
+// ItemProgress is one item's handle into its tracker. Methods no-op on
+// a nil receiver.
+type ItemProgress struct {
+	t    *ProgressTracker
+	name string
+
+	// guarded by t.mu
+	planned   int64
+	completed int64
+	stage     string
+	done      bool
+}
+
+// ItemValue is one item's exported state. Every field except nothing is
+// deterministic; there is no wall-clock state per item.
+type ItemValue struct {
+	Name      string  `json:"name"`
+	Stage     string  `json:"stage,omitempty"`
+	Planned   int64   `json:"planned"`
+	Completed int64   `json:"completed"`
+	Done      bool    `json:"done"`
+	Fraction  float64 `json:"fraction"`
+}
+
+// ProgressValue is a tracker's exported state. Fraction, the unit
+// totals, and Items are deterministic; RatePerSec and ETASeconds are
+// wall-clock estimates and excluded from determinism checks.
+type ProgressValue struct {
+	Fraction       float64     `json:"fraction"`
+	PlannedUnits   int64       `json:"planned_units"`
+	CompletedUnits int64       `json:"completed_units"`
+	ItemsDone      int         `json:"items_done"`
+	ItemsTotal     int         `json:"items_total"`
+	Items          []ItemValue `json:"items,omitempty"`
+
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+}
+
+// NewProgress returns an empty tracker.
+func NewProgress() *ProgressTracker {
+	return &ProgressTracker{items: map[string]*ItemProgress{}, now: time.Now}
+}
+
+// SetNow replaces the tracker's clock — test hook for the EWMA/ETA
+// math. No-op on nil.
+func (t *ProgressTracker) SetNow(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// OnEvent installs a callback fired after every item update, outside
+// the tracker's lock. Install before handing out items; the last
+// callback installed wins. No-op on nil.
+func (t *ProgressTracker) OnEvent(fn func(ProgressEvent)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onEvent = fn
+	t.mu.Unlock()
+}
+
+// SetTotalItems fixes the expected item count. The overall fraction
+// divides by max(total, registered items), so declaring the full victim
+// set up front keeps the fraction monotone while items register lazily.
+// No-op on nil; ratchets (never shrinks).
+func (t *ProgressTracker) SetTotalItems(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n > t.total {
+		t.total = n
+	}
+	t.mu.Unlock()
+}
+
+// Item returns the named item's handle, creating it on first use (the
+// registry's create-on-first-use idiom). Items report in creation
+// order; pre-registering every victim in input order makes the exported
+// breakdown worker-invariant. Returns nil on a nil tracker.
+func (t *ProgressTracker) Item(name string) *ItemProgress {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	it := t.items[name]
+	if it == nil {
+		it = &ItemProgress{t: t, name: name}
+		t.items[name] = it
+		t.order = append(t.order, name)
+	}
+	t.mu.Unlock()
+	return it
+}
+
+// fractionLocked computes the overall fraction: the mean of item
+// fractions over a fixed denominator (the declared total), so it can
+// only move up as items progress and reaches exactly 1.0 when every
+// item is done — including zero-planned items, which Done snaps to 1.
+func (t *ProgressTracker) fractionLocked() float64 {
+	den := t.total
+	if len(t.items) > den {
+		den = len(t.items)
+	}
+	if den == 0 {
+		return 0
+	}
+	var sum float64
+	for _, name := range t.order {
+		sum += t.items[name].fractionLocked()
+	}
+	f := sum / float64(den)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+func (it *ItemProgress) fractionLocked() float64 {
+	switch {
+	case it.done:
+		return 1
+	case it.planned > 0:
+		f := float64(it.completed) / float64(it.planned)
+		if f > 1 {
+			f = 1
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// Snapshot exports the tracker's current state and advances the EWMA
+// rate estimate. The sim-unit fields are deterministic; RatePerSec and
+// ETASeconds depend on wall time. Safe (and empty) on nil.
+func (t *ProgressTracker) Snapshot() ProgressValue {
+	var pv ProgressValue
+	if t == nil {
+		return pv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pv.ItemsTotal = t.total
+	if len(t.items) > pv.ItemsTotal {
+		pv.ItemsTotal = len(t.items)
+	}
+	for _, name := range t.order {
+		it := t.items[name]
+		pv.PlannedUnits += it.planned
+		pv.CompletedUnits += it.completed
+		if it.done {
+			pv.ItemsDone++
+		}
+		pv.Items = append(pv.Items, ItemValue{
+			Name: it.name, Stage: it.stage,
+			Planned: it.planned, Completed: it.completed,
+			Done: it.done, Fraction: it.fractionLocked(),
+		})
+	}
+	pv.Fraction = t.fractionLocked()
+
+	// EWMA wall-clock rate: fraction per second, relaxed toward the
+	// rate observed since the previous snapshot.
+	now := t.now()
+	if !t.rateSeen {
+		t.rateSeen = true
+		t.lastAt, t.lastFrac = now, pv.Fraction
+	} else if dt := now.Sub(t.lastAt).Seconds(); dt > 0 {
+		inst := (pv.Fraction - t.lastFrac) / dt
+		alpha := 1 - math.Exp(-dt/ewmaTau.Seconds())
+		t.rate += alpha * (inst - t.rate)
+		t.lastAt, t.lastFrac = now, pv.Fraction
+	}
+	if t.rate > 1e-12 {
+		pv.RatePerSec = t.rate
+		if pv.Fraction < 1 {
+			pv.ETASeconds = (1 - pv.Fraction) / t.rate
+		}
+	}
+	return pv
+}
+
+// ItemNames returns the registered item names, sorted — a deterministic
+// view for tests. Empty on nil.
+func (t *ProgressTracker) ItemNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	names := append([]string(nil), t.order...)
+	t.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// emit fires the callback captured while holding the lock. Call with
+// the lock released.
+func emitProgress(fn func(ProgressEvent), ev ProgressEvent) {
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// eventLocked builds the item's current event payload.
+func (it *ItemProgress) eventLocked(kind, detail string) ProgressEvent {
+	return ProgressEvent{
+		Item: it.name, Kind: kind, Detail: detail, Stage: it.stage,
+		Planned: it.planned, Completed: it.completed, Done: it.done,
+	}
+}
+
+// SetPlanned declares the item's total planned simulated units, from
+// the extraction plan. Ratchets: a resumed run re-declaring the same
+// plan is a no-op, and planned never shrinks below what a previous
+// declaration promised. No-op on nil.
+func (it *ItemProgress) SetPlanned(units int64) {
+	if it == nil {
+		return
+	}
+	it.t.mu.Lock()
+	if units > it.planned {
+		it.planned = units
+	}
+	ev := it.eventLocked(ProgressPlanned, "")
+	fn := it.t.onEvent
+	it.t.mu.Unlock()
+	emitProgress(fn, ev)
+}
+
+// Complete records the item's cumulative completed units — an absolute
+// value, not a delta, so the caller's deterministic recomputation after
+// a resume ratchets through the same sequence instead of double
+// counting. detail names the boundary (the tensor just finished, or
+// "restored"). No-op on nil; never moves backward.
+func (it *ItemProgress) Complete(totalUnits int64, detail string) {
+	if it == nil {
+		return
+	}
+	it.t.mu.Lock()
+	if totalUnits > it.completed {
+		it.completed = totalUnits
+	}
+	ev := it.eventLocked(ProgressUnits, detail)
+	fn := it.t.onEvent
+	it.t.mu.Unlock()
+	emitProgress(fn, ev)
+}
+
+// SetStage labels the item's current pipeline stage (measure, identify,
+// extract, ...) — pure annotation, no effect on fractions. No-op on
+// nil.
+func (it *ItemProgress) SetStage(stage string) {
+	if it == nil {
+		return
+	}
+	it.t.mu.Lock()
+	it.stage = stage
+	ev := it.eventLocked(ProgressStage, "")
+	fn := it.t.onEvent
+	it.t.mu.Unlock()
+	emitProgress(fn, ev)
+}
+
+// MarkDone latches the item complete: its fraction snaps to exactly 1
+// (even when nothing was planned — a skipped or early-stopped victim is
+// still finished work) and completed snaps up to planned. No-op on nil.
+func (it *ItemProgress) MarkDone() {
+	if it == nil {
+		return
+	}
+	it.t.mu.Lock()
+	it.done = true
+	if it.completed < it.planned {
+		it.completed = it.planned
+	}
+	ev := it.eventLocked(ProgressDone, "")
+	fn := it.t.onEvent
+	it.t.mu.Unlock()
+	emitProgress(fn, ev)
+}
+
+// Name returns the item's name ("" on nil).
+func (it *ItemProgress) Name() string {
+	if it == nil {
+		return ""
+	}
+	return it.name
+}
+
+// Value exports the item's current state (zero on nil).
+func (it *ItemProgress) Value() ItemValue {
+	if it == nil {
+		return ItemValue{}
+	}
+	it.t.mu.Lock()
+	defer it.t.mu.Unlock()
+	return ItemValue{
+		Name: it.name, Stage: it.stage,
+		Planned: it.planned, Completed: it.completed,
+		Done: it.done, Fraction: it.fractionLocked(),
+	}
+}

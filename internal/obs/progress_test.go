@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilProgressTrackerIsNoOp(t *testing.T) {
+	var tr *ProgressTracker
+	tr.SetTotalItems(3)
+	tr.OnEvent(func(ProgressEvent) { t.Fatal("nil tracker fired an event") })
+	tr.SetNow(time.Now)
+	it := tr.Item("v")
+	if it != nil {
+		t.Fatalf("nil tracker handed out a non-nil item")
+	}
+	it.SetPlanned(100)
+	it.Complete(50, "tensor")
+	it.SetStage("extract")
+	it.MarkDone()
+	if got := it.Value(); got != (ItemValue{}) {
+		t.Fatalf("nil item Value = %+v, want zero", got)
+	}
+	if got := tr.Snapshot(); got.Fraction != 0 || got.Items != nil {
+		t.Fatalf("nil tracker Snapshot = %+v, want zero", got)
+	}
+	if names := tr.ItemNames(); names != nil {
+		t.Fatalf("nil tracker ItemNames = %v, want nil", names)
+	}
+}
+
+func TestProgressRatchetsAndFraction(t *testing.T) {
+	tr := NewProgress()
+	tr.SetTotalItems(2)
+	a := tr.Item("a")
+	a.SetPlanned(100)
+	a.Complete(40, "t0")
+	a.Complete(30, "stale") // absolute values ratchet: never backward
+	if v := a.Value(); v.Completed != 40 {
+		t.Fatalf("completed = %d after stale update, want 40", v.Completed)
+	}
+	a.SetPlanned(80) // planned ratchets too
+	if v := a.Value(); v.Planned != 100 {
+		t.Fatalf("planned = %d after smaller re-declare, want 100", v.Planned)
+	}
+	pv := tr.Snapshot()
+	// Item a is 40/100 done; item b not registered; total fixed at 2.
+	if want := 0.4 / 2; math.Abs(pv.Fraction-want) > 1e-12 {
+		t.Fatalf("fraction = %g, want %g", pv.Fraction, want)
+	}
+	b := tr.Item("b")
+	b.MarkDone() // zero-planned item snaps to 1 when done
+	a.Complete(100, "t1")
+	a.MarkDone()
+	pv = tr.Snapshot()
+	if pv.Fraction != 1.0 {
+		t.Fatalf("final fraction = %g, want exactly 1.0", pv.Fraction)
+	}
+	if pv.ItemsDone != 2 || pv.ItemsTotal != 2 {
+		t.Fatalf("items done/total = %d/%d, want 2/2", pv.ItemsDone, pv.ItemsTotal)
+	}
+	if pv.CompletedUnits != pv.PlannedUnits {
+		t.Fatalf("completed %d != planned %d at the end", pv.CompletedUnits, pv.PlannedUnits)
+	}
+}
+
+func TestProgressFractionMonotone(t *testing.T) {
+	tr := NewProgress()
+	tr.SetTotalItems(3)
+	items := []*ItemProgress{tr.Item("a"), tr.Item("b"), tr.Item("c")}
+	last := -1.0
+	check := func() {
+		f := tr.Snapshot().Fraction
+		if f < last {
+			t.Fatalf("fraction regressed: %g after %g", f, last)
+		}
+		last = f
+	}
+	for i, it := range items {
+		it.SetPlanned(int64(50 * (i + 1)))
+		check()
+	}
+	for step := int64(1); step <= 5; step++ {
+		for i, it := range items {
+			it.Complete(step*10*int64(i+1), "t")
+			check()
+		}
+	}
+	for _, it := range items {
+		it.MarkDone()
+		check()
+	}
+	if last != 1.0 {
+		t.Fatalf("final fraction = %g, want exactly 1.0", last)
+	}
+}
+
+// TestProgressDeterministicAcrossInterleavings pins the worker-
+// invariance contract: the same per-item updates applied in different
+// orders export identical sim-unit state.
+func TestProgressDeterministicAcrossInterleavings(t *testing.T) {
+	build := func(perm []int) ProgressValue {
+		tr := NewProgress()
+		tr.SetTotalItems(3)
+		names := []string{"a", "b", "c"}
+		for _, n := range names { // registration order fixed up front
+			tr.Item(n)
+		}
+		for _, i := range perm {
+			it := tr.Item(names[i])
+			it.SetPlanned(int64(100 * (i + 1)))
+			it.Complete(int64(100*(i+1)), "t")
+			it.MarkDone()
+		}
+		pv := tr.Snapshot()
+		pv.RatePerSec, pv.ETASeconds = 0, 0 // wall clock: excluded
+		return pv
+	}
+	ref := build([]int{0, 1, 2})
+	for _, perm := range [][]int{{2, 1, 0}, {1, 2, 0}, {2, 0, 1}} {
+		if got := build(perm); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("order %v: snapshot %+v != reference %+v", perm, got, ref)
+		}
+	}
+	refJSON, _ := json.Marshal(ref)
+	other, _ := json.Marshal(build([]int{1, 0, 2}))
+	if string(refJSON) != string(other) {
+		t.Fatalf("sim-unit JSON differs across interleavings:\n%s\n%s", refJSON, other)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	tr := NewProgress()
+	var got []ProgressEvent
+	tr.OnEvent(func(ev ProgressEvent) { got = append(got, ev) })
+	it := tr.Item("v")
+	it.SetStage("extract")
+	it.SetPlanned(10)
+	it.Complete(4, "blocks.0.w")
+	it.MarkDone()
+	kinds := make([]string, len(got))
+	for i, ev := range got {
+		kinds[i] = ev.Kind
+	}
+	want := []string{ProgressStage, ProgressPlanned, ProgressUnits, ProgressDone}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	if got[2].Detail != "blocks.0.w" || got[2].Completed != 4 || got[2].Planned != 10 {
+		t.Fatalf("units event = %+v", got[2])
+	}
+	if !got[3].Done || got[3].Completed != 10 {
+		t.Fatalf("done event = %+v, want done with completed snapped to planned", got[3])
+	}
+	// Callbacks run outside the lock: re-entering the tracker from one
+	// must not deadlock.
+	reent := NewProgress()
+	reent.OnEvent(func(ProgressEvent) { _ = reent.Snapshot() })
+	reent.Item("x").SetPlanned(1)
+}
+
+func TestProgressETA(t *testing.T) {
+	tr := NewProgress()
+	now := time.Unix(1000, 0)
+	tr.SetNow(func() time.Time { return now })
+	tr.SetTotalItems(1)
+	it := tr.Item("v")
+	it.SetPlanned(100)
+	if pv := tr.Snapshot(); pv.ETASeconds != 0 || pv.RatePerSec != 0 {
+		t.Fatalf("first snapshot reported a rate: %+v", pv)
+	}
+	// 10 units/s of a 100-unit plan = 0.1 fraction/s instantaneous.
+	for i := 1; i <= 5; i++ {
+		now = now.Add(time.Second)
+		it.Complete(int64(10*i), "t")
+		tr.Snapshot()
+	}
+	pv := tr.Snapshot()
+	if pv.RatePerSec <= 0 {
+		t.Fatalf("rate = %g after steady progress, want > 0", pv.RatePerSec)
+	}
+	if pv.ETASeconds <= 0 {
+		t.Fatalf("eta = %g mid-run, want > 0", pv.ETASeconds)
+	}
+	// Finish: ETA must disappear at fraction 1.
+	it.Complete(100, "t")
+	it.MarkDone()
+	now = now.Add(time.Second)
+	pv = tr.Snapshot()
+	if pv.Fraction != 1 || pv.ETASeconds != 0 {
+		t.Fatalf("done snapshot = fraction %g eta %g, want 1 and 0", pv.Fraction, pv.ETASeconds)
+	}
+}
+
+// TestHistogramNaNDoesNotPoisonSum pins the Observe bugfix: a NaN
+// observation counts (bucket 0 absorbs it) but must not contaminate the
+// accumulated sum, which previously turned Sum/Mean and the Prometheus
+// _sum line into NaN forever.
+func TestHistogramNaNDoesNotPoisonSum(t *testing.T) {
+	r := New()
+	h := r.Histogram("stage.latency")
+	h.Observe(2)
+	h.Observe(math.NaN())
+	h.Observe(6)
+	if n := h.Count(); n != 3 {
+		t.Fatalf("count = %d, want 3 (NaN still counts)", n)
+	}
+	if s := h.Sum(); math.IsNaN(s) || s != 8 {
+		t.Fatalf("sum = %g, want 8 (NaN excluded)", s)
+	}
+	if m := h.Value().Mean(); math.IsNaN(m) {
+		t.Fatalf("mean is NaN")
+	}
+	// Round-trip through both export formats stays finite and parsable.
+	snap := r.Snapshot()
+	var jsonBuf, promBuf bytes.Buffer
+	if err := snap.WriteJSON(&jsonBuf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := snap.WritePrometheus(&promBuf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	back, err := ParsePrometheus(&promBuf)
+	if err != nil {
+		t.Fatalf("ParsePrometheus after NaN observation: %v", err)
+	}
+	hv := back.Histograms["stage_latency"] // promName sanitizes the dot
+	if hv.Count != 3 || math.IsNaN(hv.Sum) || hv.Sum != 8 {
+		t.Fatalf("round-tripped histogram = count %d sum %g, want 3 and 8", hv.Count, hv.Sum)
+	}
+}

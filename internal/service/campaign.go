@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"decepticon/internal/fsatomic"
+	"decepticon/internal/obs"
 	"decepticon/internal/sidechannel"
 )
 
@@ -33,18 +34,30 @@ type campaign struct {
 	mu         sync.Mutex
 	st         CampaignStatus
 	resultsLen int64         // bytes of results.ndjson visible to readers
+	eventsLen  int64         // bytes of events.ndjson visible to readers
 	change     chan struct{} // closed and replaced on every mutation
 	enqueued   time.Time     // when it last joined the queue (for wait hist)
+	tracker    *obs.ProgressTracker
+	lastProg   time.Time // last throttled progress persist
+
+	ledMu sync.Mutex // guards led open/close, never taken under c.mu
+	led   *ledger
 }
 
 func newCampaign(s *Server, dir string, spec CampaignSpec, st CampaignStatus) *campaign {
+	enq := time.Now()
+	if st.SubmittedAt != nil {
+		// Queue-wait accounting survives restarts: the admission time is
+		// the persisted one, not this process's start.
+		enq = *st.SubmittedAt
+	}
 	return &campaign{
 		srv:      s,
 		dir:      dir,
 		spec:     spec,
 		st:       st,
 		change:   make(chan struct{}),
-		enqueued: time.Now(),
+		enqueued: enq,
 	}
 }
 
@@ -83,6 +96,49 @@ func readJSON(path string, v any) error {
 }
 
 func (c *campaign) resultsPath() string { return filepath.Join(c.dir, "results.ndjson") }
+func (c *campaign) eventsPath() string  { return filepath.Join(c.dir, "events.ndjson") }
+
+// ledger returns the campaign's event ledger, opening it on first use
+// (recovery truncates a torn tail and continues the sequence).
+func (c *campaign) ledger() (*ledger, error) {
+	c.ledMu.Lock()
+	defer c.ledMu.Unlock()
+	if c.led == nil {
+		led, err := openLedger(c.eventsPath())
+		if err != nil {
+			return nil, err
+		}
+		c.led = led
+		c.mu.Lock()
+		if led.bytes() > c.eventsLen {
+			c.eventsLen = led.bytes()
+		}
+		c.mu.Unlock()
+	}
+	return c.led, nil
+}
+
+// event appends one ledger line and wakes watchers. Ledger errors are
+// logged, never fatal: the campaign keeps running with a gap in its
+// audit trail rather than dying over telemetry. Never called with c.mu
+// held (the ledger's lock orders before the campaign's).
+func (c *campaign) event(ev Event) {
+	led, err := c.ledger()
+	if err != nil {
+		c.srv.reg.Log().Error("service: open ledger", "campaign", c.st.ID, "err", err)
+		return
+	}
+	size, err := led.append(ev)
+	if err != nil {
+		c.srv.reg.Log().Error("service: append ledger", "campaign", c.st.ID, "err", err)
+		return
+	}
+	c.srv.counter("service.ledger_events").Inc()
+	c.mu.Lock()
+	c.eventsLen = size
+	c.bump()
+	c.mu.Unlock()
+}
 
 // persistNew creates the campaign directory and writes spec + status.
 // Called once at submission, before the id is announced.
@@ -128,12 +184,21 @@ func (c *campaign) watch() <-chan struct{} {
 	return c.change
 }
 
-// snapshot returns a copy of the status (Summary shared, but it is
-// written once and never mutated after).
+// snapshot returns a copy of the status (Summary and Progress shared,
+// but both are replaced wholesale, never mutated in place). When a live
+// tracker is attached, Progress and the wall-clock ETA refresh from it —
+// between tensor boundaries the persisted copy would lag.
 func (c *campaign) snapshot() CampaignStatus {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.st
+	st := c.st
+	tr := c.tracker
+	c.mu.Unlock()
+	if tr != nil {
+		pv := tr.Snapshot()
+		st.Progress = campaignProgress(pv)
+		st.ETASeconds = pv.ETASeconds
+	}
+	return st
 }
 
 // progress returns what a results reader needs: bytes available, and
@@ -144,12 +209,54 @@ func (c *campaign) progress() (avail int64, active bool) {
 	return c.resultsLen, c.st.State == StateQueued || c.st.State == StateRunning
 }
 
-// setRunning transitions queued → running and returns how long the
-// campaign waited in the queue.
-func (c *campaign) setRunning() time.Duration {
+// eventsProgress is the ledger-stream twin of progress: whole-line bytes
+// available in events.ndjson, and whether this process can still append.
+// The ledger is opened on demand so a reader attached to a recovered
+// campaign sees its full (tail-truncated) history immediately.
+func (c *campaign) eventsProgress() (avail int64, active bool) {
+	if _, err := c.ledger(); err != nil {
+		c.srv.reg.Log().Error("service: open ledger", "campaign", c.st.ID, "err", err)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.eventsLen, c.st.State == StateQueued || c.st.State == StateRunning
+}
+
+// setTracker attaches the execution's progress tracker (snapshot reads
+// it live from then on).
+func (c *campaign) setTracker(tr *obs.ProgressTracker) {
+	c.mu.Lock()
+	c.tracker = tr
+	c.mu.Unlock()
+}
+
+// observeProgress folds a fresh tracker snapshot into the status.
+// Persisting every tensor boundary would hammer status.json, so disk
+// writes are throttled to one per 200ms unless forced; the in-memory
+// status (what /progress serves) always updates, and watchers wake.
+func (c *campaign) observeProgress(pv obs.ProgressValue, force bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.Progress = campaignProgress(pv)
+	if now := time.Now(); force || now.Sub(c.lastProg) >= 200*time.Millisecond {
+		c.lastProg = now
+		c.persistStatus()
+	}
+	c.bump()
+}
+
+// setRunning transitions queued → running and returns how long the
+// campaign waited in the queue. The ledger gets "started" on the first
+// run ever and "resumed" on every later one — StartedAt persists, so
+// the distinction survives daemon restarts.
+func (c *campaign) setRunning() time.Duration {
+	c.mu.Lock()
 	wait := time.Since(c.enqueued)
+	first := c.st.StartedAt == nil
+	if first {
+		now := time.Now().UTC()
+		c.st.StartedAt = &now
+	}
 	c.st.State = StateRunning
 	c.st.Reason = ""
 	c.st.Error = ""
@@ -159,12 +266,19 @@ func (c *campaign) setRunning() time.Duration {
 	c.resultsLen = 0
 	c.persistStatus()
 	c.bump()
+	c.mu.Unlock()
+	if first {
+		c.event(Event{Event: EventStarted})
+	} else {
+		c.event(Event{Event: EventResumed})
+	}
 	return wait
 }
 
 // park marks a queued campaign interrupted without running it (tenant
 // budget exhausted before it reached a runner).
 func (c *campaign) park(reason string) {
+	c.event(Event{Event: EventInterrupted, Reason: reason})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.st.State = StateInterrupted
@@ -173,8 +287,19 @@ func (c *campaign) park(reason string) {
 	c.bump()
 }
 
-// finish records a terminal or interrupted state.
+// finish records a terminal or interrupted state, stamping FinishedAt on
+// the terminal ones (an interrupted campaign is still in flight). The
+// matching ledger event is appended first so an events follower that
+// wakes on the state change finds the line already on disk.
 func (c *campaign) finish(state, reason, errMsg string, sum *Summary) {
+	switch state {
+	case StateDone:
+		c.event(Event{Event: EventDone})
+	case StateFailed:
+		c.event(Event{Event: EventFailed, Reason: errMsg})
+	case StateInterrupted:
+		c.event(Event{Event: EventInterrupted, Reason: reason})
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.st.State = state
@@ -182,6 +307,10 @@ func (c *campaign) finish(state, reason, errMsg string, sum *Summary) {
 	c.st.Error = errMsg
 	if sum != nil {
 		c.st.Summary = sum
+	}
+	if state == StateDone || state == StateFailed {
+		now := time.Now().UTC()
+		c.st.FinishedAt = &now
 	}
 	c.persistStatus()
 	c.bump()

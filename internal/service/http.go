@@ -22,6 +22,12 @@ import (
 //	GET  /campaigns/{id}/results
 //	                          the campaign's NDJSON result stream; follows
 //	                          live delivery until the campaign stops
+//	GET  /campaigns/{id}/progress
+//	                          live progress: fraction, planned/completed
+//	                          simulated units, per-victim breakdown, ETA
+//	GET  /campaigns/{id}/events
+//	                          the campaign's append-only event ledger as
+//	                          NDJSON; follows live appends like /results
 //	GET  /tenants             per-tenant budget positions
 //	GET  /victims             attackable victim names from the shared zoo
 //	GET  /healthz             {"status":"ok"|"draining", ...}
@@ -35,6 +41,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleCampaign)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /campaigns/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /tenants", s.handleTenants)
 	mux.HandleFunc("GET /victims", s.handleVictims)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -142,6 +150,86 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			off += n
 			if err != nil {
 				return // client gone or short file; either way stop
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		if !active {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ProgressResponse is the /campaigns/{id}/progress payload. ID, State,
+// and Progress are deterministic (byte-identical for any worker count
+// and across kill/resume); ETASeconds is wall clock.
+type ProgressResponse struct {
+	ID         string            `json:"id"`
+	State      string            `json:"state"`
+	Progress   *CampaignProgress `json:"progress,omitempty"`
+	ETASeconds float64           `json:"eta_seconds,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Campaign(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ProgressResponse{
+		ID: st.ID, State: st.State, Progress: st.Progress, ETASeconds: st.ETASeconds,
+	})
+}
+
+// handleEvents streams a campaign's event ledger, following live
+// appends exactly like handleResults follows results.ndjson. The ledger
+// is append-only across restarts, so unlike /results a reader always
+// sees the campaign's full history from the first "queued" line.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	c := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var off int64
+	for {
+		// Same watch-before-progress ordering as handleResults: a mutation
+		// between the two calls has closed the channel we then wait on.
+		ch := c.watch()
+		avail, active := c.eventsProgress()
+		if off < avail {
+			if f == nil {
+				var err error
+				f, err = os.Open(c.eventsPath())
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+			}
+			if _, err := f.Seek(off, io.SeekStart); err != nil {
+				return
+			}
+			n, err := io.CopyN(w, f, avail-off)
+			off += n
+			if err != nil {
+				return
 			}
 			if flusher != nil {
 				flusher.Flush()

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -82,7 +83,8 @@ type Server struct {
 	campaigns map[string]*campaign // by id
 	queue     []*campaign          // StateQueued, awaiting a runner
 	spent     map[string]int64     // tenant → oracle attempts charged
-	tenants   map[string]bool      // every tenant ever seen (for /tenants)
+	burn      map[string]*burnState
+	tenants   map[string]bool // every tenant ever seen (for /tenants)
 	running   int
 	draining  bool
 	nextSeq   int64
@@ -124,6 +126,7 @@ func New(cfg Config) (*Server, error) {
 		reg:       cfg.Obs,
 		campaigns: map[string]*campaign{},
 		spent:     map[string]int64{},
+		burn:      map[string]*burnState{},
 		tenants:   map[string]bool{},
 		nextSeq:   1,
 	}
@@ -195,7 +198,9 @@ func (s *Server) recover() error {
 			s.queue = append(s.queue, c)
 		case StateRunning:
 			// The previous process died mid-run; the checkpoints on disk are
-			// the truth. Re-queue for resume.
+			// the truth. Close the ledger's open lifecycle (the crash never
+			// got to write its own interruption) and re-queue for resume.
+			c.event(Event{Event: EventInterrupted, Reason: ReasonShutdown})
 			c.st.State = StateQueued
 			c.st.Reason = ""
 			c.persistStatus()
@@ -283,12 +288,14 @@ func (s *Server) Submit(spec CampaignSpec) (CampaignStatus, error) {
 	seq := s.nextSeq
 	s.nextSeq++
 	id := fmt.Sprintf("c%06d", seq)
+	now := time.Now().UTC()
 	c := newCampaign(s, filepath.Join(s.cfg.Dir, "campaigns", id), spec, CampaignStatus{
-		ID:      id,
-		Seq:     seq,
-		Tenant:  spec.Tenant,
-		State:   StateQueued,
-		Victims: len(victims),
+		ID:          id,
+		Seq:         seq,
+		Tenant:      spec.Tenant,
+		State:       StateQueued,
+		Victims:     len(victims),
+		SubmittedAt: &now,
 	})
 	// Depth observed by this admission, before it joins the queue.
 	s.reg.Histogram("service.admit_queue_depth").Observe(float64(len(s.queue)))
@@ -298,6 +305,7 @@ func (s *Server) Submit(spec CampaignSpec) (CampaignStatus, error) {
 	}
 	s.campaigns[id] = c
 	s.tenants[spec.Tenant] = true
+	c.event(Event{Event: EventQueued})
 	s.queue = append(s.queue, c)
 	s.queueGaugeLocked()
 	s.counter("service.campaigns_admitted").Inc()
@@ -472,6 +480,47 @@ func (s *Server) pickLocked() *campaign {
 	}
 }
 
+// burnState is one tenant's EWMA spend rate (oracle attempts/second) —
+// wall-clock telemetry feeding the burn-rate and time-to-exhaustion
+// gauges, same ~30s horizon as the progress tracker's ETA.
+type burnState struct {
+	seen bool
+	last time.Time
+	rate float64
+}
+
+// noteBurnLocked folds a spend delta into the tenant's burn gauges.
+// s.mu held. ttl_exhaustion_s is -1 when unknowable (unlimited budget,
+// or no observed rate yet).
+func (s *Server) noteBurnLocked(tenant string, delta int64) {
+	b := s.burn[tenant]
+	if b == nil {
+		b = &burnState{}
+		s.burn[tenant] = b
+	}
+	now := time.Now()
+	if !b.seen {
+		b.seen = true
+		b.last = now
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		inst := float64(delta) / dt
+		alpha := 1 - math.Exp(-dt/30)
+		b.rate += alpha * (inst - b.rate)
+		b.last = now
+	}
+	name := metricName(tenant)
+	s.reg.Gauge("service.tenant." + name + ".burn_rate").Set(b.rate)
+	ttl := -1.0
+	if tc := s.tenant(tenant); tc.ReadBudget > 0 && b.rate > 1e-9 {
+		remaining := tc.ReadBudget - s.spent[tenant]
+		if remaining < 0 {
+			remaining = 0
+		}
+		ttl = float64(remaining) / b.rate
+	}
+	s.reg.Gauge("service.tenant." + name + ".ttl_exhaustion_s").Set(ttl)
+}
+
 // chargeTenant books a campaign's freshly recounted spend and reports
 // whether the tenant is now exhausted.
 func (s *Server) chargeTenant(tenant string, delta int64) (exhausted bool) {
@@ -481,6 +530,7 @@ func (s *Server) chargeTenant(tenant string, delta int64) (exhausted bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.spent[tenant] += delta
+	s.noteBurnLocked(tenant, delta)
 	return s.remainingLocked(tenant) <= 0
 }
 
@@ -494,10 +544,6 @@ func (s *Server) execute(c *campaign) {
 	}()
 	ctx, cancel := context.WithCancel(s.runCtx)
 	defer cancel()
-	wait := c.setRunning()
-	s.reg.Histogram("service.queue_wait_ms").Observe(float64(wait.Milliseconds()))
-	log := s.reg.Log().With("campaign", c.st.ID, "tenant", c.st.Tenant)
-	log.Info("campaign start", "victims", c.st.Victims)
 
 	victims, err := s.resolveVictims(c.spec)
 	if err == nil && len(victims) == 0 {
@@ -511,6 +557,7 @@ func (s *Server) execute(c *campaign) {
 	if err == nil {
 		sink, err = c.openResults()
 	}
+	log := s.reg.Log().With("campaign", c.st.ID, "tenant", c.st.Tenant)
 	if err != nil {
 		c.finish(StateFailed, "", err.Error(), nil)
 		s.counter("service.campaigns_failed").Inc()
@@ -518,6 +565,47 @@ func (s *Server) execute(c *campaign) {
 		return
 	}
 	defer sink.Close()
+
+	// The progress tracker. Items pre-register in resolved victim input
+	// order — the exported breakdown is then worker-invariant — and a
+	// restarted campaign seeds each victim's ratchets from the persisted
+	// progress before the stream starts, so the exposed fraction never
+	// regresses across a kill/resume (extraction re-credits the same
+	// units from its checkpoint and climbs onward from here).
+	tracker := obs.NewProgress()
+	tracker.SetTotalItems(len(victims))
+	for _, v := range victims {
+		tracker.Item(v.Name)
+	}
+	c.mu.Lock()
+	prior := c.st.Progress
+	c.mu.Unlock()
+	if prior != nil {
+		for _, vp := range prior.Victims {
+			it := tracker.Item(vp.Victim)
+			it.SetPlanned(vp.Planned)
+			it.Complete(vp.Completed, "restored")
+			if vp.Done {
+				it.MarkDone()
+			}
+		}
+	}
+	// Installed after seeding: the seed replay above is bookkeeping, not
+	// fresh work, and must not emit ledger events before "resumed".
+	tracker.OnEvent(func(ev obs.ProgressEvent) {
+		if ev.Kind == obs.ProgressUnits {
+			c.event(Event{
+				Event: EventTensorComplete, Victim: ev.Item, Tensor: ev.Detail,
+				Completed: ev.Completed, Planned: ev.Planned,
+			})
+		}
+		c.observeProgress(tracker.Snapshot(), ev.Kind == obs.ProgressDone)
+	})
+	c.setTracker(tracker)
+
+	wait := c.setRunning()
+	s.reg.Histogram("service.queue_wait_ms").Observe(float64(wait.Milliseconds()))
+	log.Info("campaign start", "victims", c.st.Victims)
 
 	seed := c.spec.MeasureSeed
 	if seed == 0 {
@@ -535,6 +623,7 @@ func (s *Server) execute(c *campaign) {
 		Resume:              true,
 		ReadBudget:          c.spec.ReadBudget,
 		Workers:             workers,
+		Progress:            tracker,
 	}
 	rs := s.cfg.Attack.RunAllStream(ctx, victims, opt)
 	var cum int64 // this run's cumulative oracle attempts (restored included)
@@ -564,6 +653,15 @@ func (s *Server) execute(c *campaign) {
 			s.counter("service.campaigns_failed").Inc()
 			return
 		}
+		c.event(Event{Event: EventVictimDelivered, Victim: rep.Victim})
+		if rep.IdentifyDegraded || (rep.Extract != nil && rep.Extract.TensorsDegraded > 0) {
+			reason := "identify degraded to surviving modalities"
+			if rep.Extract != nil && rep.Extract.TensorsDegraded > 0 {
+				reason = fmt.Sprintf("%d tensors fell back to baseline under faults",
+					rep.Extract.TensorsDegraded)
+			}
+			c.event(Event{Event: EventDegraded, Victim: rep.Victim, Reason: reason})
+		}
 		if s.chargeTenant(c.st.Tenant, delta) && !budgetStop {
 			// Tenant budget gone: stop the campaign through the checkpoint
 			// door. Reports already buffered in the stream's window still
@@ -575,6 +673,9 @@ func (s *Server) execute(c *campaign) {
 		idx++
 	}
 	runErr := rs.Err()
+	// The final deterministic progress position rides in the same
+	// status.json write as the terminal state below (forced persist).
+	c.observeProgress(tracker.Snapshot(), true)
 	sum := summarize(rs.Campaign())
 	switch {
 	case runErr == nil:

@@ -34,8 +34,10 @@ import (
 	"hash/fnv"
 	"math"
 	"strings"
+	"time"
 
 	"decepticon/internal/core"
+	"decepticon/internal/obs"
 )
 
 // CampaignSpec is the submitted description of one campaign: which
@@ -99,8 +101,66 @@ type CampaignStatus struct {
 	// restarts: a resumed run's recount (which includes restored work)
 	// only ever ratchets it up.
 	Spent int64 `json:"spent"`
+	// SubmittedAt/StartedAt/FinishedAt are the campaign's admission,
+	// first-start, and terminal wall times. Persisted in status.json (the
+	// old in-memory enqueued time silently reset to "now" on every daemon
+	// restart, wrecking queue-wait accounting); StartedAt survives
+	// restarts so a resume is labelled "resumed", not "started".
+	// Wall-clock: excluded from determinism checks.
+	SubmittedAt *time.Time `json:"submitted_at,omitempty"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Progress is the campaign's live sim-unit position (nil until it
+	// first runs). Every field is deterministic: byte-identical for any
+	// worker count and across kill/resume.
+	Progress *CampaignProgress `json:"progress,omitempty"`
+	// ETASeconds estimates wall time to completion from the tracker's
+	// EWMA rate; 0 when unknown or finished. Wall-clock: set only on live
+	// snapshots, never persisted.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
 	// Summary is the deterministic campaign aggregate, set on completion.
 	Summary *Summary `json:"summary,omitempty"`
+}
+
+// CampaignProgress is the deterministic projection of the campaign's
+// progress tracker: planned vs completed simulated units (bit reads the
+// extraction plan committed to), overall fraction, and the per-victim
+// breakdown in victim input order.
+type CampaignProgress struct {
+	Fraction       float64          `json:"fraction"`
+	PlannedUnits   int64            `json:"planned_units"`
+	CompletedUnits int64            `json:"completed_units"`
+	VictimsDone    int              `json:"victims_done"`
+	Victims        []VictimProgress `json:"victims,omitempty"`
+}
+
+// VictimProgress is one victim's live position.
+type VictimProgress struct {
+	Victim    string  `json:"victim"`
+	Stage     string  `json:"stage,omitempty"`
+	Planned   int64   `json:"planned"`
+	Completed int64   `json:"completed"`
+	Done      bool    `json:"done"`
+	Fraction  float64 `json:"fraction"`
+}
+
+// campaignProgress projects a tracker snapshot onto the wire form,
+// keeping only the deterministic side (rate/ETA ride separately).
+func campaignProgress(pv obs.ProgressValue) *CampaignProgress {
+	cp := &CampaignProgress{
+		Fraction:       pv.Fraction,
+		PlannedUnits:   pv.PlannedUnits,
+		CompletedUnits: pv.CompletedUnits,
+		VictimsDone:    pv.ItemsDone,
+	}
+	for _, it := range pv.Items {
+		cp.Victims = append(cp.Victims, VictimProgress{
+			Victim: it.Name, Stage: it.Stage,
+			Planned: it.Planned, Completed: it.Completed,
+			Done: it.Done, Fraction: it.Fraction,
+		})
+	}
+	return cp
 }
 
 // Terminal reports whether the campaign has stopped moving (done or
@@ -156,16 +216,16 @@ func summarize(c *core.Campaign) *Summary {
 // stays out of band — CloneHash attests it). Lines are written in victim
 // input order for any worker count.
 type VictimResult struct {
-	Index          int    `json:"index"`
-	Victim         string `json:"victim"`
-	TruePretrained string `json:"true_pretrained"`
-	Identified     string `json:"identified"`
-	Correct        bool   `json:"correct"`
-	ProbeQueries   int    `json:"probe_queries,omitempty"`
-	ArchConfirmed  bool   `json:"arch_confirmed"`
-	ExtractError   string `json:"extract_error,omitempty"`
-	ExtractSkipped string `json:"extract_skipped,omitempty"`
-	Interrupted    bool   `json:"interrupted,omitempty"`
+	Index          int     `json:"index"`
+	Victim         string  `json:"victim"`
+	TruePretrained string  `json:"true_pretrained"`
+	Identified     string  `json:"identified"`
+	Correct        bool    `json:"correct"`
+	ProbeQueries   int     `json:"probe_queries,omitempty"`
+	ArchConfirmed  bool    `json:"arch_confirmed"`
+	ExtractError   string  `json:"extract_error,omitempty"`
+	ExtractSkipped string  `json:"extract_skipped,omitempty"`
+	Interrupted    bool    `json:"interrupted,omitempty"`
 	MatchRate      float64 `json:"match_rate"`
 	VictimAcc      float64 `json:"victim_acc"`
 	CloneAcc       float64 `json:"clone_acc"`
