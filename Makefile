@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke progress-smoke bench-snap bench-gate bench-smoke
+.PHONY: all build vet lint test race bench verify metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke progress-smoke scale-smoke bench-snap bench-gate bench-smoke
 
 all: verify
 
@@ -20,7 +20,7 @@ lint:
 		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
 	fi
 
-test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke progress-smoke bench-smoke
+test: metrics-smoke faults-smoke trace-smoke cancel-smoke service-smoke fusion-smoke progress-smoke scale-smoke bench-smoke
 	$(GO) test ./...
 
 # End-to-end observability check: a tiny parallel campaign must leave
@@ -142,6 +142,38 @@ fusion-smoke:
 		-nonzero core.modality_jammed,core.identify_degraded \
 		.fusion-smoke/jam.json
 	rm -rf .fusion-smoke
+
+# End-to-end zoo-store check: a cold build into a content-addressed
+# store trains every model (nonzero train counters); an immediate warm
+# reopen trains NOTHING (exact-zero counters — the incremental-build
+# contract); deleting one fine-tuned object and reopening retrains
+# exactly that one model; and a full campaign runs against the store
+# with lazy handles released per victim. TestZooScale pins the rest
+# (flat 10x memory, hierarchical accuracy, byte-identical retrains).
+scale-smoke:
+	rm -rf .scale-smoke && mkdir -p .scale-smoke
+	$(GO) run ./cmd/zoo -scale tiny -store .scale-smoke/store \
+		-metrics .scale-smoke/cold.json >/dev/null
+	$(GO) run ./cmd/metricscheck \
+		-nonzero zoo.models_pretrained,zoo.models_finetuned \
+		.scale-smoke/cold.json
+	$(GO) run ./cmd/zoo -scale tiny -store .scale-smoke/store \
+		-metrics .scale-smoke/warm.json >/dev/null
+	$(GO) run ./cmd/metricscheck \
+		-counter zoo.models_pretrained=0,zoo.models_finetuned=0 \
+		.scale-smoke/warm.json
+	rm "$$(ls .scale-smoke/store/objects/*__ft-* | head -1)"
+	$(GO) run ./cmd/zoo -scale tiny -store .scale-smoke/store \
+		-metrics .scale-smoke/repair.json >/dev/null
+	$(GO) run ./cmd/metricscheck \
+		-counter zoo.models_pretrained=0,zoo.models_finetuned=1 \
+		.scale-smoke/repair.json
+	$(GO) run ./cmd/decepticon -scale tiny -all -workers 2 \
+		-store .scale-smoke/store -release-models \
+		-metrics .scale-smoke/campaign.json >/dev/null
+	$(GO) run ./cmd/metricscheck .scale-smoke/campaign.json
+	$(GO) test -run TestZooScale ./internal/experiments
+	rm -rf .scale-smoke
 
 # End-to-end daemon check (scripts/service-smoke.sh): decepticond runs
 # two campaigns to completion (control), is killed with SIGTERM

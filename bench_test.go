@@ -16,6 +16,7 @@ package decepticon
 // against (see README.md).
 
 import (
+	"context"
 	"io"
 	"strconv"
 	"sync"
@@ -109,7 +110,7 @@ func BenchmarkAblationBitBudget(b *testing.B) {
 			cfg := extract.DefaultConfig()
 			cfg.MaxBitsPerWeight = bits
 			ex := &extract.Extractor{
-				Pre:    victim.Pretrained.Model,
+				Pre:    victim.Pretrained.Model(),
 				Oracle: newOracle(victim),
 				Cfg:    cfg,
 			}
@@ -135,7 +136,7 @@ func BenchmarkAblationSkipThreshold(b *testing.B) {
 			cfg := extract.DefaultConfig()
 			cfg.SkipThreshold = thr
 			ex := &extract.Extractor{
-				Pre:    victim.Pretrained.Model,
+				Pre:    victim.Pretrained.Model(),
 				Oracle: newOracle(victim),
 				Cfg:    cfg,
 			}
@@ -191,7 +192,7 @@ func benchExtraction(b *testing.B, scheduled bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ex := &extract.Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: newOracleWithPlan(victim, plan),
 			Cfg:    cfg,
 		}
@@ -237,6 +238,60 @@ func benchZooBuildWorkers(b *testing.B, workers int) {
 
 func BenchmarkZooBuildWorkers1(b *testing.B) { benchZooBuildWorkers(b, 1) }
 func BenchmarkZooBuildWorkers4(b *testing.B) { benchZooBuildWorkers(b, 4) }
+
+// benchColdStartCfg is the population the cold-start benchmarks
+// materialize: trace-grade budgets, so the measured cost is the
+// load/open path, not training quality.
+func benchColdStartCfg() zoo.BuildConfig {
+	cfg := zoo.SmallBuildConfig()
+	cfg.NumPretrained = 4
+	cfg.NumFineTuned = 8
+	cfg.PretrainExamples = 20
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneExamples = 20
+	cfg.FineTuneEpochs = 1
+	return cfg
+}
+
+// BenchmarkZooCacheLoad measures the legacy warm cold-start: decoding
+// the whole monolithic cache (every model's tensors) up front.
+func BenchmarkZooCacheLoad(b *testing.B) {
+	cfg := benchColdStartCfg()
+	path := b.TempDir() + "/zoo.gob.gz"
+	z, err := zoo.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := z.SaveFile(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zoo.LoadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZooStoreOpen measures the store's warm cold-start: a
+// manifest read plus object verification, with every tensor left on
+// disk behind a lazy handle. Compare against BenchmarkZooCacheLoad —
+// this is the startup-latency win the store buys.
+func BenchmarkZooStoreOpen(b *testing.B) {
+	cfg := benchColdStartCfg()
+	dir := b.TempDir()
+	if _, _, err := zoo.BuildOrOpenStore(context.Background(), cfg, dir, ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := zoo.BuildOrOpenStore(context.Background(), cfg, dir, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkCampaignWorkers measures a RunAll campaign over every bench
 // victim at 1 vs 4 workers.
@@ -399,18 +454,18 @@ func BenchmarkAdversarialPerturb(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		adversarial.Perturb(victim.Model, ex.Tokens, ex.Label, 2)
+		adversarial.Perturb(victim.Model(), ex.Tokens, ex.Label, 2)
 	}
 }
 
 // ---- helpers ----
 
 func newOracle(victim *zoo.FineTuned) *sidechannel.Oracle {
-	return sidechannel.NewOracle(victim.Model)
+	return sidechannel.NewOracle(victim.Model())
 }
 
 func newOracleWithPlan(victim *zoo.FineTuned, plan *sidechannel.FaultPlan) *sidechannel.Oracle {
-	o := sidechannel.NewOracle(victim.Model)
+	o := sidechannel.NewOracle(victim.Model())
 	o.SetFaultPlan(plan.ForVictim(victim.Name))
 	return o
 }
@@ -421,7 +476,7 @@ func matchRate(victim *zoo.FineTuned, clone *transformer.Model) float64 {
 		// downstream; an empty dev set simply has no agreement evidence.
 		return 0
 	}
-	vp := victim.Model.Predictions(victim.Dev)
+	vp := victim.Model().Predictions(victim.Dev)
 	cp := clone.Predictions(victim.Dev)
 	n := 0
 	for i := range vp {

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -189,7 +190,7 @@ func extractSnapshot() *snapshot {
 	plan := &sidechannel.FaultPlan{Seed: 9, TransientRate: 0.02, StuckRate: 0.0002}
 
 	run := func(scheduled bool) (*extract.Stats, float64) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetFaultPlan(plan.ForVictim(victim.Name))
 		ecfg := extract.DefaultConfig()
 		ecfg.ReadRepeats = 3
@@ -198,7 +199,7 @@ func extractSnapshot() *snapshot {
 			ecfg.Schedule = extract.DefaultSchedulerConfig()
 		}
 		ex := &extract.Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: oracle,
 			Cfg:    ecfg,
 		}
@@ -206,7 +207,7 @@ func extractSnapshot() *snapshot {
 		if err != nil {
 			fatal(err)
 		}
-		match := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev))
+		match := stats.MatchRate(victim.Model().Predictions(victim.Dev), clone.Predictions(victim.Dev))
 		return st, match
 	}
 	base, baseMatch := run(false)
@@ -345,6 +346,44 @@ func substrateSnapshot() *snapshot {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			item.Complete(int64(i)+1, "tensor")
+		}
+	})
+
+	// Zoo cold start: the monolithic cache decodes every tensor up front;
+	// the store reads a manifest and hands back lazy handles. The pair of
+	// gated ratios keeps the startup-latency win honest over time.
+	zcfg := zoo.SmallBuildConfig()
+	zcfg.NumPretrained = 4
+	zcfg.NumFineTuned = 8
+	zcfg.PretrainExamples = 20
+	zcfg.PretrainEpochs = 1
+	zcfg.FineTuneExamples = 20
+	zcfg.FineTuneEpochs = 1
+	tmp, err := os.MkdirTemp("", "benchsnap-zoo-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	cachePath := filepath.Join(tmp, "zoo.gob.gz")
+	if err := zoo.MustBuild(zcfg).SaveFile(cachePath); err != nil {
+		fatal(err)
+	}
+	storeDir := filepath.Join(tmp, "store")
+	if _, _, err := zoo.BuildOrOpenStore(context.Background(), zcfg, storeDir, ""); err != nil {
+		fatal(err)
+	}
+	measure("zoo_cache_load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := zoo.LoadFile(cachePath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("zoo_store_open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := zoo.BuildOrOpenStore(context.Background(), zcfg, storeDir, ""); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

@@ -45,6 +45,7 @@ func run() error {
 	opts.RegisterFaults(flag.CommandLine)
 	opts.RegisterFlight(flag.CommandLine)
 	opts.RegisterModalities(flag.CommandLine)
+	opts.RegisterIdentify(flag.CommandLine)
 	var (
 		victim  = flag.Int("victim", 0, "index of the fine-tuned victim model")
 		adv     = flag.Bool("adv", false, "run the adversarial stage (slower)")
@@ -73,7 +74,7 @@ func run() error {
 	cfg.Obs = rt.Registry
 	log.Printf("building model zoo (%d pre-trained, %d fine-tuned)...",
 		cfg.NumPretrained, cfg.NumFineTuned)
-	z, err := decepticon.BuildOrLoadZooContext(rt.Ctx, cfg, opts.Cache)
+	z, err := opts.LoadZoo(rt.Ctx, cfg)
 	if err != nil {
 		if z == nil {
 			return err
@@ -91,6 +92,7 @@ func run() error {
 	prepCfg.Workers = opts.Workers
 	prepCfg.Obs = rt.Registry
 	prepCfg.Modalities = modalities
+	prepCfg.Hierarchical = opts.Hier
 	atk, err := decepticon.NewAttackContext(rt.Ctx, z, prepCfg)
 	if err != nil {
 		return err
@@ -109,6 +111,7 @@ func run() error {
 			CheckpointDir: opts.Checkpoint, Resume: opts.Resume,
 			ReadBudget: opts.ReadBudget, FlightPath: opts.Flight,
 			Modalities: modalities, Jammed: jammed,
+			ReleaseModels: opts.ReleaseModels,
 		})
 		if err != nil {
 			if c != nil && errors.Is(err, context.Canceled) {
@@ -141,6 +144,7 @@ func run() error {
 		FlightPath:          opts.Flight,
 		Modalities:          modalities,
 		Jammed:              jammed,
+		ReleaseModels:       opts.ReleaseModels,
 	})
 	if err != nil {
 		return err

@@ -75,6 +75,7 @@ func run() error {
 	var opts cliconfig.Options
 	opts.RegisterCommon(fs)
 	opts.RegisterCache(fs)
+	opts.RegisterIdentify(fs)
 	addr := fs.String("addr", "localhost:8424", "campaign API listen address (use :0 for an ephemeral port; the bound address lands in <dir>/decepticond.addr)")
 	dir := fs.String("dir", "", "durable state directory: campaign specs, statuses, checkpoints, results (required)")
 	queueLimit := fs.Int("queue-limit", 16, "max campaigns waiting for a runner; submissions beyond it get 429 + Retry-After")
@@ -110,7 +111,10 @@ func run() error {
 	zooCfg.Obs = rt.Registry
 	log.Printf("building model zoo (%d pre-trained, %d fine-tuned)...",
 		zooCfg.NumPretrained, zooCfg.NumFineTuned)
-	z, err := decepticon.BuildOrLoadZooContext(rt.Ctx, zooCfg, opts.Cache)
+	// With -store, a restart opens the store and serves lazy handles
+	// instead of rebuilding the population — the daemon's recovery path
+	// costs a manifest read, not a training run.
+	z, err := opts.LoadZoo(rt.Ctx, zooCfg)
 	if err != nil {
 		return err
 	}
@@ -124,6 +128,7 @@ func run() error {
 	}
 	prepCfg.Workers = opts.Workers
 	prepCfg.Obs = rt.Registry
+	prepCfg.Hierarchical = opts.Hier
 	atk, err := decepticon.NewAttackContext(rt.Ctx, z, prepCfg)
 	if err != nil {
 		return err

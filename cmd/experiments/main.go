@@ -72,6 +72,7 @@ func run() (err error) {
 	env := decepticon.NewExperiments(sc)
 	env.Ctx = rt.Ctx
 	env.CachePath = opts.Cache
+	env.StorePath = opts.Store
 	env.Workers = opts.Workers
 	env.Obs = rt.Registry
 	env.FaultPlan = rt.Plan

@@ -53,11 +53,12 @@ func main() {
 	log.SetPrefix("metricscheck: ")
 	equal := flag.Bool("equal-counters", false, "require every file's counters to match the first file's exactly")
 	nonzero := flag.String("nonzero", "", "comma-separated counter names every snapshot must carry with a positive value")
+	counter := flag.String("counter", "", "comma-separated name=value pairs every snapshot's counters must match exactly (a missing counter matches an expected 0)")
 	tracePath := flag.String("trace", "", "validate this Chrome trace_event JSON file")
 	flightPath := flag.String("flight", "", "validate this flight-recorder dump file")
 	eventsPath := flag.String("events", "", "validate this campaign event ledger (events.ndjson)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-nonzero counter,...] [-trace file] [-flight file] [-events file] [snapshot-file...]")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-equal-counters] [-nonzero counter,...] [-counter name=value,...] [-trace file] [-flight file] [-events file] [snapshot-file...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 		}
 		checkHistograms(path, snap)
 		checkNonzero(path, snap, *nonzero)
+		checkCounterValues(path, snap, *counter)
 		log.Printf("%s: ok (%d counters, %d gauges, %d histograms, %d timers)",
 			path, len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(snap.Timers))
 		if !*equal {
@@ -121,6 +123,36 @@ func checkNonzero(path string, snap obs.Snapshot, spec string) {
 			log.Fatalf("%s: counter %s is %d, want > 0", path, name, v)
 		}
 		log.Printf("%s: counter %s = %d", path, name, v)
+	}
+}
+
+// checkCounterValues requires every named counter to hold an exact
+// value — how the scale smoke asserts a warm store open retrains
+// nothing, and a corrupted-object reopen retrains exactly one model. A
+// counter that was never incremented is absent from the snapshot, so a
+// missing counter matches an expected value of 0.
+func checkCounterValues(path string, snap obs.Snapshot, spec string) {
+	for _, pair := range strings.Split(spec, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("-counter: %q is not name=value", pair)
+		}
+		want, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			log.Fatalf("-counter: %q: %v", pair, err)
+		}
+		name = strings.TrimSpace(name)
+		got, present := snap.Counters[name]
+		if !present && want != 0 {
+			log.Fatalf("%s: counter %s missing, want %d", path, name, want)
+		}
+		if got != want {
+			log.Fatalf("%s: counter %s is %d, want %d", path, name, got, want)
+		}
+		log.Printf("%s: counter %s = %d (exact)", path, name, got)
 	}
 }
 

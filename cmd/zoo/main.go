@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"log"
 
-	"decepticon"
 	"decepticon/internal/cliconfig"
 )
 
@@ -51,7 +50,7 @@ func run() error {
 			log.Printf("%s %d/%d", stage, done, total)
 		}
 	}
-	z, err := decepticon.BuildOrLoadZooContext(rt.Ctx, cfg, opts.Cache)
+	z, err := opts.LoadZoo(rt.Ctx, cfg)
 	if err != nil {
 		if z == nil {
 			return err
@@ -70,7 +69,10 @@ func run() error {
 	fmt.Printf("\nfine-tuned victims (%d):\n", len(z.FineTuned))
 	fmt.Printf("%-60s %-8s %-8s\n", "name", "task", "dev acc")
 	for _, f := range z.FineTuned {
-		fmt.Printf("%-60s %-8s %-8.3f\n", f.Name, f.Task.Name, f.Model.Evaluate(f.Dev))
+		fmt.Printf("%-60s %-8s %-8.3f\n", f.Name, f.Task.Name, f.Model().Evaluate(f.Dev))
+		// One victim's tensors in memory at a time when the zoo is
+		// store-backed; a no-op for resident populations.
+		f.Release()
 	}
 	return nil
 }

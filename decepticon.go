@@ -217,6 +217,20 @@ func BuildOrLoadZooContext(ctx context.Context, cfg ZooConfig, cachePath string)
 	return zoo.BuildOrLoadContext(ctx, cfg, cachePath)
 }
 
+// ZooStoreStats reports what a store open did: how many models were
+// trained, reused from existing objects, or imported from a legacy cache.
+type ZooStoreStats = zoo.StoreStats
+
+// BuildOrOpenZooStore materializes the population from a content-addressed
+// store directory: models whose configuration hash matches an existing
+// object are served as lazy handles (loaded on first use, releasable), and
+// only entries whose inputs changed are retrained. A non-empty legacyCache
+// naming a monolithic cache built with the same config seeds a fresh store
+// by import instead of retraining.
+func BuildOrOpenZooStore(ctx context.Context, cfg ZooConfig, dir, legacyCache string) (*Zoo, *ZooStoreStats, error) {
+	return zoo.BuildOrOpenStore(ctx, cfg, dir, legacyCache)
+}
+
 // DefaultPrepareConfig returns the standard level-1 training setup.
 func DefaultPrepareConfig() PrepareConfig { return core.DefaultPrepareConfig() }
 

@@ -37,9 +37,9 @@ func main() {
 	// Full selective extraction (no early stop) — every backbone weight
 	// goes through Algorithm 1, which is what the Fig 16 accounting below
 	// measures.
-	oracle := sidechannel.NewOracle(victim.Model)
+	oracle := sidechannel.NewOracle(victim.Model())
 	ex := &extract.Extractor{
-		Pre:    victim.Pretrained.Model, // identified by level 1
+		Pre:    victim.Pretrained.Model(), // identified by level 1
 		Oracle: oracle,
 		Cfg:    extract.DefaultConfig(),
 	}
@@ -61,24 +61,24 @@ func main() {
 	fmt.Printf("encoder layers extracted: %d of %d (plus embeddings and head)\n",
 		st.LayersExtracted, st.LayersTotal)
 
-	match := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev))
+	match := stats.MatchRate(victim.Model().Predictions(victim.Dev), clone.Predictions(victim.Dev))
 	fmt.Printf("clone/victim agreement:  %.1f%% (paper: 94%%)\n", 100*match)
 
 	// With black-box queries for the stop rule, the attacker can often
 	// stop even earlier: the head plus the pre-trained backbone may
 	// already reproduce the victim.
-	oracle2 := sidechannel.NewOracle(victim.Model)
+	oracle2 := sidechannel.NewOracle(victim.Model())
 	ex2 := &extract.Extractor{
-		Pre:    victim.Pretrained.Model,
+		Pre:    victim.Pretrained.Model(),
 		Oracle: oracle2,
 		Cfg:    extract.DefaultConfig(),
-		Victim: victim.Model.Predict,
+		Victim: victim.Model().Predict,
 	}
 	clone2, st2, err := ex2.Run(victim.Task.Labels, victim.Dev)
 	if err != nil {
 		log.Fatal(err)
 	}
-	match2 := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone2.Predictions(victim.Dev))
+	match2 := stats.MatchRate(victim.Model().Predictions(victim.Dev), clone2.Predictions(victim.Dev))
 	fmt.Println("── with the early-stop rule ──")
 	fmt.Printf("layers extracted:        %d of %d, %d bits read, %d victim queries\n",
 		st2.LayersExtracted, st2.LayersTotal, st2.BitsChecked+st2.HeadBitsRead, st2.QueriesUsed)
@@ -100,10 +100,10 @@ func main() {
 	ckpt := filepath.Join(ckptDir, victim.Name+".ckpt")
 
 	faulty := func(budget int64, resume bool) (*extract.Stats, *sidechannel.Oracle, error) {
-		o := sidechannel.NewOracle(victim.Model)
+		o := sidechannel.NewOracle(victim.Model())
 		o.SetFaultPlan(plan)
 		ex := &extract.Extractor{
-			Pre:            victim.Pretrained.Model,
+			Pre:            victim.Pretrained.Model(),
 			Oracle:         o,
 			Cfg:            extract.DefaultConfig(),
 			CheckpointPath: ckpt,

@@ -28,7 +28,7 @@ func TestPerturbBasics(t *testing.T) {
 	z := getZoo(t)
 	victim := z.FineTuned[0]
 	ex := victim.Dev[0]
-	adv := Perturb(victim.Model, ex.Tokens, ex.Label, 2)
+	adv := Perturb(victim.Model(), ex.Tokens, ex.Label, 2)
 	if len(adv) != len(ex.Tokens) {
 		t.Fatalf("length changed: %d -> %d", len(ex.Tokens), len(adv))
 	}
@@ -55,7 +55,7 @@ func TestPerturbBasics(t *testing.T) {
 	}
 	// Flipped tokens are valid vocabulary ids.
 	for _, tok := range adv {
-		if tok < 0 || tok >= victim.Model.Vocab {
+		if tok < 0 || tok >= victim.Model().Vocab {
 			t.Fatalf("token %d out of vocabulary", tok)
 		}
 	}
@@ -64,7 +64,7 @@ func TestPerturbBasics(t *testing.T) {
 func TestPerturbIncreasesSurrogateLoss(t *testing.T) {
 	z := getZoo(t)
 	victim := z.FineTuned[0]
-	m := victim.Model
+	m := victim.Model()
 	raised := 0
 	total := 0
 	for _, ex := range victim.Dev {
@@ -90,7 +90,7 @@ func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
 	// distilled from prediction records.
 	z := getZoo(t)
 	victim := z.FineTuned[0]
-	white := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 2, nil)
+	white := Evaluate(victim.Model(), victim.Model().Predict, victim.Dev, 2, nil)
 	if white.Attempted == 0 {
 		t.Skip("victim classifies nothing correctly at this scale")
 	}
@@ -102,9 +102,9 @@ func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
 	if pre == victim.Pretrained {
 		pre = z.Pretrained[2]
 	}
-	inputs := RecordInputs(victim.Model.Vocab, victim.Task.SeqLen, 3*len(victim.Train), 9)
-	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 10, nil)
-	grey := Evaluate(sub, victim.Model.Predict, victim.Dev, 2, nil)
+	inputs := RecordInputs(victim.Model().Vocab, victim.Task.SeqLen, 3*len(victim.Train), 9)
+	sub := BuildSubstitute(pre.Model(), victim.Model().Predict, inputs, victim.Task.Labels, 10, nil)
+	grey := Evaluate(sub, victim.Model().Predict, victim.Dev, 2, nil)
 	if grey.SuccessRate() >= white.SuccessRate() {
 		t.Fatalf("substitute success %v should be below white-box %v",
 			grey.SuccessRate(), white.SuccessRate())
@@ -114,10 +114,10 @@ func TestWhiteBoxAttackBeatsDistilledSubstitute(t *testing.T) {
 func TestEvaluateCountsOnlyCorrectInputs(t *testing.T) {
 	z := getZoo(t)
 	victim := z.FineTuned[0]
-	res := Evaluate(victim.Model, victim.Model.Predict, victim.Dev, 1, nil)
+	res := Evaluate(victim.Model(), victim.Model().Predict, victim.Dev, 1, nil)
 	correct := 0
 	for _, ex := range victim.Dev {
-		if victim.Model.Predict(ex.Tokens) == ex.Label {
+		if victim.Model().Predict(ex.Tokens) == ex.Label {
 			correct++
 		}
 	}
@@ -169,11 +169,11 @@ func TestBuildSubstituteAgreesWithVictim(t *testing.T) {
 	z := getZoo(t)
 	victim := z.FineTuned[0]
 	pre := z.Pretrained[1]
-	inputs := RecordInputs(victim.Model.Vocab, victim.Task.SeqLen, 3*len(victim.Train), 11)
-	sub := BuildSubstitute(pre.Model, victim.Model.Predict, inputs, victim.Task.Labels, 12, nil)
+	inputs := RecordInputs(victim.Model().Vocab, victim.Task.SeqLen, 3*len(victim.Train), 11)
+	sub := BuildSubstitute(pre.Model(), victim.Model().Predict, inputs, victim.Task.Labels, 12, nil)
 	agree := 0
 	for _, ex := range victim.Dev {
-		if sub.Predict(ex.Tokens) == victim.Model.Predict(ex.Tokens) {
+		if sub.Predict(ex.Tokens) == victim.Model().Predict(ex.Tokens) {
 			agree++
 		}
 	}

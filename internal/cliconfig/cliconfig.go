@@ -51,7 +51,12 @@ type Options struct {
 	LogLevel string
 
 	// Cache group.
-	Cache string
+	Cache         string
+	Store         string
+	ReleaseModels bool
+
+	// Identify group.
+	Hier bool
 
 	// Faults group.
 	Faults     string
@@ -79,9 +84,30 @@ func (o *Options) RegisterCommon(fs *flag.FlagSet) {
 	fs.StringVar(&o.LogLevel, "log-level", "", "structured log level on stderr: debug | info | warn | error (default off)")
 }
 
-// RegisterCache declares -cache.
+// RegisterCache declares the zoo-materialization group: -cache, -store,
+// -release-models.
 func (o *Options) RegisterCache(fs *flag.FlagSet) {
 	fs.StringVar(&o.Cache, "cache", "", "zoo cache file (built once, reused afterwards)")
+	fs.StringVar(&o.Store, "store", "", "content-addressed zoo store directory: models load lazily on first use, and a rerun retrains only entries whose configuration changed; with -cache set, a matching monolithic cache is imported once instead of retraining")
+	fs.BoolVar(&o.ReleaseModels, "release-models", false, "drop each victim's tensors (and its backbone's) after its report; with -store the campaign's peak memory tracks the victims in flight, not the population")
+}
+
+// RegisterIdentify declares -hier.
+func (o *Options) RegisterIdentify(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Hier, "hier", false, "identify with the two-level family→release hierarchy instead of the flat classifier alone (identification cost stays sub-linear in the zoo's release count)")
+}
+
+// LoadZoo materializes the population the options ask for: from the
+// content-addressed store when -store is set (with -cache, if present,
+// offered as a one-time import source), else from the monolithic -cache
+// file. The zoo-affecting fields of cfg (Workers, Obs, OnProgress) are
+// expected to be filled by the caller.
+func (o *Options) LoadZoo(ctx context.Context, cfg zoo.BuildConfig) (*zoo.Zoo, error) {
+	if o.Store != "" {
+		z, _, err := zoo.BuildOrOpenStore(ctx, cfg, o.Store, o.Cache)
+		return z, err
+	}
+	return zoo.BuildOrLoadContext(ctx, cfg, o.Cache)
 }
 
 // RegisterFaults declares the fault/checkpoint group: -faults,

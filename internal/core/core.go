@@ -48,7 +48,14 @@ type Attack struct {
 	// identifier uses (nil = equal weights). Prepare fills them from each
 	// classifier's calibration accuracy on its training set.
 	FusionWeights map[fingerprint.Modality]float64
-	ExtractCfg    extract.Config
+	// Hier, when non-nil, replaces the flat classifier in the Identify
+	// stage with the two-level family→release identifier (trained when
+	// PrepareConfig.Hierarchical is set). The flat classifier is still
+	// trained — fused multi-modal identification and calibration use it —
+	// but single-trace identification walks the hierarchy, whose cost
+	// stays sub-linear in the zoo's release count.
+	Hier       *fingerprint.Hierarchical
+	ExtractCfg extract.Config
 	// Obs receives the attack's cost accounting (phase wall times, victim
 	// queries, and — through the oracle and extractor it is handed to —
 	// hammer rounds and bit reads). nil runs un-instrumented.
@@ -78,6 +85,12 @@ type PrepareConfig struct {
 	// vector classifiers train on features derived from the same trace
 	// dataset, so no second measurement pass is paid.
 	Modalities []fingerprint.Modality
+	// Hierarchical additionally trains the two-level family→release
+	// identifier (fingerprint.Hierarchical) on the same dataset and
+	// installs it as the Identify stage's classifier. Intended for large
+	// zoos, where the flat CNN's class count grows with every release but
+	// the hierarchy's family level stays fixed.
+	Hierarchical bool
 }
 
 // DefaultPrepareConfig returns a preparation setup matched to the zoo
@@ -142,6 +155,15 @@ func PrepareContext(ctx context.Context, z *zoo.Zoo, cfg PrepareConfig) (*Attack
 		return nil, fmt.Errorf("core: prepare cancelled: %w", err)
 	}
 	atk := &Attack{Zoo: z, Classifier: clf, ExtractCfg: extract.DefaultConfig(), Obs: cfg.Obs}
+	if cfg.Hierarchical {
+		h, err := fingerprint.TrainHierarchical(ctx, z, d, cfg.ImgSize,
+			fingerprint.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Seed: cfg.Seed + 3},
+			cfg.Workers, cfg.Obs)
+		if err != nil {
+			return nil, fmt.Errorf("core: prepare cancelled: %w", err)
+		}
+		atk.Hier = h
+	}
 	if err := atk.prepareModalities(ctx, d, cfg); err != nil {
 		return nil, err
 	}
@@ -590,6 +612,13 @@ type RunOptions struct {
 	// dump instead lands next to the checkpoint as <victim>.flight.json,
 	// so each victim's post-mortem is its own file.
 	FlightPath string
+	// ReleaseModels drops each victim's lazily-loaded tensors (and its
+	// backbone's) once that victim's report is final. With a store-backed
+	// zoo the campaign's peak memory then tracks the handful of victims in
+	// flight instead of the whole population; a later use transparently
+	// reloads from the store, byte-identical. Resident (built-in-memory)
+	// zoos ignore it.
+	ReleaseModels bool
 	// Progress, when set, receives live per-victim progress: each victim
 	// registers an item keyed by its name, the pipeline annotates the
 	// item's stage as it advances, and extraction credits completed
@@ -617,7 +646,9 @@ func pickSubstitute(z *zoo.Zoo, victim *zoo.FineTuned, s int) *zoo.Pretrained {
 	n := len(z.Pretrained)
 	for off := 0; off < n; off++ {
 		p := z.Pretrained[(s+1+off)%n]
-		if p.Name == victim.Pretrained.Name || p.Model.Vocab != victim.Model.Vocab {
+		// Compare vocabulary sizes through the architecture metadata, not
+		// the models: scanning the pool must not force lazy tensor loads.
+		if p.Name == victim.Pretrained.Name || p.Arch.Vocab != victim.Pretrained.Arch.Vocab {
 			continue
 		}
 		return p
@@ -718,7 +749,7 @@ func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunO
 	// core.victim_queries is the attacker's total query budget.
 	r.countedPredict = func(tokens []int) int {
 		vq.Inc()
-		return victim.Model.Predict(tokens)
+		return victim.Model().Predict(tokens)
 	}
 	eng := &pipeline.Engine{
 		Trace:        r,
@@ -745,7 +776,17 @@ func (a *Attack) RunContext(ctx context.Context, victim *zoo.FineTuned, opt RunO
 	if opt.Clock != nil {
 		clock = opt.Clock()
 	}
-	if err := eng.Run(&pipeline.State{Ctx: ctx, Obs: a.Obs, Track: tk, Clock: clock}); err != nil {
+	err := eng.Run(&pipeline.State{Ctx: ctx, Obs: a.Obs, Track: tk, Clock: clock})
+	if opt.ReleaseModels {
+		// The victim's report is final (even on error): drop its tensors
+		// and its backbone's so a lazily-loaded campaign holds only the
+		// victims in flight. A shared backbone reloads on demand for the
+		// next victim that needs it — pure CPU cost, never a correctness
+		// one.
+		victim.Release()
+		victim.Pretrained.Release()
+	}
+	if err != nil {
 		return nil, err
 	}
 	// Terminal progress state. Every non-interrupted outcome is finished

@@ -361,7 +361,7 @@ func TestPickSubstituteValidity(t *testing.T) {
 			p := pickSubstitute(z, f, s)
 			if p == nil {
 				for _, q := range z.Pretrained {
-					if q.Name != f.Pretrained.Name && q.Model.Vocab == f.Model.Vocab {
+					if q.Name != f.Pretrained.Name && q.Arch.Vocab == f.Pretrained.Arch.Vocab {
 						t.Fatalf("victim %s s=%d: nil though %s qualifies", f.Name, s, q.Name)
 					}
 				}
@@ -370,9 +370,9 @@ func TestPickSubstituteValidity(t *testing.T) {
 			if p.Name == f.Pretrained.Name {
 				t.Fatalf("victim %s s=%d: substitute is the victim's own release", f.Name, s)
 			}
-			if p.Model.Vocab != f.Model.Vocab {
+			if p.Arch.Vocab != f.Pretrained.Arch.Vocab {
 				t.Fatalf("victim %s s=%d: substitute vocab %d != victim vocab %d",
-					f.Name, s, p.Model.Vocab, f.Model.Vocab)
+					f.Name, s, p.Arch.Vocab, f.Pretrained.Arch.Vocab)
 			}
 		}
 	}

@@ -80,11 +80,18 @@ func (r *attackRun) MeasureTrace(s *pipeline.State) error {
 }
 
 // Identify maps the measured trace to a pre-trained candidate with the
-// CNN. A candidate the zoo does not know is a real error (the classifier
-// and the candidate pool are out of sync), not a per-victim degradation.
+// CNN — the flat classifier by default, the two-level family→release
+// hierarchy when the attack was prepared with one. A candidate the zoo
+// does not know is a real error (the classifier and the candidate pool
+// are out of sync), not a per-victim degradation.
 func (r *attackRun) Identify(s *pipeline.State) error {
 	r.prog.SetStage("identify")
-	top := r.a.Classifier.PredictTopK(r.trace, 3)
+	var top []string
+	if r.a.Hier != nil {
+		top = r.a.Hier.PredictTopK(r.trace, 3)
+	} else {
+		top = r.a.Classifier.PredictTopK(r.trace, 3)
+	}
 	r.identified = top[0]
 	if r.a.Zoo.PretrainedByName(r.identified) == nil {
 		r.identifyTrace.End()
@@ -124,11 +131,11 @@ func (r *attackRun) Disambiguate(s *pipeline.State) error {
 
 	// Cross-check the identified architecture against the victim's
 	// bus-probe allocation map before paying for rowhammer.
-	am := sidechannel.MapModel(r.victim.Model)
+	am := sidechannel.MapModel(r.victim.Model())
 	if inferred, err := sidechannel.InferArchitecture(am.Sizes()); err == nil {
-		r.rep.ArchConfirmed = inferred.Layers == r.pre.Model.Layers &&
-			inferred.Hidden == r.pre.Model.Hidden &&
-			inferred.FFN == r.pre.Model.FFN
+		r.rep.ArchConfirmed = inferred.Layers == r.pre.Model().Layers &&
+			inferred.Hidden == r.pre.Model().Hidden &&
+			inferred.FFN == r.pre.Model().FFN
 	}
 	r.identifyTrace.End()
 	r.identifySpan.End()
@@ -171,7 +178,7 @@ func (r *attackRun) Extract(s *pipeline.State) error {
 	r.prog.SetStage("extract")
 	extractSpan := r.a.Obs.StartSpan("core.phase.extract_seconds")
 	extractTrace := r.tk.Begin("extract")
-	oracle := sidechannel.NewOracle(r.victim.Model)
+	oracle := sidechannel.NewOracle(r.victim.Model())
 	oracle.SetObs(r.a.Obs)
 	if r.opt.BitErrorRate > 0 {
 		// The noise stream derives from the victim's identity, keeping
@@ -185,7 +192,7 @@ func (r *attackRun) Extract(s *pipeline.State) error {
 		cfg.Schedule = extract.DefaultSchedulerConfig()
 	}
 	ex := &extract.Extractor{
-		Pre:        r.pre.Model,
+		Pre:        r.pre.Model(),
 		Oracle:     oracle,
 		Cfg:        cfg,
 		Victim:     r.countedPredict,
@@ -253,12 +260,12 @@ func (r *attackRun) Evaluate(s *pipeline.State) error {
 	r.prog.SetStage("evaluate")
 	evalSpan := r.a.Obs.StartSpan("core.phase.evaluate_seconds")
 	evalTrace := r.tk.Begin("evaluate")
-	vp := r.victim.Model.Predictions(r.victim.Dev)
+	vp := r.victim.Model().Predictions(r.victim.Dev)
 	cp := r.clone.Predictions(r.victim.Dev)
 	r.rep.MatchRate = stats.MatchRate(vp, cp)
-	r.rep.VictimAcc = r.victim.Model.Evaluate(r.victim.Dev)
+	r.rep.VictimAcc = r.victim.Model().Evaluate(r.victim.Dev)
 	r.rep.CloneAcc = r.clone.Evaluate(r.victim.Dev)
-	r.rep.VictimF1 = r.victim.Model.EvaluateF1(r.victim.Dev)
+	r.rep.VictimF1 = r.victim.Model().EvaluateF1(r.victim.Dev)
 	r.rep.CloneF1 = r.clone.EvaluateF1(r.victim.Dev)
 	// Six passes over the dev set (predictions, accuracy, F1 × victim
 	// and clone) — a deterministic work unit for the lane clock.
@@ -282,17 +289,17 @@ func (r *attackRun) Adversarial(s *pipeline.State) error {
 		flips = 2
 	}
 	r.rep.AdvClone = adversarial.Evaluate(r.clone, r.countedPredict, r.victim.Dev, flips, r.a.Obs).SuccessRate()
-	inputs := adversarial.RecordInputs(r.victim.Model.Vocab, r.victim.Task.SeqLen,
+	inputs := adversarial.RecordInputs(r.victim.Model().Vocab, r.victim.Task.SeqLen,
 		4*len(r.victim.Train), rng.Seed("adv-records", r.victim.Name))
 	for sub := 0; sub < r.opt.NumSubstitutes; sub++ {
 		pre := pickSubstitute(r.a.Zoo, r.victim, sub)
 		if pre == nil {
 			r.rep.AdvSkipped = append(r.rep.AdvSkipped, fmt.Sprintf(
 				"substitute %d: no pre-trained candidate with vocab size %d other than the victim's own release %s",
-				sub, r.victim.Model.Vocab, r.victim.Pretrained.Name))
+				sub, r.victim.Model().Vocab, r.victim.Pretrained.Name))
 			continue
 		}
-		subModel := adversarial.BuildSubstitute(pre.Model, r.countedPredict, inputs,
+		subModel := adversarial.BuildSubstitute(pre.Model(), r.countedPredict, inputs,
 			r.victim.Task.Labels, rng.Seed("substitute", r.victim.Name, fmt.Sprint(sub)), r.a.Obs)
 		r.rep.AdvSubstitutes = append(r.rep.AdvSubstitutes,
 			adversarial.Evaluate(subModel, r.countedPredict, r.victim.Dev, flips, r.a.Obs).SuccessRate())

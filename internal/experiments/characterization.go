@@ -41,7 +41,7 @@ func (e *Env) Table1() *Table1Result {
 	cfg := e.ZooConfig()
 	data := tk.Generate(pre.Arch.Vocab, 2*cfg.FineTuneExamples, rng.Seed("table1-data"))
 	train, dev := task.Split(data, 0.8)
-	victim := transformer.FineTuneFrom(pre.Model, tk.Labels, train, transformer.TrainConfig{
+	victim := transformer.FineTuneFrom(pre.Model(), tk.Labels, train, transformer.TrainConfig{
 		Epochs: cfg.FineTuneEpochs + 4, BatchSize: 4,
 		LR: 1e-3, HeadLR: 1e-2, WeightDecay: 0.05,
 		Seed: rng.Seed("table1-train"),
@@ -56,7 +56,7 @@ func (e *Env) Table1() *Table1Result {
 	for k := 0; k <= maxFrozen; k++ {
 		m := victim.Clone()
 		for l := 0; l < k; l++ {
-			m.CopyBlockFrom(pre.Model, l)
+			m.CopyBlockFrom(pre.Model(), l)
 		}
 		acc := m.Evaluate(dev)
 		res.Rows = append(res.Rows, Table1Row{FrozenLayers: k, Accuracy: acc, Drop: base - acc})
@@ -115,8 +115,8 @@ func (e *Env) Fig3() *Fig3Result {
 		if cross == nil {
 			continue
 		}
-		own := transformer.WeightGaps(f.Pretrained.Model, f.Model)
-		crossGaps := transformer.WeightGaps(cross.Model, f.Model)
+		own := transformer.WeightGaps(f.Pretrained.Model(), f.Model())
+		crossGaps := transformer.WeightGaps(cross.Model(), f.Model())
 		ownAll = append(ownAll, own...)
 		crossAll = append(crossAll, crossGaps...)
 		res.Pairs++
@@ -161,7 +161,7 @@ func weightRanges(z *zoo.Zoo) (min, max float64) {
 	min, max = math.Inf(1), 0
 	for _, p := range z.Pretrained {
 		var lo, hi float32
-		for _, np := range p.Model.Params() {
+		for _, np := range p.Model().Params() {
 			for _, v := range np.Value.Data {
 				if v < lo {
 					lo = v
@@ -220,7 +220,7 @@ func (e *Env) Fig4() *Fig4Result {
 	sums := make([]float64, buckets)
 	counts := make([]float64, buckets)
 	for _, f := range z.FineTuned {
-		for _, pr := range transformer.SharedParams(f.Pretrained.Model, f.Model) {
+		for _, pr := range transformer.SharedParams(f.Pretrained.Model(), f.Model()) {
 			va, vb := pr[0].Value, pr[1].Value
 			for i := range va.Data {
 				w := float64(va.Data[i])
@@ -297,20 +297,20 @@ func (e *Env) Fig5() *Fig5Result {
 		res.Tasks = append(res.Tasks, tk.Name)
 		data := tk.Generate(pre.Arch.Vocab, cfg.FineTuneExamples, rng.Seed("fig5", tk.Name))
 		train, _ := task.Split(data, 0.8)
-		m := transformer.FineTuneFrom(pre.Model, tk.Labels, train, transformer.TrainConfig{
+		m := transformer.FineTuneFrom(pre.Model(), tk.Labels, train, transformer.TrainConfig{
 			Epochs: cfg.FineTuneEpochs, BatchSize: 4,
 			LR: cfg.FineTuneLR, HeadLR: cfg.FineTuneHeadLR, WeightDecay: cfg.FineTuneDecay,
 			Seed: rng.Seed("fig5-train", tk.Name),
 		}, rng.Seed("fig5-head", tk.Name))
 		models = append(models, m)
 	}
-	res.PerLayer = make([]float64, pre.Model.Layers)
+	res.PerLayer = make([]float64, pre.Model().Layers)
 	var headSum float64
 	var headN, perLayerN float64
 	for i := 0; i < len(models); i++ {
 		for j := i + 1; j < len(models); j++ {
 			diffs := transformer.LayerMeanAbsDiff(models[i], models[j])
-			for l := 0; l < pre.Model.Layers; l++ {
+			for l := 0; l < pre.Model().Layers; l++ {
 				res.PerLayer[l] += diffs[l]
 			}
 			perLayerN++
@@ -362,10 +362,10 @@ func (e *Env) Fig6() *Fig6Result {
 	data := tk.Generate(pre.Arch.Vocab, cfg.FineTuneExamples, rng.Seed("fig6-data"))
 	train, _ := task.Split(data, 0.8)
 
-	ft := transformer.New(pre.Model.Config.WithLabels(tk.Labels), rng.Seed("fig6-head"))
-	ft.CopyEmbeddingsFrom(pre.Model)
-	for l := range pre.Model.Blocks {
-		ft.CopyBlockFrom(pre.Model, l)
+	ft := transformer.New(pre.Model().Config.WithLabels(tk.Labels), rng.Seed("fig6-head"))
+	ft.CopyEmbeddingsFrom(pre.Model())
+	for l := range pre.Model().Blocks {
+		ft.CopyBlockFrom(pre.Model(), l)
 	}
 
 	const epochs = 30
@@ -504,14 +504,14 @@ func (e *Env) Fig20() *Fig20Result {
 	}
 	cross := crossPretrainedSameArch(z, pre)
 
-	probes := probeInputs(pre.Model.Vocab, pre.Model.MaxSeq, 24, rng.Seed("fig20-probes"))
-	preSeries := pre.Model.HeadConfidenceSeries(probes)
+	probes := probeInputs(pre.Model().Vocab, pre.Model().MaxSeq, 24, rng.Seed("fig20-probes"))
+	preSeries := pre.Model().HeadConfidenceSeries(probes)
 	res := &Fig20Result{Pretrained: pre.Name}
 	for _, f := range fts {
-		ftSeries := f.Model.HeadConfidenceSeries(probes)
+		ftSeries := f.Model().HeadConfidenceSeries(probes)
 		res.OwnCorr = append(res.OwnCorr, meanCellCorr(preSeries, ftSeries))
 		if cross != nil {
-			crossSeries := cross.Model.HeadConfidenceSeries(probes)
+			crossSeries := cross.Model().HeadConfidenceSeries(probes)
 			res.CrossCorr = append(res.CrossCorr, meanCellCorr(crossSeries, ftSeries))
 		}
 	}

@@ -53,6 +53,12 @@ type Env struct {
 	// cost of a full-scale run.
 	CachePath string
 
+	// StorePath, when non-empty, keeps the zoo in a content-addressed
+	// store at this directory instead — lazy handles, incremental
+	// rebuild (DESIGN.md §16). Takes precedence over CachePath; a
+	// legacy cache at CachePath is imported rather than retrained.
+	StorePath string
+
 	// Workers bounds the goroutines used for zoo construction, trace
 	// measurement, and attack campaigns; <= 0 selects GOMAXPROCS. All
 	// results are identical for any value (see internal/parallel).
@@ -139,7 +145,13 @@ func (e *Env) Zoo() *zoo.Zoo {
 		}
 		e.logf("building model zoo (%d pre-trained, %d fine-tuned)...",
 			cfg.NumPretrained, cfg.NumFineTuned)
-		z, err := zoo.BuildOrLoadContext(e.ctx(), cfg, e.CachePath)
+		var z *zoo.Zoo
+		var err error
+		if e.StorePath != "" {
+			z, _, err = zoo.BuildOrOpenStore(e.ctx(), cfg, e.StorePath, e.CachePath)
+		} else {
+			z, err = zoo.BuildOrLoadContext(e.ctx(), cfg, e.CachePath)
+		}
 		if err != nil {
 			if z == nil {
 				// The build itself failed or was cancelled — there is no

@@ -38,7 +38,7 @@ type PruningResult struct {
 func (e *Env) Pruning() *PruningResult {
 	z := e.Zoo()
 	src := z.FineTuned[0]
-	victim := src.Model.Clone()
+	victim := src.Model().Clone()
 	probes := probeInputs(victim.Vocab, victim.MaxSeq, 24, rng.Seed("pruning-probes"))
 
 	// The victim's owner pruned the lowest-confidence heads, layer by
@@ -71,7 +71,7 @@ func (e *Env) Pruning() *PruningResult {
 	prof := src.Pretrained.Profile
 	trace := gpusim.SimulateTransformer(victim.Config, active, prof, gpusim.Options{})
 
-	det, err := pruning.Detect(trace, src.Pretrained.Model, prof, probes)
+	det, err := pruning.Detect(trace, src.Pretrained.Model(), prof, probes)
 	if err != nil {
 		panic(err)
 	}
@@ -80,7 +80,7 @@ func (e *Env) Pruning() *PruningResult {
 	noisy := gpusim.SimulateTransformer(victim.Config, active, prof, gpusim.Options{
 		MeasureSeed: 7, JitterMagnitude: 0.2,
 	})
-	detNoisy, err := pruning.Detect(noisy, src.Pretrained.Model, prof, probes)
+	detNoisy, err := pruning.Detect(noisy, src.Pretrained.Model(), prof, probes)
 	if err != nil {
 		panic(err)
 	}
@@ -129,7 +129,7 @@ func (e *Env) Quant() *QuantResult {
 	z := e.Zoo()
 	victim := z.FineTuned[0]
 	var base, fine []float32
-	for _, pr := range transformer.SharedParams(victim.Pretrained.Model, victim.Model) {
+	for _, pr := range transformer.SharedParams(victim.Pretrained.Model(), victim.Model()) {
 		base = append(base, pr[0].Value.Data...)
 		fine = append(fine, pr[1].Value.Data...)
 	}
@@ -181,12 +181,12 @@ func (e *Env) Noise() *NoiseResult {
 	victim := z.FineTuned[0]
 	res := &NoiseResult{Victim: victim.Name}
 	run := func(rate float64, repeats int) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetNoise(rate, 1234)
 		cfg := extract.DefaultConfig()
 		cfg.ReadRepeats = repeats
 		ex := &extract.Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: oracle,
 			Cfg:    cfg,
 		}
@@ -194,7 +194,7 @@ func (e *Env) Noise() *NoiseResult {
 		if err != nil {
 			panic(err) // zoo-built victim with its own oracle cannot mismatch
 		}
-		match := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev))
+		match := stats.MatchRate(victim.Model().Predictions(victim.Dev), clone.Predictions(victim.Dev))
 		res.Points = append(res.Points, NoisePoint{ErrorRate: rate, Repeats: repeats, MatchRate: match})
 	}
 	for _, rate := range []float64{0, 0.001, 0.01, 0.05, 0.2} {
@@ -255,7 +255,7 @@ func (e *Env) Defense() *DefenseResult {
 		}
 		prof := f.Pretrained.Profile
 		prof.RandomizeKernels = true
-		defended := gpusim.SimulateTransformer(f.Model.Config, nil, prof, gpusim.Options{
+		defended := gpusim.SimulateTransformer(f.Model().Config, nil, prof, gpusim.Options{
 			MeasureSeed: uint64(900 + i), JitterMagnitude: 0.3,
 		})
 		defended.Model = f.Name
@@ -271,8 +271,8 @@ func (e *Env) Defense() *DefenseResult {
 	f := z.FineTuned[0]
 	prof := f.Pretrained.Profile
 	prof.RandomizeKernels = true
-	defended := gpusim.SimulateTransformer(f.Model.Config, nil, prof, gpusim.Options{MeasureSeed: 99})
-	res.LayerDetectionOK = traceimg.DetectLayerCount(defended, 32) == f.Model.Layers
+	defended := gpusim.SimulateTransformer(f.Model().Config, nil, prof, gpusim.Options{MeasureSeed: 99})
+	res.LayerDetectionOK = traceimg.DetectLayerCount(defended, 32) == f.Model().Layers
 	return res
 }
 

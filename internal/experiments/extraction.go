@@ -79,8 +79,8 @@ func (e *Env) Fig16() *Fig16Result {
 	z := e.Zoo()
 	victim := z.FineTuned[0]
 	ex := &extract.Extractor{
-		Pre:    victim.Pretrained.Model,
-		Oracle: sidechannel.NewOracle(victim.Model),
+		Pre:    victim.Pretrained.Model(),
+		Oracle: sidechannel.NewOracle(victim.Model()),
 		Cfg:    extract.DefaultConfig(),
 		Obs:    e.Obs,
 	}
@@ -148,13 +148,13 @@ func (e *Env) Fig17() *Fig17Result {
 	// A larger held-out set than the victim's dev split stabilizes the
 	// curve at this scale.
 	eval := victim.Task.Generate(victim.Pretrained.Arch.Vocab, 120, rng.Seed("fig17-eval"))
-	res := &Fig17Result{VictimAccuracy: victim.Model.Evaluate(eval), NeededFraction: 1}
+	res := &Fig17Result{VictimAccuracy: victim.Model().Evaluate(eval), NeededFraction: 1}
 	const seeds = 3
 	for _, frac := range []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0} {
 		subset := task.Subset(victim.Train, frac)
 		var acc float64
 		for s := 0; s < seeds; s++ {
-			m := transformer.FineTuneFrom(victim.Pretrained.Model, victim.Task.Labels, subset,
+			m := transformer.FineTuneFrom(victim.Pretrained.Model(), victim.Task.Labels, subset,
 				transformer.TrainConfig{
 					Epochs: cfg.FineTuneEpochs, BatchSize: 4,
 					LR: cfg.FineTuneLR, HeadLR: cfg.FineTuneHeadLR, WeightDecay: cfg.FineTuneDecay,
@@ -201,10 +201,10 @@ func (e *Env) Alg1() *Alg1Result {
 	victim := z.FineTuned[0]
 	cfg := extract.DefaultConfig()
 	res := &Alg1Result{
-		SignKeepRate: transformer.SignKeepRate(victim.Pretrained.Model, victim.Model),
+		SignKeepRate: transformer.SignKeepRate(victim.Pretrained.Model(), victim.Model()),
 	}
-	preParams := victim.Pretrained.Model.Params()
-	ftParams := victim.Model.Params()
+	preParams := victim.Pretrained.Model().Params()
+	ftParams := victim.Model().Params()
 	totalBits := 0
 	for i := range preParams {
 		if preParams[i].IsHead || i >= len(ftParams) {
@@ -277,7 +277,7 @@ func bestVictim(z *zoo.Zoo) *zoo.FineTuned {
 		if len(z.AmbiguousWith(f.Pretrained)) > 1 {
 			continue
 		}
-		if acc := f.Model.Evaluate(f.Dev); acc > bestAcc {
+		if acc := f.Model().Evaluate(f.Dev); acc > bestAcc {
 			best, bestAcc = f, acc
 		}
 	}

@@ -46,6 +46,7 @@ var registry = []struct {
 	{"reliability", "channel reliability sweep (§9)", func(e *Env, w io.Writer) { e.Reliability().Render(w) }},
 	{"defense", "kernel randomization countermeasure (§8)", func(e *Env, w io.Writer) { e.Defense().Render(w) }},
 	{"fusion", "multi-modal fused identification vs noise", func(e *Env, w io.Writer) { e.Fusion().Render(w) }},
+	{"zooscale", "store-backed 10x zoo: memory, hierarchy, incremental build", func(e *Env, w io.Writer) { e.ZooScale().Render(w) }},
 }
 
 // IDs returns every experiment id in presentation order.

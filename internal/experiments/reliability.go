@@ -59,12 +59,12 @@ func (e *Env) Reliability() *ReliabilityResult {
 	victim := z.FineTuned[0]
 	res := &ReliabilityResult{Victim: victim.Name}
 	run := func(label string, plan *sidechannel.FaultPlan, attempts int) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetFaultPlan(plan)
 		cfg := extract.DefaultConfig()
 		cfg.Retry.MaxAttempts = attempts
 		ex := &extract.Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: oracle,
 			Cfg:    cfg,
 		}
@@ -72,7 +72,7 @@ func (e *Env) Reliability() *ReliabilityResult {
 		if err != nil {
 			panic(err) // zoo-built victim with its own oracle cannot mismatch
 		}
-		match := stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev))
+		match := stats.MatchRate(victim.Model().Predictions(victim.Dev), clone.Predictions(victim.Dev))
 		rate := 0.0
 		if plan != nil {
 			rate = plan.TransientRate
@@ -120,7 +120,7 @@ func (e *Env) Reliability() *ReliabilityResult {
 	// saving; under silent noise the width stays up, which is the safety
 	// half of the same comparison.
 	schedRun := func(label string, scheduled bool, plan *sidechannel.FaultPlan, noise float64) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetFaultPlan(plan)
 		if noise > 0 {
 			oracle.SetNoise(noise, 0x5ced)
@@ -131,7 +131,7 @@ func (e *Env) Reliability() *ReliabilityResult {
 			cfg.Schedule = extract.DefaultSchedulerConfig()
 		}
 		ex := &extract.Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: oracle,
 			Cfg:    cfg,
 		}
@@ -142,7 +142,7 @@ func (e *Env) Reliability() *ReliabilityResult {
 		res.Scheduler = append(res.Scheduler, SchedulerPoint{
 			Label:         label,
 			Scheduled:     scheduled,
-			MatchRate:     stats.MatchRate(victim.Model.Predictions(victim.Dev), clone.Predictions(victim.Dev)),
+			MatchRate:     stats.MatchRate(victim.Model().Predictions(victim.Dev), clone.Predictions(victim.Dev)),
 			PhysicalReads: st.PhysicalBitReads,
 			HammerRounds:  st.HammerRounds(),
 			MeanVoteWidth: st.MeanVoteWidth(),

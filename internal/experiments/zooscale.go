@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"decepticon/internal/core"
+	"decepticon/internal/fingerprint"
+	"decepticon/internal/zoo"
+)
+
+// ------------------------------------------------------------- ZooScale
+//
+// The scaling study behind the content-addressed zoo store (DESIGN.md
+// §16): a 10× population (architecture filter relaxed, every model
+// served as a lazy handle from the store) attacked with per-victim
+// release, compared against a small-zoo baseline campaign. Three claims
+// are measured and pinned by test:
+//
+//   1. flat memory — the 10× campaign's peak live heap stays within
+//      1.5× of the small campaign's, because only the victims in
+//      flight are resident;
+//   2. hierarchical identification — the family→release identifier
+//      matches the flat classifier on the large population (exactly at
+//      the cluster level, where identity is actually decidable from
+//      traces; profile-ambiguous releases are the Disambiguate stage's
+//      job);
+//   3. incremental build — growing the already-built store by one
+//      victim retrains exactly one model.
+
+// ZooScalePoint is one population scale's campaign measurement.
+type ZooScalePoint struct {
+	// Pretrained / FineTuned is the population size.
+	Pretrained, FineTuned int
+	// ColdTrained / WarmReused count models trained at the cold store
+	// build and reused at the warm reopen.
+	ColdTrained, WarmReused int
+	// ColdOpenSeconds / WarmOpenSeconds are the wall times of the two
+	// opens (the warm one costs a manifest read, not a training run).
+	ColdOpenSeconds, WarmOpenSeconds float64
+	// PeakHeap is the maximum live heap (runtime.MemStats.HeapAlloc
+	// after GC) observed across the campaign's per-victim reports.
+	PeakHeap uint64
+	// Loaded counts models still resident when the campaign ended.
+	Loaded int
+}
+
+// ZooScaleResult is the scaling study.
+type ZooScaleResult struct {
+	Small, Large ZooScalePoint
+	// HeapRatio = Large.PeakHeap / Small.PeakHeap.
+	HeapRatio float64
+	// Victims is how many victims each campaign attacked (equal on both
+	// scales, so the working sets are comparable).
+	Victims int
+
+	// Identification accuracy on the large population's held-out split:
+	// raw top-1 and cluster-aware (a prediction inside the true
+	// release's profile-ambiguity cluster counts — within a cluster the
+	// execution fingerprints are identical and the pipeline separates
+	// them with query probes downstream).
+	FlatAcc, HierAcc               float64
+	FlatClusterAcc, HierClusterAcc float64
+	Families                       int
+
+	// IncrementalRetrained is how many models a reopen after growing the
+	// large population by one victim retrained. The contract: exactly 1.
+	IncrementalRetrained int
+}
+
+// zooScaleSmallConfig is the baseline population: trace-grade training
+// budgets (fingerprints depend on architecture and profile, not weight
+// quality), tiny architectures only.
+func zooScaleSmallConfig() zoo.BuildConfig {
+	cfg := zoo.DefaultBuildConfig()
+	cfg.NumPretrained = 3
+	cfg.NumFineTuned = 4
+	cfg.PretrainExamples = 8
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneExamples = 10
+	cfg.FineTuneEpochs = 1
+	cfg.ArchFilter = []string{"tiny"}
+	return cfg
+}
+
+// zooScaleLargeConfig is the 10× population: the architecture filter
+// relaxed to three families and ten times the models, same budgets.
+func zooScaleLargeConfig() zoo.BuildConfig {
+	cfg := zooScaleSmallConfig()
+	cfg.NumPretrained = 10
+	cfg.NumFineTuned = 60
+	cfg.ArchFilter = []string{"tiny", "mini", "small"}
+	return cfg
+}
+
+// zooScaleOpen builds or reopens a store and fills the point's open-side
+// numbers.
+func (e *Env) zooScaleOpen(ctx context.Context, cfg zoo.BuildConfig, dir string, p *ZooScalePoint, warm bool) (*zoo.Zoo, error) {
+	start := time.Now()
+	z, stats, err := zoo.BuildOrOpenStore(ctx, cfg, dir, "")
+	if err != nil {
+		return nil, err
+	}
+	if warm {
+		p.WarmReused = stats.Reused
+		p.WarmOpenSeconds = time.Since(start).Seconds()
+	} else {
+		p.ColdTrained = stats.Trained()
+		p.ColdOpenSeconds = time.Since(start).Seconds()
+	}
+	return z, nil
+}
+
+// zooScaleCampaign prepares a flat attack over the store-backed zoo and
+// runs the first `victims` victims with per-victim release, tracking the
+// post-GC peak live heap at every report boundary.
+func (e *Env) zooScaleCampaign(ctx context.Context, z *zoo.Zoo, victims int, p *ZooScalePoint) error {
+	prep := core.PrepareConfig{
+		SamplesPerModel: 2, ImgSize: 32, Epochs: 8,
+		Workers: e.Workers, Obs: e.Obs,
+	}
+	atk, err := core.PrepareContext(ctx, z, prep)
+	if err != nil {
+		return err
+	}
+	peak := func() {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > p.PeakHeap {
+			p.PeakHeap = ms.HeapAlloc
+		}
+	}
+	// Victims run strictly serially (RunContext, not RunAll): each
+	// boundary sample then sees only the released steady state, never a
+	// pipelined neighbor's in-flight working set. The pinned quantity is
+	// this boundary peak — what laziness + release actually bound; the
+	// transient mid-victim working set is a per-victim property, not a
+	// population one.
+	peak()
+	for _, f := range z.FineTuned[:victims] {
+		if _, err := atk.RunContext(ctx, f, core.RunOptions{
+			MeasureSeed:   1,
+			ReleaseModels: true,
+		}); err != nil {
+			return err
+		}
+		peak()
+	}
+	for _, q := range z.Pretrained {
+		if q.Loaded() {
+			p.Loaded++
+		}
+	}
+	for _, f := range z.FineTuned {
+		if f.Loaded() {
+			p.Loaded++
+		}
+	}
+	return nil
+}
+
+// zooScaleIdentify trains the flat and hierarchical identifiers on the
+// large population's trace dataset and scores both, raw and
+// cluster-aware.
+func (e *Env) zooScaleIdentify(ctx context.Context, z *zoo.Zoo, r *ZooScaleResult) error {
+	d := fingerprint.BuildDataset(z, 3, 1, e.Workers)
+	train, test := d.Split(0.8, 2)
+	tc := fingerprint.TrainConfig{Epochs: 30, LR: 0.002, Seed: 4}
+
+	e.logf("zooscale: training the flat classifier (%d classes)...", len(d.Classes))
+	flat := fingerprint.NewClassifier(32, d.Classes, 3)
+	flat.Workers = e.Workers
+	flat.TrainContext(ctx, train, tc)
+
+	e.logf("zooscale: training the hierarchical identifier...")
+	hier, err := fingerprint.TrainHierarchical(ctx, z, train, 32, tc, e.Workers, e.Obs)
+	if err != nil {
+		return err
+	}
+	r.Families = len(hier.Family.Classes)
+
+	cluster := func(name string) map[string]bool {
+		set := map[string]bool{}
+		for _, q := range z.AmbiguousWith(z.PretrainedByName(name)) {
+			set[q.Name] = true
+		}
+		return set
+	}
+	var flatHits, hierHits, flatCl, hierCl int
+	for _, s := range test.Samples {
+		truth := test.Classes[s.Label]
+		in := cluster(truth)
+		if p := flat.Predict(s.Trace); p == truth {
+			flatHits++
+			flatCl++
+		} else if in[p] {
+			flatCl++
+		}
+		if p := hier.Predict(s.Trace); p == truth {
+			hierHits++
+			hierCl++
+		} else if in[p] {
+			hierCl++
+		}
+	}
+	n := float64(len(test.Samples))
+	r.FlatAcc, r.HierAcc = float64(flatHits)/n, float64(hierHits)/n
+	r.FlatClusterAcc, r.HierClusterAcc = float64(flatCl)/n, float64(hierCl)/n
+	return nil
+}
+
+// ZooScale runs the scaling study. Store directories are temporary; the
+// experiment is self-contained.
+func (e *Env) ZooScale() *ZooScaleResult {
+	res, err := e.zooScale()
+	if err != nil {
+		// Like Env.Attack, configs here are the package's own presets; a
+		// failure is a programmer error, not recoverable user input.
+		panic(err)
+	}
+	return res
+}
+
+func (e *Env) zooScale() (*ZooScaleResult, error) {
+	ctx := e.ctx()
+	root, err := os.MkdirTemp("", "zooscale-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	res := &ZooScaleResult{Victims: 4}
+	smallCfg, largeCfg := zooScaleSmallConfig(), zooScaleLargeConfig()
+	smallCfg.Workers, largeCfg.Workers = e.Workers, e.Workers
+	smallCfg.Obs, largeCfg.Obs = e.Obs, e.Obs
+	res.Small.Pretrained, res.Small.FineTuned = smallCfg.NumPretrained, smallCfg.NumFineTuned
+	res.Large.Pretrained, res.Large.FineTuned = largeCfg.NumPretrained, largeCfg.NumFineTuned
+
+	// Small baseline: cold build, warm reopen, campaign.
+	e.logf("zooscale: building the small store (%d models)...",
+		smallCfg.NumPretrained+smallCfg.NumFineTuned)
+	smallDir := root + "/small"
+	if _, err := e.zooScaleOpen(ctx, smallCfg, smallDir, &res.Small, false); err != nil {
+		return nil, err
+	}
+	zs, err := e.zooScaleOpen(ctx, smallCfg, smallDir, &res.Small, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.zooScaleCampaign(ctx, zs, res.Victims, &res.Small); err != nil {
+		return nil, err
+	}
+
+	// Large population: same protocol at 10×.
+	e.logf("zooscale: building the 10x store (%d models)...",
+		largeCfg.NumPretrained+largeCfg.NumFineTuned)
+	largeDir := root + "/large"
+	if _, err := e.zooScaleOpen(ctx, largeCfg, largeDir, &res.Large, false); err != nil {
+		return nil, err
+	}
+	zl, err := e.zooScaleOpen(ctx, largeCfg, largeDir, &res.Large, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.zooScaleCampaign(ctx, zl, res.Victims, &res.Large); err != nil {
+		return nil, err
+	}
+	if res.Small.PeakHeap > 0 {
+		res.HeapRatio = float64(res.Large.PeakHeap) / float64(res.Small.PeakHeap)
+	}
+
+	if err := e.zooScaleIdentify(ctx, zl, res); err != nil {
+		return nil, err
+	}
+
+	// Incremental growth: one more victim on the already-built store.
+	grown := largeCfg
+	grown.NumFineTuned = largeCfg.NumFineTuned + 1
+	_, stats, err := zoo.BuildOrOpenStore(ctx, grown, largeDir, "")
+	if err != nil {
+		return nil, err
+	}
+	res.IncrementalRetrained = stats.Trained()
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *ZooScaleResult) Render(w io.Writer) {
+	header(w, "ZooScale", "content-addressed store at 10x population: memory, identification, incremental build")
+	fmt.Fprintf(w, "%-8s %-10s %-12s %-12s %-12s %-12s %-10s %-8s\n",
+		"scale", "models", "cold-train", "cold-open-s", "warm-open-s", "peak-heap", "reused", "loaded")
+	for _, row := range []struct {
+		name string
+		p    ZooScalePoint
+	}{{"small", r.Small}, {"10x", r.Large}} {
+		fmt.Fprintf(w, "%-8s %-10s %-12d %-12.2f %-12.3f %-12s %-10d %-8d\n",
+			row.name, fmt.Sprintf("%d+%d", row.p.Pretrained, row.p.FineTuned),
+			row.p.ColdTrained, row.p.ColdOpenSeconds, row.p.WarmOpenSeconds,
+			fmt.Sprintf("%.1fMB", float64(row.p.PeakHeap)/(1<<20)), row.p.WarmReused, row.p.Loaded)
+	}
+	fmt.Fprintf(w, "campaign peak-heap ratio (10x / small, %d victims each): %.2f (contract: <= 1.5)\n",
+		r.Victims, r.HeapRatio)
+	fmt.Fprintf(w, "identification on the 10x population (%d families): flat %.3f, hierarchical %.3f (raw); %.3f vs %.3f cluster-aware\n",
+		r.Families, r.FlatAcc, r.HierAcc, r.FlatClusterAcc, r.HierClusterAcc)
+	fmt.Fprintf(w, "incremental rebuild after one added victim retrained %d model(s) (contract: exactly 1)\n",
+		r.IncrementalRetrained)
+}

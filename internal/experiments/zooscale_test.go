@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestZooScale pins the scaling study's three acceptance contracts:
+//
+//  1. the 10× (filter-relaxed) campaign's boundary peak heap stays
+//     within 1.5× of the small campaign's — laziness + per-victim
+//     release keep memory flat as the population grows;
+//  2. hierarchical identification matches the flat classifier on the
+//     large population — exactly at the cluster level (where trace
+//     identity is decidable) and within a small tolerance raw;
+//  3. an incremental rebuild after a single catalog growth retrains
+//     exactly one model.
+func TestZooScale(t *testing.T) {
+	e := NewEnv(ScaleSmall)
+	e.Workers = 4
+	r := e.ZooScale()
+
+	if r.Small.ColdTrained != r.Small.Pretrained+r.Small.FineTuned {
+		t.Fatalf("small cold build trained %d, want %d",
+			r.Small.ColdTrained, r.Small.Pretrained+r.Small.FineTuned)
+	}
+	if r.Large.WarmReused != r.Large.Pretrained+r.Large.FineTuned {
+		t.Fatalf("large warm open reused %d, want %d",
+			r.Large.WarmReused, r.Large.Pretrained+r.Large.FineTuned)
+	}
+	if total := r.Large.Pretrained + r.Large.FineTuned; total != 10*(r.Small.Pretrained+r.Small.FineTuned) {
+		t.Fatalf("large population %d is not 10x the small %d",
+			total, r.Small.Pretrained+r.Small.FineTuned)
+	}
+
+	if r.HeapRatio <= 0 || r.HeapRatio > 1.5 {
+		t.Fatalf("10x campaign peak heap ratio %.2f exceeds 1.5 (small %dB, large %dB)",
+			r.HeapRatio, r.Small.PeakHeap, r.Large.PeakHeap)
+	}
+	if r.Small.Loaded != 0 || r.Large.Loaded != 0 {
+		t.Fatalf("models still resident after release-model campaigns: small %d, large %d",
+			r.Small.Loaded, r.Large.Loaded)
+	}
+
+	if r.HierClusterAcc < r.FlatClusterAcc {
+		t.Fatalf("hierarchical cluster-aware accuracy %.3f below flat %.3f",
+			r.HierClusterAcc, r.FlatClusterAcc)
+	}
+	if r.HierAcc < r.FlatAcc-0.05 {
+		t.Fatalf("hierarchical raw accuracy %.3f more than 0.05 below flat %.3f",
+			r.HierAcc, r.FlatAcc)
+	}
+	if r.Families < 2 {
+		t.Fatalf("large population spans %d families, want >= 2", r.Families)
+	}
+
+	if r.IncrementalRetrained != 1 {
+		t.Fatalf("incremental rebuild retrained %d models, want exactly 1", r.IncrementalRetrained)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "incremental rebuild") {
+		t.Fatal("render missing the incremental-rebuild line")
+	}
+}

@@ -120,12 +120,12 @@ func runExtraction(t *testing.T, withStop bool) (*zoo.FineTuned, *transformer.Mo
 	z := getZoo(t)
 	victim := z.FineTuned[0]
 	ex := &Extractor{
-		Pre:    victim.Pretrained.Model,
-		Oracle: sidechannel.NewOracle(victim.Model),
+		Pre:    victim.Pretrained.Model(),
+		Oracle: sidechannel.NewOracle(victim.Model()),
 		Cfg:    DefaultConfig(),
 	}
 	if withStop {
-		ex.Victim = victim.Model.Predict
+		ex.Victim = victim.Model().Predict
 	}
 	clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 	if err != nil {
@@ -136,13 +136,13 @@ func runExtraction(t *testing.T, withStop bool) (*zoo.FineTuned, *transformer.Mo
 
 func TestEndToEndCloneMatchesVictim(t *testing.T) {
 	victim, clone, st := runExtraction(t, false)
-	vp := victim.Model.Predictions(victim.Dev)
+	vp := victim.Model().Predictions(victim.Dev)
 	cp := clone.Predictions(victim.Dev)
 	match := stats.MatchRate(vp, cp)
 	if match < 0.9 {
 		t.Fatalf("clone matches victim on %v of dev, want >= 0.9 (paper: 94%%)", match)
 	}
-	vAcc := victim.Model.Evaluate(victim.Dev)
+	vAcc := victim.Model().Evaluate(victim.Dev)
 	cAcc := clone.Evaluate(victim.Dev)
 	if math.Abs(vAcc-cAcc) > 0.1 {
 		t.Fatalf("clone accuracy %v far from victim %v", cAcc, vAcc)
@@ -189,7 +189,7 @@ func TestEarlyStopReducesWork(t *testing.T) {
 	}
 	// Even when stopping early the clone still matches well.
 	victim := getZoo(t).FineTuned[0]
-	match := stats.MatchRate(victim.Model.Predictions(victim.Dev), cloneStop.Predictions(victim.Dev))
+	match := stats.MatchRate(victim.Model().Predictions(victim.Dev), cloneStop.Predictions(victim.Dev))
 	if match < 0.9 {
 		t.Fatalf("early-stopped clone match %v < 0.9", match)
 	}
@@ -199,7 +199,7 @@ func TestHeadFractionTiny(t *testing.T) {
 	// Fig 16 right: the task head is a negligible fraction of the weights,
 	// so full-reading it is cheap.
 	victim, _, st := runExtraction(t, false)
-	frac := float64(st.HeadWeights) / float64(victim.Model.ParamCount())
+	frac := float64(st.HeadWeights) / float64(victim.Model().ParamCount())
 	if frac > 0.05 {
 		t.Fatalf("head fraction %v too large for the argument to hold", frac)
 	}
@@ -264,10 +264,10 @@ func TestLayerOrderAblation(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.FirstLayersFirst = firstFirst
 		ex := &Extractor{
-			Pre:    victim.Pretrained.Model,
-			Oracle: sidechannel.NewOracle(victim.Model),
+			Pre:    victim.Pretrained.Model(),
+			Oracle: sidechannel.NewOracle(victim.Model()),
 			Cfg:    cfg,
-			Victim: victim.Model.Predict,
+			Victim: victim.Model().Predict,
 		}
 		_, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 		if err != nil {
@@ -299,11 +299,11 @@ func TestMajorityVoteMetering(t *testing.T) {
 	run := func(repeats int, noise float64) (*transformer.Model, *Stats, *sidechannel.Oracle) {
 		cfg := DefaultConfig()
 		cfg.ReadRepeats = repeats
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		if noise > 0 {
 			oracle.SetNoise(noise, 0xfeed)
 		}
-		ex := &Extractor{Pre: victim.Pretrained.Model, Oracle: oracle, Cfg: cfg}
+		ex := &Extractor{Pre: victim.Pretrained.Model(), Oracle: oracle, Cfg: cfg}
 		clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 		if err != nil {
 			t.Fatal(err)

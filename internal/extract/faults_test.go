@@ -74,8 +74,8 @@ func TestEffectiveReadRepeatsSurfaced(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ReadRepeats = 2
 	ex := &Extractor{
-		Pre:    victim.Pretrained.Model,
-		Oracle: sidechannel.NewOracle(victim.Model),
+		Pre:    victim.Pretrained.Model(),
+		Oracle: sidechannel.NewOracle(victim.Model()),
 		Cfg:    cfg,
 	}
 	_, st, err := ex.Run(victim.Task.Labels, victim.Dev)
@@ -276,15 +276,15 @@ func TestCheckpointResumeGolden(t *testing.T) {
 	cfg.ReadRepeats = 3
 
 	newEx := func(reg *obs.Registry, path string, resume bool, budget int64) (*Extractor, *sidechannel.Oracle) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetObs(reg)
 		oracle.SetNoise(0.01, 0xfeed)
 		oracle.SetFaultPlan(plan)
 		return &Extractor{
-			Pre:            victim.Pretrained.Model,
+			Pre:            victim.Pretrained.Model(),
 			Oracle:         oracle,
 			Cfg:            cfg,
-			Victim:         victim.Model.Predict,
+			Victim:         victim.Model().Predict,
 			Obs:            reg,
 			CheckpointPath: path,
 			Resume:         resume,
@@ -436,15 +436,15 @@ func TestCancelResumeGolden(t *testing.T) {
 	cfg.ReadRepeats = 3
 
 	newEx := func(reg *obs.Registry, path string, resume bool) (*Extractor, *sidechannel.Oracle) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetObs(reg)
 		oracle.SetNoise(0.01, 0xfeed)
 		oracle.SetFaultPlan(plan)
 		return &Extractor{
-			Pre:            victim.Pretrained.Model,
+			Pre:            victim.Pretrained.Model(),
 			Oracle:         oracle,
 			Cfg:            cfg,
-			Victim:         victim.Model.Predict,
+			Victim:         victim.Model().Predict,
 			Obs:            reg,
 			CheckpointPath: path,
 			Resume:         resume,

@@ -21,7 +21,7 @@ func TestPlanTensorUnitsMatchesPlan(t *testing.T) {
 		{float32(0.00001)},
 	}
 	z := getZoo(t)
-	for _, p := range z.FineTuned[0].Pretrained.Model.Params() {
+	for _, p := range z.FineTuned[0].Pretrained.Model().Params() {
 		bases = append(bases, p.Value.Data)
 	}
 	for i, base := range bases {
@@ -42,12 +42,12 @@ func extractWithProgress(t *testing.T, path string, resume bool, budget int64) (
 	tr.SetTotalItems(1)
 	var events []obs.ProgressEvent
 	tr.OnEvent(func(ev obs.ProgressEvent) { events = append(events, ev) })
-	oracle := sidechannel.NewOracle(victim.Model)
+	oracle := sidechannel.NewOracle(victim.Model())
 	ex := &Extractor{
-		Pre:            victim.Pretrained.Model,
+		Pre:            victim.Pretrained.Model(),
 		Oracle:         oracle,
 		Cfg:            DefaultConfig(),
-		Victim:         victim.Model.Predict,
+		Victim:         victim.Model().Predict,
 		CheckpointPath: path,
 		Resume:         resume,
 		ReadBudget:     budget,
@@ -152,12 +152,12 @@ func refSnapBudget(t *testing.T) int64 {
 	t.Helper()
 	z := getZoo(t)
 	victim := z.FineTuned[0]
-	oracle := sidechannel.NewOracle(victim.Model)
+	oracle := sidechannel.NewOracle(victim.Model())
 	ex := &Extractor{
-		Pre:    victim.Pretrained.Model,
+		Pre:    victim.Pretrained.Model(),
 		Oracle: oracle,
 		Cfg:    DefaultConfig(),
-		Victim: victim.Model.Predict,
+		Victim: victim.Model().Predict,
 	}
 	if _, _, err := ex.Run(victim.Task.Labels, victim.Dev); err != nil {
 		t.Fatal(err)

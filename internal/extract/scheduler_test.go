@@ -169,15 +169,15 @@ func TestScheduledNeverReadsMorePhysicalBits(t *testing.T) {
 			for _, vi := range []int{0, 1} {
 				victim := z.FineTuned[vi]
 				run := func(cfg Config) (int64, float64) {
-					oracle := sidechannel.NewOracle(victim.Model)
+					oracle := sidechannel.NewOracle(victim.Model())
 					if noise > 0 {
 						oracle.SetNoise(noise, 0xabc)
 					}
 					ex := &Extractor{
-						Pre:    victim.Pretrained.Model,
+						Pre:    victim.Pretrained.Model(),
 						Oracle: oracle,
 						Cfg:    cfg,
-						Victim: victim.Model.Predict,
+						Victim: victim.Model().Predict,
 					}
 					clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 					if err != nil {
@@ -186,7 +186,7 @@ func TestScheduledNeverReadsMorePhysicalBits(t *testing.T) {
 					if st.PhysicalBitReads != oracle.BitReads {
 						t.Fatalf("stats physical reads %d != oracle meter %d", st.PhysicalBitReads, oracle.BitReads)
 					}
-					return st.PhysicalBitReads, cloneMatchRate(clone, victim.Model, victim.Dev)
+					return st.PhysicalBitReads, cloneMatchRate(clone, victim.Model(), victim.Dev)
 				}
 				cfg := DefaultConfig()
 				cfg.ReadRepeats = repeats
@@ -223,19 +223,19 @@ func TestScheduledSavesOnFaultedChannel(t *testing.T) {
 		StuckRate: 0.0002, OutageRate: 0.0005, OutagePeriod: 2000,
 	}
 	run := func(cfg Config) (*Stats, float64) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetFaultPlan(plan.ForVictim(victim.Name))
 		ex := &Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: oracle,
 			Cfg:    cfg,
-			Victim: victim.Model.Predict,
+			Victim: victim.Model().Predict,
 		}
 		clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return st, cloneMatchRate(clone, victim.Model, victim.Dev)
+		return st, cloneMatchRate(clone, victim.Model(), victim.Dev)
 	}
 	cfg := DefaultConfig()
 	cfg.ReadRepeats = 3
@@ -263,16 +263,16 @@ func TestScheduledRunDeterministic(t *testing.T) {
 	z := getZoo(t)
 	victim := z.FineTuned[2]
 	run := func() (*transformer.Model, *Stats, *sidechannel.Oracle) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetNoise(0.005, 0x5eed5)
 		cfg := schedCfg(DefaultConfig())
 		cfg.ReadRepeats = 3
 		cfg.StopMatchRate = 2 // full extraction — exercise the scheduled path
 		ex := &Extractor{
-			Pre:    victim.Pretrained.Model,
+			Pre:    victim.Pretrained.Model(),
 			Oracle: oracle,
 			Cfg:    cfg,
-			Victim: victim.Model.Predict,
+			Victim: victim.Model().Predict,
 		}
 		clone, st, err := ex.Run(victim.Task.Labels, victim.Dev)
 		if err != nil {
@@ -313,15 +313,15 @@ func TestScheduledCheckpointResumeGolden(t *testing.T) {
 	cfg.StopMatchRate = 2 // full extraction — exercise the scheduled path
 
 	newEx := func(reg *obs.Registry, path string, resume bool, budget int64) (*Extractor, *sidechannel.Oracle) {
-		oracle := sidechannel.NewOracle(victim.Model)
+		oracle := sidechannel.NewOracle(victim.Model())
 		oracle.SetObs(reg)
 		oracle.SetNoise(0.01, 0xfeed)
 		oracle.SetFaultPlan(plan)
 		return &Extractor{
-			Pre:            victim.Pretrained.Model,
+			Pre:            victim.Pretrained.Model(),
 			Oracle:         oracle,
 			Cfg:            cfg,
-			Victim:         victim.Model.Predict,
+			Victim:         victim.Model().Predict,
 			Obs:            reg,
 			CheckpointPath: path,
 			Resume:         resume,

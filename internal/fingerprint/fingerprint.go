@@ -67,13 +67,14 @@ func BuildDataset(z *zoo.Zoo, samplesPerModel int, seed uint64, workers int) *Da
 	type unit struct {
 		name, preName string
 		trace         func(gpusim.Options) *gpusim.Trace
+		release       func()
 	}
 	units := make([]unit, 0, len(z.Pretrained)+len(z.FineTuned))
 	for _, p := range z.Pretrained {
-		units = append(units, unit{p.Name, p.Name, p.Trace})
+		units = append(units, unit{p.Name, p.Name, p.Trace, p.Release})
 	}
 	for _, f := range z.FineTuned {
-		units = append(units, unit{f.Name, f.Pretrained.Name, f.Trace})
+		units = append(units, unit{f.Name, f.Pretrained.Name, f.Trace, f.Release})
 	}
 
 	perModel := parallel.Map(len(units), workers, func(i int) []Sample {
@@ -86,6 +87,12 @@ func BuildDataset(z *zoo.Zoo, samplesPerModel int, seed uint64, workers int) *Da
 			}
 			out[s] = Sample{Trace: u.trace(opt), Label: idx[u.preName], FromModel: u.name}
 		}
+		// Tracing a fine-tuned victim loads its tensors (head-pruning
+		// masks live there); drop store-backed ones as soon as the unit
+		// is measured so dataset construction over a 10× lazy zoo keeps
+		// only one model's working set per worker. No-op for resident
+		// populations.
+		u.release()
 		return out
 	})
 	for _, samples := range perModel {

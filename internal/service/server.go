@@ -624,6 +624,11 @@ func (s *Server) execute(c *campaign) {
 		ReadBudget:          c.spec.ReadBudget,
 		Workers:             workers,
 		Progress:            tracker,
+		// A long-running daemon must not accumulate every attacked
+		// victim's tensors: drop them once each report is final. With a
+		// store-backed zoo the resident set tracks the victims in flight;
+		// for a built-in-memory zoo Release is a no-op.
+		ReleaseModels: true,
 	}
 	rs := s.cfg.Attack.RunAllStream(ctx, victims, opt)
 	var cum int64 // this run's cumulative oracle attempts (restored included)

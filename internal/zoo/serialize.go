@@ -36,6 +36,10 @@ type fineTunedExport struct {
 	Pretrained string // name reference
 	Task       task.Task
 	Model      []byte
+	// Train/Dev were persisted through wire version 2. Version 3 stops
+	// writing them — the split is a pure function of (name, config), so
+	// the loader regenerates it byte-identically — but the fields stay so
+	// gob still decodes old caches.
 	Train, Dev []transformer.Example
 }
 
@@ -119,10 +123,12 @@ type zooExport struct {
 	FineTuned  []fineTunedExport
 }
 
-// wireVersion 2 embedded the build configuration. Version 1 files (no
-// recorded config) still load, but BuildOrLoad treats them as
-// unvalidatable and rebuilds with a warning.
-const wireVersion = 2
+// wireVersion 3 stopped persisting fine-tuned Train/Dev splits (the
+// loader regenerates them from the recorded config). Version 2 embedded
+// the build configuration. Version 1 files (no recorded config) still
+// load, but BuildOrLoad treats them as unvalidatable and rebuilds with a
+// warning.
+const wireVersion = 3
 
 func encodeModel(m *transformer.Model) ([]byte, error) {
 	var buf bytes.Buffer
@@ -133,12 +139,13 @@ func encodeModel(m *transformer.Model) ([]byte, error) {
 }
 
 // Save writes the zoo to w (gzip-compressed gob). A saved zoo restores
-// bit-identically: every weight, vocabulary word, dataset example,
-// execution profile, and the build configuration (Zoo.Config) round-trip.
+// bit-identically: every weight, vocabulary word, execution profile, and
+// the build configuration (Zoo.Config) round-trip; fine-tuned train/dev
+// splits are regenerated from the config on load rather than persisted.
 func (z *Zoo) Save(w io.Writer) error {
 	exp := zooExport{Version: wireVersion, Config: configKey(z.Config)}
 	for _, p := range z.Pretrained {
-		mb, err := encodeModel(p.Model)
+		mb, err := encodeModel(p.Model())
 		if err != nil {
 			return fmt.Errorf("zoo: save %s: %w", p.Name, err)
 		}
@@ -149,13 +156,13 @@ func (z *Zoo) Save(w io.Writer) error {
 		})
 	}
 	for _, f := range z.FineTuned {
-		mb, err := encodeModel(f.Model)
+		mb, err := encodeModel(f.Model())
 		if err != nil {
 			return fmt.Errorf("zoo: save %s: %w", f.Name, err)
 		}
 		exp.FineTuned = append(exp.FineTuned, fineTunedExport{
 			Name: f.Name, Pretrained: f.Pretrained.Name, Task: f.Task,
-			Model: mb, Train: f.Train, Dev: f.Dev,
+			Model: mb,
 		})
 	}
 	gz := gzip.NewWriter(w)
@@ -165,8 +172,8 @@ func (z *Zoo) Save(w io.Writer) error {
 	return gz.Close()
 }
 
-// Load reads a zoo previously written by Save. Both wire versions load;
-// a version-1 zoo comes back with a zero Config (the format predates
+// Load reads a zoo previously written by Save. All wire versions load; a
+// version-1 zoo comes back with a zero Config (the format predates
 // recording it), which BuildOrLoad treats as unvalidatable.
 func Load(r io.Reader) (*Zoo, error) {
 	z, _, err := loadVersion(r)
@@ -190,21 +197,27 @@ func loadVersion(r io.Reader) (*Zoo, int, error) {
 		return nil, 0, fmt.Errorf("zoo: load: wire version %d, want 1..%d", exp.Version, wireVersion)
 	}
 	z := &Zoo{Config: exp.Config.buildConfig()}
+	// Resolve backbone references through a local map: the Zoo's own
+	// lazy name index must not be built while the population is still
+	// half-assembled.
+	preByName := make(map[string]*Pretrained, len(exp.Pretrained))
 	for _, pe := range exp.Pretrained {
 		m, err := transformer.Load(bytes.NewReader(pe.Model))
 		if err != nil {
 			return nil, 0, fmt.Errorf("zoo: load %s: %w", pe.Name, err)
 		}
-		z.Pretrained = append(z.Pretrained, &Pretrained{
+		p := &Pretrained{
 			Name: pe.Name, Arch: m.Config, ArchName: pe.ArchName,
 			Source: pe.Source, Language: pe.Language, Cased: pe.Cased,
 			Vocab:   tokenizer.Restore(pe.Name, pe.Language, pe.Cased, pe.Words),
-			Model:   m,
 			Profile: pe.Profile,
-		})
+			handle:  transformer.Resident(m),
+		}
+		z.Pretrained = append(z.Pretrained, p)
+		preByName[p.Name] = p
 	}
 	for _, fe := range exp.FineTuned {
-		pre := z.PretrainedByName(fe.Pretrained)
+		pre := preByName[fe.Pretrained]
 		if pre == nil {
 			return nil, 0, fmt.Errorf("zoo: load %s: unknown pre-trained %q", fe.Name, fe.Pretrained)
 		}
@@ -212,9 +225,16 @@ func loadVersion(r io.Reader) (*Zoo, int, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("zoo: load %s: %w", fe.Name, err)
 		}
+		train, dev := fe.Train, fe.Dev
+		if len(train) == 0 && len(dev) == 0 {
+			// Version 3: the split was not persisted; regenerate it from
+			// the recorded config (byte-identical — pinned by test).
+			train, dev = fineTuneData(pre, fe.Task, fe.Name, z.Config)
+		}
 		z.FineTuned = append(z.FineTuned, &FineTuned{
 			Name: fe.Name, Pretrained: pre, Task: fe.Task,
-			Model: m, Train: fe.Train, Dev: fe.Dev,
+			Train: train, Dev: dev,
+			handle: transformer.Resident(m),
 		})
 	}
 	return z, exp.Version, nil

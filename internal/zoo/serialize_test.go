@@ -31,7 +31,7 @@ func TestZooRoundTrip(t *testing.T) {
 		if q.Name != p.Name || q.Source != p.Source || q.Cased != p.Cased || q.Language != p.Language {
 			t.Fatalf("metadata mismatch for %s", p.Name)
 		}
-		a, b := p.Model.Params(), q.Model.Params()
+		a, b := p.Model().Params(), q.Model().Params()
 		for j := range a {
 			for k := range a[j].Value.Data {
 				if a[j].Value.Data[k] != b[j].Value.Data[k] {
@@ -50,7 +50,7 @@ func TestZooRoundTrip(t *testing.T) {
 	// Fine-tuned victims behave identically: same predictions, same trace.
 	f, g := z.FineTuned[0], got.FineTuned[0]
 	for _, ex := range f.Dev {
-		if f.Model.Predict(ex.Tokens) != g.Model.Predict(ex.Tokens) {
+		if f.Model().Predict(ex.Tokens) != g.Model().Predict(ex.Tokens) {
 			t.Fatal("restored victim predicts differently")
 		}
 	}
@@ -65,7 +65,7 @@ func TestZooRoundTrip(t *testing.T) {
 		}
 	}
 	// Pruning masks round-trip.
-	if g.Model.PrunedHeadCount() != f.Model.PrunedHeadCount() {
+	if g.Model().PrunedHeadCount() != f.Model().PrunedHeadCount() {
 		t.Fatal("pruning masks lost")
 	}
 }
@@ -92,8 +92,8 @@ func TestBuildOrLoadCache(t *testing.T) {
 	if a.Pretrained[0].Name != b.Pretrained[0].Name {
 		t.Fatal("cache returned a different population")
 	}
-	w := a.FineTuned[0].Model.HeadW.V.Data
-	v := b.FineTuned[0].Model.HeadW.V.Data
+	w := a.FineTuned[0].Model().HeadW.V.Data
+	v := b.FineTuned[0].Model().HeadW.V.Data
 	for i := range w {
 		if w[i] != v[i] {
 			t.Fatal("cached weights differ")
@@ -173,13 +173,13 @@ func TestBuildOrLoadMigratesV1Cache(t *testing.T) {
 
 	// Rewrite the cache as a v1 file: same population, Version forced to
 	// 1 and the config zeroed — exactly what a pre-upgrade binary wrote.
-	v1 := *built
-	v1.Config = BuildConfig{}
+	// (Fresh struct rather than a copy: Zoo carries a sync.Once index.)
+	v1 := &Zoo{Pretrained: built.Pretrained, FineTuned: built.FineTuned}
 	var buf bytes.Buffer
 	if err := v1.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeAsVersion(path, &v1, 1); err != nil {
+	if err := writeAsVersion(path, v1, 1); err != nil {
 		t.Fatal(err)
 	}
 	z, _, err := loadFileVersion(path)
@@ -260,7 +260,7 @@ func TestSaveFileAtomic(t *testing.T) {
 func writeAsVersion(path string, z *Zoo, version int) error {
 	exp := zooExport{Version: version, Config: configKey(z.Config)}
 	for _, p := range z.Pretrained {
-		mb, err := encodeModel(p.Model)
+		mb, err := encodeModel(p.Model())
 		if err != nil {
 			return err
 		}
@@ -271,7 +271,7 @@ func writeAsVersion(path string, z *Zoo, version int) error {
 		})
 	}
 	for _, f := range z.FineTuned {
-		mb, err := encodeModel(f.Model)
+		mb, err := encodeModel(f.Model())
 		if err != nil {
 			return err
 		}

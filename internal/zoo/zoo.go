@@ -14,7 +14,11 @@ import (
 	"decepticon/internal/transformer"
 )
 
-// Pretrained is one pre-trained model release.
+// Pretrained is one pre-trained model release. The tensors live behind a
+// handle: resident when the model was just trained or decoded from the
+// monolithic cache, lazy when it is backed by a zoo-store object file.
+// Everything else (architecture, vocabulary, execution profile) is always
+// in memory — identification-side code never needs to touch the weights.
 type Pretrained struct {
 	Name     string
 	Arch     transformer.Config
@@ -23,9 +27,21 @@ type Pretrained struct {
 	Language string
 	Cased    bool
 	Vocab    *tokenizer.Vocab
-	Model    *transformer.Model
 	Profile  gpusim.Profile
+
+	handle *transformer.Handle
 }
+
+// Model returns the release's weights, loading them from the store on
+// first use when the release is lazily backed.
+func (p *Pretrained) Model() *transformer.Model { return p.handle.Get() }
+
+// Release drops store-backed tensors from memory; the next Model call
+// reloads them byte-identically. No-op for resident models.
+func (p *Pretrained) Release() { p.handle.Release() }
+
+// Loaded reports whether the tensors are currently in memory.
+func (p *Pretrained) Loaded() bool { return p.handle.Loaded() }
 
 // Trace simulates one kernel-trace measurement of the model.
 func (p *Pretrained) Trace(opt gpusim.Options) *gpusim.Trace {
@@ -40,16 +56,29 @@ type FineTuned struct {
 	Name       string
 	Pretrained *Pretrained
 	Task       task.Task
-	Model      *transformer.Model
 	Train, Dev []transformer.Example
+
+	handle *transformer.Handle
 }
+
+// Model returns the victim's weights, loading them from the store on
+// first use when the victim is lazily backed.
+func (f *FineTuned) Model() *transformer.Model { return f.handle.Get() }
+
+// Release drops store-backed tensors from memory; the next Model call
+// reloads them byte-identically. No-op for resident models.
+func (f *FineTuned) Release() { f.handle.Release() }
+
+// Loaded reports whether the tensors are currently in memory.
+func (f *FineTuned) Loaded() bool { return f.handle.Loaded() }
 
 // Trace simulates one kernel-trace measurement of the fine-tuned model.
 // The fingerprint is inherited from the pre-trained release: only the
 // task-head kernels at the trace tail differ.
 func (f *FineTuned) Trace(opt gpusim.Options) *gpusim.Trace {
-	activeHeads := make([]int, f.Model.Layers)
-	for l, b := range f.Model.Blocks {
+	m := f.Model()
+	activeHeads := make([]int, m.Layers)
+	for l, b := range m.Blocks {
 		n := 0
 		for _, pruned := range b.HeadPruned {
 			if !pruned {
@@ -58,7 +87,7 @@ func (f *FineTuned) Trace(opt gpusim.Options) *gpusim.Trace {
 		}
 		activeHeads[l] = n
 	}
-	t := gpusim.SimulateTransformer(f.Model.Config, activeHeads, f.Pretrained.Profile, opt)
+	t := gpusim.SimulateTransformer(m.Config, activeHeads, f.Pretrained.Profile, opt)
 	t.Model = f.Name
 	return t
 }
@@ -68,8 +97,9 @@ func (f *FineTuned) Trace(opt gpusim.Options) *gpusim.Trace {
 // and class probabilities. This is the only interface the attacker's
 // query-output fingerprint uses.
 func (f *FineTuned) ClassifyText(text string) (label int, probs []float32) {
-	tokens := f.Pretrained.Vocab.Tokenize(text, f.Model.MaxSeq)
-	return f.Model.Predict(tokens), f.Model.Probs(tokens)
+	m := f.Model()
+	tokens := f.Pretrained.Vocab.Tokenize(text, m.MaxSeq)
+	return m.Predict(tokens), m.Probs(tokens)
 }
 
 // Zoo is the model population.
@@ -81,6 +111,13 @@ type Zoo struct {
 	// its population-determining fields in the cache file so BuildOrLoad
 	// can refuse to serve a cache built for a different configuration.
 	Config BuildConfig
+
+	// Name lookups are hot in service victim resolution (every campaign
+	// submit resolves its victims by name), so the first lookup builds a
+	// map index over both populations instead of scanning linearly.
+	indexOnce sync.Once
+	preByName map[string]*Pretrained
+	ftByName  map[string]*FineTuned
 }
 
 // BuildConfig controls zoo construction. The zero value is not valid; use
@@ -171,6 +208,120 @@ func (p *progressCounter) tick(stage string, total int) {
 	p.mu.Unlock()
 }
 
+// selectedEntries filters the catalog through cfg.ArchFilter and checks
+// the requested population fits; the returned slice is the pre-trained
+// half of the desired population, in catalog (= label) order.
+func selectedEntries(cfg BuildConfig) ([]entry, error) {
+	entries := catalog()
+	if len(cfg.ArchFilter) > 0 {
+		allowed := make(map[string]bool, len(cfg.ArchFilter))
+		for _, a := range cfg.ArchFilter {
+			allowed[a] = true
+		}
+		var kept []entry
+		for _, e := range entries {
+			if allowed[e.arch] {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	if cfg.NumPretrained > len(entries) {
+		return nil, fmt.Errorf("zoo: catalog has %d matching releases, %d requested", len(entries), cfg.NumPretrained)
+	}
+	return entries[:cfg.NumPretrained], nil
+}
+
+// pretrainedVocabSeed derives the vocabulary seed for catalog entry e:
+// releases sharing a corpus (same language/casing lineage) share
+// tokenizer statistics, as real checkpoint families do.
+func pretrainedVocabSeed(e entry, cfg BuildConfig) uint64 {
+	return rng.Seed("corpus", e.corpus, e.language, fmt.Sprint(e.cased)) ^ cfg.Seed
+}
+
+// pretrainedShell builds the weight-free half of a release — name,
+// architecture, vocabulary, execution profile — exactly as trainPretrained
+// would. The store's open path uses it to materialize lazy releases
+// without touching tensors.
+func pretrainedShell(e entry, cfg BuildConfig) *Pretrained {
+	arch := archFor(e)
+	name := e.name()
+	vocab := tokenizer.NewVocab(name, e.language, e.cased, arch.Vocab, pretrainedVocabSeed(e, cfg))
+	arch = arch.WithLabels(arch.Vocab)
+	return &Pretrained{
+		Name: name, Arch: arch, ArchName: e.arch,
+		Source: e.source, Language: e.language, Cased: e.cased,
+		Vocab: vocab, Profile: profileFor(e),
+	}
+}
+
+// trainPretrained trains catalog entry e from scratch. Every seed is
+// derived from the release name and cfg.Seed, so the result is identical
+// whether it is produced by a full build, a store rebuild of this single
+// entry, or any worker count.
+func trainPretrained(e entry, cfg BuildConfig) *Pretrained {
+	p := pretrainedShell(e, cfg)
+	// Generic pre-training: the MLM-analog token-recall objective
+	// (task.GenerateMLM). The label space is the whole vocabulary, so
+	// the backbone learns a transferable bag-of-tokens encoding —
+	// data differs per release (corpus seed), so weights diverge
+	// across releases.
+	model := transformer.NewWithInit(p.Arch, rng.Seed("pretrain-init", p.Name)^cfg.Seed, transformer.TrainedInit)
+	data := task.GenerateMLM(p.Arch.Vocab, 12, cfg.PretrainExamples, rng.Seed("pretrain-data", p.Name)^cfg.Seed)
+	lr, warmup := 3e-3, 0
+	if p.Arch.Layers >= 10 {
+		// Deeper stacks need a gentler schedule to converge.
+		lr, warmup = 1.5e-3, 120
+	}
+	model.Train(data, transformer.TrainConfig{
+		Epochs: cfg.PretrainEpochs, BatchSize: 8,
+		LR: lr, HeadLR: 6e-3, WeightDecay: 0.02, WarmupSteps: warmup,
+		Seed: rng.Seed("pretrain-train", p.Name) ^ cfg.Seed,
+	})
+	p.handle = transformer.Resident(model)
+	return p
+}
+
+// fineTunedTasks is the downstream-task rotation (GLUE analogs + QA).
+func fineTunedTasks() []task.Task {
+	tasks := task.GLUEAnalogs()
+	return append(tasks, task.QAAnalog())
+}
+
+// fineTunedSpec maps victim index i onto its backbone, task, and name —
+// the population schedule shared by the full build and the store.
+func fineTunedSpec(pres []*Pretrained, tasks []task.Task, i int) (pre *Pretrained, tk task.Task, name string) {
+	pre = pres[i%len(pres)]
+	tk = tasks[(i/len(pres))%len(tasks)]
+	return pre, tk, fmt.Sprintf("%s__ft-%s-%d", pre.Name, tk.Name, i)
+}
+
+// fineTuneData regenerates victim name's train/dev split. The split is a
+// pure function of (backbone vocabulary size, name, cfg), which is why
+// caches and stores do not persist it.
+func fineTuneData(pre *Pretrained, tk task.Task, name string, cfg BuildConfig) (train, dev []transformer.Example) {
+	data := tk.Generate(pre.Arch.Vocab, cfg.FineTuneExamples, rng.Seed("ft-data", name)^cfg.Seed)
+	return task.Split(data, 0.8)
+}
+
+// trainFineTuned trains victim index i against backbone pre. Like
+// trainPretrained it is deterministic per name, so single-entry store
+// rebuilds reproduce the full build byte-for-byte.
+func trainFineTuned(pre *Pretrained, tk task.Task, name string, cfg BuildConfig) *FineTuned {
+	train, dev := fineTuneData(pre, tk, name, cfg)
+	model := transformer.FineTuneFrom(pre.Model(), tk.Labels, train, transformer.TrainConfig{
+		Epochs: cfg.FineTuneEpochs, BatchSize: 4,
+		LR: cfg.FineTuneLR, HeadLR: cfg.FineTuneHeadLR,
+		WeightDecay: cfg.FineTuneDecay,
+		Seed:        rng.Seed("ft-train", name) ^ cfg.Seed,
+	}, rng.Seed("ft-head", name)^cfg.Seed)
+	return &FineTuned{
+		Name: name, Pretrained: pre, Task: tk,
+		Train: train, Dev: dev,
+		handle: transformer.Resident(model),
+	}
+}
+
 // Build constructs the zoo deterministically. Pre-trained models are
 // initialized with a trained-looking weight distribution and briefly
 // trained on a generic (non-downstream) objective; fine-tuned models copy
@@ -195,22 +346,9 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Zoo, error) {
 		return nil, fmt.Errorf("zoo: empty build configuration (%d pretrained, %d fine-tuned); use DefaultBuildConfig",
 			cfg.NumPretrained, cfg.NumFineTuned)
 	}
-	entries := catalog()
-	if len(cfg.ArchFilter) > 0 {
-		allowed := make(map[string]bool, len(cfg.ArchFilter))
-		for _, a := range cfg.ArchFilter {
-			allowed[a] = true
-		}
-		var kept []entry
-		for _, e := range entries {
-			if allowed[e.arch] {
-				kept = append(kept, e)
-			}
-		}
-		entries = kept
-	}
-	if cfg.NumPretrained > len(entries) {
-		return nil, fmt.Errorf("zoo: catalog has %d matching releases, %d requested", len(entries), cfg.NumPretrained)
+	selected, err := selectedEntries(cfg)
+	if err != nil {
+		return nil, err
 	}
 	z := &Zoo{Config: cfg}
 	// The recorded config describes the population, not this build's
@@ -239,45 +377,16 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Zoo, error) {
 	// result slice is indexed by catalog position, which keeps the
 	// population order (and therefore every downstream classifier label
 	// index) identical to a serial build.
-	selected := entries[:cfg.NumPretrained]
 	preProg := &progressCounter{fn: cfg.OnProgress}
 	pre, err := parallel.MapErrCtx(ctx, len(selected), cfg.Workers, func(ctx context.Context, i int) (*Pretrained, error) {
 		e := selected[i]
-		arch := archFor(e)
-		name := e.name()
-		mt := cfg.Obs.Tracer().Track(obs.PidZoo, int64(i), name)
+		mt := cfg.Obs.Tracer().Track(obs.PidZoo, int64(i), e.name())
 		sp := mt.Begin("pretrain", obs.A("arch", e.arch))
 		defer func() {
 			mt.Advance(int64(cfg.PretrainEpochs * cfg.PretrainExamples))
 			sp.End()
 		}()
-		vocabSeed := rng.Seed("corpus", e.corpus, e.language, fmt.Sprint(e.cased)) ^ cfg.Seed
-		vocab := tokenizer.NewVocab(name, e.language, e.cased, arch.Vocab, vocabSeed)
-
-		// Generic pre-training: the MLM-analog token-recall objective
-		// (task.GenerateMLM). The label space is the whole vocabulary, so
-		// the backbone learns a transferable bag-of-tokens encoding —
-		// data differs per release (corpus seed), so weights diverge
-		// across releases.
-		arch = arch.WithLabels(arch.Vocab)
-		model := transformer.NewWithInit(arch, rng.Seed("pretrain-init", name)^cfg.Seed, transformer.TrainedInit)
-		data := task.GenerateMLM(arch.Vocab, 12, cfg.PretrainExamples, rng.Seed("pretrain-data", name)^cfg.Seed)
-		lr, warmup := 3e-3, 0
-		if arch.Layers >= 10 {
-			// Deeper stacks need a gentler schedule to converge.
-			lr, warmup = 1.5e-3, 120
-		}
-		model.Train(data, transformer.TrainConfig{
-			Epochs: cfg.PretrainEpochs, BatchSize: 8,
-			LR: lr, HeadLR: 6e-3, WeightDecay: 0.02, WarmupSteps: warmup,
-			Seed: rng.Seed("pretrain-train", name) ^ cfg.Seed,
-		})
-
-		p := &Pretrained{
-			Name: name, Arch: arch, ArchName: e.arch,
-			Source: e.source, Language: e.language, Cased: e.cased,
-			Vocab: vocab, Model: model, Profile: profileFor(e),
-		}
+		p := trainPretrained(e, cfg)
 		preProg.tick("pretrain", cfg.NumPretrained)
 		return p, nil
 	})
@@ -289,31 +398,17 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Zoo, error) {
 	// Fine-tuned victims only read their backbone's weights
 	// (transformer.FineTuneFrom copies them into a fresh model), so they
 	// too are independent once the pre-trained phase has joined.
-	tasks := task.GLUEAnalogs()
-	tasks = append(tasks, task.QAAnalog())
+	tasks := fineTunedTasks()
 	ftProg := &progressCounter{fn: cfg.OnProgress}
 	ft, err := parallel.MapErrCtx(ctx, cfg.NumFineTuned, cfg.Workers, func(ctx context.Context, i int) (*FineTuned, error) {
-		pre := z.Pretrained[i%len(z.Pretrained)]
-		tk := tasks[(i/len(z.Pretrained))%len(tasks)]
-		name := fmt.Sprintf("%s__ft-%s-%d", pre.Name, tk.Name, i)
+		pre, tk, name := fineTunedSpec(z.Pretrained, tasks, i)
 		mt := cfg.Obs.Tracer().Track(obs.PidZoo, int64(cfg.NumPretrained+i), name)
 		sp := mt.Begin("finetune", obs.A("task", tk.Name))
 		defer func() {
 			mt.Advance(int64(cfg.FineTuneEpochs * cfg.FineTuneExamples))
 			sp.End()
 		}()
-		data := tk.Generate(pre.Arch.Vocab, cfg.FineTuneExamples, rng.Seed("ft-data", name)^cfg.Seed)
-		train, dev := task.Split(data, 0.8)
-		model := transformer.FineTuneFrom(pre.Model, tk.Labels, train, transformer.TrainConfig{
-			Epochs: cfg.FineTuneEpochs, BatchSize: 4,
-			LR: cfg.FineTuneLR, HeadLR: cfg.FineTuneHeadLR,
-			WeightDecay: cfg.FineTuneDecay,
-			Seed:        rng.Seed("ft-train", name) ^ cfg.Seed,
-		}, rng.Seed("ft-head", name)^cfg.Seed)
-		f := &FineTuned{
-			Name: name, Pretrained: pre, Task: tk, Model: model,
-			Train: train, Dev: dev,
-		}
+		f := trainFineTuned(pre, tk, name, cfg)
 		ftProg.tick("finetune", cfg.NumFineTuned)
 		return f, nil
 	})
@@ -339,24 +434,30 @@ func MustBuild(cfg BuildConfig) *Zoo {
 	return z
 }
 
+// buildIndex populates the name maps once, on first lookup.
+func (z *Zoo) buildIndex() {
+	z.indexOnce.Do(func() {
+		z.preByName = make(map[string]*Pretrained, len(z.Pretrained))
+		for _, p := range z.Pretrained {
+			z.preByName[p.Name] = p
+		}
+		z.ftByName = make(map[string]*FineTuned, len(z.FineTuned))
+		for _, f := range z.FineTuned {
+			z.ftByName[f.Name] = f
+		}
+	})
+}
+
 // PretrainedByName returns the named pre-trained model, or nil.
 func (z *Zoo) PretrainedByName(name string) *Pretrained {
-	for _, p := range z.Pretrained {
-		if p.Name == name {
-			return p
-		}
-	}
-	return nil
+	z.buildIndex()
+	return z.preByName[name]
 }
 
 // FineTunedByName returns the named fine-tuned model, or nil.
 func (z *Zoo) FineTunedByName(name string) *FineTuned {
-	for _, f := range z.FineTuned {
-		if f.Name == name {
-			return f
-		}
-	}
-	return nil
+	z.buildIndex()
+	return z.ftByName[name]
 }
 
 // AmbiguousWith returns the pre-trained models whose execution profile is

@@ -60,11 +60,11 @@ func TestBuildPopulation(t *testing.T) {
 		t.Fatalf("finetuned %d, want %d", len(z.FineTuned), cfg.NumFineTuned)
 	}
 	for _, f := range z.FineTuned {
-		if f.Pretrained == nil || f.Model == nil {
+		if f.Pretrained == nil || f.Model() == nil {
 			t.Fatalf("%s incomplete", f.Name)
 		}
-		if f.Model.Labels != f.Task.Labels {
-			t.Fatalf("%s labels %d, task %d", f.Name, f.Model.Labels, f.Task.Labels)
+		if f.Model().Labels != f.Task.Labels {
+			t.Fatalf("%s labels %d, task %d", f.Name, f.Model().Labels, f.Task.Labels)
 		}
 	}
 }
@@ -73,7 +73,7 @@ func TestFineTunedModelsLearn(t *testing.T) {
 	z := getZoo(t)
 	var accs []float64
 	for _, f := range z.FineTuned {
-		accs = append(accs, f.Model.Evaluate(f.Dev))
+		accs = append(accs, f.Model().Evaluate(f.Dev))
 	}
 	mean := stats.Mean(accs)
 	if mean < 0.75 {
@@ -88,7 +88,7 @@ func TestWeightGapStructure(t *testing.T) {
 	z := getZoo(t)
 	var ownGaps, crossGaps []float64
 	for _, f := range z.FineTuned {
-		own := transformer.WeightGaps(f.Pretrained.Model, f.Model)
+		own := transformer.WeightGaps(f.Pretrained.Model(), f.Model())
 		var sum float64
 		for _, g := range own {
 			sum += math.Abs(g)
@@ -99,7 +99,7 @@ func TestWeightGapStructure(t *testing.T) {
 			if p == f.Pretrained || p.ArchName != f.Pretrained.ArchName {
 				continue
 			}
-			cross := transformer.WeightGaps(p.Model, f.Model)
+			cross := transformer.WeightGaps(p.Model(), f.Model())
 			sum = 0
 			for _, g := range cross {
 				sum += math.Abs(g)
@@ -119,7 +119,7 @@ func TestWeightGapStructure(t *testing.T) {
 func TestFractionWithinTinyGap(t *testing.T) {
 	z := getZoo(t)
 	f := z.FineTuned[0]
-	gaps := transformer.WeightGaps(f.Pretrained.Model, f.Model)
+	gaps := transformer.WeightGaps(f.Pretrained.Model(), f.Model())
 	if frac := stats.FractionWithin(gaps, 0.002); frac < 0.4 {
 		t.Fatalf("only %v of weights within ±0.002, want >= 0.4", frac)
 	}
@@ -129,7 +129,7 @@ func TestFractionWithinTinyGap(t *testing.T) {
 func TestSignKeepRate(t *testing.T) {
 	z := getZoo(t)
 	f := z.FineTuned[1]
-	if rate := transformer.SignKeepRate(f.Pretrained.Model, f.Model); rate < 0.95 {
+	if rate := transformer.SignKeepRate(f.Pretrained.Model(), f.Model()); rate < 0.95 {
 		t.Fatalf("sign keep rate %v < 0.95", rate)
 	}
 }
@@ -140,16 +140,16 @@ func TestLastLayerMovesMost(t *testing.T) {
 	z := getZoo(t)
 	moved := 0
 	for _, f := range z.FineTuned[:5] {
-		diffs := transformer.LayerMeanAbsDiff(f.Pretrained.Model, f.Model)
+		diffs := transformer.LayerMeanAbsDiff(f.Pretrained.Model(), f.Model())
 		// diffs has one entry per encoder layer; the head was replaced, so
 		// compare encoder movement against head weight scale directly.
 		var maxEnc float64
-		for _, d := range diffs[:f.Model.Layers] {
+		for _, d := range diffs[:f.Model().Layers] {
 			if d > maxEnc {
 				maxEnc = d
 			}
 		}
-		headScale := f.Model.HeadW.V.MaxAbs()
+		headScale := f.Model().HeadW.V.MaxAbs()
 		if float64(headScale) > 3*maxEnc {
 			moved++
 		}
@@ -250,8 +250,8 @@ func TestBuildDeterminism(t *testing.T) {
 	a := MustBuild(cfg)
 	b := MustBuild(cfg)
 	for i := range a.FineTuned {
-		wa := a.FineTuned[i].Model.HeadW.V.Data
-		wb := b.FineTuned[i].Model.HeadW.V.Data
+		wa := a.FineTuned[i].Model().HeadW.V.Data
+		wb := b.FineTuned[i].Model().HeadW.V.Data
 		for j := range wa {
 			if wa[j] != wb[j] {
 				t.Fatal("zoo build must be deterministic")
@@ -306,7 +306,7 @@ func TestBuildWorkerCountInvariance(t *testing.T) {
 		if a.Name != b.Name {
 			t.Fatalf("pretrained %d: %q vs %q", i, a.Name, b.Name)
 		}
-		sameWeights(t, a.Name, a.Model, b.Model)
+		sameWeights(t, a.Name, a.Model(), b.Model())
 	}
 	for i := range serial.FineTuned {
 		a, b := serial.FineTuned[i], par.FineTuned[i]
@@ -316,7 +316,7 @@ func TestBuildWorkerCountInvariance(t *testing.T) {
 		if a.Pretrained.Name != b.Pretrained.Name {
 			t.Fatalf("%s: backbone %q vs %q", a.Name, a.Pretrained.Name, b.Pretrained.Name)
 		}
-		sameWeights(t, a.Name, a.Model, b.Model)
+		sameWeights(t, a.Name, a.Model(), b.Model())
 	}
 }
 
